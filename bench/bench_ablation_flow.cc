@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation: do the Fig 4 flow's design choices matter?
+ *
+ * Compares three engine variants over the P_Induce sweep:
+ *   standard      — the paper's promote-then-invalidate stack-end walk
+ *   no-promote    — INVALIDATE without PROMOTE; the invalid slot stays
+ *                   at the eviction end, so the walk re-selects it and
+ *                   the episode degenerates (fewer real evictions, and
+ *                   no adversary-like demotion of surviving blocks)
+ *   random-valid  — invalidate uniformly chosen blocks instead of the
+ *                   stack end; steals hot blocks a real adversary's
+ *                   fill could never reach
+ *
+ * Reported per variant: contention-rate controllability (observed rate
+ * per P_Induce), episode efficiency (invalidations per trigger), and
+ * the workload performance response (weighted IPC).
+ */
+
+#include <iostream>
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+
+using namespace pinte;
+using namespace pinte::bench;
+
+namespace
+{
+
+struct Variant
+{
+    const char *label;
+    bool promote;
+    BlockSelectPolicy select;
+};
+
+const Variant variants[] = {
+    {"standard", true, BlockSelectPolicy::StackEnd},
+    {"no-promote", false, BlockSelectPolicy::StackEnd},
+    {"random-valid", true, BlockSelectPolicy::RandomValid},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    const auto zoo = opt.zoo();
+    const auto &sweep = standardPInduceSweep();
+
+    std::cout << "ABLATION: PInTE flow design choices (PROMOTE state, "
+                 "BLOCK-SELECT policy)\n\n";
+
+    for (const Variant &v : variants) {
+        MachineConfig machine = MachineConfig::scaled();
+        machine.pinte.promote = v.promote;
+        machine.pinte.select = v.select;
+
+        // Per-workload isolation baselines.
+        std::vector<double> iso_ipc;
+        for (const auto &spec : zoo)
+            iso_ipc.push_back(
+                runIsolation(spec, machine, opt.params).metrics.ipc);
+
+        TextTable t({"P_Induce", "observed contention", "inval/trigger",
+                     "mean weighted IPC"});
+        std::size_t done = 0;
+        for (double p : sweep) {
+            double rate = 0, wipc = 0, inval_per_trig = 0;
+            int trig_samples = 0;
+            for (std::size_t w = 0; w < zoo.size(); ++w) {
+                MachineConfig m = machine;
+                const RunResult r = runPInte(zoo[w], p, m, opt.params);
+                rate += std::min(1.0, r.metrics.interferenceRate);
+                wipc += weightedIpc(r.metrics.ipc, iso_ipc[w]);
+                if (r.pinte.triggers) {
+                    inval_per_trig +=
+                        static_cast<double>(r.pinte.invalidations) /
+                        static_cast<double>(r.pinte.triggers);
+                    ++trig_samples;
+                }
+            }
+            const double n = static_cast<double>(zoo.size());
+            t.addRow({fmt(p, 3), fmtPct(rate / n),
+                      trig_samples ? fmt(inval_per_trig / trig_samples,
+                                         2)
+                                   : "-",
+                      fmt(wipc / n, 3)});
+            progress(opt, v.label, ++done, sweep.size());
+        }
+        std::cout << "variant: " << v.label << "\n";
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout
+        << "expectations:\n"
+        << "  no-promote   -> fewer invalidations per trigger (the walk "
+           "wastes iterations\n                  re-selecting the "
+           "invalid stack end) and weaker, less\n                  "
+           "controllable contention at equal P_Induce\n"
+        << "  random-valid -> more damage per theft (hot blocks die), "
+           "so a steeper IPC\n                  drop at equal observed "
+           "contention — unlike any real co-runner,\n                  "
+           "whose fills always claim the eviction end\n";
+    return 0;
+}

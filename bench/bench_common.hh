@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Shared experiment-campaign driver for the table/figure benches.
+ *
+ * Most of the paper's evaluation draws on the same three experiment
+ * families: every zoo workload in isolation, every workload under the
+ * 12-point P_Induce sweep, and every unique workload pair under the
+ * 2nd-Trace method. Each bench binary builds the campaign it needs via
+ * these helpers and then reduces it to one table or figure.
+ */
+
+#ifndef PINTE_BENCH_BENCH_COMMON_HH
+#define PINTE_BENCH_BENCH_COMMON_HH
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/crg.hh"
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+
+namespace pinte::bench
+{
+
+/** Command-line options shared by all benches. */
+struct BenchOptions
+{
+    bool fullZoo = false;          //!< --full: 49 workloads, else 12
+    ExperimentParams params;       //!< --roi=N, --warmup=N
+    bool quiet = false;            //!< --quiet: suppress progress
+
+    /**
+     * Parse argv; unknown flags are fatal.
+     * @param default_full whether this bench wants the 49-entry zoo
+     *        when neither --full nor --small is given (benches whose
+     *        result is a population statistic default to full; sweeps
+     *        with a x25 or x15 run multiplier default to small)
+     */
+    static BenchOptions
+    parse(int argc, char **argv, bool default_full = false)
+    {
+        BenchOptions o;
+        o.fullZoo = default_full;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--full") {
+                o.fullZoo = true;
+            } else if (a == "--small") {
+                o.fullZoo = false;
+            } else if (a == "--quiet") {
+                o.quiet = true;
+            } else if (a.rfind("--roi=", 0) == 0) {
+                o.params.roi = std::stoull(a.substr(6));
+            } else if (a.rfind("--warmup=", 0) == 0) {
+                o.params.warmup = std::stoull(a.substr(9));
+            } else {
+                fatal("unknown bench option: " + a +
+                      " (use --full/--small/--quiet/--roi=N/--warmup=N)");
+            }
+        }
+        return o;
+    }
+
+    std::vector<WorkloadSpec>
+    zoo() const
+    {
+        return fullZoo ? pinte::fullZoo() : smallZoo();
+    }
+};
+
+/** Progress ticker on stderr (tables go to stdout). */
+inline void
+progress(const BenchOptions &opt, const char *what, std::size_t done,
+         std::size_t total)
+{
+    if (opt.quiet)
+        return;
+    if (isatty(fileno(stderr))) {
+        if (done == total || done % 16 == 0)
+            std::fprintf(stderr, "\r%s: %zu/%zu", what, done, total);
+        if (done == total)
+            std::fprintf(stderr, "\n");
+    } else if (done == total) {
+        // Redirected runs get one completion line per family, not a
+        // carriage-return ticker.
+        std::fprintf(stderr, "[%s: %zu experiments]\n", what, total);
+    }
+}
+
+/** Results of the three experiment families over one zoo. */
+struct Campaign
+{
+    std::vector<WorkloadSpec> zoo;
+
+    /** isolation[w]: workload w alone. */
+    std::vector<RunResult> isolation;
+
+    /** pinte[w][k]: workload w under standardPInduceSweep()[k]. */
+    std::vector<std::vector<RunResult>> pinte;
+
+    /**
+     * secondTrace[w]: runs of workload w, one per peer it was paired
+     * with (every unique pair contributes a run to both sides).
+     */
+    std::vector<std::vector<RunResult>> secondTrace;
+
+    /** Wall-clock seconds of each pair experiment (Table I). */
+    std::vector<double> pairWall;
+};
+
+/** Run the isolation family. */
+inline void
+runIsolationFamily(Campaign &c, const MachineConfig &machine,
+                   const BenchOptions &opt)
+{
+    c.isolation.clear();
+    for (std::size_t i = 0; i < c.zoo.size(); ++i) {
+        c.isolation.push_back(runIsolation(c.zoo[i], machine,
+                                           opt.params));
+        progress(opt, "isolation", i + 1, c.zoo.size());
+    }
+}
+
+/** Run the 12-point PInTE sweep family. */
+inline void
+runPInteFamily(Campaign &c, const MachineConfig &machine,
+               const BenchOptions &opt)
+{
+    const auto &sweep = standardPInduceSweep();
+    c.pinte.assign(c.zoo.size(), {});
+    for (std::size_t i = 0; i < c.zoo.size(); ++i) {
+        for (double p : sweep)
+            c.pinte[i].push_back(runPInte(c.zoo[i], p, machine,
+                                          opt.params));
+        progress(opt, "pinte-sweep", i + 1, c.zoo.size());
+    }
+}
+
+/** Run every unique pair (the 2nd-Trace family). */
+inline void
+runPairFamily(Campaign &c, const MachineConfig &machine,
+              const BenchOptions &opt)
+{
+    c.secondTrace.assign(c.zoo.size(), {});
+    c.pairWall.clear();
+    const std::size_t n = c.zoo.size();
+    const std::size_t total = n * (n - 1) / 2;
+    std::size_t done = 0;
+    MachineConfig two = machine;
+    two.numCores = 2;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            auto [ri, rj] = runPair(c.zoo[i], c.zoo[j], two, opt.params);
+            c.pairWall.push_back(ri.wallSeconds);
+            c.secondTrace[i].push_back(std::move(ri));
+            c.secondTrace[j].push_back(std::move(rj));
+            progress(opt, "2nd-trace pairs", ++done, total);
+        }
+    }
+}
+
+/** Pool one sample metric from a set of runs into a flat vector. */
+template <typename Getter>
+inline std::vector<double>
+poolSamples(const std::vector<RunResult> &runs, Getter get)
+{
+    std::vector<double> out;
+    for (const auto &r : runs)
+        for (const auto &s : r.samples)
+            out.push_back(get(s));
+    return out;
+}
+
+/**
+ * Pool the LLC reuse histograms of two run families restricted to the
+ * CRG contention-rate groups both families cover (section III-E):
+ * comparing a whole PInTE sweep against whole-pair pools would weight
+ * the mixtures by incomparable contention levels.
+ *
+ * @return {pinte pooled, 2nd-trace pooled}; falls back to unrestricted
+ *         pooling when the families share no group
+ */
+inline std::pair<Histogram, Histogram>
+crgMatchedReuse(const std::vector<RunResult> &pinte_runs,
+                const std::vector<RunResult> &trace_runs,
+                unsigned buckets, double gran = 0.10)
+{
+    std::set<int> pg, tg;
+    for (const auto &r : pinte_runs)
+        pg.insert(crgGroup(r.metrics.interferenceRate, gran));
+    for (const auto &r : trace_runs)
+        tg.insert(crgGroup(r.metrics.interferenceRate, gran));
+    std::set<int> both;
+    for (int g : pg)
+        if (tg.count(g))
+            both.insert(g);
+
+    Histogram hp(buckets), ht(buckets);
+    const bool restrict_groups = !both.empty();
+    for (const auto &r : pinte_runs)
+        if (!restrict_groups ||
+            both.count(crgGroup(r.metrics.interferenceRate, gran)))
+            hp.merge(r.reuse);
+    for (const auto &r : trace_runs)
+        if (!restrict_groups ||
+            both.count(crgGroup(r.metrics.interferenceRate, gran)))
+            ht.merge(r.reuse);
+    return {std::move(hp), std::move(ht)};
+}
+
+} // namespace pinte::bench
+
+#endif // PINTE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fig 10: real-system contention vs PInTE.
+ *
+ * The paper runs six SPEC-17 benchmarks in pairs on a Xeon Silver 4110
+ * with Intel RDT partitioning and compares percent-change-in-IPC
+ * against *change in occupancy* (eq. 6), then repeats the study in a
+ * server-modeled ChampSim with halved DRAM resources under PInTE.
+ *
+ * This reproduction substitutes the hardware with the server-proxy
+ * machine (DESIGN.md section 2): side (a) genuinely co-runs workload
+ * pairs on a 2-core server config with RDT-style way masks and reads
+ * the occupancy counters; side (b) sweeps PInTE on the halved-DRAM
+ * server config. Both sides report % change in IPC per contention
+ * level so the per-benchmark shapes can be compared.
+ */
+
+#include <iostream>
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+
+using namespace pinte;
+using namespace pinte::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+
+    // The six benchmarks of the paper's figure.
+    const char *names[] = {"600.perlbench", "602.gcc", "619.lbm",
+                           "620.omnetpp", "627.cam4", "648.exchange2"};
+
+    std::cout << "FIG 10: Real-system proxy vs PInTE for six SPEC-17 "
+                 "benchmarks\n"
+              << "(a) co-run pairs on a server-proxy machine with "
+                 "RDT-style allocation; x = change\n    in occupancy "
+                 "(eq. 6)  (b) PInTE sweep on the halved-DRAM server "
+                 "model; x =\n    interference rate. y = % change in "
+                 "IPC vs the least-contended case.\n\n";
+
+    for (const char *name : names) {
+        const WorkloadSpec spec = findWorkload(name);
+
+        // --- (a) real-system proxy: co-runs with way-masked LLC.
+        // 14 of 16 ways for the benchmarks, 2 reserved (the paper
+        // reserves 1MB of 11MB for system processes via RDT).
+        MachineConfig real = MachineConfig::serverProxy(2, false);
+        const RunResult iso_real =
+            runIsolation(spec, MachineConfig::serverProxy(1, false),
+                         opt.params);
+
+        struct Point
+        {
+            double x, dipc;
+        };
+        std::vector<Point> real_pts;
+        for (const auto &peer : opt.zoo()) {
+            if (peer.name == spec.name)
+                continue;
+            MachineConfig m = real;
+            TraceGenerator ga(spec);
+            WorkloadSpec peer_off = peer;
+            peer_off.dataBase += 0x800000000ull;
+            peer_off.codeBase += 0x40000000ull;
+            TraceGenerator gb(peer_off);
+            System sys(m, {&ga, &gb});
+            sys.llc().setWayMask(0, 0x3fff); // ways 0-13
+            sys.llc().setWayMask(1, 0x3fff);
+            sys.warmup(opt.params.warmup);
+            sys.runUntilCore0(opt.params.roi);
+
+            const Cache &llc = sys.llc();
+            const double max_alloc =
+                14.0 / 16.0 * llc.numSets() * llc.assoc();
+            const double occ =
+                static_cast<double>(llc.occupancy(0));
+            // Eq. 6, against the benchmark's own isolated occupancy
+            // as the expected-capacity baseline.
+            const double iso_occ =
+                iso_real.metrics.llcOccupancyFraction *
+                llc.numSets() * llc.assoc();
+            const double denom = std::max(1.0, std::min(max_alloc,
+                                                        iso_occ));
+            const double delta_occ = 100.0 * (occ / denom - 1.0);
+
+            const double ipc = sys.core(0).stats().ipc();
+            real_pts.push_back(
+                {delta_occ,
+                 100.0 * (ipc / iso_real.metrics.ipc - 1.0)});
+        }
+
+        // --- (b) PInTE on the halved-DRAM server model.
+        const MachineConfig pinte_machine =
+            MachineConfig::serverProxy(1, true);
+        const RunResult iso_pinte =
+            runIsolation(spec, pinte_machine, opt.params);
+        std::vector<Point> pinte_pts;
+        for (double p : standardPInduceSweep()) {
+            const RunResult r =
+                runPInte(spec, p, pinte_machine, opt.params);
+            pinte_pts.push_back(
+                {100.0 * r.metrics.interferenceRate,
+                 100.0 * (r.metrics.ipc / iso_pinte.metrics.ipc -
+                          1.0)});
+        }
+
+        std::cout << spec.name << " (" << toString(spec.klass)
+                  << ")\n";
+        TextTable t({"(a) dOcc%", "dIPC%", "|", "(b) intf%", "dIPC%"});
+        const std::size_t rows =
+            std::max(real_pts.size(), pinte_pts.size());
+        for (std::size_t i = 0; i < rows; ++i) {
+            std::vector<std::string> row(5);
+            if (i < real_pts.size()) {
+                row[0] = fmt(real_pts[i].x, 1);
+                row[1] = fmt(real_pts[i].dipc, 1);
+            }
+            row[2] = "|";
+            if (i < pinte_pts.size()) {
+                row[3] = fmt(pinte_pts[i].x, 1);
+                row[4] = fmt(pinte_pts[i].dipc, 1);
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "expected shapes (paper): perlbench/gcc within a few "
+                 "percent on both sides;\nlbm/cam4 lose more under "
+                 "PInTE (controlled contention + costlier DRAM); "
+                 "omnetpp\ncomparable trends with different magnitude; "
+                 "exchange2 insensitive on both sides\nbut at opposite "
+                 "ends of the occupancy axis (it barely occupies the "
+                 "LLC).\n";
+    return 0;
+}

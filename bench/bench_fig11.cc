@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Fig 11: the case study — does the best design choice survive
+ * contention?
+ *
+ * Four rows of architectural logic (replacement, inclusion,
+ * prefetching, branch prediction) are swept across the 12-point
+ * P_Induce range on every zoo workload. For each contention level the
+ * bench reports which variant "wins" (max IPC per workload), the tie
+ * percentage (all variants within 1%, or more than one good option),
+ * and each variant's primary/secondary metric. The paper's findings:
+ * LLC-specific techniques (replacement, inclusion) blur together as
+ * contention grows — ties rise past 50% — while speculative techniques
+ * keep or grow their advantage because miss criticality rises.
+ */
+
+#include <functional>
+#include <iostream>
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+
+using namespace pinte;
+using namespace pinte::bench;
+
+namespace
+{
+
+struct Variant
+{
+    std::string label;
+    std::function<void(MachineConfig &)> apply;
+};
+
+struct StudyRow
+{
+    std::string title;
+    std::vector<Variant> variants;
+    const char *primaryName;
+    std::function<double(const RunMetrics &)> primary;
+    const char *secondaryName;
+    std::function<double(const RunMetrics &)> secondary;
+};
+
+void
+runRow(const StudyRow &row, const std::vector<WorkloadSpec> &zoo,
+       const BenchOptions &opt)
+{
+    const auto &sweep = standardPInduceSweep();
+    const std::size_t nv = row.variants.size();
+
+    // results[k][v][w] = metrics at sweep point k, variant v, workload w
+    std::vector<std::vector<std::vector<RunMetrics>>> results(
+        sweep.size(),
+        std::vector<std::vector<RunMetrics>>(
+            nv, std::vector<RunMetrics>(zoo.size())));
+
+    std::size_t done = 0;
+    for (std::size_t v = 0; v < nv; ++v) {
+        MachineConfig machine = MachineConfig::scaled();
+        row.variants[v].apply(machine);
+        for (std::size_t w = 0; w < zoo.size(); ++w) {
+            for (std::size_t k = 0; k < sweep.size(); ++k)
+                results[k][v][w] =
+                    runPInte(zoo[w], sweep[k], machine, opt.params)
+                        .metrics;
+            progress(opt, row.title.c_str(), ++done,
+                     nv * zoo.size());
+        }
+    }
+
+    std::cout << "--- " << row.title << " ---\n\n";
+
+    // Column 1: win percentage per variant per contention level.
+    std::vector<std::string> head = {"P_Induce"};
+    for (const auto &v : row.variants)
+        head.push_back("win% " + v.label);
+    head.push_back("tie-all%");
+    head.push_back("multi-good%");
+    TextTable wins(head);
+
+    for (std::size_t k = 0; k < sweep.size(); ++k) {
+        std::vector<int> win(nv, 0);
+        int tie_all = 0, multi_good = 0;
+        for (std::size_t w = 0; w < zoo.size(); ++w) {
+            double best = -1.0;
+            std::size_t best_v = 0;
+            for (std::size_t v = 0; v < nv; ++v) {
+                if (results[k][v][w].ipc > best) {
+                    best = results[k][v][w].ipc;
+                    best_v = v;
+                }
+            }
+            win[best_v]++;
+            int within = 0;
+            for (std::size_t v = 0; v < nv; ++v)
+                if (results[k][v][w].ipc >= 0.99 * best)
+                    ++within;
+            if (within == static_cast<int>(nv))
+                ++tie_all;
+            if (within >= 2)
+                ++multi_good;
+        }
+        std::vector<std::string> cells = {fmt(sweep[k], 3)};
+        for (std::size_t v = 0; v < nv; ++v)
+            cells.push_back(fmtPct(
+                win[v] / static_cast<double>(zoo.size()), 0));
+        cells.push_back(
+            fmtPct(tie_all / static_cast<double>(zoo.size()), 0));
+        cells.push_back(
+            fmtPct(multi_good / static_cast<double>(zoo.size()), 0));
+        wins.addRow(cells);
+    }
+    wins.print(std::cout);
+
+    // Columns 2-3: primary and secondary metrics (mean over zoo) at
+    // the low/mid/high contention points.
+    std::cout << "\n" << row.primaryName << " / " << row.secondaryName
+              << " (mean over workloads):\n";
+    std::vector<std::string> mhead = {"variant"};
+    for (std::size_t k : {std::size_t(0), sweep.size() / 2,
+                          sweep.size() - 1})
+        mhead.push_back("@" + fmt(sweep[k], 3));
+    TextTable metrics(mhead);
+    for (std::size_t v = 0; v < nv; ++v) {
+        std::vector<std::string> cells = {row.variants[v].label};
+        for (std::size_t k : {std::size_t(0), sweep.size() / 2,
+                              sweep.size() - 1}) {
+            double p = 0, s = 0;
+            for (std::size_t w = 0; w < zoo.size(); ++w) {
+                p += row.primary(results[k][v][w]);
+                s += row.secondary(results[k][v][w]);
+            }
+            p /= static_cast<double>(zoo.size());
+            s /= static_cast<double>(zoo.size());
+            cells.push_back(fmt(p, 3) + "/" + fmt(s, 3));
+        }
+        metrics.addRow(cells);
+    }
+    metrics.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    const auto zoo = opt.zoo();
+
+    std::cout << "FIG 11: The best design choice varies with "
+                 "contention\n\n";
+
+    StudyRow replacement{
+        "Replacement (LLC)",
+        {
+            {"LRU", [](MachineConfig &m)
+             { m.llc.replacement = ReplacementKind::Lru; }},
+            {"pLRU", [](MachineConfig &m)
+             { m.llc.replacement = ReplacementKind::PseudoLru; }},
+            {"nMRU", [](MachineConfig &m)
+             { m.llc.replacement = ReplacementKind::Nmru; }},
+            {"RRIP", [](MachineConfig &m)
+             { m.llc.replacement = ReplacementKind::Rrip; }},
+        },
+        "LLC miss rate",
+        [](const RunMetrics &m) { return m.missRate; },
+        "interference rate",
+        [](const RunMetrics &m) { return m.interferenceRate; },
+    };
+
+    StudyRow inclusion{
+        "Inclusion (LLC)",
+        {
+            {"non-incl", [](MachineConfig &m)
+             { m.llc.inclusion = InclusionPolicy::NonInclusive; }},
+            {"inclusive", [](MachineConfig &m)
+             { m.llc.inclusion = InclusionPolicy::Inclusive; }},
+            {"exclusive", [](MachineConfig &m)
+             { m.llc.inclusion = InclusionPolicy::Exclusive; }},
+        },
+        "LLC miss rate",
+        [](const RunMetrics &m) { return m.missRate; },
+        "L2 miss rate",
+        [](const RunMetrics &m) { return m.l2MissRate; },
+    };
+
+    StudyRow prefetch{
+        "Prefetching (L1I L1D L2)",
+        {
+            {"000", [](MachineConfig &m)
+             { m.prefetch = PrefetchConfig::parse("000"); }},
+            {"NN0", [](MachineConfig &m)
+             { m.prefetch = PrefetchConfig::parse("NN0"); }},
+            {"NNN", [](MachineConfig &m)
+             { m.prefetch = PrefetchConfig::parse("NNN"); }},
+            {"NNI", [](MachineConfig &m)
+             { m.prefetch = PrefetchConfig::parse("NNI"); }},
+        },
+        "prefetch miss rate",
+        [](const RunMetrics &m) { return m.prefetchMissRate; },
+        "L1D miss rate",
+        [](const RunMetrics &m) { return m.l1dMissRate; },
+    };
+
+    StudyRow branch{
+        "Branch prediction",
+        {
+            {"bimodal", [](MachineConfig &m)
+             { m.core.predictor = BranchPredictorKind::Bimodal; }},
+            {"gshare", [](MachineConfig &m)
+             { m.core.predictor = BranchPredictorKind::GShare; }},
+            {"perceptron", [](MachineConfig &m)
+             { m.core.predictor = BranchPredictorKind::Perceptron; }},
+            {"hashed-p", [](MachineConfig &m)
+             { m.core.predictor =
+                   BranchPredictorKind::HashedPerceptron; }},
+        },
+        "branch accuracy",
+        [](const RunMetrics &m) { return m.branchAccuracy; },
+        "LLC miss rate",
+        [](const RunMetrics &m) { return m.missRate; },
+    };
+
+    runRow(replacement, zoo, opt);
+    runRow(inclusion, zoo, opt);
+    runRow(prefetch, zoo, opt);
+    runRow(branch, zoo, opt);
+
+    std::cout << "paper's qualitative findings to compare against:\n"
+              << "  - replacement & inclusion: ties rise past 50% as "
+                 "contention grows (advantages\n    absorbed by a "
+                 "highly shared LLC)\n"
+              << "  - prefetching: NNI stays the favorite; advantages "
+                 "are stable under contention\n"
+              << "  - branch prediction: effective predictors matter "
+                 "MORE under contention (ties\n    decrease; miss "
+                 "criticality grows)\n";
+    return 0;
+}

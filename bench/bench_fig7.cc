@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fig 7: information distance of run-time behavior, and CRG coverage.
+ *
+ * (a) For each workload, the run-time series of five metrics (IPC,
+ *     miss rate, AMAT, interference rate, theft rate) sampled under
+ *     PInTE is compared to the series under CRG-matched 2nd-Trace
+ *     contention via KL divergence over bucketed samples (eq. 5). The
+ *     paper reports << 1 bit for all five (0.03 bits for IPC).
+ * (b) Coverage: the share of 2nd-Trace contention rates for which the
+ *     PInTE sweep produced a matching CRG group, at +/-2.5%, +/-5% and
+ *     +/-10% granularity, plus the experiment-count ratio.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/crg.hh"
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "common/kl_divergence.hh"
+#include "common/summary_stats.hh"
+
+using namespace pinte;
+using namespace pinte::bench;
+
+namespace
+{
+
+struct MetricDef
+{
+    const char *name;
+    double lo, hi;
+    std::size_t buckets;
+    double (*get)(const Sample &);
+};
+
+// Bucket widths follow each metric's natural resolution; rates use
+// 10-percentage-point buckets, matching the CRG granularity the
+// comparison itself is built on.
+const MetricDef metricDefs[] = {
+    {"IPC", 0.0, 4.0, 20, [](const Sample &s) { return s.ipc; }},
+    {"MissRate", 0.0, 1.0, 10,
+     [](const Sample &s) { return s.missRate; }},
+    {"AMAT", 0.0, 400.0, 20, [](const Sample &s) { return s.amat; }},
+    {"Interference", 0.0, 2.0, 10,
+     [](const Sample &s) { return s.interferenceRate; }},
+    {"TheftRate", 0.0, 2.0, 10,
+     [](const Sample &s) { return s.theftRate; }},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv, true);
+    const MachineConfig machine = MachineConfig::scaled();
+
+    Campaign c;
+    c.zoo = opt.zoo();
+    runPInteFamily(c, machine, opt);
+    runPairFamily(c, machine, opt);
+
+    std::cout << "FIG 7a: KL divergence of run-time metric series, "
+                 "PInTE vs CRG-matched 2nd-Trace\n\n";
+
+    const double grans[] = {0.05, 0.10, 0.20}; // +/-2.5%, 5%, 10%
+    for (double gran : grans) {
+        TextTable t({"metric", "median (bits)", "q1", "q3", "max"});
+        for (const auto &def : metricDefs) {
+            std::vector<double> kls;
+            for (std::size_t w = 0; w < c.zoo.size(); ++w) {
+                // Match each 2nd-Trace run to PInTE runs in its group.
+                for (const auto &tr : c.secondTrace[w]) {
+                    const int g =
+                        crgGroup(tr.metrics.interferenceRate, gran);
+                    std::vector<RunResult> matched;
+                    for (const auto &pr : c.pinte[w])
+                        if (crgGroup(pr.metrics.interferenceRate,
+                                     gran) == g)
+                            matched.push_back(pr);
+                    if (matched.empty())
+                        continue;
+                    std::vector<double> p_samples, q_samples;
+                    for (const auto &s : tr.samples)
+                        p_samples.push_back(def.get(s));
+                    for (const auto &m : matched)
+                        for (const auto &s : m.samples)
+                            q_samples.push_back(def.get(s));
+                    const Histogram hp = bucketSamples(
+                        p_samples, def.lo, def.hi, def.buckets);
+                    const Histogram hq = bucketSamples(
+                        q_samples, def.lo, def.hi, def.buckets);
+                    // Smoothing at empirical-sample resolution: a
+                    // bucket is "absent" below one part in the sample
+                    // count, not one in 10^9.
+                    kls.push_back(klDivergenceBits(hp, hq, 1e-3));
+                }
+            }
+            const SummaryStats s = summarize(kls);
+            t.addRow({def.name, fmt(s.median, 3), fmt(s.q1, 3),
+                      fmt(s.q3, 3), fmt(s.max, 3)});
+        }
+        std::cout << "CRG +/-" << fmt(100 * gran / 2, 1) << "%:\n";
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "FIG 7b: CRG coverage of 2nd-Trace contention rates "
+                 "by the PInTE sweep\n\n";
+    TextTable cov({"granularity", "coverage", "matched experiments"});
+    for (double gran : grans) {
+        std::size_t matched = 0, total = 0;
+        for (std::size_t w = 0; w < c.zoo.size(); ++w) {
+            std::vector<double> pinte_rates;
+            for (const auto &pr : c.pinte[w])
+                pinte_rates.push_back(pr.metrics.interferenceRate);
+            for (const auto &tr : c.secondTrace[w]) {
+                ++total;
+                if (crgCoverage({tr.metrics.interferenceRate},
+                                pinte_rates, gran) > 0.0)
+                    ++matched;
+            }
+        }
+        cov.addRow({"+/-" + fmt(100 * gran / 2, 1) + "%",
+                    fmtPct(total ? static_cast<double>(matched) /
+                                       static_cast<double>(total)
+                                 : 0.0),
+                    std::to_string(matched) + "/" +
+                        std::to_string(total)});
+    }
+    cov.print(std::cout);
+
+    const std::size_t n = c.zoo.size();
+    const double exp_ratio =
+        static_cast<double>(n * (n - 1) / 2) /
+        static_cast<double>(n * standardPInduceSweep().size());
+    std::cout << "\nexperiment-count ratio (all-pairs / sweep): "
+              << fmt(exp_ratio, 2)
+              << "x fewer PInTE experiments (paper: 7.79x at 188 "
+                 "traces; the ratio grows\nlinearly with zoo size — "
+                 "(n-1)/24 at 12 sweep points)\n"
+              << "paper's headline: ~92% of 2nd-Trace results matched "
+                 "within +/-5% contention rate,\nIPC information "
+                 "distance 0.03 bits.\n";
+    return 0;
+}

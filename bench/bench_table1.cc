@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table I: simulation run-times and experiment sizes.
+ *
+ * Regenerates the paper's cost comparison of the three experiment
+ * designs — no contention (isolation), 2nd-Trace all-pairs, and the
+ * PInTE sweep — at reproduction scale. The paper's headline ratios are
+ * structural (n vs n(n-1)/2 vs 12n experiments; ~2.4x average cost for
+ * a second core) and should reproduce in shape, not absolute hours.
+ */
+
+#include <iostream>
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "common/summary_stats.hh"
+
+using namespace pinte;
+using namespace pinte::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv, true);
+    const MachineConfig machine = MachineConfig::scaled();
+
+    Campaign c;
+    c.zoo = opt.zoo();
+    runIsolationFamily(c, machine, opt);
+    runPInteFamily(c, machine, opt);
+    runPairFamily(c, machine, opt);
+
+    auto wallOf = [](const std::vector<RunResult> &runs) {
+        std::vector<double> w;
+        for (const auto &r : runs)
+            w.push_back(r.wallSeconds);
+        return w;
+    };
+
+    std::vector<double> iso_wall = wallOf(c.isolation);
+    std::vector<double> pinte_wall;
+    for (const auto &sweep : c.pinte)
+        for (const auto &r : sweep)
+            pinte_wall.push_back(r.wallSeconds);
+    const std::vector<double> &pair_wall = c.pairWall;
+
+    std::cout << "TABLE I: Simulation run-times and experiment sizes\n"
+              << "(reproduction scale: " << c.zoo.size()
+              << " workloads, ROI " << opt.params.roi
+              << " instructions; paper: 95 traces, 500M ROI)\n\n";
+
+    TextTable t({"Source of Contention", "# Sims.", "Avg. (s)",
+                 "Std. Dev.", "Max. (s)", "Min. (s)", "Total (s)"});
+    auto addRow = [&](const char *name, const std::vector<double> &w) {
+        const SummaryStats s = summarize(w);
+        t.addRow({name, std::to_string(w.size()), fmt(s.mean, 4),
+                  fmt(s.stddev, 4), fmt(s.max, 4), fmt(s.min, 4),
+                  fmt(s.mean * static_cast<double>(w.size()), 2)});
+    };
+    addRow("None", iso_wall);
+    addRow("2nd-Trace", pair_wall);
+    addRow("PInTE", pinte_wall);
+    t.print(std::cout);
+
+    // The paper's headline ratios, recomputed at this scale.
+    const double avg_iso = mean(iso_wall);
+    const double avg_pair = mean(pair_wall);
+    const double avg_pinte = mean(pinte_wall);
+    const double tot_pair =
+        avg_pair * static_cast<double>(pair_wall.size());
+    const double tot_pinte =
+        avg_pinte * static_cast<double>(pinte_wall.size());
+
+    std::cout << "\nHeadline ratios (paper values in parentheses):\n";
+    std::cout << "  experiments: 2nd-Trace/PInTE = "
+              << fmt(static_cast<double>(pair_wall.size()) /
+                         static_cast<double>(pinte_wall.size()),
+                     2)
+              << "x (2.6x at the paper's trace count)\n";
+    std::cout << "  avg time:    2nd-Trace/None  = "
+              << fmt(avg_pair / avg_iso, 2) << "x (2.4x)\n";
+    std::cout << "  avg time:    2nd-Trace/PInTE = "
+              << fmt(avg_pair / avg_pinte, 2) << "x (2.2x)\n";
+    std::cout << "  total time:  2nd-Trace/PInTE = "
+              << fmt(tot_pair / tot_pinte, 2) << "x (5.6x)\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Contention-sensitivity characterization of a workload (section V of
+ * the paper, applied through the public API).
+ *
+ * Usage: contention_sensitivity [workload-name|--all]
+ *
+ * Sweeps P_Induce, builds the contention curve, extracts C^2AFE
+ * features (knee / trend / sensitivity) and classifies the workload at
+ * the 5% Tolerable Performance Loss with the paper's 75/25% criteria.
+ */
+
+#include <iostream>
+
+#include "analysis/c2afe.hh"
+#include "analysis/crg.hh"
+#include "analysis/sensitivity.hh"
+#include "analysis/table.hh"
+#include "sim/experiment.hh"
+
+using namespace pinte;
+
+namespace
+{
+
+void
+characterize(const WorkloadSpec &spec, const MachineConfig &machine,
+             const ExperimentParams &params, bool verbose)
+{
+    const RunResult iso = runIsolation(spec, machine, params);
+
+    std::vector<double> xs, ys;
+    std::vector<double> sample_wipc;
+    for (double p : standardPInduceSweep()) {
+        const RunResult r = runPInte(spec, p, machine, params);
+        xs.push_back(r.metrics.interferenceRate);
+        ys.push_back(weightedIpc(r.metrics.ipc, iso.metrics.ipc));
+        for (const auto &s : r.samples)
+            sample_wipc.push_back(weightedIpc(s.ipc, iso.metrics.ipc));
+    }
+
+    const CurveFeatures f = extractCurveFeatures(xs, ys);
+    const double frac = sensitiveSampleFraction(sample_wipc);
+    const SensitivityClass cls = classifySensitivity(frac);
+
+    if (verbose) {
+        std::cout << "workload: " << spec.name << " ("
+                  << toString(spec.klass) << ")\n"
+                  << "isolation IPC: " << fmt(iso.metrics.ipc, 3)
+                  << "\n\ncontention curve:\n";
+        TextTable t({"contention rate", "weighted IPC", ""});
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            t.addRow({fmtPct(std::min(xs[i], 1.0)), fmt(ys[i], 3),
+                      bar(ys[i], 1.0, 30)});
+        t.print(std::cout);
+        std::cout << "\nC^2AFE features: knee at "
+                  << fmtPct(std::min(f.kneeX, 1.0)) << " contention, "
+                  << "trend " << fmt(f.trend, 3)
+                  << " wIPC/contention, sensitivity "
+                  << fmt(f.sensitivity, 3) << ", shape "
+                  << toString(classifyCurveShape(f)) << "\n";
+        std::cout << "samples losing >= 5% IPC: " << fmtPct(frac)
+                  << " -> class: " << toString(cls) << "\n";
+    } else {
+        std::printf("%-16s %-14s sens-frac %5s  class %-5s  knee %5s"
+                    "  max-loss %s\n",
+                    spec.name.c_str(), toString(spec.klass),
+                    fmtPct(frac, 0).c_str(), toString(cls),
+                    fmtPct(std::min(f.kneeX, 1.0), 0).c_str(),
+                    fmtPct(f.sensitivity, 0).c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const MachineConfig machine = MachineConfig::scaled();
+    const ExperimentParams params;
+    const std::string arg = argc > 1 ? argv[1] : "456.hmmer";
+
+    if (arg == "--all") {
+        std::cout << "Contention sensitivity of the full zoo "
+                     "(5% TPL):\n\n";
+        for (const auto &spec : fullZoo())
+            characterize(spec, machine, params, false);
+        return 0;
+    }
+
+    characterize(findWorkload(arg), machine, params, true);
+    return 0;
+}

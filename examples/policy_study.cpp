@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Mini case study: is your favorite LLC replacement policy still the
+ * best once the cache is contended? (Section VI of the paper, one
+ * workload at a time.)
+ *
+ * Usage: policy_study [workload-name]
+ *
+ * Runs the four replacement policies across the P_Induce sweep and
+ * prints IPC per policy per contention level, flagging the winner and
+ * statistical ties (within 1%).
+ */
+
+#include <iostream>
+
+#include "analysis/table.hh"
+#include "sim/experiment.hh"
+
+using namespace pinte;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "471.omnetpp";
+    const WorkloadSpec spec = findWorkload(name);
+    const ExperimentParams params;
+
+    const ReplacementKind kinds[] = {
+        ReplacementKind::Lru, ReplacementKind::PseudoLru,
+        ReplacementKind::Nmru, ReplacementKind::Rrip};
+
+    std::cout << "Replacement policy study under contention: "
+              << spec.name << " (" << toString(spec.klass) << ")\n\n";
+
+    TextTable t({"P_Induce", "LRU", "pLRU", "nMRU", "RRIP", "winner",
+                 "tie?"});
+    for (double p : standardPInduceSweep()) {
+        std::vector<double> ipc;
+        for (ReplacementKind k : kinds) {
+            MachineConfig m = MachineConfig::scaled();
+            m.llc.replacement = k;
+            ipc.push_back(runPInte(spec, p, m, params).metrics.ipc);
+        }
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < ipc.size(); ++i)
+            if (ipc[i] > ipc[best])
+                best = i;
+        int within = 0;
+        for (double v : ipc)
+            if (v >= 0.99 * ipc[best])
+                ++within;
+        t.addRow({fmt(p, 3), fmt(ipc[0], 3), fmt(ipc[1], 3),
+                  fmt(ipc[2], 3), fmt(ipc[3], 3),
+                  toString(kinds[best]),
+                  within == 4 ? "all-tie"
+                              : (within >= 2 ? "partial" : "clear")});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe paper's finding: winners churn as P_Induce "
+                 "grows and ties dominate at high\ncontention — a "
+                 "policy advantage measured in isolation is not a "
+                 "robust design\nsignal. Evaluate under contention "
+                 "before committing (that is PInTE's purpose).\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+#include "c2afe.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+CurveFeatures
+extractCurveFeatures(const std::vector<double> &x,
+                     const std::vector<double> &y)
+{
+    if (x.size() != y.size())
+        panic("extractCurveFeatures: x/y size mismatch");
+    if (x.empty())
+        fatal("extractCurveFeatures: empty curve");
+
+    CurveFeatures f;
+    for (double v : y)
+        f.sensitivity = std::max(f.sensitivity, std::abs(1.0 - v));
+
+    if (x.size() < 2) {
+        f.kneeX = x[0];
+        return f;
+    }
+
+    const double dx = x.back() - x.front();
+    const double dy = y.back() - y.front();
+    if (dx > 0.0)
+        f.trend = dy / dx;
+
+    // Knee: max perpendicular distance from the endpoint chord
+    // (the "kneedle" construction).
+    const double norm = std::sqrt(dx * dx + dy * dy);
+    double best = 0.0;
+    for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+        double d;
+        if (norm > 0.0) {
+            d = std::abs(dy * (x[i] - x.front()) -
+                         dx * (y[i] - y.front())) /
+                norm;
+        } else {
+            d = std::abs(y[i] - y.front());
+        }
+        if (d > best) {
+            best = d;
+            f.kneeIndex = i;
+        }
+    }
+    f.kneeDepth = best;
+    f.kneeX = x[f.kneeIndex];
+    return f;
+}
+
+const char *
+toString(CurveShape s)
+{
+    switch (s) {
+      case CurveShape::Flat: return "flat";
+      case CurveShape::Linear: return "linear";
+      case CurveShape::Knee: return "knee";
+    }
+    return "unknown";
+}
+
+CurveShape
+classifyCurveShape(const CurveFeatures &f, double tpl)
+{
+    if (f.sensitivity <= tpl)
+        return CurveShape::Flat;
+    // A prominent knee means the loss concentrates around one break
+    // point rather than accruing linearly along the chord.
+    if (f.kneeDepth > 0.25 * f.sensitivity)
+        return CurveShape::Knee;
+    return CurveShape::Linear;
+}
+
+} // namespace pinte

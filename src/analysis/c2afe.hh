@@ -1,0 +1,77 @@
+/**
+ * @file
+ * C^2AFE-style curve feature extraction (Gomes & Hempstead, ISPASS'20).
+ *
+ * The paper summarizes each contention curve (weighted IPC as a
+ * function of contention rate group) with three features: the knee,
+ * the trend, and the sensitivity. Section V-A uses these to classify
+ * contention sensitivity.
+ */
+
+#ifndef PINTE_ANALYSIS_C2AFE_HH
+#define PINTE_ANALYSIS_C2AFE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace pinte
+{
+
+/** The three C^2AFE features of one curve. */
+struct CurveFeatures
+{
+    /**
+     * Index of the knee: the point of maximum perpendicular distance
+     * from the chord joining the curve's endpoints. 0 for flat or
+     * degenerate curves.
+     */
+    std::size_t kneeIndex = 0;
+
+    /** x-position of the knee. */
+    double kneeX = 0.0;
+
+    /**
+     * Prominence of the knee: the perpendicular distance from the
+     * chord at the knee. ~0 means the curve is effectively linear.
+     */
+    double kneeDepth = 0.0;
+
+    /** End-to-end slope: (y_last - y_first) / (x_last - x_first). */
+    double trend = 0.0;
+
+    /** Maximum deviation of y from 1.0 anywhere on the curve. */
+    double sensitivity = 0.0;
+};
+
+/**
+ * Shape class of a contention curve, in C^2AFE's vocabulary. Shapes
+ * summarize *how* a workload degrades, which Fig 8's prose narrates
+ * per subplot ("dip in performance at middle contention rates", ...).
+ */
+enum class CurveShape
+{
+    Flat,   //!< never leaves the TPL band: insensitive
+    Linear, //!< steady decay, no structural break
+    Knee,   //!< holds, then breaks at the knee (capacity cliff)
+};
+
+/** Printable name for a curve shape. */
+const char *toString(CurveShape s);
+
+/**
+ * Extract features from a curve given as parallel x/y vectors.
+ * x must be non-decreasing; vectors must have equal size >= 1.
+ */
+CurveFeatures extractCurveFeatures(const std::vector<double> &x,
+                                   const std::vector<double> &y);
+
+/**
+ * Classify the curve's shape from its features.
+ * @param tpl deviation below which the curve counts as flat
+ */
+CurveShape classifyCurveShape(const CurveFeatures &f,
+                              double tpl = 0.05);
+
+} // namespace pinte
+
+#endif // PINTE_ANALYSIS_C2AFE_HH

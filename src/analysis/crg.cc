@@ -1,0 +1,59 @@
+#include "crg.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+int
+crgGroup(double rate, double granularity)
+{
+    if (granularity <= 0.0)
+        fatal("CRG granularity must be positive");
+    return static_cast<int>(std::lround(rate / granularity));
+}
+
+double
+crgCenter(int group, double granularity)
+{
+    return group * granularity;
+}
+
+double
+crgCoverage(const std::vector<double> &observed,
+            const std::vector<double> &reference, double granularity)
+{
+    if (observed.empty())
+        return 0.0;
+    std::set<int> ref_groups;
+    for (double r : reference)
+        ref_groups.insert(crgGroup(r, granularity));
+    std::size_t matched = 0;
+    for (double o : observed)
+        if (ref_groups.count(crgGroup(o, granularity)))
+            ++matched;
+    return static_cast<double>(matched) /
+           static_cast<double>(observed.size());
+}
+
+std::vector<std::vector<std::size_t>>
+crgPartition(const std::vector<double> &rates, double granularity)
+{
+    int max_group = 0;
+    for (double r : rates)
+        max_group = std::max(max_group, crgGroup(r, granularity));
+    std::vector<std::vector<std::size_t>> out(
+        static_cast<std::size_t>(max_group) + 1);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const int g = crgGroup(rates[i], granularity);
+        if (g >= 0)
+            out[static_cast<std::size_t>(g)].push_back(i);
+    }
+    return out;
+}
+
+} // namespace pinte

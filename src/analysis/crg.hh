@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Contention Rate Grouping (CRG), section III-E of the paper.
+ *
+ * Experiments are only comparable at like contention rates. CRG rounds
+ * each experiment's observed contention rate to the nearest group
+ * center (default granularity 10%, i.e. +/-5% sub-ranges) and matches
+ * PInTE runs to 2nd-Trace runs within the same group. Fig 7b sweeps the
+ * granularity to show the error-vs-coverage trade.
+ */
+
+#ifndef PINTE_ANALYSIS_CRG_HH
+#define PINTE_ANALYSIS_CRG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace pinte
+{
+
+/**
+ * Group index of a contention rate (in [0, 1]) at the given
+ * granularity: round(rate / granularity). Group g spans
+ * [g*gran - gran/2, g*gran + gran/2).
+ */
+int crgGroup(double rate, double granularity = 0.10);
+
+/** Center rate of a CRG group. */
+double crgCenter(int group, double granularity = 0.10);
+
+/**
+ * Fraction of `observed` rates that share a CRG group with at least
+ * one rate in `reference`. This is Fig 7b's coverage metric: how many
+ * 2nd-Trace contention rates PInTE found a match for.
+ */
+double crgCoverage(const std::vector<double> &observed,
+                   const std::vector<double> &reference,
+                   double granularity = 0.10);
+
+/**
+ * Partition values into CRG groups: returns, per group index 0..max,
+ * the positions in `rates` that fall into that group.
+ */
+std::vector<std::vector<std::size_t>>
+crgPartition(const std::vector<double> &rates, double granularity = 0.10);
+
+} // namespace pinte
+
+#endif // PINTE_ANALYSIS_CRG_HH

@@ -1,0 +1,68 @@
+#include "sensitivity.hh"
+
+#include <cmath>
+
+namespace pinte
+{
+
+const char *
+toString(SensitivityClass c)
+{
+    switch (c) {
+      case SensitivityClass::High: return "high";
+      case SensitivityClass::Low: return "low";
+      case SensitivityClass::Mixed: return "mixed";
+    }
+    return "unknown";
+}
+
+double
+sensitiveSampleFraction(const std::vector<double> &weighted_ipc,
+                        double tpl)
+{
+    if (weighted_ipc.empty())
+        return 0.0;
+    std::size_t sensitive = 0;
+    for (double w : weighted_ipc)
+        if (w < 1.0 - tpl)
+            ++sensitive;
+    return static_cast<double>(sensitive) /
+           static_cast<double>(weighted_ipc.size());
+}
+
+SensitivityClass
+classifySensitivity(double sensitive_fraction)
+{
+    if (sensitive_fraction >= 0.75)
+        return SensitivityClass::High;
+    if (sensitive_fraction <= 0.25)
+        return SensitivityClass::Low;
+    return SensitivityClass::Mixed;
+}
+
+SensitivityClass
+classifySensitivity(const std::vector<double> &weighted_ipc, double tpl)
+{
+    return classifySensitivity(sensitiveSampleFraction(weighted_ipc, tpl));
+}
+
+double
+sensitiveCurvePopulation(const std::vector<std::vector<double>> &curves,
+                         double tpl)
+{
+    if (curves.empty())
+        return 0.0;
+    std::size_t sensitive = 0;
+    for (const auto &curve : curves) {
+        for (double w : curve) {
+            if (std::abs(1.0 - w) > tpl) {
+                ++sensitive;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(sensitive) /
+           static_cast<double>(curves.size());
+}
+
+} // namespace pinte

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Contention-sensitivity classification (section V of the paper).
+ *
+ * A workload is classified against a Tolerable Performance Loss (TPL)
+ * threshold: *high* sensitivity if at least 75% of instruction samples
+ * lose at least TPL relative to isolation IPC, *low* if no more than
+ * 25% do, *mixed* in between. SCP (sensitive-curve population) is the
+ * share of a workload's contention curves that are sensitive.
+ */
+
+#ifndef PINTE_ANALYSIS_SENSITIVITY_HH
+#define PINTE_ANALYSIS_SENSITIVITY_HH
+
+#include <vector>
+
+namespace pinte
+{
+
+/** Sensitivity classes of Fig 8. */
+enum class SensitivityClass
+{
+    High,  //!< red border in Fig 8
+    Low,   //!< gray plot area
+    Mixed, //!< white plot area
+};
+
+/** Printable name. */
+const char *toString(SensitivityClass c);
+
+/** The default TPL the paper settles on (5%). */
+constexpr double defaultTpl = 0.05;
+
+/**
+ * Fraction of weighted-IPC samples that violate the TPL, i.e. fall
+ * below (1 - tpl). Weighted IPC of 1.0 means isolation performance.
+ */
+double sensitiveSampleFraction(const std::vector<double> &weighted_ipc,
+                               double tpl = defaultTpl);
+
+/**
+ * Classify from the sensitive-sample fraction using the paper's 75/25
+ * percent boundaries.
+ */
+SensitivityClass classifySensitivity(double sensitive_fraction);
+
+/** Convenience: classify a weighted-IPC sample vector directly. */
+SensitivityClass classifySensitivity(
+    const std::vector<double> &weighted_ipc, double tpl = defaultTpl);
+
+/**
+ * Sensitive-Curve Population: the share of curves (each a vector of
+ * weighted-IPC points) whose C^2AFE sensitivity exceeds the TPL.
+ */
+double sensitiveCurvePopulation(
+    const std::vector<std::vector<double>> &curves,
+    double tpl = defaultTpl);
+
+} // namespace pinte
+
+#endif // PINTE_ANALYSIS_SENSITIVITY_HH

@@ -1,0 +1,75 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pinte
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        width[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(width[i] - cells[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < width.size(); ++i)
+        total += width[i] + (i + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * v);
+    return buf;
+}
+
+std::string
+bar(double value, double max_value, int width)
+{
+    if (max_value <= 0.0 || value < 0.0)
+        return "";
+    int n = static_cast<int>(value / max_value * width + 0.5);
+    n = std::clamp(n, 0, width);
+    return std::string(static_cast<std::size_t>(n), '#');
+}
+
+} // namespace pinte

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-width text tables and small formatting helpers for benches.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures
+ * as aligned text; this is the shared renderer.
+ */
+
+#ifndef PINTE_ANALYSIS_TABLE_HH
+#define PINTE_ANALYSIS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pinte
+{
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Create with header labels; column count is fixed from here. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a header separator. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double v, int precision = 2);
+
+/** Format a double as a percentage with fixed precision. */
+std::string fmtPct(double v, int precision = 1);
+
+/**
+ * Render a horizontal ASCII bar of proportional length; used by the
+ * figure benches to sketch distributions in the terminal.
+ */
+std::string bar(double value, double max_value, int width = 40);
+
+} // namespace pinte
+
+#endif // PINTE_ANALYSIS_TABLE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Branch predictor interface and factory.
+ *
+ * The case study (section VI-d of the paper) compares Bimodal, GShare,
+ * Perceptron and Hashed Perceptron under growing contention. All four
+ * are implemented behind this interface.
+ */
+
+#ifndef PINTE_BRANCH_PREDICTOR_HH
+#define PINTE_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace pinte
+{
+
+/** Which predictor to instantiate. */
+enum class BranchPredictorKind
+{
+    Bimodal,
+    GShare,
+    Perceptron,
+    HashedPerceptron,
+    AlwaysTaken, //!< degenerate baseline, useful in tests
+};
+
+/** Printable name for a predictor kind. */
+const char *toString(BranchPredictorKind k);
+
+/** Direction predictor for conditional branches. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at `ip`. */
+    virtual bool predict(Addr ip) = 0;
+
+    /** Train with the resolved outcome. Call after every branch. */
+    virtual void update(Addr ip, bool taken) = 0;
+
+    /** Display name. */
+    virtual const char *name() const = 0;
+
+    /** Record a prediction/outcome pair in the accuracy counters. */
+    void recordOutcome(bool predicted, bool actual);
+
+    /** Branches seen via recordOutcome(). */
+    std::uint64_t lookups() const { return lookups_; }
+
+    /** Correct predictions seen via recordOutcome(). */
+    std::uint64_t correct() const { return correct_; }
+
+    /** Prediction accuracy in [0, 1]; 1.0 when no branches seen. */
+    double accuracy() const;
+
+  private:
+    std::uint64_t lookups_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+/**
+ * Build a predictor.
+ * @param kind which algorithm
+ * @param size_log2 log2 of the main table size (entries or neurons)
+ */
+std::unique_ptr<BranchPredictor>
+makeBranchPredictor(BranchPredictorKind kind, unsigned size_log2 = 12);
+
+} // namespace pinte
+
+#endif // PINTE_BRANCH_PREDICTOR_HH

@@ -1,0 +1,483 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+const char *
+toString(InclusionPolicy p)
+{
+    switch (p) {
+      case InclusionPolicy::NonInclusive: return "non-inclusive";
+      case InclusionPolicy::Inclusive: return "inclusive";
+      case InclusionPolicy::Exclusive: return "exclusive";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Entries in the direct-mapped pending-fill (MSHR merge) table. */
+constexpr std::size_t pendingEntries = 1024;
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config, MemoryLevel *next)
+    : config_(config), next_(next),
+      blocks_(std::size_t(config.numSets) * config.assoc),
+      policy_(makeReplacementPolicy(config.replacement, config.numSets,
+                                    config.assoc, config.seed)),
+      prefetcher_(makePrefetcher(config.prefetcher,
+                                 config.prefetchDegree)),
+      wayMasks_(config.numCores, ~std::uint64_t(0)),
+      occupancy_(config.numCores, 0),
+      pending_(pendingEntries),
+      stats_(config.numCores, config.assoc),
+      indexBits_(floorLog2(config.numSets))
+{
+    if (!isPowerOfTwo(config.numSets))
+        fatal("cache '" + config.name + "': numSets must be a power of 2");
+    if (config.assoc > 64)
+        fatal("cache '" + config.name + "': assoc > 64 unsupported");
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(lineNumber(addr) &
+                                 ((Addr(1) << indexBits_) - 1));
+}
+
+bool
+Cache::valid(unsigned set, unsigned way) const
+{
+    return blockAt(set, way).valid;
+}
+
+bool
+Cache::dirty(unsigned set, unsigned way) const
+{
+    return blockAt(set, way).dirty;
+}
+
+CoreId
+Cache::owner(unsigned set, unsigned way) const
+{
+    return blockAt(set, way).owner;
+}
+
+Addr
+Cache::lineAddr(unsigned set, unsigned way) const
+{
+    return blockAt(set, way).line << blockShift;
+}
+
+unsigned
+Cache::rank(unsigned set, unsigned way) const
+{
+    return policy_->rank(set, way);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findWay(setIndex(addr), lineNumber(addr)) >= 0;
+}
+
+int
+Cache::findWay(unsigned set, Addr line) const
+{
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        const Block &b = blockAt(set, w);
+        if (b.valid && b.line == line)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+Cache::setWayMask(CoreId core, std::uint64_t mask)
+{
+    if (core >= wayMasks_.size())
+        fatal("setWayMask: core id out of range");
+    if ((mask & ((config_.assoc >= 64) ? ~0ull
+                                       : ((1ull << config_.assoc) - 1))) == 0)
+        fatal("setWayMask: mask allows no ways");
+    wayMasks_[core] = mask;
+}
+
+Cycle
+Cache::pendingReady(Addr line) const
+{
+    const Pending &p = pending_[line % pendingEntries];
+    return p.line == line ? p.ready : 0;
+}
+
+void
+Cache::notePending(Addr line, Cycle ready)
+{
+    Pending &p = pending_[line % pendingEntries];
+    p.line = line;
+    p.ready = ready;
+}
+
+unsigned
+Cache::pickVictim(unsigned set, CoreId core)
+{
+    const std::uint64_t mask =
+        core < wayMasks_.size() ? wayMasks_[core] : ~std::uint64_t(0);
+
+    // Invalid allowed ways first.
+    for (unsigned w = 0; w < config_.assoc; ++w)
+        if ((mask >> w) & 1 && !blockAt(set, w).valid)
+            return w;
+
+    const std::uint64_t full =
+        (config_.assoc >= 64) ? ~0ull : ((1ull << config_.assoc) - 1);
+    if ((mask & full) == full)
+        return policy_->victim(set);
+
+    // Masked allocation: lowest-rank allowed way.
+    unsigned best_way = 0;
+    unsigned best_rank = ~0u;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (!((mask >> w) & 1))
+            continue;
+        const unsigned r = policy_->rank(set, w);
+        if (r < best_rank) {
+            best_rank = r;
+            best_way = w;
+        }
+    }
+    return best_way;
+}
+
+void
+Cache::evict(unsigned set, unsigned way, CoreId requester, Cycle cycle)
+{
+    Block &b = blockAt(set, way);
+    if (!b.valid)
+        return;
+
+    // Theft accounting (section IV-A): an inter-core eviction is a
+    // theft caused by the requester and suffered by the victim's owner.
+    if (b.owner < stats_.perCore.size()) {
+        if (requester != b.owner && requester < stats_.perCore.size()) {
+            stats_.perCore[requester].theftsCaused++;
+            stats_.perCore[b.owner].theftsSuffered++;
+        } else if (requester == b.owner) {
+            stats_.perCore[b.owner].selfEvictions++;
+        }
+        occupancy_[b.owner]--;
+    }
+
+    // Inclusive caches force the line out of the upper levels; a dirty
+    // upper copy merges its dirtiness into the victim before writeback.
+    if (config_.inclusion == InclusionPolicy::Inclusive) {
+        for (Cache *up : upstreams_)
+            if (up->invalidateLine(b.line << blockShift, cycle, false))
+                b.dirty = true;
+    }
+
+    if (b.dirty && next_) {
+        MemAccess wb;
+        wb.addr = b.line << blockShift;
+        wb.core = b.owner < stats_.perCore.size() ? b.owner : requester;
+        wb.type = AccessType::Writeback;
+        wb.cycle = cycle;
+        wb.wbDirty = true;
+        next_->access(wb);
+    } else if (!b.dirty && next_) {
+        // Clean evictions feed exclusive downstream caches (victim
+        // cache behavior); everyone else ignores them.
+        auto *down = dynamic_cast<Cache *>(next_);
+        if (down && down->config_.inclusion == InclusionPolicy::Exclusive) {
+            MemAccess ev;
+            ev.addr = b.line << blockShift;
+            ev.core = b.owner < stats_.perCore.size() ? b.owner : requester;
+            ev.type = AccessType::Writeback;
+            ev.cycle = cycle;
+            ev.wbDirty = false;
+            next_->access(ev);
+        }
+    }
+
+    b.valid = false;
+    b.dirty = false;
+    policy_->onInvalidate(set, way);
+}
+
+void
+Cache::fillBlock(unsigned set, unsigned way, Addr line, CoreId core,
+                 bool is_write, bool is_prefetch)
+{
+    Block &b = blockAt(set, way);
+    b.line = line;
+    b.valid = true;
+    b.dirty = is_write;
+    b.owner = core;
+    b.prefetched = is_prefetch;
+    if (core < occupancy_.size())
+        occupancy_[core]++;
+    policy_->onFill(set, way);
+}
+
+bool
+Cache::invalidateLine(Addr addr, Cycle cycle, bool writeback_dirty)
+{
+    const unsigned set = setIndex(addr);
+    const int way = findWay(set, lineNumber(addr));
+
+    // Maintain transitive invalidation through our own upstreams.
+    bool upper_dirty = false;
+    for (Cache *up : upstreams_)
+        if (up->invalidateLine(addr, cycle, writeback_dirty))
+            upper_dirty = true;
+
+    if (way < 0)
+        return upper_dirty;
+
+    Block &b = blockAt(set, static_cast<unsigned>(way));
+    const bool was_dirty = b.dirty || upper_dirty;
+    if (b.owner < occupancy_.size())
+        occupancy_[b.owner]--;
+    b.valid = false;
+    b.dirty = false;
+    policy_->onInvalidate(set, static_cast<unsigned>(way));
+
+    if (was_dirty && writeback_dirty && next_) {
+        MemAccess wb;
+        wb.addr = lineAlign(addr);
+        wb.core = b.owner < stats_.perCore.size() ? b.owner : 0;
+        wb.type = AccessType::Writeback;
+        wb.cycle = cycle;
+        next_->access(wb);
+        return false;
+    }
+    return was_dirty;
+}
+
+void
+Cache::promoteWay(unsigned set, unsigned way)
+{
+    policy_->onHit(set, way);
+}
+
+void
+Cache::invalidateWayAsTheft(unsigned set, unsigned way, Cycle cycle)
+{
+    Block &b = blockAt(set, way);
+    if (!b.valid)
+        return;
+
+    // The system mocked a theft against this block's owner (Fig 2b).
+    if (b.owner < stats_.perCore.size()) {
+        stats_.perCore[b.owner].mockedThefts++;
+        occupancy_[b.owner]--;
+    }
+
+    // Deliberately NO back-invalidation of upper levels, even in an
+    // inclusive hierarchy: the paper's INVALIDATE state (Fig 4) only
+    // clears the valid bit and queues the writeback. A real adversary
+    // fill in an inclusive LLC would also kill the L1/L2 copies — one
+    // of the access-pattern details PInTE trades away (section IV-B),
+    // and the mechanism behind the inclusion row of Fig 11.
+
+    // Dirty victims create writeback traffic toward DRAM, the one form
+    // of downstream contention PInTE does produce (section IV-B).
+    if (b.dirty && next_) {
+        MemAccess wb;
+        wb.addr = b.line << blockShift;
+        wb.core = b.owner < stats_.perCore.size() ? b.owner : 0;
+        wb.type = AccessType::Writeback;
+        wb.cycle = cycle;
+        next_->access(wb);
+    }
+
+    b.valid = false;
+    b.dirty = false;
+    // Deliberately no policy_->onInvalidate(): the mocked adversary
+    // "inserted" at this block's promoted position (Fig 2b), so the
+    // slot keeps its stack position until a real fill reclaims it.
+}
+
+AccessResult
+Cache::handleWriteback(const MemAccess &req)
+{
+    const unsigned set = setIndex(req.addr);
+    const Addr line = lineNumber(req.addr);
+    const CoreId c = req.core < stats_.perCore.size() ? req.core : 0;
+    stats_.perCore[c].writebacksIn++;
+
+    const int way = findWay(set, line);
+    if (way >= 0) {
+        Block &b = blockAt(set, static_cast<unsigned>(way));
+        b.dirty = b.dirty || req.wbDirty;
+        policy_->onHit(set, static_cast<unsigned>(way));
+        return {req.cycle + config_.latency, true};
+    }
+
+    // Allocate the displaced line here (write-allocate spill). This is
+    // the "L2 activity spilling" the paper's Fig 6b root-causes.
+    stats_.perCore[c].writebackMisses++;
+    const unsigned victim = pickVictim(set, req.core);
+    evict(set, victim, req.core, req.cycle);
+    fillBlock(set, victim, line, req.core, req.wbDirty, false);
+    return {req.cycle + config_.latency, false};
+}
+
+void
+Cache::runPrefetcher(const MemAccess &req, bool hit)
+{
+    if (!prefetcher_)
+        return;
+    prefetchBuf_.clear();
+    prefetcher_->observe(req.addr, req.ip, hit, prefetchBuf_);
+    if (prefetchBuf_.empty())
+        return;
+
+    const CoreId c = req.core < stats_.perCore.size() ? req.core : 0;
+    for (Addr target : prefetchBuf_) {
+        if (probe(target) || pendingReady(lineNumber(target)) > req.cycle)
+            continue;
+        prefetcher_->noteIssued(1);
+        stats_.perCore[c].prefetchIssued++;
+        MemAccess pf;
+        pf.addr = target;
+        pf.ip = req.ip;
+        pf.core = req.core;
+        pf.type = AccessType::Prefetch;
+        pf.cycle = req.cycle;
+        access(pf);
+    }
+}
+
+AccessResult
+Cache::access(const MemAccess &req)
+{
+    if (req.type == AccessType::Writeback)
+        return handleWriteback(req);
+
+    const unsigned set = setIndex(req.addr);
+    const Addr line = lineNumber(req.addr);
+    const CoreId c = req.core < stats_.perCore.size() ? req.core : 0;
+    PerCoreCacheStats &st = stats_.perCore[c];
+
+    const bool is_prefetch = (req.type == AccessType::Prefetch);
+    const bool is_store = (req.type == AccessType::Store);
+
+    if (!is_prefetch) {
+        st.accesses++;
+        if (req.type == AccessType::Load || req.type ==
+            AccessType::Instruction) {
+            st.loadAccesses++;
+        } else {
+            st.storeAccesses++;
+        }
+    }
+
+    const int way = findWay(set, line);
+    AccessResult result;
+
+    if (way >= 0) {
+        Block &b = blockAt(set, static_cast<unsigned>(way));
+        const Cycle pend = pendingReady(line);
+        const bool merged = pend > req.cycle;
+
+        if (is_prefetch) {
+            // Already present (or in flight): nothing to do.
+            return {req.cycle, true};
+        }
+
+        if (merged) {
+            // Miss merged into an in-flight fill: pays the residual
+            // fill latency and counts as a miss, but allocates nothing.
+            st.misses++;
+            st.mergedMisses++;
+            if (req.type == AccessType::Store)
+                st.storeMisses++;
+            else
+                st.loadMisses++;
+            result = {pend, false};
+        } else {
+            st.hits++;
+            // Reuse-position histogram: stack depth before promotion,
+            // 0 = MRU end (Fig 5/6 compare these distributions).
+            const unsigned depth =
+                config_.assoc - 1 - policy_->rank(set,
+                                                  static_cast<unsigned>(way));
+            stats_.reuse[c].add(depth);
+            if (b.prefetched) {
+                st.prefetchUseful++;
+                b.prefetched = false;
+            }
+            result = {req.cycle + config_.latency, true};
+        }
+
+        policy_->onHit(set, static_cast<unsigned>(way));
+        if (is_store)
+            b.dirty = true;
+
+        // Exclusive caches hand the block upward on demand hits: the
+        // requesting upper level will allocate it; our copy dies.
+        if (config_.inclusion == InclusionPolicy::Exclusive && !merged) {
+            if (b.dirty && next_) {
+                MemAccess wb;
+                wb.addr = b.line << blockShift;
+                wb.core = b.owner < stats_.perCore.size() ? b.owner : c;
+                wb.type = AccessType::Writeback;
+                wb.cycle = req.cycle;
+                next_->access(wb);
+            }
+            if (b.owner < occupancy_.size())
+                occupancy_[b.owner]--;
+            b.valid = false;
+            b.dirty = false;
+            policy_->onInvalidate(set, static_cast<unsigned>(way));
+        }
+    } else {
+        // Miss.
+        if (!is_prefetch) {
+            st.misses++;
+            if (req.type == AccessType::Store)
+                st.storeMisses++;
+            else
+                st.loadMisses++;
+        } else {
+            st.prefetchMisses++;
+        }
+
+        Cycle down_ready = req.cycle + config_.latency;
+        if (next_) {
+            MemAccess down = req;
+            down.cycle = req.cycle + config_.latency;
+            down_ready = next_->access(down).readyCycle;
+        }
+
+        // Exclusive caches do not allocate on demand fills from below;
+        // the line goes straight to the requester's level.
+        if (config_.inclusion != InclusionPolicy::Exclusive) {
+            const unsigned victim = pickVictim(set, req.core);
+            evict(set, victim, req.core, req.cycle);
+            fillBlock(set, victim, line, req.core, is_store, is_prefetch);
+            notePending(line, down_ready);
+        }
+
+        result = {down_ready, false};
+    }
+
+    if (!is_prefetch) {
+        runPrefetcher(req, result.hit);
+        if (hook_)
+            hook_->onAccess(*this, set, req.core, req.cycle);
+    }
+
+    return result;
+}
+
+} // namespace pinte

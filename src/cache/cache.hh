@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Set-associative cache with ownership tracking, theft accounting,
+ * inclusion policies, optional prefetcher, way masking and a
+ * replacement hook — the integration point the PInTE engine plugs into.
+ */
+
+#ifndef PINTE_CACHE_CACHE_HH
+#define PINTE_CACHE_CACHE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_stats.hh"
+#include "cache/memory_level.hh"
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+#include "replacement/policy.hh"
+
+namespace pinte
+{
+
+/** Inclusion property between this cache and its upstreams (III-C b). */
+enum class InclusionPolicy
+{
+    NonInclusive, //!< fills everywhere; evictions don't back-invalidate
+    Inclusive,    //!< evictions back-invalidate upper levels
+    Exclusive,    //!< filled only by upper-level evictions; hits move up
+};
+
+/** Printable name for an inclusion policy. */
+const char *toString(InclusionPolicy p);
+
+/** Static configuration of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    unsigned numSets = 64;
+    unsigned assoc = 8;
+    Cycle latency = 4;           //!< hit latency added by this level
+    ReplacementKind replacement = ReplacementKind::Lru;
+    InclusionPolicy inclusion = InclusionPolicy::NonInclusive;
+    PrefetcherKind prefetcher = PrefetcherKind::None;
+    unsigned prefetchDegree = 1;
+    unsigned numCores = 1;       //!< cores whose stats are tracked
+    std::uint64_t seed = 1;      //!< for stochastic replacement
+
+    /** Capacity in bytes. */
+    std::uint64_t bytes() const
+    { return std::uint64_t(numSets) * assoc * blockSize; }
+};
+
+/**
+ * Hook invoked after every demand access to a cache completes. The
+ * PInTE engine implements this to induce theft evictions; the cache
+ * stays unaware of who is pulling the strings, mirroring how the paper
+ * integrates into ChampSim's existing replacement calls.
+ */
+class ReplacementHook
+{
+  public:
+    virtual ~ReplacementHook() = default;
+
+    /**
+     * @param cache the cache the access went to
+     * @param set the set that was touched
+     * @param core the requesting core
+     * @param cycle the access's issue cycle (for writeback timing)
+     */
+    virtual void onAccess(class Cache &cache, unsigned set, CoreId core,
+                          Cycle cycle) = 0;
+};
+
+/** One cache level. */
+class Cache : public MemoryLevel
+{
+  public:
+    /**
+     * @param config static parameters
+     * @param next downstream level (deeper cache or DRAM); may be null
+     *        for unit tests, in which case misses cost `latency` only
+     */
+    Cache(const CacheConfig &config, MemoryLevel *next);
+
+    // MemoryLevel interface.
+    AccessResult access(const MemAccess &req) override;
+    const char *levelName() const override { return config_.name.c_str(); }
+
+    /** Register an upstream cache for inclusive back-invalidation. */
+    void addUpstream(Cache *upper) { upstreams_.push_back(upper); }
+
+    /** Install the post-access hook (the PInTE engine). */
+    void setReplacementHook(ReplacementHook *hook) { hook_ = hook; }
+
+    /**
+     * Restrict fills by `core` to the ways set in `mask` (bit w = way w
+     * allowed). Models Intel RDT cache allocation for the Fig 10 study.
+     */
+    void setWayMask(CoreId core, std::uint64_t mask);
+
+    /** @name Introspection used by PInTE, tests and benches. */
+    /// @{
+    unsigned numSets() const { return config_.numSets; }
+    unsigned assoc() const { return config_.assoc; }
+    unsigned setIndex(Addr addr) const;
+    bool valid(unsigned set, unsigned way) const;
+    bool dirty(unsigned set, unsigned way) const;
+    CoreId owner(unsigned set, unsigned way) const;
+    Addr lineAddr(unsigned set, unsigned way) const;
+    /** Eviction rank of a way: 0 = next victim. */
+    unsigned rank(unsigned set, unsigned way) const;
+    /** True if `addr`'s line is present and valid. */
+    bool probe(Addr addr) const;
+    /** Valid blocks currently owned by `core` (occupancy, eq. 6). */
+    std::uint64_t occupancy(CoreId core) const { return occupancy_[core]; }
+    /// @}
+
+    /** @name Mutation hooks used by the PInTE engine. */
+    /// @{
+    /** Promote (set, way) as if it were demand-accessed. */
+    void promoteWay(unsigned set, unsigned way);
+    /**
+     * Invalidate (set, way), writing back if dirty, and account the
+     * eviction as a system-mocked theft against the block's owner.
+     */
+    void invalidateWayAsTheft(unsigned set, unsigned way, Cycle cycle);
+    /// @}
+
+    /** Invalidate a line anywhere in the cache (back-invalidation). */
+    bool invalidateLine(Addr addr, Cycle cycle, bool writeback_dirty);
+
+    /** Statistics. */
+    CacheStats &stats() { return stats_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** Reset statistics (not contents) at the end of warmup. */
+    void clearStats() { stats_.clear(); }
+
+    /** Static configuration. */
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Block
+    {
+        Addr line = 0;        //!< line number (addr >> blockShift)
+        CoreId owner = invalidCoreId;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    Block &blockAt(unsigned set, unsigned way)
+    { return blocks_[std::size_t(set) * config_.assoc + way]; }
+    const Block &blockAt(unsigned set, unsigned way) const
+    { return blocks_[std::size_t(set) * config_.assoc + way]; }
+
+    /** Find the way holding `line` in `set`; -1 if absent. */
+    int findWay(unsigned set, Addr line) const;
+
+    /** Pick a fill victim honoring way masks; prefers invalid ways. */
+    unsigned pickVictim(unsigned set, CoreId core);
+
+    /** Evict (set, way): theft accounting, writeback, back-inval. */
+    void evict(unsigned set, unsigned way, CoreId requester, Cycle cycle);
+
+    /** Insert `line` for `core` at (set, way). */
+    void fillBlock(unsigned set, unsigned way, Addr line, CoreId core,
+                   bool is_write, bool is_prefetch);
+
+    /** Handle a writeback arriving from an upper level. */
+    AccessResult handleWriteback(const MemAccess &req);
+
+    /** Issue prefetches proposed by the prefetcher. */
+    void runPrefetcher(const MemAccess &req, bool hit);
+
+    /** Bounded map of in-flight fills: line -> data-ready cycle. */
+    Cycle pendingReady(Addr line) const;
+    void notePending(Addr line, Cycle ready);
+
+    CacheConfig config_;
+    MemoryLevel *next_;
+    std::vector<Cache *> upstreams_;
+    ReplacementHook *hook_ = nullptr;
+
+    std::vector<Block> blocks_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::vector<Addr> prefetchBuf_;
+
+    std::vector<std::uint64_t> wayMasks_;
+    std::vector<std::uint64_t> occupancy_;
+
+    /** Small direct-mapped pending-fill table (MSHR merge model). */
+    struct Pending
+    {
+        Addr line = ~Addr(0);
+        Cycle ready = 0;
+    };
+    std::vector<Pending> pending_;
+
+    CacheStats stats_;
+    unsigned indexBits_;
+};
+
+} // namespace pinte
+
+#endif // PINTE_CACHE_CACHE_HH

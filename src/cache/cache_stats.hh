@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Per-cache counters, including the theft/interference counters that
+ * the paper's contention-rate metric is built on.
+ *
+ * Terminology (CASHT / section IV-A): a *theft* happens when a fill on
+ * behalf of core A evicts a valid block owned by core B != A. The theft
+ * is *caused* by A and *suffered* (experienced, a.k.a. interference) by
+ * B. PInTE-induced invalidations are "mocked thefts": suffered by the
+ * block owner, caused by the system.
+ */
+
+#ifndef PINTE_CACHE_CACHE_STATS_HH
+#define PINTE_CACHE_CACHE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+
+namespace pinte
+{
+
+/** Counters kept per requesting core at one cache. */
+struct PerCoreCacheStats
+{
+    std::uint64_t accesses = 0;   //!< demand accesses (load/store/ifetch)
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;     //!< includes merged misses
+    std::uint64_t mergedMisses = 0; //!< merged into an in-flight fill
+
+    std::uint64_t loadAccesses = 0;
+    std::uint64_t loadMisses = 0;
+    std::uint64_t storeAccesses = 0;
+    std::uint64_t storeMisses = 0;
+
+    std::uint64_t writebacksIn = 0;   //!< writebacks received (L2 spills)
+    std::uint64_t writebackMisses = 0; //!< writebacks that allocated
+
+    std::uint64_t prefetchIssued = 0;
+    std::uint64_t prefetchMisses = 0; //!< prefetches that went downstream
+    std::uint64_t prefetchUseful = 0; //!< demand hits on prefetched lines
+
+    std::uint64_t theftsCaused = 0;
+    std::uint64_t theftsSuffered = 0;  //!< interference experienced
+    std::uint64_t mockedThefts = 0;    //!< PInTE-induced, system-caused
+
+    std::uint64_t selfEvictions = 0;   //!< evicted own valid block
+
+    /** Demand miss rate in [0, 1]. */
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    /**
+     * Contention rate (Fig 1): thefts experienced per demand access,
+     * counting both real and PInTE-mocked thefts.
+     */
+    double
+    contentionRate() const
+    {
+        return accesses ? static_cast<double>(theftsSuffered +
+                                              mockedThefts) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** Full statistics block for one cache. */
+struct CacheStats
+{
+    explicit CacheStats(unsigned num_cores, unsigned assoc)
+        : perCore(num_cores)
+    {
+        for (unsigned i = 0; i < num_cores; ++i)
+            reuse.emplace_back(assoc);
+    }
+
+    std::vector<PerCoreCacheStats> perCore;
+
+    /**
+     * Reuse-position histograms, one per core: bucket i counts demand
+     * hits that landed at stack depth i (0 = MRU end). Fig 5/6 compare
+     * these between PInTE and 2nd-Trace contention.
+     */
+    std::vector<Histogram> reuse;
+
+    /** Sum a per-core counter over all cores. */
+    template <typename F>
+    std::uint64_t
+    total(F field) const
+    {
+        std::uint64_t s = 0;
+        for (const auto &c : perCore)
+            s += field(c);
+        return s;
+    }
+
+    /** Aggregate demand accesses. */
+    std::uint64_t
+    totalAccesses() const
+    {
+        return total([](const PerCoreCacheStats &c) { return c.accesses; });
+    }
+
+    /** Aggregate demand misses. */
+    std::uint64_t
+    totalMisses() const
+    {
+        return total([](const PerCoreCacheStats &c) { return c.misses; });
+    }
+
+    /** Reset all counters and histograms (used at end of warmup). */
+    void
+    clear()
+    {
+        for (auto &c : perCore)
+            c = PerCoreCacheStats{};
+        for (auto &h : reuse)
+            h.clear();
+    }
+};
+
+} // namespace pinte
+
+#endif // PINTE_CACHE_CACHE_STATS_HH

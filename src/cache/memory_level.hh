@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The request type and level interface the hierarchy walk is built on.
+ *
+ * pintesim computes each access's completion cycle with a synchronous
+ * walk: a level either hits (adding its latency) or forwards the
+ * request downstream at `cycle + latency`. Cache *contents* are exact;
+ * only timing is approximated (see DESIGN.md, "Timing model").
+ */
+
+#ifndef PINTE_CACHE_MEMORY_LEVEL_HH
+#define PINTE_CACHE_MEMORY_LEVEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pinte
+{
+
+/** What kind of request is walking the hierarchy. */
+enum class AccessType
+{
+    Load,        //!< demand data read
+    Store,       //!< demand data write (write-allocate)
+    Instruction, //!< instruction fetch
+    Prefetch,    //!< speculative fill request
+    Writeback,   //!< dirty line displaced from an upper level
+};
+
+/** One request descriptor. */
+struct MemAccess
+{
+    Addr addr = 0;
+    Addr ip = 0;
+    CoreId core = 0;
+    AccessType type = AccessType::Load;
+    Cycle cycle = 0; //!< issue time at the receiving level
+
+    /**
+     * For Writeback requests: whether the displaced line was dirty.
+     * Clean evictions are forwarded only into exclusive caches, which
+     * allocate on them (victim-cache behavior).
+     */
+    bool wbDirty = true;
+};
+
+/** Outcome of a synchronous walk from one level downward. */
+struct AccessResult
+{
+    /** Cycle at which the requested data is available to the caller. */
+    Cycle readyCycle = 0;
+
+    /** Whether this level (the one called) hit. */
+    bool hit = false;
+};
+
+/** Anything that can service a memory request: a cache or DRAM. */
+class MemoryLevel
+{
+  public:
+    virtual ~MemoryLevel() = default;
+
+    /** Service `req`, recursing downstream on a miss. */
+    virtual AccessResult access(const MemAccess &req) = 0;
+
+    /** Display name of the level. */
+    virtual const char *levelName() const = 0;
+};
+
+} // namespace pinte
+
+#endif // PINTE_CACHE_MEMORY_LEVEL_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by caches and predictors.
+ */
+
+#ifndef PINTE_COMMON_BITOPS_HH
+#define PINTE_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace pinte
+{
+
+/** True iff v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v). Precondition: v != 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Extract bits [lo, lo+width) of v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    return (v >> lo) & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+}
+
+/**
+ * Fold the high bits of v down onto its low `width` bits with xor.
+ * Used for index hashing in predictors and prefetcher tables.
+ */
+constexpr std::uint64_t
+foldXor(std::uint64_t v, unsigned width)
+{
+    std::uint64_t r = 0;
+    while (v) {
+        r ^= v & ((1ull << width) - 1);
+        v >>= width;
+    }
+    return r;
+}
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_BITOPS_HH

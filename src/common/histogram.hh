@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-bucket counting histogram plus probability-distribution views.
+ *
+ * Used for LLC reuse-position histograms (Fig 5/6 of the paper) and for
+ * bucketing run-time metric samples before KL-divergence comparison
+ * (Fig 7).
+ */
+
+#ifndef PINTE_COMMON_HISTOGRAM_HH
+#define PINTE_COMMON_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pinte
+{
+
+/**
+ * Integer-bucket counting histogram.
+ *
+ * Buckets are indexed 0..size-1; out-of-range samples are clamped to the
+ * last bucket so total mass is conserved.
+ */
+class Histogram
+{
+  public:
+    /** Create a histogram with `buckets` zeroed buckets. */
+    explicit Histogram(std::size_t buckets);
+
+    /** Record one observation in bucket `b` (clamped). */
+    void add(std::size_t b, std::uint64_t count = 1);
+
+    /** Count in bucket `b`. */
+    std::uint64_t at(std::size_t b) const { return counts_[b]; }
+
+    /** Number of buckets. */
+    std::size_t size() const { return counts_.size(); }
+
+    /** Sum of all bucket counts. */
+    std::uint64_t total() const { return total_; }
+
+    /** Reset all buckets to zero. */
+    void clear();
+
+    /** Element-wise accumulate another histogram of the same size. */
+    void merge(const Histogram &other);
+
+    /**
+     * Normalize to a probability distribution.
+     * An empty histogram yields the uniform distribution so that
+     * downstream divergence computations stay well-defined.
+     */
+    std::vector<double> toDistribution() const;
+
+    /** Raw bucket counts. */
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_;
+};
+
+/**
+ * Bucket a sequence of real-valued samples into an equal-width histogram
+ * spanning [lo, hi]. Samples outside the range clamp to the end buckets.
+ * Used to turn run-time metric series into distributions for eq. 5.
+ */
+Histogram bucketSamples(const std::vector<double> &samples, double lo,
+                        double hi, std::size_t buckets);
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_HISTOGRAM_HH

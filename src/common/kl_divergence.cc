@@ -1,0 +1,43 @@
+#include "kl_divergence.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace pinte
+{
+
+double
+klDivergenceBits(const std::vector<double> &p, const std::vector<double> &q,
+                 double epsilon)
+{
+    if (p.size() != q.size())
+        panic("klDivergenceBits: distribution size mismatch");
+    if (p.empty())
+        return 0.0;
+
+    // Additive smoothing then renormalize so both vectors are proper
+    // distributions with full support.
+    double psum = 0.0, qsum = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        psum += p[i] + epsilon;
+        qsum += q[i] + epsilon;
+    }
+
+    double d = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        const double pi = (p[i] + epsilon) / psum;
+        const double qi = (q[i] + epsilon) / qsum;
+        d += pi * std::log2(pi / qi);
+    }
+    // Clamp tiny negative residue from floating-point roundoff.
+    return d < 0.0 ? 0.0 : d;
+}
+
+double
+klDivergenceBits(const Histogram &p, const Histogram &q, double epsilon)
+{
+    return klDivergenceBits(p.toDistribution(), q.toDistribution(), epsilon);
+}
+
+} // namespace pinte

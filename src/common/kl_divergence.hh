@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Kullback-Leibler divergence between discrete distributions (eq. 5).
+ *
+ * The paper measures the information distance, in bits, between behavior
+ * observed under real (2nd-Trace) contention — p(x) — and behavior under
+ * PInTE-induced contention — q(x).
+ */
+
+#ifndef PINTE_COMMON_KL_DIVERGENCE_HH
+#define PINTE_COMMON_KL_DIVERGENCE_HH
+
+#include <vector>
+
+#include "histogram.hh"
+
+namespace pinte
+{
+
+/**
+ * D_KL(p || q) in bits (log base 2).
+ *
+ * Zero-probability q(x) buckets would make the divergence infinite, so
+ * both distributions receive additive smoothing of `epsilon` per bucket
+ * followed by renormalization. This mirrors the standard treatment for
+ * empirical histograms.
+ *
+ * @param p observed distribution (must sum to ~1)
+ * @param q reference distribution, same size
+ * @param epsilon additive smoothing mass per bucket
+ * @return divergence in bits; 0 iff p == q (post-smoothing)
+ */
+double klDivergenceBits(const std::vector<double> &p,
+                        const std::vector<double> &q,
+                        double epsilon = 1e-9);
+
+/** Convenience overload for counting histograms. */
+double klDivergenceBits(const Histogram &p, const Histogram &q,
+                        double epsilon = 1e-9);
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_KL_DIVERGENCE_HH

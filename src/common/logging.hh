@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal gem5-style status and error reporting helpers.
+ *
+ * fatal() is for user errors (bad configuration); panic() is for
+ * conditions that indicate a bug in the simulator itself.
+ */
+
+#ifndef PINTE_COMMON_LOGGING_HH
+#define PINTE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pinte
+{
+
+/** Print an error caused by user input/configuration and exit(1). */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Print an internal-inconsistency error and abort(). */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Print a non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Print an informational message to stderr. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_LOGGING_HH

@@ -1,0 +1,113 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace pinte
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    reseed(seed);
+}
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    // xoshiro must not be seeded with all zeros; splitmix64 guarantees a
+    // well-mixed non-zero state for any input seed.
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::drawUnit()
+{
+    // 53 high bits -> double in [0, 1) with full mantissa resolution.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::drawRange(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire's unbiased bounded draw.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::drawBetween(std::uint64_t lo, std::uint64_t hi)
+{
+    return lo + drawRange(hi - lo + 1);
+}
+
+bool
+Rng::drawBool(double p)
+{
+    return drawUnit() < p;
+}
+
+std::uint64_t
+Rng::drawExponential(double mean, std::uint64_t cap)
+{
+    if (mean <= 0.0)
+        return 0;
+    double u = drawUnit();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    double v = -mean * std::log(u);
+    if (v >= static_cast<double>(cap))
+        return cap;
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace pinte

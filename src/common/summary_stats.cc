@@ -1,0 +1,74 @@
+#include "summary_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pinte
+{
+
+double
+SummaryStats::normStddev() const
+{
+    if (mean == 0.0)
+        return 0.0;
+    return stddev / std::abs(mean);
+}
+
+double
+mean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : samples)
+        s += v;
+    return s / static_cast<double>(samples.size());
+}
+
+double
+percentile(std::vector<double> samples, double pct)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    if (pct <= 0.0)
+        return samples.front();
+    if (pct >= 100.0)
+        return samples.back();
+    const double rank =
+        pct / 100.0 * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples.size())
+        return samples.back();
+    return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+SummaryStats
+summarize(const std::vector<double> &samples)
+{
+    SummaryStats s;
+    s.count = samples.size();
+    if (samples.empty())
+        return s;
+
+    s.mean = mean(samples);
+    double var = 0.0;
+    for (double v : samples) {
+        const double d = v - s.mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(samples.size());
+    s.stddev = std::sqrt(var);
+
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.median = percentile(sorted, 50.0);
+    s.q1 = percentile(sorted, 25.0);
+    s.q3 = percentile(sorted, 75.0);
+    return s;
+}
+
+} // namespace pinte

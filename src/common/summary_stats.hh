@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Order statistics and moment summaries of sample vectors.
+ *
+ * Backs the paper's boxplots (Fig 3, Fig 9) and the normalized standard
+ * deviation used in the stability analysis (eq. 3).
+ */
+
+#ifndef PINTE_COMMON_SUMMARY_STATS_HH
+#define PINTE_COMMON_SUMMARY_STATS_HH
+
+#include <vector>
+
+namespace pinte
+{
+
+/** Five-number-plus-moments summary of a sample vector. */
+struct SummaryStats
+{
+    double mean = 0.0;
+    double stddev = 0.0;      //!< population standard deviation
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double q1 = 0.0;          //!< lower quartile
+    double q3 = 0.0;          //!< upper quartile
+    std::size_t count = 0;
+
+    /**
+     * Standard deviation normalized to the mean (eq. 3 of the paper).
+     * Zero-mean samples report 0 to stay finite.
+     */
+    double normStddev() const;
+};
+
+/** Compute a SummaryStats over `samples`. Empty input yields zeros. */
+SummaryStats summarize(const std::vector<double> &samples);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &samples);
+
+/** Linear-interpolated percentile in [0, 100]. */
+double percentile(std::vector<double> samples, double pct);
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_SUMMARY_STATS_HH

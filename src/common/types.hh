@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ *
+ * Follows the naming conventions the rest of the code base uses:
+ * addresses are byte addresses, cycles are unsigned 64-bit tick counts.
+ */
+
+#ifndef PINTE_COMMON_TYPES_HH
+#define PINTE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace pinte
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Retired-instruction count. */
+using InstCount = std::uint64_t;
+
+/** Identifier of a simulated core. 0-based. */
+using CoreId = std::uint32_t;
+
+/**
+ * Sentinel core id used for accesses that do not originate from any
+ * simulated core (e.g. blocks invalidated by the PInTE engine itself).
+ */
+constexpr CoreId invalidCoreId = ~CoreId(0);
+
+/** Cache line size in bytes. Fixed across the hierarchy. */
+constexpr Addr blockSize = 64;
+
+/** log2 of the cache line size. */
+constexpr unsigned blockShift = 6;
+
+static_assert((Addr(1) << blockShift) == blockSize,
+              "blockShift must match blockSize");
+
+/** Strip the intra-line offset from a byte address. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~(blockSize - 1);
+}
+
+/** Convert a byte address to a line number. */
+constexpr Addr
+lineNumber(Addr a)
+{
+    return a >> blockShift;
+}
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_TYPES_HH

@@ -1,0 +1,91 @@
+#include "pinte.hh"
+
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+const char *
+toString(BlockSelectPolicy p)
+{
+    switch (p) {
+      case BlockSelectPolicy::StackEnd: return "stack-end";
+      case BlockSelectPolicy::RandomValid: return "random-valid";
+    }
+    return "unknown";
+}
+
+PInte::PInte(const PInteConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    if (config.pInduce < 0.0 || config.pInduce > 1.0)
+        fatal("P_Induce must lie in [0, 1]");
+}
+
+void
+PInte::onAccess(Cache &cache, unsigned set, CoreId core, Cycle cycle)
+{
+    (void)core;
+    ++stats_.accessesSeen;
+
+    // GEN-PROBABILITY: trigger ratio = random / max_random (eq. 2);
+    // exit unless the ratio falls below P_Induce.
+    if (rng_.drawUnit() >= config_.pInduce)
+        return;
+    ++stats_.triggers;
+
+    // GEN-EVICT-CNT: Blocks_evict bounded between 0 and associativity.
+    const unsigned assoc = cache.assoc();
+    std::uint64_t blocks_evict = rng_.drawBetween(0, assoc);
+    stats_.requestedEvicts += blocks_evict;
+
+    // BLOCK-SELECT .. DECREMENT: walk blocks from the eviction end of
+    // the replacement stack. Each PROMOTE moves the selected block to
+    // the protected end — the adversary's "insertion" — and INVALIDATE
+    // then mocks the theft on valid data. Promoting an already-invalid
+    // block models inserting on a previously stolen slot (Fig 2b), so
+    // the walk always promotes, but only valid blocks count as thefts.
+    unsigned w = 0;
+    while (blocks_evict > 0 && w < assoc) {
+        unsigned way = 0;
+        switch (config_.select) {
+          case BlockSelectPolicy::StackEnd:
+            // The block at rank 0 is at the end of the stack.
+            for (unsigned cand = 0; cand < assoc; ++cand) {
+                if (cache.rank(set, cand) == 0) {
+                    way = cand;
+                    break;
+                }
+            }
+            break;
+          case BlockSelectPolicy::RandomValid:
+            way = static_cast<unsigned>(rng_.drawRange(assoc));
+            break;
+        }
+
+        if (config_.promote) {
+            cache.promoteWay(set, way);
+            ++stats_.promotions;
+        }
+
+        if (cache.valid(set, way)) {
+            cache.invalidateWayAsTheft(set, way, cycle);
+            ++stats_.invalidations;
+        }
+
+        --blocks_evict;
+        ++w;
+    }
+}
+
+const std::vector<double> &
+standardPInduceSweep()
+{
+    static const std::vector<double> sweep = {
+        0.001, 0.005, 0.01, 0.025, 0.05, 0.075,
+        0.10, 0.20, 0.30, 0.40, 0.55, 0.70,
+    };
+    return sweep;
+}
+
+} // namespace pinte

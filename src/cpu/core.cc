@@ -1,0 +1,184 @@
+#include "core.hh"
+
+#include <algorithm>
+
+namespace pinte
+{
+
+Core::Core(const CoreConfig &config, CoreId id, TraceSource *source,
+           MemoryLevel *l1i, MemoryLevel *l1d)
+    : config_(config), id_(id), source_(source), l1i_(l1i), l1d_(l1d),
+      predictor_(makeBranchPredictor(config.predictor,
+                                     config.predictorSizeLog2)),
+      loadRing_(std::max(1u, config.maxOutstandingLoads), 0)
+{
+}
+
+void
+Core::clearStats()
+{
+    stats_ = CoreStats{};
+}
+
+void
+Core::retire()
+{
+    // Replenish retire bandwidth for every cycle that has elapsed since
+    // the last retirement opportunity (the main loop may skip cycles).
+    if (cycle_ > lastRetireCycle_) {
+        const Cycle elapsed = cycle_ - lastRetireCycle_;
+        const std::uint64_t grant =
+            elapsed * static_cast<std::uint64_t>(config_.retireWidth);
+        retireAllowance_ = std::min<std::uint64_t>(
+            retireAllowance_ + grant, 4ull * config_.robSize);
+        lastRetireCycle_ = cycle_;
+    }
+
+    while (!rob_.empty() && rob_.front() <= cycle_ &&
+           retireAllowance_ > 0) {
+        rob_.pop_front();
+        --retireAllowance_;
+        ++retiredTotal_;
+        ++stats_.instructions;
+    }
+}
+
+void
+Core::dispatch(const TraceRecord &rec)
+{
+    // Frontend: touch the I-cache once per new fetch line. A miss
+    // stalls further fetch until the line arrives.
+    Cycle fetch_ready = cycle_;
+    if (l1i_) {
+        const Addr line = lineNumber(rec.ip);
+        if (line != lastFetchLine_) {
+            lastFetchLine_ = line;
+            MemAccess req;
+            req.addr = rec.ip;
+            req.ip = rec.ip;
+            req.core = id_;
+            req.type = AccessType::Instruction;
+            req.cycle = cycle_;
+            const AccessResult res = l1i_->access(req);
+            fetch_ready = res.readyCycle;
+            if (!res.hit && fetch_ready > cycle_ + 1)
+                fetchStallUntil_ = std::max(fetchStallUntil_, fetch_ready);
+        }
+    }
+
+    // Source operands gate issue.
+    Cycle ready = std::max(fetch_ready, cycle_ + 1);
+    for (std::uint8_t src : rec.srcReg)
+        if (src != noReg)
+            ready = std::max(ready, regReady_[src]);
+
+    // Loads issue once operands are ready; each carries its own
+    // completion time, so independent loads overlap (MLP) up to the
+    // MSHR-style outstanding-load cap.
+    Cycle complete = ready + rec.execLatency;
+    for (unsigned i = 0; i < rec.numLoads; ++i) {
+        // The ring holds the completion times of the last N loads; a
+        // new load cannot issue before the oldest of them finishes.
+        const Cycle issue =
+            std::max(ready, loadRing_[loadRingHead_]);
+        MemAccess req;
+        req.addr = rec.loadAddr[i];
+        req.ip = rec.ip;
+        req.core = id_;
+        req.type = AccessType::Load;
+        req.cycle = issue;
+        const AccessResult res = l1d_ ? l1d_->access(req)
+                                      : AccessResult{issue + 1, true};
+        ++stats_.loads;
+        stats_.totalLoadLatency += res.readyCycle - issue;
+        complete = std::max(complete, res.readyCycle);
+        loadRing_[loadRingHead_] = res.readyCycle;
+        loadRingHead_ = (loadRingHead_ + 1) % loadRing_.size();
+    }
+
+    // Stores drain through the store buffer after completion and do not
+    // extend the dependency chain.
+    for (unsigned i = 0; i < rec.numStores; ++i) {
+        MemAccess req;
+        req.addr = rec.storeAddr[i];
+        req.ip = rec.ip;
+        req.core = id_;
+        req.type = AccessType::Store;
+        req.cycle = complete;
+        if (l1d_)
+            l1d_->access(req);
+    }
+
+    if (rec.dstReg != noReg)
+        regReady_[rec.dstReg] = complete;
+
+    if (rec.isBranch) {
+        ++stats_.branches;
+        const bool pred = predictor_->predict(rec.ip);
+        predictor_->update(rec.ip, rec.branchTaken);
+        predictor_->recordOutcome(pred, rec.branchTaken);
+        if (pred != rec.branchTaken) {
+            ++stats_.mispredicts;
+            // Wrong-path flush: the frontend refills only after the
+            // branch resolves plus the pipeline restart penalty.
+            fetchStallUntil_ = std::max(
+                fetchStallUntil_, complete + config_.mispredictPenalty);
+        }
+    }
+
+    rob_.push_back(complete);
+}
+
+void
+Core::fetch()
+{
+    for (unsigned n = 0; n < config_.fetchWidth; ++n) {
+        if (rob_.size() >= config_.robSize)
+            return;
+        if (fetchStallUntil_ > cycle_)
+            return;
+        dispatch(source_->next());
+    }
+}
+
+void
+Core::runCycles(Cycle quantum)
+{
+    const Cycle end = cycle_ + quantum;
+    while (cycle_ < end) {
+        retire();
+        fetch();
+
+        // Fast-forward when nothing can happen this cycle: jump to the
+        // earliest of ROB-head completion and frontend restart.
+        Cycle next_cycle = cycle_ + 1;
+        const bool stalled = fetchStallUntil_ > cycle_;
+        const bool full = rob_.size() >= config_.robSize;
+        if (stalled || full) {
+            Cycle wake = end;
+            if (!rob_.empty())
+                wake = std::min(wake, rob_.front());
+            if (stalled)
+                wake = std::min(wake, fetchStallUntil_);
+            next_cycle = std::max(next_cycle, wake);
+        }
+        cycle_ = std::min(next_cycle, end);
+    }
+    stats_.cycles += quantum;
+    retire();
+}
+
+void
+Core::runInstructions(InstCount n)
+{
+    const InstCount target = retiredTotal_ + n;
+    while (retiredTotal_ < target) {
+        // Modest quanta keep multi-core interleaving fair while letting
+        // the fast-forward logic skip dead cycles inside the quantum.
+        const Cycle before = cycle_;
+        runCycles(512);
+        (void)before;
+    }
+}
+
+} // namespace pinte

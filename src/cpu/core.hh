@@ -1,0 +1,170 @@
+/**
+ * @file
+ * ROB-based out-of-order timing core.
+ *
+ * The core consumes TraceRecords and models the timing effects that
+ * matter for contention analysis: data-dependent issue, multiple
+ * outstanding loads (memory-level parallelism), frontend stalls on
+ * I-cache misses, and branch-misprediction flushes. Register values are
+ * not computed — the trace already fixed control flow — only ready
+ * times flow through the dependency graph, ChampSim-style.
+ */
+
+#ifndef PINTE_CPU_CORE_HH
+#define PINTE_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+#include <memory>
+
+#include "branch/predictor.hh"
+#include "cache/memory_level.hh"
+#include "common/types.hh"
+#include "trace/generator.hh"
+#include "trace/record.hh"
+
+namespace pinte
+{
+
+/** Static core parameters (Skylake-flavored defaults). */
+struct CoreConfig
+{
+    unsigned robSize = 128;
+    unsigned fetchWidth = 4;
+    unsigned retireWidth = 4;
+    /**
+     * L1D MSHR-style bound on memory-level parallelism: a load cannot
+     * issue before the load this many positions earlier has completed.
+     */
+    unsigned maxOutstandingLoads = 12;
+    Cycle mispredictPenalty = 12;   //!< extra cycles after resolution
+    BranchPredictorKind predictor = BranchPredictorKind::HashedPerceptron;
+    unsigned predictorSizeLog2 = 12;
+};
+
+/** Counters the core keeps between clearStats() calls. */
+struct CoreStats
+{
+    InstCount instructions = 0;
+    Cycle cycles = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+
+    std::uint64_t loads = 0;
+    std::uint64_t totalLoadLatency = 0; //!< cycles, issue to data-ready
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /**
+     * Average memory access time observed by demand loads, in cycles
+     * (section III-D). Bounded below by the L1 hit latency.
+     */
+    double
+    amat() const
+    {
+        return loads ? static_cast<double>(totalLoadLatency) /
+                           static_cast<double>(loads)
+                     : 0.0;
+    }
+
+    /** Branch prediction accuracy in [0, 1]. */
+    double
+    branchAccuracy() const
+    {
+        return branches ? 1.0 - static_cast<double>(mispredicts) /
+                                    static_cast<double>(branches)
+                        : 1.0;
+    }
+};
+
+/** One simulated core. */
+class Core
+{
+  public:
+    /**
+     * @param config static parameters
+     * @param id this core's id (stamped on memory requests)
+     * @param source instruction stream (not owned)
+     * @param l1i instruction-side L1 (not owned; may be null)
+     * @param l1d data-side L1 (not owned; may be null)
+     */
+    Core(const CoreConfig &config, CoreId id, TraceSource *source,
+         MemoryLevel *l1i, MemoryLevel *l1d);
+
+    /** Advance the local clock by up to `quantum` cycles. */
+    void runCycles(Cycle quantum);
+
+    /** Run until `n` more instructions retire. */
+    void runInstructions(InstCount n);
+
+    /** Local clock. */
+    Cycle cycle() const { return cycle_; }
+
+    /** Instructions retired since construction (ignores clearStats). */
+    InstCount retired() const { return retiredTotal_; }
+
+    /** Windowed statistics. */
+    const CoreStats &stats() const { return stats_; }
+
+    /** Reset windowed statistics (end of warmup / sample boundary). */
+    void clearStats();
+
+    /** Branch predictor (for accuracy introspection in benches). */
+    const BranchPredictor &predictor() const { return *predictor_; }
+
+    CoreId id() const { return id_; }
+
+  private:
+    /** Retire completed ROB heads, honoring retire bandwidth. */
+    void retire();
+
+    /** Fetch/dispatch up to fetchWidth instructions. */
+    void fetch();
+
+    /** Dispatch a single record into the ROB. */
+    void dispatch(const TraceRecord &rec);
+
+    CoreConfig config_;
+    CoreId id_;
+    TraceSource *source_;
+    MemoryLevel *l1i_;
+    MemoryLevel *l1d_;
+    std::unique_ptr<BranchPredictor> predictor_;
+
+    Cycle cycle_ = 0;
+    InstCount retiredTotal_ = 0;
+
+    /** In-flight instruction: only its completion time matters. */
+    std::deque<Cycle> rob_;
+
+    /** Ready cycle of each architectural register. */
+    Cycle regReady_[numArchRegs] = {};
+
+    /** Frontend stalled until this cycle (mispredict or L1I miss). */
+    Cycle fetchStallUntil_ = 0;
+
+    /** Retire-bandwidth accounting across skipped cycles. */
+    Cycle lastRetireCycle_ = 0;
+    std::uint64_t retireAllowance_ = 0;
+
+    /** Last I-fetch line, to access the L1I once per line. */
+    Addr lastFetchLine_ = ~Addr(0);
+
+    /** Completion cycles of recent loads (MLP cap ring). */
+    std::vector<Cycle> loadRing_;
+    std::size_t loadRingHead_ = 0;
+
+    CoreStats stats_;
+};
+
+} // namespace pinte
+
+#endif // PINTE_CPU_CORE_HH

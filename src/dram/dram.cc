@@ -1,0 +1,179 @@
+#include "dram.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+DramConfig
+DramConfig::halvedResources() const
+{
+    DramConfig h = *this;
+    h.channels = std::max(1u, channels / 2);
+    h.banksPerChannel = std::max(1u, banksPerChannel / 2);
+    h.linesPerRow = std::max(1u, linesPerRow / 2);
+    h.transfer = transfer * 2; // half the transfer rate
+    return h;
+}
+
+SlotCalendar::SlotCalendar(Cycle granularity, std::size_t slots)
+    : gran_(granularity ? granularity : 1), booked_(slots, 0)
+{
+    if (slots == 0)
+        fatal("SlotCalendar needs at least one slot");
+}
+
+Cycle
+SlotCalendar::book(Cycle t, unsigned count)
+{
+    if (count == 0)
+        count = 1;
+    const std::size_t n = booked_.size();
+    std::uint64_t s = t / gran_;
+    for (;;) {
+        bool free = true;
+        for (unsigned k = 0; k < count; ++k) {
+            if (booked_[(s + k) % n] == s + k + 1) {
+                free = false;
+                s = s + k + 1;
+                break;
+            }
+        }
+        if (free) {
+            for (unsigned k = 0; k < count; ++k)
+                booked_[(s + k) % n] = s + k + 1;
+            // The first slot may start before t (slot-boundary
+            // rounding); service begins no earlier than requested.
+            return std::max<Cycle>(t, s * gran_);
+        }
+    }
+}
+
+namespace
+{
+
+/** Bank command-slot granularity in cycles. */
+constexpr Cycle bankSlotGran = 4;
+
+/** Reservation window in cycles for both bank and bus calendars. */
+constexpr Cycle calendarWindow = 16384;
+
+} // namespace
+
+Dram::Dram(const DramConfig &config)
+    : config_(config),
+      banks_(std::size_t(config.channels) * config.banksPerChannel),
+      stats_(config.numCores)
+{
+    if (!isPowerOfTwo(config.channels) ||
+        !isPowerOfTwo(config.banksPerChannel) ||
+        !isPowerOfTwo(config.linesPerRow)) {
+        fatal("DRAM geometry must be powers of two");
+    }
+    for (std::size_t i = 0; i < banks_.size(); ++i)
+        bankCal_.emplace_back(bankSlotGran, calendarWindow / bankSlotGran);
+    for (unsigned ch = 0; ch < config.channels; ++ch)
+        busCal_.emplace_back(config.transfer,
+                             calendarWindow / config.transfer);
+}
+
+void
+Dram::map(Addr line, unsigned &channel, unsigned &bank,
+          std::uint64_t &row) const
+{
+    // Channel interleave at line granularity; consecutive rows land in
+    // different banks so streams exploit bank-level parallelism. The
+    // bank index XOR-folds higher row bits (permutation-based
+    // interleaving) so that accesses a power-of-two distance apart —
+    // e.g. a stream and its own trailing writebacks — do not collide
+    // on one bank.
+    channel = static_cast<unsigned>(line & (config_.channels - 1));
+    const Addr in_chan = line >> floorLog2(config_.channels);
+    const Addr row_seq = in_chan / config_.linesPerRow;
+    const unsigned bank_bits = floorLog2(config_.banksPerChannel);
+    bank = static_cast<unsigned>(
+        (row_seq ^ (row_seq >> bank_bits) ^ (row_seq >> (2 * bank_bits)))
+        & (config_.banksPerChannel - 1));
+    row = row_seq >> bank_bits;
+}
+
+void
+Dram::clearStats()
+{
+    for (auto &s : stats_)
+        s = PerCoreDramStats{};
+}
+
+double
+Dram::rowHitRate() const
+{
+    std::uint64_t hits = 0, total = 0;
+    for (const auto &s : stats_) {
+        hits += s.rowHits;
+        total += s.rowHits + s.rowMisses + s.rowConflicts;
+    }
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+}
+
+AccessResult
+Dram::access(const MemAccess &req)
+{
+    unsigned channel, bank_idx;
+    std::uint64_t row;
+    map(lineNumber(req.addr), channel, bank_idx, row);
+    const std::size_t bank_at =
+        std::size_t(channel) * config_.banksPerChannel + bank_idx;
+    Bank &bank = banks_[bank_at];
+
+    const CoreId c = req.core < stats_.size() ? req.core : 0;
+    PerCoreDramStats &st = stats_[c];
+
+    // Row activation cost and how long the bank is held: column
+    // accesses pipeline at tCCD, activations occupy the bank until the
+    // row is open.
+    Cycle array_lat;
+    Cycle bank_held;
+    if (bank.rowOpen && bank.openRow == row) {
+        array_lat = config_.tCas;
+        bank_held = config_.tCcd;
+        st.rowHits++;
+    } else if (!bank.rowOpen) {
+        array_lat = config_.tRcd + config_.tCas;
+        bank_held = config_.tRcd + config_.tCcd;
+        st.rowMisses++;
+    } else {
+        array_lat = config_.tRp + config_.tRcd + config_.tCas;
+        bank_held = config_.tRp + config_.tRcd + config_.tCcd;
+        st.rowConflicts++;
+    }
+
+    array_lat += config_.contentionExtra;
+
+    const Cycle desired = req.cycle + config_.frontend;
+    const unsigned held_slots = static_cast<unsigned>(
+        (bank_held + bankSlotGran - 1) / bankSlotGran);
+    const Cycle start = bankCal_[bank_at].book(desired, held_slots);
+    const Cycle data_at_bank = start + array_lat;
+    const Cycle bus_start = busCal_[channel].book(data_at_bank, 1);
+    const Cycle ready = bus_start + config_.transfer;
+
+    bank.openRow = row;
+    bank.rowOpen = true;
+
+    if (req.type == AccessType::Writeback) {
+        st.writes++;
+    } else {
+        st.reads++;
+        st.totalReadLatency += ready - req.cycle;
+        st.totalBankWait += start - desired;
+        st.totalBusWait += bus_start - data_at_bank;
+    }
+
+    return {ready, false};
+}
+
+} // namespace pinte

@@ -1,0 +1,183 @@
+#include "prefetcher.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+const char *
+toString(PrefetcherKind k)
+{
+    switch (k) {
+      case PrefetcherKind::None: return "none";
+      case PrefetcherKind::NextLine: return "next-line";
+      case PrefetcherKind::IpStride: return "ip-stride";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Fetches the next `degree` sequential lines after every access. */
+class NextLine : public Prefetcher
+{
+  public:
+    explicit NextLine(unsigned degree) : degree_(degree) {}
+
+    void
+    observe(Addr addr, Addr ip, bool hit, std::vector<Addr> &out) override
+    {
+        (void)ip;
+        (void)hit;
+        const Addr line = lineAlign(addr);
+        for (unsigned d = 1; d <= degree_; ++d)
+            out.push_back(line + d * blockSize);
+    }
+
+    const char *name() const override { return "next-line"; }
+
+  private:
+    unsigned degree_;
+};
+
+/**
+ * Classic per-IP stride prefetcher: a direct-mapped table tracks the
+ * last address and stride per instruction pointer; two consecutive
+ * matching strides arm the prefetcher.
+ */
+class IpStride : public Prefetcher
+{
+  public:
+    explicit IpStride(unsigned degree) : degree_(degree)
+    {
+        table_.fill(Entry{});
+    }
+
+    void
+    observe(Addr addr, Addr ip, bool hit, std::vector<Addr> &out) override
+    {
+        (void)hit;
+        Entry &e = table_[index(ip)];
+        const Addr line = lineNumber(addr);
+        if (e.tag == tag(ip) && e.valid) {
+            const std::int64_t stride =
+                static_cast<std::int64_t>(line) -
+                static_cast<std::int64_t>(e.lastLine);
+            if (stride != 0 && stride == e.stride) {
+                if (e.confidence < 3)
+                    ++e.confidence;
+            } else if (stride != 0) {
+                e.stride = stride;
+                e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
+            }
+            if (e.confidence >= 2 && e.stride != 0) {
+                for (unsigned d = 1; d <= degree_; ++d) {
+                    const std::int64_t target =
+                        static_cast<std::int64_t>(line) +
+                        e.stride * static_cast<std::int64_t>(d);
+                    if (target > 0)
+                        out.push_back(static_cast<Addr>(target)
+                                      << blockShift);
+                }
+            }
+        } else {
+            e.tag = tag(ip);
+            e.valid = true;
+            e.stride = 0;
+            e.confidence = 0;
+        }
+        e.lastLine = line;
+    }
+
+    const char *name() const override { return "ip-stride"; }
+
+  private:
+    static constexpr unsigned tableBits = 8;
+
+    struct Entry
+    {
+        std::uint32_t tag = 0;
+        Addr lastLine = 0;
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    static std::size_t
+    index(Addr ip)
+    {
+        return (ip >> 2) & ((1u << tableBits) - 1);
+    }
+
+    static std::uint32_t
+    tag(Addr ip)
+    {
+        return static_cast<std::uint32_t>(ip >> (2 + tableBits));
+    }
+
+    unsigned degree_;
+    std::array<Entry, 1u << tableBits> table_;
+};
+
+} // namespace
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetcherKind kind, unsigned degree)
+{
+    switch (kind) {
+      case PrefetcherKind::None:
+        return nullptr;
+      case PrefetcherKind::NextLine:
+        return std::make_unique<NextLine>(degree);
+      case PrefetcherKind::IpStride:
+        return std::make_unique<IpStride>(degree);
+    }
+    return nullptr;
+}
+
+PrefetchConfig
+PrefetchConfig::parse(const char *str)
+{
+    if (!str || std::strlen(str) != 3)
+        fatal("prefetch config must be 3 characters, e.g. NNI");
+    auto decode = [&](char c) {
+        switch (c) {
+          case '0': return PrefetcherKind::None;
+          case 'N': return PrefetcherKind::NextLine;
+          case 'I': return PrefetcherKind::IpStride;
+          default:
+            fatal(std::string("bad prefetch config char: ") + c);
+        }
+    };
+    PrefetchConfig cfg;
+    cfg.l1i = decode(str[0]);
+    cfg.l1d = decode(str[1]);
+    cfg.l2 = decode(str[2]);
+    return cfg;
+}
+
+const char *
+PrefetchConfig::label() const
+{
+    auto encode = [](PrefetcherKind k) {
+        switch (k) {
+          case PrefetcherKind::None: return '0';
+          case PrefetcherKind::NextLine: return 'N';
+          case PrefetcherKind::IpStride: return 'I';
+        }
+        return '?';
+    };
+    static thread_local char buf[4];
+    buf[0] = encode(l1i);
+    buf[1] = encode(l1d);
+    buf[2] = encode(l2);
+    buf[3] = '\0';
+    return buf;
+}
+
+} // namespace pinte

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Prefetcher interface and factory.
+ *
+ * The paper's case study (section VI) uses next-line prefetchers at L1
+ * and L2 plus an IP-stride prefetcher at L2, in four permutations
+ * written as a prefetch string over (L1I, L1D, L2): 000, NN0, NNN, NNI.
+ */
+
+#ifndef PINTE_PREFETCH_PREFETCHER_HH
+#define PINTE_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pinte
+{
+
+/** Which prefetch algorithm to instantiate (section III-C c). */
+enum class PrefetcherKind
+{
+    None,
+    NextLine,
+    IpStride,
+};
+
+/** Printable name for a prefetcher kind. */
+const char *toString(PrefetcherKind k);
+
+/**
+ * Observes demand accesses at one cache level and proposes prefetch
+ * addresses. The owning cache issues the proposals as prefetch fills.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Called on every demand access to the owning cache.
+     *
+     * @param addr accessed byte address
+     * @param ip instruction pointer of the access
+     * @param hit whether the access hit
+     * @param out proposed prefetch byte addresses (appended)
+     */
+    virtual void observe(Addr addr, Addr ip, bool hit,
+                         std::vector<Addr> &out) = 0;
+
+    /** Display name. */
+    virtual const char *name() const = 0;
+
+    /** Prefetches this prefetcher has proposed. */
+    std::uint64_t issued() const { return issued_; }
+
+    /** Bump the issue counter (called by the owning cache). */
+    void noteIssued(std::uint64_t n) { issued_ += n; }
+
+  private:
+    std::uint64_t issued_ = 0;
+};
+
+/** Build a prefetcher. `degree` = lines fetched ahead per trigger. */
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetcherKind kind, unsigned degree = 1);
+
+/**
+ * The case study's prefetch configuration strings (L1I, L1D, L2):
+ * "000", "NN0", "NNN", "NNI". '0' = none, 'N' = next line,
+ * 'I' = IP stride.
+ */
+struct PrefetchConfig
+{
+    PrefetcherKind l1i = PrefetcherKind::None;
+    PrefetcherKind l1d = PrefetcherKind::None;
+    PrefetcherKind l2 = PrefetcherKind::None;
+
+    /** Parse a 3-character config string; fatal() on bad input. */
+    static PrefetchConfig parse(const char *str);
+
+    /** Render back to the 3-character string form. */
+    const char *label() const;
+};
+
+} // namespace pinte
+
+#endif // PINTE_PREFETCH_PREFETCHER_HH

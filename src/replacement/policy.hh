@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Replacement policy interface and factory.
+ *
+ * Policies expose, beyond the usual victim/fill/hit hooks, a total
+ * eviction-priority order over the ways of a set. PInTE's BLOCK-SELECT
+ * state (Fig 4 of the paper) walks blocks from the eviction end of the
+ * replacement stack, and the reuse-position histograms of Fig 5/6 record
+ * the stack position at which hits land — both need rank introspection.
+ */
+
+#ifndef PINTE_REPLACEMENT_POLICY_HH
+#define PINTE_REPLACEMENT_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace pinte
+{
+
+/**
+ * Which replacement algorithm to instantiate (section III-C a).
+ * Drrip is an extension beyond the paper's four: set-dueling dynamic
+ * RRIP (Jaleel et al., ISCA'10), useful for checking whether adaptive
+ * insertion survives PInTE contention better than static SRRIP.
+ */
+enum class ReplacementKind
+{
+    Lru,
+    PseudoLru,
+    Nmru,
+    Rrip,
+    Random,
+    Drrip,
+};
+
+/** Printable name for a replacement kind. */
+const char *toString(ReplacementKind k);
+
+/**
+ * Per-cache replacement state. Way indices are cache-level concepts;
+ * the policy only orders them.
+ *
+ * Rank convention: rank 0 is the next victim (the eviction end of the
+ * replacement stack); rank assoc-1 is the most protected position.
+ */
+class ReplacementPolicy
+{
+  public:
+    ReplacementPolicy(unsigned num_sets, unsigned assoc);
+    virtual ~ReplacementPolicy() = default;
+
+    /** Choose a victim way in `set`; all ways are assumed valid. */
+    virtual unsigned victim(unsigned set) = 0;
+
+    /** A block was filled into (set, way). */
+    virtual void onFill(unsigned set, unsigned way) = 0;
+
+    /**
+     * A block at (set, way) was accessed (hit) — promote it. PInTE's
+     * PROMOTE state reuses this hook so an induced theft updates the
+     * stack exactly as a real adversary access would.
+     */
+    virtual void onHit(unsigned set, unsigned way) = 0;
+
+    /** The block at (set, way) was invalidated. */
+    virtual void onInvalidate(unsigned set, unsigned way) { (void)set;
+                                                            (void)way; }
+
+    /**
+     * Eviction rank of (set, way): 0 = next victim, assoc-1 = most
+     * protected. Ranks within a set are a permutation of 0..assoc-1.
+     */
+    virtual unsigned rank(unsigned set, unsigned way) const = 0;
+
+    /** Display name. */
+    virtual const char *name() const = 0;
+
+    /** Way whose rank is `r` in `set` (inverse of rank()). */
+    unsigned wayAtRank(unsigned set, unsigned r) const;
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+
+  protected:
+    unsigned numSets_;
+    unsigned assoc_;
+};
+
+/**
+ * Build a policy.
+ * @param seed used only by stochastic policies (Random, nMRU tiebreak)
+ */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplacementKind kind, unsigned num_sets,
+                      unsigned assoc, std::uint64_t seed = 1);
+
+} // namespace pinte
+
+#endif // PINTE_REPLACEMENT_POLICY_HH

@@ -1,0 +1,332 @@
+#include "experiment.hh"
+
+#include "common/logging.hh"
+
+#include <chrono>
+#include <memory>
+
+namespace pinte
+{
+
+namespace
+{
+
+/** Cumulative counters snapshotted at sample boundaries. */
+struct Snapshot
+{
+    CoreStats core;
+    PerCoreCacheStats llc;
+
+    static Snapshot
+    take(System &sys, unsigned c)
+    {
+        Snapshot s;
+        s.core = sys.core(c).stats();
+        s.llc = sys.llc().stats().perCore[c];
+        return s;
+    }
+};
+
+/** Compute a Sample from the delta between two snapshots. */
+Sample
+diff(const Snapshot &now, const Snapshot &then, System &sys, unsigned c)
+{
+    Sample s;
+    const auto di = now.core.instructions - then.core.instructions;
+    const auto dc = now.core.cycles - then.core.cycles;
+    const auto dl = now.core.loads - then.core.loads;
+    const auto dlat =
+        now.core.totalLoadLatency - then.core.totalLoadLatency;
+    const auto da = now.llc.accesses - then.llc.accesses;
+    const auto dm = now.llc.misses - then.llc.misses;
+    const auto dsuf = (now.llc.theftsSuffered + now.llc.mockedThefts) -
+                      (then.llc.theftsSuffered + then.llc.mockedThefts);
+    // Thefts "happening" around this workload: ones it causes plus the
+    // system-mocked ones. A PInTE run has no co-runner to steal from,
+    // so its theft activity is the induced evictions themselves.
+    const auto dcaused =
+        (now.llc.theftsCaused + now.llc.mockedThefts) -
+        (then.llc.theftsCaused + then.llc.mockedThefts);
+
+    s.instructions = di;
+    s.ipc = dc ? static_cast<double>(di) / static_cast<double>(dc) : 0.0;
+    s.missRate = da ? static_cast<double>(dm) / static_cast<double>(da)
+                    : 0.0;
+    s.amat = dl ? static_cast<double>(dlat) / static_cast<double>(dl)
+                : 0.0;
+    s.interferenceRate =
+        da ? static_cast<double>(dsuf) / static_cast<double>(da) : 0.0;
+    s.theftRate =
+        da ? static_cast<double>(dcaused) / static_cast<double>(da) : 0.0;
+
+    const Cache &llc = sys.llc();
+    const double blocks =
+        static_cast<double>(llc.numSets()) * llc.assoc();
+    s.occupancyFraction = static_cast<double>(llc.occupancy(c)) / blocks;
+    return s;
+}
+
+/** Fill the aggregate metrics block for core `c` over the full ROI. */
+RunMetrics
+aggregate(System &sys, unsigned c)
+{
+    RunMetrics m;
+    const CoreStats &core = sys.core(c).stats();
+    const PerCoreCacheStats &llc = sys.llc().stats().perCore[c];
+    const PerCoreCacheStats &l2 = sys.l2(c).stats().perCore[c];
+    const PerCoreCacheStats &l1d = sys.l1d(c).stats().perCore[c];
+
+    m.l1dMissRate = l1d.missRate();
+    m.l2MissRate = l2.missRate();
+    m.l2InterferenceRate = l2.contentionRate();
+    const std::uint64_t pf_issued = l1d.prefetchIssued +
+                                    l2.prefetchIssued;
+    const std::uint64_t pf_missed = l1d.prefetchMisses +
+                                    l2.prefetchMisses;
+    m.prefetchMissRate =
+        pf_issued ? static_cast<double>(pf_missed) /
+                        static_cast<double>(pf_issued)
+                  : 0.0;
+
+    m.ipc = core.ipc();
+    m.amat = core.amat();
+    m.branchAccuracy = core.branchAccuracy();
+    m.missRate = llc.missRate();
+    m.interferenceRate = llc.contentionRate();
+    // As in diff(): a PInTE run's theft activity is the induced
+    // evictions; a pair run's is what the workload steals from peers.
+    m.theftRate = llc.accesses
+                      ? static_cast<double>(llc.theftsCaused +
+                                            llc.mockedThefts) /
+                            static_cast<double>(llc.accesses)
+                      : 0.0;
+    m.llcAccesses = llc.accesses;
+    m.llcMisses = llc.misses;
+
+    const double kilo_inst =
+        static_cast<double>(core.instructions) / 1000.0;
+    if (kilo_inst > 0.0) {
+        m.l2Mpki = static_cast<double>(l2.misses) / kilo_inst;
+        m.llcMpki = static_cast<double>(llc.misses) / kilo_inst;
+    }
+    const double alloc_misses =
+        static_cast<double>(llc.misses + llc.writebackMisses);
+    if (alloc_misses > 0.0)
+        m.llcWbShare =
+            static_cast<double>(llc.writebackMisses) / alloc_misses;
+
+    const Cache &cache = sys.llc();
+    m.llcOccupancyFraction =
+        static_cast<double>(cache.occupancy(c)) /
+        (static_cast<double>(cache.numSets()) * cache.assoc());
+    return m;
+}
+
+/** Warm up, then run the sampled region of interest on core 0. */
+RunResult
+runSampled(System &sys, const ExperimentParams &params,
+           const std::string &workload, const std::string &contention)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    sys.warmup(params.warmup);
+
+    RunResult result;
+    result.workload = workload;
+    result.contention = contention;
+    result.reuse = Histogram(sys.llc().assoc());
+
+    Snapshot prev = Snapshot::take(sys, 0);
+    InstCount done = 0;
+    while (done < params.roi) {
+        const InstCount step =
+            std::min<InstCount>(params.sampleEvery, params.roi - done);
+        sys.runUntilCore0(step);
+        done += step;
+        const Snapshot now = Snapshot::take(sys, 0);
+        result.samples.push_back(diff(now, prev, sys, 0));
+        prev = now;
+    }
+
+    result.metrics = aggregate(sys, 0);
+    result.reuse.merge(sys.llc().stats().reuse[0]);
+    if (sys.pinte())
+        result.pinte = sys.pinte()->stats();
+
+    const auto t1 = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return result;
+}
+
+} // namespace
+
+RunResult
+runIsolation(const WorkloadSpec &spec, MachineConfig machine,
+             const ExperimentParams &params)
+{
+    machine.numCores = 1;
+    machine.pinte.pInduce = 0.0;
+    TraceGenerator gen(spec);
+    System sys(machine, {&gen});
+    return runSampled(sys, params, spec.name, "isolation");
+}
+
+RunResult
+runPInte(const WorkloadSpec &spec, double p_induce,
+         MachineConfig machine, const ExperimentParams &params)
+{
+    machine.numCores = 1;
+    machine.pinte.pInduce = p_induce;
+    machine.pinte.seed = 0x5157 + params.runSeed * 0x9e3779b9ull;
+    TraceGenerator gen(spec);
+    System sys(machine, {&gen});
+    return runSampled(sys, params, spec.name,
+                      "pinte@" + std::to_string(p_induce));
+}
+
+std::vector<RunResult>
+runMix(const std::vector<WorkloadSpec> &specs, MachineConfig machine,
+       const ExperimentParams &params)
+{
+    if (specs.empty())
+        fatal("runMix: at least one workload required");
+    machine.numCores = static_cast<unsigned>(specs.size());
+    machine.pinte.pInduce = 0.0;
+
+    // Private address spaces per core, as in runPair.
+    std::vector<std::unique_ptr<TraceGenerator>> gens;
+    std::vector<TraceSource *> sources;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        WorkloadSpec s = specs[i];
+        s.dataBase += 0x800000000ull * i;
+        s.codeBase += 0x40000000ull * i;
+        gens.push_back(std::make_unique<TraceGenerator>(s));
+        sources.push_back(gens.back().get());
+    }
+    System sys(machine, sources);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.warmup(params.warmup);
+
+    std::vector<RunResult> results(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        results[i].workload = specs[i].name;
+        results[i].contention = "mix-of-" +
+                                std::to_string(specs.size());
+        results[i].reuse = Histogram(sys.llc().assoc());
+    }
+
+    std::vector<Snapshot> prev;
+    for (unsigned i = 0; i < sys.numCores(); ++i)
+        prev.push_back(Snapshot::take(sys, i));
+
+    InstCount done = 0;
+    while (done < params.roi) {
+        const InstCount step =
+            std::min<InstCount>(params.sampleEvery, params.roi - done);
+        sys.runUntilCore0(step);
+        done += step;
+        for (unsigned i = 0; i < sys.numCores(); ++i) {
+            const Snapshot now = Snapshot::take(sys, i);
+            results[i].samples.push_back(diff(now, prev[i], sys, i));
+            prev[i] = now;
+        }
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    for (unsigned i = 0; i < sys.numCores(); ++i) {
+        results[i].metrics = aggregate(sys, i);
+        results[i].reuse.merge(sys.llc().stats().reuse[i]);
+        results[i].wallSeconds = wall;
+    }
+    return results;
+}
+
+RunResult
+runPInteDramComplement(const WorkloadSpec &spec, double p_induce,
+                       MachineConfig machine,
+                       const ExperimentParams &params,
+                       double dram_factor)
+{
+    machine.dram.contentionExtra =
+        static_cast<Cycle>(p_induce * dram_factor);
+    RunResult r = runPInte(spec, p_induce, machine, params);
+    r.contention += "+dram";
+    return r;
+}
+
+RunResult
+runPInteScoped(const WorkloadSpec &spec, double p_induce,
+               PInteScope scope, MachineConfig machine,
+               const ExperimentParams &params)
+{
+    machine.numCores = 1;
+    machine.pinte.pInduce = p_induce;
+    machine.pinte.seed = 0x5157 + params.runSeed * 0x9e3779b9ull;
+    machine.pinteScope = scope;
+    TraceGenerator gen(spec);
+    System sys(machine, {&gen});
+    return runSampled(sys, params, spec.name,
+                      std::string("pinte[") + toString(scope) + "]@" +
+                          std::to_string(p_induce));
+}
+
+std::pair<RunResult, RunResult>
+runPair(const WorkloadSpec &a, const WorkloadSpec &b,
+        MachineConfig machine, const ExperimentParams &params)
+{
+    machine.numCores = 2;
+    machine.pinte.pInduce = 0.0;
+    // Each trace gets a private address space (ChampSim offsets
+    // physical pages per cpu the same way); without this, identical
+    // zoo addresses would alias in the shared LLC instead of
+    // contending for it.
+    WorkloadSpec b_off = b;
+    b_off.dataBase += 0x800000000ull;
+    b_off.codeBase += 0x40000000ull;
+    TraceGenerator ga(a);
+    TraceGenerator gb(b_off);
+    System sys(machine, {&ga, &gb});
+
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.warmup(params.warmup);
+
+    RunResult ra, rb;
+    ra.workload = a.name;
+    ra.contention = b.name;
+    rb.workload = b.name;
+    rb.contention = a.name;
+    ra.reuse = Histogram(sys.llc().assoc());
+    rb.reuse = Histogram(sys.llc().assoc());
+
+    Snapshot pa = Snapshot::take(sys, 0);
+    Snapshot pb = Snapshot::take(sys, 1);
+    InstCount done = 0;
+    while (done < params.roi) {
+        const InstCount step =
+            std::min<InstCount>(params.sampleEvery, params.roi - done);
+        sys.runUntilCore0(step);
+        done += step;
+        const Snapshot na = Snapshot::take(sys, 0);
+        const Snapshot nb = Snapshot::take(sys, 1);
+        ra.samples.push_back(diff(na, pa, sys, 0));
+        rb.samples.push_back(diff(nb, pb, sys, 1));
+        pa = na;
+        pb = nb;
+    }
+
+    ra.metrics = aggregate(sys, 0);
+    rb.metrics = aggregate(sys, 1);
+    ra.reuse.merge(sys.llc().stats().reuse[0]);
+    rb.reuse.merge(sys.llc().stats().reuse[1]);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    ra.wallSeconds = wall;
+    rb.wallSeconds = wall;
+    return {ra, rb};
+}
+
+} // namespace pinte

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The experiment runner: isolation, PInTE and 2nd-Trace runs with
+ * warmup, region-of-interest accounting and periodic sampling.
+ *
+ * This is the layer every bench and example drives. It mirrors the
+ * paper's methodology (section III-B): warm the caches, simulate a
+ * region of interest, and sample run-time metrics every fixed number of
+ * instructions (the paper uses 10M; the reproduction scale is set in
+ * ExperimentParams).
+ */
+
+#ifndef PINTE_SIM_EXPERIMENT_HH
+#define PINTE_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "core/pinte.hh"
+#include "sim/machine.hh"
+#include "trace/workload.hh"
+#include "trace/zoo.hh"
+
+namespace pinte
+{
+
+/** One periodic sample of run-time metrics (Fig 7's five metrics). */
+struct Sample
+{
+    double ipc = 0.0;
+    double missRate = 0.0;          //!< LLC demand miss rate
+    double amat = 0.0;              //!< cycles, seen by demand loads
+    double interferenceRate = 0.0;  //!< thefts suffered / LLC accesses
+    double theftRate = 0.0;         //!< thefts caused / LLC accesses
+    double occupancyFraction = 0.0; //!< share of LLC owned at sample end
+    InstCount instructions = 0;
+};
+
+/** Aggregate metrics over a run's region of interest. */
+struct RunMetrics
+{
+    double ipc = 0.0;
+    double missRate = 0.0;
+    double amat = 0.0;
+    double interferenceRate = 0.0;
+    double theftRate = 0.0;
+    /** Contention rate observed at the private L2 (nonzero only when
+     *  a PInTE engine is scoped there). */
+    double l2InterferenceRate = 0.0;
+    double branchAccuracy = 1.0;
+    double l1dMissRate = 0.0;
+    double l2MissRate = 0.0;
+    /** Share of issued prefetches (L1D+L2) that missed and went
+     *  downstream — the case study's prefetcher pressure metric. */
+    double prefetchMissRate = 0.0;
+    double l2Mpki = 0.0;
+    double llcMpki = 0.0;
+    /** Share of LLC allocations caused by writebacks (Fig 6b). */
+    double llcWbShare = 0.0;
+    double llcOccupancyFraction = 0.0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+};
+
+/** Everything one run produces. */
+struct RunResult
+{
+    std::string workload;
+    std::string contention; //!< "isolation", "pinte@p", or peer name
+    RunMetrics metrics;
+    std::vector<Sample> samples;
+    Histogram reuse{16};    //!< LLC reuse positions (0 = MRU end)
+    PInteStats pinte;
+    double wallSeconds = 0.0;
+};
+
+/** Scale parameters shared by all experiments. */
+struct ExperimentParams
+{
+    /**
+     * Warmup must reach steady state (every resident line touched at
+     * least once) or compulsory misses masquerade as contention
+     * effects: in pair runs the faster core keeps executing while the
+     * slower one warms, so an under-warmed isolation baseline would
+     * bias every comparison. 60K covers the slowest-walking zoo
+     * footprints. (Paper: 500M of a 1B trace.)
+     */
+    InstCount warmup = 60000;
+    InstCount roi = 60000;         //!< paper: 470M-500M
+    InstCount sampleEvery = 3000;  //!< paper: 10M
+    std::uint64_t runSeed = 0;     //!< perturbs the PInTE RNG stream
+};
+
+/** Run `spec` alone on `machine`. */
+RunResult runIsolation(const WorkloadSpec &spec, MachineConfig machine,
+                       const ExperimentParams &params = {});
+
+/** Run `spec` alone with PInTE inducing at probability `p_induce`. */
+RunResult runPInte(const WorkloadSpec &spec, double p_induce,
+                   MachineConfig machine,
+                   const ExperimentParams &params = {});
+
+/**
+ * PInTE plus the section IV-B DRAM complement: every DRAM access pays
+ * an extra `p_induce * dram_factor` cycles, modeling the off-chip
+ * contention a real co-runner would add. Addresses the DRAM-bound
+ * disagreement cases of Fig 8 / Table II.
+ */
+RunResult runPInteDramComplement(const WorkloadSpec &spec,
+                                 double p_induce, MachineConfig machine,
+                                 const ExperimentParams &params = {},
+                                 double dram_factor = 60.0);
+
+/**
+ * PInTE installed at the requested scope (section IV-B's "independent
+ * PInTE module" beyond the LLC). L2 scopes reach core-bound workloads
+ * whose traffic the LLC engine never sees.
+ */
+RunResult runPInteScoped(const WorkloadSpec &spec, double p_induce,
+                         PInteScope scope, MachineConfig machine,
+                         const ExperimentParams &params = {});
+
+/**
+ * Run two workloads sharing the LLC (the 2nd-Trace method). Returns a
+ * RunResult per core; result[0] is the workload under study.
+ */
+std::pair<RunResult, RunResult>
+runPair(const WorkloadSpec &a, const WorkloadSpec &b,
+        MachineConfig machine, const ExperimentParams &params = {});
+
+/**
+ * Run an N-workload mix, one core each, sharing the LLC and DRAM —
+ * the "more than two workloads will need to be run concurrently"
+ * escalation of section II. Each workload gets a private address
+ * space; result[i] belongs to specs[i], with sampling keyed on core 0.
+ */
+std::vector<RunResult>
+runMix(const std::vector<WorkloadSpec> &specs, MachineConfig machine,
+       const ExperimentParams &params = {});
+
+/** Weighted IPC (eq. 1): contention IPC over isolation IPC. */
+inline double
+weightedIpc(double ipc_contention, double ipc_isolation)
+{
+    return ipc_isolation > 0.0 ? ipc_contention / ipc_isolation : 0.0;
+}
+
+/** Relative error in percent (eq. 4), 2nd-Trace vs PInTE. */
+inline double
+relativeErrorPct(double second_trace, double pinte)
+{
+    return pinte != 0.0 ? 100.0 * (second_trace - pinte) / pinte : 0.0;
+}
+
+} // namespace pinte
+
+#endif // PINTE_SIM_EXPERIMENT_HH

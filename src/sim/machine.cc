@@ -1,0 +1,202 @@
+#include "machine.hh"
+
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+MachineConfig
+MachineConfig::scaled(unsigned num_cores)
+{
+    MachineConfig m;
+    m.numCores = num_cores;
+
+    m.l1i.name = "L1I";
+    m.l1i.numSets = 16;
+    m.l1i.assoc = 4;
+    m.l1i.latency = 1;
+    m.l1i.numCores = num_cores;
+
+    m.l1d.name = "L1D";
+    m.l1d.numSets = 16;
+    m.l1d.assoc = 4;
+    m.l1d.latency = 4;
+    // Degree 2: one line ahead cannot hide DRAM latency at streaming
+    // rates; real L1 next-line prefetchers run further ahead.
+    m.l1d.prefetchDegree = 2;
+    m.l1d.numCores = num_cores;
+
+    m.l2.name = "L2";
+    m.l2.numSets = 32;
+    m.l2.assoc = 8;
+    m.l2.latency = 12;
+    m.l2.prefetchDegree = 4;
+    m.l2.numCores = num_cores;
+
+    m.llc.name = "LLC";
+    m.llc.numSets = 64;
+    m.llc.assoc = 16; // 16-way, as in the paper
+    m.llc.latency = 38;
+    m.llc.inclusion = InclusionPolicy::NonInclusive; // Skylake-like
+    m.llc.numCores = num_cores;
+
+    m.dram.numCores = num_cores;
+    return m;
+}
+
+MachineConfig
+MachineConfig::serverProxy(unsigned num_cores, bool halve_dram)
+{
+    // Xeon Silver 4110 proxy: 11MB/11-way LLC scales to 11/4 of the
+    // default capacity at the same 64-set geometry -> 11 ways over 176KB
+    // is not power-of-2-friendly, so keep 16 ways and scale sets.
+    MachineConfig m = scaled(num_cores);
+    m.llc.numSets = 128; // 128KB proxy for the 11MB server LLC
+    if (halve_dram)
+        m.dram = m.dram.halvedResources();
+    return m;
+}
+
+System::System(const MachineConfig &config,
+               std::vector<TraceSource *> sources)
+    : config_(config)
+{
+    if (sources.size() != config.numCores)
+        fatal("System: one trace source per core required");
+
+    MachineConfig &cfg = config_;
+    cfg.l1i.numCores = cfg.l1d.numCores = cfg.l2.numCores = cfg.numCores;
+    cfg.llc.numCores = cfg.numCores;
+    cfg.dram.numCores = cfg.numCores;
+
+    cfg.l1i.prefetcher = cfg.prefetch.l1i;
+    cfg.l1d.prefetcher = cfg.prefetch.l1d;
+    cfg.l2.prefetcher = cfg.prefetch.l2;
+
+    dram_ = std::make_unique<Dram>(cfg.dram);
+    llc_ = std::make_unique<Cache>(cfg.llc, dram_.get());
+
+    for (unsigned i = 0; i < cfg.numCores; ++i) {
+        CacheConfig l2c = cfg.l2;
+        l2c.name = "L2." + std::to_string(i);
+        l2c.seed = cfg.l2.seed + i;
+        l2_.push_back(std::make_unique<Cache>(l2c, llc_.get()));
+        llc_->addUpstream(l2_.back().get());
+
+        CacheConfig l1ic = cfg.l1i;
+        l1ic.name = "L1I." + std::to_string(i);
+        l1ic.seed = cfg.l1i.seed + i;
+        l1i_.push_back(std::make_unique<Cache>(l1ic, l2_.back().get()));
+        l2_.back()->addUpstream(l1i_.back().get());
+
+        CacheConfig l1dc = cfg.l1d;
+        l1dc.name = "L1D." + std::to_string(i);
+        l1dc.seed = cfg.l1d.seed + i;
+        l1d_.push_back(std::make_unique<Cache>(l1dc, l2_.back().get()));
+        l2_.back()->addUpstream(l1d_.back().get());
+
+        cores_.push_back(std::make_unique<Core>(
+            cfg.core, i, sources[i], l1i_.back().get(),
+            l1d_.back().get()));
+    }
+
+    if (cfg.pinte.pInduce > 0.0) {
+        if (cfg.pinteScope != PInteScope::L2Only) {
+            engines_.push_back(std::make_unique<PInte>(cfg.pinte));
+            llc_->setReplacementHook(engines_.back().get());
+        }
+        if (cfg.pinteScope != PInteScope::LlcOnly) {
+            // One engine per private L2 with a derived seed so the
+            // streams are independent across cores and levels.
+            for (unsigned i = 0; i < cfg.numCores; ++i) {
+                PInteConfig l2cfg = cfg.pinte;
+                l2cfg.seed =
+                    cfg.pinte.seed * 0x9e3779b97f4a7c15ull + i + 1;
+                engines_.push_back(std::make_unique<PInte>(l2cfg));
+                l2_[i]->setReplacementHook(engines_.back().get());
+            }
+        }
+    }
+}
+
+const char *
+toString(PInteScope s)
+{
+    switch (s) {
+      case PInteScope::LlcOnly: return "llc-only";
+      case PInteScope::L2Only: return "l2-only";
+      case PInteScope::L2AndLlc: return "l2+llc";
+    }
+    return "unknown";
+}
+
+std::vector<PInte *>
+System::allPinteEngines()
+{
+    std::vector<PInte *> out;
+    for (auto &e : engines_)
+        out.push_back(e.get());
+    return out;
+}
+
+void
+System::runQuantum(Cycle quantum)
+{
+    for (auto &core : cores_)
+        core->runCycles(quantum);
+}
+
+void
+System::runUntilCore0(InstCount more)
+{
+    const InstCount target = cores_[0]->retired() + more;
+    // Shrink the quantum near the target so sample boundaries land
+    // within a few instructions of the requested count.
+    while (cores_[0]->retired() < target) {
+        const InstCount remaining = target - cores_[0]->retired();
+        Cycle quantum = 512;
+        if (remaining < 256)
+            quantum = remaining < 32 ? 4 : 64;
+        runQuantum(quantum);
+    }
+}
+
+void
+System::warmup(InstCount per_core)
+{
+    if (numCores() == 1) {
+        cores_[0]->runInstructions(per_core);
+    } else {
+        // Lockstep quanta until every core has warmed; faster cores
+        // keep running (and keep causing contention), as in ChampSim.
+        for (;;) {
+            bool all_done = true;
+            for (auto &core : cores_)
+                if (core->retired() < per_core)
+                    all_done = false;
+            if (all_done)
+                break;
+            runQuantum();
+        }
+    }
+    clearAllStats();
+}
+
+void
+System::clearAllStats()
+{
+    for (auto &c : cores_)
+        c->clearStats();
+    for (auto &c : l1i_)
+        c->clearStats();
+    for (auto &c : l1d_)
+        c->clearStats();
+    for (auto &c : l2_)
+        c->clearStats();
+    llc_->clearStats();
+    dram_->clearStats();
+    for (auto &e : engines_)
+        e->clearStats();
+}
+
+} // namespace pinte

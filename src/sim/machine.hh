@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Whole-machine configuration and the System that wires it together.
+ *
+ * The default machine mirrors the paper's ChampSim setup (Skylake-like
+ * core, private L1/L2, shared non-inclusive 16-way LLC, 2-channel DRAM)
+ * scaled down so a full experiment suite regenerates in minutes; see
+ * DESIGN.md section 5. Every knob the case study varies — replacement,
+ * inclusion, prefetching, branch prediction — is a field here.
+ */
+
+#ifndef PINTE_SIM_MACHINE_HH
+#define PINTE_SIM_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/pinte.hh"
+#include "cpu/core.hh"
+#include "dram/dram.hh"
+#include "prefetch/prefetcher.hh"
+#include "trace/generator.hh"
+
+namespace pinte
+{
+
+/**
+ * Where PInTE engines are installed. The paper's mechanism lives in
+ * the LLC; L2 scopes implement its "independent PInTE module /
+ * extending PInTE beyond the LLC" future-work sketch (section IV-B)
+ * for core-bound workloads whose traffic never reaches the LLC.
+ */
+enum class PInteScope
+{
+    LlcOnly,  //!< the paper's design
+    L2Only,   //!< one engine per private L2
+    L2AndLlc, //!< both levels induce thefts
+};
+
+/** Printable name for a PInTE scope. */
+const char *toString(PInteScope s);
+
+/** Configuration of the full simulated machine. */
+struct MachineConfig
+{
+    unsigned numCores = 1;
+
+    CoreConfig core;
+
+    /** Private instruction L1: 4KB, 4-way. */
+    CacheConfig l1i;
+    /** Private data L1: 4KB, 4-way. */
+    CacheConfig l1d;
+    /** Private unified L2: 16KB, 8-way. */
+    CacheConfig l2;
+    /** Shared LLC: 64KB, 16-way (paper: 4MB, 16-way). */
+    CacheConfig llc;
+
+    DramConfig dram;
+
+    /** Prefetch string over (L1I, L1D, L2); section III-C c. */
+    PrefetchConfig prefetch;
+
+    /** PInTE engine; pInduce == 0 leaves the hook uninstalled. */
+    PInteConfig pinte;
+
+    /** Which cache levels the engine hooks. */
+    PInteScope pinteScope = PInteScope::LlcOnly;
+
+    /** Reproduction-scale default machine for `num_cores` cores. */
+    static MachineConfig scaled(unsigned num_cores = 1);
+
+    /**
+     * Server-like variant for the Fig 10 real-system proxy: larger LLC
+     * (11MB-proportional), way-masked allocation support and halved
+     * DRAM resources on the PInTE side (section V-D).
+     */
+    static MachineConfig serverProxy(unsigned num_cores,
+                                     bool halve_dram);
+};
+
+/** A wired machine: cores, caches, DRAM, and optionally PInTE. */
+class System
+{
+  public:
+    /**
+     * @param config machine description
+     * @param sources one trace source per core (not owned)
+     */
+    System(const MachineConfig &config,
+           std::vector<TraceSource *> sources);
+
+    /** Advance every core by `quantum` cycles, round-robin. */
+    void runQuantum(Cycle quantum = 512);
+
+    /** Run until core 0 retires `more` additional instructions. */
+    void runUntilCore0(InstCount more);
+
+    /** Run warmup then drop all statistics. */
+    void warmup(InstCount per_core);
+
+    /** Reset every statistics block in the machine. */
+    void clearAllStats();
+
+    Core &core(unsigned i) { return *cores_[i]; }
+    const Core &core(unsigned i) const { return *cores_[i]; }
+    Cache &l1d(unsigned i) { return *l1d_[i]; }
+    Cache &l2(unsigned i) { return *l2_[i]; }
+    Cache &llc() { return *llc_; }
+    const Cache &llc() const { return *llc_; }
+    Dram &dram() { return *dram_; }
+
+    /** The LLC engine, or the first engine when scope is L2-only. */
+    PInte *pinte()
+    {
+        return engines_.empty() ? nullptr : engines_.front().get();
+    }
+    const PInte *
+    pinte() const
+    {
+        return engines_.empty() ? nullptr : engines_.front().get();
+    }
+
+    /** All installed engines (LLC first, then per-core L2 engines). */
+    std::vector<PInte *> allPinteEngines();
+
+    unsigned numCores() const { return static_cast<unsigned>(
+        cores_.size()); }
+
+    const MachineConfig &config() const { return config_; }
+
+  private:
+    MachineConfig config_;
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::vector<std::unique_ptr<Cache>> l1i_;
+    std::vector<std::unique_ptr<Cache>> l1d_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<PInte>> engines_;
+};
+
+} // namespace pinte
+
+#endif // PINTE_SIM_MACHINE_HH

@@ -1,0 +1,102 @@
+#include "options.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+namespace
+{
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace
+
+ReplacementKind
+parseReplacement(const std::string &s)
+{
+    const std::string v = lower(s);
+    if (v == "lru")
+        return ReplacementKind::Lru;
+    if (v == "plru" || v == "pseudo-lru")
+        return ReplacementKind::PseudoLru;
+    if (v == "nmru")
+        return ReplacementKind::Nmru;
+    if (v == "rrip" || v == "srrip")
+        return ReplacementKind::Rrip;
+    if (v == "random")
+        return ReplacementKind::Random;
+    if (v == "drrip")
+        return ReplacementKind::Drrip;
+    fatal("unknown replacement policy '" + s +
+          "' (lru, plru, nmru, rrip, random, drrip)");
+}
+
+InclusionPolicy
+parseInclusion(const std::string &s)
+{
+    const std::string v = lower(s);
+    if (v == "non" || v == "non-inclusive" || v == "no")
+        return InclusionPolicy::NonInclusive;
+    if (v == "inc" || v == "inclusive" || v == "in")
+        return InclusionPolicy::Inclusive;
+    if (v == "exc" || v == "exclusive" || v == "ex")
+        return InclusionPolicy::Exclusive;
+    fatal("unknown inclusion policy '" + s +
+          "' (non, inclusive, exclusive)");
+}
+
+BranchPredictorKind
+parsePredictor(const std::string &s)
+{
+    const std::string v = lower(s);
+    if (v == "bimodal")
+        return BranchPredictorKind::Bimodal;
+    if (v == "gshare")
+        return BranchPredictorKind::GShare;
+    if (v == "perceptron")
+        return BranchPredictorKind::Perceptron;
+    if (v == "hashed" || v == "hashed-perceptron")
+        return BranchPredictorKind::HashedPerceptron;
+    if (v == "always-taken")
+        return BranchPredictorKind::AlwaysTaken;
+    fatal("unknown branch predictor '" + s +
+          "' (bimodal, gshare, perceptron, hashed-perceptron)");
+}
+
+PInteScope
+parsePInteScope(const std::string &s)
+{
+    const std::string v = lower(s);
+    if (v == "llc" || v == "llc-only")
+        return PInteScope::LlcOnly;
+    if (v == "l2" || v == "l2-only")
+        return PInteScope::L2Only;
+    if (v == "l2+llc" || v == "l2llc" || v == "both")
+        return PInteScope::L2AndLlc;
+    fatal("unknown PInTE scope '" + s + "' (llc, l2, l2+llc)");
+}
+
+double
+parseProbability(const std::string &s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || (end && *end != '\0'))
+        fatal("malformed probability: '" + s + "'");
+    if (v < 0.0 || v > 1.0)
+        fatal("probability out of [0, 1]: '" + s + "'");
+    return v;
+}
+
+} // namespace pinte

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * String parsing of machine/experiment options.
+ *
+ * Shared by the pintesim command-line driver and anything else that
+ * configures the simulator from text (scripts, config files). Parsers
+ * are strict: unknown values are fatal with the list of alternatives.
+ */
+
+#ifndef PINTE_SIM_OPTIONS_HH
+#define PINTE_SIM_OPTIONS_HH
+
+#include <string>
+
+#include "branch/predictor.hh"
+#include "cache/cache.hh"
+#include "replacement/policy.hh"
+#include "sim/machine.hh"
+
+namespace pinte
+{
+
+/** Parse "lru", "plru", "nmru", "rrip", "random" (case-insensitive). */
+ReplacementKind parseReplacement(const std::string &s);
+
+/** Parse "non"/"non-inclusive", "inc"/"inclusive", "exc"/"exclusive". */
+InclusionPolicy parseInclusion(const std::string &s);
+
+/** Parse "bimodal", "gshare", "perceptron", "hashed"/"hashed-perceptron". */
+BranchPredictorKind parsePredictor(const std::string &s);
+
+/** Parse "llc", "l2", "l2+llc". */
+PInteScope parsePInteScope(const std::string &s);
+
+/**
+ * Parse a probability in [0, 1]; fatal on malformed input or
+ * out-of-range values.
+ */
+double parseProbability(const std::string &s);
+
+} // namespace pinte
+
+#endif // PINTE_SIM_OPTIONS_HH

@@ -1,0 +1,120 @@
+#include "report.hh"
+
+#include "analysis/table.hh"
+
+namespace pinte
+{
+
+namespace
+{
+
+void
+printCacheBlock(const char *label, const Cache &c, unsigned cores,
+                std::ostream &os)
+{
+    os << label << " (" << c.config().bytes() / 1024 << " KB, "
+       << c.numSets() << "x" << c.assoc() << ", "
+       << toString(c.config().inclusion) << ")\n";
+    TextTable t({"core", "accesses", "hits", "misses", "MR", "merged",
+                 "wb-in", "pf-issued", "pf-useful", "thefts+",
+                 "thefts-", "mocked"});
+    for (unsigned i = 0; i < cores; ++i) {
+        const PerCoreCacheStats &s = c.stats().perCore[i];
+        if (s.accesses == 0 && s.writebacksIn == 0 &&
+            s.mockedThefts == 0) {
+            continue;
+        }
+        t.addRow({std::to_string(i), std::to_string(s.accesses),
+                  std::to_string(s.hits), std::to_string(s.misses),
+                  fmt(s.missRate(), 3), std::to_string(s.mergedMisses),
+                  std::to_string(s.writebacksIn),
+                  std::to_string(s.prefetchIssued),
+                  std::to_string(s.prefetchUseful),
+                  std::to_string(s.theftsCaused),
+                  std::to_string(s.theftsSuffered),
+                  std::to_string(s.mockedThefts)});
+    }
+    t.print(os);
+    os << "\n";
+}
+
+} // namespace
+
+void
+printMachineReport(System &sys, std::ostream &os)
+{
+    const unsigned cores = sys.numCores();
+
+    os << "==== cores ====\n";
+    TextTable ct({"core", "instructions", "cycles", "IPC", "AMAT",
+                  "branches", "mispredicts", "accuracy"});
+    for (unsigned i = 0; i < cores; ++i) {
+        const CoreStats &s = sys.core(i).stats();
+        ct.addRow({std::to_string(i), std::to_string(s.instructions),
+                   std::to_string(s.cycles), fmt(s.ipc(), 3),
+                   fmt(s.amat(), 1), std::to_string(s.branches),
+                   std::to_string(s.mispredicts),
+                   fmtPct(s.branchAccuracy())});
+    }
+    ct.print(os);
+    os << "\n==== caches ====\n";
+    for (unsigned i = 0; i < cores; ++i) {
+        printCacheBlock(("L1D." + std::to_string(i)).c_str(),
+                        sys.l1d(i), cores, os);
+        printCacheBlock(("L2." + std::to_string(i)).c_str(), sys.l2(i),
+                        cores, os);
+    }
+    printCacheBlock("LLC", sys.llc(), cores, os);
+
+    os << "==== LLC occupancy ====\n";
+    TextTable ot({"core", "blocks", "fraction"});
+    const double total = static_cast<double>(sys.llc().numSets()) *
+                         sys.llc().assoc();
+    for (unsigned i = 0; i < cores; ++i) {
+        ot.addRow({std::to_string(i),
+                   std::to_string(sys.llc().occupancy(i)),
+                   fmtPct(static_cast<double>(sys.llc().occupancy(i)) /
+                          total)});
+    }
+    ot.print(os);
+
+    os << "\n==== DRAM ====\n";
+    TextTable dt({"core", "reads", "writes", "avg read lat",
+                  "bank wait", "bus wait"});
+    for (unsigned i = 0; i < cores; ++i) {
+        const PerCoreDramStats &s = sys.dram().stats()[i];
+        dt.addRow({std::to_string(i), std::to_string(s.reads),
+                   std::to_string(s.writes), fmt(s.avgReadLatency(), 1),
+                   fmt(s.reads ? static_cast<double>(s.totalBankWait) /
+                                     s.reads
+                               : 0.0,
+                       1),
+                   fmt(s.reads ? static_cast<double>(s.totalBusWait) /
+                                     s.reads
+                               : 0.0,
+                       1)});
+    }
+    dt.print(os);
+    os << "row-buffer hit rate: " << fmtPct(sys.dram().rowHitRate())
+       << "\n";
+
+    const auto engines = sys.allPinteEngines();
+    if (!engines.empty()) {
+        os << "\n==== PInTE ====\n";
+        TextTable pt({"engine", "P_Induce", "accesses", "triggers",
+                      "rate", "promotions", "invalidations"});
+        int idx = 0;
+        for (const PInte *e : engines) {
+            const PInteStats &s = e->stats();
+            pt.addRow({std::to_string(idx++), fmt(e->pInduce(), 3),
+                       std::to_string(s.accessesSeen),
+                       std::to_string(s.triggers),
+                       fmtPct(s.triggerRate()),
+                       std::to_string(s.promotions),
+                       std::to_string(s.invalidations)});
+        }
+        pt.print(os);
+    }
+}
+
+} // namespace pinte

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Whole-machine statistics report, in the spirit of ChampSim's
+ * end-of-simulation dump: per-core pipeline counters, per-cache
+ * hit/miss/theft breakdowns, DRAM row-buffer behavior and PInTE engine
+ * activity, rendered as aligned text.
+ */
+
+#ifndef PINTE_SIM_REPORT_HH
+#define PINTE_SIM_REPORT_HH
+
+#include <ostream>
+
+#include "sim/machine.hh"
+
+namespace pinte
+{
+
+/** Print the full machine statistics block to `os`. */
+void printMachineReport(System &sys, std::ostream &os);
+
+} // namespace pinte
+
+#endif // PINTE_SIM_REPORT_HH

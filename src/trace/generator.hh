@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic synthetic trace generation.
+ *
+ * A TraceGenerator turns a WorkloadSpec into an unbounded, reproducible
+ * instruction stream. The same (spec, run seed) pair always yields the
+ * same stream, which the paper's stability analysis (Fig 3) relies on:
+ * only the PInTE engine's RNG varies between re-runs, never the
+ * workload.
+ */
+
+#ifndef PINTE_TRACE_GENERATOR_HH
+#define PINTE_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/record.hh"
+#include "trace/workload.hh"
+
+namespace pinte
+{
+
+/** Abstract producer of an instruction stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next instruction. Streams are unbounded unless noted. */
+    virtual TraceRecord next() = 0;
+
+    /** Restart the stream from its beginning. */
+    virtual void reset() = 0;
+
+    /** True if the stream has a fixed end and it has been reached. */
+    virtual bool done() const { return false; }
+};
+
+/**
+ * Synthetic trace source driven by a WorkloadSpec.
+ *
+ * The data-reference engine blends four pattern components (sequential,
+ * strided, pointer-chase over a Sattolo cycle, uniform random) with a
+ * hot-set overlay; the control engine emits loop, biased and random
+ * branch sites; the dependency engine wires source registers to recent
+ * producers with configurable tightness.
+ */
+class TraceGenerator : public TraceSource
+{
+  public:
+    /**
+     * @param spec workload description (pattern-mix is normalized)
+     * @param run_seed perturbation mixed into the spec seed so distinct
+     *        experiments can draw distinct streams when desired
+     */
+    explicit TraceGenerator(WorkloadSpec spec, std::uint64_t run_seed = 0);
+
+    TraceRecord next() override;
+    void reset() override;
+
+    /** The (normalized) spec this generator realizes. */
+    const WorkloadSpec &spec() const { return spec_; }
+
+    /** Instructions generated since construction/reset. */
+    std::uint64_t generated() const { return generated_; }
+
+  private:
+    /** Pick the next data line according to the phase-adjusted mix. */
+    std::uint64_t nextDataLine();
+
+    /** Phase index for the current instruction count. */
+    std::uint32_t phase() const;
+
+    /** Emit a branch record for the current block end. */
+    void fillBranch(TraceRecord &r);
+
+    WorkloadSpec spec_;
+    std::uint64_t runSeed_;
+    Rng rng_;
+
+    std::uint64_t generated_ = 0;
+
+    // Pattern cursors.
+    std::uint64_t seqCursor_ = 0;
+    std::uint64_t strideCursor_ = 0;
+    std::uint64_t chaseCursor_ = 0;
+
+    /** Sattolo single-cycle permutation for the pointer chase. */
+    std::vector<std::uint32_t> chaseNext_;
+
+    // Control flow.
+    struct BranchSite
+    {
+        Addr ip;
+        Addr target;
+        enum class Kind { Loop, Biased, Random } kind;
+        std::uint32_t period;   //!< for Loop sites
+        std::uint32_t counter;  //!< loop trip counter
+        bool biasTaken;         //!< for Biased sites
+    };
+    std::vector<BranchSite> sites_;
+    std::uint32_t siteIdx_ = 0;
+    Addr ip_;
+    std::uint32_t blockPos_ = 0;
+    std::uint32_t blockLen_ = 6;
+
+    // Dependency engine: ring of recently written registers.
+    std::uint8_t recentRegs_[8];
+    std::uint32_t recentHead_ = 0;
+};
+
+/** Source that replays a fixed in-memory vector of records, then stops. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<TraceRecord> records);
+
+    TraceRecord next() override;
+    void reset() override { pos_ = 0; }
+    bool done() const override { return pos_ >= records_.size(); }
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace pinte
+
+#endif // PINTE_TRACE_GENERATOR_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The instruction record that flows from a trace source into the core.
+ *
+ * Modeled after ChampSim's trace format: an instruction carries its IP,
+ * branch information, up to two register sources, one register
+ * destination, and up to two memory operands. This is enough for the
+ * timing core to reconstruct data dependencies, memory-level parallelism
+ * and branch behavior.
+ */
+
+#ifndef PINTE_TRACE_RECORD_HH
+#define PINTE_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pinte
+{
+
+/** Maximum memory operands of one kind (loads or stores) per record. */
+constexpr unsigned maxMemOps = 2;
+
+/** Number of architectural registers the dependency model tracks. */
+constexpr unsigned numArchRegs = 64;
+
+/** Register id meaning "no register". */
+constexpr std::uint8_t noReg = 0xff;
+
+/** One traced instruction. Fixed-size and trivially copyable. */
+struct TraceRecord
+{
+    /** Instruction pointer (byte address). */
+    Addr ip = 0;
+
+    /** Load effective addresses; entries beyond numLoads are ignored. */
+    Addr loadAddr[maxMemOps] = {0, 0};
+
+    /** Store effective addresses; entries beyond numStores are ignored. */
+    Addr storeAddr[maxMemOps] = {0, 0};
+
+    /** Branch target, valid iff isBranch && branchTaken. */
+    Addr branchTarget = 0;
+
+    /** Source registers; noReg when absent. */
+    std::uint8_t srcReg[2] = {noReg, noReg};
+
+    /** Destination register; noReg when absent. */
+    std::uint8_t dstReg = noReg;
+
+    /** Number of valid entries in loadAddr. */
+    std::uint8_t numLoads = 0;
+
+    /** Number of valid entries in storeAddr. */
+    std::uint8_t numStores = 0;
+
+    /** True if this is a conditional branch. */
+    bool isBranch = false;
+
+    /** Branch outcome, valid iff isBranch. */
+    bool branchTaken = false;
+
+    /** Execution latency class in cycles (1 = simple ALU). */
+    std::uint8_t execLatency = 1;
+};
+
+static_assert(sizeof(TraceRecord) <= 64,
+              "TraceRecord should stay within a cache line");
+
+} // namespace pinte
+
+#endif // PINTE_TRACE_RECORD_HH

@@ -1,0 +1,128 @@
+#include "trace_io.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+namespace
+{
+
+struct TraceHeader
+{
+    std::uint64_t magic;
+    std::uint32_t version;
+    std::uint32_t recordSize;
+    std::uint64_t count;
+};
+
+void
+writeHeader(std::FILE *f, std::uint64_t count)
+{
+    TraceHeader h{traceMagic, traceVersion,
+                  static_cast<std::uint32_t>(sizeof(TraceRecord)), count};
+    if (std::fwrite(&h, sizeof(h), 1, f) != 1)
+        fatal("trace write failed (header)");
+}
+
+TraceHeader
+readHeader(std::FILE *f, const std::string &path)
+{
+    TraceHeader h;
+    if (std::fread(&h, sizeof(h), 1, f) != 1)
+        fatal("trace read failed (header): " + path);
+    if (h.magic != traceMagic)
+        fatal("not a pinte trace file: " + path);
+    if (h.version != traceVersion)
+        fatal("unsupported trace version in " + path);
+    if (h.recordSize != sizeof(TraceRecord))
+        fatal("trace record size mismatch in " + path);
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+writeTrace(const std::string &path, TraceSource &source, std::uint64_t count)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open trace for writing: " + path);
+    writeHeader(f, count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const TraceRecord r = source.next();
+        if (std::fwrite(&r, sizeof(r), 1, f) != 1)
+            fatal("trace write failed: " + path);
+    }
+    std::fclose(f);
+    return count;
+}
+
+std::uint64_t
+writeTrace(const std::string &path, const std::vector<TraceRecord> &records)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open trace for writing: " + path);
+    writeHeader(f, records.size());
+    if (!records.empty() &&
+        std::fwrite(records.data(), sizeof(TraceRecord), records.size(),
+                    f) != records.size()) {
+        fatal("trace write failed: " + path);
+    }
+    std::fclose(f);
+    return records.size();
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb")), count_(0)
+{
+    if (!file_)
+        fatal("cannot open trace for reading: " + path);
+    count_ = readHeader(file_, path).count;
+    dataStart_ = std::ftell(file_);
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+TraceRecord
+FileTraceSource::next()
+{
+    TraceRecord r;
+    if (count_ == 0)
+        return r;
+    if (std::fread(&r, sizeof(r), 1, file_) != 1) {
+        // Wrap to the start, mirroring ChampSim's short-trace behavior.
+        std::fseek(file_, dataStart_, SEEK_SET);
+        if (std::fread(&r, sizeof(r), 1, file_) != 1)
+            fatal("trace read failed mid-file");
+    }
+    ++consumed_;
+    return r;
+}
+
+void
+FileTraceSource::reset()
+{
+    std::fseek(file_, dataStart_, SEEK_SET);
+    consumed_ = 0;
+}
+
+std::vector<TraceRecord>
+readTrace(const std::string &path)
+{
+    FileTraceSource src(path);
+    std::vector<TraceRecord> out;
+    out.reserve(src.count());
+    for (std::uint64_t i = 0; i < src.count(); ++i)
+        out.push_back(src.next());
+    return out;
+}
+
+} // namespace pinte

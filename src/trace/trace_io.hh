@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Binary trace file format: writer and streaming reader.
+ *
+ * Layout: a 24-byte header (magic, version, record count) followed by
+ * packed TraceRecord entries. The format is host-endian; traces are a
+ * local cache of generator output, not an interchange format.
+ */
+
+#ifndef PINTE_TRACE_TRACE_IO_HH
+#define PINTE_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/generator.hh"
+#include "trace/record.hh"
+
+namespace pinte
+{
+
+/** File magic: "PNTETRC\0" little-endian. */
+constexpr std::uint64_t traceMagic = 0x0043525445544e50ull;
+
+/** Current trace format version. */
+constexpr std::uint32_t traceVersion = 1;
+
+/**
+ * Write `count` records from `source` to `path`.
+ * @return number of records written
+ * @throws exits via fatal() on I/O errors
+ */
+std::uint64_t writeTrace(const std::string &path, TraceSource &source,
+                         std::uint64_t count);
+
+/** Write an explicit record vector to `path`. */
+std::uint64_t writeTrace(const std::string &path,
+                         const std::vector<TraceRecord> &records);
+
+/**
+ * Streaming reader over a trace file; wraps to the start when the
+ * requested instruction budget exceeds the stored record count (same
+ * behavior ChampSim applies to short traces).
+ */
+class FileTraceSource : public TraceSource
+{
+  public:
+    explicit FileTraceSource(const std::string &path);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
+
+    TraceRecord next() override;
+    void reset() override;
+    bool done() const override { return consumed_ >= count_; }
+
+    /** Records stored in the file. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t count_;
+    std::uint64_t consumed_ = 0;
+    long dataStart_;
+};
+
+/** Read a whole trace file into memory. */
+std::vector<TraceRecord> readTrace(const std::string &path);
+
+} // namespace pinte
+
+#endif // PINTE_TRACE_TRACE_IO_HH

@@ -1,0 +1,36 @@
+#include "workload.hh"
+
+namespace pinte
+{
+
+const char *
+toString(WorkloadClass c)
+{
+    switch (c) {
+      case WorkloadClass::CoreBound: return "core-bound";
+      case WorkloadClass::CacheFriendly: return "cache-friendly";
+      case WorkloadClass::LlcBound: return "llc-bound";
+      case WorkloadClass::DramBound: return "dram-bound";
+      case WorkloadClass::Streaming: return "streaming";
+      case WorkloadClass::Mixed: return "mixed";
+    }
+    return "unknown";
+}
+
+void
+WorkloadSpec::normalizeMix()
+{
+    double sum = streamFraction + strideFraction + chaseFraction +
+                 randomFraction;
+    if (sum <= 0.0) {
+        streamFraction = 1.0;
+        strideFraction = chaseFraction = randomFraction = 0.0;
+        return;
+    }
+    streamFraction /= sum;
+    strideFraction /= sum;
+    chaseFraction /= sum;
+    randomFraction /= sum;
+}
+
+} // namespace pinte

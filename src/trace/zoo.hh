@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The synthetic SPEC-like workload zoo.
+ *
+ * One WorkloadSpec per SPEC 2006 / SPEC 2017-speed benchmark named in
+ * Table II of the paper (49 entries). Each entry's parameters realize
+ * the behavioral class the paper's own analysis assigns that benchmark:
+ *
+ *  - `*` (high MR error)            -> core-bound
+ *  - `+` (high IPC error)           -> LLC-bound
+ *  - underlined (high AMAT+IPC)     -> DRAM-bound
+ *  - Fig 8 red-border               -> contention sensitive
+ *  - Fig 8 gray                     -> insensitive
+ *
+ * Footprints are scaled to the reproduction hierarchy (64KB / 1024-line
+ * LLC); see DESIGN.md section 5.
+ */
+
+#ifndef PINTE_TRACE_ZOO_HH
+#define PINTE_TRACE_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace pinte
+{
+
+/** All SPEC 2006 zoo entries (29). */
+const std::vector<WorkloadSpec> &spec2006Zoo();
+
+/** All SPEC 2017-speed zoo entries (20). */
+const std::vector<WorkloadSpec> &spec2017Zoo();
+
+/** The full 49-entry zoo (2006 then 2017). */
+std::vector<WorkloadSpec> fullZoo();
+
+/**
+ * A 12-entry subset spanning every behavioral class; used by benches
+ * whose paper-scale equivalent would take hours on the full zoo.
+ */
+std::vector<WorkloadSpec> smallZoo();
+
+/** Look up a zoo entry by name; fatal() if absent. */
+WorkloadSpec findWorkload(const std::string &name);
+
+} // namespace pinte
+
+#endif // PINTE_TRACE_ZOO_HH

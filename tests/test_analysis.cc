@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the analysis library: CRG, C^2AFE features, sensitivity
+ * classification, and the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/c2afe.hh"
+#include "analysis/crg.hh"
+#include "analysis/sensitivity.hh"
+#include "analysis/table.hh"
+#include "sim/experiment.hh"
+
+using namespace pinte;
+
+TEST(Crg, RoundsToNearestGroup)
+{
+    EXPECT_EQ(crgGroup(0.00), 0);
+    EXPECT_EQ(crgGroup(0.04), 0);
+    EXPECT_EQ(crgGroup(0.06), 1);
+    EXPECT_EQ(crgGroup(0.10), 1);
+    EXPECT_EQ(crgGroup(0.14), 1);
+    EXPECT_EQ(crgGroup(0.97), 10);
+}
+
+TEST(Crg, GranularityControlsWidth)
+{
+    EXPECT_EQ(crgGroup(0.06, 0.05), 1);
+    EXPECT_EQ(crgGroup(0.06, 0.20), 0);
+    EXPECT_EQ(crgGroup(0.31, 0.20), 2);
+}
+
+TEST(Crg, CenterInvertsGroup)
+{
+    for (int g = 0; g <= 10; ++g)
+        EXPECT_EQ(crgGroup(crgCenter(g, 0.1), 0.1), g);
+}
+
+TEST(CrgDeath, NonPositiveGranularityIsFatal)
+{
+    EXPECT_DEATH(crgGroup(0.5, 0.0), "granularity");
+}
+
+TEST(Crg, CoverageFullWhenGroupsAlign)
+{
+    const std::vector<double> obs = {0.05, 0.11, 0.33};
+    EXPECT_EQ(crgCoverage(obs, obs), 1.0);
+}
+
+TEST(Crg, CoverageZeroWhenDisjoint)
+{
+    EXPECT_EQ(crgCoverage({0.9, 0.95}, {0.0, 0.1}), 0.0);
+}
+
+TEST(Crg, CoveragePartialMatch)
+{
+    // 0.1 matches group 1; 0.9 has no reference neighbor.
+    EXPECT_NEAR(crgCoverage({0.1, 0.9}, {0.12}), 0.5, 1e-12);
+}
+
+TEST(Crg, CoverageGrowsWithCoarserGranularity)
+{
+    const std::vector<double> obs = {0.07, 0.23, 0.55, 0.81};
+    const std::vector<double> ref = {0.12, 0.31, 0.62, 0.74};
+    EXPECT_LE(crgCoverage(obs, ref, 0.05), crgCoverage(obs, ref, 0.10));
+    EXPECT_LE(crgCoverage(obs, ref, 0.10), crgCoverage(obs, ref, 0.20));
+}
+
+TEST(Crg, CoverageEmptyObserved)
+{
+    EXPECT_EQ(crgCoverage({}, {0.5}), 0.0);
+}
+
+TEST(Crg, PartitionGroupsIndices)
+{
+    const auto part = crgPartition({0.01, 0.12, 0.09, 0.51});
+    ASSERT_GE(part.size(), 6u);
+    EXPECT_EQ(part[0], std::vector<std::size_t>{0});
+    EXPECT_EQ(part[1], (std::vector<std::size_t>{1, 2}));
+    EXPECT_EQ(part[5], std::vector<std::size_t>{3});
+}
+
+TEST(C2afe, FlatCurveHasNoSensitivity)
+{
+    const std::vector<double> x = {0.0, 0.5, 1.0};
+    const std::vector<double> y = {1.0, 1.0, 1.0};
+    const CurveFeatures f = extractCurveFeatures(x, y);
+    EXPECT_EQ(f.sensitivity, 0.0);
+    EXPECT_EQ(f.trend, 0.0);
+}
+
+TEST(C2afe, TrendIsEndToEndSlope)
+{
+    const std::vector<double> x = {0.0, 0.5, 1.0};
+    const std::vector<double> y = {1.0, 0.9, 0.6};
+    const CurveFeatures f = extractCurveFeatures(x, y);
+    EXPECT_NEAR(f.trend, -0.4, 1e-12);
+}
+
+TEST(C2afe, SensitivityIsMaxDeviationFromUnity)
+{
+    const std::vector<double> x = {0.0, 0.5, 1.0};
+    const std::vector<double> y = {1.0, 0.7, 0.8};
+    const CurveFeatures f = extractCurveFeatures(x, y);
+    EXPECT_NEAR(f.sensitivity, 0.3, 1e-12);
+}
+
+TEST(C2afe, KneeFoundAtSharpDrop)
+{
+    // Flat then cliff at x=0.6: knee should sit at the corner.
+    const std::vector<double> x = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+    const std::vector<double> y = {1.0, 1.0, 1.0, 0.95, 0.5, 0.2};
+    const CurveFeatures f = extractCurveFeatures(x, y);
+    EXPECT_GE(f.kneeX, 0.4);
+    EXPECT_LE(f.kneeX, 0.8);
+}
+
+TEST(C2afe, SinglePointCurve)
+{
+    const CurveFeatures f = extractCurveFeatures({0.5}, {0.8});
+    EXPECT_NEAR(f.sensitivity, 0.2, 1e-12);
+    EXPECT_EQ(f.kneeX, 0.5);
+}
+
+TEST(C2afe, KneeDepthZeroForLinearCurve)
+{
+    const std::vector<double> x = {0.0, 0.25, 0.5, 0.75, 1.0};
+    const std::vector<double> y = {1.0, 0.9, 0.8, 0.7, 0.6};
+    const CurveFeatures f = extractCurveFeatures(x, y);
+    EXPECT_NEAR(f.kneeDepth, 0.0, 1e-9);
+}
+
+TEST(C2afeShape, FlatCurveClassified)
+{
+    const CurveFeatures f = extractCurveFeatures(
+        {0.0, 0.5, 1.0}, {1.0, 0.99, 0.98});
+    EXPECT_EQ(classifyCurveShape(f), CurveShape::Flat);
+}
+
+TEST(C2afeShape, LinearDecayClassified)
+{
+    const CurveFeatures f = extractCurveFeatures(
+        {0.0, 0.25, 0.5, 0.75, 1.0}, {1.0, 0.9, 0.8, 0.7, 0.6});
+    EXPECT_EQ(classifyCurveShape(f), CurveShape::Linear);
+}
+
+TEST(C2afeShape, CapacityCliffClassifiedAsKnee)
+{
+    const CurveFeatures f = extractCurveFeatures(
+        {0.0, 0.2, 0.4, 0.6, 0.8, 1.0},
+        {1.0, 1.0, 0.99, 0.98, 0.55, 0.5});
+    EXPECT_EQ(classifyCurveShape(f), CurveShape::Knee);
+}
+
+TEST(C2afeShape, TplScalesFlatBand)
+{
+    const CurveFeatures f = extractCurveFeatures(
+        {0.0, 0.5, 1.0}, {1.0, 0.96, 0.92});
+    EXPECT_EQ(classifyCurveShape(f, 0.10), CurveShape::Flat);
+    EXPECT_NE(classifyCurveShape(f, 0.01), CurveShape::Flat);
+}
+
+TEST(C2afeShape, NamesDistinct)
+{
+    EXPECT_STRNE(toString(CurveShape::Flat), toString(CurveShape::Linear));
+    EXPECT_STRNE(toString(CurveShape::Linear), toString(CurveShape::Knee));
+}
+
+TEST(C2afeDeath, MismatchedSizesPanic)
+{
+    EXPECT_DEATH(extractCurveFeatures({1.0, 2.0}, {1.0}), "mismatch");
+}
+
+TEST(C2afeDeath, EmptyCurveIsFatal)
+{
+    EXPECT_DEATH(extractCurveFeatures({}, {}), "empty");
+}
+
+TEST(Sensitivity, FractionCountsTplViolations)
+{
+    // Three of four samples below 0.95.
+    const std::vector<double> w = {0.99, 0.94, 0.90, 0.80};
+    EXPECT_NEAR(sensitiveSampleFraction(w, 0.05), 0.75, 1e-12);
+}
+
+TEST(Sensitivity, EmptyInputInsensitive)
+{
+    EXPECT_EQ(sensitiveSampleFraction({}, 0.05), 0.0);
+}
+
+TEST(Sensitivity, ClassBoundariesMatchPaper)
+{
+    EXPECT_EQ(classifySensitivity(0.80), SensitivityClass::High);
+    EXPECT_EQ(classifySensitivity(0.75), SensitivityClass::High);
+    EXPECT_EQ(classifySensitivity(0.50), SensitivityClass::Mixed);
+    EXPECT_EQ(classifySensitivity(0.25), SensitivityClass::Low);
+    EXPECT_EQ(classifySensitivity(0.00), SensitivityClass::Low);
+}
+
+TEST(Sensitivity, VectorOverload)
+{
+    std::vector<double> all_bad(10, 0.5);
+    std::vector<double> all_good(10, 1.0);
+    EXPECT_EQ(classifySensitivity(all_bad), SensitivityClass::High);
+    EXPECT_EQ(classifySensitivity(all_good), SensitivityClass::Low);
+}
+
+TEST(Sensitivity, TplScalesClassification)
+{
+    const std::vector<double> w(10, 0.93); // 7% loss everywhere
+    EXPECT_EQ(classifySensitivity(w, 0.05), SensitivityClass::High);
+    EXPECT_EQ(classifySensitivity(w, 0.10), SensitivityClass::Low);
+}
+
+TEST(Sensitivity, ScpCountsSensitiveCurves)
+{
+    const std::vector<std::vector<double>> curves = {
+        {1.0, 0.99, 0.98}, // insensitive
+        {1.0, 0.8, 0.6},   // sensitive
+        {1.0, 0.97, 0.90}, // sensitive (0.90 violates 5%)
+        {1.0, 1.0, 1.0},   // insensitive
+    };
+    EXPECT_NEAR(sensitiveCurvePopulation(curves, 0.05), 0.5, 1e-12);
+}
+
+TEST(Sensitivity, NamesDistinct)
+{
+    EXPECT_STRNE(toString(SensitivityClass::High),
+                 toString(SensitivityClass::Low));
+    EXPECT_STRNE(toString(SensitivityClass::Low),
+                 toString(SensitivityClass::Mixed));
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"x"});
+    std::ostringstream os;
+    t.print(os); // must not crash
+    EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+TEST(Fmt, FormatsFixedPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+    EXPECT_EQ(fmtPct(0.1234, 1), "12.3%");
+}
+
+TEST(Bar, ProportionalLength)
+{
+    EXPECT_EQ(bar(1.0, 1.0, 10).size(), 10u);
+    EXPECT_EQ(bar(0.5, 1.0, 10).size(), 5u);
+    EXPECT_EQ(bar(0.0, 1.0, 10).size(), 0u);
+    EXPECT_EQ(bar(2.0, 1.0, 10).size(), 10u); // clamped
+    EXPECT_EQ(bar(1.0, 0.0, 10).size(), 0u);  // degenerate max
+}
+
+TEST(Crg, PartitionEmptyInput)
+{
+    const auto part = crgPartition({});
+    ASSERT_EQ(part.size(), 1u);
+    EXPECT_TRUE(part[0].empty());
+}
+
+TEST(Crg, PartitionIndicesAreExhaustive)
+{
+    const std::vector<double> rates = {0.01, 0.99, 0.5, 0.05, 0.72};
+    const auto part = crgPartition(rates);
+    std::size_t covered = 0;
+    for (const auto &group : part)
+        covered += group.size();
+    EXPECT_EQ(covered, rates.size());
+}
+
+TEST(Fmt, ZeroPrecision)
+{
+    EXPECT_EQ(fmt(3.7, 0), "4");
+    EXPECT_EQ(fmtPct(0.333, 0), "33%");
+}
+
+TEST(Bar, CustomWidth)
+{
+    EXPECT_EQ(bar(1.0, 2.0, 8).size(), 4u);
+}
+
+TEST(TextTable, EmptyTablePrintsHeaderOnly)
+{
+    TextTable t({"a", "b"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find('a'), std::string::npos);
+    EXPECT_EQ(t.rows(), 0u);
+}
+
+TEST(WeightedIpc, EquationOne)
+{
+    EXPECT_NEAR(weightedIpc(0.8, 1.0), 0.8, 1e-12);
+    EXPECT_NEAR(weightedIpc(1.2, 0.6), 2.0, 1e-12);
+    EXPECT_EQ(weightedIpc(1.0, 0.0), 0.0);
+}
+
+TEST(RelativeError, EquationFour)
+{
+    // 100 * (2nd - pinte) / pinte
+    EXPECT_NEAR(relativeErrorPct(0.9, 1.0), -10.0, 1e-12);
+    EXPECT_NEAR(relativeErrorPct(1.1, 1.0), 10.0, 1e-12);
+    EXPECT_EQ(relativeErrorPct(1.0, 0.0), 0.0);
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the branch predictors (branch/predictor.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "branch/predictor.hh"
+#include "common/rng.hh"
+
+using namespace pinte;
+
+namespace
+{
+
+/** Train `p` on a pattern function for `n` branches; return accuracy. */
+double
+trainAccuracy(BranchPredictor &p, int n, auto pattern)
+{
+    int correct = 0;
+    for (int i = 0; i < n; ++i) {
+        const Addr ip = 0x400000 + (i % 4) * 64;
+        const bool outcome = pattern(i, ip);
+        const bool pred = p.predict(ip);
+        p.update(ip, outcome);
+        if (pred == outcome)
+            ++correct;
+    }
+    return correct / double(n);
+}
+
+const BranchPredictorKind allKinds[] = {
+    BranchPredictorKind::Bimodal,
+    BranchPredictorKind::GShare,
+    BranchPredictorKind::Perceptron,
+    BranchPredictorKind::HashedPerceptron,
+};
+
+} // namespace
+
+class PredictorTest
+    : public ::testing::TestWithParam<BranchPredictorKind>
+{
+  protected:
+    std::unique_ptr<BranchPredictor> p_ =
+        makeBranchPredictor(GetParam());
+};
+
+TEST_P(PredictorTest, LearnsAlwaysTaken)
+{
+    const double acc = trainAccuracy(
+        *p_, 2000, [](int, Addr) { return true; });
+    EXPECT_GT(acc, 0.95) << p_->name();
+}
+
+TEST_P(PredictorTest, LearnsAlwaysNotTaken)
+{
+    const double acc = trainAccuracy(
+        *p_, 2000, [](int, Addr) { return false; });
+    EXPECT_GT(acc, 0.95) << p_->name();
+}
+
+TEST_P(PredictorTest, LearnsStronglyBiasedBranch)
+{
+    Rng r(3);
+    const double acc = trainAccuracy(
+        *p_, 5000, [&](int, Addr) { return !r.drawBool(0.05); });
+    EXPECT_GT(acc, 0.85) << p_->name();
+}
+
+TEST_P(PredictorTest, RandomBranchesNearCoinFlip)
+{
+    Rng r(5);
+    const double acc = trainAccuracy(
+        *p_, 20000, [&](int, Addr) { return r.drawBool(0.5); });
+    EXPECT_GT(acc, 0.40) << p_->name();
+    EXPECT_LT(acc, 0.60) << p_->name();
+}
+
+TEST_P(PredictorTest, NameIsStable)
+{
+    EXPECT_STREQ(p_->name(), toString(GetParam()));
+}
+
+TEST_P(PredictorTest, AccuracyCountersTrack)
+{
+    p_->recordOutcome(true, true);
+    p_->recordOutcome(true, false);
+    EXPECT_EQ(p_->lookups(), 2u);
+    EXPECT_EQ(p_->correct(), 1u);
+    EXPECT_NEAR(p_->accuracy(), 0.5, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPredictors, PredictorTest, ::testing::ValuesIn(allKinds),
+    [](const auto &info) {
+        std::string n = toString(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(BranchPredictor, HistoryPredictorsBeatBimodalOnAlternating)
+{
+    // T,N,T,N... at a single site defeats a 2-bit counter (it
+    // oscillates) but is trivial for any history-based predictor.
+    auto run_single_ip = [](BranchPredictor &p, int n) {
+        int correct = 0;
+        const Addr ip = 0x400000;
+        for (int i = 0; i < n; ++i) {
+            const bool outcome = (i & 1) == 0;
+            if (p.predict(ip) == outcome)
+                ++correct;
+            p.update(ip, outcome);
+        }
+        return correct / double(n);
+    };
+
+    auto bimodal = makeBranchPredictor(BranchPredictorKind::Bimodal);
+    auto gshare = makeBranchPredictor(BranchPredictorKind::GShare);
+    auto perceptron =
+        makeBranchPredictor(BranchPredictorKind::Perceptron);
+
+    const double acc_bimodal = run_single_ip(*bimodal, 4000);
+    const double acc_gshare = run_single_ip(*gshare, 4000);
+    const double acc_perceptron = run_single_ip(*perceptron, 4000);
+
+    EXPECT_LT(acc_bimodal, 0.7);
+    EXPECT_GT(acc_gshare, 0.9);
+    EXPECT_GT(acc_perceptron, 0.9);
+}
+
+TEST(BranchPredictor, GShareLearnsShortLoopPattern)
+{
+    // Loop with period 4: T,T,T,N repeating.
+    auto loop = [](int i, Addr) { return (i % 4) != 3; };
+    auto gshare = makeBranchPredictor(BranchPredictorKind::GShare);
+    const double acc = trainAccuracy(*gshare, 8000, loop);
+    EXPECT_GT(acc, 0.9);
+}
+
+TEST(BranchPredictor, HashedPerceptronLearnsLongPattern)
+{
+    // Period-24 pattern exceeds gshare's effective history but sits
+    // inside hashed perceptron's longest table.
+    auto longloop = [](int i, Addr) { return (i % 24) != 23; };
+    auto hp =
+        makeBranchPredictor(BranchPredictorKind::HashedPerceptron);
+    const double acc = trainAccuracy(*hp, 30000, longloop);
+    EXPECT_GT(acc, 0.93);
+}
+
+TEST(BranchPredictor, AlwaysTakenBaseline)
+{
+    auto p = makeBranchPredictor(BranchPredictorKind::AlwaysTaken);
+    EXPECT_TRUE(p->predict(0x400000));
+    p->update(0x400000, false);
+    EXPECT_TRUE(p->predict(0x400000));
+}
+
+TEST(BranchPredictor, AccuracyDefaultsToOneWithNoBranches)
+{
+    auto p = makeBranchPredictor(BranchPredictorKind::Bimodal);
+    EXPECT_EQ(p->accuracy(), 1.0);
+}
+
+TEST(BranchPredictor, DistinctIpsTrackedIndependently)
+{
+    auto p = makeBranchPredictor(BranchPredictorKind::Bimodal);
+    // ip A always taken; ip B never taken.
+    for (int i = 0; i < 100; ++i) {
+        p->update(0x1000, true);
+        p->update(0x2000, false);
+    }
+    EXPECT_TRUE(p->predict(0x1000));
+    EXPECT_FALSE(p->predict(0x2000));
+}

@@ -1,0 +1,696 @@
+/**
+ * @file
+ * Tests for the cache (cache/cache.hh): hits/misses, evictions and
+ * theft accounting, inclusion policies, prefetch integration, pending
+ * fill merging, way masking and the PInTE mutation hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache.hh"
+
+using namespace pinte;
+
+namespace
+{
+
+/** Downstream stub that records every request it receives. */
+class RecordingLevel : public MemoryLevel
+{
+  public:
+    AccessResult
+    access(const MemAccess &req) override
+    {
+        log.push_back(req);
+        return {req.cycle + latency, false};
+    }
+
+    const char *levelName() const override { return "recorder"; }
+
+    std::size_t
+    count(AccessType t) const
+    {
+        std::size_t n = 0;
+        for (const auto &r : log)
+            if (r.type == t)
+                ++n;
+        return n;
+    }
+
+    std::vector<MemAccess> log;
+    Cycle latency = 100;
+};
+
+CacheConfig
+smallConfig(unsigned cores = 1)
+{
+    CacheConfig c;
+    c.name = "test";
+    c.numSets = 4;
+    c.assoc = 4;
+    c.latency = 10;
+    c.numCores = cores;
+    return c;
+}
+
+MemAccess
+load(Addr addr, CoreId core = 0, Cycle cycle = 0)
+{
+    MemAccess r;
+    r.addr = addr;
+    r.core = core;
+    r.type = AccessType::Load;
+    r.cycle = cycle;
+    return r;
+}
+
+MemAccess
+store(Addr addr, CoreId core = 0, Cycle cycle = 0)
+{
+    MemAccess r = load(addr, core, cycle);
+    r.type = AccessType::Store;
+    return r;
+}
+
+/** Address landing in `set` with tag index `tag` for a 4-set cache. */
+Addr
+addrFor(unsigned set, unsigned tag)
+{
+    return (static_cast<Addr>(tag) * 4 + set) * blockSize;
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+
+    const AccessResult miss = c.access(load(0x1000, 0, 0));
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(mem.log.size(), 1u);
+
+    const AccessResult hit = c.access(load(0x1000, 0, miss.readyCycle));
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(mem.log.size(), 1u); // no new downstream traffic
+
+    const auto &st = c.stats().perCore[0];
+    EXPECT_EQ(st.accesses, 2u);
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 1u);
+}
+
+TEST(Cache, MissLatencyIncludesDownstream)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    const AccessResult r = c.access(load(0x1000, 0, 0));
+    // Walk: our latency (10) then recorder latency (100).
+    EXPECT_EQ(r.readyCycle, 110u);
+}
+
+TEST(Cache, HitLatencyIsConfigured)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    const Cycle ready = c.access(load(0x1000, 0, 0)).readyCycle;
+    const AccessResult r = c.access(load(0x1000, 0, ready));
+    EXPECT_EQ(r.readyCycle, ready + 10);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    c.access(load(0x1000, 0, 0));
+    EXPECT_TRUE(c.access(load(0x1008, 0, 200)).hit);
+    EXPECT_TRUE(c.access(load(0x103f, 0, 300)).hit);
+}
+
+TEST(Cache, PendingFillMergesConcurrentMisses)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    c.access(load(0x1000, 0, 0)); // fill ready at 110
+    // Second access before the fill returns: merged miss.
+    const AccessResult r = c.access(load(0x1000, 0, 50));
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.readyCycle, 110u); // residual latency, no new walk
+    EXPECT_EQ(mem.log.size(), 1u);
+    EXPECT_EQ(c.stats().perCore[0].mergedMisses, 1u);
+    EXPECT_EQ(c.stats().perCore[0].misses, 2u);
+}
+
+TEST(Cache, EvictionFillsAllWaysFirst)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    // 4-way set 0: 5 distinct tags -> one eviction.
+    for (unsigned t = 0; t < 5; ++t)
+        c.access(load(addrFor(0, t), 0, t * 1000));
+    EXPECT_EQ(c.stats().perCore[0].selfEvictions, 1u);
+    // LRU victim was tag 0.
+    EXPECT_FALSE(c.probe(addrFor(0, 0)));
+    EXPECT_TRUE(c.probe(addrFor(0, 4)));
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    c.access(store(addrFor(0, 0), 0, 0));
+    for (unsigned t = 1; t < 5; ++t)
+        c.access(load(addrFor(0, t), 0, t * 1000));
+    EXPECT_EQ(mem.count(AccessType::Writeback), 1u);
+}
+
+TEST(Cache, CleanEvictionDoesNotWriteBack)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    for (unsigned t = 0; t < 5; ++t)
+        c.access(load(addrFor(0, t), 0, t * 1000));
+    EXPECT_EQ(mem.count(AccessType::Writeback), 0u);
+}
+
+TEST(Cache, StoreMarksDirtyOnHit)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    c.access(load(addrFor(0, 0), 0, 0));
+    c.access(store(addrFor(0, 0), 0, 500)); // hit, marks dirty
+    for (unsigned t = 1; t < 5; ++t)
+        c.access(load(addrFor(0, t), 0, 1000 + t * 1000));
+    EXPECT_EQ(mem.count(AccessType::Writeback), 1u);
+}
+
+TEST(Cache, TheftAccountingBetweenCores)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(2), &mem);
+    // Core 0 fills the set; core 1 misses and steals.
+    for (unsigned t = 0; t < 4; ++t)
+        c.access(load(addrFor(0, t), 0, t * 1000));
+    c.access(load(addrFor(0, 9), 1, 10000));
+
+    EXPECT_EQ(c.stats().perCore[1].theftsCaused, 1u);
+    EXPECT_EQ(c.stats().perCore[0].theftsSuffered, 1u);
+    EXPECT_EQ(c.stats().perCore[0].theftsCaused, 0u);
+    EXPECT_EQ(c.stats().perCore[1].theftsSuffered, 0u);
+}
+
+TEST(Cache, SelfEvictionIsNotATheft)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(2), &mem);
+    for (unsigned t = 0; t < 5; ++t)
+        c.access(load(addrFor(0, t), 0, t * 1000));
+    EXPECT_EQ(c.stats().perCore[0].theftsSuffered, 0u);
+    EXPECT_EQ(c.stats().perCore[0].selfEvictions, 1u);
+}
+
+TEST(Cache, OccupancyTracksOwnership)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(2), &mem);
+    c.access(load(addrFor(0, 0), 0, 0));
+    c.access(load(addrFor(1, 0), 0, 100));
+    c.access(load(addrFor(2, 0), 1, 200));
+    EXPECT_EQ(c.occupancy(0), 2u);
+    EXPECT_EQ(c.occupancy(1), 1u);
+
+    // Theft moves ownership: core 1 fills set 0 with fresh tags until
+    // core 0's block there is evicted.
+    for (unsigned t = 10; t < 14; ++t)
+        c.access(load(addrFor(0, t), 1, 1000 + t * 100));
+    EXPECT_EQ(c.occupancy(0), 1u); // lost the set-0 block
+    EXPECT_EQ(c.stats().perCore[0].theftsSuffered, 1u);
+}
+
+TEST(Cache, ReuseHistogramRecordsHitDepth)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    c.access(load(addrFor(0, 0), 0, 0));
+    // Immediate re-access: MRU hit, depth 0.
+    c.access(load(addrFor(0, 0), 0, 500));
+    EXPECT_EQ(c.stats().reuse[0].at(0), 1u);
+
+    // Fill three more, then hit the oldest: depth 3 (LRU end).
+    for (unsigned t = 1; t < 4; ++t)
+        c.access(load(addrFor(0, t), 0, 1000 + t * 500));
+    c.access(load(addrFor(0, 0), 0, 9000));
+    EXPECT_EQ(c.stats().reuse[0].at(3), 1u);
+}
+
+TEST(Cache, WritebackAllocatesAtThisLevel)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    MemAccess wb;
+    wb.addr = 0x2000;
+    wb.type = AccessType::Writeback;
+    wb.cycle = 0;
+    c.access(wb);
+    EXPECT_TRUE(c.probe(0x2000));
+    EXPECT_EQ(c.stats().perCore[0].writebacksIn, 1u);
+    EXPECT_EQ(c.stats().perCore[0].writebackMisses, 1u);
+    // No downstream traffic for an allocating writeback.
+    EXPECT_EQ(mem.log.size(), 0u);
+}
+
+TEST(Cache, WritebackHitUpdatesDirtyWithoutAllocating)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    c.access(load(0x2000, 0, 0));
+    MemAccess wb;
+    wb.addr = 0x2000;
+    wb.type = AccessType::Writeback;
+    wb.cycle = 100;
+    c.access(wb);
+    EXPECT_EQ(c.stats().perCore[0].writebackMisses, 0u);
+    // Dirty now: evicting it must write back.
+    for (unsigned t = 1; t < 5; ++t)
+        c.access(load(addrFor(0, t), 0, 1000 + t * 100));
+    EXPECT_EQ(mem.count(AccessType::Writeback), 1u);
+}
+
+TEST(Cache, InclusiveEvictionBackInvalidatesUpper)
+{
+    RecordingLevel mem;
+    CacheConfig llc_cfg = smallConfig();
+    llc_cfg.inclusion = InclusionPolicy::Inclusive;
+    Cache llc(llc_cfg, &mem);
+    Cache l2(smallConfig(), &llc);
+    llc.addUpstream(&l2);
+
+    l2.access(load(addrFor(0, 0), 0, 0)); // fills l2 and llc
+    EXPECT_TRUE(l2.probe(addrFor(0, 0)));
+    EXPECT_TRUE(llc.probe(addrFor(0, 0)));
+
+    // Push 4 more tags through the LLC's set 0 to evict tag 0 there.
+    for (unsigned t = 1; t < 5; ++t) {
+        MemAccess r = load(addrFor(0, t), 0, t * 1000);
+        llc.access(r);
+    }
+    EXPECT_FALSE(llc.probe(addrFor(0, 0)));
+    EXPECT_FALSE(l2.probe(addrFor(0, 0))) << "inclusion violated";
+}
+
+TEST(Cache, NonInclusiveEvictionLeavesUpperAlone)
+{
+    RecordingLevel mem;
+    Cache llc(smallConfig(), &mem); // non-inclusive default
+    Cache l2(smallConfig(), &llc);
+    llc.addUpstream(&l2);
+
+    l2.access(load(addrFor(0, 0), 0, 0));
+    for (unsigned t = 1; t < 5; ++t)
+        llc.access(load(addrFor(0, t), 0, t * 1000));
+    EXPECT_FALSE(llc.probe(addrFor(0, 0)));
+    EXPECT_TRUE(l2.probe(addrFor(0, 0)));
+}
+
+TEST(Cache, InclusiveEvictionMergesUpperDirtyData)
+{
+    // A dirty L2 copy whose LLC line is evicted must not lose its
+    // data: the back-invalidation folds the dirtiness into the LLC
+    // victim, which then writes back to memory.
+    RecordingLevel mem;
+    CacheConfig llc_cfg = smallConfig();
+    llc_cfg.inclusion = InclusionPolicy::Inclusive;
+    Cache llc(llc_cfg, &mem);
+    Cache l2(smallConfig(), &llc);
+    llc.addUpstream(&l2);
+
+    l2.access(store(addrFor(0, 0), 0, 0)); // dirty in L2, clean in LLC
+    for (unsigned t = 1; t < 5; ++t)
+        llc.access(load(addrFor(0, t), 0, t * 1000));
+    EXPECT_FALSE(l2.probe(addrFor(0, 0)));
+    EXPECT_EQ(mem.count(AccessType::Writeback), 1u);
+}
+
+TEST(Cache, IpStridePrefetcherLearnsStream)
+{
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.prefetcher = PrefetcherKind::IpStride;
+    cfg.prefetchDegree = 2;
+    Cache c(cfg, &mem);
+
+    // Constant-stride stream from one IP: after the training accesses
+    // the prefetcher must run ahead of the demand stream.
+    MemAccess req;
+    req.type = AccessType::Load;
+    req.ip = 0x400100;
+    for (int i = 0; i < 6; ++i) {
+        req.addr = 0x10000 + static_cast<Addr>(i) * blockSize;
+        req.cycle = static_cast<Cycle>(i) * 100;
+        c.access(req);
+    }
+    EXPECT_GT(c.stats().perCore[0].prefetchIssued, 0u);
+    // The next stream line should already be resident.
+    EXPECT_TRUE(c.probe(0x10000 + 6 * blockSize));
+}
+
+TEST(Cache, IpStrideIgnoresRandomAccesses)
+{
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.prefetcher = PrefetcherKind::IpStride;
+    Cache c(cfg, &mem);
+
+    MemAccess req;
+    req.type = AccessType::Load;
+    req.ip = 0x400200;
+    const Addr addrs[] = {0x10000, 0x91000, 0x23000, 0x77000, 0x4000};
+    for (int i = 0; i < 5; ++i) {
+        req.addr = addrs[i];
+        req.cycle = static_cast<Cycle>(i) * 100;
+        c.access(req);
+    }
+    // No stable stride -> no confident prefetches.
+    EXPECT_EQ(c.stats().perCore[0].prefetchIssued, 0u);
+}
+
+TEST(Cache, ExclusiveDoesNotAllocateOnDemandMiss)
+{
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.inclusion = InclusionPolicy::Exclusive;
+    Cache llc(cfg, &mem);
+    llc.access(load(0x3000, 0, 0));
+    EXPECT_FALSE(llc.probe(0x3000));
+    EXPECT_EQ(mem.log.size(), 1u); // forwarded downstream
+}
+
+TEST(Cache, ExclusiveFillsFromUpperEvictions)
+{
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.inclusion = InclusionPolicy::Exclusive;
+    Cache llc(cfg, &mem);
+    Cache l2(smallConfig(), &llc);
+    llc.addUpstream(&l2);
+
+    // Fill L2 set 0 with 5 tags: the first gets evicted *clean* and
+    // must land in the exclusive LLC (victim-cache behavior).
+    for (unsigned t = 0; t < 5; ++t)
+        l2.access(load(addrFor(0, t), 0, t * 1000));
+    EXPECT_FALSE(l2.probe(addrFor(0, 0)));
+    EXPECT_TRUE(llc.probe(addrFor(0, 0)));
+}
+
+TEST(Cache, ExclusiveHitMovesBlockUp)
+{
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.inclusion = InclusionPolicy::Exclusive;
+    Cache llc(cfg, &mem);
+
+    // Seed the LLC via a writeback (as an upper eviction would).
+    MemAccess wb;
+    wb.addr = 0x4000;
+    wb.type = AccessType::Writeback;
+    wb.wbDirty = false;
+    llc.access(wb);
+    EXPECT_TRUE(llc.probe(0x4000));
+
+    // Demand hit: serviced, then the copy dies here.
+    const AccessResult r = llc.access(load(0x4000, 0, 100));
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(llc.probe(0x4000));
+}
+
+TEST(Cache, PrefetcherFillsAhead)
+{
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.prefetcher = PrefetcherKind::NextLine;
+    Cache c(cfg, &mem);
+    c.access(load(0x1000, 0, 0));
+    // Next line should have been prefetched.
+    EXPECT_TRUE(c.probe(0x1040));
+    EXPECT_EQ(c.stats().perCore[0].prefetchIssued, 1u);
+}
+
+TEST(Cache, PrefetchHitCountsUseful)
+{
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.prefetcher = PrefetcherKind::NextLine;
+    Cache c(cfg, &mem);
+    c.access(load(0x1000, 0, 0));
+    c.access(load(0x1040, 0, 500)); // demand hit on prefetched line
+    EXPECT_EQ(c.stats().perCore[0].prefetchUseful, 1u);
+}
+
+TEST(Cache, PrefetchMissesDoNotCountAsDemand)
+{
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.prefetcher = PrefetcherKind::NextLine;
+    Cache c(cfg, &mem);
+    c.access(load(0x1000, 0, 0));
+    EXPECT_EQ(c.stats().perCore[0].accesses, 1u);
+    EXPECT_EQ(c.stats().perCore[0].prefetchMisses, 1u);
+}
+
+TEST(Cache, WayMaskRestrictsAllocation)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(2), &mem);
+    c.setWayMask(0, 0b0011); // core 0 -> ways 0-1
+    c.setWayMask(1, 0b1100); // core 1 -> ways 2-3
+
+    for (unsigned t = 0; t < 8; ++t)
+        c.access(load(addrFor(0, t), 0, t * 100));
+    // Core 0 can hold at most 2 blocks in the set.
+    EXPECT_EQ(c.occupancy(0), 2u);
+
+    c.access(load(addrFor(0, 20), 1, 10000));
+    c.access(load(addrFor(0, 21), 1, 11000));
+    // Partitioned cores never steal from each other.
+    EXPECT_EQ(c.stats().perCore[1].theftsCaused, 0u);
+    EXPECT_EQ(c.stats().perCore[0].theftsSuffered, 0u);
+}
+
+TEST(CacheDeath, WayMaskValidation)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    EXPECT_DEATH(c.setWayMask(5, 1), "out of range");
+    EXPECT_DEATH(c.setWayMask(0, 0), "no ways");
+}
+
+TEST(Cache, PromoteWayChangesRank)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    for (unsigned t = 0; t < 4; ++t)
+        c.access(load(addrFor(0, t), 0, t * 100));
+    const unsigned lru_way = [&] {
+        for (unsigned w = 0; w < 4; ++w)
+            if (c.rank(0, w) == 0)
+                return w;
+        return 0u;
+    }();
+    c.promoteWay(0, lru_way);
+    EXPECT_EQ(c.rank(0, lru_way), 3u);
+}
+
+TEST(Cache, InvalidateWayAsTheftCountsMockedTheft)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    c.access(load(addrFor(0, 0), 0, 0));
+    const unsigned way = [&] {
+        for (unsigned w = 0; w < 4; ++w)
+            if (c.valid(0, w))
+                return w;
+        return 0u;
+    }();
+    c.invalidateWayAsTheft(0, way, 100);
+    EXPECT_FALSE(c.valid(0, way));
+    EXPECT_EQ(c.stats().perCore[0].mockedThefts, 1u);
+    EXPECT_EQ(c.stats().perCore[0].theftsSuffered, 0u);
+    EXPECT_EQ(c.occupancy(0), 0u);
+}
+
+TEST(Cache, InvalidateWayAsTheftWritesBackDirty)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    c.access(store(addrFor(0, 0), 0, 0));
+    const unsigned way = [&] {
+        for (unsigned w = 0; w < 4; ++w)
+            if (c.valid(0, w))
+                return w;
+        return 0u;
+    }();
+    c.invalidateWayAsTheft(0, way, 100);
+    EXPECT_EQ(mem.count(AccessType::Writeback), 1u);
+}
+
+TEST(Cache, InvalidateWayAsTheftOnInvalidIsNoop)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    c.invalidateWayAsTheft(0, 0, 0);
+    EXPECT_EQ(c.stats().perCore[0].mockedThefts, 0u);
+}
+
+TEST(Cache, PInteInvalidationDoesNotBackInvalidate)
+{
+    // Fig 4's INVALIDATE state only clears the valid bit and queues
+    // the writeback — even in an inclusive hierarchy the upper-level
+    // copies survive a mocked theft. This is the behavioral contract
+    // behind the Fig 11 inclusion row; see EXPERIMENTS.md.
+    RecordingLevel mem;
+    CacheConfig llc_cfg = smallConfig();
+    llc_cfg.inclusion = InclusionPolicy::Inclusive;
+    Cache llc(llc_cfg, &mem);
+    Cache l2(smallConfig(), &llc);
+    llc.addUpstream(&l2);
+
+    l2.access(load(addrFor(0, 0), 0, 0));
+    ASSERT_TRUE(llc.probe(addrFor(0, 0)));
+    const unsigned way = [&] {
+        for (unsigned w = 0; w < 4; ++w)
+            if (llc.valid(0, w))
+                return w;
+        return 0u;
+    }();
+    llc.invalidateWayAsTheft(0, way, 100);
+    EXPECT_FALSE(llc.probe(addrFor(0, 0)));
+    EXPECT_TRUE(l2.probe(addrFor(0, 0))) << "mocked theft must not "
+                                            "back-invalidate (Fig 4)";
+}
+
+TEST(Cache, RealInclusiveEvictionDoesBackInvalidate)
+{
+    // Contrast with the above: a *real* eviction in inclusive mode
+    // forces the line out of the upper levels.
+    RecordingLevel mem;
+    CacheConfig llc_cfg = smallConfig();
+    llc_cfg.inclusion = InclusionPolicy::Inclusive;
+    Cache llc(llc_cfg, &mem);
+    Cache l2(smallConfig(), &llc);
+    llc.addUpstream(&l2);
+
+    l2.access(load(addrFor(0, 0), 0, 0));
+    for (unsigned t = 1; t < 5; ++t)
+        llc.access(load(addrFor(0, t), 0, t * 1000));
+    EXPECT_FALSE(l2.probe(addrFor(0, 0)));
+}
+
+TEST(Cache, ExclusiveMoveUpWritesBackDirtyData)
+{
+    // A dirty block handed upward from an exclusive LLC must not lose
+    // its data: the move-up writes it back downstream.
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.inclusion = InclusionPolicy::Exclusive;
+    Cache llc(cfg, &mem);
+
+    MemAccess wb;
+    wb.addr = 0x5000;
+    wb.type = AccessType::Writeback;
+    wb.wbDirty = true;
+    llc.access(wb);
+
+    llc.access(load(0x5000, 0, 100)); // hit: block moves up, was dirty
+    EXPECT_EQ(mem.count(AccessType::Writeback), 1u);
+    EXPECT_FALSE(llc.probe(0x5000));
+}
+
+TEST(Cache, HookFiresOnDemandAccessesOnly)
+{
+    struct CountingHook : ReplacementHook
+    {
+        int calls = 0;
+        void
+        onAccess(Cache &, unsigned, CoreId, Cycle) override
+        {
+            ++calls;
+        }
+    };
+
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.prefetcher = PrefetcherKind::NextLine;
+    Cache c(cfg, &mem);
+    CountingHook hook;
+    c.setReplacementHook(&hook);
+
+    c.access(load(0x1000, 0, 0)); // demand (+1), triggers a prefetch (0)
+    MemAccess wb;
+    wb.addr = 0x9000;
+    wb.type = AccessType::Writeback;
+    c.access(wb); // writeback: no hook
+    EXPECT_EQ(hook.calls, 1);
+}
+
+TEST(Cache, ClearStatsKeepsContents)
+{
+    RecordingLevel mem;
+    Cache c(smallConfig(), &mem);
+    c.access(load(0x1000, 0, 0));
+    c.clearStats();
+    EXPECT_EQ(c.stats().perCore[0].accesses, 0u);
+    EXPECT_TRUE(c.probe(0x1000)); // contents survive
+}
+
+TEST(CacheDeath, NonPowerOfTwoSetsIsFatal)
+{
+    CacheConfig cfg = smallConfig();
+    cfg.numSets = 3;
+    EXPECT_DEATH(Cache(cfg, nullptr), "power of 2");
+}
+
+TEST(Cache, SetIndexExtractsCorrectBits)
+{
+    Cache c(smallConfig(), nullptr);
+    EXPECT_EQ(c.setIndex(0 * blockSize), 0u);
+    EXPECT_EQ(c.setIndex(1 * blockSize), 1u);
+    EXPECT_EQ(c.setIndex(4 * blockSize), 0u);
+    EXPECT_EQ(c.setIndex(7 * blockSize), 3u);
+}
+
+TEST(Cache, NullNextLevelWorksForUnitTests)
+{
+    Cache c(smallConfig(), nullptr);
+    const AccessResult r = c.access(load(0x1000, 0, 0));
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(c.probe(0x1000));
+}
+
+class CacheReplacementTest
+    : public ::testing::TestWithParam<ReplacementKind>
+{
+};
+
+TEST_P(CacheReplacementTest, WorksWithEveryPolicy)
+{
+    RecordingLevel mem;
+    CacheConfig cfg = smallConfig();
+    cfg.replacement = GetParam();
+    Cache c(cfg, &mem);
+    // Stream enough distinct lines through to force many evictions.
+    for (unsigned t = 0; t < 100; ++t)
+        c.access(load(addrFor(t % 4, t), 0, t * 50));
+    const auto &st = c.stats().perCore[0];
+    EXPECT_EQ(st.accesses, 100u);
+    EXPECT_EQ(st.misses, 100u);
+    EXPECT_GT(st.selfEvictions, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, CacheReplacementTest,
+    ::testing::Values(ReplacementKind::Lru, ReplacementKind::PseudoLru,
+                      ReplacementKind::Nmru, ReplacementKind::Rrip,
+                      ReplacementKind::Random),
+    [](const auto &info) { return std::string(toString(info.param)); });

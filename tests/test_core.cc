@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the OoO timing core (cpu/core.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "trace/generator.hh"
+#include "trace/zoo.hh"
+
+using namespace pinte;
+
+namespace
+{
+
+/** Memory stub with a fixed latency. */
+class FixedLatency : public MemoryLevel
+{
+  public:
+    explicit FixedLatency(Cycle lat) : lat_(lat) {}
+
+    AccessResult
+    access(const MemAccess &req) override
+    {
+        ++count;
+        return {req.cycle + lat_, lat_ <= 4};
+    }
+
+    const char *levelName() const override { return "fixed"; }
+
+    int count = 0;
+
+  private:
+    Cycle lat_;
+};
+
+/** Source of simple independent ALU instructions. */
+class AluSource : public TraceSource
+{
+  public:
+    TraceRecord
+    next() override
+    {
+        TraceRecord r;
+        r.ip = 0x400000 + (n_ % 64) * 4;
+        r.dstReg = static_cast<std::uint8_t>(1 + (n_ % 32));
+        ++n_;
+        return r;
+    }
+
+    void reset() override { n_ = 0; }
+
+  private:
+    std::uint64_t n_ = 0;
+};
+
+/** Serial dependency chain: each instruction reads the previous dst. */
+class ChainSource : public TraceSource
+{
+  public:
+    TraceRecord
+    next() override
+    {
+        TraceRecord r;
+        r.ip = 0x400000 + (n_ % 64) * 4;
+        r.srcReg[0] = 1;
+        r.dstReg = 1;
+        r.execLatency = 3;
+        ++n_;
+        return r;
+    }
+
+    void reset() override { n_ = 0; }
+
+  private:
+    std::uint64_t n_ = 0;
+};
+
+/** Loads every instruction, each to a fresh line. */
+class LoadSource : public TraceSource
+{
+  public:
+    explicit LoadSource(bool serialize) : serialize_(serialize) {}
+
+    TraceRecord
+    next() override
+    {
+        TraceRecord r;
+        r.ip = 0x400000;
+        r.numLoads = 1;
+        r.loadAddr[0] = 0x10000000 + n_ * blockSize;
+        if (serialize_) {
+            r.srcReg[0] = 1;
+            r.dstReg = 1;
+        } else {
+            r.dstReg = static_cast<std::uint8_t>(1 + (n_ % 32));
+        }
+        ++n_;
+        return r;
+    }
+
+    void reset() override { n_ = 0; }
+
+  private:
+    bool serialize_;
+    std::uint64_t n_ = 0;
+};
+
+/** Branch every instruction with a fixed or random outcome. */
+class BranchSource : public TraceSource
+{
+  public:
+    explicit BranchSource(double taken_prob)
+        : rng_(7), prob_(taken_prob)
+    {}
+
+    TraceRecord
+    next() override
+    {
+        TraceRecord r;
+        r.ip = 0x400000;
+        r.isBranch = true;
+        r.branchTaken = rng_.drawBool(prob_);
+        r.branchTarget = 0x400100;
+        return r;
+    }
+
+    void reset() override { rng_.reseed(7); }
+
+  private:
+    Rng rng_;
+    double prob_;
+};
+
+CoreConfig
+basicConfig()
+{
+    CoreConfig c;
+    c.predictor = BranchPredictorKind::Bimodal;
+    return c;
+}
+
+} // namespace
+
+TEST(Core, RetiresRequestedInstructions)
+{
+    AluSource src;
+    Core core(basicConfig(), 0, &src, nullptr, nullptr);
+    core.runInstructions(1000);
+    EXPECT_GE(core.retired(), 1000u);
+}
+
+TEST(Core, IpcBoundedByRetireWidth)
+{
+    AluSource src;
+    Core core(basicConfig(), 0, &src, nullptr, nullptr);
+    core.runInstructions(10000);
+    EXPECT_LE(core.stats().ipc(), 4.0 + 1e-9);
+    EXPECT_GT(core.stats().ipc(), 1.0); // independent ALU ops fly
+}
+
+TEST(Core, DependencyChainLimitsIpc)
+{
+    AluSource alu;
+    ChainSource chain;
+    Core fast(basicConfig(), 0, &alu, nullptr, nullptr);
+    Core slow(basicConfig(), 0, &chain, nullptr, nullptr);
+    fast.runInstructions(5000);
+    slow.runInstructions(5000);
+    // 3-cycle serial chain -> IPC ~1/3; independent ops much higher.
+    EXPECT_LT(slow.stats().ipc(), 0.5);
+    EXPECT_GT(fast.stats().ipc(), 2.0 * slow.stats().ipc());
+}
+
+TEST(Core, SlowMemoryLowersIpc)
+{
+    LoadSource src_fast(false), src_slow(false);
+    FixedLatency fast_mem(4), slow_mem(200);
+    Core fast(basicConfig(), 0, &src_fast, nullptr, &fast_mem);
+    Core slow(basicConfig(), 0, &src_slow, nullptr, &slow_mem);
+    fast.runInstructions(3000);
+    slow.runInstructions(3000);
+    EXPECT_GT(fast.stats().ipc(), slow.stats().ipc());
+}
+
+TEST(Core, MlpHidesLatencyForIndependentLoads)
+{
+    LoadSource independent(false), serial(true);
+    FixedLatency mem_a(100), mem_b(100);
+    Core mlp(basicConfig(), 0, &independent, nullptr, &mem_a);
+    Core chain(basicConfig(), 0, &serial, nullptr, &mem_b);
+    mlp.runInstructions(2000);
+    chain.runInstructions(2000);
+    // Independent loads overlap in the ROB; serial loads pay the full
+    // latency each. Expect a large IPC gap.
+    EXPECT_GT(mlp.stats().ipc(), 5.0 * chain.stats().ipc());
+}
+
+TEST(Core, AmatReflectsMemoryLatency)
+{
+    LoadSource src(false);
+    FixedLatency mem(150);
+    Core core(basicConfig(), 0, &src, nullptr, &mem);
+    core.runInstructions(2000);
+    EXPECT_NEAR(core.stats().amat(), 150.0, 1.0);
+}
+
+TEST(Core, BranchMispredictsSlowProgress)
+{
+    BranchSource predictable(1.0), random(0.5);
+    Core fast(basicConfig(), 0, &predictable, nullptr, nullptr);
+    Core slow(basicConfig(), 0, &random, nullptr, nullptr);
+    fast.runInstructions(5000);
+    slow.runInstructions(5000);
+    EXPECT_GT(fast.stats().ipc(), 1.5 * slow.stats().ipc());
+    EXPECT_GT(slow.stats().mispredicts, 1000u);
+    EXPECT_LT(fast.stats().mispredicts, 100u);
+}
+
+TEST(Core, BranchAccuracyTracked)
+{
+    BranchSource predictable(1.0);
+    Core core(basicConfig(), 0, &predictable, nullptr, nullptr);
+    core.runInstructions(5000);
+    EXPECT_GT(core.stats().branchAccuracy(), 0.99);
+    EXPECT_EQ(core.stats().branches, core.predictor().lookups());
+}
+
+TEST(Core, InstructionFetchTouchesL1i)
+{
+    AluSource src;
+    FixedLatency l1i(1);
+    Core core(basicConfig(), 0, &src, &l1i, nullptr);
+    core.runInstructions(1000);
+    EXPECT_GT(l1i.count, 0);
+}
+
+TEST(Core, IcacheMissStallsFrontend)
+{
+    AluSource src_a, src_b;
+    FixedLatency fast_icache(1), slow_icache(300);
+    Core fast(basicConfig(), 0, &src_a, &fast_icache, nullptr);
+    Core slow(basicConfig(), 0, &src_b, &slow_icache, nullptr);
+    fast.runInstructions(2000);
+    slow.runInstructions(2000);
+    EXPECT_GT(fast.stats().ipc(), 2.0 * slow.stats().ipc());
+}
+
+TEST(Core, DeterministicAcrossRuns)
+{
+    TraceGenerator ga(findWorkload("435.gromacs"));
+    TraceGenerator gb(findWorkload("435.gromacs"));
+    Core a(basicConfig(), 0, &ga, nullptr, nullptr);
+    Core b(basicConfig(), 0, &gb, nullptr, nullptr);
+    a.runInstructions(5000);
+    b.runInstructions(5000);
+    EXPECT_EQ(a.cycle(), b.cycle());
+    EXPECT_EQ(a.retired(), b.retired());
+    EXPECT_EQ(a.stats().mispredicts, b.stats().mispredicts);
+}
+
+TEST(Core, ClearStatsPreservesRetiredTotal)
+{
+    AluSource src;
+    Core core(basicConfig(), 0, &src, nullptr, nullptr);
+    core.runInstructions(1000);
+    const InstCount total = core.retired();
+    core.clearStats();
+    EXPECT_EQ(core.stats().instructions, 0u);
+    EXPECT_EQ(core.retired(), total);
+}
+
+TEST(Core, RunCyclesAdvancesClock)
+{
+    AluSource src;
+    Core core(basicConfig(), 0, &src, nullptr, nullptr);
+    core.runCycles(100);
+    EXPECT_EQ(core.cycle(), 100u);
+    core.runCycles(50);
+    EXPECT_EQ(core.cycle(), 150u);
+}
+
+TEST(Core, StoresDoNotBlockRetirement)
+{
+    // Stores issue post-completion; a slow memory shouldn't tank IPC
+    // for a store-only stream the way it does for serial loads.
+    class StoreSource : public TraceSource
+    {
+      public:
+        TraceRecord
+        next() override
+        {
+            TraceRecord r;
+            r.ip = 0x400000;
+            r.numStores = 1;
+            r.storeAddr[0] = 0x20000000 + n_++ * blockSize;
+            return r;
+        }
+        void reset() override { n_ = 0; }
+
+      private:
+        std::uint64_t n_ = 0;
+    };
+
+    StoreSource stores;
+    FixedLatency slow_mem(500);
+    Core core(basicConfig(), 0, &stores, nullptr, &slow_mem);
+    core.runInstructions(2000);
+    EXPECT_GT(core.stats().ipc(), 1.0);
+}
+
+TEST(Core, MlpCapBoundsOutstandingLoads)
+{
+    // With the cap at K and memory latency L, throughput of an
+    // all-load stream cannot exceed K loads per L cycles.
+    LoadSource src(false);
+    FixedLatency mem(200);
+    CoreConfig cfg = basicConfig();
+    cfg.maxOutstandingLoads = 4;
+    Core core(cfg, 0, &src, nullptr, &mem);
+    core.runInstructions(2000);
+    // 1 load per instruction -> IPC <= 4/200 * (1 + slack).
+    EXPECT_LT(core.stats().ipc(), 4.0 / 200.0 * 1.5);
+}
+
+TEST(Core, WiderMlpCapRaisesThroughput)
+{
+    LoadSource a(false), b(false);
+    FixedLatency mem_a(200), mem_b(200);
+    CoreConfig narrow = basicConfig(), wide = basicConfig();
+    narrow.maxOutstandingLoads = 2;
+    wide.maxOutstandingLoads = 16;
+    Core cn(narrow, 0, &a, nullptr, &mem_a);
+    Core cw(wide, 0, &b, nullptr, &mem_b);
+    cn.runInstructions(2000);
+    cw.runInstructions(2000);
+    EXPECT_GT(cw.stats().ipc(), 3.0 * cn.stats().ipc());
+}
+
+TEST(Core, IdStampedOnRequests)
+{
+    class CoreIdCheck : public MemoryLevel
+    {
+      public:
+        AccessResult
+        access(const MemAccess &req) override
+        {
+            EXPECT_EQ(req.core, 3u);
+            return {req.cycle + 1, true};
+        }
+        const char *levelName() const override { return "check"; }
+    };
+
+    LoadSource src(false);
+    CoreIdCheck mem;
+    Core core(basicConfig(), 3, &src, nullptr, &mem);
+    core.runInstructions(100);
+}

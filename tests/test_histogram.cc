@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for Histogram and bucketSamples (common/histogram.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+using namespace pinte;
+
+TEST(Histogram, StartsEmpty)
+{
+    Histogram h(8);
+    EXPECT_EQ(h.size(), 8u);
+    EXPECT_EQ(h.total(), 0u);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(h.at(i), 0u);
+}
+
+TEST(Histogram, AddAccumulates)
+{
+    Histogram h(4);
+    h.add(1);
+    h.add(1);
+    h.add(2, 5);
+    EXPECT_EQ(h.at(1), 2u);
+    EXPECT_EQ(h.at(2), 5u);
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, OutOfRangeClampsToLastBucket)
+{
+    Histogram h(4);
+    h.add(100);
+    EXPECT_EQ(h.at(3), 1u);
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(4);
+    h.add(0, 10);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.at(0), 0u);
+}
+
+TEST(Histogram, MergeAddsElementwise)
+{
+    Histogram a(3), b(3);
+    a.add(0, 1);
+    a.add(2, 2);
+    b.add(0, 3);
+    b.add(1, 4);
+    a.merge(b);
+    EXPECT_EQ(a.at(0), 4u);
+    EXPECT_EQ(a.at(1), 4u);
+    EXPECT_EQ(a.at(2), 2u);
+    EXPECT_EQ(a.total(), 10u);
+}
+
+TEST(HistogramDeath, MergeSizeMismatchPanics)
+{
+    Histogram a(3), b(4);
+    EXPECT_DEATH(a.merge(b), "mismatch");
+}
+
+TEST(Histogram, DistributionSumsToOne)
+{
+    Histogram h(5);
+    h.add(0, 3);
+    h.add(4, 7);
+    const auto p = h.toDistribution();
+    double sum = 0;
+    for (double v : p)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_NEAR(p[0], 0.3, 1e-12);
+    EXPECT_NEAR(p[4], 0.7, 1e-12);
+}
+
+TEST(Histogram, EmptyDistributionIsUniform)
+{
+    Histogram h(4);
+    const auto p = h.toDistribution();
+    for (double v : p)
+        EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(BucketSamples, BasicBinning)
+{
+    const Histogram h =
+        bucketSamples({0.1, 0.1, 0.9, 0.5}, 0.0, 1.0, 10);
+    EXPECT_EQ(h.at(1), 2u);
+    EXPECT_EQ(h.at(9), 1u);
+    EXPECT_EQ(h.at(5), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(BucketSamples, OutOfRangeClamps)
+{
+    const Histogram h = bucketSamples({-5.0, 7.0}, 0.0, 1.0, 4);
+    EXPECT_EQ(h.at(0), 1u);
+    EXPECT_EQ(h.at(3), 1u);
+}
+
+TEST(BucketSamples, BoundaryValues)
+{
+    const Histogram h = bucketSamples({0.0, 1.0}, 0.0, 1.0, 4);
+    EXPECT_EQ(h.at(0), 1u);
+    EXPECT_EQ(h.at(3), 1u);
+}
+
+TEST(BucketSamples, EmptyInput)
+{
+    const Histogram h = bucketSamples({}, 0.0, 1.0, 4);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+class HistogramSizeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(HistogramSizeTest, MassConservedUnderClamping)
+{
+    Histogram h(GetParam());
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < 100; ++i) {
+        h.add(i, i + 1);
+        expected += i + 1;
+    }
+    EXPECT_EQ(h.total(), expected);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < h.size(); ++i)
+        sum += h.at(i);
+    EXPECT_EQ(sum, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HistogramSizeTest,
+                         ::testing::Values(1, 2, 16, 64, 1000));

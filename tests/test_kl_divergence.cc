@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for KL divergence (common/kl_divergence.hh) — eq. 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.hh"
+#include "common/kl_divergence.hh"
+#include "common/rng.hh"
+
+using namespace pinte;
+
+TEST(KlDivergence, IdenticalDistributionsYieldZero)
+{
+    const std::vector<double> p = {0.25, 0.25, 0.25, 0.25};
+    EXPECT_NEAR(klDivergenceBits(p, p), 0.0, 1e-9);
+}
+
+TEST(KlDivergence, NonNegative)
+{
+    Rng r(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<double> p(8), q(8);
+        double ps = 0, qs = 0;
+        for (int i = 0; i < 8; ++i) {
+            p[i] = r.drawUnit();
+            q[i] = r.drawUnit();
+            ps += p[i];
+            qs += q[i];
+        }
+        for (int i = 0; i < 8; ++i) {
+            p[i] /= ps;
+            q[i] /= qs;
+        }
+        EXPECT_GE(klDivergenceBits(p, q), 0.0);
+    }
+}
+
+TEST(KlDivergence, KnownValueTwoBuckets)
+{
+    // D(p||q) = 0.75*log2(0.75/0.5) + 0.25*log2(0.25/0.5)
+    const std::vector<double> p = {0.75, 0.25};
+    const std::vector<double> q = {0.5, 0.5};
+    const double expected =
+        0.75 * std::log2(0.75 / 0.5) + 0.25 * std::log2(0.25 / 0.5);
+    EXPECT_NEAR(klDivergenceBits(p, q), expected, 1e-6);
+}
+
+TEST(KlDivergence, OneBitForCertainVsCoin)
+{
+    // A deterministic outcome against a fair coin costs exactly 1 bit.
+    const std::vector<double> p = {1.0, 0.0};
+    const std::vector<double> q = {0.5, 0.5};
+    EXPECT_NEAR(klDivergenceBits(p, q), 1.0, 1e-4);
+}
+
+TEST(KlDivergence, AsymmetricInGeneral)
+{
+    const std::vector<double> p = {0.9, 0.1};
+    const std::vector<double> q = {0.5, 0.5};
+    EXPECT_NE(klDivergenceBits(p, q), klDivergenceBits(q, p));
+}
+
+TEST(KlDivergence, SmoothingHandlesZeroReferenceBuckets)
+{
+    const std::vector<double> p = {0.5, 0.5};
+    const std::vector<double> q = {1.0, 0.0};
+    const double d = klDivergenceBits(p, q);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GT(d, 1.0); // should be large but finite
+}
+
+TEST(KlDivergence, EmptyDistributions)
+{
+    EXPECT_EQ(klDivergenceBits(std::vector<double>{},
+                               std::vector<double>{}),
+              0.0);
+}
+
+TEST(KlDivergenceDeath, SizeMismatchPanics)
+{
+    const std::vector<double> p = {1.0};
+    const std::vector<double> q = {0.5, 0.5};
+    EXPECT_DEATH(klDivergenceBits(p, q), "mismatch");
+}
+
+TEST(KlDivergence, HistogramOverloadMatchesVector)
+{
+    Histogram hp(4), hq(4);
+    hp.add(0, 10);
+    hp.add(1, 30);
+    hq.add(0, 20);
+    hq.add(1, 20);
+    const double via_hist = klDivergenceBits(hp, hq);
+    const double via_vec =
+        klDivergenceBits(hp.toDistribution(), hq.toDistribution());
+    EXPECT_NEAR(via_hist, via_vec, 1e-12);
+}
+
+TEST(KlDivergence, MoreDivergentPairScoresHigher)
+{
+    const std::vector<double> q = {0.25, 0.25, 0.25, 0.25};
+    const std::vector<double> close = {0.3, 0.25, 0.25, 0.2};
+    const std::vector<double> far = {0.7, 0.1, 0.1, 0.1};
+    EXPECT_LT(klDivergenceBits(close, q), klDivergenceBits(far, q));
+}
+
+TEST(KlDivergence, ConvergesWithSampleSize)
+{
+    // Two histograms sampled from the same distribution should drift
+    // toward zero divergence as counts grow.
+    Rng r(7);
+    Histogram small_p(8), small_q(8), big_p(8), big_q(8);
+    for (int i = 0; i < 100; ++i) {
+        small_p.add(r.drawRange(8));
+        small_q.add(r.drawRange(8));
+    }
+    for (int i = 0; i < 100000; ++i) {
+        big_p.add(r.drawRange(8));
+        big_q.add(r.drawRange(8));
+    }
+    EXPECT_LT(klDivergenceBits(big_p, big_q),
+              klDivergenceBits(small_p, small_q));
+    EXPECT_LT(klDivergenceBits(big_p, big_q), 0.01);
+}

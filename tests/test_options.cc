@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the string option parsers backing the pintesim CLI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/options.hh"
+
+using namespace pinte;
+
+TEST(ParseReplacement, AcceptsAllNames)
+{
+    EXPECT_EQ(parseReplacement("lru"), ReplacementKind::Lru);
+    EXPECT_EQ(parseReplacement("LRU"), ReplacementKind::Lru);
+    EXPECT_EQ(parseReplacement("plru"), ReplacementKind::PseudoLru);
+    EXPECT_EQ(parseReplacement("pseudo-lru"),
+              ReplacementKind::PseudoLru);
+    EXPECT_EQ(parseReplacement("nmru"), ReplacementKind::Nmru);
+    EXPECT_EQ(parseReplacement("rrip"), ReplacementKind::Rrip);
+    EXPECT_EQ(parseReplacement("srrip"), ReplacementKind::Rrip);
+    EXPECT_EQ(parseReplacement("random"), ReplacementKind::Random);
+}
+
+TEST(ParseReplacementDeath, RejectsUnknown)
+{
+    EXPECT_DEATH(parseReplacement("mru"), "unknown replacement");
+}
+
+TEST(ParseInclusion, AcceptsAllNames)
+{
+    EXPECT_EQ(parseInclusion("non"), InclusionPolicy::NonInclusive);
+    EXPECT_EQ(parseInclusion("no"), InclusionPolicy::NonInclusive);
+    EXPECT_EQ(parseInclusion("non-inclusive"),
+              InclusionPolicy::NonInclusive);
+    EXPECT_EQ(parseInclusion("inclusive"), InclusionPolicy::Inclusive);
+    EXPECT_EQ(parseInclusion("in"), InclusionPolicy::Inclusive);
+    EXPECT_EQ(parseInclusion("exclusive"), InclusionPolicy::Exclusive);
+    EXPECT_EQ(parseInclusion("EX"), InclusionPolicy::Exclusive);
+}
+
+TEST(ParseInclusionDeath, RejectsUnknown)
+{
+    EXPECT_DEATH(parseInclusion("semi"), "unknown inclusion");
+}
+
+TEST(ParsePredictor, AcceptsAllNames)
+{
+    EXPECT_EQ(parsePredictor("bimodal"), BranchPredictorKind::Bimodal);
+    EXPECT_EQ(parsePredictor("gshare"), BranchPredictorKind::GShare);
+    EXPECT_EQ(parsePredictor("perceptron"),
+              BranchPredictorKind::Perceptron);
+    EXPECT_EQ(parsePredictor("hashed"),
+              BranchPredictorKind::HashedPerceptron);
+    EXPECT_EQ(parsePredictor("hashed-perceptron"),
+              BranchPredictorKind::HashedPerceptron);
+    EXPECT_EQ(parsePredictor("always-taken"),
+              BranchPredictorKind::AlwaysTaken);
+}
+
+TEST(ParsePredictorDeath, RejectsUnknown)
+{
+    EXPECT_DEATH(parsePredictor("tage"), "unknown branch predictor");
+}
+
+TEST(ParsePInteScope, AcceptsAllNames)
+{
+    EXPECT_EQ(parsePInteScope("llc"), PInteScope::LlcOnly);
+    EXPECT_EQ(parsePInteScope("llc-only"), PInteScope::LlcOnly);
+    EXPECT_EQ(parsePInteScope("l2"), PInteScope::L2Only);
+    EXPECT_EQ(parsePInteScope("l2+llc"), PInteScope::L2AndLlc);
+    EXPECT_EQ(parsePInteScope("both"), PInteScope::L2AndLlc);
+}
+
+TEST(ParsePInteScopeDeath, RejectsUnknown)
+{
+    EXPECT_DEATH(parsePInteScope("l3"), "unknown PInTE scope");
+}
+
+TEST(ParseProbability, AcceptsRange)
+{
+    EXPECT_DOUBLE_EQ(parseProbability("0"), 0.0);
+    EXPECT_DOUBLE_EQ(parseProbability("1"), 1.0);
+    EXPECT_DOUBLE_EQ(parseProbability("0.25"), 0.25);
+    EXPECT_DOUBLE_EQ(parseProbability("1e-3"), 0.001);
+}
+
+TEST(ParseProbabilityDeath, RejectsOutOfRange)
+{
+    EXPECT_DEATH(parseProbability("1.5"), "out of");
+    EXPECT_DEATH(parseProbability("-0.1"), "out of");
+}
+
+TEST(ParseProbabilityDeath, RejectsMalformed)
+{
+    EXPECT_DEATH(parseProbability("abc"), "malformed");
+    EXPECT_DEATH(parseProbability("0.5x"), "malformed");
+    EXPECT_DEATH(parseProbability(""), "malformed");
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Crosscutting invariant properties, checked under randomized
+ * operation sequences across every replacement policy.
+ *
+ * These are the accounting identities the paper's metrics rest on: if
+ * occupancy, theft duals or reuse totals drift, every contention rate
+ * and every Table II number silently rots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "core/pinte.hh"
+
+using namespace pinte;
+
+namespace
+{
+
+CacheConfig
+config(ReplacementKind k, unsigned cores)
+{
+    CacheConfig c;
+    c.name = "prop";
+    c.numSets = 8;
+    c.assoc = 8;
+    c.latency = 5;
+    c.replacement = k;
+    c.numCores = cores;
+    return c;
+}
+
+/** Count valid blocks the slow way. */
+std::uint64_t
+validBlocks(const Cache &c)
+{
+    std::uint64_t n = 0;
+    for (unsigned s = 0; s < c.numSets(); ++s)
+        for (unsigned w = 0; w < c.assoc(); ++w)
+            if (c.valid(s, w))
+                ++n;
+    return n;
+}
+
+std::uint64_t
+totalOccupancy(const Cache &c, unsigned cores)
+{
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < cores; ++i)
+        n += c.occupancy(i);
+    return n;
+}
+
+/** One random demand/writeback op. */
+void
+randomOp(Cache &c, Rng &rng, unsigned cores, Cycle t)
+{
+    MemAccess req;
+    req.addr = rng.drawRange(256) * blockSize;
+    req.core = static_cast<CoreId>(rng.drawRange(cores));
+    req.cycle = t;
+    switch (rng.drawRange(3)) {
+      case 0: req.type = AccessType::Load; break;
+      case 1: req.type = AccessType::Store; break;
+      case 2:
+        req.type = AccessType::Writeback;
+        req.wbDirty = rng.drawBool(0.5);
+        break;
+    }
+    c.access(req);
+}
+
+const ReplacementKind allKinds[] = {
+    ReplacementKind::Lru,    ReplacementKind::PseudoLru,
+    ReplacementKind::Nmru,   ReplacementKind::Rrip,
+    ReplacementKind::Random, ReplacementKind::Drrip,
+};
+
+} // namespace
+
+class InvariantTest : public ::testing::TestWithParam<ReplacementKind>
+{
+};
+
+TEST_P(InvariantTest, OccupancySumEqualsValidBlocks)
+{
+    Cache c(config(GetParam(), 2), nullptr);
+    Rng rng(101);
+    for (int i = 0; i < 5000; ++i) {
+        randomOp(c, rng, 2, static_cast<Cycle>(i) * 10);
+        if (i % 257 == 0)
+            ASSERT_EQ(totalOccupancy(c, 2), validBlocks(c))
+                << "iteration " << i;
+    }
+    EXPECT_EQ(totalOccupancy(c, 2), validBlocks(c));
+}
+
+TEST_P(InvariantTest, OccupancyHoldsUnderPInteEpisodes)
+{
+    Cache c(config(GetParam(), 2), nullptr);
+    PInte engine({0.4, 55});
+    c.setReplacementHook(&engine);
+    Rng rng(103);
+    for (int i = 0; i < 5000; ++i) {
+        randomOp(c, rng, 2, static_cast<Cycle>(i) * 10);
+        if (i % 257 == 0)
+            ASSERT_EQ(totalOccupancy(c, 2), validBlocks(c))
+                << "iteration " << i;
+    }
+    EXPECT_GT(engine.stats().invalidations, 0u);
+}
+
+TEST_P(InvariantTest, TheftDualsBalance)
+{
+    // Every theft has exactly one causer and one sufferer.
+    Cache c(config(GetParam(), 3), nullptr);
+    Rng rng(107);
+    for (int i = 0; i < 8000; ++i)
+        randomOp(c, rng, 3, static_cast<Cycle>(i) * 10);
+
+    std::uint64_t caused = 0, suffered = 0;
+    for (unsigned i = 0; i < 3; ++i) {
+        caused += c.stats().perCore[i].theftsCaused;
+        suffered += c.stats().perCore[i].theftsSuffered;
+    }
+    EXPECT_EQ(caused, suffered);
+    EXPECT_GT(caused, 0u);
+}
+
+TEST_P(InvariantTest, ReuseMassBoundedByHits)
+{
+    Cache c(config(GetParam(), 1), nullptr);
+    Rng rng(109);
+    for (int i = 0; i < 5000; ++i) {
+        MemAccess req;
+        req.addr = rng.drawRange(128) * blockSize;
+        req.type = AccessType::Load;
+        req.cycle = static_cast<Cycle>(i) * 10;
+        c.access(req);
+    }
+    const auto &st = c.stats().perCore[0];
+    EXPECT_EQ(c.stats().reuse[0].total(), st.hits);
+    EXPECT_EQ(st.hits + st.misses, st.accesses);
+}
+
+TEST_P(InvariantTest, WayMaskNeverViolated)
+{
+    Cache c(config(GetParam(), 2), nullptr);
+    c.setWayMask(0, 0x0f);
+    c.setWayMask(1, 0xf0);
+    Rng rng(113);
+    for (int i = 0; i < 6000; ++i) {
+        MemAccess req;
+        req.addr = rng.drawRange(256) * blockSize;
+        req.core = static_cast<CoreId>(rng.drawRange(2));
+        req.type = rng.drawBool(0.3) ? AccessType::Store
+                                     : AccessType::Load;
+        req.cycle = static_cast<Cycle>(i) * 10;
+        c.access(req);
+        if (i % 509 == 0) {
+            for (unsigned s = 0; s < c.numSets(); ++s) {
+                for (unsigned w = 0; w < c.assoc(); ++w) {
+                    if (!c.valid(s, w))
+                        continue;
+                    const CoreId owner = c.owner(s, w);
+                    const std::uint64_t mask =
+                        owner == 0 ? 0x0full : 0xf0ull;
+                    ASSERT_TRUE((mask >> w) & 1)
+                        << "core " << owner << " block in way " << w;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(InvariantTest, DeterministicUnderFixedSeed)
+{
+    auto run = [&] {
+        Cache c(config(GetParam(), 2), nullptr);
+        Rng rng(127);
+        for (int i = 0; i < 4000; ++i)
+            randomOp(c, rng, 2, static_cast<Cycle>(i) * 10);
+        const auto &st = c.stats().perCore[0];
+        return std::tuple(st.hits, st.misses, st.theftsCaused,
+                          validBlocks(c));
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST_P(InvariantTest, ContentionRateIdentity)
+{
+    Cache c(config(GetParam(), 1), nullptr);
+    PInte engine({0.3, 131});
+    c.setReplacementHook(&engine);
+    Rng rng(131);
+    for (int i = 0; i < 4000; ++i) {
+        MemAccess req;
+        req.addr = rng.drawRange(96) * blockSize;
+        req.type = AccessType::Load;
+        req.cycle = static_cast<Cycle>(i) * 10;
+        c.access(req);
+    }
+    const auto &st = c.stats().perCore[0];
+    const double expected =
+        static_cast<double>(st.theftsSuffered + st.mockedThefts) /
+        static_cast<double>(st.accesses);
+    EXPECT_DOUBLE_EQ(st.contentionRate(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, InvariantTest,
+                         ::testing::ValuesIn(allKinds),
+                         [](const auto &info) {
+                             return std::string(toString(info.param));
+                         });

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for SummaryStats (common/summary_stats.hh) — backs eq. 3 and
+ * the paper's boxplots.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/summary_stats.hh"
+
+using namespace pinte;
+
+TEST(SummaryStats, EmptyInputYieldsZeros)
+{
+    const SummaryStats s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+    EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryStats, SingleValue)
+{
+    const SummaryStats s = summarize({42.0});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.mean, 42.0);
+    EXPECT_EQ(s.stddev, 0.0);
+    EXPECT_EQ(s.min, 42.0);
+    EXPECT_EQ(s.max, 42.0);
+    EXPECT_EQ(s.median, 42.0);
+}
+
+TEST(SummaryStats, KnownMoments)
+{
+    const SummaryStats s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0,
+                                      7.0, 9.0});
+    EXPECT_NEAR(s.mean, 5.0, 1e-12);
+    EXPECT_NEAR(s.stddev, 2.0, 1e-12); // classic population-stddev set
+}
+
+TEST(SummaryStats, MinMaxMedian)
+{
+    const SummaryStats s = summarize({3.0, 1.0, 2.0});
+    EXPECT_EQ(s.min, 1.0);
+    EXPECT_EQ(s.max, 3.0);
+    EXPECT_EQ(s.median, 2.0);
+}
+
+TEST(SummaryStats, MedianEvenCountInterpolates)
+{
+    const SummaryStats s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_NEAR(s.median, 2.5, 1e-12);
+}
+
+TEST(SummaryStats, Quartiles)
+{
+    const SummaryStats s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_NEAR(s.q1, 2.0, 1e-12);
+    EXPECT_NEAR(s.q3, 4.0, 1e-12);
+}
+
+TEST(SummaryStats, NormStddevIsEquationThree)
+{
+    const SummaryStats s = summarize({9.0, 11.0});
+    // mean 10, stddev 1 -> normalized 0.1
+    EXPECT_NEAR(s.normStddev(), 0.1, 1e-12);
+}
+
+TEST(SummaryStats, NormStddevZeroMeanStaysFinite)
+{
+    const SummaryStats s = summarize({-1.0, 1.0});
+    EXPECT_EQ(s.normStddev(), 0.0);
+}
+
+TEST(SummaryStats, ConstantVectorHasZeroSpread)
+{
+    const SummaryStats s = summarize({5.0, 5.0, 5.0, 5.0});
+    EXPECT_EQ(s.stddev, 0.0);
+    EXPECT_EQ(s.normStddev(), 0.0);
+    EXPECT_EQ(s.q1, 5.0);
+    EXPECT_EQ(s.q3, 5.0);
+}
+
+TEST(Mean, Basics)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_NEAR(mean({1.0, 2.0, 3.0}), 2.0, 1e-12);
+}
+
+TEST(Percentile, Endpoints)
+{
+    EXPECT_EQ(percentile({1.0, 2.0, 3.0}, 0.0), 1.0);
+    EXPECT_EQ(percentile({1.0, 2.0, 3.0}, 100.0), 3.0);
+}
+
+TEST(Percentile, OutOfRangeClamps)
+{
+    EXPECT_EQ(percentile({1.0, 2.0}, -5.0), 1.0);
+    EXPECT_EQ(percentile({1.0, 2.0}, 150.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesLinearly)
+{
+    EXPECT_NEAR(percentile({0.0, 10.0}, 25.0), 2.5, 1e-12);
+    EXPECT_NEAR(percentile({0.0, 10.0}, 75.0), 7.5, 1e-12);
+}
+
+TEST(Percentile, UnsortedInputHandled)
+{
+    EXPECT_NEAR(percentile({9.0, 1.0, 5.0}, 50.0), 5.0, 1e-12);
+}
+
+TEST(Percentile, EmptyInput)
+{
+    EXPECT_EQ(percentile({}, 50.0), 0.0);
+}

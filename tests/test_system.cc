@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Integration tests: full machine wiring, the experiment runner, and
+ * the end-to-end behaviors the paper's methodology depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+#include "trace/trace_io.hh"
+
+using namespace pinte;
+
+namespace
+{
+
+ExperimentParams
+quick()
+{
+    ExperimentParams p;
+    p.warmup = 5000;
+    p.roi = 15000;
+    p.sampleEvery = 3000;
+    return p;
+}
+
+} // namespace
+
+TEST(System, WiresRequestedCoreCount)
+{
+    TraceGenerator a(findWorkload("435.gromacs"));
+    TraceGenerator b(findWorkload("400.perlbench"));
+    System sys(MachineConfig::scaled(2), {&a, &b});
+    EXPECT_EQ(sys.numCores(), 2u);
+}
+
+TEST(SystemDeath, SourceCountMustMatchCores)
+{
+    TraceGenerator a(findWorkload("435.gromacs"));
+    EXPECT_DEATH(System(MachineConfig::scaled(2), {&a}),
+                 "one trace source per core");
+}
+
+TEST(System, PInteInstalledOnlyWhenEnabled)
+{
+    TraceGenerator a(findWorkload("435.gromacs"));
+    System off(MachineConfig::scaled(1), {&a});
+    EXPECT_EQ(off.pinte(), nullptr);
+
+    TraceGenerator b(findWorkload("435.gromacs"));
+    MachineConfig cfg = MachineConfig::scaled(1);
+    cfg.pinte.pInduce = 0.1;
+    System on(cfg, {&b});
+    EXPECT_NE(on.pinte(), nullptr);
+}
+
+TEST(System, WarmupClearsStatsButKeepsCacheContents)
+{
+    TraceGenerator a(findWorkload("435.gromacs"));
+    System sys(MachineConfig::scaled(1), {&a});
+    sys.warmup(5000);
+    EXPECT_EQ(sys.core(0).stats().instructions, 0u);
+    EXPECT_GT(sys.core(0).retired(), 4999u);
+    EXPECT_GT(sys.llc().occupancy(0), 0u); // warm contents survive
+}
+
+TEST(Experiment, IsolationRunProducesSaneMetrics)
+{
+    const RunResult r =
+        runIsolation(findWorkload("435.gromacs"),
+                     MachineConfig::scaled(), quick());
+    EXPECT_GT(r.metrics.ipc, 0.05);
+    EXPECT_LT(r.metrics.ipc, 4.0);
+    EXPECT_GE(r.metrics.missRate, 0.0);
+    EXPECT_LE(r.metrics.missRate, 1.0);
+    EXPECT_GE(r.metrics.amat, 4.0); // bounded below by L1 latency
+    EXPECT_EQ(r.samples.size(), 5u);
+    EXPECT_EQ(r.contention, "isolation");
+    EXPECT_GT(r.wallSeconds, 0.0);
+}
+
+TEST(Experiment, IsolationIsDeterministic)
+{
+    const auto spec = findWorkload("450.soplex");
+    const RunResult a = runIsolation(spec, MachineConfig::scaled(),
+                                     quick());
+    const RunResult b = runIsolation(spec, MachineConfig::scaled(),
+                                     quick());
+    EXPECT_EQ(a.metrics.ipc, b.metrics.ipc);
+    EXPECT_EQ(a.metrics.llcMisses, b.metrics.llcMisses);
+}
+
+TEST(Experiment, PInteDegradesLlcBoundWorkload)
+{
+    const auto spec = findWorkload("450.soplex");
+    const MachineConfig m = MachineConfig::scaled();
+    const RunResult iso = runIsolation(spec, m, quick());
+    const RunResult contended = runPInte(spec, 0.3, m, quick());
+    const double w = weightedIpc(contended.metrics.ipc, iso.metrics.ipc);
+    EXPECT_LT(w, 0.9);
+    EXPECT_GT(contended.metrics.interferenceRate, 0.1);
+    EXPECT_GT(contended.pinte.invalidations, 0u);
+}
+
+TEST(Experiment, PInteBarelyTouchesCoreBoundWorkload)
+{
+    const auto spec = findWorkload("648.exchange2");
+    const MachineConfig m = MachineConfig::scaled();
+    const RunResult iso = runIsolation(spec, m, quick());
+    const RunResult contended = runPInte(spec, 0.3, m, quick());
+    const double w = weightedIpc(contended.metrics.ipc, iso.metrics.ipc);
+    EXPECT_GT(w, 0.97);
+}
+
+TEST(Experiment, PInteContentionGrowsWithPInduce)
+{
+    const auto spec = findWorkload("471.omnetpp");
+    const MachineConfig m = MachineConfig::scaled();
+    double prev_rate = -1.0;
+    for (double p : {0.01, 0.1, 0.4}) {
+        const RunResult r = runPInte(spec, p, m, quick());
+        EXPECT_GT(r.metrics.interferenceRate, prev_rate);
+        prev_rate = r.metrics.interferenceRate;
+    }
+}
+
+TEST(Experiment, PairCausesMutualThefts)
+{
+    const auto [ra, rb] =
+        runPair(findWorkload("450.soplex"), findWorkload("471.omnetpp"),
+                MachineConfig::scaled(2), quick());
+    EXPECT_GT(ra.metrics.interferenceRate, 0.0);
+    EXPECT_GT(rb.metrics.interferenceRate, 0.0);
+    EXPECT_GT(ra.metrics.theftRate, 0.0);
+    EXPECT_GT(rb.metrics.theftRate, 0.0);
+    EXPECT_EQ(ra.contention, "471.omnetpp");
+    EXPECT_EQ(rb.contention, "450.soplex");
+}
+
+TEST(Experiment, PairDegradesBothLlcBoundWorkloads)
+{
+    const MachineConfig m1 = MachineConfig::scaled();
+    const auto soplex = findWorkload("450.soplex");
+    const auto omnetpp = findWorkload("471.omnetpp");
+    const RunResult iso_a = runIsolation(soplex, m1, quick());
+    const RunResult iso_b = runIsolation(omnetpp, m1, quick());
+    const auto [ra, rb] =
+        runPair(soplex, omnetpp, MachineConfig::scaled(2), quick());
+    EXPECT_LT(weightedIpc(ra.metrics.ipc, iso_a.metrics.ipc), 1.0);
+    EXPECT_LT(weightedIpc(rb.metrics.ipc, iso_b.metrics.ipc), 1.0);
+}
+
+TEST(Experiment, CoreBoundPairInterferesLittle)
+{
+    const auto [ra, rb] =
+        runPair(findWorkload("648.exchange2"),
+                findWorkload("416.gamess"), MachineConfig::scaled(2),
+                quick());
+    EXPECT_LT(ra.metrics.interferenceRate, 0.05);
+    EXPECT_LT(rb.metrics.interferenceRate, 0.05);
+}
+
+TEST(Experiment, ReuseHistogramPopulatedForCacheResident)
+{
+    const RunResult r = runIsolation(findWorkload("435.gromacs"),
+                                     MachineConfig::scaled(), quick());
+    EXPECT_GT(r.reuse.total(), 0u);
+    EXPECT_EQ(r.reuse.size(), 16u);
+}
+
+TEST(Experiment, SamplesCoverRoi)
+{
+    ExperimentParams p = quick();
+    p.roi = 10000;
+    p.sampleEvery = 3000;
+    const RunResult r = runIsolation(findWorkload("435.gromacs"),
+                                     MachineConfig::scaled(), p);
+    // ceil(10000/3000) = 4 samples; instruction counts sum to the ROI
+    // up to the last quantum's overshoot (a few instructions).
+    EXPECT_EQ(r.samples.size(), 4u);
+    InstCount total = 0;
+    for (const auto &s : r.samples)
+        total += s.instructions;
+    EXPECT_GE(total, 10000u);
+    EXPECT_LE(total, 10200u); // a few quanta of overshoot at most
+}
+
+TEST(Experiment, RunSeedVariesPInteEventsNotWorkload)
+{
+    const auto spec = findWorkload("450.soplex");
+    const MachineConfig m = MachineConfig::scaled();
+    ExperimentParams p1 = quick(), p2 = quick();
+    p2.runSeed = 99;
+    const RunResult a = runPInte(spec, 0.2, m, p1);
+    const RunResult b = runPInte(spec, 0.2, m, p2);
+    // Different seeds, statistically equal behavior (Fig 3).
+    EXPECT_NE(a.pinte.triggers, b.pinte.triggers);
+    EXPECT_NEAR(a.metrics.ipc, b.metrics.ipc, 0.15 * a.metrics.ipc);
+}
+
+TEST(Experiment, DramBoundWorkloadShowsPaperSignature)
+{
+    // Section IV-E2: DRAM-bound workloads barely respond to PInTE
+    // because their AMAT already sits at DRAM latency.
+    const auto spec = findWorkload("429.mcf");
+    const MachineConfig m = MachineConfig::scaled();
+    const RunResult iso = runIsolation(spec, m, quick());
+    EXPECT_GT(iso.metrics.amat, 100.0);
+    EXPECT_GT(iso.metrics.missRate, 0.5);
+    const RunResult r = runPInte(spec, 0.4, m, quick());
+    EXPECT_GT(weightedIpc(r.metrics.ipc, iso.metrics.ipc), 0.85);
+}
+
+TEST(Experiment, ServerProxyHasLargerLlc)
+{
+    const MachineConfig base = MachineConfig::scaled();
+    const MachineConfig server = MachineConfig::serverProxy(2, true);
+    EXPECT_GT(server.llc.bytes(), base.llc.bytes());
+    EXPECT_LT(server.dram.channels, base.dram.channels + 1);
+}
+
+TEST(Experiment, WayMaskedLlcIsolatesCores)
+{
+    // RDT-style partitioning (Fig 10 real-system proxy): disjoint way
+    // masks must suppress inter-core thefts entirely.
+    TraceGenerator a(findWorkload("450.soplex"));
+    TraceGenerator b(findWorkload("471.omnetpp"));
+    System sys(MachineConfig::scaled(2), {&a, &b});
+    sys.llc().setWayMask(0, 0x00ff);
+    sys.llc().setWayMask(1, 0xff00);
+    sys.warmup(3000);
+    sys.runUntilCore0(10000);
+    EXPECT_EQ(sys.llc().stats().perCore[0].theftsSuffered, 0u);
+    EXPECT_EQ(sys.llc().stats().perCore[1].theftsSuffered, 0u);
+}
+
+TEST(Experiment, PrefetchConfigsRunEndToEnd)
+{
+    const auto spec = findWorkload("470.lbm");
+    for (const char *cfg_str : {"000", "NN0", "NNN", "NNI"}) {
+        MachineConfig m = MachineConfig::scaled();
+        m.prefetch = PrefetchConfig::parse(cfg_str);
+        const RunResult r = runIsolation(spec, m, quick());
+        EXPECT_GT(r.metrics.ipc, 0.0) << cfg_str;
+    }
+}
+
+TEST(Experiment, NextLinePrefetchHelpsStreaming)
+{
+    const auto spec = findWorkload("470.lbm");
+    MachineConfig none = MachineConfig::scaled();
+    MachineConfig nn = MachineConfig::scaled();
+    nn.prefetch = PrefetchConfig::parse("NNN");
+    const RunResult r_none = runIsolation(spec, none, quick());
+    const RunResult r_nn = runIsolation(spec, nn, quick());
+    EXPECT_GT(r_nn.metrics.ipc, r_none.metrics.ipc);
+}
+
+TEST(Experiment, InclusionPoliciesRunEndToEnd)
+{
+    const auto spec = findWorkload("450.soplex");
+    for (InclusionPolicy inc :
+         {InclusionPolicy::NonInclusive, InclusionPolicy::Inclusive,
+          InclusionPolicy::Exclusive}) {
+        MachineConfig m = MachineConfig::scaled();
+        m.llc.inclusion = inc;
+        const RunResult r = runIsolation(spec, m, quick());
+        EXPECT_GT(r.metrics.ipc, 0.0) << toString(inc);
+    }
+}
+
+TEST(Experiment, PairIsDeterministic)
+{
+    const auto a = findWorkload("450.soplex");
+    const auto b = findWorkload("470.lbm");
+    const auto [r1a, r1b] =
+        runPair(a, b, MachineConfig::scaled(2), quick());
+    const auto [r2a, r2b] =
+        runPair(a, b, MachineConfig::scaled(2), quick());
+    EXPECT_EQ(r1a.metrics.ipc, r2a.metrics.ipc);
+    EXPECT_EQ(r1b.metrics.ipc, r2b.metrics.ipc);
+    EXPECT_EQ(r1a.metrics.llcMisses, r2a.metrics.llcMisses);
+}
+
+TEST(Experiment, PairOrderSwapsResults)
+{
+    // (a, b) and (b, a) must describe the same physical co-run from
+    // the two perspectives: similar (not necessarily identical —
+    // address offsets differ) contention outcomes.
+    const auto a = findWorkload("450.soplex");
+    const auto b = findWorkload("471.omnetpp");
+    const auto [ab_a, ab_b] =
+        runPair(a, b, MachineConfig::scaled(2), quick());
+    const auto [ba_b, ba_a] =
+        runPair(b, a, MachineConfig::scaled(2), quick());
+    EXPECT_NEAR(ab_a.metrics.ipc, ba_a.metrics.ipc,
+                0.2 * ab_a.metrics.ipc);
+    EXPECT_NEAR(ab_b.metrics.ipc, ba_b.metrics.ipc,
+                0.2 * ab_b.metrics.ipc);
+}
+
+TEST(Experiment, MixRunsThreeWorkloads)
+{
+    const std::vector<WorkloadSpec> mix = {
+        findWorkload("450.soplex"), findWorkload("471.omnetpp"),
+        findWorkload("470.lbm")};
+    const auto results = runMix(mix, MachineConfig::scaled(), quick());
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto &r : results) {
+        EXPECT_GT(r.metrics.ipc, 0.0);
+        EXPECT_EQ(r.contention, "mix-of-3");
+        EXPECT_FALSE(r.samples.empty());
+    }
+    // Three LLC-hungry workloads on a 64KB LLC: everyone suffers.
+    for (const auto &r : results)
+        EXPECT_GT(r.metrics.interferenceRate, 0.0) << r.workload;
+}
+
+TEST(Experiment, MixOfTwoMatchesPairShape)
+{
+    const auto soplex = findWorkload("450.soplex");
+    const auto omnetpp = findWorkload("471.omnetpp");
+    const auto mix =
+        runMix({soplex, omnetpp}, MachineConfig::scaled(2), quick());
+    const auto [pa, pb] =
+        runPair(soplex, omnetpp, MachineConfig::scaled(2), quick());
+    // Same machine, same offsets: identical simulations.
+    EXPECT_EQ(mix[0].metrics.ipc, pa.metrics.ipc);
+    EXPECT_EQ(mix[1].metrics.ipc, pb.metrics.ipc);
+}
+
+TEST(Experiment, BiggerMixesHurtMore)
+{
+    const auto soplex = findWorkload("450.soplex");
+    const RunResult iso =
+        runIsolation(soplex, MachineConfig::scaled(), quick());
+    const auto two = runMix({soplex, findWorkload("470.lbm")},
+                            MachineConfig::scaled(), quick());
+    const auto four =
+        runMix({soplex, findWorkload("470.lbm"),
+                findWorkload("471.omnetpp"), findWorkload("429.mcf")},
+               MachineConfig::scaled(), quick());
+    const double w2 = weightedIpc(two[0].metrics.ipc, iso.metrics.ipc);
+    const double w4 = weightedIpc(four[0].metrics.ipc, iso.metrics.ipc);
+    EXPECT_LT(w4, w2);
+}
+
+TEST(ExperimentDeath, EmptyMixIsFatal)
+{
+    EXPECT_DEATH(runMix({}, MachineConfig::scaled(), quick()),
+                 "at least one workload");
+}
+
+TEST(Experiment, FileTraceDrivesSystemIdentically)
+{
+    // A trace cached to disk must reproduce the generator-driven run
+    // exactly — the TraceSource abstraction is airtight.
+    const auto spec = findWorkload("435.gromacs");
+    const ExperimentParams p = quick();
+    const InstCount budget = p.warmup + p.roi + 4096;
+
+    const std::string path = ::testing::TempDir() + "sysdrive.trc";
+    TraceGenerator writer(spec);
+    writeTrace(path, writer, budget);
+
+    TraceGenerator direct(spec);
+    FileTraceSource from_file(path);
+
+    MachineConfig m = MachineConfig::scaled();
+    System a(m, {&direct});
+    System b(m, {&from_file});
+    a.warmup(p.warmup);
+    b.warmup(p.warmup);
+    a.runUntilCore0(p.roi);
+    b.runUntilCore0(p.roi);
+
+    EXPECT_EQ(a.core(0).stats().ipc(), b.core(0).stats().ipc());
+    EXPECT_EQ(a.llc().stats().perCore[0].misses,
+              b.llc().stats().perCore[0].misses);
+    std::remove(path.c_str());
+}
+
+class SystemPolicySweep
+    : public ::testing::TestWithParam<ReplacementKind>
+{
+};
+
+TEST_P(SystemPolicySweep, FullMachineRunsWithEveryLlcPolicy)
+{
+    MachineConfig m = MachineConfig::scaled();
+    m.llc.replacement = GetParam();
+    const RunResult r =
+        runPInte(findWorkload("450.soplex"), 0.2, m, quick());
+    EXPECT_GT(r.metrics.ipc, 0.0);
+    EXPECT_GT(r.pinte.invalidations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SystemPolicySweep,
+    ::testing::Values(ReplacementKind::Lru, ReplacementKind::PseudoLru,
+                      ReplacementKind::Nmru, ReplacementKind::Rrip),
+    [](const auto &info) { return std::string(toString(info.param)); });
+
+class SystemBranchSweep
+    : public ::testing::TestWithParam<BranchPredictorKind>
+{
+};
+
+TEST_P(SystemBranchSweep, FullMachineRunsWithEveryPredictor)
+{
+    MachineConfig m = MachineConfig::scaled();
+    m.core.predictor = GetParam();
+    const RunResult r = runIsolation(findWorkload("445.gobmk"), m,
+                                     quick());
+    EXPECT_GT(r.metrics.ipc, 0.0);
+    EXPECT_GT(r.metrics.branchAccuracy, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPredictors, SystemBranchSweep,
+    ::testing::Values(BranchPredictorKind::Bimodal,
+                      BranchPredictorKind::GShare,
+                      BranchPredictorKind::Perceptron,
+                      BranchPredictorKind::HashedPerceptron),
+    [](const auto &info) {
+        std::string n = toString(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for the trace substrate: generator determinism, pattern
+ * properties, the SPEC-like zoo, and trace file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "trace/generator.hh"
+#include "trace/trace_io.hh"
+#include "trace/zoo.hh"
+
+using namespace pinte;
+
+namespace
+{
+
+WorkloadSpec
+tinySpec()
+{
+    WorkloadSpec s;
+    s.name = "tiny";
+    s.seed = 5;
+    s.footprintLines = 64;
+    s.hotLines = 8;
+    return s;
+}
+
+} // namespace
+
+TEST(TraceGenerator, DeterministicForSameSeed)
+{
+    TraceGenerator a(tinySpec()), b(tinySpec());
+    for (int i = 0; i < 5000; ++i) {
+        const TraceRecord ra = a.next();
+        const TraceRecord rb = b.next();
+        ASSERT_EQ(ra.ip, rb.ip);
+        ASSERT_EQ(ra.numLoads, rb.numLoads);
+        ASSERT_EQ(ra.loadAddr[0], rb.loadAddr[0]);
+        ASSERT_EQ(ra.isBranch, rb.isBranch);
+        ASSERT_EQ(ra.branchTaken, rb.branchTaken);
+    }
+}
+
+TEST(TraceGenerator, RunSeedPerturbsStream)
+{
+    TraceGenerator a(tinySpec(), 0), b(tinySpec(), 1);
+    int diff = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next().loadAddr[0] != b.next().loadAddr[0])
+            ++diff;
+    }
+    EXPECT_GT(diff, 0);
+}
+
+TEST(TraceGenerator, ResetReproducesStream)
+{
+    TraceGenerator g(tinySpec());
+    std::vector<Addr> first;
+    for (int i = 0; i < 1000; ++i)
+        first.push_back(g.next().ip);
+    g.reset();
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(g.next().ip, first[i]);
+    EXPECT_EQ(g.generated(), 1000u);
+}
+
+TEST(TraceGenerator, LoadsStayInsideFootprint)
+{
+    WorkloadSpec s = tinySpec();
+    TraceGenerator g(s);
+    const Addr lo = s.dataBase;
+    const Addr hi = s.dataBase + s.footprintLines * blockSize;
+    for (int i = 0; i < 20000; ++i) {
+        const TraceRecord r = g.next();
+        for (unsigned l = 0; l < r.numLoads; ++l) {
+            ASSERT_GE(r.loadAddr[l], lo);
+            ASSERT_LT(r.loadAddr[l], hi);
+        }
+        for (unsigned st = 0; st < r.numStores; ++st) {
+            ASSERT_GE(r.storeAddr[st], lo);
+            ASSERT_LT(r.storeAddr[st], hi);
+        }
+    }
+}
+
+TEST(TraceGenerator, LoadFractionApproximatelyHonored)
+{
+    WorkloadSpec s = tinySpec();
+    s.loadFraction = 0.25;
+    TraceGenerator g(s);
+    int loads = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        if (g.next().numLoads > 0)
+            ++loads;
+    EXPECT_NEAR(loads / double(n), 0.25, 0.02);
+}
+
+TEST(TraceGenerator, BranchesArePresentAndBounded)
+{
+    WorkloadSpec s = tinySpec();
+    s.branchFraction = 0.15;
+    TraceGenerator g(s);
+    int branches = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        if (g.next().isBranch)
+            ++branches;
+    EXPECT_GT(branches, n / 20);
+    EXPECT_LT(branches, n / 3);
+}
+
+TEST(TraceGenerator, BranchTargetsMatchSites)
+{
+    TraceGenerator g(tinySpec());
+    for (int i = 0; i < 20000; ++i) {
+        const TraceRecord r = g.next();
+        if (r.isBranch && r.branchTaken)
+            ASSERT_NE(r.branchTarget, 0u);
+    }
+}
+
+TEST(TraceGenerator, ChasePermutationIsSingleCycle)
+{
+    // A Sattolo cycle must visit every line exactly once before
+    // returning to the start: chase-only workload touches the whole
+    // footprint.
+    WorkloadSpec s = tinySpec();
+    s.hotFraction = 0.0;
+    s.streamFraction = 0.0;
+    s.strideFraction = 0.0;
+    s.randomFraction = 0.0;
+    s.chaseFraction = 1.0;
+    s.loadFraction = 1.0;
+    s.storeFraction = 0.0;
+    s.footprintLines = 32;
+    TraceGenerator g(s);
+    std::set<Addr> lines;
+    int loads_seen = 0;
+    while (loads_seen < 32) {
+        const TraceRecord r = g.next();
+        for (unsigned l = 0; l < r.numLoads; ++l) {
+            lines.insert(lineNumber(r.loadAddr[l]));
+            ++loads_seen;
+            if (loads_seen >= 32)
+                break;
+        }
+    }
+    // Second loads (8% gather probability) may duplicate, so require
+    // near-complete coverage rather than exact.
+    EXPECT_GE(lines.size(), 28u);
+}
+
+TEST(TraceGenerator, PhasesChangeAccessMix)
+{
+    WorkloadSpec s = tinySpec();
+    s.phases = 2;
+    s.phaseLength = 5000;
+    s.hotFraction = 0.9;
+    TraceGenerator g(s);
+    // Count hot-set accesses in phase 0 vs phase 1: phase 1 halves
+    // hotFraction, so hot accesses should drop.
+    auto hot_share = [&](int n) {
+        int hot = 0, total = 0;
+        for (int i = 0; i < n; ++i) {
+            const TraceRecord r = g.next();
+            for (unsigned l = 0; l < r.numLoads; ++l) {
+                ++total;
+                if (lineNumber(r.loadAddr[l]) - lineNumber(s.dataBase) <
+                    s.hotLines)
+                    ++hot;
+            }
+        }
+        return total ? hot / double(total) : 0.0;
+    };
+    const double phase0 = hot_share(5000);
+    const double phase1 = hot_share(5000);
+    EXPECT_GT(phase0, phase1 + 0.1);
+}
+
+TEST(TraceGenerator, CodeFootprintIsBounded)
+{
+    // Instruction pointers must stay inside the declared code segment
+    // so the L1I working set is controlled.
+    WorkloadSpec s = tinySpec();
+    s.branchSites = 64;
+    TraceGenerator g(s);
+    const Addr lo = s.codeBase;
+    const Addr hi = s.codeBase + 64 * 6 * 4 + 64; // sites*blk*instBytes
+    for (int i = 0; i < 20000; ++i) {
+        const Addr ip = g.next().ip;
+        ASSERT_GE(ip, lo);
+        ASSERT_LT(ip, hi);
+    }
+}
+
+TEST(TraceGenerator, CodeBaseOffsetRelocatesIps)
+{
+    WorkloadSpec a = tinySpec();
+    WorkloadSpec b = tinySpec();
+    b.codeBase += 0x1000000;
+    TraceGenerator ga(a), gb(b);
+    for (int i = 0; i < 1000; ++i) {
+        const TraceRecord ra = ga.next();
+        const TraceRecord rb = gb.next();
+        ASSERT_EQ(ra.ip + 0x1000000, rb.ip);
+        ASSERT_EQ(ra.isBranch, rb.isBranch);
+    }
+}
+
+TEST(TraceGenerator, HighBiasMakesBranchesPredictable)
+{
+    // branchBias controls the share of coin-flip sites; a bias-1.0
+    // spec should produce a taken-rate far from 0.5 overall and with
+    // strong per-site structure (loop/biased only).
+    WorkloadSpec s = tinySpec();
+    s.branchBias = 1.0;
+    s.branchFraction = 0.2;
+    TraceGenerator g(s);
+    int taken = 0, branches = 0;
+    for (int i = 0; i < 40000; ++i) {
+        const TraceRecord r = g.next();
+        if (r.isBranch) {
+            ++branches;
+            taken += r.branchTaken;
+        }
+    }
+    ASSERT_GT(branches, 1000);
+    const double rate = taken / double(branches);
+    EXPECT_GT(rate, 0.55); // loops + biased sites skew taken
+}
+
+TEST(TraceGenerator, ExecLatencyWithinDeclaredRange)
+{
+    TraceGenerator g(tinySpec());
+    for (int i = 0; i < 10000; ++i) {
+        const auto lat = g.next().execLatency;
+        ASSERT_GE(lat, 1);
+        ASSERT_LE(lat, 16);
+    }
+}
+
+TEST(VectorTraceSource, ReplaysAndWraps)
+{
+    std::vector<TraceRecord> recs(3);
+    recs[0].ip = 10;
+    recs[1].ip = 20;
+    recs[2].ip = 30;
+    VectorTraceSource src(recs);
+    EXPECT_EQ(src.next().ip, 10u);
+    EXPECT_EQ(src.next().ip, 20u);
+    EXPECT_EQ(src.next().ip, 30u);
+    EXPECT_TRUE(src.done());
+    EXPECT_EQ(src.next().ip, 10u); // wraps
+    src.reset();
+    EXPECT_EQ(src.next().ip, 10u);
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "roundtrip.trc";
+    TraceGenerator g(tinySpec());
+    std::vector<TraceRecord> original;
+    for (int i = 0; i < 500; ++i)
+        original.push_back(g.next());
+    writeTrace(path, original);
+
+    const auto loaded = readTrace(path);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].ip, original[i].ip);
+        EXPECT_EQ(loaded[i].loadAddr[0], original[i].loadAddr[0]);
+        EXPECT_EQ(loaded[i].isBranch, original[i].isBranch);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, GeneratorToFile)
+{
+    const std::string path = ::testing::TempDir() + "gen.trc";
+    TraceGenerator g(tinySpec());
+    EXPECT_EQ(writeTrace(path, g, 100), 100u);
+
+    FileTraceSource src(path);
+    EXPECT_EQ(src.count(), 100u);
+    TraceGenerator ref(tinySpec());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(src.next().ip, ref.next().ip);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FileSourceWrapsLikeChampSim)
+{
+    const std::string path = ::testing::TempDir() + "wrap.trc";
+    std::vector<TraceRecord> recs(2);
+    recs[0].ip = 1;
+    recs[1].ip = 2;
+    writeTrace(path, recs);
+    FileTraceSource src(path);
+    EXPECT_EQ(src.next().ip, 1u);
+    EXPECT_EQ(src.next().ip, 2u);
+    EXPECT_EQ(src.next().ip, 1u); // wrapped
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, MissingFileIsFatal)
+{
+    EXPECT_DEATH(FileTraceSource("/nonexistent/file.trc"), "cannot open");
+}
+
+TEST(TraceIoDeath, BadMagicIsFatal)
+{
+    const std::string path = ::testing::TempDir() + "garbage.trc";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[64] = "this is not a pinte trace file at all";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+    EXPECT_DEATH(FileTraceSource src(path), "not a pinte trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, TruncatedHeaderIsFatal)
+{
+    const std::string path = ::testing::TempDir() + "short.trc";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("PN", 1, 2, f);
+    std::fclose(f);
+    EXPECT_DEATH(FileTraceSource src(path), "trace read failed");
+    std::remove(path.c_str());
+}
+
+TEST(Zoo, SuiteSizesMatchTableTwo)
+{
+    EXPECT_EQ(spec2006Zoo().size(), 29u);
+    EXPECT_EQ(spec2017Zoo().size(), 20u);
+    EXPECT_EQ(fullZoo().size(), 49u);
+}
+
+TEST(Zoo, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &s : fullZoo())
+        names.insert(s.name);
+    EXPECT_EQ(names.size(), 49u);
+}
+
+TEST(Zoo, AllEntriesGenerateCleanly)
+{
+    for (const auto &spec : fullZoo()) {
+        TraceGenerator g(spec);
+        for (int i = 0; i < 200; ++i)
+            (void)g.next();
+        EXPECT_EQ(g.generated(), 200u) << spec.name;
+    }
+}
+
+TEST(Zoo, ClassesAssignedAsDocumented)
+{
+    EXPECT_EQ(findWorkload("429.mcf").klass, WorkloadClass::DramBound);
+    EXPECT_EQ(findWorkload("465.tonto").klass, WorkloadClass::CoreBound);
+    EXPECT_EQ(findWorkload("450.soplex").klass, WorkloadClass::LlcBound);
+    EXPECT_EQ(findWorkload("470.lbm").klass, WorkloadClass::Streaming);
+    EXPECT_EQ(findWorkload("403.gcc").klass, WorkloadClass::Mixed);
+    EXPECT_EQ(findWorkload("602.gcc").klass, WorkloadClass::DramBound);
+}
+
+TEST(Zoo, SuitesTaggedCorrectly)
+{
+    for (const auto &s : spec2006Zoo())
+        EXPECT_EQ(s.suite, Suite::Spec2006) << s.name;
+    for (const auto &s : spec2017Zoo())
+        EXPECT_EQ(s.suite, Suite::Spec2017) << s.name;
+}
+
+TEST(Zoo, SmallZooIsSubsetOfFullZoo)
+{
+    const auto small = smallZoo();
+    EXPECT_GE(small.size(), 10u);
+    for (const auto &s : small)
+        EXPECT_NO_FATAL_FAILURE(findWorkload(s.name));
+}
+
+TEST(Zoo, SmallZooSpansClasses)
+{
+    std::set<WorkloadClass> classes;
+    for (const auto &s : smallZoo())
+        classes.insert(s.klass);
+    EXPECT_GE(classes.size(), 5u);
+}
+
+TEST(ZooDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(findWorkload("999.nonesuch"), "unknown zoo workload");
+}
+
+TEST(WorkloadSpec, NormalizeMixSumsToOne)
+{
+    WorkloadSpec s;
+    s.streamFraction = 2.0;
+    s.strideFraction = 1.0;
+    s.chaseFraction = 1.0;
+    s.randomFraction = 0.0;
+    s.normalizeMix();
+    EXPECT_NEAR(s.streamFraction + s.strideFraction + s.chaseFraction +
+                    s.randomFraction,
+                1.0, 1e-12);
+    EXPECT_NEAR(s.streamFraction, 0.5, 1e-12);
+}
+
+TEST(WorkloadSpec, NormalizeMixDegenerateFallsBackToStream)
+{
+    WorkloadSpec s;
+    s.streamFraction = s.strideFraction = 0.0;
+    s.chaseFraction = s.randomFraction = 0.0;
+    s.normalizeMix();
+    EXPECT_EQ(s.streamFraction, 1.0);
+}
+
+TEST(WorkloadClassNames, AllDistinct)
+{
+    std::set<std::string> names;
+    names.insert(toString(WorkloadClass::CoreBound));
+    names.insert(toString(WorkloadClass::CacheFriendly));
+    names.insert(toString(WorkloadClass::LlcBound));
+    names.insert(toString(WorkloadClass::DramBound));
+    names.insert(toString(WorkloadClass::Streaming));
+    names.insert(toString(WorkloadClass::Mixed));
+    EXPECT_EQ(names.size(), 6u);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Zoo calibration: every SPEC-like workload must exhibit the
+ * behavioral signature its class declares (DESIGN.md section 2).
+ *
+ * Table II's error taxonomy and Fig 8's sensitivity classes only
+ * reproduce if core-bound means "AMAT pinned at the private caches",
+ * DRAM-bound means "AMAT near DRAM latency regardless of the LLC",
+ * and so on. These are parameterized isolation runs over the full
+ * 49-entry zoo with deliberately generous bounds — they catch class
+ * regressions when zoo parameters are retuned, not small drifts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/experiment.hh"
+
+using namespace pinte;
+
+namespace
+{
+
+ExperimentParams
+quick()
+{
+    ExperimentParams p;
+    p.warmup = 10000;
+    p.roi = 20000;
+    p.sampleEvery = 5000;
+    return p;
+}
+
+std::vector<std::string>
+zooNames()
+{
+    std::vector<std::string> names;
+    for (const auto &s : fullZoo())
+        names.push_back(s.name);
+    return names;
+}
+
+} // namespace
+
+class ZooCalibration : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static const RunResult &
+    isolationRun(const std::string &name)
+    {
+        // One isolation run per workload, shared across the suite.
+        static std::map<std::string, RunResult> cache;
+        auto it = cache.find(name);
+        if (it == cache.end()) {
+            it = cache
+                     .emplace(name,
+                              runIsolation(findWorkload(name),
+                                           MachineConfig::scaled(),
+                                           quick()))
+                     .first;
+        }
+        return it->second;
+    }
+};
+
+TEST_P(ZooCalibration, IpcInPlausibleRange)
+{
+    const RunResult &r = isolationRun(GetParam());
+    EXPECT_GT(r.metrics.ipc, 0.02);
+    EXPECT_LT(r.metrics.ipc, 4.0);
+}
+
+TEST_P(ZooCalibration, AmatBoundedBelowByL1Latency)
+{
+    const RunResult &r = isolationRun(GetParam());
+    EXPECT_GE(r.metrics.amat, 4.0);
+}
+
+TEST_P(ZooCalibration, ClassSignatureHolds)
+{
+    const WorkloadSpec spec = findWorkload(GetParam());
+    const RunResult &r = isolationRun(GetParam());
+
+    switch (spec.klass) {
+      case WorkloadClass::CoreBound:
+        // Time lives in the private caches: AMAT around L1/L2, the
+        // core retiring briskly.
+        EXPECT_LT(r.metrics.amat, 20.0) << "core-bound AMAT";
+        EXPECT_GT(r.metrics.ipc, 0.5) << "core-bound IPC";
+        break;
+      case WorkloadClass::CacheFriendly:
+        // Fits the LLC: whatever misses exist are cold/warmup tails.
+        EXPECT_LT(r.metrics.missRate, 0.35) << "friendly LLC MR";
+        EXPECT_LT(r.metrics.amat, 60.0) << "friendly AMAT";
+        break;
+      case WorkloadClass::LlcBound:
+        // Working set near LLC capacity: LLC heavily used...
+        EXPECT_GT(r.metrics.llcOccupancyFraction, 0.25)
+            << "LLC-bound occupancy";
+        // ...but not already DRAM-bound in isolation.
+        EXPECT_GT(r.metrics.amat, 10.0);
+        EXPECT_LT(r.metrics.amat, 120.0) << "LLC-bound AMAT";
+        break;
+      case WorkloadClass::DramBound:
+        EXPECT_GT(r.metrics.amat, 60.0) << "DRAM-bound AMAT";
+        EXPECT_GT(r.metrics.missRate, 0.5) << "DRAM-bound LLC MR";
+        EXPECT_LT(r.metrics.ipc, 0.4) << "DRAM-bound IPC";
+        break;
+      case WorkloadClass::Streaming:
+        // Sequential scans much larger than the LLC.
+        EXPECT_GT(r.metrics.missRate, 0.25) << "streaming LLC MR";
+        EXPECT_GT(r.metrics.amat, 15.0) << "streaming AMAT";
+        break;
+      case WorkloadClass::Mixed:
+        // Phase blends: just demand sanity plus real LLC usage.
+        EXPECT_GT(r.metrics.llcAccesses, 100u) << "mixed LLC traffic";
+        break;
+    }
+}
+
+TEST_P(ZooCalibration, CoreBoundBarelyMissesInLlc)
+{
+    const WorkloadSpec spec = findWorkload(GetParam());
+    if (spec.klass != WorkloadClass::CoreBound ||
+        spec.name == "648.exchange2") {
+        GTEST_SKIP() << "only meaningful for LLC-touching core-bound";
+    }
+    const RunResult &r = isolationRun(GetParam());
+    // The class signature behind Table II's '*' rows: the LLC sees
+    // traffic (so reuse histograms exist) but misses are rare per
+    // kilo-instruction.
+    EXPECT_LT(r.metrics.llcMpki, 60.0);
+}
+
+TEST_P(ZooCalibration, DeterministicAcrossRuns)
+{
+    const WorkloadSpec spec = findWorkload(GetParam());
+    const RunResult a =
+        runIsolation(spec, MachineConfig::scaled(), quick());
+    const RunResult &b = isolationRun(GetParam());
+    EXPECT_EQ(a.metrics.ipc, b.metrics.ipc) << "nondeterminism";
+    EXPECT_EQ(a.metrics.llcMisses, b.metrics.llcMisses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullZoo, ZooCalibration, ::testing::ValuesIn(zooNames()),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (c == '.' || c == '-')
+                c = '_';
+        return n;
+    });

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * pintesim — command-line driver for the PInTE simulator.
+ *
+ * Runs a single workload (or a pair) on a configurable machine and
+ * prints aggregate metrics, optionally as one JSON object per run for
+ * scripting. Everything the library exposes — replacement, inclusion,
+ * prefetch and branch-prediction choices, PInTE probability, scope and
+ * the DRAM complement — is reachable from here.
+ *
+ * Examples:
+ *   pintesim --list
+ *   pintesim -w 450.soplex --sweep
+ *   pintesim -w 450.soplex -p 0.2 --policy rrip --inclusion exclusive
+ *   pintesim -w 450.soplex --pair 470.lbm
+ *   pintesim -w 429.mcf -p 0.3 --dram-complement 60 --json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "analysis/table.hh"
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/options.hh"
+#include "sim/report.hh"
+
+using namespace pinte;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "usage: pintesim [options]\n"
+        "  -w, --workload NAME   zoo workload (see --list)\n"
+        "  -p, --pinduce P       PInTE probability of induction [0,1]\n"
+        "      --sweep           run the standard 12-point P sweep\n"
+        "      --pair NAME       2nd-Trace co-run instead of PInTE\n"
+        "      --isolation       no contention at all\n"
+        "      --policy K        llc replacement: lru plru nmru rrip random\n"
+        "      --inclusion K     llc inclusion: non inclusive exclusive\n"
+        "      --prefetch SSS    prefetch string (000, NN0, NNN, NNI)\n"
+        "      --predictor K     bimodal gshare perceptron hashed\n"
+        "      --scope K         pinte scope: llc l2 l2+llc\n"
+        "      --dram-complement F  add P*F cycles to DRAM accesses\n"
+        "      --warmup N        warmup instructions (default 20000)\n"
+        "      --roi N           region of interest (default 60000)\n"
+        "      --sample N        sample period (default 3000)\n"
+        "      --seed N          run seed (PInTE RNG stream)\n"
+        "      --json            one JSON object per run on stdout\n"
+        "      --report          full machine statistics dump\n"
+        "      --list            list zoo workloads and exit\n"
+        "      --help            this text\n";
+}
+
+void
+printJson(const RunResult &r)
+{
+    std::printf(
+        "{\"workload\":\"%s\",\"contention\":\"%s\",\"ipc\":%.6f,"
+        "\"miss_rate\":%.6f,\"amat\":%.3f,\"interference_rate\":%.6f,"
+        "\"theft_rate\":%.6f,\"branch_accuracy\":%.6f,"
+        "\"l2_mpki\":%.3f,\"llc_mpki\":%.3f,\"llc_occupancy\":%.4f,"
+        "\"pinte_triggers\":%llu,\"pinte_invalidations\":%llu,"
+        "\"wall_seconds\":%.6f}\n",
+        r.workload.c_str(), r.contention.c_str(), r.metrics.ipc,
+        r.metrics.missRate, r.metrics.amat,
+        r.metrics.interferenceRate, r.metrics.theftRate,
+        r.metrics.branchAccuracy, r.metrics.l2Mpki, r.metrics.llcMpki,
+        r.metrics.llcOccupancyFraction,
+        static_cast<unsigned long long>(r.pinte.triggers),
+        static_cast<unsigned long long>(r.pinte.invalidations),
+        r.wallSeconds);
+}
+
+void
+printText(const RunResult &r)
+{
+    TextTable t({"metric", "value"});
+    t.addRow({"workload", r.workload});
+    t.addRow({"contention", r.contention});
+    t.addRow({"IPC", fmt(r.metrics.ipc, 4)});
+    t.addRow({"LLC miss rate", fmt(r.metrics.missRate, 4)});
+    t.addRow({"AMAT (cycles)", fmt(r.metrics.amat, 1)});
+    t.addRow({"interference rate",
+              fmtPct(r.metrics.interferenceRate)});
+    t.addRow({"theft rate", fmtPct(r.metrics.theftRate)});
+    t.addRow({"branch accuracy", fmtPct(r.metrics.branchAccuracy)});
+    t.addRow({"L2 MPKI", fmt(r.metrics.l2Mpki, 1)});
+    t.addRow({"LLC MPKI", fmt(r.metrics.llcMpki, 1)});
+    t.addRow({"LLC occupancy",
+              fmtPct(r.metrics.llcOccupancyFraction)});
+    if (r.pinte.triggers) {
+        t.addRow({"PInTE triggers", std::to_string(r.pinte.triggers)});
+        t.addRow({"PInTE invalidations",
+                  std::to_string(r.pinte.invalidations)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "450.soplex";
+    std::optional<double> pinduce;
+    std::optional<std::string> pair;
+    bool isolation = false, sweep = false, json = false;
+    bool report = false;
+    double dram_factor = 0.0;
+    PInteScope scope = PInteScope::LlcOnly;
+    MachineConfig machine = MachineConfig::scaled();
+    ExperimentParams params;
+
+    auto need = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            fatal(std::string("missing value for ") + flag);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "-w" || a == "--workload") {
+            workload = need(i, a.c_str());
+        } else if (a == "-p" || a == "--pinduce") {
+            pinduce = parseProbability(need(i, a.c_str()));
+        } else if (a == "--sweep") {
+            sweep = true;
+        } else if (a == "--pair") {
+            pair = need(i, a.c_str());
+        } else if (a == "--isolation") {
+            isolation = true;
+        } else if (a == "--policy") {
+            machine.llc.replacement =
+                parseReplacement(need(i, a.c_str()));
+        } else if (a == "--inclusion") {
+            machine.llc.inclusion = parseInclusion(need(i, a.c_str()));
+        } else if (a == "--prefetch") {
+            machine.prefetch =
+                PrefetchConfig::parse(need(i, a.c_str()).c_str());
+        } else if (a == "--predictor") {
+            machine.core.predictor =
+                parsePredictor(need(i, a.c_str()));
+        } else if (a == "--scope") {
+            scope = parsePInteScope(need(i, a.c_str()));
+        } else if (a == "--dram-complement") {
+            dram_factor = std::stod(need(i, a.c_str()));
+        } else if (a == "--warmup") {
+            params.warmup = std::stoull(need(i, a.c_str()));
+        } else if (a == "--roi") {
+            params.roi = std::stoull(need(i, a.c_str()));
+        } else if (a == "--sample") {
+            params.sampleEvery = std::stoull(need(i, a.c_str()));
+        } else if (a == "--seed") {
+            params.runSeed = std::stoull(need(i, a.c_str()));
+        } else if (a == "--json") {
+            json = true;
+        } else if (a == "--report") {
+            report = true;
+        } else if (a == "--list") {
+            for (const auto &s : fullZoo())
+                std::printf("%-16s %-14s footprint %5llu KB\n",
+                            s.name.c_str(), toString(s.klass),
+                            static_cast<unsigned long long>(
+                                s.footprintLines * blockSize / 1024));
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option: " + a);
+        }
+    }
+
+    const WorkloadSpec spec = findWorkload(workload);
+    auto emit = [&](const RunResult &r) {
+        if (json)
+            printJson(r);
+        else
+            printText(r);
+    };
+
+    if (report) {
+        // A report run drives the machine directly so the full stats
+        // block (every cache, DRAM, engines) is still live at dump
+        // time; RunResult only carries the summary.
+        MachineConfig m = machine;
+        m.numCores = 1;
+        if (pinduce) {
+            m.pinte.pInduce = *pinduce;
+            m.pinteScope = scope;
+        }
+        if (dram_factor > 0.0 && pinduce)
+            m.dram.contentionExtra =
+                static_cast<Cycle>(*pinduce * dram_factor);
+        TraceGenerator gen(spec);
+        System sys(m, {&gen});
+        sys.warmup(params.warmup);
+        sys.runUntilCore0(params.roi);
+        printMachineReport(sys, std::cout);
+        return 0;
+    }
+
+    if (pair) {
+        const auto [ra, rb] =
+            runPair(spec, findWorkload(*pair), machine, params);
+        emit(ra);
+        emit(rb);
+        return 0;
+    }
+
+    if (isolation || (!pinduce && !sweep)) {
+        emit(runIsolation(spec, machine, params));
+        return 0;
+    }
+
+    auto one = [&](double p) {
+        if (dram_factor > 0.0)
+            return runPInteDramComplement(spec, p, machine, params,
+                                          dram_factor);
+        if (scope != PInteScope::LlcOnly)
+            return runPInteScoped(spec, p, scope, machine, params);
+        return runPInte(spec, p, machine, params);
+    };
+
+    if (sweep) {
+        for (double p : standardPInduceSweep())
+            emit(one(p));
+    } else {
+        emit(one(*pinduce));
+    }
+    return 0;
+}
