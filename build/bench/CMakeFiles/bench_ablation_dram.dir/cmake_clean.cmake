@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dram.dir/bench_ablation_dram.cc.o"
+  "CMakeFiles/bench_ablation_dram.dir/bench_ablation_dram.cc.o.d"
+  "bench_ablation_dram"
+  "bench_ablation_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

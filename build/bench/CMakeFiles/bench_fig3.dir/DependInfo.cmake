@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3.cc" "bench/CMakeFiles/bench_fig3.dir/bench_fig3.cc.o" "gcc" "bench/CMakeFiles/bench_fig3.dir/bench_fig3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pinte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pinte_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pinte_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pinte_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pinte_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/pinte_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pinte_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pinte_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/replacement/CMakeFiles/pinte_replacement.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/pinte_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pinte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

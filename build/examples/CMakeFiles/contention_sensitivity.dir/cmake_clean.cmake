@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_sensitivity.dir/contention_sensitivity.cpp.o"
+  "CMakeFiles/contention_sensitivity.dir/contention_sensitivity.cpp.o.d"
+  "contention_sensitivity"
+  "contention_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/c2afe.cc" "src/analysis/CMakeFiles/pinte_analysis.dir/c2afe.cc.o" "gcc" "src/analysis/CMakeFiles/pinte_analysis.dir/c2afe.cc.o.d"
+  "/root/repo/src/analysis/crg.cc" "src/analysis/CMakeFiles/pinte_analysis.dir/crg.cc.o" "gcc" "src/analysis/CMakeFiles/pinte_analysis.dir/crg.cc.o.d"
+  "/root/repo/src/analysis/sensitivity.cc" "src/analysis/CMakeFiles/pinte_analysis.dir/sensitivity.cc.o" "gcc" "src/analysis/CMakeFiles/pinte_analysis.dir/sensitivity.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/analysis/CMakeFiles/pinte_analysis.dir/table.cc.o" "gcc" "src/analysis/CMakeFiles/pinte_analysis.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pinte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

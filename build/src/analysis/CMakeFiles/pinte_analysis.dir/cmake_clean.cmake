@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_analysis.dir/c2afe.cc.o"
+  "CMakeFiles/pinte_analysis.dir/c2afe.cc.o.d"
+  "CMakeFiles/pinte_analysis.dir/crg.cc.o"
+  "CMakeFiles/pinte_analysis.dir/crg.cc.o.d"
+  "CMakeFiles/pinte_analysis.dir/sensitivity.cc.o"
+  "CMakeFiles/pinte_analysis.dir/sensitivity.cc.o.d"
+  "CMakeFiles/pinte_analysis.dir/table.cc.o"
+  "CMakeFiles/pinte_analysis.dir/table.cc.o.d"
+  "libpinte_analysis.a"
+  "libpinte_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_branch.dir/predictor.cc.o"
+  "CMakeFiles/pinte_branch.dir/predictor.cc.o.d"
+  "libpinte_branch.a"
+  "libpinte_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_cache.dir/cache.cc.o"
+  "CMakeFiles/pinte_cache.dir/cache.cc.o.d"
+  "libpinte_cache.a"
+  "libpinte_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_common.dir/histogram.cc.o"
+  "CMakeFiles/pinte_common.dir/histogram.cc.o.d"
+  "CMakeFiles/pinte_common.dir/kl_divergence.cc.o"
+  "CMakeFiles/pinte_common.dir/kl_divergence.cc.o.d"
+  "CMakeFiles/pinte_common.dir/rng.cc.o"
+  "CMakeFiles/pinte_common.dir/rng.cc.o.d"
+  "CMakeFiles/pinte_common.dir/summary_stats.cc.o"
+  "CMakeFiles/pinte_common.dir/summary_stats.cc.o.d"
+  "libpinte_common.a"
+  "libpinte_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pinte.cc" "src/core/CMakeFiles/pinte_core.dir/pinte.cc.o" "gcc" "src/core/CMakeFiles/pinte_core.dir/pinte.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pinte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pinte_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/replacement/CMakeFiles/pinte_replacement.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/pinte_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_core.dir/pinte.cc.o"
+  "CMakeFiles/pinte_core.dir/pinte.cc.o.d"
+  "libpinte_core.a"
+  "libpinte_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_cpu.dir/core.cc.o"
+  "CMakeFiles/pinte_cpu.dir/core.cc.o.d"
+  "libpinte_cpu.a"
+  "libpinte_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

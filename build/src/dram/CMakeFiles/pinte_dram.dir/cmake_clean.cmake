@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_dram.dir/dram.cc.o"
+  "CMakeFiles/pinte_dram.dir/dram.cc.o.d"
+  "libpinte_dram.a"
+  "libpinte_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_prefetch.dir/prefetcher.cc.o"
+  "CMakeFiles/pinte_prefetch.dir/prefetcher.cc.o.d"
+  "libpinte_prefetch.a"
+  "libpinte_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

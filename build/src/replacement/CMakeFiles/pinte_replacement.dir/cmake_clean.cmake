@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_replacement.dir/policy.cc.o"
+  "CMakeFiles/pinte_replacement.dir/policy.cc.o.d"
+  "libpinte_replacement.a"
+  "libpinte_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

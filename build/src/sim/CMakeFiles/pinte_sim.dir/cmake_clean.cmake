@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_sim.dir/experiment.cc.o"
+  "CMakeFiles/pinte_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/pinte_sim.dir/machine.cc.o"
+  "CMakeFiles/pinte_sim.dir/machine.cc.o.d"
+  "CMakeFiles/pinte_sim.dir/options.cc.o"
+  "CMakeFiles/pinte_sim.dir/options.cc.o.d"
+  "CMakeFiles/pinte_sim.dir/report.cc.o"
+  "CMakeFiles/pinte_sim.dir/report.cc.o.d"
+  "libpinte_sim.a"
+  "libpinte_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinte_trace.dir/generator.cc.o"
+  "CMakeFiles/pinte_trace.dir/generator.cc.o.d"
+  "CMakeFiles/pinte_trace.dir/trace_io.cc.o"
+  "CMakeFiles/pinte_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/pinte_trace.dir/workload.cc.o"
+  "CMakeFiles/pinte_trace.dir/workload.cc.o.d"
+  "CMakeFiles/pinte_trace.dir/zoo.cc.o"
+  "CMakeFiles/pinte_trace.dir/zoo.cc.o.d"
+  "libpinte_trace.a"
+  "libpinte_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinte_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpinte_trace.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kl_divergence.dir/test_kl_divergence.cc.o"
+  "CMakeFiles/test_kl_divergence.dir/test_kl_divergence.cc.o.d"
+  "test_kl_divergence"
+  "test_kl_divergence.pdb"
+  "test_kl_divergence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kl_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

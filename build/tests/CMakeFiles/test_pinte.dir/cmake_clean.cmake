@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pinte.dir/test_pinte.cc.o"
+  "CMakeFiles/test_pinte.dir/test_pinte.cc.o.d"
+  "test_pinte"
+  "test_pinte.pdb"
+  "test_pinte[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pinte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pintesim.dir/pintesim.cpp.o"
+  "CMakeFiles/pintesim.dir/pintesim.cpp.o.d"
+  "pintesim"
+  "pintesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pintesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
