@@ -91,27 +91,44 @@ main(int argc, char **argv)
 
     TextTable t({"benchmark", "class", "IPC% base", "IPC% +dram",
                  "AMAT% base", "AMAT% +dram"});
-    std::size_t done = 0;
     for (const char *name : targets) {
         const WorkloadSpec spec = findWorkload(name);
+        const auto &sweep = standardPInduceSweep();
 
-        // 2nd-Trace reference: pair against the small zoo.
-        std::vector<RunResult> trace_runs;
+        std::vector<WorkloadSpec> peers;
+        for (const auto &peer : opt.zoo())
+            if (peer.name != spec.name)
+                peers.push_back(peer);
+
+        // One job bag per target: (n-1) 2nd-Trace pairings, then the
+        // sweep without and with the DRAM complement.
         MachineConfig two = machine;
         two.numCores = 2;
-        for (const auto &peer : opt.zoo()) {
-            if (peer.name == spec.name)
-                continue;
-            trace_runs.push_back(
-                runPair(spec, peer, two, opt.params).first);
-        }
+        const std::size_t np = peers.size(), nk = sweep.size();
+        ProgressMeter meter(opt, name, np + 2 * nk);
+        auto runs = opt.runner().map(
+            np + 2 * nk,
+            [&](std::size_t i) {
+                if (i < np)
+                    return runPair(spec, peers[i], two, opt.params)
+                        .first;
+                if (i < np + nk)
+                    return runPInte(spec, sweep[i - np], machine,
+                                    opt.params);
+                return runPInteDramComplement(
+                    spec, sweep[i - np - nk], machine, opt.params);
+            },
+            meter.asTick());
 
-        std::vector<RunResult> base_runs, dram_runs;
-        for (double p : standardPInduceSweep()) {
-            base_runs.push_back(runPInte(spec, p, machine, opt.params));
-            dram_runs.push_back(runPInteDramComplement(
-                spec, p, machine, opt.params));
-        }
+        const std::vector<RunResult> trace_runs(
+            std::make_move_iterator(runs.begin()),
+            std::make_move_iterator(runs.begin() + np));
+        const std::vector<RunResult> base_runs(
+            std::make_move_iterator(runs.begin() + np),
+            std::make_move_iterator(runs.begin() + np + nk));
+        const std::vector<RunResult> dram_runs(
+            std::make_move_iterator(runs.begin() + np + nk),
+            std::make_move_iterator(runs.end()));
 
         const auto tg = groupRuns(trace_runs);
         const auto [ipc_b, amat_b] = matchedError(tg,
@@ -120,8 +137,6 @@ main(int argc, char **argv)
                                                   groupRuns(dram_runs));
         t.addRow({spec.name, toString(spec.klass), fmt(ipc_b, 1),
                   fmt(ipc_d, 1), fmt(amat_b, 1), fmt(amat_d, 1)});
-        progress(opt, "dram-complement", ++done,
-                 sizeof(targets) / sizeof(targets[0]));
     }
     t.print(std::cout);
 

@@ -58,23 +58,32 @@ main(int argc, char **argv)
         machine.pinte.promote = v.promote;
         machine.pinte.select = v.select;
 
-        // Per-workload isolation baselines.
-        std::vector<double> iso_ipc;
-        for (const auto &spec : zoo)
-            iso_ipc.push_back(
-                runIsolation(spec, machine, opt.params).metrics.ipc);
+        // Per-workload isolation baselines. The memo makes the three
+        // variants share one baseline: an isolation run has no engine,
+        // so the variant knobs cannot affect it.
+        const std::vector<RunResult> &iso =
+            isolationBaseline(zoo, machine, opt);
+
+        const std::size_t nw = zoo.size(), nk = sweep.size();
+        ProgressMeter meter(opt, v.label, nk * nw);
+        const auto runs = opt.runner().map(
+            nk * nw,
+            [&](std::size_t idx) {
+                return runPInte(zoo[idx % nw], sweep[idx / nw],
+                                machine, opt.params);
+            },
+            meter.asTick());
 
         TextTable t({"P_Induce", "observed contention", "inval/trigger",
                      "mean weighted IPC"});
-        std::size_t done = 0;
-        for (double p : sweep) {
+        for (std::size_t k = 0; k < nk; ++k) {
             double rate = 0, wipc = 0, inval_per_trig = 0;
             int trig_samples = 0;
-            for (std::size_t w = 0; w < zoo.size(); ++w) {
-                MachineConfig m = machine;
-                const RunResult r = runPInte(zoo[w], p, m, opt.params);
+            for (std::size_t w = 0; w < nw; ++w) {
+                const RunResult &r = runs[k * nw + w];
                 rate += std::min(1.0, r.metrics.interferenceRate);
-                wipc += weightedIpc(r.metrics.ipc, iso_ipc[w]);
+                wipc += weightedIpc(r.metrics.ipc,
+                                    iso[w].metrics.ipc);
                 if (r.pinte.triggers) {
                     inval_per_trig +=
                         static_cast<double>(r.pinte.invalidations) /
@@ -82,13 +91,12 @@ main(int argc, char **argv)
                     ++trig_samples;
                 }
             }
-            const double n = static_cast<double>(zoo.size());
-            t.addRow({fmt(p, 3), fmtPct(rate / n),
+            const double n = static_cast<double>(nw);
+            t.addRow({fmt(sweep[k], 3), fmtPct(rate / n),
                       trig_samples ? fmt(inval_per_trig / trig_samples,
                                          2)
                                    : "-",
                       fmt(wipc / n, 3)});
-            progress(opt, v.label, ++done, sweep.size());
         }
         std::cout << "variant: " << v.label << "\n";
         t.print(std::cout);

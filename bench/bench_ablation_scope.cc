@@ -44,13 +44,20 @@ main(int argc, char **argv)
                   << ")\n";
         TextTable t({"P_Induce", "llc-only: intf/wIPC",
                      "l2-only: l2-intf/wIPC", "l2+llc: l2-intf/wIPC"});
-        for (double p : {0.05, 0.2, 0.5}) {
-            std::vector<std::string> row = {fmt(p, 2)};
-            for (PInteScope scope : scopes) {
-                const RunResult r = runPInteScoped(spec, p, scope,
-                                                   machine, opt.params);
+        const double probs[] = {0.05, 0.2, 0.5};
+        const std::size_t ns = std::size(scopes);
+        const auto runs = opt.runner().map(
+            std::size(probs) * ns, [&](std::size_t idx) {
+                return runPInteScoped(spec, probs[idx / ns],
+                                      scopes[idx % ns], machine,
+                                      opt.params);
+            });
+        for (std::size_t pi = 0; pi < std::size(probs); ++pi) {
+            std::vector<std::string> row = {fmt(probs[pi], 2)};
+            for (std::size_t si = 0; si < ns; ++si) {
+                const RunResult &r = runs[pi * ns + si];
                 const double intf =
-                    scope == PInteScope::LlcOnly
+                    scopes[si] == PInteScope::LlcOnly
                         ? r.metrics.interferenceRate
                         : r.metrics.l2InterferenceRate;
                 row.push_back(

@@ -7,6 +7,14 @@
  * 12-point P_Induce sweep, and every unique workload pair under the
  * 2nd-Trace method. Each bench binary builds the campaign it needs via
  * these helpers and then reduces it to one table or figure.
+ *
+ * All three families execute on the parallel campaign runner
+ * (sim/runner.hh): every experiment is an independent simulation, so
+ * a campaign spreads across `--jobs=N` worker threads while results
+ * come back in submission order — the reduction a bench prints is
+ * byte-identical whatever N is. Per-experiment costs stay meaningful
+ * under concurrency because RunResult::cpuSeconds is per-thread CPU
+ * time, not wall time.
  */
 
 #ifndef PINTE_BENCH_BENCH_COMMON_HH
@@ -14,8 +22,12 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
+#include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -24,6 +36,7 @@
 #include "analysis/crg.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 namespace pinte::bench
 {
@@ -34,6 +47,7 @@ struct BenchOptions
     bool fullZoo = false;          //!< --full: 49 workloads, else 12
     ExperimentParams params;       //!< --roi=N, --warmup=N
     bool quiet = false;            //!< --quiet: suppress progress
+    unsigned jobs = 0;             //!< --jobs=N: 0 = all host cores
 
     /**
      * Parse argv; unknown flags are fatal.
@@ -55,13 +69,17 @@ struct BenchOptions
                 o.fullZoo = false;
             } else if (a == "--quiet") {
                 o.quiet = true;
+            } else if (a.rfind("--jobs=", 0) == 0) {
+                o.jobs = static_cast<unsigned>(
+                    std::stoul(a.substr(7)));
             } else if (a.rfind("--roi=", 0) == 0) {
                 o.params.roi = std::stoull(a.substr(6));
             } else if (a.rfind("--warmup=", 0) == 0) {
                 o.params.warmup = std::stoull(a.substr(9));
             } else {
                 fatal("unknown bench option: " + a +
-                      " (use --full/--small/--quiet/--roi=N/--warmup=N)");
+                      " (use --full/--small/--quiet/--jobs=N/"
+                      "--roi=N/--warmup=N)");
             }
         }
         return o;
@@ -72,26 +90,72 @@ struct BenchOptions
     {
         return fullZoo ? pinte::fullZoo() : smallZoo();
     }
+
+    /** A worker pool sized by --jobs (default: all host cores). */
+    Runner
+    runner() const
+    {
+        return Runner(jobs);
+    }
 };
 
-/** Progress ticker on stderr (tables go to stdout). */
-inline void
-progress(const BenchOptions &opt, const char *what, std::size_t done,
-         std::size_t total)
+/**
+ * Progress ticker on stderr (tables go to stdout).
+ *
+ * Exactly one writer: the meter is only ever ticked from the thread
+ * that launched the campaign (Runner invokes the tick callback on the
+ * calling thread, never on a worker), so lines cannot interleave.
+ * Terminal output is additionally rate-limited to ~10 updates/s so a
+ * many-thousand-job campaign does not spend its time rewriting `\r`
+ * lines.
+ */
+class ProgressMeter
 {
-    if (opt.quiet)
-        return;
-    if (isatty(fileno(stderr))) {
-        if (done == total || done % 16 == 0)
-            std::fprintf(stderr, "\r%s: %zu/%zu", what, done, total);
-        if (done == total)
-            std::fprintf(stderr, "\n");
-    } else if (done == total) {
-        // Redirected runs get one completion line per family, not a
-        // carriage-return ticker.
-        std::fprintf(stderr, "[%s: %zu experiments]\n", what, total);
+  public:
+    ProgressMeter(const BenchOptions &opt, const char *what,
+                  std::size_t total)
+        : quiet_(opt.quiet), what_(what), total_(total)
+    {
     }
-}
+
+    /** Report `done` completed experiments (monotonic). */
+    void
+    tick(std::size_t done)
+    {
+        if (quiet_)
+            return;
+        if (isatty(fileno(stderr))) {
+            const auto now = std::chrono::steady_clock::now();
+            if (done != total_ && printed_ &&
+                now - last_ < std::chrono::milliseconds(100))
+                return;
+            last_ = now;
+            printed_ = true;
+            std::fprintf(stderr, "\r%s: %zu/%zu", what_, done, total_);
+            if (done == total_)
+                std::fprintf(stderr, "\n");
+        } else if (done == total_) {
+            // Redirected runs get one completion line per family, not
+            // a carriage-return ticker.
+            std::fprintf(stderr, "[%s: %zu experiments]\n", what_,
+                         total_);
+        }
+    }
+
+    /** Adapter for Runner's progress callback. */
+    Runner::Tick
+    asTick()
+    {
+        return [this](std::size_t done) { tick(done); };
+    }
+
+  private:
+    bool quiet_;
+    const char *what_;
+    std::size_t total_;
+    bool printed_ = false;
+    std::chrono::steady_clock::time_point last_{};
+};
 
 /** Results of the three experiment families over one zoo. */
 struct Campaign
@@ -110,21 +174,70 @@ struct Campaign
      */
     std::vector<std::vector<RunResult>> secondTrace;
 
-    /** Wall-clock seconds of each pair experiment (Table I). */
-    std::vector<double> pairWall;
+    /** CPU seconds of each pair experiment (Table I). */
+    std::vector<double> pairCpu;
 };
+
+/**
+ * The isolation family, memoized per process.
+ *
+ * Benches that need both the isolation baseline and a sweep (and
+ * ablations that re-baseline per machine variant) hit this with the
+ * same effective configuration several times; the family is computed
+ * once per distinct (zoo, machine, params) key and shared. The key
+ * normalizes the knobs runIsolation itself overrides (core count,
+ * P_Induce), so engine variants that cannot affect an isolation run
+ * share one baseline.
+ *
+ * @return a reference valid for the life of the process
+ */
+inline const std::vector<RunResult> &
+isolationBaseline(const std::vector<WorkloadSpec> &zoo,
+                  MachineConfig machine, const BenchOptions &opt)
+{
+    machine.numCores = 1;
+    // With no engine (pInduce 0), none of the PInTE knobs can reach
+    // the simulation — reset them all so variant machines that differ
+    // only in engine configuration map to one cache entry.
+    machine.pinte = PInteConfig{};
+    machine.pinte.pInduce = 0.0;
+    machine.pinteScope = PInteScope::LlcOnly;
+
+    std::string key = machine.fingerprint();
+    key += "|warmup=" + std::to_string(opt.params.warmup);
+    key += "|roi=" + std::to_string(opt.params.roi);
+    key += "|sample=" + std::to_string(opt.params.sampleEvery);
+    key += "|zoo=";
+    for (const auto &spec : zoo)
+        key += spec.name + ",";
+
+    static std::mutex mutex;
+    static std::map<std::string, std::vector<RunResult>> cache;
+    {
+        std::lock_guard<std::mutex> g(mutex);
+        const auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+
+    ProgressMeter meter(opt, "isolation", zoo.size());
+    auto results = opt.runner().map(
+        zoo.size(),
+        [&](std::size_t i) {
+            return runIsolation(zoo[i], machine, opt.params);
+        },
+        meter.asTick());
+
+    std::lock_guard<std::mutex> g(mutex);
+    return cache.emplace(key, std::move(results)).first->second;
+}
 
 /** Run the isolation family. */
 inline void
 runIsolationFamily(Campaign &c, const MachineConfig &machine,
                    const BenchOptions &opt)
 {
-    c.isolation.clear();
-    for (std::size_t i = 0; i < c.zoo.size(); ++i) {
-        c.isolation.push_back(runIsolation(c.zoo[i], machine,
-                                           opt.params));
-        progress(opt, "isolation", i + 1, c.zoo.size());
-    }
+    c.isolation = isolationBaseline(c.zoo, machine, opt);
 }
 
 /** Run the 12-point PInTE sweep family. */
@@ -133,13 +246,23 @@ runPInteFamily(Campaign &c, const MachineConfig &machine,
                const BenchOptions &opt)
 {
     const auto &sweep = standardPInduceSweep();
-    c.pinte.assign(c.zoo.size(), {});
-    for (std::size_t i = 0; i < c.zoo.size(); ++i) {
-        for (double p : sweep)
-            c.pinte[i].push_back(runPInte(c.zoo[i], p, machine,
-                                          opt.params));
-        progress(opt, "pinte-sweep", i + 1, c.zoo.size());
-    }
+    const std::size_t n = c.zoo.size();
+    const std::size_t k = sweep.size();
+
+    ProgressMeter meter(opt, "pinte-sweep", n * k);
+    auto flat = opt.runner().map(
+        n * k,
+        [&](std::size_t idx) {
+            return runPInte(c.zoo[idx / k], sweep[idx % k], machine,
+                            opt.params);
+        },
+        meter.asTick());
+
+    c.pinte.assign(n, {});
+    for (std::size_t i = 0; i < n; ++i)
+        c.pinte[i].assign(
+            std::make_move_iterator(flat.begin() + i * k),
+            std::make_move_iterator(flat.begin() + (i + 1) * k));
 }
 
 /** Run every unique pair (the 2nd-Trace family). */
@@ -147,21 +270,34 @@ inline void
 runPairFamily(Campaign &c, const MachineConfig &machine,
               const BenchOptions &opt)
 {
-    c.secondTrace.assign(c.zoo.size(), {});
-    c.pairWall.clear();
     const std::size_t n = c.zoo.size();
-    const std::size_t total = n * (n - 1) / 2;
-    std::size_t done = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    pairs.reserve(n * (n - 1) / 2);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            pairs.emplace_back(i, j);
+
     MachineConfig two = machine;
     two.numCores = 2;
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = i + 1; j < n; ++j) {
-            auto [ri, rj] = runPair(c.zoo[i], c.zoo[j], two, opt.params);
-            c.pairWall.push_back(ri.wallSeconds);
-            c.secondTrace[i].push_back(std::move(ri));
-            c.secondTrace[j].push_back(std::move(rj));
-            progress(opt, "2nd-trace pairs", ++done, total);
-        }
+
+    ProgressMeter meter(opt, "2nd-trace pairs", pairs.size());
+    auto results = opt.runner().map(
+        pairs.size(),
+        [&](std::size_t t) {
+            return runPair(c.zoo[pairs[t].first],
+                           c.zoo[pairs[t].second], two, opt.params);
+        },
+        meter.asTick());
+
+    // Scatter in submission order: identical to the serial nested
+    // loop, so downstream per-workload pools see the same run order.
+    c.secondTrace.assign(n, {});
+    c.pairCpu.clear();
+    for (std::size_t t = 0; t < pairs.size(); ++t) {
+        auto &[ri, rj] = results[t];
+        c.pairCpu.push_back(ri.cpuSeconds);
+        c.secondTrace[pairs[t].first].push_back(std::move(ri));
+        c.secondTrace[pairs[t].second].push_back(std::move(rj));
     }
 }
 

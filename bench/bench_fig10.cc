@@ -53,58 +53,67 @@ main(int argc, char **argv)
 
         struct Point
         {
-            double x, dipc;
+            double x = 0.0, dipc = 0.0;
         };
-        std::vector<Point> real_pts;
-        for (const auto &peer : opt.zoo()) {
-            if (peer.name == spec.name)
-                continue;
-            MachineConfig m = real;
-            TraceGenerator ga(spec);
-            WorkloadSpec peer_off = peer;
-            peer_off.dataBase += 0x800000000ull;
-            peer_off.codeBase += 0x40000000ull;
-            TraceGenerator gb(peer_off);
-            System sys(m, {&ga, &gb});
-            sys.llc().setWayMask(0, 0x3fff); // ways 0-13
-            sys.llc().setWayMask(1, 0x3fff);
-            sys.warmup(opt.params.warmup);
-            sys.runUntilCore0(opt.params.roi);
+        std::vector<WorkloadSpec> peers;
+        for (const auto &peer : opt.zoo())
+            if (peer.name != spec.name)
+                peers.push_back(peer);
 
-            const Cache &llc = sys.llc();
-            const double max_alloc =
-                14.0 / 16.0 * llc.numSets() * llc.assoc();
-            const double occ =
-                static_cast<double>(llc.occupancy(0));
-            // Eq. 6, against the benchmark's own isolated occupancy
-            // as the expected-capacity baseline.
-            const double iso_occ =
-                iso_real.metrics.llcOccupancyFraction *
-                llc.numSets() * llc.assoc();
-            const double denom = std::max(1.0, std::min(max_alloc,
-                                                        iso_occ));
-            const double delta_occ = 100.0 * (occ / denom - 1.0);
+        ProgressMeter co_meter(opt, "co-runs", peers.size());
+        const std::vector<Point> real_pts = opt.runner().map(
+            peers.size(),
+            [&](std::size_t pi) {
+                MachineConfig m = real;
+                TraceGenerator ga(spec);
+                WorkloadSpec peer_off = peers[pi];
+                peer_off.dataBase += 0x800000000ull;
+                peer_off.codeBase += 0x40000000ull;
+                TraceGenerator gb(peer_off);
+                System sys(m, {&ga, &gb});
+                sys.llc().setWayMask(0, 0x3fff); // ways 0-13
+                sys.llc().setWayMask(1, 0x3fff);
+                sys.warmup(opt.params.warmup);
+                sys.runUntilCore0(opt.params.roi);
 
-            const double ipc = sys.core(0).stats().ipc();
-            real_pts.push_back(
-                {delta_occ,
-                 100.0 * (ipc / iso_real.metrics.ipc - 1.0)});
-        }
+                const Cache &llc = sys.llc();
+                const double max_alloc =
+                    14.0 / 16.0 * llc.numSets() * llc.assoc();
+                const double occ =
+                    static_cast<double>(llc.occupancy(0));
+                // Eq. 6, against the benchmark's own isolated
+                // occupancy as the expected-capacity baseline.
+                const double iso_occ =
+                    iso_real.metrics.llcOccupancyFraction *
+                    llc.numSets() * llc.assoc();
+                const double denom =
+                    std::max(1.0, std::min(max_alloc, iso_occ));
+                const double delta_occ =
+                    100.0 * (occ / denom - 1.0);
+
+                const double ipc = sys.core(0).stats().ipc();
+                return Point{
+                    delta_occ,
+                    100.0 * (ipc / iso_real.metrics.ipc - 1.0)};
+            },
+            co_meter.asTick());
 
         // --- (b) PInTE on the halved-DRAM server model.
         const MachineConfig pinte_machine =
             MachineConfig::serverProxy(1, true);
         const RunResult iso_pinte =
             runIsolation(spec, pinte_machine, opt.params);
-        std::vector<Point> pinte_pts;
-        for (double p : standardPInduceSweep()) {
-            const RunResult r =
-                runPInte(spec, p, pinte_machine, opt.params);
-            pinte_pts.push_back(
-                {100.0 * r.metrics.interferenceRate,
-                 100.0 * (r.metrics.ipc / iso_pinte.metrics.ipc -
-                          1.0)});
-        }
+        const auto &sweep = standardPInduceSweep();
+        const std::vector<Point> pinte_pts = opt.runner().map(
+            sweep.size(), [&](std::size_t k) {
+                const RunResult r =
+                    runPInte(spec, sweep[k], pinte_machine,
+                             opt.params);
+                return Point{
+                    100.0 * r.metrics.interferenceRate,
+                    100.0 * (r.metrics.ipc / iso_pinte.metrics.ipc -
+                             1.0)};
+            });
 
         std::cout << spec.name << " (" << toString(spec.klass)
                   << ")\n";

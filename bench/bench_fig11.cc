@@ -55,19 +55,26 @@ runRow(const StudyRow &row, const std::vector<WorkloadSpec> &zoo,
         std::vector<std::vector<RunMetrics>>(
             nv, std::vector<RunMetrics>(zoo.size())));
 
-    std::size_t done = 0;
+    // Variant machines are value copies, so every (variant, workload,
+    // sweep-point) triple is one independent job.
+    std::vector<MachineConfig> machines;
     for (std::size_t v = 0; v < nv; ++v) {
-        MachineConfig machine = MachineConfig::scaled();
-        row.variants[v].apply(machine);
-        for (std::size_t w = 0; w < zoo.size(); ++w) {
-            for (std::size_t k = 0; k < sweep.size(); ++k)
-                results[k][v][w] =
-                    runPInte(zoo[w], sweep[k], machine, opt.params)
-                        .metrics;
-            progress(opt, row.title.c_str(), ++done,
-                     nv * zoo.size());
-        }
+        machines.push_back(MachineConfig::scaled());
+        row.variants[v].apply(machines.back());
     }
+    const std::size_t nw = zoo.size(), nk = sweep.size();
+    ProgressMeter meter(opt, row.title.c_str(), nv * nw * nk);
+    opt.runner().forEach(
+        nv * nw * nk,
+        [&](std::size_t idx) {
+            const std::size_t v = idx / (nw * nk);
+            const std::size_t w = (idx / nk) % nw;
+            const std::size_t k = idx % nk;
+            results[k][v][w] =
+                runPInte(zoo[w], sweep[k], machines[v], opt.params)
+                    .metrics;
+        },
+        meter.asTick());
 
     std::cout << "--- " << row.title << " ---\n\n";
 

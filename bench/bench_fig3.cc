@@ -28,24 +28,41 @@ main(int argc, char **argv)
     const auto &sweep = standardPInduceSweep();
     constexpr int reruns = 25;
 
+    // One independent job per (workload, config, seed) triple; the
+    // runner hands back (miss rate, IPC) in index order, so the
+    // reduction below is identical at any --jobs level.
+    const std::size_t nk = sweep.size();
+    const std::size_t total = zoo.size() * nk * reruns;
+    ProgressMeter meter(opt, "stability", total);
+    const auto flat = opt.runner().map(
+        total,
+        [&](std::size_t idx) {
+            const std::size_t w = idx / (nk * reruns);
+            const std::size_t k = (idx / reruns) % nk;
+            ExperimentParams params = opt.params;
+            params.runSeed = static_cast<std::uint64_t>(idx % reruns);
+            const RunResult r =
+                runPInte(zoo[w], sweep[k], machine, params);
+            return std::pair<double, double>(r.metrics.missRate,
+                                             r.metrics.ipc);
+        },
+        meter.asTick());
+
     // normstd[w][k] = (normStddev of MR, of IPC) over the 25 re-runs.
     std::vector<std::vector<std::pair<double, double>>> normstd(
         zoo.size());
-
     for (std::size_t w = 0; w < zoo.size(); ++w) {
-        for (double p : sweep) {
+        for (std::size_t k = 0; k < nk; ++k) {
             std::vector<double> mr, ipc;
             for (int seed = 0; seed < reruns; ++seed) {
-                ExperimentParams params = opt.params;
-                params.runSeed = static_cast<std::uint64_t>(seed);
-                const RunResult r = runPInte(zoo[w], p, machine, params);
-                mr.push_back(r.metrics.missRate);
-                ipc.push_back(r.metrics.ipc);
+                const auto &[m, i] =
+                    flat[(w * nk + k) * reruns + seed];
+                mr.push_back(m);
+                ipc.push_back(i);
             }
             normstd[w].emplace_back(summarize(mr).normStddev(),
                                     summarize(ipc).normStddev());
         }
-        progress(opt, "stability", w + 1, zoo.size());
     }
 
     std::cout << "FIG 3: PInTE stability across " << reruns

@@ -70,23 +70,39 @@ main(int argc, char **argv)
     std::vector<double> kls;
     for (int e = 0; e < 3; ++e) {
         const WorkloadSpec spec = findWorkload(examples[e]);
+        const auto &sweep = standardPInduceSweep();
 
-        // PInTE side: pool the sweep.
-        std::vector<RunResult> pinte_runs;
-        for (double p : standardPInduceSweep())
-            pinte_runs.push_back(runPInte(spec, p, machine, opt.params));
+        std::vector<WorkloadSpec> peers;
+        for (const auto &peer : c.zoo)
+            if (peer.name != spec.name)
+                peers.push_back(peer);
 
-        // 2nd-Trace side: pair against every zoo peer.
-        std::vector<RunResult> trace_runs;
+        // One job bag per example: the 12 sweep points followed by
+        // the (n-1) peer pairings, all independent.
         MachineConfig two = machine;
         two.numCores = 2;
-        for (const auto &peer : c.zoo) {
-            if (peer.name == spec.name)
-                continue;
-            trace_runs.push_back(
-                runPair(spec, peer, two, opt.params).first);
-        }
-        progress(opt, "examples", e + 1, 3);
+        const std::string what =
+            std::string("example ") + spec.name;
+        ProgressMeter meter(opt, what.c_str(),
+                            sweep.size() + peers.size());
+        auto runs = opt.runner().map(
+            sweep.size() + peers.size(),
+            [&](std::size_t i) {
+                if (i < sweep.size())
+                    return runPInte(spec, sweep[i], machine,
+                                    opt.params);
+                return runPair(spec, peers[i - sweep.size()], two,
+                               opt.params)
+                    .first;
+            },
+            meter.asTick());
+
+        const std::vector<RunResult> pinte_runs(
+            std::make_move_iterator(runs.begin()),
+            std::make_move_iterator(runs.begin() + sweep.size()));
+        const std::vector<RunResult> trace_runs(
+            std::make_move_iterator(runs.begin() + sweep.size()),
+            std::make_move_iterator(runs.end()));
 
         const unsigned buckets = machine.llc.assoc;
         const auto [hp, ht] =

@@ -6,8 +6,8 @@
  * The paper argues that if a pair of workloads is not representative,
  * three- and four-way mixes are needed — multiplying both per-
  * experiment cost (more cores simulated) and experiment count
- * (combinations explode). This bench measures per-experiment wall
- * clock and combination counts for 1..4-way mixes over the small zoo,
+ * (combinations explode). This bench measures per-experiment CPU
+ * cost and combination counts for 1..4-way mixes over the small zoo,
  * against the flat cost of the PInTE sweep.
  */
 
@@ -49,46 +49,51 @@ main(int argc, char **argv)
 
     TextTable t({"experiment design", "combos @" +
                      std::to_string(zoo.size()) + " workloads",
-                 "combos @188 traces", "avg wall (s)",
+                 "combos @188 traces", "avg cpu (s)",
                  "relative cost"});
 
     // Measure average per-experiment cost for k = 1..4 by sampling a
-    // handful of representative mixes.
-    double base_wall = 0.0;
+    // handful of representative mixes. Costs are per-thread CPU time,
+    // so the samples can run concurrently without polluting each
+    // other's measurements.
+    double base_cpu = 0.0;
     for (unsigned k = 1; k <= 4; ++k) {
-        std::vector<double> walls;
         const std::size_t samples = 6;
-        for (std::size_t s = 0; s < samples; ++s) {
-            std::vector<WorkloadSpec> mix;
-            for (unsigned j = 0; j < k; ++j)
-                mix.push_back(zoo[(s * 7 + j * 3) % zoo.size()]);
-            const auto results = runMix(mix, machine, opt.params);
-            walls.push_back(results.front().wallSeconds);
-            progress(opt, ("mix-" + std::to_string(k)).c_str(), s + 1,
-                     samples);
-        }
-        const double avg = mean(walls);
+        const std::string what = "mix-" + std::to_string(k);
+        ProgressMeter meter(opt, what.c_str(), samples);
+        const std::vector<double> costs = opt.runner().map(
+            samples,
+            [&](std::size_t s) {
+                std::vector<WorkloadSpec> mix;
+                for (unsigned j = 0; j < k; ++j)
+                    mix.push_back(zoo[(s * 7 + j * 3) % zoo.size()]);
+                return runMix(mix, machine, opt.params)
+                    .front()
+                    .cpuSeconds;
+            },
+            meter.asTick());
+        const double avg = mean(costs);
         if (k == 1)
-            base_wall = avg;
+            base_cpu = avg;
         t.addRow({std::to_string(k) + "-way mix",
                   std::to_string(choose(zoo.size(), k)),
                   std::to_string(choose(paper_n, k)), fmt(avg, 4),
-                  fmt(avg / base_wall, 2) + "x"});
+                  fmt(avg / base_cpu, 2) + "x"});
     }
 
     // PInTE: 12 configurations per workload, one core each.
     {
-        std::vector<double> walls;
-        for (std::size_t s = 0; s < 6; ++s) {
-            const auto r = runPInte(zoo[(s * 5) % zoo.size()], 0.1,
-                                    machine, opt.params);
-            walls.push_back(r.wallSeconds);
-        }
-        const double avg = mean(walls);
+        const std::vector<double> costs = opt.runner().map(
+            std::size_t{6}, [&](std::size_t s) {
+                return runPInte(zoo[(s * 5) % zoo.size()], 0.1,
+                                machine, opt.params)
+                    .cpuSeconds;
+            });
+        const double avg = mean(costs);
         t.addRow({"PInTE sweep",
                   std::to_string(12 * zoo.size()),
                   std::to_string(12 * paper_n), fmt(avg, 4),
-                  fmt(avg / base_wall, 2) + "x"});
+                  fmt(avg / base_cpu, 2) + "x"});
     }
     t.print(std::cout);
 

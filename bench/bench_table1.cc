@@ -30,19 +30,22 @@ main(int argc, char **argv)
     runPInteFamily(c, machine, opt);
     runPairFamily(c, machine, opt);
 
-    auto wallOf = [](const std::vector<RunResult> &runs) {
+    // Costs are per-thread CPU seconds (RunResult::cpuSeconds), so the
+    // table is the same whether the campaign ran with --jobs=1 or
+    // across every host core.
+    auto cpuOf = [](const std::vector<RunResult> &runs) {
         std::vector<double> w;
         for (const auto &r : runs)
-            w.push_back(r.wallSeconds);
+            w.push_back(r.cpuSeconds);
         return w;
     };
 
-    std::vector<double> iso_wall = wallOf(c.isolation);
-    std::vector<double> pinte_wall;
+    std::vector<double> iso_cpu = cpuOf(c.isolation);
+    std::vector<double> pinte_cpu;
     for (const auto &sweep : c.pinte)
         for (const auto &r : sweep)
-            pinte_wall.push_back(r.wallSeconds);
-    const std::vector<double> &pair_wall = c.pairWall;
+            pinte_cpu.push_back(r.cpuSeconds);
+    const std::vector<double> &pair_cpu = c.pairCpu;
 
     std::cout << "TABLE I: Simulation run-times and experiment sizes\n"
               << "(reproduction scale: " << c.zoo.size()
@@ -57,24 +60,24 @@ main(int argc, char **argv)
                   fmt(s.stddev, 4), fmt(s.max, 4), fmt(s.min, 4),
                   fmt(s.mean * static_cast<double>(w.size()), 2)});
     };
-    addRow("None", iso_wall);
-    addRow("2nd-Trace", pair_wall);
-    addRow("PInTE", pinte_wall);
+    addRow("None", iso_cpu);
+    addRow("2nd-Trace", pair_cpu);
+    addRow("PInTE", pinte_cpu);
     t.print(std::cout);
 
     // The paper's headline ratios, recomputed at this scale.
-    const double avg_iso = mean(iso_wall);
-    const double avg_pair = mean(pair_wall);
-    const double avg_pinte = mean(pinte_wall);
+    const double avg_iso = mean(iso_cpu);
+    const double avg_pair = mean(pair_cpu);
+    const double avg_pinte = mean(pinte_cpu);
     const double tot_pair =
-        avg_pair * static_cast<double>(pair_wall.size());
+        avg_pair * static_cast<double>(pair_cpu.size());
     const double tot_pinte =
-        avg_pinte * static_cast<double>(pinte_wall.size());
+        avg_pinte * static_cast<double>(pinte_cpu.size());
 
     std::cout << "\nHeadline ratios (paper values in parentheses):\n";
     std::cout << "  experiments: 2nd-Trace/PInTE = "
-              << fmt(static_cast<double>(pair_wall.size()) /
-                         static_cast<double>(pinte_wall.size()),
+              << fmt(static_cast<double>(pair_cpu.size()) /
+                         static_cast<double>(pinte_cpu.size()),
                      2)
               << "x (2.6x at the paper's trace count)\n";
     std::cout << "  avg time:    2nd-Trace/None  = "

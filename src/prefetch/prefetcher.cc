@@ -161,7 +161,7 @@ PrefetchConfig::parse(const char *str)
     return cfg;
 }
 
-const char *
+std::string
 PrefetchConfig::label() const
 {
     auto encode = [](PrefetcherKind k) {
@@ -172,12 +172,7 @@ PrefetchConfig::label() const
         }
         return '?';
     };
-    static thread_local char buf[4];
-    buf[0] = encode(l1i);
-    buf[1] = encode(l1d);
-    buf[2] = encode(l2);
-    buf[3] = '\0';
-    return buf;
+    return {encode(l1i), encode(l1d), encode(l2)};
 }
 
 } // namespace pinte

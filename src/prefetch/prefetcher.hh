@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -82,7 +83,7 @@ struct PrefetchConfig
     static PrefetchConfig parse(const char *str);
 
     /** Render back to the 3-character string form. */
-    const char *label() const;
+    std::string label() const;
 };
 
 } // namespace pinte

@@ -2,7 +2,7 @@
 
 #include "common/logging.hh"
 
-#include <chrono>
+#include <ctime>
 #include <memory>
 
 namespace pinte
@@ -10,6 +10,20 @@ namespace pinte
 
 namespace
 {
+
+/**
+ * CPU time consumed by the calling thread, in seconds. Used instead
+ * of a wall clock so per-experiment costs are stable whether the
+ * campaign runs serially or across a worker pool.
+ */
+double
+threadCpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
 
 /** Cumulative counters snapshotted at sample boundaries. */
 struct Snapshot
@@ -127,7 +141,7 @@ RunResult
 runSampled(System &sys, const ExperimentParams &params,
            const std::string &workload, const std::string &contention)
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    const double t0 = threadCpuSeconds();
 
     sys.warmup(params.warmup);
 
@@ -153,9 +167,7 @@ runSampled(System &sys, const ExperimentParams &params,
     if (sys.pinte())
         result.pinte = sys.pinte()->stats();
 
-    const auto t1 = std::chrono::steady_clock::now();
-    result.wallSeconds =
-        std::chrono::duration<double>(t1 - t0).count();
+    result.cpuSeconds = threadCpuSeconds() - t0;
     return result;
 }
 
@@ -206,7 +218,7 @@ runMix(const std::vector<WorkloadSpec> &specs, MachineConfig machine,
     }
     System sys(machine, sources);
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const double t0 = threadCpuSeconds();
     sys.warmup(params.warmup);
 
     std::vector<RunResult> results(specs.size());
@@ -234,12 +246,11 @@ runMix(const std::vector<WorkloadSpec> &specs, MachineConfig machine,
         }
     }
 
-    const auto t1 = std::chrono::steady_clock::now();
-    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    const double cpu = threadCpuSeconds() - t0;
     for (unsigned i = 0; i < sys.numCores(); ++i) {
         results[i].metrics = aggregate(sys, i);
         results[i].reuse.merge(sys.llc().stats().reuse[i]);
-        results[i].wallSeconds = wall;
+        results[i].cpuSeconds = cpu;
     }
     return results;
 }
@@ -290,7 +301,7 @@ runPair(const WorkloadSpec &a, const WorkloadSpec &b,
     TraceGenerator gb(b_off);
     System sys(machine, {&ga, &gb});
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const double t0 = threadCpuSeconds();
     sys.warmup(params.warmup);
 
     RunResult ra, rb;
@@ -322,10 +333,9 @@ runPair(const WorkloadSpec &a, const WorkloadSpec &b,
     ra.reuse.merge(sys.llc().stats().reuse[0]);
     rb.reuse.merge(sys.llc().stats().reuse[1]);
 
-    const auto t1 = std::chrono::steady_clock::now();
-    const double wall = std::chrono::duration<double>(t1 - t0).count();
-    ra.wallSeconds = wall;
-    rb.wallSeconds = wall;
+    const double cpu = threadCpuSeconds() - t0;
+    ra.cpuSeconds = cpu;
+    rb.cpuSeconds = cpu;
     return {ra, rb};
 }
 

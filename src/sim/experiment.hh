@@ -73,7 +73,14 @@ struct RunResult
     std::vector<Sample> samples;
     Histogram reuse{16};    //!< LLC reuse positions (0 = MRU end)
     PInteStats pinte;
-    double wallSeconds = 0.0;
+    /**
+     * CPU time this experiment consumed, measured on the executing
+     * thread (CLOCK_THREAD_CPUTIME_ID). Thread CPU time rather than
+     * wall time so the Table I / motivation cost ratios measure
+     * simulation work, not scheduler interleaving, when a campaign
+     * runs experiments concurrently (sim/runner.hh).
+     */
+    double cpuSeconds = 0.0;
 };
 
 /** Scale parameters shared by all experiments. */

@@ -57,6 +57,47 @@ MachineConfig::serverProxy(unsigned num_cores, bool halve_dram)
     return m;
 }
 
+std::string
+MachineConfig::fingerprint() const
+{
+    auto cache = [](const CacheConfig &c) {
+        return std::to_string(c.numSets) + "x" +
+               std::to_string(c.assoc) + "@" +
+               std::to_string(c.latency) + "r" +
+               std::to_string(static_cast<int>(c.replacement)) + "i" +
+               std::to_string(static_cast<int>(c.inclusion)) + "d" +
+               std::to_string(c.prefetchDegree) + "s" +
+               std::to_string(c.seed);
+    };
+    std::string f;
+    f += "cores=" + std::to_string(numCores);
+    f += ";core=" + std::to_string(core.robSize) + "," +
+         std::to_string(core.fetchWidth) + "," +
+         std::to_string(core.retireWidth) + "," +
+         std::to_string(core.maxOutstandingLoads) + "," +
+         std::to_string(core.mispredictPenalty) + "," +
+         std::to_string(static_cast<int>(core.predictor)) + "," +
+         std::to_string(core.predictorSizeLog2);
+    f += ";l1i=" + cache(l1i) + ";l1d=" + cache(l1d) +
+         ";l2=" + cache(l2) + ";llc=" + cache(llc);
+    f += ";dram=" + std::to_string(dram.channels) + "," +
+         std::to_string(dram.banksPerChannel) + "," +
+         std::to_string(dram.linesPerRow) + "," +
+         std::to_string(dram.tCas) + "," + std::to_string(dram.tRcd) +
+         "," + std::to_string(dram.tRp) + "," +
+         std::to_string(dram.tCcd) + "," +
+         std::to_string(dram.transfer) + "," +
+         std::to_string(dram.frontend) + "," +
+         std::to_string(dram.contentionExtra);
+    f += ";pf=" + prefetch.label();
+    f += ";pinte=" + std::to_string(pinte.pInduce) + "," +
+         std::to_string(pinte.seed) + "," +
+         std::to_string(pinte.promote) + "," +
+         std::to_string(static_cast<int>(pinte.select)) + "," +
+         toString(pinteScope);
+    return f;
+}
+
 System::System(const MachineConfig &config,
                std::vector<TraceSource *> sources)
     : config_(config)

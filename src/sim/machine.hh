@@ -78,6 +78,15 @@ struct MachineConfig
      */
     static MachineConfig serverProxy(unsigned num_cores,
                                      bool halve_dram);
+
+    /**
+     * Stable textual digest of every result-affecting knob. Two
+     * configs with equal fingerprints produce identical simulations
+     * for the same trace and params; campaign-level caches (e.g. the
+     * per-process isolation-baseline memo in bench_common.hh) key on
+     * it.
+     */
+    std::string fingerprint() const;
 };
 
 /** A wired machine: cores, caches, DRAM, and optionally PInTE. */

@@ -1,0 +1,121 @@
+#include "runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace pinte
+{
+
+Runner::Runner(unsigned jobs)
+    : jobs_(jobs ? jobs : std::thread::hardware_concurrency())
+{
+    if (jobs_ == 0) // hardware_concurrency() may report 0
+        jobs_ = 1;
+}
+
+void
+Runner::forEach(std::size_t n,
+                const std::function<void(std::size_t)> &fn,
+                const Tick &tick) const
+{
+    if (n == 0)
+        return;
+
+    const std::size_t nthreads =
+        std::min<std::size_t>(jobs_, n);
+    if (nthreads <= 1) {
+        // Same contract as the pooled path: every job runs even when
+        // some throw, and the lowest-indexed failure is reported.
+        std::exception_ptr first;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+            if (tick)
+                tick(i + 1);
+        }
+        if (first)
+            std::rethrow_exception(first);
+        return;
+    }
+
+    // Work distribution: one shared atomic cursor; workers pull the
+    // next index until the range is drained. Jobs are whole
+    // simulations (milliseconds to seconds each), so contention on
+    // the cursor is irrelevant.
+    std::atomic<std::size_t> next{0};
+
+    // Completion count, guarded by `m` (not just atomic) so the
+    // calling thread can sleep on `cv` between progress updates.
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t done = 0;
+
+    // First-failing-job exception, selected by lowest index so the
+    // error surfaced is independent of thread scheduling.
+    std::size_t err_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr err;
+
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(m);
+                if (i < err_index) {
+                    err_index = i;
+                    err = std::current_exception();
+                }
+            }
+            {
+                std::lock_guard<std::mutex> g(m);
+                ++done;
+            }
+            cv.notify_one();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t)
+        pool.emplace_back(work);
+
+    if (tick) {
+        std::unique_lock<std::mutex> lk(m);
+        std::size_t reported = 0;
+        while (done < n) {
+            cv.wait_for(lk, std::chrono::milliseconds(100));
+            if (done != reported) {
+                reported = done;
+                lk.unlock();
+                tick(reported);
+                lk.lock();
+            }
+        }
+        if (reported != n) {
+            lk.unlock();
+            tick(n);
+            lk.lock();
+        }
+    }
+
+    for (auto &t : pool)
+        t.join();
+
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace pinte

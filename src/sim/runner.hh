@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Campaign execution engine: a fixed-size worker pool for independent
+ * simulation jobs.
+ *
+ * Every experiment family in the evaluation (isolation, PInTE sweep,
+ * 2nd-Trace pairs) is a bag of fully independent simulations — each
+ * job builds its own Machine, owns its RNG stream, and touches no
+ * shared mutable state — so a campaign parallelizes trivially. The
+ * runner executes a job list across N threads and hands results back
+ * in submission order, which keeps every downstream table/figure
+ * reduction byte-identical to a serial run.
+ *
+ * Cost accounting stays meaningful under concurrency because
+ * RunResult::cpuSeconds is per-thread CPU time (see experiment.hh),
+ * not wall time: an 8-way-parallel campaign reports the same
+ * per-experiment costs a serial one does.
+ */
+
+#ifndef PINTE_SIM_RUNNER_HH
+#define PINTE_SIM_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace pinte
+{
+
+/**
+ * Fixed-size thread pool mapping an index range over worker threads.
+ *
+ * Semantics shared by every entry point:
+ *  - results come back in submission order regardless of completion
+ *    order;
+ *  - `tick(done)` (optional) is invoked on the *calling* thread with a
+ *    monotonically increasing completion count — there is exactly one
+ *    progress writer, and it is never a worker;
+ *  - if jobs throw, every job still runs, and the exception of the
+ *    lowest-indexed failing job is rethrown on the calling thread
+ *    (deterministic regardless of scheduling);
+ *  - a pool of size 1 executes inline on the calling thread with no
+ *    thread machinery at all, so `--jobs=1` is a true serial baseline.
+ */
+class Runner
+{
+  public:
+    /** Progress callback: called with the number of jobs completed. */
+    using Tick = std::function<void(std::size_t done)>;
+
+    /**
+     * @param jobs worker count; 0 selects
+     *        std::thread::hardware_concurrency()
+     */
+    explicit Runner(unsigned jobs = 0);
+
+    /** Number of workers this pool runs. */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Invoke `fn(i)` exactly once for every i in [0, n), spread across
+     * the pool. Blocks until all jobs finish.
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &fn,
+                 const Tick &tick = {}) const;
+
+    /**
+     * Map [0, n) through `fn` and collect the results in index order.
+     * The result type must be default-constructible and
+     * move-assignable (every Run* type is).
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn &&fn, const Tick &tick = {}) const
+        -> std::vector<decltype(fn(std::size_t{}))>
+    {
+        std::vector<decltype(fn(std::size_t{}))> out(n);
+        forEach(
+            n, [&](std::size_t i) { out[i] = fn(i); }, tick);
+        return out;
+    }
+
+    /**
+     * Execute a vector of pre-built jobs (closures producing T) and
+     * return their results in submission order.
+     */
+    template <typename T>
+    std::vector<T>
+    run(const std::vector<std::function<T()>> &batch,
+        const Tick &tick = {}) const
+    {
+        return map(
+            batch.size(), [&](std::size_t i) { return batch[i](); },
+            tick);
+    }
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace pinte
+
+#endif // PINTE_SIM_RUNNER_HH

@@ -78,7 +78,7 @@ TEST(Experiment, IsolationRunProducesSaneMetrics)
     EXPECT_GE(r.metrics.amat, 4.0); // bounded below by L1 latency
     EXPECT_EQ(r.samples.size(), 5u);
     EXPECT_EQ(r.contention, "isolation");
-    EXPECT_GT(r.wallSeconds, 0.0);
+    EXPECT_GT(r.cpuSeconds, 0.0);
 }
 
 TEST(Experiment, IsolationIsDeterministic)

@@ -27,6 +27,7 @@
 #include "sim/experiment.hh"
 #include "sim/options.hh"
 #include "sim/report.hh"
+#include "sim/runner.hh"
 
 using namespace pinte;
 
@@ -53,6 +54,8 @@ usage()
         "      --roi N           region of interest (default 60000)\n"
         "      --sample N        sample period (default 3000)\n"
         "      --seed N          run seed (PInTE RNG stream)\n"
+        "      --jobs N          worker threads for --sweep "
+        "(default: all cores)\n"
         "      --json            one JSON object per run on stdout\n"
         "      --report          full machine statistics dump\n"
         "      --list            list zoo workloads and exit\n"
@@ -68,7 +71,7 @@ printJson(const RunResult &r)
         "\"theft_rate\":%.6f,\"branch_accuracy\":%.6f,"
         "\"l2_mpki\":%.3f,\"llc_mpki\":%.3f,\"llc_occupancy\":%.4f,"
         "\"pinte_triggers\":%llu,\"pinte_invalidations\":%llu,"
-        "\"wall_seconds\":%.6f}\n",
+        "\"cpu_seconds\":%.6f}\n",
         r.workload.c_str(), r.contention.c_str(), r.metrics.ipc,
         r.metrics.missRate, r.metrics.amat,
         r.metrics.interferenceRate, r.metrics.theftRate,
@@ -76,7 +79,7 @@ printJson(const RunResult &r)
         r.metrics.llcOccupancyFraction,
         static_cast<unsigned long long>(r.pinte.triggers),
         static_cast<unsigned long long>(r.pinte.invalidations),
-        r.wallSeconds);
+        r.cpuSeconds);
 }
 
 void
@@ -115,6 +118,7 @@ main(int argc, char **argv)
     std::optional<std::string> pair;
     bool isolation = false, sweep = false, json = false;
     bool report = false;
+    unsigned jobs = 0;
     double dram_factor = 0.0;
     PInteScope scope = PInteScope::LlcOnly;
     MachineConfig machine = MachineConfig::scaled();
@@ -161,6 +165,9 @@ main(int argc, char **argv)
             params.sampleEvery = std::stoull(need(i, a.c_str()));
         } else if (a == "--seed") {
             params.runSeed = std::stoull(need(i, a.c_str()));
+        } else if (a == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::stoul(need(i, a.c_str())));
         } else if (a == "--json") {
             json = true;
         } else if (a == "--report") {
@@ -233,8 +240,15 @@ main(int argc, char **argv)
     };
 
     if (sweep) {
-        for (double p : standardPInduceSweep())
-            emit(one(p));
+        // The sweep's 12 configurations are independent simulations;
+        // run them across the worker pool and emit in sweep order.
+        const auto &points = standardPInduceSweep();
+        const Runner runner(jobs);
+        const auto results = runner.map(
+            points.size(),
+            [&](std::size_t k) { return one(points[k]); });
+        for (const auto &r : results)
+            emit(r);
     } else {
         emit(one(*pinduce));
     }
