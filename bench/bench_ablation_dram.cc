@@ -11,8 +11,8 @@
  */
 
 #include <cmath>
-#include <iostream>
 #include <map>
+#include <string>
 
 #include "analysis/crg.hh"
 #include "analysis/table.hh"
@@ -84,12 +84,15 @@ main(int argc, char **argv)
                              "450.soplex" /* control: LLC-bound */,
                              "435.gromacs" /* control: friendly */};
 
-    std::cout << "ABLATION: DRAM-cost complement for DRAM-bound "
-                 "workloads (section IV-B)\n"
-              << "IPC%/AMAT% = CRG-matched relative error vs 2nd-Trace "
-                 "(closer to 0 is better)\n\n";
+    auto rep = opt.report("bench_ablation_dram", machine);
+    rep->note("ABLATION: DRAM-cost complement for DRAM-bound "
+              "workloads (section IV-B)");
+    rep->note("IPC%/AMAT% = CRG-matched relative error vs 2nd-Trace "
+              "(closer to 0 is better)");
+    rep->note("");
 
-    TextTable t({"benchmark", "class", "IPC% base", "IPC% +dram",
+    TableData t("ablation_dram",
+                {"benchmark", "class", "IPC% base", "IPC% +dram",
                  "AMAT% base", "AMAT% +dram"});
     for (const char *name : targets) {
         const WorkloadSpec spec = findWorkload(name);
@@ -102,23 +105,35 @@ main(int argc, char **argv)
 
         // One job bag per target: (n-1) 2nd-Trace pairings, then the
         // sweep without and with the DRAM complement.
-        MachineConfig two = machine;
-        two.numCores = 2;
         const std::size_t np = peers.size(), nk = sweep.size();
         ProgressMeter meter(opt, name, np + 2 * nk);
         auto runs = opt.runner().map(
             np + 2 * nk,
             [&](std::size_t i) {
                 if (i < np)
-                    return runPair(spec, peers[i], two, opt.params)
-                        .first;
+                    return ExperimentSpec(machine)
+                        .workload(spec)
+                        .secondTrace(peers[i])
+                        .params(opt.params)
+                        .run();
                 if (i < np + nk)
-                    return runPInte(spec, sweep[i - np], machine,
-                                    opt.params);
-                return runPInteDramComplement(
-                    spec, sweep[i - np - nk], machine, opt.params);
+                    return ExperimentSpec(machine)
+                        .workload(spec)
+                        .pinte(sweep[i - np])
+                        .params(opt.params)
+                        .run();
+                return ExperimentSpec(machine)
+                    .workload(spec)
+                    .pinte(sweep[i - np - nk])
+                    .dramComplement()
+                    .params(opt.params)
+                    .run();
             },
             meter.asTick());
+
+        if (rep->wantsAllRuns())
+            for (const auto &r : runs)
+                rep->run(r);
 
         const std::vector<RunResult> trace_runs(
             std::make_move_iterator(runs.begin()),
@@ -135,15 +150,18 @@ main(int argc, char **argv)
                                                   groupRuns(base_runs));
         const auto [ipc_d, amat_d] = matchedError(tg,
                                                   groupRuns(dram_runs));
-        t.addRow({spec.name, toString(spec.klass), fmt(ipc_b, 1),
-                  fmt(ipc_d, 1), fmt(amat_b, 1), fmt(amat_d, 1)});
+        t.addRow({spec.name, toString(spec.klass),
+                  Cell::real(ipc_b, 1), Cell::real(ipc_d, 1),
+                  Cell::real(amat_b, 1), Cell::real(amat_d, 1)});
     }
-    t.print(std::cout);
+    rep->table(t);
 
-    std::cout << "\nexpected: the complement moves DRAM-bound IPC/AMAT "
-                 "error toward zero while\nleaving the LLC-bound and "
-                 "cache-friendly controls roughly unchanged (their "
-                 "DRAM\ntraffic is contention-induced and already "
-                 "modeled by the evictions).\n";
+    rep->note("");
+    rep->note("expected: the complement moves DRAM-bound IPC/AMAT "
+              "error toward zero while");
+    rep->note("leaving the LLC-bound and cache-friendly controls "
+              "roughly unchanged (their DRAM");
+    rep->note("traffic is contention-induced and already modeled by "
+              "the evictions).");
     return 0;
 }

@@ -17,7 +17,7 @@
  * the workload performance response (weighted IPC).
  */
 
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "bench_common.hh"
@@ -50,8 +50,11 @@ main(int argc, char **argv)
     const auto zoo = opt.zoo();
     const auto &sweep = standardPInduceSweep();
 
-    std::cout << "ABLATION: PInTE flow design choices (PROMOTE state, "
-                 "BLOCK-SELECT policy)\n\n";
+    auto rep = opt.report("bench_ablation_flow",
+                          MachineConfig::scaled());
+    rep->note("ABLATION: PInTE flow design choices (PROMOTE state, "
+              "BLOCK-SELECT policy)");
+    rep->note("");
 
     for (const Variant &v : variants) {
         MachineConfig machine = MachineConfig::scaled();
@@ -69,12 +72,20 @@ main(int argc, char **argv)
         const auto runs = opt.runner().map(
             nk * nw,
             [&](std::size_t idx) {
-                return runPInte(zoo[idx % nw], sweep[idx / nw],
-                                machine, opt.params);
+                return ExperimentSpec(machine)
+                    .workload(zoo[idx % nw])
+                    .pinte(sweep[idx / nw])
+                    .params(opt.params)
+                    .run();
             },
             meter.asTick());
 
-        TextTable t({"P_Induce", "observed contention", "inval/trigger",
+        if (rep->wantsAllRuns())
+            for (const auto &r : runs)
+                rep->run(r);
+
+        TableData t(std::string("ablation_flow_") + v.label,
+                    {"P_Induce", "observed contention", "inval/trigger",
                      "mean weighted IPC"});
         for (std::size_t k = 0; k < nk; ++k) {
             double rate = 0, wipc = 0, inval_per_trig = 0;
@@ -92,26 +103,29 @@ main(int argc, char **argv)
                 }
             }
             const double n = static_cast<double>(nw);
-            t.addRow({fmt(sweep[k], 3), fmtPct(rate / n),
-                      trig_samples ? fmt(inval_per_trig / trig_samples,
-                                         2)
-                                   : "-",
-                      fmt(wipc / n, 3)});
+            t.addRow({Cell::real(sweep[k], 3), Cell::pct(rate / n),
+                      trig_samples
+                          ? Cell::real(inval_per_trig / trig_samples, 2)
+                          : Cell("-"),
+                      Cell::real(wipc / n, 3)});
         }
-        std::cout << "variant: " << v.label << "\n";
-        t.print(std::cout);
-        std::cout << "\n";
+        rep->note(std::string("variant: ") + v.label);
+        rep->table(t);
+        rep->note("");
     }
 
-    std::cout
-        << "expectations:\n"
-        << "  no-promote   -> fewer invalidations per trigger (the walk "
-           "wastes iterations\n                  re-selecting the "
-           "invalid stack end) and weaker, less\n                  "
-           "controllable contention at equal P_Induce\n"
-        << "  random-valid -> more damage per theft (hot blocks die), "
-           "so a steeper IPC\n                  drop at equal observed "
-           "contention — unlike any real co-runner,\n                  "
-           "whose fills always claim the eviction end\n";
+    rep->note("expectations:");
+    rep->note("  no-promote   -> fewer invalidations per trigger (the "
+              "walk wastes iterations");
+    rep->note("                  re-selecting the invalid stack end) "
+              "and weaker, less");
+    rep->note("                  controllable contention at equal "
+              "P_Induce");
+    rep->note("  random-valid -> more damage per theft (hot blocks "
+              "die), so a steeper IPC");
+    rep->note("                  drop at equal observed contention — "
+              "unlike any real co-runner,");
+    rep->note("                  whose fills always claim the eviction "
+              "end");
     return 0;
 }

@@ -11,7 +11,7 @@
  * contention each scope manages to induce and the IPC response.
  */
 
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "bench_common.hh"
@@ -32,49 +32,63 @@ main(int argc, char **argv)
                                  PInteScope::L2Only,
                                  PInteScope::L2AndLlc};
 
-    std::cout << "ABLATION: engine scope — inducing contention beyond "
-                 "the LLC (section IV-B)\n\n";
+    auto rep = opt.report("bench_ablation_scope", machine);
+    rep->note("ABLATION: engine scope — inducing contention beyond "
+              "the LLC (section IV-B)");
+    rep->note("");
 
     for (const char *name : targets) {
         const WorkloadSpec spec = findWorkload(name);
-        const RunResult iso = runIsolation(spec, machine, opt.params);
+        const RunResult iso = ExperimentSpec(machine)
+                                  .workload(spec)
+                                  .params(opt.params)
+                                  .run();
 
-        std::cout << spec.name << " (" << toString(spec.klass)
-                  << ", isolation IPC " << fmt(iso.metrics.ipc, 3)
-                  << ")\n";
-        TextTable t({"P_Induce", "llc-only: intf/wIPC",
+        rep->note(spec.name + " (" + toString(spec.klass) +
+                  ", isolation IPC " + fmt(iso.metrics.ipc, 3) + ")");
+        TableData t("ablation_scope_" + spec.name,
+                    {"P_Induce", "llc-only: intf/wIPC",
                      "l2-only: l2-intf/wIPC", "l2+llc: l2-intf/wIPC"});
         const double probs[] = {0.05, 0.2, 0.5};
         const std::size_t ns = std::size(scopes);
         const auto runs = opt.runner().map(
             std::size(probs) * ns, [&](std::size_t idx) {
-                return runPInteScoped(spec, probs[idx / ns],
-                                      scopes[idx % ns], machine,
-                                      opt.params);
+                return ExperimentSpec(machine)
+                    .workload(spec)
+                    .pinte(probs[idx / ns])
+                    .scope(scopes[idx % ns])
+                    .params(opt.params)
+                    .run();
             });
+        if (rep->wantsAllRuns()) {
+            rep->run(iso);
+            for (const auto &r : runs)
+                rep->run(r);
+        }
         for (std::size_t pi = 0; pi < std::size(probs); ++pi) {
-            std::vector<std::string> row = {fmt(probs[pi], 2)};
+            std::vector<Cell> row = {Cell::real(probs[pi], 2)};
             for (std::size_t si = 0; si < ns; ++si) {
                 const RunResult &r = runs[pi * ns + si];
                 const double intf =
                     scopes[si] == PInteScope::LlcOnly
                         ? r.metrics.interferenceRate
                         : r.metrics.l2InterferenceRate;
-                row.push_back(
+                row.push_back(Cell(
                     fmtPct(std::min(intf, 1.0)) + "/" +
                     fmt(weightedIpc(r.metrics.ipc, iso.metrics.ipc),
-                        3));
+                        3)));
             }
             t.addRow(row);
         }
-        t.print(std::cout);
-        std::cout << "\n";
+        rep->table(t);
+        rep->note("");
     }
 
-    std::cout << "expected: LLC-only scope cannot move core-bound "
-                 "workloads (weighted IPC ~1.0\nat every P_Induce); L2 "
-                 "scopes induce real contention on exactly those\n"
-                 "workloads, while the LLC-bound control responds to "
-                 "both.\n";
+    rep->note("expected: LLC-only scope cannot move core-bound "
+              "workloads (weighted IPC ~1.0");
+    rep->note("at every P_Induce); L2 scopes induce real contention "
+              "on exactly those");
+    rep->note("workloads, while the LLC-bound control responds to "
+              "both.");
     return 0;
 }

@@ -36,7 +36,9 @@
 #include "analysis/crg.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/options.hh"
 #include "sim/runner.hh"
+#include "sim/sink.hh"
 
 namespace pinte::bench
 {
@@ -48,6 +50,8 @@ struct BenchOptions
     ExperimentParams params;       //!< --roi=N, --warmup=N
     bool quiet = false;            //!< --quiet: suppress progress
     unsigned jobs = 0;             //!< --jobs=N: 0 = all host cores
+    ReportFormat format = ReportFormat::Table; //!< --format=FMT
+    std::string outPath;           //!< --out=FILE, empty = stdout
 
     /**
      * Parse argv; unknown flags are fatal.
@@ -71,15 +75,20 @@ struct BenchOptions
                 o.quiet = true;
             } else if (a.rfind("--jobs=", 0) == 0) {
                 o.jobs = static_cast<unsigned>(
-                    std::stoul(a.substr(7)));
+                    parseCount("--jobs", a.substr(7)));
             } else if (a.rfind("--roi=", 0) == 0) {
-                o.params.roi = std::stoull(a.substr(6));
+                o.params.roi = parseCount("--roi", a.substr(6));
             } else if (a.rfind("--warmup=", 0) == 0) {
-                o.params.warmup = std::stoull(a.substr(9));
+                o.params.warmup = parseCount("--warmup", a.substr(9));
+            } else if (a.rfind("--format=", 0) == 0) {
+                o.format = parseReportFormat(a.substr(9));
+            } else if (a.rfind("--out=", 0) == 0) {
+                o.outPath = a.substr(6);
             } else {
                 fatal("unknown bench option: " + a +
                       " (use --full/--small/--quiet/--jobs=N/"
-                      "--roi=N/--warmup=N)");
+                      "--roi=N/--warmup=N/--format=table|json|csv/"
+                      "--out=FILE)");
             }
         }
         return o;
@@ -96,6 +105,18 @@ struct BenchOptions
     runner() const
     {
         return Runner(jobs);
+    }
+
+    /**
+     * The bench's report destination per --format/--out. Machine
+     * formats (sink->wantsAllRuns()) additionally capture every
+     * campaign run, not just the reduction tables.
+     */
+    Report
+    report(const char *tool, const MachineConfig &machine) const
+    {
+        return Report(format, outPath,
+                      {tool, machine.fingerprint(), params});
     }
 };
 
@@ -179,6 +200,25 @@ struct Campaign
 };
 
 /**
+ * Feed every run of the campaign's populated families into `sink`.
+ * No-op for sinks that only want the bench's reduction tables.
+ */
+inline void
+emitAllRuns(const Campaign &c, ReportSink &sink)
+{
+    if (!sink.wantsAllRuns())
+        return;
+    for (const auto &r : c.isolation)
+        sink.run(r);
+    for (const auto &family : c.pinte)
+        for (const auto &r : family)
+            sink.run(r);
+    for (const auto &family : c.secondTrace)
+        for (const auto &r : family)
+            sink.run(r);
+}
+
+/**
  * The isolation family, memoized per process.
  *
  * Benches that need both the isolation baseline and a sweep (and
@@ -224,7 +264,10 @@ isolationBaseline(const std::vector<WorkloadSpec> &zoo,
     auto results = opt.runner().map(
         zoo.size(),
         [&](std::size_t i) {
-            return runIsolation(zoo[i], machine, opt.params);
+            return ExperimentSpec(machine)
+                .workload(zoo[i])
+                .params(opt.params)
+                .run();
         },
         meter.asTick());
 
@@ -253,8 +296,11 @@ runPInteFamily(Campaign &c, const MachineConfig &machine,
     auto flat = opt.runner().map(
         n * k,
         [&](std::size_t idx) {
-            return runPInte(c.zoo[idx / k], sweep[idx % k], machine,
-                            opt.params);
+            return ExperimentSpec(machine)
+                .workload(c.zoo[idx / k])
+                .pinte(sweep[idx % k])
+                .params(opt.params)
+                .run();
         },
         meter.asTick());
 
@@ -277,15 +323,15 @@ runPairFamily(Campaign &c, const MachineConfig &machine,
         for (std::size_t j = i + 1; j < n; ++j)
             pairs.emplace_back(i, j);
 
-    MachineConfig two = machine;
-    two.numCores = 2;
-
     ProgressMeter meter(opt, "2nd-trace pairs", pairs.size());
     auto results = opt.runner().map(
         pairs.size(),
         [&](std::size_t t) {
-            return runPair(c.zoo[pairs[t].first],
-                           c.zoo[pairs[t].second], two, opt.params);
+            return ExperimentSpec(machine)
+                .workload(c.zoo[pairs[t].first])
+                .secondTrace(c.zoo[pairs[t].second])
+                .params(opt.params)
+                .runAll();
         },
         meter.asTick());
 
@@ -294,10 +340,11 @@ runPairFamily(Campaign &c, const MachineConfig &machine,
     c.secondTrace.assign(n, {});
     c.pairCpu.clear();
     for (std::size_t t = 0; t < pairs.size(); ++t) {
-        auto &[ri, rj] = results[t];
-        c.pairCpu.push_back(ri.cpuSeconds);
-        c.secondTrace[pairs[t].first].push_back(std::move(ri));
-        c.secondTrace[pairs[t].second].push_back(std::move(rj));
+        c.pairCpu.push_back(results[t][0].cpuSeconds);
+        c.secondTrace[pairs[t].first].push_back(
+            std::move(results[t][0]));
+        c.secondTrace[pairs[t].second].push_back(
+            std::move(results[t][1]));
     }
 }
 

@@ -5,11 +5,11 @@
  * The paper's point: pairing real traces over-represents low contention
  * (most SPEC pairs barely interfere) and cannot be dialed, while the
  * PInTE sweep covers the whole 0-100% range nearly uniformly. This
- * bench prints both distributions as 10%-bin histograms.
+ * bench emits both distributions as 10%-bin histograms.
  */
 
 #include <algorithm>
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "bench_common.hh"
@@ -33,23 +33,29 @@ contentionRates(const std::vector<std::vector<RunResult>> &families)
 }
 
 void
-printDistribution(const char *label, const std::vector<double> &rates)
+emitDistribution(ReportSink &sink, const std::string &label,
+                 const std::string &table_name,
+                 const std::vector<double> &rates)
 {
     Histogram h = bucketSamples(rates, 0.0, 1.0, 10);
-    std::cout << label << " (" << rates.size() << " experiments)\n";
+    sink.note(label + " (" + std::to_string(rates.size()) +
+              " experiments)");
     std::uint64_t max_count = 1;
     for (std::size_t b = 0; b < h.size(); ++b)
         max_count = std::max(max_count, h.at(b));
+    TableData t(table_name, {"contention bin", "experiments", ""});
     for (std::size_t b = 0; b < h.size(); ++b) {
-        std::printf("  %3zu-%3zu%%  %6llu  %s\n", b * 10, b * 10 + 10,
-                    static_cast<unsigned long long>(h.at(b)),
-                    bar(static_cast<double>(h.at(b)),
-                        static_cast<double>(max_count))
-                        .c_str());
+        t.addRow({std::to_string(b * 10) + "-" +
+                      std::to_string(b * 10 + 10) + "%",
+                  Cell::count(h.at(b)),
+                  bar(static_cast<double>(h.at(b)),
+                      static_cast<double>(max_count))});
     }
+    sink.table(t);
     const SummaryStats s = summarize(rates);
-    std::printf("  min %.1f%%  median %.1f%%  max %.1f%%\n\n",
-                100 * s.min, 100 * s.median, 100 * s.max);
+    sink.note("min " + fmtPct(s.min) + "  median " + fmtPct(s.median) +
+              "  max " + fmtPct(s.max));
+    sink.note("");
 }
 
 } // namespace
@@ -65,8 +71,12 @@ main(int argc, char **argv)
     runPairFamily(c, machine, opt);
     runPInteFamily(c, machine, opt);
 
-    std::cout << "FIG 1: Observed contention-rate coverage "
-                 "(thefts suffered / LLC accesses)\n\n";
+    auto rep = opt.report("bench_fig1", machine);
+    emitAllRuns(c, rep.sink());
+
+    rep->note("FIG 1: Observed contention-rate coverage "
+              "(thefts suffered / LLC accesses)");
+    rep->note("");
 
     const auto pair_rates = contentionRates(c.secondTrace);
     auto pinte_rates = contentionRates(c.pinte);
@@ -75,8 +85,10 @@ main(int argc, char **argv)
     for (auto &r : pinte_rates)
         r = std::min(r, 1.0);
 
-    printDistribution("(a) 2nd-Trace workload pairs", pair_rates);
-    printDistribution("(b) PInTE sweep", pinte_rates);
+    emitDistribution(rep.sink(), "(a) 2nd-Trace workload pairs",
+                     "fig1a_second_trace", pair_rates);
+    emitDistribution(rep.sink(), "(b) PInTE sweep", "fig1b_pinte",
+                     pinte_rates);
 
     // The paper's observation quantified: share of experiments stuck
     // below 10% contention.
@@ -89,8 +101,8 @@ main(int argc, char **argv)
                              : static_cast<double>(low) /
                                    static_cast<double>(rates.size());
     };
-    std::cout << "share of experiments below 10% contention: 2nd-Trace "
-              << fmtPct(low_share(pair_rates)) << ", PInTE "
-              << fmtPct(low_share(pinte_rates)) << "\n";
+    rep->note("share of experiments below 10% contention: 2nd-Trace " +
+              fmtPct(low_share(pair_rates)) + ", PInTE " +
+              fmtPct(low_share(pinte_rates)));
     return 0;
 }

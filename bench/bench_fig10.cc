@@ -15,7 +15,7 @@
  * level so the per-benchmark shapes can be compared.
  */
 
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "bench_common.hh"
@@ -32,13 +32,16 @@ main(int argc, char **argv)
     const char *names[] = {"600.perlbench", "602.gcc", "619.lbm",
                            "620.omnetpp", "627.cam4", "648.exchange2"};
 
-    std::cout << "FIG 10: Real-system proxy vs PInTE for six SPEC-17 "
-                 "benchmarks\n"
-              << "(a) co-run pairs on a server-proxy machine with "
-                 "RDT-style allocation; x = change\n    in occupancy "
-                 "(eq. 6)  (b) PInTE sweep on the halved-DRAM server "
-                 "model; x =\n    interference rate. y = % change in "
-                 "IPC vs the least-contended case.\n\n";
+    auto rep = opt.report("bench_fig10", MachineConfig::serverProxy(2, false));
+    rep->note("FIG 10: Real-system proxy vs PInTE for six SPEC-17 "
+              "benchmarks");
+    rep->note("(a) co-run pairs on a server-proxy machine with "
+              "RDT-style allocation; x = change");
+    rep->note("    in occupancy (eq. 6)  (b) PInTE sweep on the "
+              "halved-DRAM server model; x =");
+    rep->note("    interference rate. y = % change in IPC vs the "
+              "least-contended case.");
+    rep->note("");
 
     for (const char *name : names) {
         const WorkloadSpec spec = findWorkload(name);
@@ -48,8 +51,10 @@ main(int argc, char **argv)
         // reserves 1MB of 11MB for system processes via RDT).
         MachineConfig real = MachineConfig::serverProxy(2, false);
         const RunResult iso_real =
-            runIsolation(spec, MachineConfig::serverProxy(1, false),
-                         opt.params);
+            ExperimentSpec(MachineConfig::serverProxy(1, false))
+                .workload(spec)
+                .params(opt.params)
+                .run();
 
         struct Point
         {
@@ -101,48 +106,53 @@ main(int argc, char **argv)
         // --- (b) PInTE on the halved-DRAM server model.
         const MachineConfig pinte_machine =
             MachineConfig::serverProxy(1, true);
-        const RunResult iso_pinte =
-            runIsolation(spec, pinte_machine, opt.params);
+        const RunResult iso_pinte = ExperimentSpec(pinte_machine)
+                                        .workload(spec)
+                                        .params(opt.params)
+                                        .run();
         const auto &sweep = standardPInduceSweep();
         const std::vector<Point> pinte_pts = opt.runner().map(
             sweep.size(), [&](std::size_t k) {
-                const RunResult r =
-                    runPInte(spec, sweep[k], pinte_machine,
-                             opt.params);
+                const RunResult r = ExperimentSpec(pinte_machine)
+                                        .workload(spec)
+                                        .pinte(sweep[k])
+                                        .params(opt.params)
+                                        .run();
                 return Point{
                     100.0 * r.metrics.interferenceRate,
                     100.0 * (r.metrics.ipc / iso_pinte.metrics.ipc -
                              1.0)};
             });
 
-        std::cout << spec.name << " (" << toString(spec.klass)
-                  << ")\n";
-        TextTable t({"(a) dOcc%", "dIPC%", "|", "(b) intf%", "dIPC%"});
+        rep->note(spec.name + " (" + toString(spec.klass) + ")");
+        TableData t("fig10_" + spec.name,
+                    {"(a) dOcc%", "dIPC%", "|", "(b) intf%", "dIPC%"});
         const std::size_t rows =
             std::max(real_pts.size(), pinte_pts.size());
         for (std::size_t i = 0; i < rows; ++i) {
-            std::vector<std::string> row(5);
+            std::vector<Cell> row(5);
             if (i < real_pts.size()) {
-                row[0] = fmt(real_pts[i].x, 1);
-                row[1] = fmt(real_pts[i].dipc, 1);
+                row[0] = Cell::real(real_pts[i].x, 1);
+                row[1] = Cell::real(real_pts[i].dipc, 1);
             }
             row[2] = "|";
             if (i < pinte_pts.size()) {
-                row[3] = fmt(pinte_pts[i].x, 1);
-                row[4] = fmt(pinte_pts[i].dipc, 1);
+                row[3] = Cell::real(pinte_pts[i].x, 1);
+                row[4] = Cell::real(pinte_pts[i].dipc, 1);
             }
             t.addRow(row);
         }
-        t.print(std::cout);
-        std::cout << "\n";
+        rep->table(t);
+        rep->note("");
     }
 
-    std::cout << "expected shapes (paper): perlbench/gcc within a few "
-                 "percent on both sides;\nlbm/cam4 lose more under "
-                 "PInTE (controlled contention + costlier DRAM); "
-                 "omnetpp\ncomparable trends with different magnitude; "
-                 "exchange2 insensitive on both sides\nbut at opposite "
-                 "ends of the occupancy axis (it barely occupies the "
-                 "LLC).\n";
+    rep->note("expected shapes (paper): perlbench/gcc within a few "
+              "percent on both sides;");
+    rep->note("lbm/cam4 lose more under PInTE (controlled contention "
+              "+ costlier DRAM); omnetpp");
+    rep->note("comparable trends with different magnitude; exchange2 "
+              "insensitive on both sides");
+    rep->note("but at opposite ends of the occupancy axis (it barely "
+              "occupies the LLC).");
     return 0;
 }

@@ -15,7 +15,7 @@
  */
 
 #include <functional>
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "bench_common.hh"
@@ -35,6 +35,7 @@ struct Variant
 struct StudyRow
 {
     std::string title;
+    std::string slug; //!< table-name stem for machine sinks
     std::vector<Variant> variants;
     const char *primaryName;
     std::function<double(const RunMetrics &)> primary;
@@ -44,7 +45,7 @@ struct StudyRow
 
 void
 runRow(const StudyRow &row, const std::vector<WorkloadSpec> &zoo,
-       const BenchOptions &opt)
+       const BenchOptions &opt, ReportSink &sink)
 {
     const auto &sweep = standardPInduceSweep();
     const std::size_t nv = row.variants.size();
@@ -70,13 +71,17 @@ runRow(const StudyRow &row, const std::vector<WorkloadSpec> &zoo,
             const std::size_t v = idx / (nw * nk);
             const std::size_t w = (idx / nk) % nw;
             const std::size_t k = idx % nk;
-            results[k][v][w] =
-                runPInte(zoo[w], sweep[k], machines[v], opt.params)
-                    .metrics;
+            results[k][v][w] = ExperimentSpec(machines[v])
+                                   .workload(zoo[w])
+                                   .pinte(sweep[k])
+                                   .params(opt.params)
+                                   .run()
+                                   .metrics;
         },
         meter.asTick());
 
-    std::cout << "--- " << row.title << " ---\n\n";
+    sink.note("--- " + row.title + " ---");
+    sink.note("");
 
     // Column 1: win percentage per variant per contention level.
     std::vector<std::string> head = {"P_Induce"};
@@ -84,7 +89,7 @@ runRow(const StudyRow &row, const std::vector<WorkloadSpec> &zoo,
         head.push_back("win% " + v.label);
     head.push_back("tie-all%");
     head.push_back("multi-good%");
-    TextTable wins(head);
+    TableData wins("fig11_" + row.slug + "_wins", head);
 
     for (std::size_t k = 0; k < sweep.size(); ++k) {
         std::vector<int> win(nv, 0);
@@ -108,29 +113,30 @@ runRow(const StudyRow &row, const std::vector<WorkloadSpec> &zoo,
             if (within >= 2)
                 ++multi_good;
         }
-        std::vector<std::string> cells = {fmt(sweep[k], 3)};
+        std::vector<Cell> cells = {Cell::real(sweep[k], 3)};
         for (std::size_t v = 0; v < nv; ++v)
-            cells.push_back(fmtPct(
+            cells.push_back(Cell::pct(
                 win[v] / static_cast<double>(zoo.size()), 0));
-        cells.push_back(
-            fmtPct(tie_all / static_cast<double>(zoo.size()), 0));
-        cells.push_back(
-            fmtPct(multi_good / static_cast<double>(zoo.size()), 0));
+        cells.push_back(Cell::pct(
+            tie_all / static_cast<double>(zoo.size()), 0));
+        cells.push_back(Cell::pct(
+            multi_good / static_cast<double>(zoo.size()), 0));
         wins.addRow(cells);
     }
-    wins.print(std::cout);
+    sink.table(wins);
 
     // Columns 2-3: primary and secondary metrics (mean over zoo) at
     // the low/mid/high contention points.
-    std::cout << "\n" << row.primaryName << " / " << row.secondaryName
-              << " (mean over workloads):\n";
+    sink.note("");
+    sink.note(std::string(row.primaryName) + " / " +
+              row.secondaryName + " (mean over workloads):");
     std::vector<std::string> mhead = {"variant"};
     for (std::size_t k : {std::size_t(0), sweep.size() / 2,
                           sweep.size() - 1})
         mhead.push_back("@" + fmt(sweep[k], 3));
-    TextTable metrics(mhead);
+    TableData metrics("fig11_" + row.slug + "_metrics", mhead);
     for (std::size_t v = 0; v < nv; ++v) {
-        std::vector<std::string> cells = {row.variants[v].label};
+        std::vector<Cell> cells = {Cell(row.variants[v].label)};
         for (std::size_t k : {std::size_t(0), sweep.size() / 2,
                               sweep.size() - 1}) {
             double p = 0, s = 0;
@@ -140,12 +146,12 @@ runRow(const StudyRow &row, const std::vector<WorkloadSpec> &zoo,
             }
             p /= static_cast<double>(zoo.size());
             s /= static_cast<double>(zoo.size());
-            cells.push_back(fmt(p, 3) + "/" + fmt(s, 3));
+            cells.push_back(Cell(fmt(p, 3) + "/" + fmt(s, 3)));
         }
         metrics.addRow(cells);
     }
-    metrics.print(std::cout);
-    std::cout << "\n";
+    sink.table(metrics);
+    sink.note("");
 }
 
 } // namespace
@@ -156,11 +162,13 @@ main(int argc, char **argv)
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const auto zoo = opt.zoo();
 
-    std::cout << "FIG 11: The best design choice varies with "
-                 "contention\n\n";
+    auto rep = opt.report("bench_fig11", MachineConfig::scaled());
+    rep->note("FIG 11: The best design choice varies with contention");
+    rep->note("");
 
     StudyRow replacement{
         "Replacement (LLC)",
+        "replacement",
         {
             {"LRU", [](MachineConfig &m)
              { m.llc.replacement = ReplacementKind::Lru; }},
@@ -179,6 +187,7 @@ main(int argc, char **argv)
 
     StudyRow inclusion{
         "Inclusion (LLC)",
+        "inclusion",
         {
             {"non-incl", [](MachineConfig &m)
              { m.llc.inclusion = InclusionPolicy::NonInclusive; }},
@@ -195,6 +204,7 @@ main(int argc, char **argv)
 
     StudyRow prefetch{
         "Prefetching (L1I L1D L2)",
+        "prefetch",
         {
             {"000", [](MachineConfig &m)
              { m.prefetch = PrefetchConfig::parse("000"); }},
@@ -213,6 +223,7 @@ main(int argc, char **argv)
 
     StudyRow branch{
         "Branch prediction",
+        "branch",
         {
             {"bimodal", [](MachineConfig &m)
              { m.core.predictor = BranchPredictorKind::Bimodal; }},
@@ -230,19 +241,19 @@ main(int argc, char **argv)
         [](const RunMetrics &m) { return m.missRate; },
     };
 
-    runRow(replacement, zoo, opt);
-    runRow(inclusion, zoo, opt);
-    runRow(prefetch, zoo, opt);
-    runRow(branch, zoo, opt);
+    runRow(replacement, zoo, opt, rep.sink());
+    runRow(inclusion, zoo, opt, rep.sink());
+    runRow(prefetch, zoo, opt, rep.sink());
+    runRow(branch, zoo, opt, rep.sink());
 
-    std::cout << "paper's qualitative findings to compare against:\n"
-              << "  - replacement & inclusion: ties rise past 50% as "
-                 "contention grows (advantages\n    absorbed by a "
-                 "highly shared LLC)\n"
-              << "  - prefetching: NNI stays the favorite; advantages "
-                 "are stable under contention\n"
-              << "  - branch prediction: effective predictors matter "
-                 "MORE under contention (ties\n    decrease; miss "
-                 "criticality grows)\n";
+    rep->note("paper's qualitative findings to compare against:");
+    rep->note("  - replacement & inclusion: ties rise past 50% as "
+              "contention grows (advantages");
+    rep->note("    absorbed by a highly shared LLC)");
+    rep->note("  - prefetching: NNI stays the favorite; advantages "
+              "are stable under contention");
+    rep->note("  - branch prediction: effective predictors matter "
+              "MORE under contention (ties");
+    rep->note("    decrease; miss criticality grows)");
     return 0;
 }

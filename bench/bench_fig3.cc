@@ -10,7 +10,7 @@
  * level; this reproduction checks the same bands at its scale.
  */
 
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "bench_common.hh"
@@ -41,8 +41,11 @@ main(int argc, char **argv)
             const std::size_t k = (idx / reruns) % nk;
             ExperimentParams params = opt.params;
             params.runSeed = static_cast<std::uint64_t>(idx % reruns);
-            const RunResult r =
-                runPInte(zoo[w], sweep[k], machine, params);
+            const RunResult r = ExperimentSpec(machine)
+                                    .workload(zoo[w])
+                                    .pinte(sweep[k])
+                                    .params(params)
+                                    .run();
             return std::pair<double, double>(r.metrics.missRate,
                                              r.metrics.ipc);
         },
@@ -65,13 +68,17 @@ main(int argc, char **argv)
         }
     }
 
-    std::cout << "FIG 3: PInTE stability across " << reruns
-              << " re-runs x " << sweep.size()
-              << " P_Induce configurations\n\n";
+    auto rep = opt.report("bench_fig3", machine);
+    rep->note("FIG 3: PInTE stability across " +
+              std::to_string(reruns) + " re-runs x " +
+              std::to_string(sweep.size()) +
+              " P_Induce configurations");
+    rep->note("");
 
-    std::cout << "(left) per benchmark: normalized std dev "
-                 "(median [max] over configurations)\n";
-    TextTable left({"benchmark", "MR norm-stddev", "IPC norm-stddev"});
+    rep->note("(left) per benchmark: normalized std dev "
+              "(median [max] over configurations)");
+    TableData left("fig3_per_benchmark",
+                   {"benchmark", "MR norm-stddev", "IPC norm-stddev"});
     for (std::size_t w = 0; w < zoo.size(); ++w) {
         std::vector<double> mr, ipc;
         for (const auto &[m, i] : normstd[w]) {
@@ -84,11 +91,13 @@ main(int argc, char **argv)
                      fmt(sm.median, 5) + " [" + fmt(sm.max, 5) + "]",
                      fmt(si.median, 5) + " [" + fmt(si.max, 5) + "]"});
     }
-    left.print(std::cout);
+    rep->table(left);
 
-    std::cout << "\n(right) per P_Induce configuration: normalized std "
-                 "dev (median [max] over benchmarks)\n";
-    TextTable right({"P_Induce", "MR norm-stddev", "IPC norm-stddev"});
+    rep->note("");
+    rep->note("(right) per P_Induce configuration: normalized std "
+              "dev (median [max] over benchmarks)");
+    TableData right("fig3_per_config",
+                    {"P_Induce", "MR norm-stddev", "IPC norm-stddev"});
     std::vector<double> all_mr, all_ipc;
     for (std::size_t k = 0; k < sweep.size(); ++k) {
         std::vector<double> mr, ipc;
@@ -100,16 +109,18 @@ main(int argc, char **argv)
         }
         const SummaryStats sm = summarize(mr);
         const SummaryStats si = summarize(ipc);
-        right.addRow({fmt(sweep[k], 3),
+        right.addRow({Cell::real(sweep[k], 3),
                       fmt(sm.median, 5) + " [" + fmt(sm.max, 5) + "]",
-                      fmt(si.median, 5) + " [" + fmt(si.max, 5) + "]"});
+                      fmt(si.median, 5) + " [" + fmt(si.max, 5) +
+                          "]"});
     }
-    right.print(std::cout);
+    rep->table(right);
 
-    std::cout << "\noverall medians: MR "
-              << fmt(summarize(all_mr).median, 5) << ", IPC "
-              << fmt(summarize(all_ipc).median, 5)
-              << "  (paper: <0.00125 and <0.011 respectively;\n"
-                 "   one simulation per configuration is trustworthy)\n";
+    rep->note("");
+    rep->note("overall medians: MR " +
+              fmt(summarize(all_mr).median, 5) + ", IPC " +
+              fmt(summarize(all_ipc).median, 5) +
+              "  (paper: <0.00125 and <0.011 respectively;");
+    rep->note("   one simulation per configuration is trustworthy)");
     return 0;
 }

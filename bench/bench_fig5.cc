@@ -2,7 +2,7 @@
  * @file
  * Fig 5: reuse behavior under PInTE vs 2nd-Trace contention.
  *
- * Prints side-by-side LLC reuse-position histograms for three
+ * Emits side-by-side LLC reuse-position histograms for three
  * alignment examples with their KL divergence. The paper's examples
  * are 435.gromacs (good), 649.fotonik3d (medium) and 638.imagick
  * (worst). At reproduction scale the good-alignment exemplars are the
@@ -14,7 +14,7 @@
  * < KL(worst).
  */
 
-#include <iostream>
+#include <string>
 
 #include "analysis/crg.hh"
 #include "analysis/table.hh"
@@ -28,20 +28,22 @@ namespace
 {
 
 void
-printPair(const std::string &name, const Histogram &pinte_h,
-          const Histogram &trace_h, double kl)
+emitPair(ReportSink &sink, const std::string &label,
+         const std::string &name, const Histogram &pinte_h,
+         const Histogram &trace_h, double kl)
 {
-    std::cout << name << "  (KL divergence "
-              << fmt(kl, 3) << " bits)\n";
+    sink.note(label + ": " + name + "  (KL divergence " + fmt(kl, 3) +
+              " bits)");
     const auto p = pinte_h.toDistribution();
     const auto q = trace_h.toDistribution();
-    std::cout << "  pos   PInTE                     2nd-Trace\n";
+    TableData t("fig5_" + name, {"pos", "PInTE", "2nd-Trace"});
     for (std::size_t i = 0; i < p.size(); ++i) {
-        std::printf("  %3zu   %-24s  %-24s\n", i,
-                    (bar(p[i], 0.5, 22) + " " + fmt(p[i], 3)).c_str(),
-                    (bar(q[i], 0.5, 22) + " " + fmt(q[i], 3)).c_str());
+        t.addRow({Cell::count(i),
+                  Cell(bar(p[i], 0.5, 22) + " " + fmt(p[i], 3)),
+                  Cell(bar(q[i], 0.5, 22) + " " + fmt(q[i], 3))});
     }
-    std::cout << "\n";
+    sink.table(t);
+    sink.note("");
 }
 
 } // namespace
@@ -63,9 +65,11 @@ main(int argc, char **argv)
     Campaign c;
     c.zoo = opt.zoo();
 
-    std::cout << "FIG 5: Reuse-position histograms under PInTE vs "
-                 "2nd-Trace contention\n(bucket = LLC stack depth at "
-                 "hit, 0 = MRU end)\n\n";
+    auto rep = opt.report("bench_fig5", machine);
+    rep->note("FIG 5: Reuse-position histograms under PInTE vs "
+              "2nd-Trace contention");
+    rep->note("(bucket = LLC stack depth at hit, 0 = MRU end)");
+    rep->note("");
 
     std::vector<double> kls;
     for (int e = 0; e < 3; ++e) {
@@ -79,8 +83,6 @@ main(int argc, char **argv)
 
         // One job bag per example: the 12 sweep points followed by
         // the (n-1) peer pairings, all independent.
-        MachineConfig two = machine;
-        two.numCores = 2;
         const std::string what =
             std::string("example ") + spec.name;
         ProgressMeter meter(opt, what.c_str(),
@@ -89,13 +91,22 @@ main(int argc, char **argv)
             sweep.size() + peers.size(),
             [&](std::size_t i) {
                 if (i < sweep.size())
-                    return runPInte(spec, sweep[i], machine,
-                                    opt.params);
-                return runPair(spec, peers[i - sweep.size()], two,
-                               opt.params)
-                    .first;
+                    return ExperimentSpec(machine)
+                        .workload(spec)
+                        .pinte(sweep[i])
+                        .params(opt.params)
+                        .run();
+                return ExperimentSpec(machine)
+                    .workload(spec)
+                    .secondTrace(peers[i - sweep.size()])
+                    .params(opt.params)
+                    .run();
             },
             meter.asTick());
+
+        if (rep->wantsAllRuns())
+            for (const auto &r : runs)
+                rep->run(r);
 
         const std::vector<RunResult> pinte_runs(
             std::make_move_iterator(runs.begin()),
@@ -110,16 +121,14 @@ main(int argc, char **argv)
         // Eq. 5 with p(x) = real contention, q(x) = PInTE.
         const double kl = klDivergenceBits(ht, hp);
         kls.push_back(kl);
-        std::cout << labels[e] << ": ";
-        printPair(spec.name, hp, ht, kl);
+        emitPair(rep.sink(), labels[e], spec.name, hp, ht, kl);
     }
 
-    std::cout << "expected ordering (paper): KL(good) < KL(medium) < "
-                 "KL(worst)\nmeasured: "
-              << fmt(kls[0], 3) << " < " << fmt(kls[1], 3) << " < "
-              << fmt(kls[2], 3) << " : "
-              << ((kls[0] < kls[1] && kls[1] < kls[2]) ? "HOLDS"
-                                                       : "VIOLATED")
-              << "\n";
+    rep->note("expected ordering (paper): KL(good) < KL(medium) < "
+              "KL(worst)");
+    rep->note("measured: " + fmt(kls[0], 3) + " < " + fmt(kls[1], 3) +
+              " < " + fmt(kls[2], 3) + " : " +
+              ((kls[0] < kls[1] && kls[1] < kls[2]) ? "HOLDS"
+                                                    : "VIOLATED"));
     return 0;
 }

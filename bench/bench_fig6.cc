@@ -12,7 +12,7 @@
  */
 
 #include <algorithm>
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "bench_common.hh"
@@ -109,13 +109,17 @@ main(int argc, char **argv)
     const double b95 = randomBound(global_trace, 95, rng);
     const double b90 = randomBound(global_trace, 90, rng);
 
-    std::cout << "FIG 6a: Reuse KL divergence per benchmark "
-                 "(ascending; p = 2nd-Trace, q = PInTE)\n"
-              << "random-distribution bounds: 99% = " << fmt(b99, 3)
-              << ", 95% = " << fmt(b95, 3) << ", 90% = " << fmt(b90, 3)
-              << " bits\n\n";
+    auto rep = opt.report("bench_fig6", machine);
+    emitAllRuns(c, rep.sink());
+    rep->note("FIG 6a: Reuse KL divergence per benchmark "
+              "(ascending; p = 2nd-Trace, q = PInTE)");
+    rep->note("random-distribution bounds: 99% = " + fmt(b99, 3) +
+              ", 95% = " + fmt(b95, 3) + ", 90% = " + fmt(b90, 3) +
+              " bits");
+    rep->note("");
 
-    TextTable t({"benchmark", "KLDiv (bits)", "beats random at"});
+    TableData t("fig6a_kl_divergence",
+                {"benchmark", "KLDiv (bits)", "beats random at"});
     double klsum = 0;
     int within99 = 0, within95 = 0, within90 = 0;
     for (const auto &b : results) {
@@ -134,34 +138,38 @@ main(int argc, char **argv)
             band = "90%";
             ++within90;
         }
-        t.addRow({b.name, fmt(b.kl, 3), band});
+        t.addRow({b.name, Cell::real(b.kl, 3), band});
     }
-    t.print(std::cout);
+    rep->table(t);
 
     const double n = static_cast<double>(results.size());
-    std::cout << "\naverage KLDiv: " << fmt(klsum / n, 2)
-              << " bits (paper: 0.84); within 99/95/90% bounds: "
-              << fmtPct(within99 / n, 0) << "/"
-              << fmtPct(within95 / n, 0) << "/"
-              << fmtPct(within90 / n, 0)
-              << " (paper: 36%/48%/55%)\n";
+    rep->note("");
+    rep->note("average KLDiv: " + fmt(klsum / n, 2) +
+              " bits (paper: 0.84); within 99/95/90% bounds: " +
+              fmtPct(within99 / n, 0) + "/" + fmtPct(within95 / n, 0) +
+              "/" + fmtPct(within90 / n, 0) + " (paper: 36%/48%/55%)");
 
-    std::cout << "\nFIG 6b: Root cause — lowest vs highest divergence "
-                 "workloads\n(high KLDiv should coincide with "
-                 "writeback-dominated LLC traffic)\n\n";
-    TextTable rc({"benchmark", "KLDiv", "L2 MPKI", "LLC MPKI",
-                  "LLC WB share"});
+    rep->note("");
+    rep->note("FIG 6b: Root cause — lowest vs highest divergence "
+              "workloads");
+    rep->note("(high KLDiv should coincide with writeback-dominated "
+              "LLC traffic)");
+    rep->note("");
+    TableData rc("fig6b_root_cause", {"benchmark", "KLDiv", "L2 MPKI",
+                                      "LLC MPKI", "LLC WB share"});
     const std::size_t k = std::min<std::size_t>(4, results.size() / 2);
     for (std::size_t i = 0; i < k; ++i) {
         const auto &b = results[i];
-        rc.addRow({"low:  " + b.name, fmt(b.kl, 3), fmt(b.l2Mpki, 1),
-                   fmt(b.llcMpki, 1), fmtPct(b.wbShare)});
+        rc.addRow({"low:  " + b.name, Cell::real(b.kl, 3),
+                   Cell::real(b.l2Mpki, 1), Cell::real(b.llcMpki, 1),
+                   Cell::pct(b.wbShare)});
     }
     for (std::size_t i = results.size() - k; i < results.size(); ++i) {
         const auto &b = results[i];
-        rc.addRow({"high: " + b.name, fmt(b.kl, 3), fmt(b.l2Mpki, 1),
-                   fmt(b.llcMpki, 1), fmtPct(b.wbShare)});
+        rc.addRow({"high: " + b.name, Cell::real(b.kl, 3),
+                   Cell::real(b.l2Mpki, 1), Cell::real(b.llcMpki, 1),
+                   Cell::pct(b.wbShare)});
     }
-    rc.print(std::cout);
+    rep->table(rc);
     return 0;
 }

@@ -13,7 +13,7 @@
  */
 
 #include <algorithm>
-#include <iostream>
+#include <string>
 
 #include "analysis/crg.hh"
 #include "analysis/table.hh"
@@ -62,12 +62,16 @@ main(int argc, char **argv)
     runPInteFamily(c, machine, opt);
     runPairFamily(c, machine, opt);
 
-    std::cout << "FIG 7a: KL divergence of run-time metric series, "
-                 "PInTE vs CRG-matched 2nd-Trace\n\n";
+    auto rep = opt.report("bench_fig7", machine);
+    emitAllRuns(c, rep.sink());
+    rep->note("FIG 7a: KL divergence of run-time metric series, "
+              "PInTE vs CRG-matched 2nd-Trace");
+    rep->note("");
 
     const double grans[] = {0.05, 0.10, 0.20}; // +/-2.5%, 5%, 10%
     for (double gran : grans) {
-        TextTable t({"metric", "median (bits)", "q1", "q3", "max"});
+        TableData t("fig7a_gran_" + fmt(100 * gran / 2, 1),
+                    {"metric", "median (bits)", "q1", "q3", "max"});
         for (const auto &def : metricDefs) {
             std::vector<double> kls;
             for (std::size_t w = 0; w < c.zoo.size(); ++w) {
@@ -99,17 +103,20 @@ main(int argc, char **argv)
                 }
             }
             const SummaryStats s = summarize(kls);
-            t.addRow({def.name, fmt(s.median, 3), fmt(s.q1, 3),
-                      fmt(s.q3, 3), fmt(s.max, 3)});
+            t.addRow({def.name, Cell::real(s.median, 3),
+                      Cell::real(s.q1, 3), Cell::real(s.q3, 3),
+                      Cell::real(s.max, 3)});
         }
-        std::cout << "CRG +/-" << fmt(100 * gran / 2, 1) << "%:\n";
-        t.print(std::cout);
-        std::cout << "\n";
+        rep->note("CRG +/-" + fmt(100 * gran / 2, 1) + "%:");
+        rep->table(t);
+        rep->note("");
     }
 
-    std::cout << "FIG 7b: CRG coverage of 2nd-Trace contention rates "
-                 "by the PInTE sweep\n\n";
-    TextTable cov({"granularity", "coverage", "matched experiments"});
+    rep->note("FIG 7b: CRG coverage of 2nd-Trace contention rates "
+              "by the PInTE sweep");
+    rep->note("");
+    TableData cov("fig7b_coverage",
+                  {"granularity", "coverage", "matched experiments"});
     for (double gran : grans) {
         std::size_t matched = 0, total = 0;
         for (std::size_t w = 0; w < c.zoo.size(); ++w) {
@@ -124,25 +131,26 @@ main(int argc, char **argv)
             }
         }
         cov.addRow({"+/-" + fmt(100 * gran / 2, 1) + "%",
-                    fmtPct(total ? static_cast<double>(matched) /
-                                       static_cast<double>(total)
-                                 : 0.0),
+                    Cell::pct(total ? static_cast<double>(matched) /
+                                          static_cast<double>(total)
+                                    : 0.0),
                     std::to_string(matched) + "/" +
                         std::to_string(total)});
     }
-    cov.print(std::cout);
+    rep->table(cov);
 
     const std::size_t n = c.zoo.size();
     const double exp_ratio =
         static_cast<double>(n * (n - 1) / 2) /
         static_cast<double>(n * standardPInduceSweep().size());
-    std::cout << "\nexperiment-count ratio (all-pairs / sweep): "
-              << fmt(exp_ratio, 2)
-              << "x fewer PInTE experiments (paper: 7.79x at 188 "
-                 "traces; the ratio grows\nlinearly with zoo size — "
-                 "(n-1)/24 at 12 sweep points)\n"
-              << "paper's headline: ~92% of 2nd-Trace results matched "
-                 "within +/-5% contention rate,\nIPC information "
-                 "distance 0.03 bits.\n";
+    rep->note("");
+    rep->note("experiment-count ratio (all-pairs / sweep): " +
+              fmt(exp_ratio, 2) +
+              "x fewer PInTE experiments (paper: 7.79x at 188 "
+              "traces; the ratio grows");
+    rep->note("linearly with zoo size — (n-1)/24 at 12 sweep points)");
+    rep->note("paper's headline: ~92% of 2nd-Trace results matched "
+              "within +/-5% contention rate,");
+    rep->note("IPC information distance 0.03 bits.");
     return 0;
 }

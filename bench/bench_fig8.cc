@@ -12,8 +12,8 @@
  * should be DRAM-bound workloads).
  */
 
-#include <iostream>
 #include <map>
+#include <string>
 
 #include "analysis/c2afe.hh"
 #include "analysis/crg.hh"
@@ -99,12 +99,16 @@ main(int argc, char **argv)
     runPInteFamily(c, machine, opt);
     runPairFamily(c, machine, opt);
 
-    std::cout << "FIG 8: Contention sensitivity curves and "
-                 "classification (TPL = 5%)\n"
-              << "class: H = high (>=75% of samples lose >=5%), "
-                 "L = low (<=25%), M = mixed\n\n";
+    auto rep = opt.report("bench_fig8", machine);
+    emitAllRuns(c, rep.sink());
+    rep->note("FIG 8: Contention sensitivity curves and "
+              "classification (TPL = 5%)");
+    rep->note("class: H = high (>=75% of samples lose >=5%), "
+              "L = low (<=25%), M = mixed");
+    rep->note("");
 
-    TextTable t({"benchmark", "class", "PInTE curve (wIPC@rate)",
+    TableData t("fig8_classification",
+                {"benchmark", "class", "PInTE curve (wIPC@rate)",
                  "SCP", "knee", "trend", "2ndT", "agree"});
 
     int high = 0, low = 0, mixed = 0, disagreements = 0;
@@ -146,22 +150,27 @@ main(int argc, char **argv)
         }
 
         t.addRow({c.zoo[w].name, std::string(1, classChar(p_class)),
-                  curve_str, fmtPct(scp, 0), fmtPct(f.kneeX, 0),
-                  fmt(f.trend, 2), std::string(1, classChar(t_class)),
+                  curve_str, Cell::pct(scp, 0), Cell::pct(f.kneeX, 0),
+                  Cell::real(f.trend, 2),
+                  std::string(1, classChar(t_class)),
                   agree ? "yes" : "NO"});
     }
-    t.print(std::cout);
+    rep->table(t);
 
     const double n = static_cast<double>(c.zoo.size());
-    std::cout << "\nclass shares (PInTE): high "
-              << fmtPct(high / n, 0) << ", low " << fmtPct(low / n, 0)
-              << ", mixed " << fmtPct(mixed / n, 0)
-              << "  (paper: 12% high, 57% low, 16% mixed)\n";
-    std::cout << "disagreement cases (" << disagreements << "): ";
+    rep->note("");
+    rep->note("class shares (PInTE): high " + fmtPct(high / n, 0) +
+              ", low " + fmtPct(low / n, 0) + ", mixed " +
+              fmtPct(mixed / n, 0) +
+              "  (paper: 12% high, 57% low, 16% mixed)");
+    std::string disagree_line =
+        "disagreement cases (" + std::to_string(disagreements) + "): ";
     for (const auto &d : disagree_names)
-        std::cout << d << " ";
-    std::cout << "\n(paper's disagreements are DRAM-bound: mcf, milc, "
-                 "leslie3d, libquantum, astar,\nwrf, xalancbmk, gcc — "
-                 "PInTE cannot mimic contention past the LLC)\n";
+        disagree_line += d + " ";
+    rep->note(disagree_line);
+    rep->note("(paper's disagreements are DRAM-bound: mcf, milc, "
+              "leslie3d, libquantum, astar,");
+    rep->note("wrf, xalancbmk, gcc — PInTE cannot mimic contention "
+              "past the LLC)");
     return 0;
 }

@@ -9,7 +9,7 @@
  * sits near DRAM latency — the paper's noted exceptions.
  */
 
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "bench_common.hh"
@@ -41,11 +41,14 @@ main(int argc, char **argv)
     runPInteFamily(c, machine, opt);
     runPairFamily(c, machine, opt);
 
-    std::cout << "FIG 9: AMAT under contention (cycles), boxplots as "
-                 "min [q1 median q3] max\n\n";
+    auto rep = opt.report("bench_fig9", machine);
+    emitAllRuns(c, rep.sink());
+    rep->note("FIG 9: AMAT under contention (cycles), boxplots as "
+              "min [q1 median q3] max");
+    rep->note("");
 
-    TextTable t({"benchmark", "2nd-Trace AMAT", "PInTE AMAT",
-                 "median gap"});
+    TableData t("fig9_amat", {"benchmark", "2nd-Trace AMAT",
+                              "PInTE AMAT", "median gap"});
     double sum_gap = 0;
     int dram_bound = 0;
     for (std::size_t w = 0; w < c.zoo.size(); ++w) {
@@ -64,16 +67,18 @@ main(int argc, char **argv)
             ++dram_bound;
         }
         t.addRow({c.zoo[w].name + note, boxplot(st), boxplot(sp),
-                  fmt(gap, 1)});
+                  Cell::real(gap, 1)});
     }
-    t.print(std::cout);
+    rep->table(t);
 
-    std::cout << "\nmean median-AMAT gap (2nd-Trace - PInTE): "
-              << fmt(sum_gap / static_cast<double>(c.zoo.size()), 1)
-              << " cycles\npositive gaps concentrate on the "
-              << dram_bound
-              << " DRAM-bound workloads: a real co-runner also "
-                 "contends\nfor DRAM banks and bandwidth, which PInTE "
-                 "(LLC-only) does not model — section V-C.\n";
+    rep->note("");
+    rep->note("mean median-AMAT gap (2nd-Trace - PInTE): " +
+              fmt(sum_gap / static_cast<double>(c.zoo.size()), 1) +
+              " cycles");
+    rep->note("positive gaps concentrate on the " +
+              std::to_string(dram_bound) +
+              " DRAM-bound workloads: a real co-runner also contends");
+    rep->note("for DRAM banks and bandwidth, which PInTE (LLC-only) "
+              "does not model — section V-C.");
     return 0;
 }

@@ -152,7 +152,7 @@ BENCHMARK(BM_CoreSimulation);
 void
 BM_FullPInteExperiment(benchmark::State &state)
 {
-    // One complete runPInte() — the unit Table I counts.
+    // One complete PInTE experiment — the unit Table I counts.
     ExperimentParams params;
     params.warmup = 2000;
     params.roi = 6000;
@@ -160,7 +160,11 @@ BM_FullPInteExperiment(benchmark::State &state)
     const auto spec = findWorkload("435.gromacs");
     const MachineConfig m = MachineConfig::scaled();
     for (auto _ : state)
-        benchmark::DoNotOptimize(runPInte(spec, 0.1, m, params));
+        benchmark::DoNotOptimize(ExperimentSpec(m)
+                                     .workload(spec)
+                                     .pinte(0.1)
+                                     .params(params)
+                                     .run());
 }
 BENCHMARK(BM_FullPInteExperiment);
 

@@ -11,7 +11,7 @@
  * against the flat cost of the PInTE sweep.
  */
 
-#include <iostream>
+#include <string>
 #include <vector>
 
 #include "analysis/table.hh"
@@ -44,10 +44,13 @@ main(int argc, char **argv)
     const MachineConfig machine = MachineConfig::scaled();
     const std::size_t paper_n = 188; // the paper's trace count
 
-    std::cout << "MOTIVATION (section II): contention-analysis cost vs "
-                 "mix size\n\n";
+    auto rep = opt.report("bench_motivation", machine);
+    rep->note("MOTIVATION (section II): contention-analysis cost vs "
+              "mix size");
+    rep->note("");
 
-    TextTable t({"experiment design", "combos @" +
+    TableData t("motivation_cost",
+                {"experiment design", "combos @" +
                      std::to_string(zoo.size()) + " workloads",
                  "combos @188 traces", "avg cpu (s)",
                  "relative cost"});
@@ -67,8 +70,10 @@ main(int argc, char **argv)
                 std::vector<WorkloadSpec> mix;
                 for (unsigned j = 0; j < k; ++j)
                     mix.push_back(zoo[(s * 7 + j * 3) % zoo.size()]);
-                return runMix(mix, machine, opt.params)
-                    .front()
+                return ExperimentSpec(machine)
+                    .mix(mix)
+                    .params(opt.params)
+                    .run()
                     .cpuSeconds;
             },
             meter.asTick());
@@ -76,8 +81,8 @@ main(int argc, char **argv)
         if (k == 1)
             base_cpu = avg;
         t.addRow({std::to_string(k) + "-way mix",
-                  std::to_string(choose(zoo.size(), k)),
-                  std::to_string(choose(paper_n, k)), fmt(avg, 4),
+                  Cell::count(choose(zoo.size(), k)),
+                  Cell::count(choose(paper_n, k)), Cell::real(avg, 4),
                   fmt(avg / base_cpu, 2) + "x"});
     }
 
@@ -85,22 +90,26 @@ main(int argc, char **argv)
     {
         const std::vector<double> costs = opt.runner().map(
             std::size_t{6}, [&](std::size_t s) {
-                return runPInte(zoo[(s * 5) % zoo.size()], 0.1,
-                                machine, opt.params)
+                return ExperimentSpec(machine)
+                    .workload(zoo[(s * 5) % zoo.size()])
+                    .pinte(0.1)
+                    .params(opt.params)
+                    .run()
                     .cpuSeconds;
             });
         const double avg = mean(costs);
-        t.addRow({"PInTE sweep",
-                  std::to_string(12 * zoo.size()),
-                  std::to_string(12 * paper_n), fmt(avg, 4),
+        t.addRow({"PInTE sweep", Cell::count(12 * zoo.size()),
+                  Cell::count(12 * paper_n), Cell::real(avg, 4),
                   fmt(avg / base_cpu, 2) + "x"});
     }
-    t.print(std::cout);
+    rep->table(t);
 
-    std::cout << "\nthe combination column is the trap: pairs are "
-                 "quadratic, triples cubic — at the\npaper's 188 "
-                 "traces, 3-way coverage already needs >1M simulations "
-                 "of 3 cores each,\nwhile the PInTE sweep stays linear "
-                 "(12n) at single-core cost.\n";
+    rep->note("");
+    rep->note("the combination column is the trap: pairs are "
+              "quadratic, triples cubic — at the");
+    rep->note("paper's 188 traces, 3-way coverage already needs >1M "
+              "simulations of 3 cores each,");
+    rep->note("while the PInTE sweep stays linear (12n) at "
+              "single-core cost.");
     return 0;
 }

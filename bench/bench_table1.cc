@@ -9,7 +9,7 @@
  * a second core) and should reproduce in shape, not absolute hours.
  */
 
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "bench_common.hh"
@@ -47,23 +47,29 @@ main(int argc, char **argv)
             pinte_cpu.push_back(r.cpuSeconds);
     const std::vector<double> &pair_cpu = c.pairCpu;
 
-    std::cout << "TABLE I: Simulation run-times and experiment sizes\n"
-              << "(reproduction scale: " << c.zoo.size()
-              << " workloads, ROI " << opt.params.roi
-              << " instructions; paper: 95 traces, 500M ROI)\n\n";
+    auto rep = opt.report("bench_table1", machine);
+    emitAllRuns(c, rep.sink());
+    rep->note("TABLE I: Simulation run-times and experiment sizes");
+    rep->note("(reproduction scale: " + std::to_string(c.zoo.size()) +
+              " workloads, ROI " + std::to_string(opt.params.roi) +
+              " instructions; paper: 95 traces, 500M ROI)");
+    rep->note("");
 
-    TextTable t({"Source of Contention", "# Sims.", "Avg. (s)",
+    TableData t("table1_runtimes",
+                {"Source of Contention", "# Sims.", "Avg. (s)",
                  "Std. Dev.", "Max. (s)", "Min. (s)", "Total (s)"});
     auto addRow = [&](const char *name, const std::vector<double> &w) {
         const SummaryStats s = summarize(w);
-        t.addRow({name, std::to_string(w.size()), fmt(s.mean, 4),
-                  fmt(s.stddev, 4), fmt(s.max, 4), fmt(s.min, 4),
-                  fmt(s.mean * static_cast<double>(w.size()), 2)});
+        t.addRow({name, Cell::count(w.size()), Cell::real(s.mean, 4),
+                  Cell::real(s.stddev, 4), Cell::real(s.max, 4),
+                  Cell::real(s.min, 4),
+                  Cell::real(s.mean * static_cast<double>(w.size()),
+                             2)});
     };
     addRow("None", iso_cpu);
     addRow("2nd-Trace", pair_cpu);
     addRow("PInTE", pinte_cpu);
-    t.print(std::cout);
+    rep->table(t);
 
     // The paper's headline ratios, recomputed at this scale.
     const double avg_iso = mean(iso_cpu);
@@ -74,17 +80,18 @@ main(int argc, char **argv)
     const double tot_pinte =
         avg_pinte * static_cast<double>(pinte_cpu.size());
 
-    std::cout << "\nHeadline ratios (paper values in parentheses):\n";
-    std::cout << "  experiments: 2nd-Trace/PInTE = "
-              << fmt(static_cast<double>(pair_cpu.size()) /
-                         static_cast<double>(pinte_cpu.size()),
-                     2)
-              << "x (2.6x at the paper's trace count)\n";
-    std::cout << "  avg time:    2nd-Trace/None  = "
-              << fmt(avg_pair / avg_iso, 2) << "x (2.4x)\n";
-    std::cout << "  avg time:    2nd-Trace/PInTE = "
-              << fmt(avg_pair / avg_pinte, 2) << "x (2.2x)\n";
-    std::cout << "  total time:  2nd-Trace/PInTE = "
-              << fmt(tot_pair / tot_pinte, 2) << "x (5.6x)\n";
+    rep->note("");
+    rep->note("Headline ratios (paper values in parentheses):");
+    rep->note("  experiments: 2nd-Trace/PInTE = " +
+              fmt(static_cast<double>(pair_cpu.size()) /
+                      static_cast<double>(pinte_cpu.size()),
+                  2) +
+              "x (2.6x at the paper's trace count)");
+    rep->note("  avg time:    2nd-Trace/None  = " +
+              fmt(avg_pair / avg_iso, 2) + "x (2.4x)");
+    rep->note("  avg time:    2nd-Trace/PInTE = " +
+              fmt(avg_pair / avg_pinte, 2) + "x (2.2x)");
+    rep->note("  total time:  2nd-Trace/PInTE = " +
+              fmt(tot_pair / tot_pinte, 2) + "x (5.6x)");
     return 0;
 }

@@ -12,8 +12,8 @@
  */
 
 #include <cmath>
-#include <iostream>
 #include <map>
+#include <string>
 
 #include "analysis/crg.hh"
 #include "analysis/table.hh"
@@ -129,12 +129,16 @@ main(int argc, char **argv)
         rows.push_back(row);
     }
 
-    std::cout << "TABLE II: Average relative error in high-level "
-                 "metrics, PInTE vs 2nd-Trace (CRG-matched)\n"
-              << "KEY: ^ AMAT & IPC >= 10% (DRAM-bound)   "
-                 "* MR >= 10 (core-bound)   + IPC >= 10% (LLC-bound)\n\n";
+    auto rep = opt.report("bench_table2", machine);
+    emitAllRuns(c, rep.sink());
+    rep->note("TABLE II: Average relative error in high-level "
+              "metrics, PInTE vs 2nd-Trace (CRG-matched)");
+    rep->note("KEY: ^ AMAT & IPC >= 10% (DRAM-bound)   "
+              "* MR >= 10 (core-bound)   + IPC >= 10% (LLC-bound)");
+    rep->note("");
 
-    TextTable t({"Benchmark", "", "AMAT%", "MR(pp)", "IPC%"});
+    TableData t("table2_relative_error",
+                {"Benchmark", "", "AMAT%", "MR(pp)", "IPC%"});
     struct Avg
     {
         double amat = 0, mr = 0, ipc = 0;
@@ -162,23 +166,25 @@ main(int argc, char **argv)
             t.addRow({r.name, "", "n/a", "n/a", "n/a"});
             continue;
         }
-        t.addRow({r.name, marker(r), fmt(r.amat, 2), fmt(r.mr, 2),
-                  fmt(r.ipc, 2)});
+        t.addRow({r.name, marker(r), Cell::real(r.amat, 2),
+                  Cell::real(r.mr, 2), Cell::real(r.ipc, 2)});
     }
     const Avg a06 = suiteAvg(Suite::Spec2006);
     const Avg a17 = suiteAvg(Suite::Spec2017);
     const Avg all = suiteAvg(Suite::Synthetic);
-    t.addRow({"2006", "", fmt(a06.amat, 2), fmt(a06.mr, 2),
-              fmt(a06.ipc, 2)});
-    t.addRow({"2017", "", fmt(a17.amat, 2), fmt(a17.mr, 2),
-              fmt(a17.ipc, 2)});
-    t.addRow({"All", "", fmt(all.amat, 2), fmt(all.mr, 2),
-              fmt(all.ipc, 2)});
-    t.print(std::cout);
+    t.addRow({"2006", "", Cell::real(a06.amat, 2),
+              Cell::real(a06.mr, 2), Cell::real(a06.ipc, 2)});
+    t.addRow({"2017", "", Cell::real(a17.amat, 2),
+              Cell::real(a17.mr, 2), Cell::real(a17.ipc, 2)});
+    t.addRow({"All", "", Cell::real(all.amat, 2),
+              Cell::real(all.mr, 2), Cell::real(all.ipc, 2)});
+    rep->table(t);
 
-    std::cout << "\npaper's 'All' row: AMAT 1.43%, MR 1.29, IPC -8.46% "
-                 "(negative IPC error = PInTE\nover-estimates "
-                 "performance, because it induces less memory-system "
-                 "pressure than a\nreal co-runner).\n";
+    rep->note("");
+    rep->note("paper's 'All' row: AMAT 1.43%, MR 1.29, IPC -8.46% "
+              "(negative IPC error = PInTE");
+    rep->note("over-estimates performance, because it induces less "
+              "memory-system pressure than a");
+    rep->note("real co-runner).");
     return 0;
 }

@@ -4,19 +4,24 @@
  * the paper, applied through the public API).
  *
  * Usage: contention_sensitivity [workload-name|--all]
+ *                               [--format=table|json|csv] [--out=FILE]
  *
  * Sweeps P_Induce, builds the contention curve, extracts C^2AFE
  * features (knee / trend / sensitivity) and classifies the workload at
  * the 5% Tolerable Performance Loss with the paper's 75/25% criteria.
  */
 
-#include <iostream>
+#include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "analysis/c2afe.hh"
 #include "analysis/crg.hh"
 #include "analysis/sensitivity.hh"
 #include "analysis/table.hh"
 #include "sim/experiment.hh"
+#include "sim/options.hh"
+#include "sim/sink.hh"
 
 using namespace pinte;
 
@@ -25,14 +30,24 @@ namespace
 
 void
 characterize(const WorkloadSpec &spec, const MachineConfig &machine,
-             const ExperimentParams &params, bool verbose)
+             const ExperimentParams &params, ReportSink &sink,
+             bool verbose)
 {
-    const RunResult iso = runIsolation(spec, machine, params);
+    const RunResult iso =
+        ExperimentSpec(machine).workload(spec).params(params).run();
+    if (sink.wantsAllRuns())
+        sink.run(iso);
 
     std::vector<double> xs, ys;
     std::vector<double> sample_wipc;
     for (double p : standardPInduceSweep()) {
-        const RunResult r = runPInte(spec, p, machine, params);
+        const RunResult r = ExperimentSpec(machine)
+                                .workload(spec)
+                                .pinte(p)
+                                .params(params)
+                                .run();
+        if (sink.wantsAllRuns())
+            sink.run(r);
         xs.push_back(r.metrics.interferenceRate);
         ys.push_back(weightedIpc(r.metrics.ipc, iso.metrics.ipc));
         for (const auto &s : r.samples)
@@ -44,30 +59,36 @@ characterize(const WorkloadSpec &spec, const MachineConfig &machine,
     const SensitivityClass cls = classifySensitivity(frac);
 
     if (verbose) {
-        std::cout << "workload: " << spec.name << " ("
-                  << toString(spec.klass) << ")\n"
-                  << "isolation IPC: " << fmt(iso.metrics.ipc, 3)
-                  << "\n\ncontention curve:\n";
-        TextTable t({"contention rate", "weighted IPC", ""});
+        sink.note("workload: " + spec.name + " (" +
+                  toString(spec.klass) + ")");
+        sink.note("isolation IPC: " + fmt(iso.metrics.ipc, 3));
+        sink.note("");
+        sink.note("contention curve:");
+        TableData t("sensitivity_curve",
+                    {"contention rate", "weighted IPC", ""});
         for (std::size_t i = 0; i < xs.size(); ++i)
-            t.addRow({fmtPct(std::min(xs[i], 1.0)), fmt(ys[i], 3),
-                      bar(ys[i], 1.0, 30)});
-        t.print(std::cout);
-        std::cout << "\nC^2AFE features: knee at "
-                  << fmtPct(std::min(f.kneeX, 1.0)) << " contention, "
-                  << "trend " << fmt(f.trend, 3)
-                  << " wIPC/contention, sensitivity "
-                  << fmt(f.sensitivity, 3) << ", shape "
-                  << toString(classifyCurveShape(f)) << "\n";
-        std::cout << "samples losing >= 5% IPC: " << fmtPct(frac)
-                  << " -> class: " << toString(cls) << "\n";
+            t.addRow({Cell::pct(std::min(xs[i], 1.0)),
+                      Cell::real(ys[i], 3), bar(ys[i], 1.0, 30)});
+        sink.table(t);
+        sink.note("");
+        sink.note("C^2AFE features: knee at " +
+                  fmtPct(std::min(f.kneeX, 1.0)) + " contention, " +
+                  "trend " + fmt(f.trend, 3) +
+                  " wIPC/contention, sensitivity " +
+                  fmt(f.sensitivity, 3) + ", shape " +
+                  toString(classifyCurveShape(f)));
+        sink.note("samples losing >= 5% IPC: " + fmtPct(frac) +
+                  " -> class: " + toString(cls));
     } else {
-        std::printf("%-16s %-14s sens-frac %5s  class %-5s  knee %5s"
-                    "  max-loss %s\n",
-                    spec.name.c_str(), toString(spec.klass),
-                    fmtPct(frac, 0).c_str(), toString(cls),
-                    fmtPct(std::min(f.kneeX, 1.0), 0).c_str(),
-                    fmtPct(f.sensitivity, 0).c_str());
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-16s %-14s sens-frac %5s  class %-5s  knee %5s"
+                      "  max-loss %s",
+                      spec.name.c_str(), toString(spec.klass),
+                      fmtPct(frac, 0).c_str(), toString(cls),
+                      fmtPct(std::min(f.kneeX, 1.0), 0).c_str(),
+                      fmtPct(f.sensitivity, 0).c_str());
+        sink.note(line);
     }
 }
 
@@ -78,16 +99,31 @@ main(int argc, char **argv)
 {
     const MachineConfig machine = MachineConfig::scaled();
     const ExperimentParams params;
-    const std::string arg = argc > 1 ? argv[1] : "456.hmmer";
+    std::string arg = "456.hmmer";
+    ReportFormat format = ReportFormat::Table;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--format=", 0) == 0)
+            format = parseReportFormat(a.substr(9));
+        else if (a.rfind("--out=", 0) == 0)
+            out_path = a.substr(6);
+        else
+            arg = a;
+    }
+
+    Report rep(format, out_path,
+               {"contention_sensitivity", machine.fingerprint(),
+                params});
 
     if (arg == "--all") {
-        std::cout << "Contention sensitivity of the full zoo "
-                     "(5% TPL):\n\n";
+        rep->note("Contention sensitivity of the full zoo (5% TPL):");
+        rep->note("");
         for (const auto &spec : fullZoo())
-            characterize(spec, machine, params, false);
+            characterize(spec, machine, params, rep.sink(), false);
         return 0;
     }
 
-    characterize(findWorkload(arg), machine, params, true);
+    characterize(findWorkload(arg), machine, params, rep.sink(), true);
     return 0;
 }

@@ -13,12 +13,16 @@
  * rescues.
  *
  * Usage: partitioning_study [workloadA] [workloadB]
+ *                           [--format=table|json|csv] [--out=FILE]
  */
 
-#include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/table.hh"
 #include "sim/experiment.hh"
+#include "sim/options.hh"
+#include "sim/sink.hh"
 
 using namespace pinte;
 
@@ -32,7 +36,11 @@ pinteSensitivity(const WorkloadSpec &spec, const MachineConfig &machine,
 {
     double worst = 0.0;
     for (double p : {0.05, 0.2, 0.5}) {
-        const RunResult r = runPInte(spec, p, machine, params);
+        const RunResult r = ExperimentSpec(machine)
+                                .workload(spec)
+                                .pinte(p)
+                                .params(params)
+                                .run();
         worst = std::max(worst,
                          1.0 - weightedIpc(r.metrics.ipc, iso_ipc));
     }
@@ -65,63 +73,86 @@ corun(const WorkloadSpec &a, const WorkloadSpec &b,
 int
 main(int argc, char **argv)
 {
+    std::vector<std::string> names;
+    ReportFormat format = ReportFormat::Table;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--format=", 0) == 0)
+            format = parseReportFormat(arg.substr(9));
+        else if (arg.rfind("--out=", 0) == 0)
+            out_path = arg.substr(6);
+        else
+            names.push_back(arg);
+    }
     const WorkloadSpec a =
-        findWorkload(argc > 1 ? argv[1] : "450.soplex");
+        findWorkload(names.size() > 0 ? names[0] : "450.soplex");
     const WorkloadSpec b =
-        findWorkload(argc > 2 ? argv[2] : "470.lbm");
+        findWorkload(names.size() > 1 ? names[1] : "470.lbm");
     const MachineConfig machine = MachineConfig::scaled();
     const ExperimentParams params;
 
-    std::cout << "Partitioning study: " << a.name << " + " << b.name
-              << "\n\n";
+    Report rep(format, out_path,
+               {"partitioning_study", machine.fingerprint(), params});
+    rep->note("Partitioning study: " + a.name + " + " + b.name);
+    rep->note("");
 
     // Step 1: cheap PInTE characterization.
-    const RunResult iso_a = runIsolation(a, machine, params);
-    const RunResult iso_b = runIsolation(b, machine, params);
+    const RunResult iso_a =
+        ExperimentSpec(machine).workload(a).params(params).run();
+    const RunResult iso_b =
+        ExperimentSpec(machine).workload(b).params(params).run();
+    if (rep->wantsAllRuns()) {
+        rep->run(iso_a);
+        rep->run(iso_b);
+    }
     const double sens_a =
         pinteSensitivity(a, machine, params, iso_a.metrics.ipc);
     const double sens_b =
         pinteSensitivity(b, machine, params, iso_b.metrics.ipc);
 
-    std::cout << "step 1 — PInTE sensitivity (max weighted-IPC loss "
-                 "over a 3-point sweep):\n";
-    TextTable s({"workload", "class", "isolation IPC",
+    rep->note("step 1 — PInTE sensitivity (max weighted-IPC loss "
+              "over a 3-point sweep):");
+    TableData s("partitioning_sensitivity",
+                {"workload", "class", "isolation IPC",
                  "max wIPC loss"});
-    s.addRow({a.name, toString(a.klass), fmt(iso_a.metrics.ipc, 3),
-              fmtPct(sens_a)});
-    s.addRow({b.name, toString(b.klass), fmt(iso_b.metrics.ipc, 3),
-              fmtPct(sens_b)});
-    s.print(std::cout);
+    s.addRow({a.name, toString(a.klass),
+              Cell::real(iso_a.metrics.ipc, 3), Cell::pct(sens_a)});
+    s.addRow({b.name, toString(b.klass),
+              Cell::real(iso_b.metrics.ipc, 3), Cell::pct(sens_b)});
+    rep->table(s);
     const bool a_sensitive = sens_a >= sens_b;
-    std::cout << "\nPInTE predicts " << (a_sensitive ? a.name : b.name)
-              << " needs the capacity guarantee.\n\n";
+    rep->note("");
+    rep->note("PInTE predicts " + (a_sensitive ? a.name : b.name) +
+              " needs the capacity guarantee.");
+    rep->note("");
 
     // Step 2: ground truth — shared vs partitioned co-runs.
     const auto [sh_a, sh_b] = corun(a, b, machine, params, false);
     const auto [pt_a, pt_b] = corun(a, b, machine, params, true);
 
-    std::cout << "step 2 — real co-runs (weighted IPC vs isolation):\n";
-    TextTable t({"workload", "shared LLC", "partitioned 8/8 ways",
+    rep->note("step 2 — real co-runs (weighted IPC vs isolation):");
+    TableData t("partitioning_corun",
+                {"workload", "shared LLC", "partitioned 8/8 ways",
                  "partitioning gain"});
     const double wsa = weightedIpc(sh_a, iso_a.metrics.ipc);
     const double wpa = weightedIpc(pt_a, iso_a.metrics.ipc);
     const double wsb = weightedIpc(sh_b, iso_b.metrics.ipc);
     const double wpb = weightedIpc(pt_b, iso_b.metrics.ipc);
-    t.addRow({a.name, fmt(wsa, 3), fmt(wpa, 3),
-              fmtPct(wpa - wsa)});
-    t.addRow({b.name, fmt(wsb, 3), fmt(wpb, 3),
-              fmtPct(wpb - wsb)});
-    t.print(std::cout);
+    t.addRow({a.name, Cell::real(wsa, 3), Cell::real(wpa, 3),
+              Cell::pct(wpa - wsa)});
+    t.addRow({b.name, Cell::real(wsb, 3), Cell::real(wpb, 3),
+              Cell::pct(wpb - wsb)});
+    rep->table(t);
 
     const bool a_gained = (wpa - wsa) >= (wpb - wsb);
-    std::cout << "\npartitioning helped "
-              << (a_gained ? a.name : b.name)
-              << " most; PInTE's prediction was "
-              << (a_gained == a_sensitive ? "CORRECT" : "WRONG")
-              << ".\n(PInTE needed "
-              << 2 * 3 + 2
-              << " single-core runs to what the ground truth needed "
-                 "2-core co-runs for —\nthe paper's core value "
-                 "proposition.)\n";
+    rep->note("");
+    rep->note("partitioning helped " + (a_gained ? a.name : b.name) +
+              " most; PInTE's prediction was " +
+              (a_gained == a_sensitive ? "CORRECT" : "WRONG") + ".");
+    rep->note("(PInTE needed " + std::to_string(2 * 3 + 2) +
+              " single-core runs to what the ground truth needed "
+              "2-core co-runs for —");
+    rep->note("the paper's core value proposition.)");
     return 0;
 }

@@ -4,24 +4,38 @@
  * best once the cache is contended? (Section VI of the paper, one
  * workload at a time.)
  *
- * Usage: policy_study [workload-name]
+ * Usage: policy_study [workload-name] [--format=table|json|csv]
+ *                     [--out=FILE]
  *
  * Runs the four replacement policies across the P_Induce sweep and
- * prints IPC per policy per contention level, flagging the winner and
- * statistical ties (within 1%).
+ * reports IPC per policy per contention level, flagging the winner
+ * and statistical ties (within 1%).
  */
 
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "sim/experiment.hh"
+#include "sim/options.hh"
+#include "sim/sink.hh"
 
 using namespace pinte;
 
 int
 main(int argc, char **argv)
 {
-    const std::string name = argc > 1 ? argv[1] : "471.omnetpp";
+    std::string name = "471.omnetpp";
+    ReportFormat format = ReportFormat::Table;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--format=", 0) == 0)
+            format = parseReportFormat(arg.substr(9));
+        else if (arg.rfind("--out=", 0) == 0)
+            out_path = arg.substr(6);
+        else
+            name = arg;
+    }
     const WorkloadSpec spec = findWorkload(name);
     const ExperimentParams params;
 
@@ -29,17 +43,29 @@ main(int argc, char **argv)
         ReplacementKind::Lru, ReplacementKind::PseudoLru,
         ReplacementKind::Nmru, ReplacementKind::Rrip};
 
-    std::cout << "Replacement policy study under contention: "
-              << spec.name << " (" << toString(spec.klass) << ")\n\n";
+    Report rep(format, out_path,
+               {"policy_study", MachineConfig::scaled().fingerprint(),
+                params});
+    rep->note("Replacement policy study under contention: " +
+              spec.name + " (" + toString(spec.klass) + ")");
+    rep->note("");
 
-    TextTable t({"P_Induce", "LRU", "pLRU", "nMRU", "RRIP", "winner",
+    TableData t("policy_study",
+                {"P_Induce", "LRU", "pLRU", "nMRU", "RRIP", "winner",
                  "tie?"});
     for (double p : standardPInduceSweep()) {
         std::vector<double> ipc;
         for (ReplacementKind k : kinds) {
             MachineConfig m = MachineConfig::scaled();
             m.llc.replacement = k;
-            ipc.push_back(runPInte(spec, p, m, params).metrics.ipc);
+            const RunResult r = ExperimentSpec(m)
+                                    .workload(spec)
+                                    .pinte(p)
+                                    .params(params)
+                                    .run();
+            if (rep->wantsAllRuns())
+                rep->run(r);
+            ipc.push_back(r.metrics.ipc);
         }
         std::size_t best = 0;
         for (std::size_t i = 1; i < ipc.size(); ++i)
@@ -49,18 +75,20 @@ main(int argc, char **argv)
         for (double v : ipc)
             if (v >= 0.99 * ipc[best])
                 ++within;
-        t.addRow({fmt(p, 3), fmt(ipc[0], 3), fmt(ipc[1], 3),
-                  fmt(ipc[2], 3), fmt(ipc[3], 3),
-                  toString(kinds[best]),
+        t.addRow({Cell::real(p, 3), Cell::real(ipc[0], 3),
+                  Cell::real(ipc[1], 3), Cell::real(ipc[2], 3),
+                  Cell::real(ipc[3], 3), toString(kinds[best]),
                   within == 4 ? "all-tie"
                               : (within >= 2 ? "partial" : "clear")});
     }
-    t.print(std::cout);
+    rep->table(t);
 
-    std::cout << "\nThe paper's finding: winners churn as P_Induce "
-                 "grows and ties dominate at high\ncontention — a "
-                 "policy advantage measured in isolation is not a "
-                 "robust design\nsignal. Evaluate under contention "
-                 "before committing (that is PInTE's purpose).\n";
+    rep->note("");
+    rep->note("The paper's finding: winners churn as P_Induce grows "
+              "and ties dominate at high");
+    rep->note("contention — a policy advantage measured in isolation "
+              "is not a robust design");
+    rep->note("signal. Evaluate under contention before committing "
+              "(that is PInTE's purpose).");
     return 0;
 }

@@ -3,54 +3,91 @@
  * Quickstart: measure one workload's response to growing LLC
  * contention with a PInTE sweep.
  *
- * Usage: quickstart [workload-name]
+ * Usage: quickstart [workload-name] [--format=table|json|csv]
+ *                   [--out=FILE]
  *
  * Runs the workload in isolation, then across the standard 12-point
- * P_Induce sweep, and prints the contention curve (weighted IPC vs
- * observed contention rate) plus headline metrics per point.
+ * P_Induce sweep, and reports the contention curve (weighted IPC vs
+ * observed contention rate) plus headline metrics per point. The
+ * report goes through a ReportSink, so the same program emits the
+ * aligned text table, a versioned JSON document, or CSV.
  */
 
-#include <cstdio>
-#include <iostream>
+#include <string>
 
 #include "analysis/table.hh"
 #include "sim/experiment.hh"
+#include "sim/options.hh"
+#include "sim/sink.hh"
 
 using namespace pinte;
 
 int
 main(int argc, char **argv)
 {
-    const std::string name = argc > 1 ? argv[1] : "450.soplex";
+    std::string name = "450.soplex";
+    ReportFormat format = ReportFormat::Table;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--format=", 0) == 0)
+            format = parseReportFormat(arg.substr(9));
+        else if (arg.rfind("--out=", 0) == 0)
+            out_path = arg.substr(6);
+        else
+            name = arg;
+    }
+
     const WorkloadSpec spec = findWorkload(name);
     const MachineConfig machine = MachineConfig::scaled();
     const ExperimentParams params;
 
-    std::cout << "PInTE quickstart: " << spec.name << " ("
-              << toString(spec.klass) << ", footprint "
-              << spec.footprintLines * blockSize / 1024 << " KB)\n"
-              << "machine: LLC " << machine.llc.bytes() / 1024 << " KB, "
-              << machine.llc.assoc << "-way, "
-              << toString(machine.llc.inclusion) << "\n\n";
+    Report rep(format, out_path,
+               {"quickstart", machine.fingerprint(), params});
+    rep->note("PInTE quickstart: " + spec.name + " (" +
+              toString(spec.klass) + ", footprint " +
+              std::to_string(spec.footprintLines * blockSize / 1024) +
+              " KB)");
+    rep->note("machine: LLC " +
+              std::to_string(machine.llc.bytes() / 1024) + " KB, " +
+              std::to_string(machine.llc.assoc) + "-way, " +
+              toString(machine.llc.inclusion));
+    rep->note("");
 
-    const RunResult iso = runIsolation(spec, machine, params);
-    std::printf("isolation: IPC %.3f  LLC-MR %.3f  AMAT %.1f cycles\n\n",
-                iso.metrics.ipc, iso.metrics.missRate, iso.metrics.amat);
+    const RunResult iso =
+        ExperimentSpec(machine).workload(spec).params(params).run();
+    if (rep->wantsAllRuns())
+        rep->run(iso);
+    rep->note("isolation: IPC " + fmt(iso.metrics.ipc, 3) +
+              "  LLC-MR " + fmt(iso.metrics.missRate, 3) + "  AMAT " +
+              fmt(iso.metrics.amat, 1) + " cycles");
+    rep->note("");
 
-    TextTable table({"P_Induce", "contention", "IPC", "weighted IPC",
+    TableData table("quickstart_sweep",
+                    {"P_Induce", "contention", "IPC", "weighted IPC",
                      "LLC miss rate", "AMAT", "mocked thefts"});
     for (double p : standardPInduceSweep()) {
-        const RunResult r = runPInte(spec, p, machine, params);
-        table.addRow({fmt(p, 3), fmtPct(r.metrics.interferenceRate),
-                      fmt(r.metrics.ipc, 3),
-                      fmt(weightedIpc(r.metrics.ipc, iso.metrics.ipc), 3),
-                      fmt(r.metrics.missRate, 3), fmt(r.metrics.amat, 1),
-                      std::to_string(r.pinte.invalidations)});
+        const RunResult r = ExperimentSpec(machine)
+                                .workload(spec)
+                                .pinte(p)
+                                .params(params)
+                                .run();
+        if (rep->wantsAllRuns())
+            rep->run(r);
+        table.addRow(
+            {Cell::real(p, 3), Cell::pct(r.metrics.interferenceRate),
+             Cell::real(r.metrics.ipc, 3),
+             Cell::real(weightedIpc(r.metrics.ipc, iso.metrics.ipc),
+                        3),
+             Cell::real(r.metrics.missRate, 3),
+             Cell::real(r.metrics.amat, 1),
+             Cell::count(r.pinte.invalidations)});
     }
-    table.print(std::cout);
+    rep->table(table);
 
-    std::cout << "\nWeighted IPC of 1.0 = isolation performance; the\n"
-                 "sweep shows how performance degrades as the system\n"
-                 "steals a growing share of this workload's LLC blocks.\n";
+    rep->note("");
+    rep->note("Weighted IPC of 1.0 = isolation performance; the");
+    rep->note("sweep shows how performance degrades as the system");
+    rep->note("steals a growing share of this workload's LLC blocks.");
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bitops.hh"
+#include "common/stats.hh"
 
 namespace pinte
 {
@@ -278,6 +279,17 @@ makeBranchPredictor(BranchPredictorKind kind, unsigned size_log2)
         return std::make_unique<AlwaysTaken>();
     }
     return std::make_unique<Bimodal>(size_log2);
+}
+
+void
+BranchPredictor::registerStats(StatRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".lookups", "branches recorded", &lookups_);
+    reg.addCounter(prefix + ".correct", "correct predictions",
+                   &correct_);
+    reg.addDerived(prefix + ".accuracy", "prediction accuracy [0,1]",
+                   [this] { return accuracy(); });
 }
 
 } // namespace pinte

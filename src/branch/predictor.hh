@@ -19,6 +19,8 @@
 namespace pinte
 {
 
+class StatRegistry;
+
 /** Which predictor to instantiate. */
 enum class BranchPredictorKind
 {
@@ -58,6 +60,10 @@ class BranchPredictor
 
     /** Prediction accuracy in [0, 1]; 1.0 when no branches seen. */
     double accuracy() const;
+
+    /** Register lookup/correct counters and accuracy under `prefix`. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     std::uint64_t lookups_ = 0;

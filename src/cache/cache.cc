@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace pinte
 {
@@ -478,6 +479,77 @@ Cache::access(const MemAccess &req)
     }
 
     return result;
+}
+
+void
+Cache::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        const PerCoreCacheStats &s = stats_.perCore[c];
+        const std::string p = prefix + ".core" + std::to_string(c);
+        reg.addCounter(p + ".accesses", "demand accesses", &s.accesses);
+        reg.addCounter(p + ".hits", "demand hits", &s.hits);
+        reg.addCounter(p + ".misses", "demand misses (incl. merged)",
+                       &s.misses);
+        reg.addCounter(p + ".merged_misses",
+                       "misses merged into in-flight fills",
+                       &s.mergedMisses);
+        reg.addCounter(p + ".load_accesses", "demand loads",
+                       &s.loadAccesses);
+        reg.addCounter(p + ".load_misses", "demand load misses",
+                       &s.loadMisses);
+        reg.addCounter(p + ".store_accesses", "demand stores",
+                       &s.storeAccesses);
+        reg.addCounter(p + ".store_misses", "demand store misses",
+                       &s.storeMisses);
+        reg.addCounter(p + ".writebacks_in", "writebacks received",
+                       &s.writebacksIn);
+        reg.addCounter(p + ".writeback_misses",
+                       "writebacks that allocated", &s.writebackMisses);
+        reg.addCounter(p + ".prefetch_issued", "prefetches issued",
+                       &s.prefetchIssued);
+        reg.addCounter(p + ".prefetch_misses",
+                       "prefetches that went downstream",
+                       &s.prefetchMisses);
+        reg.addCounter(p + ".prefetch_useful",
+                       "demand hits on prefetched lines",
+                       &s.prefetchUseful);
+        reg.addCounter(p + ".thefts_caused", "thefts caused",
+                       &s.theftsCaused);
+        reg.addCounter(p + ".thefts_suffered",
+                       "thefts suffered (interference)",
+                       &s.theftsSuffered);
+        reg.addCounter(p + ".mocked_thefts",
+                       "PInTE-induced (system-caused) thefts",
+                       &s.mockedThefts);
+        reg.addCounter(p + ".self_evictions",
+                       "own valid blocks evicted", &s.selfEvictions);
+        reg.addDerived(p + ".miss_rate", "demand miss rate [0,1]",
+                       [&s] { return s.missRate(); });
+        reg.addDerived(p + ".contention_rate",
+                       "thefts experienced per demand access",
+                       [&s] { return s.contentionRate(); });
+        reg.addCounter(p + ".occupancy_blocks",
+                       "valid blocks currently owned",
+                       [this, c] { return occupancy(c); });
+        reg.addDerived(
+            p + ".occupancy_fraction", "share of the cache owned",
+            [this, c] {
+                return static_cast<double>(occupancy(c)) /
+                       (static_cast<double>(numSets()) * assoc());
+            });
+        reg.addDistribution(p + ".reuse",
+                            "demand-hit reuse positions (0 = MRU)",
+                            &stats_.reuse[c]);
+    }
+    reg.addCounter(prefix + ".demand.accesses",
+                   "demand accesses, all cores",
+                   [this] { return stats_.totalAccesses(); });
+    reg.addCounter(prefix + ".demand.misses",
+                   "demand misses, all cores",
+                   [this] { return stats_.totalMisses(); });
+    if (prefetcher_)
+        prefetcher_->registerStats(reg, prefix + ".prefetcher");
 }
 
 } // namespace pinte

@@ -21,6 +21,8 @@
 namespace pinte
 {
 
+class StatRegistry;
+
 /** Inclusion property between this cache and its upstreams (III-C b). */
 enum class InclusionPolicy
 {
@@ -136,6 +138,15 @@ class Cache : public MemoryLevel
 
     /** Reset statistics (not contents) at the end of warmup. */
     void clearStats() { stats_.clear(); }
+
+    /**
+     * Register every per-core counter, derived rate, occupancy view
+     * and reuse histogram under `prefix` (e.g. "llc", "l1d0"). The
+     * registered readers alias this cache's own stat fields, valid
+     * for the cache's lifetime.
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
     /** Static configuration. */
     const CacheConfig &config() const { return config_; }

@@ -1,0 +1,139 @@
+#include "stats.hh"
+
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+namespace
+{
+
+const char *
+kindName(StatRegistry::Kind k)
+{
+    switch (k) {
+      case StatRegistry::Kind::Counter: return "counter";
+      case StatRegistry::Kind::Derived: return "derived";
+      case StatRegistry::Kind::Distribution: return "distribution";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+void
+StatRegistry::addCounter(const std::string &path,
+                         const std::string &desc,
+                         const std::uint64_t *field)
+{
+    addCounter(path, desc, [field] { return *field; });
+}
+
+void
+StatRegistry::addCounter(const std::string &path,
+                         const std::string &desc,
+                         std::function<std::uint64_t()> read)
+{
+    if (index_.count(path))
+        fatal("StatRegistry: duplicate stat path '" + path + "'");
+    auto e = std::make_unique<Entry>();
+    e->path = path;
+    e->desc = desc;
+    e->kind = Kind::Counter;
+    e->counter = std::move(read);
+    index_.emplace(path, e.get());
+    entries_.push_back(std::move(e));
+}
+
+void
+StatRegistry::addDerived(const std::string &path,
+                         const std::string &desc,
+                         std::function<double()> compute)
+{
+    if (index_.count(path))
+        fatal("StatRegistry: duplicate stat path '" + path + "'");
+    auto e = std::make_unique<Entry>();
+    e->path = path;
+    e->desc = desc;
+    e->kind = Kind::Derived;
+    e->derived = std::move(compute);
+    index_.emplace(path, e.get());
+    entries_.push_back(std::move(e));
+}
+
+void
+StatRegistry::addDistribution(const std::string &path,
+                              const std::string &desc,
+                              const Histogram *h)
+{
+    if (index_.count(path))
+        fatal("StatRegistry: duplicate stat path '" + path + "'");
+    auto e = std::make_unique<Entry>();
+    e->path = path;
+    e->desc = desc;
+    e->kind = Kind::Distribution;
+    e->dist = h;
+    index_.emplace(path, e.get());
+    entries_.push_back(std::move(e));
+}
+
+bool
+StatRegistry::has(const std::string &path) const
+{
+    return index_.count(path) != 0;
+}
+
+const StatRegistry::Entry &
+StatRegistry::lookup(const std::string &path, Kind kind) const
+{
+    const auto it = index_.find(path);
+    if (it == index_.end())
+        fatal("StatRegistry: no stat registered at '" + path + "'");
+    if (it->second->kind != kind)
+        fatal("StatRegistry: '" + path + "' is a " +
+              kindName(it->second->kind) + ", not a " + kindName(kind));
+    return *it->second;
+}
+
+std::uint64_t
+StatRegistry::counter(const std::string &path) const
+{
+    return lookup(path, Kind::Counter).counter();
+}
+
+double
+StatRegistry::value(const std::string &path) const
+{
+    const auto it = index_.find(path);
+    if (it == index_.end())
+        fatal("StatRegistry: no stat registered at '" + path + "'");
+    const Entry &e = *it->second;
+    if (e.kind == Kind::Counter)
+        return static_cast<double>(e.counter());
+    if (e.kind == Kind::Derived)
+        return e.derived();
+    fatal("StatRegistry: '" + path + "' is a distribution, not scalar");
+}
+
+const Histogram &
+StatRegistry::distribution(const std::string &path) const
+{
+    return *lookup(path, Kind::Distribution).dist;
+}
+
+std::vector<const StatRegistry::Entry *>
+StatRegistry::find(const std::string &prefix) const
+{
+    std::vector<const Entry *> out;
+    for (const auto &e : entries_) {
+        if (e->path == prefix ||
+            (e->path.size() > prefix.size() &&
+             e->path.compare(0, prefix.size(), prefix) == 0 &&
+             e->path[prefix.size()] == '.')) {
+            out.push_back(e.get());
+        }
+    }
+    return out;
+}
+
+} // namespace pinte

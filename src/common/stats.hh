@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Hierarchical statistics registry.
+ *
+ * Every simulated component registers its counters, derived metrics
+ * and distributions here under a dotted path ("llc.core0.misses",
+ * "core0.ipc", "pinte.triggers"). The registry does not own any
+ * numbers: counter entries read the component's own stat fields
+ * through a pointer or closure, so a value observed through the
+ * registry is bit-identical to the field the component bumps — the
+ * registry is a naming layer, not a second copy.
+ *
+ * Report sinks (sim/sink.hh) and the experiment aggregator walk the
+ * registry instead of reaching into per-component stat structs, which
+ * is what makes machine-readable reports (JSON/CSV) enumerate the
+ * same population of numbers the text report prints.
+ */
+
+#ifndef PINTE_COMMON_STATS_HH
+#define PINTE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hh"
+
+namespace pinte
+{
+
+/** Name/value catalogue of one System's statistics. */
+class StatRegistry
+{
+  public:
+    /** What an entry reads. */
+    enum class Kind
+    {
+        Counter,      //!< monotonic integer, read from the component
+        Derived,      //!< double computed from counters on demand
+        Distribution, //!< a Histogram owned by the component
+    };
+
+    /** One registered statistic. */
+    struct Entry
+    {
+        std::string path; //!< dotted hierarchical name
+        std::string desc; //!< one-line description
+        Kind kind;
+        std::function<std::uint64_t()> counter; //!< Kind::Counter
+        std::function<double()> derived;        //!< Kind::Derived
+        const Histogram *dist = nullptr;        //!< Kind::Distribution
+    };
+
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /** Register a counter backed by a component-owned field. */
+    void addCounter(const std::string &path, const std::string &desc,
+                    const std::uint64_t *field);
+
+    /** Register a counter read through a closure (private fields). */
+    void addCounter(const std::string &path, const std::string &desc,
+                    std::function<std::uint64_t()> read);
+
+    /** Register a derived (computed-on-read) double metric. */
+    void addDerived(const std::string &path, const std::string &desc,
+                    std::function<double()> compute);
+
+    /** Register a distribution backed by a component's Histogram. */
+    void addDistribution(const std::string &path,
+                         const std::string &desc, const Histogram *h);
+
+    /** True if `path` is registered. */
+    bool has(const std::string &path) const;
+
+    /** Read a counter; fatal if `path` is missing or not a counter. */
+    std::uint64_t counter(const std::string &path) const;
+
+    /**
+     * Read any scalar entry as a double: derived entries compute,
+     * counter entries widen. Fatal on distributions or missing paths.
+     */
+    double value(const std::string &path) const;
+
+    /** Read a distribution; fatal if missing or not a distribution. */
+    const Histogram &distribution(const std::string &path) const;
+
+    /** All entries, in registration order. */
+    const std::vector<std::unique_ptr<Entry>> &entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * Entries whose path starts with `prefix` followed by '.' (or
+     * equals it exactly), in registration order.
+     */
+    std::vector<const Entry *> find(const std::string &prefix) const;
+
+  private:
+    const Entry &lookup(const std::string &path, Kind kind) const;
+
+    std::vector<std::unique_ptr<Entry>> entries_;
+    std::map<std::string, const Entry *> index_;
+};
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_STATS_HH

@@ -1,6 +1,7 @@
 #include "pinte.hh"
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace pinte
 {
@@ -86,6 +87,26 @@ standardPInduceSweep()
         0.10, 0.20, 0.30, 0.40, 0.55, 0.70,
     };
     return sweep;
+}
+
+void
+PInte::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    const PInteStats &s = stats_;
+    reg.addCounter(prefix + ".accesses_seen", "GEN-PROBABILITY entries",
+                   &s.accessesSeen);
+    reg.addCounter(prefix + ".triggers", "draws that passed P_Induce",
+                   &s.triggers);
+    reg.addCounter(prefix + ".promotions", "PROMOTE transitions",
+                   &s.promotions);
+    reg.addCounter(prefix + ".inductions",
+                   "induced theft evictions (INVALIDATE transitions)",
+                   &s.invalidations);
+    reg.addCounter(prefix + ".requested_evicts",
+                   "sum of Blocks_evict draws", &s.requestedEvicts);
+    reg.addDerived(prefix + ".trigger_rate",
+                   "observed trigger rate (converges to P_Induce)",
+                   [&s] { return s.triggerRate(); });
 }
 
 } // namespace pinte

@@ -118,6 +118,10 @@ class PInte : public ReplacementHook
     /** Configured probability of induction. */
     double pInduce() const { return config_.pInduce; }
 
+    /** Register engine activity counters under `prefix`. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     PInteConfig config_;
     Rng rng_;

@@ -1,6 +1,7 @@
 #include "core.hh"
 
 #include <algorithm>
+#include "common/stats.hh"
 
 namespace pinte
 {
@@ -179,6 +180,32 @@ Core::runInstructions(InstCount n)
         runCycles(512);
         (void)before;
     }
+}
+
+void
+Core::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    const CoreStats &s = stats_;
+    reg.addCounter(prefix + ".instructions", "instructions retired",
+                   &s.instructions);
+    reg.addCounter(prefix + ".cycles", "cycles elapsed", &s.cycles);
+    reg.addCounter(prefix + ".branches", "conditional branches",
+                   &s.branches);
+    reg.addCounter(prefix + ".mispredicts", "branch mispredictions",
+                   &s.mispredicts);
+    reg.addCounter(prefix + ".loads", "demand loads issued", &s.loads);
+    reg.addCounter(prefix + ".load_latency",
+                   "total load latency, issue to data-ready (cycles)",
+                   &s.totalLoadLatency);
+    reg.addDerived(prefix + ".ipc", "instructions per cycle",
+                   [&s] { return s.ipc(); });
+    reg.addDerived(prefix + ".amat",
+                   "average memory access time of demand loads (cycles)",
+                   [&s] { return s.amat(); });
+    reg.addDerived(prefix + ".branch_accuracy",
+                   "branch prediction accuracy [0,1]",
+                   [&s] { return s.branchAccuracy(); });
+    predictor_->registerStats(reg, prefix + ".predictor");
 }
 
 } // namespace pinte

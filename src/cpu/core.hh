@@ -27,6 +27,8 @@
 namespace pinte
 {
 
+class StatRegistry;
+
 /** Static core parameters (Skylake-flavored defaults). */
 struct CoreConfig
 {
@@ -116,6 +118,14 @@ class Core
 
     /** Reset windowed statistics (end of warmup / sample boundary). */
     void clearStats();
+
+    /**
+     * Register pipeline counters, derived rates (IPC, AMAT, branch
+     * accuracy) and the branch predictor's counters under `prefix`
+     * (e.g. "core0").
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
     /** Branch predictor (for accuracy introspection in benches). */
     const BranchPredictor &predictor() const { return *predictor_; }

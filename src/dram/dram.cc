@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace pinte
 {
@@ -174,6 +175,54 @@ Dram::access(const MemAccess &req)
     }
 
     return {ready, false};
+}
+
+void
+Dram::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        const PerCoreDramStats &s = stats_[c];
+        const std::string p = prefix + ".core" + std::to_string(c);
+        reg.addCounter(p + ".reads", "read accesses", &s.reads);
+        reg.addCounter(p + ".writes", "write (writeback) accesses",
+                       &s.writes);
+        reg.addCounter(p + ".row_hits", "row-buffer hits", &s.rowHits);
+        reg.addCounter(p + ".row_misses",
+                       "row misses (bank idle, activate needed)",
+                       &s.rowMisses);
+        reg.addCounter(p + ".row_conflicts",
+                       "row conflicts (precharge first)",
+                       &s.rowConflicts);
+        reg.addCounter(p + ".read_latency", "total read latency (cycles)",
+                       &s.totalReadLatency);
+        reg.addCounter(p + ".bank_wait", "cycles queued on busy banks",
+                       &s.totalBankWait);
+        reg.addCounter(p + ".bus_wait",
+                       "cycles queued on the channel bus",
+                       &s.totalBusWait);
+        reg.addDerived(p + ".avg_read_latency",
+                       "mean read latency (cycles)",
+                       [&s] { return s.avgReadLatency(); });
+        reg.addDerived(p + ".avg_bank_wait",
+                       "mean bank queueing per read (cycles)", [&s] {
+                           return s.reads
+                                      ? static_cast<double>(
+                                            s.totalBankWait) /
+                                            s.reads
+                                      : 0.0;
+                       });
+        reg.addDerived(p + ".avg_bus_wait",
+                       "mean bus queueing per read (cycles)", [&s] {
+                           return s.reads
+                                      ? static_cast<double>(
+                                            s.totalBusWait) /
+                                            s.reads
+                                      : 0.0;
+                       });
+    }
+    reg.addDerived(prefix + ".row_hit_rate",
+                   "aggregate row-buffer hit rate [0,1]",
+                   [this] { return rowHitRate(); });
 }
 
 } // namespace pinte

@@ -14,6 +14,7 @@
 #define PINTE_DRAM_DRAM_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/memory_level.hh"
@@ -21,6 +22,8 @@
 
 namespace pinte
 {
+
+class StatRegistry;
 
 /** Static DRAM configuration. All timings in CPU cycles. */
 struct DramConfig
@@ -141,6 +144,10 @@ class Dram : public MemoryLevel
 
     /** Aggregate row-buffer hit rate in [0, 1]. */
     double rowHitRate() const;
+
+    /** Register per-core counters and latency views under `prefix`. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
     const DramConfig &config() const { return config_; }
 

@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace pinte
 {
@@ -126,6 +127,14 @@ class IpStride : public Prefetcher
 
 } // namespace
 
+void
+Prefetcher::registerStats(StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".issued", "prefetches proposed",
+                   [this] { return issued(); });
+}
+
 std::unique_ptr<Prefetcher>
 makePrefetcher(PrefetcherKind kind, unsigned degree)
 {
@@ -144,14 +153,17 @@ PrefetchConfig
 PrefetchConfig::parse(const char *str)
 {
     if (!str || std::strlen(str) != 3)
-        fatal("prefetch config must be 3 characters, e.g. NNI");
+        fatal(std::string("prefetch config must be 3 characters over "
+                          "(L1I, L1D, L2), e.g. 000, NN0, NNN, NNI") +
+              (str ? std::string(": got '") + str + "'" : ""));
     auto decode = [&](char c) {
         switch (c) {
           case '0': return PrefetcherKind::None;
           case 'N': return PrefetcherKind::NextLine;
           case 'I': return PrefetcherKind::IpStride;
           default:
-            fatal(std::string("bad prefetch config char: ") + c);
+            fatal(std::string("bad prefetch config char: ") + c +
+                  " (valid: 0 = none, N = next-line, I = ip-stride)");
         }
     };
     PrefetchConfig cfg;

@@ -20,6 +20,8 @@
 namespace pinte
 {
 
+class StatRegistry;
+
 /** Which prefetch algorithm to instantiate (section III-C c). */
 enum class PrefetcherKind
 {
@@ -59,6 +61,10 @@ class Prefetcher
 
     /** Bump the issue counter (called by the owning cache). */
     void noteIssued(std::uint64_t n) { issued_ += n; }
+
+    /** Register this prefetcher's counters under `prefix`. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     std::uint64_t issued_ = 0;

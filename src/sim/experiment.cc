@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 
+#include <algorithm>
 #include <ctime>
 #include <memory>
 
@@ -80,9 +81,69 @@ diff(const Snapshot &now, const Snapshot &then, System &sys, unsigned c)
     return s;
 }
 
-/** Fill the aggregate metrics block for core `c` over the full ROI. */
+} // namespace
+
 RunMetrics
-aggregate(System &sys, unsigned c)
+computeRunMetrics(const System &sys, unsigned c)
+{
+    const StatRegistry &reg = sys.registry();
+    const std::string n = std::to_string(c);
+    const std::string core = "core" + n;
+    const std::string llc = "llc.core" + n;
+    const std::string l2 = "l2." + n + ".core" + n;
+    const std::string l1d = "l1d." + n + ".core" + n;
+
+    RunMetrics m;
+    m.l1dMissRate = reg.value(l1d + ".miss_rate");
+    m.l2MissRate = reg.value(l2 + ".miss_rate");
+    m.l2InterferenceRate = reg.value(l2 + ".contention_rate");
+    const std::uint64_t pf_issued =
+        reg.counter(l1d + ".prefetch_issued") +
+        reg.counter(l2 + ".prefetch_issued");
+    const std::uint64_t pf_missed =
+        reg.counter(l1d + ".prefetch_misses") +
+        reg.counter(l2 + ".prefetch_misses");
+    m.prefetchMissRate =
+        pf_issued ? static_cast<double>(pf_missed) /
+                        static_cast<double>(pf_issued)
+                  : 0.0;
+
+    m.ipc = reg.value(core + ".ipc");
+    m.amat = reg.value(core + ".amat");
+    m.branchAccuracy = reg.value(core + ".branch_accuracy");
+    m.missRate = reg.value(llc + ".miss_rate");
+    m.interferenceRate = reg.value(llc + ".contention_rate");
+    // As in diff(): a PInTE run's theft activity is the induced
+    // evictions; a pair run's is what the workload steals from peers.
+    const std::uint64_t accesses = reg.counter(llc + ".accesses");
+    const std::uint64_t caused = reg.counter(llc + ".thefts_caused") +
+                                 reg.counter(llc + ".mocked_thefts");
+    m.theftRate = accesses ? static_cast<double>(caused) /
+                                 static_cast<double>(accesses)
+                           : 0.0;
+    m.llcAccesses = accesses;
+    m.llcMisses = reg.counter(llc + ".misses");
+
+    const double kilo_inst =
+        static_cast<double>(reg.counter(core + ".instructions")) /
+        1000.0;
+    if (kilo_inst > 0.0) {
+        m.l2Mpki = static_cast<double>(reg.counter(l2 + ".misses")) /
+                   kilo_inst;
+        m.llcMpki = static_cast<double>(m.llcMisses) / kilo_inst;
+    }
+    const std::uint64_t wb = reg.counter(llc + ".writeback_misses");
+    const double alloc_misses =
+        static_cast<double>(m.llcMisses + wb);
+    if (alloc_misses > 0.0)
+        m.llcWbShare = static_cast<double>(wb) / alloc_misses;
+
+    m.llcOccupancyFraction = reg.value(llc + ".occupancy_fraction");
+    return m;
+}
+
+RunMetrics
+computeRunMetricsLegacy(const System &sys, unsigned c)
 {
     RunMetrics m;
     const CoreStats &core = sys.core(c).stats();
@@ -107,8 +168,6 @@ aggregate(System &sys, unsigned c)
     m.branchAccuracy = core.branchAccuracy();
     m.missRate = llc.missRate();
     m.interferenceRate = llc.contentionRate();
-    // As in diff(): a PInTE run's theft activity is the induced
-    // evictions; a pair run's is what the workload steals from peers.
     m.theftRate = llc.accesses
                       ? static_cast<double>(llc.theftsCaused +
                                             llc.mockedThefts) /
@@ -136,81 +195,141 @@ aggregate(System &sys, unsigned c)
     return m;
 }
 
-/** Warm up, then run the sampled region of interest on core 0. */
-RunResult
-runSampled(System &sys, const ExperimentParams &params,
-           const std::string &workload, const std::string &contention)
+ExperimentSpec &
+ExperimentSpec::workload(const WorkloadSpec &spec)
 {
-    const double t0 = threadCpuSeconds();
-
-    sys.warmup(params.warmup);
-
-    RunResult result;
-    result.workload = workload;
-    result.contention = contention;
-    result.reuse = Histogram(sys.llc().assoc());
-
-    Snapshot prev = Snapshot::take(sys, 0);
-    InstCount done = 0;
-    while (done < params.roi) {
-        const InstCount step =
-            std::min<InstCount>(params.sampleEvery, params.roi - done);
-        sys.runUntilCore0(step);
-        done += step;
-        const Snapshot now = Snapshot::take(sys, 0);
-        result.samples.push_back(diff(now, prev, sys, 0));
-        prev = now;
-    }
-
-    result.metrics = aggregate(sys, 0);
-    result.reuse.merge(sys.llc().stats().reuse[0]);
-    if (sys.pinte())
-        result.pinte = sys.pinte()->stats();
-
-    result.cpuSeconds = threadCpuSeconds() - t0;
-    return result;
+    if (mixMode_)
+        fatal("ExperimentSpec: workload() cannot follow mix()");
+    if (!workloads_.empty())
+        fatal("ExperimentSpec: primary workload already set "
+              "(use secondTrace() or mix() for co-runners)");
+    workloads_.push_back(spec);
+    return *this;
 }
 
-} // namespace
-
-RunResult
-runIsolation(const WorkloadSpec &spec, MachineConfig machine,
-             const ExperimentParams &params)
+ExperimentSpec &
+ExperimentSpec::mix(const std::vector<WorkloadSpec> &specs)
 {
-    machine.numCores = 1;
-    machine.pinte.pInduce = 0.0;
-    TraceGenerator gen(spec);
-    System sys(machine, {&gen});
-    return runSampled(sys, params, spec.name, "isolation");
+    if (!workloads_.empty() || mixMode_ || pairMode_)
+        fatal("ExperimentSpec: mix() replaces all workloads and "
+              "cannot follow workload()/secondTrace()");
+    if (pinteSet_)
+        fatal("ExperimentSpec: pinte() does not combine with mix()");
+    workloads_ = specs;
+    mixMode_ = true;
+    return *this;
+}
+
+ExperimentSpec &
+ExperimentSpec::secondTrace(const WorkloadSpec &peer)
+{
+    if (mixMode_ || pairMode_)
+        fatal("ExperimentSpec: secondTrace() requires exactly one "
+              "prior workload() and no mix()");
+    if (workloads_.size() != 1)
+        fatal("ExperimentSpec: call workload() before secondTrace()");
+    if (pinteSet_)
+        fatal("ExperimentSpec: pinte() does not combine with "
+              "secondTrace() — the 2nd trace is the contention source");
+    workloads_.push_back(peer);
+    pairMode_ = true;
+    return *this;
+}
+
+ExperimentSpec &
+ExperimentSpec::pinte(double p_induce)
+{
+    if (pairMode_ || mixMode_)
+        fatal("ExperimentSpec: pinte() does not combine with "
+              "secondTrace()/mix()");
+    if (p_induce < 0.0 || p_induce > 1.0)
+        fatal("ExperimentSpec: P_Induce out of [0, 1]: " +
+              std::to_string(p_induce));
+    pInduce_ = p_induce;
+    pinteSet_ = true;
+    return *this;
+}
+
+ExperimentSpec &
+ExperimentSpec::scope(PInteScope s)
+{
+    scope_ = s;
+    scopeSet_ = true;
+    return *this;
+}
+
+ExperimentSpec &
+ExperimentSpec::dramComplement(double factor)
+{
+    if (factor < 0.0)
+        fatal("ExperimentSpec: DRAM complement factor must be >= 0");
+    dramFactor_ = factor;
+    return *this;
+}
+
+ExperimentSpec &
+ExperimentSpec::params(const ExperimentParams &p)
+{
+    params_ = p;
+    return *this;
+}
+
+std::string
+ExperimentSpec::contentionLabel(std::size_t core) const
+{
+    if (pairMode_)
+        return workloads_[1 - core].name;
+    if (mixMode_)
+        return "mix-of-" + std::to_string(workloads_.size());
+    if (!pinteSet_)
+        return "isolation";
+    std::string label =
+        scopeSet_ ? "pinte[" + std::string(toString(scope_)) + "]@" +
+                        std::to_string(pInduce_)
+                  : "pinte@" + std::to_string(pInduce_);
+    if (dramFactor_ > 0.0)
+        label += "+dram";
+    return label;
 }
 
 RunResult
-runPInte(const WorkloadSpec &spec, double p_induce,
-         MachineConfig machine, const ExperimentParams &params)
+ExperimentSpec::run() const
 {
-    machine.numCores = 1;
-    machine.pinte.pInduce = p_induce;
-    machine.pinte.seed = 0x5157 + params.runSeed * 0x9e3779b9ull;
-    TraceGenerator gen(spec);
-    System sys(machine, {&gen});
-    return runSampled(sys, params, spec.name,
-                      "pinte@" + std::to_string(p_induce));
+    return runAll().front();
 }
 
 std::vector<RunResult>
-runMix(const std::vector<WorkloadSpec> &specs, MachineConfig machine,
-       const ExperimentParams &params)
+ExperimentSpec::runAll() const
 {
-    if (specs.empty())
-        fatal("runMix: at least one workload required");
-    machine.numCores = static_cast<unsigned>(specs.size());
-    machine.pinte.pInduce = 0.0;
+    if (workloads_.empty())
+        fatal("ExperimentSpec: at least one workload required");
+    if ((scopeSet_ || dramFactor_ > 0.0) && !pinteSet_)
+        fatal("ExperimentSpec: scope()/dramComplement() require "
+              "pinte()");
 
-    // Private address spaces per core, as in runPair.
+    MachineConfig machine = machine_;
+    machine.numCores = static_cast<unsigned>(workloads_.size());
+    if (pinteSet_) {
+        machine.pinte.pInduce = pInduce_;
+        machine.pinte.seed =
+            0x5157 + params_.runSeed * 0x9e3779b9ull;
+        if (scopeSet_)
+            machine.pinteScope = scope_;
+        if (dramFactor_ > 0.0)
+            machine.dram.contentionExtra =
+                static_cast<Cycle>(pInduce_ * dramFactor_);
+    } else {
+        machine.pinte.pInduce = 0.0;
+    }
+
+    // Each trace gets a private address space (ChampSim offsets
+    // physical pages per cpu the same way); without this, identical
+    // zoo addresses would alias in the shared LLC instead of
+    // contending for it.
     std::vector<std::unique_ptr<TraceGenerator>> gens;
     std::vector<TraceSource *> sources;
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        WorkloadSpec s = specs[i];
+    for (std::size_t i = 0; i < workloads_.size(); ++i) {
+        WorkloadSpec s = workloads_[i];
         s.dataBase += 0x800000000ull * i;
         s.codeBase += 0x40000000ull * i;
         gens.push_back(std::make_unique<TraceGenerator>(s));
@@ -219,124 +338,45 @@ runMix(const std::vector<WorkloadSpec> &specs, MachineConfig machine,
     System sys(machine, sources);
 
     const double t0 = threadCpuSeconds();
-    sys.warmup(params.warmup);
+    sys.warmup(params_.warmup);
 
-    std::vector<RunResult> results(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        results[i].workload = specs[i].name;
-        results[i].contention = "mix-of-" +
-                                std::to_string(specs.size());
+    const unsigned n = sys.numCores();
+    std::vector<RunResult> results(n);
+    for (unsigned i = 0; i < n; ++i) {
+        results[i].workload = workloads_[i].name;
+        results[i].contention = contentionLabel(i);
         results[i].reuse = Histogram(sys.llc().assoc());
     }
 
     std::vector<Snapshot> prev;
-    for (unsigned i = 0; i < sys.numCores(); ++i)
+    for (unsigned i = 0; i < n; ++i)
         prev.push_back(Snapshot::take(sys, i));
 
     InstCount done = 0;
-    while (done < params.roi) {
+    while (done < params_.roi) {
         const InstCount step =
-            std::min<InstCount>(params.sampleEvery, params.roi - done);
+            std::min<InstCount>(params_.sampleEvery,
+                                params_.roi - done);
         sys.runUntilCore0(step);
         done += step;
-        for (unsigned i = 0; i < sys.numCores(); ++i) {
+        for (unsigned i = 0; i < n; ++i) {
             const Snapshot now = Snapshot::take(sys, i);
             results[i].samples.push_back(diff(now, prev[i], sys, i));
             prev[i] = now;
         }
     }
 
-    const double cpu = threadCpuSeconds() - t0;
-    for (unsigned i = 0; i < sys.numCores(); ++i) {
-        results[i].metrics = aggregate(sys, i);
+    for (unsigned i = 0; i < n; ++i) {
+        results[i].metrics = computeRunMetrics(sys, i);
         results[i].reuse.merge(sys.llc().stats().reuse[i]);
-        results[i].cpuSeconds = cpu;
     }
-    return results;
-}
-
-RunResult
-runPInteDramComplement(const WorkloadSpec &spec, double p_induce,
-                       MachineConfig machine,
-                       const ExperimentParams &params,
-                       double dram_factor)
-{
-    machine.dram.contentionExtra =
-        static_cast<Cycle>(p_induce * dram_factor);
-    RunResult r = runPInte(spec, p_induce, machine, params);
-    r.contention += "+dram";
-    return r;
-}
-
-RunResult
-runPInteScoped(const WorkloadSpec &spec, double p_induce,
-               PInteScope scope, MachineConfig machine,
-               const ExperimentParams &params)
-{
-    machine.numCores = 1;
-    machine.pinte.pInduce = p_induce;
-    machine.pinte.seed = 0x5157 + params.runSeed * 0x9e3779b9ull;
-    machine.pinteScope = scope;
-    TraceGenerator gen(spec);
-    System sys(machine, {&gen});
-    return runSampled(sys, params, spec.name,
-                      std::string("pinte[") + toString(scope) + "]@" +
-                          std::to_string(p_induce));
-}
-
-std::pair<RunResult, RunResult>
-runPair(const WorkloadSpec &a, const WorkloadSpec &b,
-        MachineConfig machine, const ExperimentParams &params)
-{
-    machine.numCores = 2;
-    machine.pinte.pInduce = 0.0;
-    // Each trace gets a private address space (ChampSim offsets
-    // physical pages per cpu the same way); without this, identical
-    // zoo addresses would alias in the shared LLC instead of
-    // contending for it.
-    WorkloadSpec b_off = b;
-    b_off.dataBase += 0x800000000ull;
-    b_off.codeBase += 0x40000000ull;
-    TraceGenerator ga(a);
-    TraceGenerator gb(b_off);
-    System sys(machine, {&ga, &gb});
-
-    const double t0 = threadCpuSeconds();
-    sys.warmup(params.warmup);
-
-    RunResult ra, rb;
-    ra.workload = a.name;
-    ra.contention = b.name;
-    rb.workload = b.name;
-    rb.contention = a.name;
-    ra.reuse = Histogram(sys.llc().assoc());
-    rb.reuse = Histogram(sys.llc().assoc());
-
-    Snapshot pa = Snapshot::take(sys, 0);
-    Snapshot pb = Snapshot::take(sys, 1);
-    InstCount done = 0;
-    while (done < params.roi) {
-        const InstCount step =
-            std::min<InstCount>(params.sampleEvery, params.roi - done);
-        sys.runUntilCore0(step);
-        done += step;
-        const Snapshot na = Snapshot::take(sys, 0);
-        const Snapshot nb = Snapshot::take(sys, 1);
-        ra.samples.push_back(diff(na, pa, sys, 0));
-        rb.samples.push_back(diff(nb, pb, sys, 1));
-        pa = na;
-        pb = nb;
-    }
-
-    ra.metrics = aggregate(sys, 0);
-    rb.metrics = aggregate(sys, 1);
-    ra.reuse.merge(sys.llc().stats().reuse[0]);
-    rb.reuse.merge(sys.llc().stats().reuse[1]);
+    if (sys.pinte())
+        results[0].pinte = sys.pinte()->stats();
 
     const double cpu = threadCpuSeconds() - t0;
-    ra.cpuSeconds = cpu;
-    rb.cpuSeconds = cpu;
-    return {ra, rb};
+    for (auto &r : results)
+        r.cpuSeconds = cpu;
+    return results;
 }
 
 } // namespace pinte

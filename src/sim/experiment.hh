@@ -100,52 +100,210 @@ struct ExperimentParams
     std::uint64_t runSeed = 0;     //!< perturbs the PInTE RNG stream
 };
 
+/**
+ * Builder describing one experiment: a machine, one or more
+ * workloads, and the contention source (none, a PInTE engine, a
+ * 2nd-Trace peer, or an N-way mix).
+ *
+ * This is the single entry point that replaced the six near-duplicate
+ * run* functions; every combination shares one warmup -> sampled-ROI
+ * engine, so isolation, PInTE and 2nd-Trace runs are guaranteed to
+ * follow the same methodology. Examples:
+ *
+ *   ExperimentSpec(machine).workload(w).run();               // isolation
+ *   ExperimentSpec(machine).workload(w).pinte(0.3).run();    // PInTE
+ *   ExperimentSpec(machine).workload(w).pinte(0.3)
+ *       .scope(PInteScope::L2AndLlc).dramComplement().run();
+ *   ExperimentSpec(machine).workload(a).secondTrace(b).runAll();
+ *   ExperimentSpec(machine).mix({a, b, c, d}).runAll();
+ */
+class ExperimentSpec
+{
+  public:
+    explicit ExperimentSpec(MachineConfig machine)
+        : machine_(std::move(machine))
+    {
+    }
+
+    /** Set the workload under study (core 0). */
+    ExperimentSpec &workload(const WorkloadSpec &spec);
+
+    /**
+     * Run an N-workload mix, one core each, sharing the LLC and DRAM
+     * — the "more than two workloads will need to be run
+     * concurrently" escalation of section II. Each workload gets a
+     * private address space; replaces any workload() call.
+     */
+    ExperimentSpec &mix(const std::vector<WorkloadSpec> &specs);
+
+    /**
+     * Add a 2nd-Trace co-runner sharing the LLC: the paper's
+     * reference method PInTE is validated against. Requires exactly
+     * one workload() and no pinte().
+     */
+    ExperimentSpec &secondTrace(const WorkloadSpec &peer);
+
+    /**
+     * Install a PInTE engine inducing at probability `p_induce`. The
+     * engine RNG is seeded from ExperimentParams::runSeed.
+     */
+    ExperimentSpec &pinte(double p_induce);
+
+    /**
+     * Install the engine at the requested scope (section IV-B's
+     * "independent PInTE module" beyond the LLC). L2 scopes reach
+     * core-bound workloads whose traffic the LLC engine never sees.
+     * Only meaningful together with pinte().
+     */
+    ExperimentSpec &scope(PInteScope s);
+
+    /**
+     * Add the section IV-B DRAM complement: every DRAM access pays an
+     * extra `p_induce * factor` cycles, modeling the off-chip
+     * contention a real co-runner would add. Addresses the DRAM-bound
+     * disagreement cases of Fig 8 / Table II. Requires pinte().
+     * A factor of 0 disables the complement (useful as a sweep
+     * endpoint); negative factors are rejected.
+     */
+    ExperimentSpec &dramComplement(double factor = 60.0);
+
+    /** Set warmup/ROI/sampling scale parameters. */
+    ExperimentSpec &params(const ExperimentParams &p);
+
+    /** Execute and return core 0's result (the workload under study). */
+    RunResult run() const;
+
+    /** Execute and return one result per core. */
+    std::vector<RunResult> runAll() const;
+
+  private:
+    std::string contentionLabel(std::size_t core) const;
+
+    MachineConfig machine_;
+    std::vector<WorkloadSpec> workloads_;
+    ExperimentParams params_;
+    double pInduce_ = 0.0;
+    PInteScope scope_ = PInteScope::LlcOnly;
+    double dramFactor_ = 0.0;
+    bool pinteSet_ = false;
+    bool scopeSet_ = false;
+    bool pairMode_ = false;
+    bool mixMode_ = false;
+};
+
+/**
+ * Aggregate metrics for core `c` of a finished run, read through the
+ * System's stat registry (the source of truth every report format
+ * shares). Bit-identical to computeRunMetricsLegacy() by
+ * construction: registry counters alias the same stat fields and the
+ * derived views apply the same formulas.
+ */
+RunMetrics computeRunMetrics(const System &sys, unsigned c);
+
+/**
+ * The pre-registry aggregation reading component stat structs
+ * directly. Kept (and exercised by tests/test_sinks.cc) as the
+ * reference the registry-derived computation is verified against.
+ */
+RunMetrics computeRunMetricsLegacy(const System &sys, unsigned c);
+
+/** @name Deprecated entry points
+ * Thin wrappers over ExperimentSpec, kept for one PR so callers can
+ * migrate incrementally. Each forwards to the builder chain named in
+ * its deprecation message.
+ */
+/// @{
+
 /** Run `spec` alone on `machine`. */
-RunResult runIsolation(const WorkloadSpec &spec, MachineConfig machine,
-                       const ExperimentParams &params = {});
+[[deprecated("use ExperimentSpec(machine).workload(spec).run()")]]
+inline RunResult
+runIsolation(const WorkloadSpec &spec, MachineConfig machine,
+             const ExperimentParams &params = {})
+{
+    return ExperimentSpec(std::move(machine))
+        .workload(spec)
+        .params(params)
+        .run();
+}
 
 /** Run `spec` alone with PInTE inducing at probability `p_induce`. */
-RunResult runPInte(const WorkloadSpec &spec, double p_induce,
-                   MachineConfig machine,
-                   const ExperimentParams &params = {});
+[[deprecated(
+    "use ExperimentSpec(machine).workload(spec).pinte(p).run()")]]
+inline RunResult
+runPInte(const WorkloadSpec &spec, double p_induce,
+         MachineConfig machine, const ExperimentParams &params = {})
+{
+    return ExperimentSpec(std::move(machine))
+        .workload(spec)
+        .pinte(p_induce)
+        .params(params)
+        .run();
+}
 
-/**
- * PInTE plus the section IV-B DRAM complement: every DRAM access pays
- * an extra `p_induce * dram_factor` cycles, modeling the off-chip
- * contention a real co-runner would add. Addresses the DRAM-bound
- * disagreement cases of Fig 8 / Table II.
- */
-RunResult runPInteDramComplement(const WorkloadSpec &spec,
-                                 double p_induce, MachineConfig machine,
-                                 const ExperimentParams &params = {},
-                                 double dram_factor = 60.0);
+/** PInTE plus the section IV-B DRAM complement. */
+[[deprecated("use ExperimentSpec(machine).workload(spec).pinte(p)"
+             ".dramComplement(factor).run()")]]
+inline RunResult
+runPInteDramComplement(const WorkloadSpec &spec, double p_induce,
+                       MachineConfig machine,
+                       const ExperimentParams &params = {},
+                       double dram_factor = 60.0)
+{
+    return ExperimentSpec(std::move(machine))
+        .workload(spec)
+        .pinte(p_induce)
+        .dramComplement(dram_factor)
+        .params(params)
+        .run();
+}
 
-/**
- * PInTE installed at the requested scope (section IV-B's "independent
- * PInTE module" beyond the LLC). L2 scopes reach core-bound workloads
- * whose traffic the LLC engine never sees.
- */
-RunResult runPInteScoped(const WorkloadSpec &spec, double p_induce,
-                         PInteScope scope, MachineConfig machine,
-                         const ExperimentParams &params = {});
+/** PInTE installed at the requested scope. */
+[[deprecated("use ExperimentSpec(machine).workload(spec).pinte(p)"
+             ".scope(s).run()")]]
+inline RunResult
+runPInteScoped(const WorkloadSpec &spec, double p_induce,
+               PInteScope scope, MachineConfig machine,
+               const ExperimentParams &params = {})
+{
+    return ExperimentSpec(std::move(machine))
+        .workload(spec)
+        .pinte(p_induce)
+        .scope(scope)
+        .params(params)
+        .run();
+}
 
 /**
  * Run two workloads sharing the LLC (the 2nd-Trace method). Returns a
  * RunResult per core; result[0] is the workload under study.
  */
-std::pair<RunResult, RunResult>
+[[deprecated("use ExperimentSpec(machine).workload(a).secondTrace(b)"
+             ".runAll()")]]
+inline std::pair<RunResult, RunResult>
 runPair(const WorkloadSpec &a, const WorkloadSpec &b,
-        MachineConfig machine, const ExperimentParams &params = {});
+        MachineConfig machine, const ExperimentParams &params = {})
+{
+    auto all = ExperimentSpec(std::move(machine))
+                   .workload(a)
+                   .secondTrace(b)
+                   .params(params)
+                   .runAll();
+    return {std::move(all[0]), std::move(all[1])};
+}
 
-/**
- * Run an N-workload mix, one core each, sharing the LLC and DRAM —
- * the "more than two workloads will need to be run concurrently"
- * escalation of section II. Each workload gets a private address
- * space; result[i] belongs to specs[i], with sampling keyed on core 0.
- */
-std::vector<RunResult>
+/** Run an N-workload mix, one core each. */
+[[deprecated("use ExperimentSpec(machine).mix(specs).runAll()")]]
+inline std::vector<RunResult>
 runMix(const std::vector<WorkloadSpec> &specs, MachineConfig machine,
-       const ExperimentParams &params = {});
+       const ExperimentParams &params = {})
+{
+    return ExperimentSpec(std::move(machine))
+        .mix(specs)
+        .params(params)
+        .runAll();
+}
+
+/// @}
 
 /** Weighted IPC (eq. 1): contention IPC over isolation IPC. */
 inline double

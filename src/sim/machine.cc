@@ -158,6 +158,29 @@ System::System(const MachineConfig &config,
             }
         }
     }
+
+    // Build the stat catalogue: every component registers readers
+    // that alias its own counters, so registry views are always live.
+    for (unsigned i = 0; i < cfg.numCores; ++i) {
+        const std::string n = std::to_string(i);
+        cores_[i]->registerStats(registry_, "core" + n);
+        l1i_[i]->registerStats(registry_, "l1i." + n);
+        l1d_[i]->registerStats(registry_, "l1d." + n);
+        l2_[i]->registerStats(registry_, "l2." + n);
+    }
+    llc_->registerStats(registry_, "llc");
+    dram_->registerStats(registry_, "dram");
+
+    std::size_t e = 0;
+    if (!engines_.empty() && cfg.pinteScope != PInteScope::L2Only) {
+        enginePaths_.emplace_back("pinte");
+        engines_[e]->registerStats(registry_, enginePaths_.back());
+        ++e;
+    }
+    for (unsigned i = 0; e < engines_.size(); ++e, ++i) {
+        enginePaths_.push_back("pinte.l2." + std::to_string(i));
+        engines_[e]->registerStats(registry_, enginePaths_.back());
+    }
 }
 
 const char *

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "common/stats.hh"
 #include "core/pinte.hh"
 #include "cpu/core.hh"
 #include "dram/dram.hh"
@@ -115,10 +116,13 @@ class System
     Core &core(unsigned i) { return *cores_[i]; }
     const Core &core(unsigned i) const { return *cores_[i]; }
     Cache &l1d(unsigned i) { return *l1d_[i]; }
+    const Cache &l1d(unsigned i) const { return *l1d_[i]; }
     Cache &l2(unsigned i) { return *l2_[i]; }
+    const Cache &l2(unsigned i) const { return *l2_[i]; }
     Cache &llc() { return *llc_; }
     const Cache &llc() const { return *llc_; }
     Dram &dram() { return *dram_; }
+    const Dram &dram() const { return *dram_; }
 
     /** The LLC engine, or the first engine when scope is L2-only. */
     PInte *pinte()
@@ -134,10 +138,28 @@ class System
     /** All installed engines (LLC first, then per-core L2 engines). */
     std::vector<PInte *> allPinteEngines();
 
+    /**
+     * Stat path prefix of each engine, in allPinteEngines() order:
+     * "pinte" for the LLC engine, "pinte.l2.N" for per-L2 engines.
+     */
+    const std::vector<std::string> &
+    pinteStatPaths() const
+    {
+        return enginePaths_;
+    }
+
     unsigned numCores() const { return static_cast<unsigned>(
         cores_.size()); }
 
     const MachineConfig &config() const { return config_; }
+
+    /**
+     * The machine's statistic catalogue: every component registered
+     * its counters here at construction (see DESIGN.md for the path
+     * namespace). Values read through it alias the components' own
+     * stat fields — bit-identical to direct struct access.
+     */
+    const StatRegistry &registry() const { return registry_; }
 
   private:
     MachineConfig config_;
@@ -148,6 +170,8 @@ class System
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<PInte>> engines_;
+    std::vector<std::string> enginePaths_;
+    StatRegistry registry_;
 };
 
 } // namespace pinte

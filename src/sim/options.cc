@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -96,6 +99,47 @@ parseProbability(const std::string &s)
         fatal("malformed probability: '" + s + "'");
     if (v < 0.0 || v > 1.0)
         fatal("probability out of [0, 1]: '" + s + "'");
+    return v;
+}
+
+ReportFormat
+parseReportFormat(const std::string &s)
+{
+    const std::string v = lower(s);
+    if (v == "table" || v == "text")
+        return ReportFormat::Table;
+    if (v == "json")
+        return ReportFormat::Json;
+    if (v == "csv")
+        return ReportFormat::Csv;
+    fatal("unknown report format '" + s + "' (table, json, csv)");
+}
+
+std::uint64_t
+parseCount(const std::string &flag, const std::string &s)
+{
+    if (s.empty() || s.find_first_not_of("0123456789") !=
+                         std::string::npos)
+        fatal(flag + " expects a non-negative integer, got '" + s +
+              "'");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE)
+        fatal(flag + " value out of range: '" + s + "'");
+    return v;
+}
+
+double
+parseReal(const std::string &flag, const std::string &s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || end == s.c_str() || *end != '\0' ||
+        !std::isfinite(v))
+        fatal(flag + " expects a number, got '" + s + "'");
+    if (v < 0.0)
+        fatal(flag + " must be non-negative, got '" + s + "'");
     return v;
 }
 

@@ -16,6 +16,7 @@
 #include "cache/cache.hh"
 #include "replacement/policy.hh"
 #include "sim/machine.hh"
+#include "sim/sink.hh"
 
 namespace pinte
 {
@@ -37,6 +38,19 @@ PInteScope parsePInteScope(const std::string &s);
  * out-of-range values.
  */
 double parseProbability(const std::string &s);
+
+/** Parse "table", "json", "csv" (case-insensitive). */
+ReportFormat parseReportFormat(const std::string &s);
+
+/**
+ * Parse a non-negative integer for option `flag`; fatal (with the
+ * offending text) on anything else. Unlike std::stoull this never
+ * throws, accepts no sign/trailing garbage, and names the option.
+ */
+std::uint64_t parseCount(const std::string &flag, const std::string &s);
+
+/** Parse a finite non-negative real for option `flag`; fatal otherwise. */
+double parseReal(const std::string &flag, const std::string &s);
 
 } // namespace pinte
 

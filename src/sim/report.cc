@@ -1,5 +1,7 @@
 #include "report.hh"
 
+#include <string>
+
 #include "analysis/table.hh"
 
 namespace pinte
@@ -8,113 +10,135 @@ namespace pinte
 namespace
 {
 
+/**
+ * One cache's per-core breakdown, read through the registry under
+ * `path` ("l1d.0", "l2.1", "llc"). The Cache object supplies only
+ * structure (geometry, inclusion) for the header note.
+ */
 void
-printCacheBlock(const char *label, const Cache &c, unsigned cores,
-                std::ostream &os)
+emitCacheBlock(const std::string &label, const std::string &path,
+               const Cache &c, const StatRegistry &reg, unsigned cores,
+               ReportSink &sink)
 {
-    os << label << " (" << c.config().bytes() / 1024 << " KB, "
-       << c.numSets() << "x" << c.assoc() << ", "
-       << toString(c.config().inclusion) << ")\n";
-    TextTable t({"core", "accesses", "hits", "misses", "MR", "merged",
-                 "wb-in", "pf-issued", "pf-useful", "thefts+",
-                 "thefts-", "mocked"});
+    sink.note(label + " (" + std::to_string(c.config().bytes() / 1024) +
+              " KB, " + std::to_string(c.numSets()) + "x" +
+              std::to_string(c.assoc()) + ", " +
+              toString(c.config().inclusion) + ")");
+    TableData t(path, {"core", "accesses", "hits", "misses", "MR",
+                       "merged", "wb-in", "pf-issued", "pf-useful",
+                       "thefts+", "thefts-", "mocked"});
     for (unsigned i = 0; i < cores; ++i) {
-        const PerCoreCacheStats &s = c.stats().perCore[i];
-        if (s.accesses == 0 && s.writebacksIn == 0 &&
-            s.mockedThefts == 0) {
+        const std::string p = path + ".core" + std::to_string(i);
+        const std::uint64_t accesses = reg.counter(p + ".accesses");
+        const std::uint64_t wb_in = reg.counter(p + ".writebacks_in");
+        const std::uint64_t mocked = reg.counter(p + ".mocked_thefts");
+        if (accesses == 0 && wb_in == 0 && mocked == 0)
             continue;
-        }
-        t.addRow({std::to_string(i), std::to_string(s.accesses),
-                  std::to_string(s.hits), std::to_string(s.misses),
-                  fmt(s.missRate(), 3), std::to_string(s.mergedMisses),
-                  std::to_string(s.writebacksIn),
-                  std::to_string(s.prefetchIssued),
-                  std::to_string(s.prefetchUseful),
-                  std::to_string(s.theftsCaused),
-                  std::to_string(s.theftsSuffered),
-                  std::to_string(s.mockedThefts)});
+        t.addRow({Cell::count(i), Cell::count(accesses),
+                  Cell::count(reg.counter(p + ".hits")),
+                  Cell::count(reg.counter(p + ".misses")),
+                  Cell::real(reg.value(p + ".miss_rate"), 3),
+                  Cell::count(reg.counter(p + ".merged_misses")),
+                  Cell::count(wb_in),
+                  Cell::count(reg.counter(p + ".prefetch_issued")),
+                  Cell::count(reg.counter(p + ".prefetch_useful")),
+                  Cell::count(reg.counter(p + ".thefts_caused")),
+                  Cell::count(reg.counter(p + ".thefts_suffered")),
+                  Cell::count(mocked)});
     }
-    t.print(os);
-    os << "\n";
+    sink.table(t);
+    sink.note("");
 }
 
 } // namespace
 
 void
-printMachineReport(System &sys, std::ostream &os)
+emitMachineReport(System &sys, ReportSink &sink)
 {
     const unsigned cores = sys.numCores();
+    const StatRegistry &reg = sys.registry();
 
-    os << "==== cores ====\n";
-    TextTable ct({"core", "instructions", "cycles", "IPC", "AMAT",
-                  "branches", "mispredicts", "accuracy"});
+    sink.note("==== cores ====");
+    TableData ct("cores", {"core", "instructions", "cycles", "IPC",
+                           "AMAT", "branches", "mispredicts",
+                           "accuracy"});
     for (unsigned i = 0; i < cores; ++i) {
-        const CoreStats &s = sys.core(i).stats();
-        ct.addRow({std::to_string(i), std::to_string(s.instructions),
-                   std::to_string(s.cycles), fmt(s.ipc(), 3),
-                   fmt(s.amat(), 1), std::to_string(s.branches),
-                   std::to_string(s.mispredicts),
-                   fmtPct(s.branchAccuracy())});
+        const std::string p = "core" + std::to_string(i);
+        ct.addRow({Cell::count(i),
+                   Cell::count(reg.counter(p + ".instructions")),
+                   Cell::count(reg.counter(p + ".cycles")),
+                   Cell::real(reg.value(p + ".ipc"), 3),
+                   Cell::real(reg.value(p + ".amat"), 1),
+                   Cell::count(reg.counter(p + ".branches")),
+                   Cell::count(reg.counter(p + ".mispredicts")),
+                   Cell::pct(reg.value(p + ".branch_accuracy"))});
     }
-    ct.print(os);
-    os << "\n==== caches ====\n";
+    sink.table(ct);
+    sink.note("");
+    sink.note("==== caches ====");
     for (unsigned i = 0; i < cores; ++i) {
-        printCacheBlock(("L1D." + std::to_string(i)).c_str(),
-                        sys.l1d(i), cores, os);
-        printCacheBlock(("L2." + std::to_string(i)).c_str(), sys.l2(i),
-                        cores, os);
+        const std::string n = std::to_string(i);
+        emitCacheBlock("L1D." + n, "l1d." + n, sys.l1d(i), reg, cores,
+                       sink);
+        emitCacheBlock("L2." + n, "l2." + n, sys.l2(i), reg, cores,
+                       sink);
     }
-    printCacheBlock("LLC", sys.llc(), cores, os);
+    emitCacheBlock("LLC", "llc", sys.llc(), reg, cores, sink);
 
-    os << "==== LLC occupancy ====\n";
-    TextTable ot({"core", "blocks", "fraction"});
-    const double total = static_cast<double>(sys.llc().numSets()) *
-                         sys.llc().assoc();
+    sink.note("==== LLC occupancy ====");
+    TableData ot("llc_occupancy", {"core", "blocks", "fraction"});
     for (unsigned i = 0; i < cores; ++i) {
-        ot.addRow({std::to_string(i),
-                   std::to_string(sys.llc().occupancy(i)),
-                   fmtPct(static_cast<double>(sys.llc().occupancy(i)) /
-                          total)});
+        const std::string p = "llc.core" + std::to_string(i);
+        ot.addRow({Cell::count(i),
+                   Cell::count(reg.counter(p + ".occupancy_blocks")),
+                   Cell::pct(reg.value(p + ".occupancy_fraction"))});
     }
-    ot.print(os);
+    sink.table(ot);
 
-    os << "\n==== DRAM ====\n";
-    TextTable dt({"core", "reads", "writes", "avg read lat",
-                  "bank wait", "bus wait"});
+    sink.note("");
+    sink.note("==== DRAM ====");
+    TableData dt("dram", {"core", "reads", "writes", "avg read lat",
+                          "bank wait", "bus wait"});
     for (unsigned i = 0; i < cores; ++i) {
-        const PerCoreDramStats &s = sys.dram().stats()[i];
-        dt.addRow({std::to_string(i), std::to_string(s.reads),
-                   std::to_string(s.writes), fmt(s.avgReadLatency(), 1),
-                   fmt(s.reads ? static_cast<double>(s.totalBankWait) /
-                                     s.reads
-                               : 0.0,
-                       1),
-                   fmt(s.reads ? static_cast<double>(s.totalBusWait) /
-                                     s.reads
-                               : 0.0,
-                       1)});
+        const std::string p = "dram.core" + std::to_string(i);
+        dt.addRow({Cell::count(i),
+                   Cell::count(reg.counter(p + ".reads")),
+                   Cell::count(reg.counter(p + ".writes")),
+                   Cell::real(reg.value(p + ".avg_read_latency"), 1),
+                   Cell::real(reg.value(p + ".avg_bank_wait"), 1),
+                   Cell::real(reg.value(p + ".avg_bus_wait"), 1)});
     }
-    dt.print(os);
-    os << "row-buffer hit rate: " << fmtPct(sys.dram().rowHitRate())
-       << "\n";
+    sink.table(dt);
+    sink.note("row-buffer hit rate: " +
+              fmtPct(reg.value("dram.row_hit_rate")));
 
     const auto engines = sys.allPinteEngines();
     if (!engines.empty()) {
-        os << "\n==== PInTE ====\n";
-        TextTable pt({"engine", "P_Induce", "accesses", "triggers",
-                      "rate", "promotions", "invalidations"});
-        int idx = 0;
-        for (const PInte *e : engines) {
-            const PInteStats &s = e->stats();
-            pt.addRow({std::to_string(idx++), fmt(e->pInduce(), 3),
-                       std::to_string(s.accessesSeen),
-                       std::to_string(s.triggers),
-                       fmtPct(s.triggerRate()),
-                       std::to_string(s.promotions),
-                       std::to_string(s.invalidations)});
+        sink.note("");
+        sink.note("==== PInTE ====");
+        TableData pt("pinte", {"engine", "P_Induce", "accesses",
+                               "triggers", "rate", "promotions",
+                               "invalidations"});
+        const auto &paths = sys.pinteStatPaths();
+        for (std::size_t i = 0; i < engines.size(); ++i) {
+            const std::string &p = paths[i];
+            pt.addRow(
+                {Cell::count(i), Cell::real(engines[i]->pInduce(), 3),
+                 Cell::count(reg.counter(p + ".accesses_seen")),
+                 Cell::count(reg.counter(p + ".triggers")),
+                 Cell::pct(reg.value(p + ".trigger_rate")),
+                 Cell::count(reg.counter(p + ".promotions")),
+                 Cell::count(reg.counter(p + ".inductions"))});
         }
-        pt.print(os);
+        sink.table(pt);
     }
+}
+
+void
+printMachineReport(System &sys, std::ostream &os)
+{
+    TableSink sink(os);
+    emitMachineReport(sys, sink);
 }
 
 } // namespace pinte

@@ -3,7 +3,12 @@
  * Whole-machine statistics report, in the spirit of ChampSim's
  * end-of-simulation dump: per-core pipeline counters, per-cache
  * hit/miss/theft breakdowns, DRAM row-buffer behavior and PInTE engine
- * activity, rendered as aligned text.
+ * activity.
+ *
+ * Every number is read through the System's StatRegistry — the same
+ * counters and derived views every other consumer (run metrics, JSON
+ * reports) reads — and emitted through a ReportSink, so the report is
+ * available in all formats (--format=table|json|csv).
  */
 
 #ifndef PINTE_SIM_REPORT_HH
@@ -12,11 +17,15 @@
 #include <ostream>
 
 #include "sim/machine.hh"
+#include "sim/sink.hh"
 
 namespace pinte
 {
 
-/** Print the full machine statistics block to `os`. */
+/** Emit the full machine statistics block into `sink`. */
+void emitMachineReport(System &sys, ReportSink &sink);
+
+/** Print the full machine statistics block to `os` as aligned text. */
 void printMachineReport(System &sys, std::ostream &os);
 
 } // namespace pinte

@@ -1,0 +1,400 @@
+#include "sink.hh"
+
+#include <iostream>
+
+#include "analysis/table.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace pinte
+{
+
+const char *
+toString(ReportFormat f)
+{
+    switch (f) {
+      case ReportFormat::Table: return "table";
+      case ReportFormat::Json: return "json";
+      case ReportFormat::Csv: return "csv";
+    }
+    return "unknown";
+}
+
+Cell
+Cell::count(std::uint64_t v)
+{
+    Cell c(std::to_string(v));
+    c.kind = Kind::Int;
+    c.intVal = v;
+    return c;
+}
+
+Cell
+Cell::real(double v, int precision)
+{
+    Cell c(fmt(v, precision));
+    c.kind = Kind::Real;
+    c.realVal = v;
+    return c;
+}
+
+Cell
+Cell::pct(double v, int precision)
+{
+    Cell c(fmtPct(v, precision));
+    c.kind = Kind::Real;
+    c.realVal = v;
+    return c;
+}
+
+// ---------------------------------------------------------------- text
+
+void
+TableSink::note(const std::string &line)
+{
+    os_ << line << "\n";
+}
+
+void
+TableSink::run(const RunResult &r)
+{
+    TextTable t({"metric", "value"});
+    t.addRow({"workload", r.workload});
+    t.addRow({"contention", r.contention});
+    t.addRow({"IPC", fmt(r.metrics.ipc, 4)});
+    t.addRow({"LLC miss rate", fmt(r.metrics.missRate, 4)});
+    t.addRow({"AMAT (cycles)", fmt(r.metrics.amat, 1)});
+    t.addRow({"interference rate", fmtPct(r.metrics.interferenceRate)});
+    t.addRow({"theft rate", fmtPct(r.metrics.theftRate)});
+    t.addRow({"branch accuracy", fmtPct(r.metrics.branchAccuracy)});
+    t.addRow({"L2 MPKI", fmt(r.metrics.l2Mpki, 1)});
+    t.addRow({"LLC MPKI", fmt(r.metrics.llcMpki, 1)});
+    t.addRow({"LLC occupancy", fmtPct(r.metrics.llcOccupancyFraction)});
+    if (r.pinte.triggers) {
+        t.addRow({"PInTE triggers", std::to_string(r.pinte.triggers)});
+        t.addRow({"PInTE invalidations",
+                  std::to_string(r.pinte.invalidations)});
+    }
+    t.print(os_);
+    os_ << "\n";
+}
+
+void
+TableSink::table(const TableData &t)
+{
+    TextTable text(t.columns);
+    for (const auto &row : t.rows) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (const Cell &c : row)
+            cells.push_back(c.text);
+        text.addRow(std::move(cells));
+    }
+    text.print(os_);
+}
+
+// ---------------------------------------------------------------- json
+
+namespace
+{
+
+void
+writeMetrics(JsonWriter &w, const RunMetrics &m)
+{
+    w.beginObject();
+    w.member("ipc", m.ipc);
+    w.member("miss_rate", m.missRate);
+    w.member("amat", m.amat);
+    w.member("interference_rate", m.interferenceRate);
+    w.member("theft_rate", m.theftRate);
+    w.member("l2_interference_rate", m.l2InterferenceRate);
+    w.member("branch_accuracy", m.branchAccuracy);
+    w.member("l1d_miss_rate", m.l1dMissRate);
+    w.member("l2_miss_rate", m.l2MissRate);
+    w.member("prefetch_miss_rate", m.prefetchMissRate);
+    w.member("l2_mpki", m.l2Mpki);
+    w.member("llc_mpki", m.llcMpki);
+    w.member("llc_wb_share", m.llcWbShare);
+    w.member("llc_occupancy_fraction", m.llcOccupancyFraction);
+    w.member("llc_accesses", m.llcAccesses);
+    w.member("llc_misses", m.llcMisses);
+    w.endObject();
+}
+
+void
+writeSample(JsonWriter &w, const Sample &s)
+{
+    w.beginObject();
+    w.member("ipc", s.ipc);
+    w.member("miss_rate", s.missRate);
+    w.member("amat", s.amat);
+    w.member("interference_rate", s.interferenceRate);
+    w.member("theft_rate", s.theftRate);
+    w.member("occupancy_fraction", s.occupancyFraction);
+    w.member("instructions", s.instructions);
+    w.endObject();
+}
+
+void
+writeRun(JsonWriter &w, const RunResult &r)
+{
+    w.beginObject();
+    w.member("workload", r.workload);
+    w.member("contention", r.contention);
+    w.key("metrics");
+    writeMetrics(w, r.metrics);
+    w.key("samples");
+    w.beginArray();
+    for (const Sample &s : r.samples)
+        writeSample(w, s);
+    w.endArray();
+    w.key("reuse_histogram");
+    w.beginArray();
+    for (const std::uint64_t c : r.reuse.counts())
+        w.value(c);
+    w.endArray();
+    w.key("pinte");
+    w.beginObject();
+    w.member("accesses_seen", r.pinte.accessesSeen);
+    w.member("triggers", r.pinte.triggers);
+    w.member("promotions", r.pinte.promotions);
+    w.member("invalidations", r.pinte.invalidations);
+    w.member("requested_evicts", r.pinte.requestedEvicts);
+    w.endObject();
+    w.member("cpu_seconds", r.cpuSeconds);
+    w.endObject();
+}
+
+void
+writeCell(JsonWriter &w, const Cell &c)
+{
+    switch (c.kind) {
+      case Cell::Kind::Text: w.value(c.text); break;
+      case Cell::Kind::Int: w.value(c.intVal); break;
+      case Cell::Kind::Real: w.value(c.realVal); break;
+    }
+}
+
+} // namespace
+
+void
+JsonSink::note(const std::string &line)
+{
+    if (line.empty())
+        return;
+    notes_.push_back(line);
+}
+
+void
+JsonSink::run(const RunResult &r)
+{
+    runs_.push_back(r);
+}
+
+void
+JsonSink::table(const TableData &t)
+{
+    tables_.push_back(t);
+}
+
+void
+JsonSink::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+
+    JsonWriter w(os_);
+    w.beginObject();
+    w.member("schema", "pinte-report");
+    w.member("schema_version", reportSchemaVersion);
+    w.member("tool", meta_.tool);
+    w.key("config");
+    w.beginObject();
+    w.member("fingerprint", meta_.fingerprint);
+    w.member("warmup", meta_.params.warmup);
+    w.member("roi", meta_.params.roi);
+    w.member("sample_every", meta_.params.sampleEvery);
+    w.member("run_seed", meta_.params.runSeed);
+    w.endObject();
+    w.key("notes");
+    w.beginArray();
+    for (const auto &n : notes_)
+        w.value(n);
+    w.endArray();
+    w.key("runs");
+    w.beginArray();
+    for (const auto &r : runs_)
+        writeRun(w, r);
+    w.endArray();
+    w.key("tables");
+    w.beginArray();
+    for (const auto &t : tables_) {
+        w.beginObject();
+        w.member("name", t.name);
+        w.key("columns");
+        w.beginArray();
+        for (const auto &c : t.columns)
+            w.value(c);
+        w.endArray();
+        w.key("rows");
+        w.beginArray();
+        for (const auto &row : t.rows) {
+            w.beginArray();
+            for (const Cell &c : row)
+                writeCell(w, c);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os_ << "\n";
+    os_.flush();
+}
+
+// ----------------------------------------------------------------- csv
+
+namespace
+{
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+csvCell(const Cell &c)
+{
+    switch (c.kind) {
+      case Cell::Kind::Text: return csvField(c.text);
+      case Cell::Kind::Int: return std::to_string(c.intVal);
+      case Cell::Kind::Real: return jsonNumber(c.realVal);
+    }
+    return csvField(c.text);
+}
+
+} // namespace
+
+void
+CsvSink::note(const std::string &line)
+{
+    if (line.empty())
+        return;
+    notes_.push_back(line);
+}
+
+void
+CsvSink::run(const RunResult &r)
+{
+    runs_.push_back(r);
+}
+
+void
+CsvSink::table(const TableData &t)
+{
+    tables_.push_back(t);
+}
+
+void
+CsvSink::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+
+    os_ << "# pinte-report v" << reportSchemaVersion << "\n";
+    os_ << "# tool: " << meta_.tool << "\n";
+    os_ << "# fingerprint: " << meta_.fingerprint << "\n";
+    os_ << "# warmup: " << meta_.params.warmup
+        << " roi: " << meta_.params.roi
+        << " sample_every: " << meta_.params.sampleEvery
+        << " run_seed: " << meta_.params.runSeed << "\n";
+    for (const auto &n : notes_)
+        os_ << "# note: " << n << "\n";
+
+    if (!runs_.empty()) {
+        // Aggregate metrics only; samples and histograms need the
+        // JSON format (CSV has no nesting).
+        os_ << "# runs\n";
+        os_ << "workload,contention,ipc,miss_rate,amat,"
+               "interference_rate,theft_rate,l2_interference_rate,"
+               "branch_accuracy,l1d_miss_rate,l2_miss_rate,"
+               "prefetch_miss_rate,l2_mpki,llc_mpki,llc_wb_share,"
+               "llc_occupancy_fraction,llc_accesses,llc_misses,"
+               "pinte_triggers,pinte_invalidations,cpu_seconds\n";
+        for (const auto &r : runs_) {
+            const RunMetrics &m = r.metrics;
+            os_ << csvField(r.workload) << ","
+                << csvField(r.contention) << "," << jsonNumber(m.ipc)
+                << "," << jsonNumber(m.missRate) << ","
+                << jsonNumber(m.amat) << ","
+                << jsonNumber(m.interferenceRate) << ","
+                << jsonNumber(m.theftRate) << ","
+                << jsonNumber(m.l2InterferenceRate) << ","
+                << jsonNumber(m.branchAccuracy) << ","
+                << jsonNumber(m.l1dMissRate) << ","
+                << jsonNumber(m.l2MissRate) << ","
+                << jsonNumber(m.prefetchMissRate) << ","
+                << jsonNumber(m.l2Mpki) << "," << jsonNumber(m.llcMpki)
+                << "," << jsonNumber(m.llcWbShare) << ","
+                << jsonNumber(m.llcOccupancyFraction) << ","
+                << m.llcAccesses << "," << m.llcMisses << ","
+                << r.pinte.triggers << "," << r.pinte.invalidations
+                << "," << jsonNumber(r.cpuSeconds) << "\n";
+        }
+    }
+
+    for (const auto &t : tables_) {
+        os_ << "# table: " << t.name << "\n";
+        for (std::size_t i = 0; i < t.columns.size(); ++i)
+            os_ << (i ? "," : "") << csvField(t.columns[i]);
+        os_ << "\n";
+        for (const auto &row : t.rows) {
+            for (std::size_t i = 0; i < row.size(); ++i)
+                os_ << (i ? "," : "") << csvCell(row[i]);
+            os_ << "\n";
+        }
+    }
+    os_.flush();
+}
+
+std::unique_ptr<ReportSink>
+makeSink(ReportFormat format, std::ostream &os, ReportMeta meta)
+{
+    switch (format) {
+      case ReportFormat::Table:
+        return std::make_unique<TableSink>(os);
+      case ReportFormat::Json:
+        return std::make_unique<JsonSink>(os, std::move(meta));
+      case ReportFormat::Csv:
+        return std::make_unique<CsvSink>(os, std::move(meta));
+    }
+    fatal("makeSink: unknown report format");
+}
+
+Report::Report(ReportFormat format, const std::string &out_path,
+               ReportMeta meta)
+{
+    std::ostream *os = &std::cout;
+    if (!out_path.empty()) {
+        file_ = std::make_unique<std::ofstream>(out_path);
+        if (!*file_)
+            fatal("cannot open report output file '" + out_path + "'");
+        os = file_.get();
+    }
+    sink_ = makeSink(format, *os, std::move(meta));
+}
+
+} // namespace pinte

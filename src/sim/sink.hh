@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Report sinks: one emission API, three formats.
+ *
+ * Everything a run or a bench reports flows through a ReportSink as
+ * typed values (notes, RunResults, typed tables). TableSink renders
+ * the familiar aligned-text view; JsonSink emits the versioned
+ * machine-readable schema (config fingerprint, per-run metrics,
+ * periodic samples, histograms — see DESIGN.md section "Report
+ * schema"); CsvSink flattens runs and tables for spreadsheet
+ * consumption. The numbers a machine format carries are the same
+ * doubles/integers the text format printed — formats differ only in
+ * rendering, never in value.
+ */
+
+#ifndef PINTE_SIM_SINK_HH
+#define PINTE_SIM_SINK_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace pinte
+{
+
+/** Output format selector (--format=table|json|csv). */
+enum class ReportFormat
+{
+    Table, //!< aligned text, the historical default
+    Json,  //!< the versioned pinte-report schema
+    Csv,   //!< flattened runs + tables, sectioned
+};
+
+/** Printable name for a report format. */
+const char *toString(ReportFormat f);
+
+/**
+ * JSON schema version. Bump whenever the emitted document shape
+ * changes; tests/golden/report_v1.json pins the current shape.
+ */
+constexpr int reportSchemaVersion = 1;
+
+/** One typed table cell: display text plus the underlying value. */
+struct Cell
+{
+    enum class Kind
+    {
+        Text,
+        Int,
+        Real,
+    };
+
+    Kind kind = Kind::Text;
+    std::string text;       //!< what the text renderer shows
+    std::uint64_t intVal = 0;
+    double realVal = 0.0;
+
+    Cell() = default;
+    Cell(std::string t) : text(std::move(t)) {}
+    Cell(const char *t) : text(t) {}
+
+    /** An integer cell; text defaults to the decimal rendering. */
+    static Cell count(std::uint64_t v);
+
+    /** A real cell rendered with fixed `precision`. */
+    static Cell real(double v, int precision = 2);
+
+    /** A real cell rendered as a percentage; carries the raw value. */
+    static Cell pct(double v, int precision = 1);
+};
+
+/** A named table: column labels plus typed rows. */
+struct TableData
+{
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<Cell>> rows;
+
+    TableData(std::string table_name,
+              std::vector<std::string> column_labels)
+        : name(std::move(table_name)),
+          columns(std::move(column_labels))
+    {
+    }
+
+    void
+    addRow(std::vector<Cell> cells)
+    {
+        rows.push_back(std::move(cells));
+    }
+};
+
+/** Identity of the producing tool and configuration, for the header. */
+struct ReportMeta
+{
+    std::string tool;        //!< e.g. "pintesim", "bench_fig5"
+    std::string fingerprint; //!< MachineConfig::fingerprint()
+    ExperimentParams params; //!< warmup / roi / sampling / run seed
+};
+
+/** Destination of everything a run or campaign reports. */
+class ReportSink
+{
+  public:
+    virtual ~ReportSink() = default;
+
+    /**
+     * Narration / free-text line. An empty line is a text-layout
+     * spacing hint; machine formats drop it.
+     */
+    virtual void note(const std::string &line) = 0;
+
+    /** Record one experiment's full result. */
+    virtual void run(const RunResult &r) = 0;
+
+    /** Emit a typed table. */
+    virtual void table(const TableData &t) = 0;
+
+    /**
+     * Whether the caller should feed every campaign run through
+     * run(). Machine formats capture the full run population; the
+     * text format shows only the bench's reduction tables.
+     */
+    virtual bool wantsAllRuns() const = 0;
+
+    /** Finish the document. Idempotent; called by destructors. */
+    virtual void close() = 0;
+};
+
+/** Aligned-text sink (the historical stdout rendering). */
+class TableSink : public ReportSink
+{
+  public:
+    explicit TableSink(std::ostream &os) : os_(os) {}
+
+    void note(const std::string &line) override;
+    void run(const RunResult &r) override;
+    void table(const TableData &t) override;
+    bool wantsAllRuns() const override { return false; }
+    void close() override {}
+
+  private:
+    std::ostream &os_;
+};
+
+/** Versioned machine-readable JSON document sink. */
+class JsonSink : public ReportSink
+{
+  public:
+    JsonSink(std::ostream &os, ReportMeta meta)
+        : os_(os), meta_(std::move(meta))
+    {
+    }
+
+    ~JsonSink() override { close(); }
+
+    void note(const std::string &line) override;
+    void run(const RunResult &r) override;
+    void table(const TableData &t) override;
+    bool wantsAllRuns() const override { return true; }
+    void close() override;
+
+  private:
+    std::ostream &os_;
+    ReportMeta meta_;
+    std::vector<std::string> notes_;
+    std::vector<RunResult> runs_;
+    std::vector<TableData> tables_;
+    bool closed_ = false;
+};
+
+/** Sectioned-CSV sink: flattened run metrics plus each table. */
+class CsvSink : public ReportSink
+{
+  public:
+    CsvSink(std::ostream &os, ReportMeta meta)
+        : os_(os), meta_(std::move(meta))
+    {
+    }
+
+    ~CsvSink() override { close(); }
+
+    void note(const std::string &line) override;
+    void run(const RunResult &r) override;
+    void table(const TableData &t) override;
+    bool wantsAllRuns() const override { return true; }
+    void close() override;
+
+  private:
+    std::ostream &os_;
+    ReportMeta meta_;
+    std::vector<std::string> notes_;
+    std::vector<RunResult> runs_;
+    std::vector<TableData> tables_;
+    bool closed_ = false;
+};
+
+/** Build a sink of the requested format writing to `os`. */
+std::unique_ptr<ReportSink> makeSink(ReportFormat format,
+                                     std::ostream &os, ReportMeta meta);
+
+/**
+ * A sink bound to its destination: stdout, or a file when `out_path`
+ * is non-empty (fatal if the file cannot be opened). Closes the
+ * document on destruction.
+ */
+class Report
+{
+  public:
+    Report(ReportFormat format, const std::string &out_path,
+           ReportMeta meta);
+
+    Report(Report &&) = default;
+
+    ~Report()
+    {
+        if (sink_)
+            sink_->close();
+    }
+
+    ReportSink &sink() { return *sink_; }
+    ReportSink *operator->() { return sink_.get(); }
+
+  private:
+    std::unique_ptr<std::ofstream> file_;
+    std::unique_ptr<ReportSink> sink_;
+};
+
+} // namespace pinte
+
+#endif // PINTE_SIM_SINK_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Report-sink tests: the JSON document shape is pinned by a golden
+ * file, a JSON report parses back to bit-identical metric values, and
+ * the registry-derived RunMetrics computation matches the legacy
+ * struct-walking one on live systems.
+ *
+ * Regenerate the golden file after an intentional schema change with
+ *   PINTE_REGOLD=1 ./test_sinks --gtest_filter=Sinks.JsonGoldenFile
+ * and bump reportSchemaVersion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+#include "sim/experiment.hh"
+#include "sim/sink.hh"
+
+namespace pinte
+{
+namespace
+{
+
+/** A fully hand-built report input: deterministic by construction. */
+RunResult
+goldenRun()
+{
+    RunResult r;
+    r.workload = "synthetic.golden";
+    r.contention = "pinte@0.250000";
+    r.metrics.ipc = 1.25;
+    r.metrics.missRate = 0.1;
+    r.metrics.amat = 42.5;
+    r.metrics.interferenceRate = 0.03125;
+    r.metrics.theftRate = 0.015625;
+    r.metrics.l2InterferenceRate = 0.0;
+    r.metrics.branchAccuracy = 0.9375;
+    r.metrics.l1dMissRate = 0.2;
+    r.metrics.l2MissRate = 0.3;
+    r.metrics.prefetchMissRate = 0.4;
+    r.metrics.l2Mpki = 12.5;
+    r.metrics.llcMpki = 6.25;
+    r.metrics.llcWbShare = 0.125;
+    r.metrics.llcOccupancyFraction = 0.5;
+    r.metrics.llcAccesses = 4096;
+    r.metrics.llcMisses = 512;
+
+    Sample s;
+    s.ipc = 1.5;
+    s.missRate = 0.25;
+    s.amat = 40.0;
+    s.interferenceRate = 0.0625;
+    s.theftRate = 0.03125;
+    s.occupancyFraction = 0.75;
+    s.instructions = 3000;
+    r.samples.push_back(s);
+    s.ipc = 1.0 / 3.0; // exercises round-trip number printing
+    s.instructions = 6000;
+    r.samples.push_back(s);
+
+    r.reuse = Histogram(4);
+    r.reuse.add(0, 5);
+    r.reuse.add(2, 1);
+
+    r.pinte.accessesSeen = 1000;
+    r.pinte.triggers = 250;
+    r.pinte.promotions = 200;
+    r.pinte.invalidations = 150;
+    r.pinte.requestedEvicts = 300;
+
+    r.cpuSeconds = 0.015625;
+    return r;
+}
+
+ReportMeta
+goldenMeta()
+{
+    ExperimentParams params;
+    params.warmup = 60000;
+    params.roi = 60000;
+    params.sampleEvery = 3000;
+    params.runSeed = 7;
+    return {"test_sinks", "golden-fingerprint", params};
+}
+
+std::string
+emitGoldenJson()
+{
+    std::ostringstream os;
+    {
+        JsonSink sink(os, goldenMeta());
+        sink.note("golden note");
+        sink.note(""); // spacing hint: machine sinks must drop it
+        sink.run(goldenRun());
+        TableData t("golden_table", {"label", "count", "value"});
+        t.addRow({"row-one", Cell::count(42), Cell::real(0.125, 3)});
+        t.addRow({"row,two", Cell::count(0), Cell::pct(0.5, 1)});
+        sink.table(t);
+        sink.close();
+    }
+    return os.str();
+}
+
+TEST(Sinks, JsonGoldenFile)
+{
+    const std::string path =
+        std::string(PINTE_TEST_DATA_DIR) + "/golden/report_v1.json";
+    const std::string doc = emitGoldenJson();
+
+    if (std::getenv("PINTE_REGOLD")) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << doc;
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (regenerate with PINTE_REGOLD=1)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(doc, want.str())
+        << "JSON report shape changed; if intentional, bump "
+           "reportSchemaVersion and regenerate with PINTE_REGOLD=1";
+}
+
+TEST(Sinks, JsonRoundTrip)
+{
+    const RunResult r = goldenRun();
+    const std::string doc = emitGoldenJson();
+
+    std::string error;
+    const JsonValue v = parseJson(doc, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_TRUE(v.isObject());
+
+    EXPECT_EQ(v.at("schema").asString(), "pinte-report");
+    EXPECT_EQ(v.at("schema_version").asU64(),
+              static_cast<std::uint64_t>(reportSchemaVersion));
+    EXPECT_EQ(v.at("tool").asString(), "test_sinks");
+
+    const JsonValue &config = v.at("config");
+    EXPECT_EQ(config.at("fingerprint").asString(),
+              "golden-fingerprint");
+    EXPECT_EQ(config.at("warmup").asU64(), 60000u);
+    EXPECT_EQ(config.at("roi").asU64(), 60000u);
+    EXPECT_EQ(config.at("sample_every").asU64(), 3000u);
+    EXPECT_EQ(config.at("run_seed").asU64(), 7u);
+
+    // The empty note was a layout hint and must not appear.
+    ASSERT_EQ(v.at("notes").array.size(), 1u);
+    EXPECT_EQ(v.at("notes").array[0].asString(), "golden note");
+
+    ASSERT_EQ(v.at("runs").array.size(), 1u);
+    const JsonValue &run = v.at("runs").array[0];
+    EXPECT_EQ(run.at("workload").asString(), r.workload);
+    EXPECT_EQ(run.at("contention").asString(), r.contention);
+
+    // Metrics round-trip bit-identically (EXPECT_EQ, not NEAR).
+    const JsonValue &m = run.at("metrics");
+    EXPECT_EQ(m.at("ipc").asDouble(), r.metrics.ipc);
+    EXPECT_EQ(m.at("miss_rate").asDouble(), r.metrics.missRate);
+    EXPECT_EQ(m.at("amat").asDouble(), r.metrics.amat);
+    EXPECT_EQ(m.at("interference_rate").asDouble(),
+              r.metrics.interferenceRate);
+    EXPECT_EQ(m.at("theft_rate").asDouble(), r.metrics.theftRate);
+    EXPECT_EQ(m.at("l2_interference_rate").asDouble(),
+              r.metrics.l2InterferenceRate);
+    EXPECT_EQ(m.at("branch_accuracy").asDouble(),
+              r.metrics.branchAccuracy);
+    EXPECT_EQ(m.at("l1d_miss_rate").asDouble(), r.metrics.l1dMissRate);
+    EXPECT_EQ(m.at("l2_miss_rate").asDouble(), r.metrics.l2MissRate);
+    EXPECT_EQ(m.at("prefetch_miss_rate").asDouble(),
+              r.metrics.prefetchMissRate);
+    EXPECT_EQ(m.at("l2_mpki").asDouble(), r.metrics.l2Mpki);
+    EXPECT_EQ(m.at("llc_mpki").asDouble(), r.metrics.llcMpki);
+    EXPECT_EQ(m.at("llc_wb_share").asDouble(), r.metrics.llcWbShare);
+    EXPECT_EQ(m.at("llc_occupancy_fraction").asDouble(),
+              r.metrics.llcOccupancyFraction);
+    EXPECT_EQ(m.at("llc_accesses").asU64(), r.metrics.llcAccesses);
+    EXPECT_EQ(m.at("llc_misses").asU64(), r.metrics.llcMisses);
+
+    // Samples — including the non-dyadic 1/3 IPC.
+    ASSERT_EQ(run.at("samples").array.size(), r.samples.size());
+    for (std::size_t i = 0; i < r.samples.size(); ++i) {
+        const JsonValue &js = run.at("samples").array[i];
+        const Sample &ss = r.samples[i];
+        EXPECT_EQ(js.at("ipc").asDouble(), ss.ipc);
+        EXPECT_EQ(js.at("miss_rate").asDouble(), ss.missRate);
+        EXPECT_EQ(js.at("amat").asDouble(), ss.amat);
+        EXPECT_EQ(js.at("interference_rate").asDouble(),
+                  ss.interferenceRate);
+        EXPECT_EQ(js.at("theft_rate").asDouble(), ss.theftRate);
+        EXPECT_EQ(js.at("occupancy_fraction").asDouble(),
+                  ss.occupancyFraction);
+        EXPECT_EQ(js.at("instructions").asU64(), ss.instructions);
+    }
+
+    const JsonValue &reuse = run.at("reuse_histogram");
+    ASSERT_EQ(reuse.array.size(), r.reuse.size());
+    for (std::size_t i = 0; i < r.reuse.size(); ++i)
+        EXPECT_EQ(reuse.array[i].asU64(), r.reuse.at(i));
+
+    const JsonValue &p = run.at("pinte");
+    EXPECT_EQ(p.at("accesses_seen").asU64(), r.pinte.accessesSeen);
+    EXPECT_EQ(p.at("triggers").asU64(), r.pinte.triggers);
+    EXPECT_EQ(p.at("promotions").asU64(), r.pinte.promotions);
+    EXPECT_EQ(p.at("invalidations").asU64(), r.pinte.invalidations);
+    EXPECT_EQ(p.at("requested_evicts").asU64(),
+              r.pinte.requestedEvicts);
+    EXPECT_EQ(run.at("cpu_seconds").asDouble(), r.cpuSeconds);
+
+    // Typed table cells keep their raw values.
+    ASSERT_EQ(v.at("tables").array.size(), 1u);
+    const JsonValue &t = v.at("tables").array[0];
+    EXPECT_EQ(t.at("name").asString(), "golden_table");
+    ASSERT_EQ(t.at("rows").array.size(), 2u);
+    EXPECT_EQ(t.at("rows").array[0].array[1].asU64(), 42u);
+    EXPECT_EQ(t.at("rows").array[0].array[2].asDouble(), 0.125);
+    EXPECT_EQ(t.at("rows").array[1].array[2].asDouble(), 0.5);
+}
+
+TEST(Sinks, CsvCarriesRunsAndTables)
+{
+    std::ostringstream os;
+    {
+        CsvSink sink(os, goldenMeta());
+        sink.note("");
+        sink.run(goldenRun());
+        TableData t("golden_table", {"label", "value"});
+        t.addRow({"row,with,commas", Cell::real(0.5, 3)});
+        sink.table(t);
+        sink.close();
+    }
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("# pinte-report v1"), std::string::npos);
+    EXPECT_NE(doc.find("workload,contention,ipc"), std::string::npos);
+    EXPECT_NE(doc.find("synthetic.golden"), std::string::npos);
+    EXPECT_NE(doc.find("\"row,with,commas\""), std::string::npos);
+    EXPECT_EQ(doc.find("# note:"), std::string::npos)
+        << "empty note must be dropped by machine sinks";
+}
+
+/**
+ * The acceptance check for the registry refactor: the registry-derived
+ * aggregation must be bit-identical to the legacy struct-walking one
+ * on live, finished systems — isolation, PInTE and pair runs.
+ */
+void
+expectMetricsEqual(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.missRate, b.missRate);
+    EXPECT_EQ(a.amat, b.amat);
+    EXPECT_EQ(a.interferenceRate, b.interferenceRate);
+    EXPECT_EQ(a.theftRate, b.theftRate);
+    EXPECT_EQ(a.l2InterferenceRate, b.l2InterferenceRate);
+    EXPECT_EQ(a.branchAccuracy, b.branchAccuracy);
+    EXPECT_EQ(a.l1dMissRate, b.l1dMissRate);
+    EXPECT_EQ(a.l2MissRate, b.l2MissRate);
+    EXPECT_EQ(a.prefetchMissRate, b.prefetchMissRate);
+    EXPECT_EQ(a.l2Mpki, b.l2Mpki);
+    EXPECT_EQ(a.llcMpki, b.llcMpki);
+    EXPECT_EQ(a.llcWbShare, b.llcWbShare);
+    EXPECT_EQ(a.llcOccupancyFraction, b.llcOccupancyFraction);
+    EXPECT_EQ(a.llcAccesses, b.llcAccesses);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+}
+
+TEST(Sinks, RegistryMatchesLegacyIsolation)
+{
+    MachineConfig machine = MachineConfig::scaled();
+    TraceGenerator gen(findWorkload("450.soplex"));
+    System sys(machine, {&gen});
+    sys.warmup(2000);
+    sys.runUntilCore0(6000);
+    expectMetricsEqual(computeRunMetrics(sys, 0),
+                       computeRunMetricsLegacy(sys, 0));
+}
+
+TEST(Sinks, RegistryMatchesLegacyPInte)
+{
+    MachineConfig machine = MachineConfig::scaled();
+    machine.pinte.pInduce = 0.3;
+    TraceGenerator gen(findWorkload("429.mcf"));
+    System sys(machine, {&gen});
+    sys.warmup(2000);
+    sys.runUntilCore0(6000);
+    expectMetricsEqual(computeRunMetrics(sys, 0),
+                       computeRunMetricsLegacy(sys, 0));
+}
+
+TEST(Sinks, RegistryMatchesLegacyPair)
+{
+    MachineConfig machine = MachineConfig::scaled();
+    machine.numCores = 2;
+    WorkloadSpec peer = findWorkload("470.lbm");
+    peer.dataBase += 0x800000000ull;
+    peer.codeBase += 0x40000000ull;
+    TraceGenerator ga(findWorkload("450.soplex")), gb(peer);
+    System sys(machine, {&ga, &gb});
+    sys.warmup(2000);
+    sys.runUntilCore0(6000);
+    for (unsigned c = 0; c < 2; ++c)
+        expectMetricsEqual(computeRunMetrics(sys, c),
+                           computeRunMetricsLegacy(sys, c));
+}
+
+} // namespace
+} // namespace pinte

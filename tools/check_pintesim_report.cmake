@@ -1,0 +1,30 @@
+# ctest helper: run pintesim at a tiny scale, write a JSON report, and
+# validate it with check_report.py. Invoked from tools/CMakeLists.txt
+# with -DPINTESIM=... -DPYTHON=... -DCHECKER=... -DWORKDIR=...
+
+set(report "${WORKDIR}/pintesim_report.json")
+
+execute_process(
+    COMMAND ${PINTESIM}
+        --workload 450.soplex --pinduce 0.2 --report
+        --warmup 2000 --roi 6000 --sample 3000
+        --format json --out ${report}
+    RESULT_VARIABLE sim_rc
+    OUTPUT_VARIABLE sim_out
+    ERROR_VARIABLE sim_err)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR
+        "pintesim failed (${sim_rc}):\n${sim_out}\n${sim_err}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${report}
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "schema validation failed (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")

@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""Validate a pinte-report JSON document against schema version 1.
+
+Usage:
+    check_report.py [report.json]        # file, or stdin when omitted
+    pintesim --report --format=json | check_report.py
+
+Exit status 0 when the document conforms, 1 with a diagnostic per
+violation otherwise. Standard library only.
+"""
+
+import json
+import sys
+
+SCHEMA = "pinte-report"
+SCHEMA_VERSION = 1
+
+METRIC_FIELDS = {
+    "ipc": float,
+    "miss_rate": float,
+    "amat": float,
+    "interference_rate": float,
+    "theft_rate": float,
+    "l2_interference_rate": float,
+    "branch_accuracy": float,
+    "l1d_miss_rate": float,
+    "l2_miss_rate": float,
+    "prefetch_miss_rate": float,
+    "l2_mpki": float,
+    "llc_mpki": float,
+    "llc_wb_share": float,
+    "llc_occupancy_fraction": float,
+    "llc_accesses": int,
+    "llc_misses": int,
+}
+
+SAMPLE_FIELDS = {
+    "ipc": float,
+    "miss_rate": float,
+    "amat": float,
+    "interference_rate": float,
+    "theft_rate": float,
+    "occupancy_fraction": float,
+    "instructions": int,
+}
+
+PINTE_FIELDS = {
+    "accesses_seen": int,
+    "triggers": int,
+    "promotions": int,
+    "invalidations": int,
+    "requested_evicts": int,
+}
+
+CONFIG_FIELDS = {
+    "fingerprint": str,
+    "warmup": int,
+    "roi": int,
+    "sample_every": int,
+    "run_seed": int,
+}
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, path, message):
+        self.errors.append(f"{path}: {message}")
+
+    def check_fields(self, obj, fields, path):
+        if not isinstance(obj, dict):
+            self.error(path, f"expected object, got {type(obj).__name__}")
+            return
+        for name, kind in fields.items():
+            if name not in obj:
+                self.error(path, f"missing field '{name}'")
+                continue
+            value = obj[name]
+            # JSON integers satisfy float fields (1.0 serializes as 1),
+            # but a float where an integer counter belongs is an error.
+            if kind is float:
+                ok = isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                )
+            elif kind is int:
+                ok = isinstance(value, int) and not isinstance(value, bool)
+            else:
+                ok = isinstance(value, kind)
+            if not ok:
+                self.error(
+                    f"{path}.{name}",
+                    f"expected {kind.__name__}, "
+                    f"got {type(value).__name__}: {value!r}",
+                )
+        for name in obj:
+            if name not in fields:
+                self.error(path, f"unknown field '{name}'")
+
+    def check_run(self, run, path):
+        if not isinstance(run, dict):
+            self.error(path, "expected object")
+            return
+        for name in ("workload", "contention"):
+            if not isinstance(run.get(name), str):
+                self.error(f"{path}.{name}", "expected string")
+        self.check_fields(
+            run.get("metrics"), METRIC_FIELDS, f"{path}.metrics"
+        )
+        samples = run.get("samples")
+        if not isinstance(samples, list):
+            self.error(f"{path}.samples", "expected array")
+        else:
+            for i, sample in enumerate(samples):
+                self.check_fields(
+                    sample, SAMPLE_FIELDS, f"{path}.samples[{i}]"
+                )
+        reuse = run.get("reuse_histogram")
+        if not isinstance(reuse, list) or not all(
+            isinstance(c, int) and not isinstance(c, bool) and c >= 0
+            for c in reuse or []
+        ):
+            self.error(
+                f"{path}.reuse_histogram",
+                "expected array of non-negative integers",
+            )
+        self.check_fields(run.get("pinte"), PINTE_FIELDS, f"{path}.pinte")
+        cpu = run.get("cpu_seconds")
+        if not isinstance(cpu, (int, float)) or isinstance(cpu, bool):
+            self.error(f"{path}.cpu_seconds", "expected number")
+        known = {
+            "workload",
+            "contention",
+            "metrics",
+            "samples",
+            "reuse_histogram",
+            "pinte",
+            "cpu_seconds",
+        }
+        for name in run:
+            if name not in known:
+                self.error(path, f"unknown field '{name}'")
+
+    def check_table(self, table, path):
+        if not isinstance(table, dict):
+            self.error(path, "expected object")
+            return
+        if not isinstance(table.get("name"), str) or not table.get("name"):
+            self.error(f"{path}.name", "expected non-empty string")
+        columns = table.get("columns")
+        if not isinstance(columns, list) or not all(
+            isinstance(c, str) for c in columns or []
+        ):
+            self.error(f"{path}.columns", "expected array of strings")
+            columns = []
+        rows = table.get("rows")
+        if not isinstance(rows, list):
+            self.error(f"{path}.rows", "expected array")
+            rows = []
+        for i, row in enumerate(rows):
+            if not isinstance(row, list):
+                self.error(f"{path}.rows[{i}]", "expected array")
+                continue
+            if columns and len(row) != len(columns):
+                self.error(
+                    f"{path}.rows[{i}]",
+                    f"{len(row)} cells for {len(columns)} columns",
+                )
+            for j, cell in enumerate(row):
+                if not isinstance(cell, (str, int, float)) or isinstance(
+                    cell, bool
+                ):
+                    self.error(
+                        f"{path}.rows[{i}][{j}]",
+                        "expected string or number",
+                    )
+        for name in table:
+            if name not in {"name", "columns", "rows"}:
+                self.error(path, f"unknown field '{name}'")
+
+    def check_document(self, doc):
+        if not isinstance(doc, dict):
+            self.error("$", "top level must be an object")
+            return
+        if doc.get("schema") != SCHEMA:
+            self.error("$.schema", f"expected {SCHEMA!r}, got "
+                       f"{doc.get('schema')!r}")
+        if doc.get("schema_version") != SCHEMA_VERSION:
+            self.error(
+                "$.schema_version",
+                f"expected {SCHEMA_VERSION}, got "
+                f"{doc.get('schema_version')!r}",
+            )
+        if not isinstance(doc.get("tool"), str) or not doc.get("tool"):
+            self.error("$.tool", "expected non-empty string")
+        self.check_fields(doc.get("config"), CONFIG_FIELDS, "$.config")
+        notes = doc.get("notes")
+        if not isinstance(notes, list) or not all(
+            isinstance(n, str) for n in notes or []
+        ):
+            self.error("$.notes", "expected array of strings")
+        elif any(n == "" for n in notes):
+            self.error("$.notes", "empty note (layout hints must be "
+                       "dropped by the JSON sink)")
+        runs = doc.get("runs")
+        if not isinstance(runs, list):
+            self.error("$.runs", "expected array")
+        else:
+            for i, run in enumerate(runs):
+                self.check_run(run, f"$.runs[{i}]")
+        tables = doc.get("tables")
+        if not isinstance(tables, list):
+            self.error("$.tables", "expected array")
+        else:
+            for i, table in enumerate(tables):
+                self.check_table(table, f"$.tables[{i}]")
+        known = {
+            "schema",
+            "schema_version",
+            "tool",
+            "config",
+            "notes",
+            "runs",
+            "tables",
+        }
+        for name in doc:
+            if name not in known:
+                self.error("$", f"unknown field '{name}'")
+
+
+def main(argv):
+    if len(argv) > 2 or (len(argv) == 2 and argv[1] in ("-h", "--help")):
+        sys.stderr.write(__doc__)
+        return 2
+    try:
+        if len(argv) == 2 and argv[1] != "-":
+            with open(argv[1], "r", encoding="utf-8") as f:
+                text = f.read()
+            source = argv[1]
+        else:
+            text = sys.stdin.read()
+            source = "<stdin>"
+    except OSError as e:
+        sys.stderr.write(f"check_report: {e}\n")
+        return 1
+
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        sys.stderr.write(f"check_report: {source}: not JSON: {e}\n")
+        return 1
+
+    checker = Checker()
+    checker.check_document(doc)
+    if checker.errors:
+        for error in checker.errors:
+            sys.stderr.write(f"check_report: {source}: {error}\n")
+        sys.stderr.write(
+            f"check_report: {source}: {len(checker.errors)} violation(s) "
+            f"of pinte-report v{SCHEMA_VERSION}\n"
+        )
+        return 1
+    runs = len(doc.get("runs", []))
+    tables = len(doc.get("tables", []))
+    print(
+        f"check_report: {source}: valid pinte-report "
+        f"v{SCHEMA_VERSION} ({runs} runs, {tables} tables)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

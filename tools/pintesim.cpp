@@ -3,31 +3,33 @@
  * pintesim — command-line driver for the PInTE simulator.
  *
  * Runs a single workload (or a pair) on a configurable machine and
- * prints aggregate metrics, optionally as one JSON object per run for
- * scripting. Everything the library exposes — replacement, inclusion,
- * prefetch and branch-prediction choices, PInTE probability, scope and
- * the DRAM complement — is reachable from here.
+ * emits results through a report sink: aligned text (default), the
+ * versioned pinte-report JSON schema, or CSV. Everything the library
+ * exposes — replacement, inclusion, prefetch and branch-prediction
+ * choices, PInTE probability, scope and the DRAM complement — is
+ * reachable from here. Options accept both `--flag value` and
+ * `--flag=value`; unknown flags and malformed values exit nonzero
+ * listing the alternatives.
  *
  * Examples:
  *   pintesim --list
  *   pintesim -w 450.soplex --sweep
  *   pintesim -w 450.soplex -p 0.2 --policy rrip --inclusion exclusive
  *   pintesim -w 450.soplex --pair 470.lbm
- *   pintesim -w 429.mcf -p 0.3 --dram-complement 60 --json
+ *   pintesim -w 429.mcf -p 0.3 --dram-complement 60 --format=json
+ *   pintesim -w 450.soplex --sweep --format=csv --out sweep.csv
  */
 
 #include <cstdio>
-#include <cstring>
-#include <iostream>
 #include <optional>
 #include <string>
 
-#include "analysis/table.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/options.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
+#include "sim/sink.hh"
 
 using namespace pinte;
 
@@ -37,14 +39,14 @@ namespace
 void
 usage()
 {
-    std::cout <<
-        "usage: pintesim [options]\n"
+    std::printf(
+        "usage: pintesim [options]   (--flag value or --flag=value)\n"
         "  -w, --workload NAME   zoo workload (see --list)\n"
         "  -p, --pinduce P       PInTE probability of induction [0,1]\n"
         "      --sweep           run the standard 12-point P sweep\n"
         "      --pair NAME       2nd-Trace co-run instead of PInTE\n"
         "      --isolation       no contention at all\n"
-        "      --policy K        llc replacement: lru plru nmru rrip random\n"
+        "      --policy K        llc replacement: lru plru nmru rrip random drrip\n"
         "      --inclusion K     llc inclusion: non inclusive exclusive\n"
         "      --prefetch SSS    prefetch string (000, NN0, NNN, NNI)\n"
         "      --predictor K     bimodal gshare perceptron hashed\n"
@@ -56,56 +58,12 @@ usage()
         "      --seed N          run seed (PInTE RNG stream)\n"
         "      --jobs N          worker threads for --sweep "
         "(default: all cores)\n"
-        "      --json            one JSON object per run on stdout\n"
+        "      --format FMT      output format: table json csv\n"
+        "      --out FILE        write the report to FILE\n"
+        "      --json            shorthand for --format=json\n"
         "      --report          full machine statistics dump\n"
         "      --list            list zoo workloads and exit\n"
-        "      --help            this text\n";
-}
-
-void
-printJson(const RunResult &r)
-{
-    std::printf(
-        "{\"workload\":\"%s\",\"contention\":\"%s\",\"ipc\":%.6f,"
-        "\"miss_rate\":%.6f,\"amat\":%.3f,\"interference_rate\":%.6f,"
-        "\"theft_rate\":%.6f,\"branch_accuracy\":%.6f,"
-        "\"l2_mpki\":%.3f,\"llc_mpki\":%.3f,\"llc_occupancy\":%.4f,"
-        "\"pinte_triggers\":%llu,\"pinte_invalidations\":%llu,"
-        "\"cpu_seconds\":%.6f}\n",
-        r.workload.c_str(), r.contention.c_str(), r.metrics.ipc,
-        r.metrics.missRate, r.metrics.amat,
-        r.metrics.interferenceRate, r.metrics.theftRate,
-        r.metrics.branchAccuracy, r.metrics.l2Mpki, r.metrics.llcMpki,
-        r.metrics.llcOccupancyFraction,
-        static_cast<unsigned long long>(r.pinte.triggers),
-        static_cast<unsigned long long>(r.pinte.invalidations),
-        r.cpuSeconds);
-}
-
-void
-printText(const RunResult &r)
-{
-    TextTable t({"metric", "value"});
-    t.addRow({"workload", r.workload});
-    t.addRow({"contention", r.contention});
-    t.addRow({"IPC", fmt(r.metrics.ipc, 4)});
-    t.addRow({"LLC miss rate", fmt(r.metrics.missRate, 4)});
-    t.addRow({"AMAT (cycles)", fmt(r.metrics.amat, 1)});
-    t.addRow({"interference rate",
-              fmtPct(r.metrics.interferenceRate)});
-    t.addRow({"theft rate", fmtPct(r.metrics.theftRate)});
-    t.addRow({"branch accuracy", fmtPct(r.metrics.branchAccuracy)});
-    t.addRow({"L2 MPKI", fmt(r.metrics.l2Mpki, 1)});
-    t.addRow({"LLC MPKI", fmt(r.metrics.llcMpki, 1)});
-    t.addRow({"LLC occupancy",
-              fmtPct(r.metrics.llcOccupancyFraction)});
-    if (r.pinte.triggers) {
-        t.addRow({"PInTE triggers", std::to_string(r.pinte.triggers)});
-        t.addRow({"PInTE invalidations",
-                  std::to_string(r.pinte.invalidations)});
-    }
-    t.print(std::cout);
-    std::cout << "\n";
+        "      --help            this text\n");
 }
 
 } // namespace
@@ -116,63 +74,86 @@ main(int argc, char **argv)
     std::string workload = "450.soplex";
     std::optional<double> pinduce;
     std::optional<std::string> pair;
-    bool isolation = false, sweep = false, json = false;
+    bool isolation = false, sweep = false;
     bool report = false;
+    bool scope_set = false;
     unsigned jobs = 0;
     double dram_factor = 0.0;
     PInteScope scope = PInteScope::LlcOnly;
+    ReportFormat format = ReportFormat::Table;
+    std::string out_path;
     MachineConfig machine = MachineConfig::scaled();
     ExperimentParams params;
 
-    auto need = [&](int &i, const char *flag) -> std::string {
-        if (i + 1 >= argc)
-            fatal(std::string("missing value for ") + flag);
-        return argv[++i];
-    };
-
     for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
+        std::string a = argv[i];
+        std::optional<std::string> inline_val;
+        if (a.rfind("--", 0) == 0) {
+            const auto eq = a.find('=');
+            if (eq != std::string::npos) {
+                inline_val = a.substr(eq + 1);
+                a = a.substr(0, eq);
+            }
+        }
+        auto need = [&]() -> std::string {
+            if (inline_val)
+                return *inline_val;
+            if (i + 1 >= argc)
+                fatal("missing value for " + a);
+            return argv[++i];
+        };
+        auto flag = [&]() {
+            if (inline_val)
+                fatal("option " + a + " takes no value");
+        };
+
         if (a == "-w" || a == "--workload") {
-            workload = need(i, a.c_str());
+            workload = need();
         } else if (a == "-p" || a == "--pinduce") {
-            pinduce = parseProbability(need(i, a.c_str()));
+            pinduce = parseProbability(need());
         } else if (a == "--sweep") {
+            flag();
             sweep = true;
         } else if (a == "--pair") {
-            pair = need(i, a.c_str());
+            pair = need();
         } else if (a == "--isolation") {
+            flag();
             isolation = true;
         } else if (a == "--policy") {
-            machine.llc.replacement =
-                parseReplacement(need(i, a.c_str()));
+            machine.llc.replacement = parseReplacement(need());
         } else if (a == "--inclusion") {
-            machine.llc.inclusion = parseInclusion(need(i, a.c_str()));
+            machine.llc.inclusion = parseInclusion(need());
         } else if (a == "--prefetch") {
-            machine.prefetch =
-                PrefetchConfig::parse(need(i, a.c_str()).c_str());
+            machine.prefetch = PrefetchConfig::parse(need().c_str());
         } else if (a == "--predictor") {
-            machine.core.predictor =
-                parsePredictor(need(i, a.c_str()));
+            machine.core.predictor = parsePredictor(need());
         } else if (a == "--scope") {
-            scope = parsePInteScope(need(i, a.c_str()));
+            scope = parsePInteScope(need());
+            scope_set = true;
         } else if (a == "--dram-complement") {
-            dram_factor = std::stod(need(i, a.c_str()));
+            dram_factor = parseReal(a, need());
         } else if (a == "--warmup") {
-            params.warmup = std::stoull(need(i, a.c_str()));
+            params.warmup = parseCount(a, need());
         } else if (a == "--roi") {
-            params.roi = std::stoull(need(i, a.c_str()));
+            params.roi = parseCount(a, need());
         } else if (a == "--sample") {
-            params.sampleEvery = std::stoull(need(i, a.c_str()));
+            params.sampleEvery = parseCount(a, need());
         } else if (a == "--seed") {
-            params.runSeed = std::stoull(need(i, a.c_str()));
+            params.runSeed = parseCount(a, need());
         } else if (a == "--jobs") {
-            jobs = static_cast<unsigned>(
-                std::stoul(need(i, a.c_str())));
+            jobs = static_cast<unsigned>(parseCount(a, need()));
+        } else if (a == "--format") {
+            format = parseReportFormat(need());
+        } else if (a == "--out") {
+            out_path = need();
         } else if (a == "--json") {
-            json = true;
+            flag();
+            format = ReportFormat::Json;
         } else if (a == "--report") {
+            flag();
             report = true;
         } else if (a == "--list") {
+            flag();
             for (const auto &s : fullZoo())
                 std::printf("%-16s %-14s footprint %5llu KB\n",
                             s.name.c_str(), toString(s.klass),
@@ -189,12 +170,6 @@ main(int argc, char **argv)
     }
 
     const WorkloadSpec spec = findWorkload(workload);
-    auto emit = [&](const RunResult &r) {
-        if (json)
-            printJson(r);
-        else
-            printText(r);
-    };
 
     if (report) {
         // A report run drives the machine directly so the full stats
@@ -213,30 +188,46 @@ main(int argc, char **argv)
         System sys(m, {&gen});
         sys.warmup(params.warmup);
         sys.runUntilCore0(params.roi);
-        printMachineReport(sys, std::cout);
+        Report rep(format, out_path,
+                   {"pintesim", m.fingerprint(), params});
+        emitMachineReport(sys, rep.sink());
         return 0;
     }
 
+    Report rep(format, out_path,
+               {"pintesim", machine.fingerprint(), params});
+    auto emit = [&](const RunResult &r) { rep->run(r); };
+
     if (pair) {
-        const auto [ra, rb] =
-            runPair(spec, findWorkload(*pair), machine, params);
-        emit(ra);
-        emit(rb);
+        const auto results = ExperimentSpec(machine)
+                                 .workload(spec)
+                                 .secondTrace(findWorkload(*pair))
+                                 .params(params)
+                                 .runAll();
+        for (const auto &r : results)
+            emit(r);
         return 0;
     }
 
     if (isolation || (!pinduce && !sweep)) {
-        emit(runIsolation(spec, machine, params));
+        emit(ExperimentSpec(machine)
+                 .workload(spec)
+                 .params(params)
+                 .run());
         return 0;
     }
 
     auto one = [&](double p) {
+        ExperimentSpec e(machine);
+        e.workload(spec).pinte(p).params(params);
+        // Unlike the old run* entry points, scope and the DRAM
+        // complement compose instead of the scope being silently
+        // dropped.
+        if (scope_set)
+            e.scope(scope);
         if (dram_factor > 0.0)
-            return runPInteDramComplement(spec, p, machine, params,
-                                          dram_factor);
-        if (scope != PInteScope::LlcOnly)
-            return runPInteScoped(spec, p, scope, machine, params);
-        return runPInte(spec, p, machine, params);
+            e.dramComplement(dram_factor);
+        return e.run();
     };
 
     if (sweep) {
