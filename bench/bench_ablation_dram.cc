@@ -72,8 +72,11 @@ matchedError(const std::map<int, GroupMean> &trace,
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const MachineConfig machine = MachineConfig::scaled();
@@ -111,23 +114,20 @@ main(int argc, char **argv)
             np + 2 * nk,
             [&](std::size_t i) {
                 if (i < np)
-                    return ExperimentSpec(machine)
+                    return campaignCell(opt, ExperimentSpec(machine)
                         .workload(spec)
                         .secondTrace(peers[i])
-                        .params(opt.params)
-                        .run();
+                        .params(opt.params));
                 if (i < np + nk)
-                    return ExperimentSpec(machine)
+                    return campaignCell(opt, ExperimentSpec(machine)
                         .workload(spec)
                         .pinte(sweep[i - np])
-                        .params(opt.params)
-                        .run();
-                return ExperimentSpec(machine)
+                        .params(opt.params));
+                return campaignCell(opt, ExperimentSpec(machine)
                     .workload(spec)
                     .pinte(sweep[i - np - nk])
                     .dramComplement()
-                    .params(opt.params)
-                    .run();
+                    .params(opt.params));
             },
             meter.asTick());
 
@@ -163,5 +163,13 @@ main(int argc, char **argv)
               "roughly unchanged (their DRAM");
     rep->note("traffic is contention-induced and already modeled by "
               "the evictions).");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

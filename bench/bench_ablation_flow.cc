@@ -43,8 +43,11 @@ const Variant variants[] = {
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const auto zoo = opt.zoo();
@@ -72,11 +75,10 @@ main(int argc, char **argv)
         const auto runs = opt.runner().map(
             nk * nw,
             [&](std::size_t idx) {
-                return ExperimentSpec(machine)
+                return campaignCell(opt, ExperimentSpec(machine)
                     .workload(zoo[idx % nw])
                     .pinte(sweep[idx / nw])
-                    .params(opt.params)
-                    .run();
+                    .params(opt.params));
             },
             meter.asTick());
 
@@ -127,5 +129,13 @@ main(int argc, char **argv)
               "unlike any real co-runner,");
     rep->note("                  whose fills always claim the eviction "
               "end");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

@@ -19,8 +19,11 @@
 using namespace pinte;
 using namespace pinte::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const MachineConfig machine = MachineConfig::scaled();
@@ -39,10 +42,9 @@ main(int argc, char **argv)
 
     for (const char *name : targets) {
         const WorkloadSpec spec = findWorkload(name);
-        const RunResult iso = ExperimentSpec(machine)
+        const RunResult iso = campaignCell(opt, ExperimentSpec(machine)
                                   .workload(spec)
-                                  .params(opt.params)
-                                  .run();
+                                  .params(opt.params));
 
         rep->note(spec.name + " (" + toString(spec.klass) +
                   ", isolation IPC " + fmt(iso.metrics.ipc, 3) + ")");
@@ -53,12 +55,11 @@ main(int argc, char **argv)
         const std::size_t ns = std::size(scopes);
         const auto runs = opt.runner().map(
             std::size(probs) * ns, [&](std::size_t idx) {
-                return ExperimentSpec(machine)
+                return campaignCell(opt, ExperimentSpec(machine)
                     .workload(spec)
                     .pinte(probs[idx / ns])
                     .scope(scopes[idx % ns])
-                    .params(opt.params)
-                    .run();
+                    .params(opt.params));
             });
         if (rep->wantsAllRuns()) {
             rep->run(iso);
@@ -90,5 +91,13 @@ main(int argc, char **argv)
               "on exactly those");
     rep->note("workloads, while the LLC-bound control responds to "
               "both.");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

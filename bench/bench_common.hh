@@ -22,11 +22,14 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -34,8 +37,10 @@
 #include <vector>
 
 #include "analysis/crg.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/journal.hh"
 #include "sim/options.hh"
 #include "sim/runner.hh"
 #include "sim/sink.hh"
@@ -50,8 +55,20 @@ struct BenchOptions
     ExperimentParams params;       //!< --roi=N, --warmup=N
     bool quiet = false;            //!< --quiet: suppress progress
     unsigned jobs = 0;             //!< --jobs=N: 0 = all host cores
+    double jobTimeout = 0.0;       //!< --job-timeout=S: 0 = off
     ReportFormat format = ReportFormat::Table; //!< --format=FMT
     std::string outPath;           //!< --out=FILE, empty = stdout
+
+    /** --resume=FILE: completed-run journal, shared by every family. */
+    std::shared_ptr<RunJournal> journal;
+
+    /**
+     * Campaign failure ledger: quarantined cells recorded by
+     * campaignCell()/campaignCellAll(). Shared across copies of the
+     * options so every family of a bench feeds one count.
+     */
+    std::shared_ptr<std::atomic<std::size_t>> failures =
+        std::make_shared<std::atomic<std::size_t>>(0);
 
     /**
      * Parse argv; unknown flags are fatal.
@@ -76,6 +93,10 @@ struct BenchOptions
             } else if (a.rfind("--jobs=", 0) == 0) {
                 o.jobs = static_cast<unsigned>(
                     parseCount("--jobs", a.substr(7)));
+            } else if (a.rfind("--job-timeout=", 0) == 0) {
+                o.jobTimeout = parseReal("--job-timeout", a.substr(14));
+            } else if (a.rfind("--resume=", 0) == 0) {
+                o.journal = std::make_shared<RunJournal>(a.substr(9));
             } else if (a.rfind("--roi=", 0) == 0) {
                 o.params.roi = parseCount("--roi", a.substr(6));
             } else if (a.rfind("--warmup=", 0) == 0) {
@@ -85,10 +106,13 @@ struct BenchOptions
             } else if (a.rfind("--out=", 0) == 0) {
                 o.outPath = a.substr(6);
             } else {
-                fatal("unknown bench option: " + a +
-                      " (use --full/--small/--quiet/--jobs=N/"
-                      "--roi=N/--warmup=N/--format=table|json|csv/"
-                      "--out=FILE)");
+                throw ConfigError(
+                    "unknown bench option: " + a +
+                        " (use --full/--small/--quiet/--jobs=N/"
+                        "--job-timeout=S/--resume=FILE/"
+                        "--roi=N/--warmup=N/--format=table|json|csv/"
+                        "--out=FILE)",
+                    {"bench", "", a});
             }
         }
         return o;
@@ -100,11 +124,14 @@ struct BenchOptions
         return fullZoo ? pinte::fullZoo() : smallZoo();
     }
 
-    /** A worker pool sized by --jobs (default: all host cores). */
+    /** A worker pool sized by --jobs (default: all host cores),
+     *  with the --job-timeout hang watchdog armed. */
     Runner
     runner() const
     {
-        return Runner(jobs);
+        Runner r(jobs);
+        r.jobTimeout(jobTimeout);
+        return r;
     }
 
     /**
@@ -119,6 +146,124 @@ struct BenchOptions
                       {tool, machine.fingerprint(), params});
     }
 };
+
+/**
+ * Run one fault-isolated campaign cell (all cores of one experiment):
+ * serve it from the --resume journal when already completed, otherwise
+ * tryRun it — a fault becomes a quarantined failed() placeholder (and
+ * a failure-ledger increment) instead of killing the campaign — and
+ * journal a fresh success durably before returning.
+ */
+inline std::vector<RunResult>
+campaignCellAll(const BenchOptions &opt, const ExperimentSpec &spec)
+{
+    const std::size_t ncores =
+        spec.workloads().empty() ? 1 : spec.workloads().size();
+    std::vector<std::string> keys;
+    if (opt.journal && !spec.workloads().empty()) {
+        MachineConfig m = spec.machineConfig();
+        m.numCores = static_cast<unsigned>(ncores);
+        const std::string fp = m.fingerprint();
+        for (std::size_t i = 0; i < ncores; ++i)
+            keys.push_back(journalKey(fp, spec.experimentParams(),
+                                      spec.workloads()[i].name,
+                                      spec.contention(i)));
+        // The cell resumes only when every core of it was journaled
+        // (they complete atomically, so either all or none are).
+        std::vector<RunResult> cached;
+        for (const auto &key : keys) {
+            const RunResult *done = opt.journal->find(key);
+            if (!done)
+                break;
+            cached.push_back(*done);
+        }
+        if (cached.size() == ncores)
+            return cached;
+    }
+
+    auto outcomes = spec.tryRunAll();
+    std::vector<RunResult> results;
+    results.reserve(outcomes.size());
+    bool ok = true;
+    for (auto &o : outcomes) {
+        ok = ok && o.ok();
+        results.push_back(std::move(o.result));
+    }
+    if (!ok)
+        opt.failures->fetch_add(1, std::memory_order_relaxed);
+    else if (!keys.empty())
+        for (std::size_t i = 0; i < results.size(); ++i)
+            opt.journal->record(keys[i], results[i]);
+    return results;
+}
+
+/** Single-core campaignCellAll(): returns core 0's result. */
+inline RunResult
+campaignCell(const BenchOptions &opt, const ExperimentSpec &spec)
+{
+    if (opt.journal) {
+        MachineConfig m = spec.machineConfig();
+        m.numCores = static_cast<unsigned>(
+            spec.workloads().empty() ? 1 : spec.workloads().size());
+        const std::string key =
+            journalKey(m.fingerprint(), spec.experimentParams(),
+                       spec.workloads().empty()
+                           ? std::string("?")
+                           : spec.workloads().front().name,
+                       spec.contention());
+        if (const RunResult *done = opt.journal->find(key))
+            return *done;
+        RunOutcome o = spec.tryRun();
+        if (o.ok())
+            opt.journal->record(key, o.result);
+        else
+            opt.failures->fetch_add(1, std::memory_order_relaxed);
+        return std::move(o.result);
+    }
+    RunOutcome o = spec.tryRun();
+    if (!o.ok())
+        opt.failures->fetch_add(1, std::memory_order_relaxed);
+    return std::move(o.result);
+}
+
+/**
+ * Finish a bench: publish the report (atomically, for --out),
+ * summarizing quarantined failures first, and return the process exit
+ * code — nonzero when any campaign cell failed, so scripted campaigns
+ * cannot mistake a partial population for a complete one.
+ */
+inline int
+campaignExit(const BenchOptions &opt, Report &rep)
+{
+    const std::size_t failed = opt.failures->load();
+    if (failed) {
+        rep->note("");
+        rep->note("WARNING: " + std::to_string(failed) +
+                  " campaign cell(s) failed and were excluded from "
+                  "the reductions above");
+    }
+    rep.close();
+    if (failed)
+        std::fprintf(stderr, "bench: %zu campaign cell(s) failed\n",
+                     failed);
+    return failed ? 1 : 0;
+}
+
+/**
+ * main() shim shared by every bench: run `fn`, converting an escaped
+ * library exception into the one-line `fatal:` UX (and exit code 1)
+ * the old process-killing fatal() provided.
+ */
+inline int
+guardedMain(int (*fn)(int, char **), int argc, char **argv)
+{
+    try {
+        return fn(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}
 
 /**
  * Progress ticker on stderr (tables go to stdout).
@@ -264,10 +409,9 @@ isolationBaseline(const std::vector<WorkloadSpec> &zoo,
     auto results = opt.runner().map(
         zoo.size(),
         [&](std::size_t i) {
-            return ExperimentSpec(machine)
-                .workload(zoo[i])
-                .params(opt.params)
-                .run();
+            return campaignCell(opt, ExperimentSpec(machine)
+                                         .workload(zoo[i])
+                                         .params(opt.params));
         },
         meter.asTick());
 
@@ -296,11 +440,10 @@ runPInteFamily(Campaign &c, const MachineConfig &machine,
     auto flat = opt.runner().map(
         n * k,
         [&](std::size_t idx) {
-            return ExperimentSpec(machine)
-                .workload(c.zoo[idx / k])
-                .pinte(sweep[idx % k])
-                .params(opt.params)
-                .run();
+            return campaignCell(opt, ExperimentSpec(machine)
+                                         .workload(c.zoo[idx / k])
+                                         .pinte(sweep[idx % k])
+                                         .params(opt.params));
         },
         meter.asTick());
 
@@ -327,11 +470,11 @@ runPairFamily(Campaign &c, const MachineConfig &machine,
     auto results = opt.runner().map(
         pairs.size(),
         [&](std::size_t t) {
-            return ExperimentSpec(machine)
-                .workload(c.zoo[pairs[t].first])
-                .secondTrace(c.zoo[pairs[t].second])
-                .params(opt.params)
-                .runAll();
+            return campaignCellAll(
+                opt, ExperimentSpec(machine)
+                         .workload(c.zoo[pairs[t].first])
+                         .secondTrace(c.zoo[pairs[t].second])
+                         .params(opt.params));
         },
         meter.asTick());
 
@@ -354,9 +497,12 @@ inline std::vector<double>
 poolSamples(const std::vector<RunResult> &runs, Getter get)
 {
     std::vector<double> out;
-    for (const auto &r : runs)
+    for (const auto &r : runs) {
+        if (r.failed())
+            continue;
         for (const auto &s : r.samples)
             out.push_back(get(s));
+    }
     return out;
 }
 
@@ -376,9 +522,11 @@ crgMatchedReuse(const std::vector<RunResult> &pinte_runs,
 {
     std::set<int> pg, tg;
     for (const auto &r : pinte_runs)
-        pg.insert(crgGroup(r.metrics.interferenceRate, gran));
+        if (!r.failed())
+            pg.insert(crgGroup(r.metrics.interferenceRate, gran));
     for (const auto &r : trace_runs)
-        tg.insert(crgGroup(r.metrics.interferenceRate, gran));
+        if (!r.failed())
+            tg.insert(crgGroup(r.metrics.interferenceRate, gran));
     std::set<int> both;
     for (int g : pg)
         if (tg.count(g))
@@ -387,12 +535,14 @@ crgMatchedReuse(const std::vector<RunResult> &pinte_runs,
     Histogram hp(buckets), ht(buckets);
     const bool restrict_groups = !both.empty();
     for (const auto &r : pinte_runs)
-        if (!restrict_groups ||
-            both.count(crgGroup(r.metrics.interferenceRate, gran)))
+        if (!r.failed() &&
+            (!restrict_groups ||
+             both.count(crgGroup(r.metrics.interferenceRate, gran))))
             hp.merge(r.reuse);
     for (const auto &r : trace_runs)
-        if (!restrict_groups ||
-            both.count(crgGroup(r.metrics.interferenceRate, gran)))
+        if (!r.failed() &&
+            (!restrict_groups ||
+             both.count(crgGroup(r.metrics.interferenceRate, gran))))
             ht.merge(r.reuse);
     return {std::move(hp), std::move(ht)};
 }

@@ -60,8 +60,11 @@ emitDistribution(ReportSink &sink, const std::string &label,
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv, true);
     const MachineConfig machine = MachineConfig::scaled();
@@ -104,5 +107,13 @@ main(int argc, char **argv)
     rep->note("share of experiments below 10% contention: 2nd-Trace " +
               fmtPct(low_share(pair_rates)) + ", PInTE " +
               fmtPct(low_share(pinte_rates)));
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

@@ -23,8 +23,11 @@
 using namespace pinte;
 using namespace pinte::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
@@ -50,11 +53,10 @@ main(int argc, char **argv)
         // 14 of 16 ways for the benchmarks, 2 reserved (the paper
         // reserves 1MB of 11MB for system processes via RDT).
         MachineConfig real = MachineConfig::serverProxy(2, false);
-        const RunResult iso_real =
-            ExperimentSpec(MachineConfig::serverProxy(1, false))
-                .workload(spec)
-                .params(opt.params)
-                .run();
+        const RunResult iso_real = campaignCell(
+            opt, ExperimentSpec(MachineConfig::serverProxy(1, false))
+                     .workload(spec)
+                     .params(opt.params));
 
         struct Point
         {
@@ -106,18 +108,18 @@ main(int argc, char **argv)
         // --- (b) PInTE on the halved-DRAM server model.
         const MachineConfig pinte_machine =
             MachineConfig::serverProxy(1, true);
-        const RunResult iso_pinte = ExperimentSpec(pinte_machine)
-                                        .workload(spec)
-                                        .params(opt.params)
-                                        .run();
+        const RunResult iso_pinte =
+            campaignCell(opt, ExperimentSpec(pinte_machine)
+                                  .workload(spec)
+                                  .params(opt.params));
         const auto &sweep = standardPInduceSweep();
         const std::vector<Point> pinte_pts = opt.runner().map(
             sweep.size(), [&](std::size_t k) {
-                const RunResult r = ExperimentSpec(pinte_machine)
-                                        .workload(spec)
-                                        .pinte(sweep[k])
-                                        .params(opt.params)
-                                        .run();
+                const RunResult r =
+                    campaignCell(opt, ExperimentSpec(pinte_machine)
+                                          .workload(spec)
+                                          .pinte(sweep[k])
+                                          .params(opt.params));
                 return Point{
                     100.0 * r.metrics.interferenceRate,
                     100.0 * (r.metrics.ipc / iso_pinte.metrics.ipc -
@@ -154,5 +156,13 @@ main(int argc, char **argv)
               "insensitive on both sides");
     rep->note("but at opposite ends of the occupancy axis (it barely "
               "occupies the LLC).");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

@@ -71,11 +71,10 @@ runRow(const StudyRow &row, const std::vector<WorkloadSpec> &zoo,
             const std::size_t v = idx / (nw * nk);
             const std::size_t w = (idx / nk) % nw;
             const std::size_t k = idx % nk;
-            results[k][v][w] = ExperimentSpec(machines[v])
+            results[k][v][w] = campaignCell(opt, ExperimentSpec(machines[v])
                                    .workload(zoo[w])
                                    .pinte(sweep[k])
-                                   .params(opt.params)
-                                   .run()
+                                   .params(opt.params))
                                    .metrics;
         },
         meter.asTick());
@@ -156,8 +155,11 @@ runRow(const StudyRow &row, const std::vector<WorkloadSpec> &zoo,
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const auto zoo = opt.zoo();
@@ -255,5 +257,13 @@ main(int argc, char **argv)
     rep->note("  - branch prediction: effective predictors matter "
               "MORE under contention (ties");
     rep->note("    decrease; miss criticality grows)");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

@@ -56,8 +56,11 @@ showCounters(const Cache &c, const char *who, CoreId id)
 
 } // namespace
 
+namespace
+{
+
 int
-main()
+benchMain()
 {
     std::cout << "FIG 2: Real vs induced block theft in a 4-way set\n\n";
 
@@ -130,4 +133,17 @@ main()
                      "real inter-core evictions in (a).\n";
     }
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    try {
+        return benchMain();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
 }

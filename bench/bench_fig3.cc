@@ -19,8 +19,11 @@
 using namespace pinte;
 using namespace pinte::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     BenchOptions opt = BenchOptions::parse(argc, argv);
     const MachineConfig machine = MachineConfig::scaled();
@@ -41,11 +44,10 @@ main(int argc, char **argv)
             const std::size_t k = (idx / reruns) % nk;
             ExperimentParams params = opt.params;
             params.runSeed = static_cast<std::uint64_t>(idx % reruns);
-            const RunResult r = ExperimentSpec(machine)
+            const RunResult r = campaignCell(opt, ExperimentSpec(machine)
                                     .workload(zoo[w])
                                     .pinte(sweep[k])
-                                    .params(params)
-                                    .run();
+                                    .params(params));
             return std::pair<double, double>(r.metrics.missRate,
                                              r.metrics.ipc);
         },
@@ -122,5 +124,13 @@ main(int argc, char **argv)
               fmt(summarize(all_ipc).median, 5) +
               "  (paper: <0.00125 and <0.011 respectively;");
     rep->note("   one simulation per configuration is trustworthy)");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

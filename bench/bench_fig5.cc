@@ -48,8 +48,11 @@ emitPair(ReportSink &sink, const std::string &label,
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     BenchOptions opt = BenchOptions::parse(argc, argv);
     const MachineConfig machine = MachineConfig::scaled();
@@ -91,16 +94,14 @@ main(int argc, char **argv)
             sweep.size() + peers.size(),
             [&](std::size_t i) {
                 if (i < sweep.size())
-                    return ExperimentSpec(machine)
+                    return campaignCell(opt, ExperimentSpec(machine)
                         .workload(spec)
                         .pinte(sweep[i])
-                        .params(opt.params)
-                        .run();
-                return ExperimentSpec(machine)
+                        .params(opt.params));
+                return campaignCell(opt, ExperimentSpec(machine)
                     .workload(spec)
                     .secondTrace(peers[i - sweep.size()])
-                    .params(opt.params)
-                    .run();
+                    .params(opt.params));
             },
             meter.asTick());
 
@@ -130,5 +131,13 @@ main(int argc, char **argv)
               " < " + fmt(kls[2], 3) + " : " +
               ((kls[0] < kls[1] && kls[1] < kls[2]) ? "HOLDS"
                                                     : "VIOLATED"));
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

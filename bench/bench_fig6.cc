@@ -63,8 +63,11 @@ randomBound(const Histogram &reference, double keep_pct, Rng &rng)
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv, true);
     const MachineConfig machine = MachineConfig::scaled();
@@ -171,5 +174,13 @@ main(int argc, char **argv)
                    Cell::pct(b.wbShare)});
     }
     rep->table(rc);
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

@@ -51,8 +51,11 @@ const MetricDef metricDefs[] = {
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv, true);
     const MachineConfig machine = MachineConfig::scaled();
@@ -152,5 +155,13 @@ main(int argc, char **argv)
     rep->note("paper's headline: ~92% of 2nd-Trace results matched "
               "within +/-5% contention rate,");
     rep->note("IPC information distance 0.03 bits.");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

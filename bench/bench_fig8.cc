@@ -87,8 +87,11 @@ classChar(SensitivityClass c)
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv, true);
     const MachineConfig machine = MachineConfig::scaled();
@@ -172,5 +175,13 @@ main(int argc, char **argv)
               "leslie3d, libquantum, astar,");
     rep->note("wrf, xalancbmk, gcc — PInTE cannot mimic contention "
               "past the LLC)");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

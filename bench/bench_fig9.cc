@@ -30,8 +30,11 @@ boxplot(const SummaryStats &s)
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv, true);
     const MachineConfig machine = MachineConfig::scaled();
@@ -80,5 +83,13 @@ main(int argc, char **argv)
               " DRAM-bound workloads: a real co-runner also contends");
     rep->note("for DRAM banks and bandwidth, which PInTE (LLC-only) "
               "does not model — section V-C.");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

@@ -36,8 +36,11 @@ choose(std::uint64_t n, std::uint64_t k)
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const auto zoo = opt.zoo();
@@ -70,10 +73,9 @@ main(int argc, char **argv)
                 std::vector<WorkloadSpec> mix;
                 for (unsigned j = 0; j < k; ++j)
                     mix.push_back(zoo[(s * 7 + j * 3) % zoo.size()]);
-                return ExperimentSpec(machine)
+                return campaignCell(opt, ExperimentSpec(machine)
                     .mix(mix)
-                    .params(opt.params)
-                    .run()
+                    .params(opt.params))
                     .cpuSeconds;
             },
             meter.asTick());
@@ -90,11 +92,10 @@ main(int argc, char **argv)
     {
         const std::vector<double> costs = opt.runner().map(
             std::size_t{6}, [&](std::size_t s) {
-                return ExperimentSpec(machine)
+                return campaignCell(opt, ExperimentSpec(machine)
                     .workload(zoo[(s * 5) % zoo.size()])
                     .pinte(0.1)
-                    .params(opt.params)
-                    .run()
+                    .params(opt.params))
                     .cpuSeconds;
             });
         const double avg = mean(costs);
@@ -111,5 +112,13 @@ main(int argc, char **argv)
               "simulations of 3 cores each,");
     rep->note("while the PInTE sweep stays linear (12n) at "
               "single-core cost.");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

@@ -18,8 +18,11 @@
 using namespace pinte;
 using namespace pinte::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv, true);
     const MachineConfig machine = MachineConfig::scaled();
@@ -93,5 +96,13 @@ main(int argc, char **argv)
               fmt(avg_pair / avg_pinte, 2) + "x (2.2x)");
     rep->note("  total time:  2nd-Trace/PInTE = " +
               fmt(tot_pair / tot_pinte, 2) + "x (5.6x)");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

@@ -88,8 +88,11 @@ marker(const ErrorRow &e)
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv, true);
     const MachineConfig machine = MachineConfig::scaled();
@@ -186,5 +189,13 @@ main(int argc, char **argv)
     rep->note("over-estimates performance, because it induces less "
               "memory-system pressure than a");
     rep->note("real co-runner).");
-    return 0;
+    return campaignExit(opt, rep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pinte::bench::guardedMain(benchMain, argc, argv);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -42,9 +43,13 @@ Cache::Cache(const CacheConfig &config, MemoryLevel *next)
       indexBits_(floorLog2(config.numSets))
 {
     if (!isPowerOfTwo(config.numSets))
-        fatal("cache '" + config.name + "': numSets must be a power of 2");
+        throw ConfigError("cache '" + config.name +
+                              "': numSets must be a power of 2",
+                          {"cache", "", std::to_string(config.numSets)});
     if (config.assoc > 64)
-        fatal("cache '" + config.name + "': assoc > 64 unsupported");
+        throw ConfigError("cache '" + config.name +
+                              "': assoc > 64 unsupported",
+                          {"cache", "", std::to_string(config.assoc)});
 }
 
 unsigned
@@ -105,10 +110,11 @@ void
 Cache::setWayMask(CoreId core, std::uint64_t mask)
 {
     if (core >= wayMasks_.size())
-        fatal("setWayMask: core id out of range");
+        throw ConfigError("setWayMask: core id out of range",
+                          {"cache", "", std::to_string(core)});
     if ((mask & ((config_.assoc >= 64) ? ~0ull
                                        : ((1ull << config_.assoc) - 1))) == 0)
-        fatal("setWayMask: mask allows no ways");
+        throw ConfigError("setWayMask: mask allows no ways", {"cache", "", ""});
     wayMasks_[core] = mask;
 }
 

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Typed error hierarchy for the simulation library.
+ *
+ * Library code never exits the process: recoverable failures throw a
+ * pinte::Error subclass carrying structured context (which component
+ * failed, which path/flag, which offending value) so the campaign
+ * layer can quarantine a single bad job while the rest of a sweep
+ * completes. Entry points (pintesim, the benches) catch Error at
+ * main() and keep the historical one-line `fatal: ...` UX for single
+ * runs; fatal()/panic() in logging.hh remain for top-level code and
+ * for internal-inconsistency aborts respectively.
+ *
+ * Taxonomy:
+ *  - ConfigError: bad user input — unknown flag values, impossible
+ *    cache geometry, malformed workload specs. Deterministic: the
+ *    same configuration always fails the same way.
+ *  - TraceError: a trace file is missing, truncated, corrupt, or the
+ *    wrong version. Carries the file path.
+ *  - SimError: a failure while a simulation was running — I/O on
+ *    artifacts, an injected fault, a resource failure.
+ *  - TimeoutError (a SimError): the per-job watchdog saw no
+ *    instruction progress within --job-timeout seconds.
+ */
+
+#ifndef PINTE_COMMON_ERROR_HH
+#define PINTE_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pinte
+{
+
+/** Coarse class of a pinte::Error, stable across the report schema. */
+enum class ErrorKind
+{
+    Config,  //!< bad user input or configuration
+    Trace,   //!< trace file missing/corrupt/truncated/wrong version
+    Sim,     //!< runtime failure while simulating or writing artifacts
+    Timeout, //!< per-job watchdog expired without instruction progress
+};
+
+/** Printable name of an error kind ("config", "trace", ...). */
+inline const char *
+toString(ErrorKind k)
+{
+    switch (k) {
+      case ErrorKind::Config: return "config";
+      case ErrorKind::Trace: return "trace";
+      case ErrorKind::Sim: return "sim";
+      case ErrorKind::Timeout: return "timeout";
+    }
+    return "unknown";
+}
+
+/**
+ * Base of every recoverable library error. what() is the same
+ * human-readable one-liner fatal() used to print; the structured
+ * fields feed the report schema's per-run error block.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    /** Structured context; any field may be empty. */
+    struct Context
+    {
+        std::string component; //!< subsystem, e.g. "trace_io", "cache:LLC"
+        std::string path;      //!< file path, flag, or stat path involved
+        std::string value;     //!< the offending value, rendered as text
+    };
+
+    Error(ErrorKind kind, const std::string &message, Context ctx = {})
+        : std::runtime_error(message), kind_(kind), ctx_(std::move(ctx))
+    {
+    }
+
+    ErrorKind kind() const { return kind_; }
+    const std::string &component() const { return ctx_.component; }
+    const std::string &path() const { return ctx_.path; }
+    const std::string &value() const { return ctx_.value; }
+
+  private:
+    ErrorKind kind_;
+    Context ctx_;
+};
+
+/** Bad user input or configuration (replaces most fatal() calls). */
+class ConfigError : public Error
+{
+  public:
+    explicit ConfigError(const std::string &message, Context ctx = {})
+        : Error(ErrorKind::Config, message, std::move(ctx))
+    {
+    }
+};
+
+/** A trace file could not be opened, read, or validated. */
+class TraceError : public Error
+{
+  public:
+    explicit TraceError(const std::string &message, Context ctx = {})
+        : Error(ErrorKind::Trace, message, std::move(ctx))
+    {
+    }
+};
+
+/** A failure while a simulation or artifact write was in flight. */
+class SimError : public Error
+{
+  public:
+    explicit SimError(const std::string &message, Context ctx = {})
+        : Error(ErrorKind::Sim, message, std::move(ctx))
+    {
+    }
+
+  protected:
+    SimError(ErrorKind kind, const std::string &message, Context ctx)
+        : Error(kind, message, std::move(ctx))
+    {
+    }
+};
+
+/** The per-job watchdog saw no instruction progress in time. */
+class TimeoutError : public SimError
+{
+  public:
+    explicit TimeoutError(const std::string &message, Context ctx = {})
+        : SimError(ErrorKind::Timeout, message, std::move(ctx))
+    {
+    }
+};
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_ERROR_HH

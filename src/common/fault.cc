@@ -1,0 +1,59 @@
+#include "fault.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace pinte
+{
+
+namespace
+{
+
+/** Parsed once from PINTE_INJECT_FAULT on first use. */
+struct FaultPlan
+{
+    bool armed = false;
+    std::string kind;
+    unsigned long long nth = 1;
+    std::atomic<unsigned long long> hits{0};
+
+    FaultPlan()
+    {
+        const char *env = std::getenv("PINTE_INJECT_FAULT");
+        if (!env || !*env)
+            return;
+        const std::string s(env);
+        const auto colon = s.rfind(':');
+        kind = s.substr(0, colon);
+        if (colon != std::string::npos) {
+            const std::string n = s.substr(colon + 1);
+            if (!n.empty() &&
+                n.find_first_not_of("0123456789") == std::string::npos)
+                nth = std::strtoull(n.c_str(), nullptr, 10);
+        }
+        if (nth == 0)
+            nth = 1;
+        armed = !kind.empty();
+    }
+};
+
+FaultPlan &
+plan()
+{
+    static FaultPlan p;
+    return p;
+}
+
+} // namespace
+
+bool
+faultInjected(const char *kind)
+{
+    FaultPlan &p = plan();
+    if (!p.armed || p.kind != kind)
+        return false;
+    return p.hits.fetch_add(1, std::memory_order_relaxed) + 1 == p.nth;
+}
+
+} // namespace pinte

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deterministic fault injection for the failure-model test suite.
+ *
+ * Setting PINTE_INJECT_FAULT=kind:nth arms exactly one fault: the nth
+ * dynamic hit of the injection site named `kind` (1-based; ":nth"
+ * defaults to 1) reports true and the site raises its natural typed
+ * error. The hook is compiled in unconditionally — when the variable
+ * is unset the cost per site is one branch on a cached bool — so CI
+ * and release binaries exercise identical code paths.
+ *
+ * Sites wired today:
+ *  - "job"          ExperimentSpec::runAll() entry — a whole
+ *                   simulation job fails with a SimError
+ *  - "hang"         ExperimentSpec::runAll() after warmup — the job
+ *                   stops making instruction progress (watchdog food)
+ *  - "trace-open"   FileTraceSource constructor — TraceError
+ *  - "report-write" AtomicFile::commit() — the artifact write fails
+ *                   after the temp file is fully written
+ *
+ * The hit counter is global and atomic, so "job:3" poisons the third
+ * job started process-wide regardless of worker interleaving; which
+ * campaign index that is stays deterministic at jobs=1 and, for
+ * campaigns that pre-assign work by index, at any job count.
+ */
+
+#ifndef PINTE_COMMON_FAULT_HH
+#define PINTE_COMMON_FAULT_HH
+
+namespace pinte
+{
+
+/**
+ * True exactly once: on the nth dynamic hit of the armed site.
+ * Always false when PINTE_INJECT_FAULT is unset or names another site.
+ */
+bool faultInjected(const char *kind);
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_FAULT_HH

@@ -12,6 +12,15 @@ Histogram::Histogram(std::size_t buckets)
         fatal("Histogram requires at least one bucket");
 }
 
+Histogram
+Histogram::fromCounts(const std::vector<std::uint64_t> &counts)
+{
+    Histogram h(counts.empty() ? 1 : counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        h.add(i, counts[i]);
+    return h;
+}
+
 void
 Histogram::add(std::size_t b, std::uint64_t count)
 {

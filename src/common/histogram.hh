@@ -29,6 +29,12 @@ class Histogram
     /** Create a histogram with `buckets` zeroed buckets. */
     explicit Histogram(std::size_t buckets);
 
+    /**
+     * Rebuild a histogram from serialized bucket counts (the resume
+     * journal round-trips reuse histograms through JSON).
+     */
+    static Histogram fromCounts(const std::vector<std::uint64_t> &counts);
+
     /** Record one observation in bucket `b` (clamped). */
     void add(std::size_t b, std::uint64_t count = 1);
 

@@ -1,5 +1,6 @@
 #include "pinte.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -20,7 +21,8 @@ PInte::PInte(const PInteConfig &config)
     : config_(config), rng_(config.seed)
 {
     if (config.pInduce < 0.0 || config.pInduce > 1.0)
-        fatal("P_Induce must lie in [0, 1]");
+        throw ConfigError("P_Induce must lie in [0, 1]",
+                          {"pinte", "", std::to_string(config.pInduce)});
 }
 
 void

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -24,7 +25,7 @@ SlotCalendar::SlotCalendar(Cycle granularity, std::size_t slots)
     : gran_(granularity ? granularity : 1), booked_(slots, 0)
 {
     if (slots == 0)
-        fatal("SlotCalendar needs at least one slot");
+        throw ConfigError("SlotCalendar needs at least one slot", {"dram", "", ""});
 }
 
 Cycle
@@ -72,7 +73,7 @@ Dram::Dram(const DramConfig &config)
     if (!isPowerOfTwo(config.channels) ||
         !isPowerOfTwo(config.banksPerChannel) ||
         !isPowerOfTwo(config.linesPerRow)) {
-        fatal("DRAM geometry must be powers of two");
+        throw ConfigError("DRAM geometry must be powers of two", {"dram", "", ""});
     }
     for (std::size_t i = 0; i < banks_.size(); ++i)
         bankCal_.emplace_back(bankSlotGran, calendarWindow / bankSlotGran);

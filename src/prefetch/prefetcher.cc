@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/bitops.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -153,17 +154,21 @@ PrefetchConfig
 PrefetchConfig::parse(const char *str)
 {
     if (!str || std::strlen(str) != 3)
-        fatal(std::string("prefetch config must be 3 characters over "
-                          "(L1I, L1D, L2), e.g. 000, NN0, NNN, NNI") +
-              (str ? std::string(": got '") + str + "'" : ""));
+        throw ConfigError(
+            std::string("prefetch config must be 3 characters over "
+                        "(L1I, L1D, L2), e.g. 000, NN0, NNN, NNI") +
+                (str ? std::string(": got '") + str + "'" : ""),
+            {"prefetch", "", str ? str : ""});
     auto decode = [&](char c) {
         switch (c) {
           case '0': return PrefetcherKind::None;
           case 'N': return PrefetcherKind::NextLine;
           case 'I': return PrefetcherKind::IpStride;
           default:
-            fatal(std::string("bad prefetch config char: ") + c +
-                  " (valid: 0 = none, N = next-line, I = ip-stride)");
+            throw ConfigError(
+                std::string("bad prefetch config char: ") + c +
+                    " (valid: 0 = none, N = next-line, I = ip-stride)",
+                {"prefetch", "", std::string(1, c)});
         }
     };
     PrefetchConfig cfg;

@@ -85,7 +85,10 @@ struct PrefetchConfig
     PrefetcherKind l1d = PrefetcherKind::None;
     PrefetcherKind l2 = PrefetcherKind::None;
 
-    /** Parse a 3-character config string; fatal() on bad input. */
+    /**
+     * Parse a 3-character config string.
+     * @throws ConfigError on bad input, listing the valid letters.
+     */
     static PrefetchConfig parse(const char *str);
 
     /** Render back to the 3-character string form. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pinte
@@ -25,7 +26,8 @@ ReplacementPolicy::ReplacementPolicy(unsigned num_sets, unsigned assoc)
     : numSets_(num_sets), assoc_(assoc)
 {
     if (num_sets == 0 || assoc == 0)
-        fatal("replacement policy needs sets > 0 and assoc > 0");
+        throw ConfigError("replacement policy needs sets > 0 and assoc > 0",
+                          {"replacement", "", ""});
 }
 
 unsigned
@@ -116,7 +118,8 @@ class PseudoLru : public ReplacementPolicy
           bits_(static_cast<std::size_t>(num_sets) * (assoc - 1), false)
     {
         if ((assoc & (assoc - 1)) != 0)
-            fatal("pLRU requires power-of-two associativity");
+            throw ConfigError("pLRU requires power-of-two associativity",
+                              {"replacement", "", std::to_string(assoc_)});
     }
 
     unsigned

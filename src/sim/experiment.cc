@@ -1,10 +1,14 @@
 #include "experiment.hh"
 
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 #include <algorithm>
 #include <ctime>
 #include <memory>
+
+#include "sim/watchdog.hh"
 
 namespace pinte
 {
@@ -199,10 +203,12 @@ ExperimentSpec &
 ExperimentSpec::workload(const WorkloadSpec &spec)
 {
     if (mixMode_)
-        fatal("ExperimentSpec: workload() cannot follow mix()");
+        throw ConfigError("ExperimentSpec: workload() cannot follow mix()",
+                          {"experiment", "", spec.name});
     if (!workloads_.empty())
-        fatal("ExperimentSpec: primary workload already set "
-              "(use secondTrace() or mix() for co-runners)");
+        throw ConfigError("ExperimentSpec: primary workload already set "
+                          "(use secondTrace() or mix() for co-runners)",
+                          {"experiment", "", spec.name});
     workloads_.push_back(spec);
     return *this;
 }
@@ -211,10 +217,13 @@ ExperimentSpec &
 ExperimentSpec::mix(const std::vector<WorkloadSpec> &specs)
 {
     if (!workloads_.empty() || mixMode_ || pairMode_)
-        fatal("ExperimentSpec: mix() replaces all workloads and "
-              "cannot follow workload()/secondTrace()");
+        throw ConfigError("ExperimentSpec: mix() replaces all workloads "
+                          "and cannot follow workload()/secondTrace()",
+                          {"experiment", "", ""});
     if (pinteSet_)
-        fatal("ExperimentSpec: pinte() does not combine with mix()");
+        throw ConfigError("ExperimentSpec: pinte() does not combine "
+                          "with mix()",
+                          {"experiment", "", ""});
     workloads_ = specs;
     mixMode_ = true;
     return *this;
@@ -224,13 +233,18 @@ ExperimentSpec &
 ExperimentSpec::secondTrace(const WorkloadSpec &peer)
 {
     if (mixMode_ || pairMode_)
-        fatal("ExperimentSpec: secondTrace() requires exactly one "
-              "prior workload() and no mix()");
+        throw ConfigError("ExperimentSpec: secondTrace() requires exactly "
+                          "one prior workload() and no mix()",
+                          {"experiment", "", peer.name});
     if (workloads_.size() != 1)
-        fatal("ExperimentSpec: call workload() before secondTrace()");
+        throw ConfigError("ExperimentSpec: call workload() before "
+                          "secondTrace()",
+                          {"experiment", "", peer.name});
     if (pinteSet_)
-        fatal("ExperimentSpec: pinte() does not combine with "
-              "secondTrace() — the 2nd trace is the contention source");
+        throw ConfigError("ExperimentSpec: pinte() does not combine with "
+                          "secondTrace() — the 2nd trace is the "
+                          "contention source",
+                          {"experiment", "", peer.name});
     workloads_.push_back(peer);
     pairMode_ = true;
     return *this;
@@ -240,11 +254,13 @@ ExperimentSpec &
 ExperimentSpec::pinte(double p_induce)
 {
     if (pairMode_ || mixMode_)
-        fatal("ExperimentSpec: pinte() does not combine with "
-              "secondTrace()/mix()");
+        throw ConfigError("ExperimentSpec: pinte() does not combine with "
+                          "secondTrace()/mix()",
+                          {"experiment", "", ""});
     if (p_induce < 0.0 || p_induce > 1.0)
-        fatal("ExperimentSpec: P_Induce out of [0, 1]: " +
-              std::to_string(p_induce));
+        throw ConfigError("ExperimentSpec: P_Induce out of [0, 1]: " +
+                              std::to_string(p_induce),
+                          {"experiment", "", std::to_string(p_induce)});
     pInduce_ = p_induce;
     pinteSet_ = true;
     return *this;
@@ -262,7 +278,9 @@ ExperimentSpec &
 ExperimentSpec::dramComplement(double factor)
 {
     if (factor < 0.0)
-        fatal("ExperimentSpec: DRAM complement factor must be >= 0");
+        throw ConfigError("ExperimentSpec: DRAM complement factor must "
+                          "be >= 0",
+                          {"experiment", "", std::to_string(factor)});
     dramFactor_ = factor;
     return *this;
 }
@@ -302,10 +320,12 @@ std::vector<RunResult>
 ExperimentSpec::runAll() const
 {
     if (workloads_.empty())
-        fatal("ExperimentSpec: at least one workload required");
+        throw ConfigError("ExperimentSpec: at least one workload required",
+                          {"experiment", "", ""});
     if ((scopeSet_ || dramFactor_ > 0.0) && !pinteSet_)
-        fatal("ExperimentSpec: scope()/dramComplement() require "
-              "pinte()");
+        throw ConfigError("ExperimentSpec: scope()/dramComplement() "
+                          "require pinte()",
+                          {"experiment", "", ""});
 
     MachineConfig machine = machine_;
     machine.numCores = static_cast<unsigned>(workloads_.size());
@@ -337,8 +357,18 @@ ExperimentSpec::runAll() const
     }
     System sys(machine, sources);
 
+    if (faultInjected("job"))
+        throw SimError("injected fault: job", {"experiment", "", ""});
+
     const double t0 = threadCpuSeconds();
     sys.warmup(params_.warmup);
+
+    if (faultInjected("hang")) {
+        // Simulate a wedged job: no instruction progress, forever.
+        // Only the watchdog (--job-timeout) can break this loop.
+        for (;;)
+            JobWatchdog::heartbeat(0);
+    }
 
     const unsigned n = sys.numCores();
     std::vector<RunResult> results(n);
@@ -377,6 +407,46 @@ ExperimentSpec::runAll() const
     for (auto &r : results)
         r.cpuSeconds = cpu;
     return results;
+}
+
+RunOutcome
+ExperimentSpec::tryRun() const
+{
+    auto all = tryRunAll();
+    return {std::move(all.front().result)};
+}
+
+std::vector<RunOutcome>
+ExperimentSpec::tryRunAll() const
+{
+    // Labels for the placeholder cells a faulted job leaves behind;
+    // computed up-front because the fault may hit before runAll()
+    // assigns them.
+    auto placeholders = [&](const RunError &err) {
+        const std::size_t n = std::max<std::size_t>(workloads_.size(), 1);
+        std::vector<RunOutcome> out(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            RunResult &r = out[i].result;
+            r.workload = i < workloads_.size() ? workloads_[i].name
+                                               : std::string("?");
+            r.contention = workloads_.empty() ? std::string("?")
+                                              : contentionLabel(i);
+            r.error = err;
+        }
+        return out;
+    };
+
+    try {
+        auto results = runAll();
+        std::vector<RunOutcome> out(results.size());
+        for (std::size_t i = 0; i < results.size(); ++i)
+            out[i].result = std::move(results[i]);
+        return out;
+    } catch (const Error &e) {
+        return placeholders(RunError::from(e));
+    } catch (const std::exception &e) {
+        return placeholders(RunError::from(e));
+    }
 }
 
 } // namespace pinte

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/histogram.hh"
 #include "core/pinte.hh"
 #include "sim/machine.hh"
@@ -64,6 +65,33 @@ struct RunMetrics
     std::uint64_t llcMisses = 0;
 };
 
+/**
+ * Why a run failed, in plain data (so it serializes into reports and
+ * the resume journal). An empty message means the run succeeded.
+ */
+struct RunError
+{
+    std::string kind;      //!< "config", "trace", "sim" or "timeout"
+    std::string component; //!< subsystem that raised the error
+    std::string path;      //!< offending file, if any
+    std::string message;   //!< the full human-readable description
+
+    /** Capture a typed simulator error. */
+    static RunError
+    from(const Error &e)
+    {
+        return {std::string(toString(e.kind())), e.component(), e.path(),
+                e.what()};
+    }
+
+    /** Capture a generic exception (kind "sim"). */
+    static RunError
+    from(const std::exception &e)
+    {
+        return {"sim", "", "", e.what()};
+    }
+};
+
 /** Everything one run produces. */
 struct RunResult
 {
@@ -81,6 +109,30 @@ struct RunResult
      * runs experiments concurrently (sim/runner.hh).
      */
     double cpuSeconds = 0.0;
+    /**
+     * Failure marker: non-empty message means this run faulted and
+     * its metrics/samples are placeholders (zeroed), not data.
+     * Reductions must skip failed() cells explicitly.
+     */
+    RunError error;
+
+    /** True when this cell is a quarantined failure, not a result. */
+    bool failed() const { return !error.message.empty(); }
+};
+
+/**
+ * The outcome of one fault-isolated job: either a real result or a
+ * quarantined failure, never a torn half-result. This is what
+ * ExperimentSpec::tryRun()/tryRunAll() return; campaigns collect
+ * outcomes and complete every healthy job regardless of how many
+ * siblings fault.
+ */
+struct RunOutcome
+{
+    RunResult result;
+
+    bool ok() const { return !result.failed(); }
+    const RunError &error() const { return result.error; }
 };
 
 /** Scale parameters shared by all experiments. */
@@ -175,6 +227,50 @@ class ExperimentSpec
 
     /** Execute and return one result per core. */
     std::vector<RunResult> runAll() const;
+
+    /**
+     * Fault-isolated run(): any Error (or std::exception) raised by
+     * the job is captured into the outcome's RunError instead of
+     * propagating, with workload/contention labels filled in so the
+     * failed cell stays addressable in reports.
+     */
+    RunOutcome tryRun() const;
+
+    /** Fault-isolated runAll(): one outcome per core. */
+    std::vector<RunOutcome> tryRunAll() const;
+
+    /**
+     * The contention label core `core`'s RunResult will carry
+     * ("isolation", "pinte[scope]@p", peer name, ...). Exposed so
+     * campaigns can compute a run's journal key before executing it.
+     */
+    std::string
+    contention(std::size_t core = 0) const
+    {
+        return contentionLabel(core);
+    }
+
+    /** Workloads configured so far (one per core). */
+    const std::vector<WorkloadSpec> &
+    workloads() const
+    {
+        return workloads_;
+    }
+
+    /** The machine this spec will run on (as configured, numCores
+     *  not yet derived from the workload count). */
+    const MachineConfig &
+    machineConfig() const
+    {
+        return machine_;
+    }
+
+    /** The scale parameters this spec will run with. */
+    const ExperimentParams &
+    experimentParams() const
+    {
+        return params_;
+    }
 
   private:
     std::string contentionLabel(std::size_t core) const;

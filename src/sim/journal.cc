@@ -1,0 +1,123 @@
+#include "journal.hh"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/sink.hh"
+
+namespace pinte
+{
+
+std::string
+journalKey(const std::string &fingerprint,
+           const ExperimentParams &params, const std::string &workload,
+           const std::string &contention)
+{
+    return fingerprint + "|w" + std::to_string(params.warmup) + "|r" +
+           std::to_string(params.roi) + "|s" +
+           std::to_string(params.sampleEvery) + "|seed" +
+           std::to_string(params.runSeed) + "|" + workload + "|" +
+           contention;
+}
+
+RunJournal::RunJournal(const std::string &path) : path_(path)
+{
+    // Load phase: tolerate a torn trailing line (crash mid-append) by
+    // skipping anything that does not parse back into a run entry.
+    std::ifstream in(path);
+    std::string line;
+    std::size_t skipped = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string err;
+        const JsonValue v = parseJson(line, &err);
+        if (!err.empty() || !v.isObject()) {
+            ++skipped;
+            continue;
+        }
+        const JsonValue *key = v.find("key");
+        const JsonValue *run = v.find("run");
+        if (!key || !key->isString() || !run) {
+            ++skipped;
+            continue;
+        }
+        try {
+            entries_[key->asString()] = runFromJson(*run);
+        } catch (const Error &) {
+            ++skipped;
+        }
+    }
+    in.close();
+    if (skipped)
+        warn("journal " + path + ": skipped " +
+             std::to_string(skipped) + " unparseable line(s)");
+
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_)
+        throw ConfigError("cannot open journal for append: " + path,
+                          {"journal", path, ""});
+}
+
+RunJournal::~RunJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+const RunResult *
+RunJournal::find(const std::string &key) const
+{
+    std::lock_guard<std::mutex> g(m_);
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+RunJournal::record(const std::string &key, const RunResult &r)
+{
+    if (r.failed())
+        return;
+    std::ostringstream line;
+    {
+        JsonWriter w(line, 0);
+        w.beginObject();
+        w.member("key", key);
+        w.key("run");
+        writeRunJson(w, r);
+        w.endObject();
+    }
+    std::string text = line.str();
+    // JSONL: one entry per physical line, so strip the writer's
+    // layout newlines before appending the terminator.
+    std::string flat;
+    flat.reserve(text.size());
+    for (const char c : text)
+        if (c != '\n')
+            flat += c;
+    flat += '\n';
+
+    std::lock_guard<std::mutex> g(m_);
+    if (entries_.count(key))
+        return;
+    entries_[key] = r;
+    if (std::fwrite(flat.data(), 1, flat.size(), file_) != flat.size())
+        throw SimError("journal append failed: " + path_,
+                       {"journal", path_, key});
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+}
+
+std::size_t
+RunJournal::size() const
+{
+    std::lock_guard<std::mutex> g(m_);
+    return entries_.size();
+}
+
+} // namespace pinte

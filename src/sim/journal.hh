@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Completed-run journal: crash-tolerant checkpoint/resume for
+ * campaigns.
+ *
+ * Every finished run is appended to a JSONL file as one
+ * `{"key": ..., "run": ...}` line (the run in the exact schema-v2
+ * representation reports use), flushed and fsync'd immediately. A
+ * campaign relaunched with --resume=JOURNAL loads the file, skips any
+ * torn trailing line a crash may have left, and serves previously
+ * completed runs from the journal instead of re-simulating them —
+ * the final report is identical to an uninterrupted campaign (modulo
+ * cpuSeconds, which measures the machine, not the simulation).
+ *
+ * Keys bind a run to its full identity — machine fingerprint,
+ * experiment scale parameters, workload and contention label — so a
+ * journal recorded under one configuration can never leak results
+ * into another.
+ */
+
+#ifndef PINTE_SIM_JOURNAL_HH
+#define PINTE_SIM_JOURNAL_HH
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace pinte
+{
+
+/**
+ * The identity one journal entry is filed under: configuration
+ * fingerprint + scale parameters + the run's workload/contention
+ * labels.
+ */
+std::string journalKey(const std::string &fingerprint,
+                       const ExperimentParams &params,
+                       const std::string &workload,
+                       const std::string &contention);
+
+/**
+ * Append-only journal of completed runs, loaded on construction.
+ * Thread-safe: campaigns record() from worker threads.
+ */
+class RunJournal
+{
+  public:
+    /**
+     * Open (creating if absent) the journal at `path`, loading every
+     * well-formed line. Unparseable lines — e.g. a torn tail from a
+     * SIGKILL mid-append — are skipped, not fatal.
+     * @throws ConfigError when the file cannot be opened for append
+     */
+    explicit RunJournal(const std::string &path);
+
+    ~RunJournal();
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /** The completed run filed under `key`, or nullptr. */
+    const RunResult *find(const std::string &key) const;
+
+    /**
+     * Durably append `r` under `key`: one JSONL line, flushed and
+     * fsync'd before returning so a crash immediately after still
+     * finds the entry on resume. Failed runs are not recorded — a
+     * resumed campaign retries them.
+     */
+    void record(const std::string &key, const RunResult &r);
+
+    /** Entries currently loaded/recorded. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex m_;
+    std::map<std::string, RunResult> entries_;
+    std::FILE *file_ = nullptr;
+    std::string path_;
+};
+
+} // namespace pinte
+
+#endif // PINTE_SIM_JOURNAL_HH

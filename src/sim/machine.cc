@@ -1,6 +1,8 @@
 #include "machine.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "sim/watchdog.hh"
 
 namespace pinte
 {
@@ -103,7 +105,9 @@ System::System(const MachineConfig &config,
     : config_(config)
 {
     if (sources.size() != config.numCores)
-        fatal("System: one trace source per core required");
+        throw ConfigError("System: one trace source per core required",
+                          {"machine", "",
+                           std::to_string(sources.size())});
 
     MachineConfig &cfg = config_;
     cfg.l1i.numCores = cfg.l1d.numCores = cfg.l2.numCores = cfg.numCores;
@@ -217,6 +221,7 @@ System::runUntilCore0(InstCount more)
     // Shrink the quantum near the target so sample boundaries land
     // within a few instructions of the requested count.
     while (cores_[0]->retired() < target) {
+        JobWatchdog::heartbeat(cores_[0]->retired());
         const InstCount remaining = target - cores_[0]->retired();
         Cycle quantum = 512;
         if (remaining < 256)
@@ -234,12 +239,16 @@ System::warmup(InstCount per_core)
         // Lockstep quanta until every core has warmed; faster cores
         // keep running (and keep causing contention), as in ChampSim.
         for (;;) {
+            InstCount total = 0;
             bool all_done = true;
-            for (auto &core : cores_)
+            for (auto &core : cores_) {
+                total += core->retired();
                 if (core->retired() < per_core)
                     all_done = false;
+            }
             if (all_done)
                 break;
+            JobWatchdog::heartbeat(total);
             runQuantum();
         }
     }

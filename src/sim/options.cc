@@ -6,7 +6,7 @@
 #include <cmath>
 #include <cstdlib>
 
-#include "common/logging.hh"
+#include "common/error.hh"
 
 namespace pinte
 {
@@ -41,8 +41,9 @@ parseReplacement(const std::string &s)
         return ReplacementKind::Random;
     if (v == "drrip")
         return ReplacementKind::Drrip;
-    fatal("unknown replacement policy '" + s +
-          "' (lru, plru, nmru, rrip, random, drrip)");
+    throw ConfigError("unknown replacement policy '" + s +
+                          "' (lru, plru, nmru, rrip, random, drrip)",
+                      {"options", "", s});
 }
 
 InclusionPolicy
@@ -55,8 +56,9 @@ parseInclusion(const std::string &s)
         return InclusionPolicy::Inclusive;
     if (v == "exc" || v == "exclusive" || v == "ex")
         return InclusionPolicy::Exclusive;
-    fatal("unknown inclusion policy '" + s +
-          "' (non, inclusive, exclusive)");
+    throw ConfigError("unknown inclusion policy '" + s +
+                          "' (non, inclusive, exclusive)",
+                      {"options", "", s});
 }
 
 BranchPredictorKind
@@ -73,8 +75,10 @@ parsePredictor(const std::string &s)
         return BranchPredictorKind::HashedPerceptron;
     if (v == "always-taken")
         return BranchPredictorKind::AlwaysTaken;
-    fatal("unknown branch predictor '" + s +
-          "' (bimodal, gshare, perceptron, hashed-perceptron)");
+    throw ConfigError("unknown branch predictor '" + s +
+                          "' (bimodal, gshare, perceptron, "
+                          "hashed-perceptron)",
+                      {"options", "", s});
 }
 
 PInteScope
@@ -87,7 +91,9 @@ parsePInteScope(const std::string &s)
         return PInteScope::L2Only;
     if (v == "l2+llc" || v == "l2llc" || v == "both")
         return PInteScope::L2AndLlc;
-    fatal("unknown PInTE scope '" + s + "' (llc, l2, l2+llc)");
+    throw ConfigError("unknown PInTE scope '" + s +
+                          "' (llc, l2, l2+llc)",
+                      {"options", "", s});
 }
 
 double
@@ -96,9 +102,11 @@ parseProbability(const std::string &s)
     char *end = nullptr;
     const double v = std::strtod(s.c_str(), &end);
     if (end == s.c_str() || (end && *end != '\0'))
-        fatal("malformed probability: '" + s + "'");
+        throw ConfigError("malformed probability: '" + s + "'",
+                          {"options", "", s});
     if (v < 0.0 || v > 1.0)
-        fatal("probability out of [0, 1]: '" + s + "'");
+        throw ConfigError("probability out of [0, 1]: '" + s + "'",
+                          {"options", "", s});
     return v;
 }
 
@@ -112,7 +120,9 @@ parseReportFormat(const std::string &s)
         return ReportFormat::Json;
     if (v == "csv")
         return ReportFormat::Csv;
-    fatal("unknown report format '" + s + "' (table, json, csv)");
+    throw ConfigError("unknown report format '" + s +
+                          "' (table, json, csv)",
+                      {"options", "", s});
 }
 
 std::uint64_t
@@ -120,13 +130,15 @@ parseCount(const std::string &flag, const std::string &s)
 {
     if (s.empty() || s.find_first_not_of("0123456789") !=
                          std::string::npos)
-        fatal(flag + " expects a non-negative integer, got '" + s +
-              "'");
+        throw ConfigError(flag + " expects a non-negative integer, got '" +
+                              s + "'",
+                          {"options", flag, s});
     errno = 0;
     char *end = nullptr;
     const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
     if (errno == ERANGE)
-        fatal(flag + " value out of range: '" + s + "'");
+        throw ConfigError(flag + " value out of range: '" + s + "'",
+                          {"options", flag, s});
     return v;
 }
 
@@ -137,9 +149,11 @@ parseReal(const std::string &flag, const std::string &s)
     const double v = std::strtod(s.c_str(), &end);
     if (s.empty() || end == s.c_str() || *end != '\0' ||
         !std::isfinite(v))
-        fatal(flag + " expects a number, got '" + s + "'");
+        throw ConfigError(flag + " expects a number, got '" + s + "'",
+                          {"options", flag, s});
     if (v < 0.0)
-        fatal(flag + " must be non-negative, got '" + s + "'");
+        throw ConfigError(flag + " must be non-negative, got '" + s + "'",
+                          {"options", flag, s});
     return v;
 }
 

@@ -1,15 +1,89 @@
 #include "runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
-#include <limits>
 #include <mutex>
 #include <thread>
 
+#include "sim/watchdog.hh"
+
 namespace pinte
 {
+
+namespace
+{
+
+/** What a failed job threw, kept until the whole batch drains. */
+struct JobFailure
+{
+    std::size_t index;
+    std::exception_ptr error;
+};
+
+std::string
+describe(const std::exception_ptr &e)
+{
+    try {
+        std::rethrow_exception(e);
+    } catch (const std::exception &ex) {
+        return ex.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
+
+/**
+ * Batch epilogue shared by the serial and pooled paths: nothing to do
+ * for a clean batch, rethrow a lone failure unchanged, aggregate
+ * several into one MultiJobError.
+ */
+void
+raiseFailures(std::vector<JobFailure> &failures, std::size_t n)
+{
+    if (failures.empty())
+        return;
+    std::sort(failures.begin(), failures.end(),
+              [](const JobFailure &a, const JobFailure &b) {
+                  return a.index < b.index;
+              });
+    if (failures.size() == 1)
+        std::rethrow_exception(failures.front().error);
+    std::vector<MultiJobError::Failure> list;
+    list.reserve(failures.size());
+    for (const auto &f : failures)
+        list.emplace_back(f.index, describe(f.error));
+    throw MultiJobError(n, std::move(list));
+}
+
+} // namespace
+
+MultiJobError::MultiJobError(std::size_t total_jobs,
+                             std::vector<Failure> failures)
+    : Error(ErrorKind::Sim,
+            [&] {
+                std::string msg = std::to_string(failures.size()) +
+                                  " of " + std::to_string(total_jobs) +
+                                  " jobs failed:";
+                constexpr std::size_t listed = 8;
+                for (std::size_t i = 0;
+                     i < failures.size() && i < listed; ++i) {
+                    msg += "\n  job " +
+                           std::to_string(failures[i].first) + ": " +
+                           failures[i].second;
+                }
+                if (failures.size() > listed)
+                    msg += "\n  ... and " +
+                           std::to_string(failures.size() - listed) +
+                           " more";
+                return msg;
+            }(),
+            {"runner", "", std::to_string(failures.size())}),
+      failures_(std::move(failures)), totalJobs_(total_jobs)
+{
+}
 
 Runner::Runner(unsigned jobs)
     : jobs_(jobs ? jobs : std::thread::hardware_concurrency())
@@ -26,24 +100,35 @@ Runner::forEach(std::size_t n,
     if (n == 0)
         return;
 
+    // Wrap each job in the (optional) hang watchdog. Arming is
+    // per-thread and per-job so a stalled job charges only its own
+    // clock.
+    const double timeout = jobTimeout_;
+    auto invoke = [&fn, timeout](std::size_t i) {
+        if (timeout > 0.0) {
+            JobWatchdog::Scope guard(timeout);
+            fn(i);
+        } else {
+            fn(i);
+        }
+    };
+
     const std::size_t nthreads =
         std::min<std::size_t>(jobs_, n);
     if (nthreads <= 1) {
         // Same contract as the pooled path: every job runs even when
-        // some throw, and the lowest-indexed failure is reported.
-        std::exception_ptr first;
+        // some throw, and every failure is reported.
+        std::vector<JobFailure> failures;
         for (std::size_t i = 0; i < n; ++i) {
             try {
-                fn(i);
+                invoke(i);
             } catch (...) {
-                if (!first)
-                    first = std::current_exception();
+                failures.push_back({i, std::current_exception()});
             }
             if (tick)
                 tick(i + 1);
         }
-        if (first)
-            std::rethrow_exception(first);
+        raiseFailures(failures, n);
         return;
     }
 
@@ -59,10 +144,9 @@ Runner::forEach(std::size_t n,
     std::condition_variable cv;
     std::size_t done = 0;
 
-    // First-failing-job exception, selected by lowest index so the
+    // Exceptions of every failing job, index-sorted at the end so the
     // error surfaced is independent of thread scheduling.
-    std::size_t err_index = std::numeric_limits<std::size_t>::max();
-    std::exception_ptr err;
+    std::vector<JobFailure> failures;
 
     auto work = [&]() {
         for (;;) {
@@ -71,13 +155,10 @@ Runner::forEach(std::size_t n,
             if (i >= n)
                 break;
             try {
-                fn(i);
+                invoke(i);
             } catch (...) {
                 std::lock_guard<std::mutex> g(m);
-                if (i < err_index) {
-                    err_index = i;
-                    err = std::current_exception();
-                }
+                failures.push_back({i, std::current_exception()});
             }
             {
                 std::lock_guard<std::mutex> g(m);
@@ -114,8 +195,7 @@ Runner::forEach(std::size_t n,
     for (auto &t : pool)
         t.join();
 
-    if (err)
-        std::rethrow_exception(err);
+    raiseFailures(failures, n);
 }
 
 } // namespace pinte

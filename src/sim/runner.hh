@@ -22,10 +22,41 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "common/error.hh"
 
 namespace pinte
 {
+
+/**
+ * Aggregate of every exception thrown across one Runner batch.
+ *
+ * When more than one job of a forEach/map/run call throws, the Runner
+ * collects them all and raises a single MultiJobError whose what()
+ * summarizes the first few failures; failures() exposes the full
+ * (index, message) list sorted by job index. A batch with exactly one
+ * failing job rethrows that job's original exception unchanged.
+ */
+class MultiJobError : public Error
+{
+  public:
+    using Failure = std::pair<std::size_t, std::string>;
+
+    MultiJobError(std::size_t total_jobs, std::vector<Failure> failures);
+
+    /** (job index, exception message) per failed job, index-sorted. */
+    const std::vector<Failure> &failures() const { return failures_; }
+
+    /** Number of jobs in the batch (failed + healthy). */
+    std::size_t totalJobs() const { return totalJobs_; }
+
+  private:
+    std::vector<Failure> failures_;
+    std::size_t totalJobs_;
+};
 
 /**
  * Fixed-size thread pool mapping an index range over worker threads.
@@ -36,8 +67,9 @@ namespace pinte
  *  - `tick(done)` (optional) is invoked on the *calling* thread with a
  *    monotonically increasing completion count — there is exactly one
  *    progress writer, and it is never a worker;
- *  - if jobs throw, every job still runs, and the exception of the
- *    lowest-indexed failing job is rethrown on the calling thread
+ *  - if jobs throw, every job still runs; a single failure is rethrown
+ *    unchanged on the calling thread, multiple failures are aggregated
+ *    into one MultiJobError listing all of them in index order
  *    (deterministic regardless of scheduling);
  *  - a pool of size 1 executes inline on the calling thread with no
  *    thread machinery at all, so `--jobs=1` is a true serial baseline.
@@ -56,6 +88,17 @@ class Runner
 
     /** Number of workers this pool runs. */
     unsigned jobs() const { return jobs_; }
+
+    /**
+     * Arm a per-job hang watchdog: each job that stalls (no simulated
+     * instruction progress) for more than `seconds` raises
+     * TimeoutError inside that job. 0 (the default) disables the
+     * watchdog. See watchdog.hh for the cooperative mechanism.
+     */
+    void jobTimeout(double seconds) { jobTimeout_ = seconds; }
+
+    /** Currently armed per-job timeout in seconds (0 = off). */
+    double jobTimeout() const { return jobTimeout_; }
 
     /**
      * Invoke `fn(i)` exactly once for every i in [0, n), spread across
@@ -97,6 +140,7 @@ class Runner
 
   private:
     unsigned jobs_;
+    double jobTimeout_ = 0.0;
 };
 
 } // namespace pinte

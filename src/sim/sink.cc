@@ -4,6 +4,7 @@
 
 #include "analysis/table.hh"
 #include "common/json.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pinte
@@ -58,6 +59,12 @@ TableSink::note(const std::string &line)
 void
 TableSink::run(const RunResult &r)
 {
+    if (r.failed()) {
+        os_ << "FAILED  " << r.workload << " vs " << r.contention
+            << ": [" << r.error.kind << "] " << r.error.message
+            << "\n\n";
+        return;
+    }
     TextTable t({"metric", "value"});
     t.addRow({"workload", r.workload});
     t.addRow({"contention", r.contention});
@@ -136,11 +143,38 @@ writeSample(JsonWriter &w, const Sample &s)
 }
 
 void
-writeRun(JsonWriter &w, const RunResult &r)
+writeCell(JsonWriter &w, const Cell &c)
+{
+    switch (c.kind) {
+      case Cell::Kind::Text: w.value(c.text); break;
+      case Cell::Kind::Int: w.value(c.intVal); break;
+      case Cell::Kind::Real: w.value(c.realVal); break;
+    }
+}
+
+} // namespace
+
+void
+writeRunJson(JsonWriter &w, const RunResult &r)
 {
     w.beginObject();
     w.member("workload", r.workload);
     w.member("contention", r.contention);
+    if (r.failed()) {
+        // A quarantined failure carries no data, only its identity
+        // and the error that evicted it from the campaign.
+        w.member("status", "failed");
+        w.key("error");
+        w.beginObject();
+        w.member("kind", r.error.kind);
+        w.member("component", r.error.component);
+        w.member("path", r.error.path);
+        w.member("message", r.error.message);
+        w.endObject();
+        w.endObject();
+        return;
+    }
+    w.member("status", "ok");
     w.key("metrics");
     writeMetrics(w, r.metrics);
     w.key("samples");
@@ -165,17 +199,66 @@ writeRun(JsonWriter &w, const RunResult &r)
     w.endObject();
 }
 
-void
-writeCell(JsonWriter &w, const Cell &c)
+RunResult
+runFromJson(const JsonValue &v)
 {
-    switch (c.kind) {
-      case Cell::Kind::Text: w.value(c.text); break;
-      case Cell::Kind::Int: w.value(c.intVal); break;
-      case Cell::Kind::Real: w.value(c.realVal); break;
+    if (!v.isObject())
+        throw SimError("runFromJson: not a run object", {"sink", "", ""});
+    RunResult r;
+    r.workload = v.at("workload").asString();
+    r.contention = v.at("contention").asString();
+    if (const JsonValue *status = v.find("status");
+        status && status->asString() == "failed") {
+        const JsonValue &e = v.at("error");
+        r.error.kind = e.at("kind").asString();
+        r.error.component = e.at("component").asString();
+        r.error.path = e.at("path").asString();
+        r.error.message = e.at("message").asString();
+        return r;
     }
+    const JsonValue &m = v.at("metrics");
+    r.metrics.ipc = m.at("ipc").asDouble();
+    r.metrics.missRate = m.at("miss_rate").asDouble();
+    r.metrics.amat = m.at("amat").asDouble();
+    r.metrics.interferenceRate = m.at("interference_rate").asDouble();
+    r.metrics.theftRate = m.at("theft_rate").asDouble();
+    r.metrics.l2InterferenceRate =
+        m.at("l2_interference_rate").asDouble();
+    r.metrics.branchAccuracy = m.at("branch_accuracy").asDouble();
+    r.metrics.l1dMissRate = m.at("l1d_miss_rate").asDouble();
+    r.metrics.l2MissRate = m.at("l2_miss_rate").asDouble();
+    r.metrics.prefetchMissRate = m.at("prefetch_miss_rate").asDouble();
+    r.metrics.l2Mpki = m.at("l2_mpki").asDouble();
+    r.metrics.llcMpki = m.at("llc_mpki").asDouble();
+    r.metrics.llcWbShare = m.at("llc_wb_share").asDouble();
+    r.metrics.llcOccupancyFraction =
+        m.at("llc_occupancy_fraction").asDouble();
+    r.metrics.llcAccesses = m.at("llc_accesses").asU64();
+    r.metrics.llcMisses = m.at("llc_misses").asU64();
+    for (const JsonValue &sv : v.at("samples").array) {
+        Sample s;
+        s.ipc = sv.at("ipc").asDouble();
+        s.missRate = sv.at("miss_rate").asDouble();
+        s.amat = sv.at("amat").asDouble();
+        s.interferenceRate = sv.at("interference_rate").asDouble();
+        s.theftRate = sv.at("theft_rate").asDouble();
+        s.occupancyFraction = sv.at("occupancy_fraction").asDouble();
+        s.instructions = sv.at("instructions").asU64();
+        r.samples.push_back(s);
+    }
+    std::vector<std::uint64_t> reuse;
+    for (const JsonValue &c : v.at("reuse_histogram").array)
+        reuse.push_back(c.asU64());
+    r.reuse = Histogram::fromCounts(reuse);
+    const JsonValue &pv = v.at("pinte");
+    r.pinte.accessesSeen = pv.at("accesses_seen").asU64();
+    r.pinte.triggers = pv.at("triggers").asU64();
+    r.pinte.promotions = pv.at("promotions").asU64();
+    r.pinte.invalidations = pv.at("invalidations").asU64();
+    r.pinte.requestedEvicts = pv.at("requested_evicts").asU64();
+    r.cpuSeconds = v.at("cpu_seconds").asDouble();
+    return r;
 }
-
-} // namespace
 
 void
 JsonSink::note(const std::string &line)
@@ -225,8 +308,17 @@ JsonSink::close()
     w.key("runs");
     w.beginArray();
     for (const auto &r : runs_)
-        writeRun(w, r);
+        writeRunJson(w, r);
     w.endArray();
+    std::size_t failed = 0;
+    for (const auto &r : runs_)
+        if (r.failed())
+            ++failed;
+    w.key("failures");
+    w.beginObject();
+    w.member("failed", static_cast<std::uint64_t>(failed));
+    w.member("total", static_cast<std::uint64_t>(runs_.size()));
+    w.endObject();
     w.key("tables");
     w.beginArray();
     for (const auto &t : tables_) {
@@ -328,16 +420,25 @@ CsvSink::close()
         // Aggregate metrics only; samples and histograms need the
         // JSON format (CSV has no nesting).
         os_ << "# runs\n";
-        os_ << "workload,contention,ipc,miss_rate,amat,"
+        os_ << "workload,contention,status,ipc,miss_rate,amat,"
                "interference_rate,theft_rate,l2_interference_rate,"
                "branch_accuracy,l1d_miss_rate,l2_miss_rate,"
                "prefetch_miss_rate,l2_mpki,llc_mpki,llc_wb_share,"
                "llc_occupancy_fraction,llc_accesses,llc_misses,"
-               "pinte_triggers,pinte_invalidations,cpu_seconds\n";
+               "pinte_triggers,pinte_invalidations,cpu_seconds,"
+               "error_kind,error_message\n";
         for (const auto &r : runs_) {
+            if (r.failed()) {
+                os_ << csvField(r.workload) << ","
+                    << csvField(r.contention)
+                    << ",failed,,,,,,,,,,,,,,,,,,,,"
+                    << csvField(r.error.kind) << ","
+                    << csvField(r.error.message) << "\n";
+                continue;
+            }
             const RunMetrics &m = r.metrics;
             os_ << csvField(r.workload) << ","
-                << csvField(r.contention) << "," << jsonNumber(m.ipc)
+                << csvField(r.contention) << ",ok," << jsonNumber(m.ipc)
                 << "," << jsonNumber(m.missRate) << ","
                 << jsonNumber(m.amat) << ","
                 << jsonNumber(m.interferenceRate) << ","
@@ -352,7 +453,7 @@ CsvSink::close()
                 << jsonNumber(m.llcOccupancyFraction) << ","
                 << m.llcAccesses << "," << m.llcMisses << ","
                 << r.pinte.triggers << "," << r.pinte.invalidations
-                << "," << jsonNumber(r.cpuSeconds) << "\n";
+                << "," << jsonNumber(r.cpuSeconds) << ",,\n";
         }
     }
 
@@ -381,7 +482,7 @@ makeSink(ReportFormat format, std::ostream &os, ReportMeta meta)
       case ReportFormat::Csv:
         return std::make_unique<CsvSink>(os, std::move(meta));
     }
-    fatal("makeSink: unknown report format");
+    throw ConfigError("makeSink: unknown report format", {"sink", "", ""});
 }
 
 Report::Report(ReportFormat format, const std::string &out_path,
@@ -389,12 +490,30 @@ Report::Report(ReportFormat format, const std::string &out_path,
 {
     std::ostream *os = &std::cout;
     if (!out_path.empty()) {
-        file_ = std::make_unique<std::ofstream>(out_path);
-        if (!*file_)
-            fatal("cannot open report output file '" + out_path + "'");
-        os = file_.get();
+        file_ = std::make_unique<AtomicFile>(out_path);
+        os = &file_->stream();
     }
     sink_ = makeSink(format, *os, std::move(meta));
+}
+
+Report::~Report()
+{
+    try {
+        close();
+    } catch (const std::exception &e) {
+        // A destructor cannot propagate; callers that care about
+        // publication failure call close() explicitly.
+        warn(std::string("report not published: ") + e.what());
+    }
+}
+
+void
+Report::close()
+{
+    if (sink_)
+        sink_->close();
+    if (file_)
+        file_->commit();
 }
 
 } // namespace pinte

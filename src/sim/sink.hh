@@ -17,12 +17,13 @@
 #define PINTE_SIM_SINK_HH
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hh"
+#include "common/json.hh"
 #include "sim/experiment.hh"
 
 namespace pinte
@@ -41,9 +42,14 @@ const char *toString(ReportFormat f);
 
 /**
  * JSON schema version. Bump whenever the emitted document shape
- * changes; tests/golden/report_v1.json pins the current shape.
+ * changes; tests/golden/report_v2.json pins the current shape.
+ *
+ * v2 adds per-run "status" ("ok" | "failed"), an "error" object on
+ * failed runs, and a campaign-level "failures" summary. Documents are
+ * backward-readable: a v1 consumer that ignores unknown fields sees
+ * the same runs it always did (failed runs carry no "metrics" key).
  */
-constexpr int reportSchemaVersion = 1;
+constexpr int reportSchemaVersion = 2;
 
 /** One typed table cell: display text plus the underlying value. */
 struct Cell
@@ -205,9 +211,27 @@ std::unique_ptr<ReportSink> makeSink(ReportFormat format,
                                      std::ostream &os, ReportMeta meta);
 
 /**
+ * Serialize one run as a schema-v2 JSON object. Exposed (beyond
+ * JsonSink's internal use) so the resume journal writes the exact
+ * same representation reports use.
+ */
+void writeRunJson(JsonWriter &w, const RunResult &r);
+
+/**
+ * Rebuild a RunResult from its writeRunJson() representation.
+ * @throws SimError when `v` is not a run object.
+ */
+RunResult runFromJson(const JsonValue &v);
+
+/**
  * A sink bound to its destination: stdout, or a file when `out_path`
- * is non-empty (fatal if the file cannot be opened). Closes the
- * document on destruction.
+ * is non-empty (ConfigError if the file cannot be opened).
+ *
+ * File output is crash-safe: the document is staged in a sibling
+ * temporary and atomically renamed over `out_path` by close(), so an
+ * interrupted campaign never leaves a partial report behind. Call
+ * close() explicitly to observe publication errors; the destructor
+ * closes as a fallback and demotes any error to a warning.
  */
 class Report
 {
@@ -217,17 +241,19 @@ class Report
 
     Report(Report &&) = default;
 
-    ~Report()
-    {
-        if (sink_)
-            sink_->close();
-    }
+    ~Report();
+
+    /**
+     * Finish the document and (for file output) atomically publish
+     * it. Idempotent. @throws SimError if publication fails.
+     */
+    void close();
 
     ReportSink &sink() { return *sink_; }
     ReportSink *operator->() { return sink_.get(); }
 
   private:
-    std::unique_ptr<std::ofstream> file_;
+    std::unique_ptr<AtomicFile> file_;
     std::unique_ptr<ReportSink> sink_;
 };
 

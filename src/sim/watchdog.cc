@@ -1,0 +1,70 @@
+#include "watchdog.hh"
+
+#include <chrono>
+#include <string>
+
+#include "common/error.hh"
+
+namespace pinte
+{
+
+namespace JobWatchdog
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct State
+{
+    double limit = 0.0; // seconds; <= 0 means disarmed
+    std::uint64_t lastInstructions = ~0ull;
+    Clock::time_point lastProgress;
+};
+
+thread_local State state;
+
+} // namespace
+
+void
+arm(double limit_seconds)
+{
+    state.limit = limit_seconds;
+    state.lastInstructions = ~0ull;
+    state.lastProgress = Clock::now();
+}
+
+void
+disarm()
+{
+    state.limit = 0.0;
+}
+
+void
+heartbeat(std::uint64_t instructions)
+{
+    if (state.limit <= 0.0)
+        return;
+    const Clock::time_point now = Clock::now();
+    if (instructions != state.lastInstructions) {
+        state.lastInstructions = instructions;
+        state.lastProgress = now;
+        return;
+    }
+    const double stalled =
+        std::chrono::duration<double>(now - state.lastProgress).count();
+    if (stalled > state.limit) {
+        const double limit = state.limit;
+        disarm(); // one throw per stall; the job is being abandoned
+        throw TimeoutError(
+            "job made no instruction progress for " +
+                std::to_string(stalled) + "s (--job-timeout=" +
+                std::to_string(limit) + ")",
+            {"watchdog", "", std::to_string(instructions)});
+    }
+}
+
+} // namespace JobWatchdog
+
+} // namespace pinte

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cooperative per-job watchdog for hung-simulation detection.
+ *
+ * A simulation cannot be preempted safely mid-step, so the watchdog is
+ * cooperative: the Runner arms a thread-local deadline around each job
+ * and the core simulation loop reports instruction progress via
+ * heartbeat(). If the retired-instruction count stops advancing for
+ * longer than the armed limit, heartbeat() throws TimeoutError, which
+ * the per-job quarantine (ExperimentSpec::tryRun) converts into a
+ * failed-run marker like any other job fault.
+ *
+ * Disarmed (the default) a heartbeat is a single branch; no clocks are
+ * read.
+ */
+
+#ifndef PINTE_SIM_WATCHDOG_HH
+#define PINTE_SIM_WATCHDOG_HH
+
+#include <cstdint>
+
+namespace pinte
+{
+
+namespace JobWatchdog
+{
+
+/**
+ * Arm the watchdog for the current thread: from now on, heartbeat()
+ * throws TimeoutError if instruction progress stalls for more than
+ * `limit_seconds`. `limit_seconds <= 0` is equivalent to disarm().
+ */
+void arm(double limit_seconds);
+
+/** Disarm the watchdog for the current thread. */
+void disarm();
+
+/**
+ * Report progress from the simulation loop. `instructions` is any
+ * monotonically non-decreasing progress counter (core 0 retired
+ * instructions); a changed value resets the stall timer.
+ *
+ * @throws TimeoutError when armed and no progress was made for longer
+ *         than the armed limit.
+ */
+void heartbeat(std::uint64_t instructions);
+
+/** RAII helper: arms on construction, disarms on destruction. */
+class Scope
+{
+  public:
+    explicit Scope(double limit_seconds) { arm(limit_seconds); }
+    ~Scope() { disarm(); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+};
+
+} // namespace JobWatchdog
+
+} // namespace pinte
+
+#endif // PINTE_SIM_WATCHDOG_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pinte
@@ -22,7 +23,9 @@ TraceGenerator::TraceGenerator(WorkloadSpec spec, std::uint64_t run_seed)
 {
     spec_.normalizeMix();
     if (spec_.footprintLines == 0)
-        fatal("workload '" + spec_.name + "' has zero footprint");
+        throw ConfigError("workload '" + spec_.name +
+                              "' has zero footprint",
+                          {"generator", "", spec_.name});
     if (spec_.hotLines > spec_.footprintLines)
         spec_.hotLines = spec_.footprintLines;
     if (spec_.phases == 0)

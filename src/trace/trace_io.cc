@@ -1,8 +1,11 @@
 #include "trace_io.hh"
 
 #include <cstring>
+#include <functional>
 
-#include "common/logging.hh"
+#include "common/atomic_file.hh"
+#include "common/error.hh"
+#include "common/fault.hh"
 
 namespace pinte
 {
@@ -18,13 +21,11 @@ struct TraceHeader
     std::uint64_t count;
 };
 
-void
-writeHeader(std::FILE *f, std::uint64_t count)
+[[noreturn]] void
+traceFail(const std::string &message, const std::string &path,
+          const std::string &value = "")
 {
-    TraceHeader h{traceMagic, traceVersion,
-                  static_cast<std::uint32_t>(sizeof(TraceRecord)), count};
-    if (std::fwrite(&h, sizeof(h), 1, f) != 1)
-        fatal("trace write failed (header)");
+    throw TraceError(message, {"trace_io", path, value});
 }
 
 TraceHeader
@@ -32,57 +33,112 @@ readHeader(std::FILE *f, const std::string &path)
 {
     TraceHeader h;
     if (std::fread(&h, sizeof(h), 1, f) != 1)
-        fatal("trace read failed (header): " + path);
+        traceFail("trace read failed (header): " + path, path);
     if (h.magic != traceMagic)
-        fatal("not a pinte trace file: " + path);
+        traceFail("not a pinte trace file: " + path, path);
     if (h.version != traceVersion)
-        fatal("unsupported trace version in " + path);
+        traceFail("unsupported trace version " +
+                      std::to_string(h.version) + " in " + path +
+                      " (this build reads version " +
+                      std::to_string(traceVersion) + ")",
+                  path, std::to_string(h.version));
     if (h.recordSize != sizeof(TraceRecord))
-        fatal("trace record size mismatch in " + path);
+        traceFail("trace record size mismatch in " + path, path,
+                  std::to_string(h.recordSize));
     return h;
+}
+
+/** Serialize header + records into an atomic writer and publish. */
+std::uint64_t
+writeTraceTo(const std::string &path,
+             const std::function<bool(TraceRecord &)> &produce,
+             std::uint64_t count)
+{
+    AtomicFile file(path);
+    std::ostream &os = file.stream();
+    const TraceHeader h{traceMagic, traceVersion,
+                        static_cast<std::uint32_t>(sizeof(TraceRecord)),
+                        count};
+    os.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord r;
+        if (!produce(r))
+            traceFail("trace source ended early writing " + path, path,
+                      std::to_string(i));
+        os.write(reinterpret_cast<const char *>(&r), sizeof(r));
+    }
+    if (!os)
+        traceFail("trace write failed: " + path, path);
+    file.commit();
+    return count;
 }
 
 } // namespace
 
 std::uint64_t
-writeTrace(const std::string &path, TraceSource &source, std::uint64_t count)
+writeTrace(const std::string &path, TraceSource &source,
+           std::uint64_t count)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        fatal("cannot open trace for writing: " + path);
-    writeHeader(f, count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const TraceRecord r = source.next();
-        if (std::fwrite(&r, sizeof(r), 1, f) != 1)
-            fatal("trace write failed: " + path);
-    }
-    std::fclose(f);
-    return count;
+    return writeTraceTo(
+        path,
+        [&](TraceRecord &r) {
+            r = source.next();
+            return true;
+        },
+        count);
 }
 
 std::uint64_t
-writeTrace(const std::string &path, const std::vector<TraceRecord> &records)
+writeTrace(const std::string &path,
+           const std::vector<TraceRecord> &records)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        fatal("cannot open trace for writing: " + path);
-    writeHeader(f, records.size());
-    if (!records.empty() &&
-        std::fwrite(records.data(), sizeof(TraceRecord), records.size(),
-                    f) != records.size()) {
-        fatal("trace write failed: " + path);
-    }
-    std::fclose(f);
-    return records.size();
+    std::size_t i = 0;
+    return writeTraceTo(
+        path,
+        [&](TraceRecord &r) {
+            r = records[i++];
+            return true;
+        },
+        records.size());
 }
 
 FileTraceSource::FileTraceSource(const std::string &path)
     : file_(std::fopen(path.c_str(), "rb")), count_(0)
 {
-    if (!file_)
-        fatal("cannot open trace for reading: " + path);
-    count_ = readHeader(file_, path).count;
-    dataStart_ = std::ftell(file_);
+    if (!file_ || faultInjected("trace-open")) {
+        if (file_) { // injected: release the real handle first
+            std::fclose(file_);
+            file_ = nullptr;
+            traceFail("injected fault: trace-open for " + path, path);
+        }
+        traceFail("cannot open trace for reading: " + path, path);
+    }
+    try {
+        const TraceHeader h = readHeader(file_, path);
+        count_ = h.count;
+        dataStart_ = std::ftell(file_);
+
+        // Validate the declared record count against the actual file
+        // size so a truncated trace is a clean open-time TraceError,
+        // not a mid-simulation read failure thousands of records in.
+        if (std::fseek(file_, 0, SEEK_END) != 0)
+            traceFail("cannot seek in trace: " + path, path);
+        const long end = std::ftell(file_);
+        const long need =
+            dataStart_ +
+            static_cast<long>(count_ * sizeof(TraceRecord));
+        if (end < need)
+            traceFail("truncated trace " + path + ": header declares " +
+                          std::to_string(count_) + " records (" +
+                          std::to_string(need) + " bytes) but file is " +
+                          std::to_string(end) + " bytes",
+                      path, std::to_string(end));
+        std::fseek(file_, dataStart_, SEEK_SET);
+    } catch (...) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw;
+    }
 }
 
 FileTraceSource::~FileTraceSource()
@@ -101,7 +157,7 @@ FileTraceSource::next()
         // Wrap to the start, mirroring ChampSim's short-trace behavior.
         std::fseek(file_, dataStart_, SEEK_SET);
         if (std::fread(&r, sizeof(r), 1, file_) != 1)
-            fatal("trace read failed mid-file");
+            traceFail("trace read failed mid-file", "");
     }
     ++consumed_;
     return r;

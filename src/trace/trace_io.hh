@@ -30,8 +30,13 @@ constexpr std::uint32_t traceVersion = 1;
 
 /**
  * Write `count` records from `source` to `path`.
+ *
+ * The file is staged in a sibling temporary and atomically renamed into
+ * place once fully written and fsync'd, so a crash mid-write never
+ * leaves a partial trace at `path`.
+ *
  * @return number of records written
- * @throws exits via fatal() on I/O errors
+ * @throws TraceError on I/O errors
  */
 std::uint64_t writeTrace(const std::string &path, TraceSource &source,
                          std::uint64_t count);
@@ -44,6 +49,10 @@ std::uint64_t writeTrace(const std::string &path,
  * Streaming reader over a trace file; wraps to the start when the
  * requested instruction budget exceeds the stored record count (same
  * behavior ChampSim applies to short traces).
+ *
+ * The constructor validates the header (magic, version, record size)
+ * and checks the declared record count against the actual file size;
+ * it throws TraceError on any mismatch.
  */
 class FileTraceSource : public TraceSource
 {

@@ -1,5 +1,6 @@
 #include "zoo.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pinte
@@ -339,7 +340,14 @@ findWorkload(const std::string &name)
     for (const auto &s : spec2017Zoo())
         if (s.name == name)
             return s;
-    fatal("unknown zoo workload: " + name);
+    std::string valid;
+    for (const auto &s : spec2006Zoo())
+        valid += (valid.empty() ? "" : ", ") + s.name;
+    for (const auto &s : spec2017Zoo())
+        valid += ", " + s.name;
+    throw ConfigError("unknown zoo workload: " + name +
+                          " (valid: " + valid + ")",
+                      {"zoo", "", name});
 }
 
 } // namespace pinte

@@ -42,7 +42,10 @@ std::vector<WorkloadSpec> fullZoo();
  */
 std::vector<WorkloadSpec> smallZoo();
 
-/** Look up a zoo entry by name; fatal() if absent. */
+/**
+ * Look up a zoo entry by name.
+ * @throws ConfigError listing all valid workload names if absent.
+ */
 WorkloadSpec findWorkload(const std::string &name);
 
 } // namespace pinte

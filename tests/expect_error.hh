@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Assertion helper for the typed error hierarchy: checks both the
+ * exception type and that the message carries the expected substring,
+ * mirroring what the old EXPECT_DEATH regexes pinned down.
+ */
+
+#ifndef PINTE_TESTS_EXPECT_ERROR_HH
+#define PINTE_TESTS_EXPECT_ERROR_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hh"
+
+#define EXPECT_ERROR(stmt, ErrorType, substr)                          \
+    do {                                                               \
+        bool caught_ = false;                                          \
+        try {                                                          \
+            stmt;                                                      \
+        } catch (const ErrorType &e_) {                                \
+            caught_ = true;                                            \
+            EXPECT_NE(std::string(e_.what()).find(substr),             \
+                      std::string::npos)                               \
+                << "message was: " << e_.what();                       \
+        }                                                              \
+        EXPECT_TRUE(caught_)                                           \
+            << #stmt " did not throw " #ErrorType;                     \
+    } while (0)
+
+#endif // PINTE_TESTS_EXPECT_ERROR_HH

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_error.hh"
+
 #include <vector>
 
 #include "cache/cache.hh"
@@ -478,12 +480,12 @@ TEST(Cache, WayMaskRestrictsAllocation)
     EXPECT_EQ(c.stats().perCore[0].theftsSuffered, 0u);
 }
 
-TEST(CacheDeath, WayMaskValidation)
+TEST(Cache, WayMaskValidation)
 {
     RecordingLevel mem;
     Cache c(smallConfig(), &mem);
-    EXPECT_DEATH(c.setWayMask(5, 1), "out of range");
-    EXPECT_DEATH(c.setWayMask(0, 0), "no ways");
+    EXPECT_ERROR(c.setWayMask(5, 1), ConfigError, "out of range");
+    EXPECT_ERROR(c.setWayMask(0, 0), ConfigError, "no ways");
 }
 
 TEST(Cache, PromoteWayChangesRank)
@@ -644,11 +646,11 @@ TEST(Cache, ClearStatsKeepsContents)
     EXPECT_TRUE(c.probe(0x1000)); // contents survive
 }
 
-TEST(CacheDeath, NonPowerOfTwoSetsIsFatal)
+TEST(Cache, NonPowerOfTwoSetsIsFatal)
 {
     CacheConfig cfg = smallConfig();
     cfg.numSets = 3;
-    EXPECT_DEATH(Cache(cfg, nullptr), "power of 2");
+    EXPECT_ERROR(Cache(cfg, nullptr), ConfigError, "power of 2");
 }
 
 TEST(Cache, SetIndexExtractsCorrectBits)

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_error.hh"
+
 #include "dram/dram.hh"
 
 using namespace pinte;
@@ -212,9 +214,9 @@ TEST(Dram, HalvedResourcesAreSlowerUnderLoad)
     EXPECT_GT(flood(half), flood(full));
 }
 
-TEST(DramDeath, NonPowerOfTwoGeometryIsFatal)
+TEST(Dram, NonPowerOfTwoGeometryIsFatal)
 {
     DramConfig c = cfg();
     c.banksPerChannel = 3;
-    EXPECT_DEATH(Dram d(c), "powers of two");
+    EXPECT_ERROR(Dram d(c), ConfigError, "powers of two");
 }

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_error.hh"
+
 #include "sim/options.hh"
 
 using namespace pinte;
@@ -22,9 +24,9 @@ TEST(ParseReplacement, AcceptsAllNames)
     EXPECT_EQ(parseReplacement("random"), ReplacementKind::Random);
 }
 
-TEST(ParseReplacementDeath, RejectsUnknown)
+TEST(ParseReplacement, RejectsUnknown)
 {
-    EXPECT_DEATH(parseReplacement("mru"), "unknown replacement");
+    EXPECT_ERROR(parseReplacement("mru"), ConfigError, "unknown replacement");
 }
 
 TEST(ParseInclusion, AcceptsAllNames)
@@ -39,9 +41,9 @@ TEST(ParseInclusion, AcceptsAllNames)
     EXPECT_EQ(parseInclusion("EX"), InclusionPolicy::Exclusive);
 }
 
-TEST(ParseInclusionDeath, RejectsUnknown)
+TEST(ParseInclusion, RejectsUnknown)
 {
-    EXPECT_DEATH(parseInclusion("semi"), "unknown inclusion");
+    EXPECT_ERROR(parseInclusion("semi"), ConfigError, "unknown inclusion");
 }
 
 TEST(ParsePredictor, AcceptsAllNames)
@@ -58,9 +60,10 @@ TEST(ParsePredictor, AcceptsAllNames)
               BranchPredictorKind::AlwaysTaken);
 }
 
-TEST(ParsePredictorDeath, RejectsUnknown)
+TEST(ParsePredictor, RejectsUnknown)
 {
-    EXPECT_DEATH(parsePredictor("tage"), "unknown branch predictor");
+    EXPECT_ERROR(parsePredictor("tage"), ConfigError,
+                 "unknown branch predictor");
 }
 
 TEST(ParsePInteScope, AcceptsAllNames)
@@ -72,9 +75,9 @@ TEST(ParsePInteScope, AcceptsAllNames)
     EXPECT_EQ(parsePInteScope("both"), PInteScope::L2AndLlc);
 }
 
-TEST(ParsePInteScopeDeath, RejectsUnknown)
+TEST(ParsePInteScope, RejectsUnknown)
 {
-    EXPECT_DEATH(parsePInteScope("l3"), "unknown PInTE scope");
+    EXPECT_ERROR(parsePInteScope("l3"), ConfigError, "unknown PInTE scope");
 }
 
 TEST(ParseProbability, AcceptsRange)
@@ -85,15 +88,15 @@ TEST(ParseProbability, AcceptsRange)
     EXPECT_DOUBLE_EQ(parseProbability("1e-3"), 0.001);
 }
 
-TEST(ParseProbabilityDeath, RejectsOutOfRange)
+TEST(ParseProbability, RejectsOutOfRange)
 {
-    EXPECT_DEATH(parseProbability("1.5"), "out of");
-    EXPECT_DEATH(parseProbability("-0.1"), "out of");
+    EXPECT_ERROR(parseProbability("1.5"), ConfigError, "out of");
+    EXPECT_ERROR(parseProbability("-0.1"), ConfigError, "out of");
 }
 
-TEST(ParseProbabilityDeath, RejectsMalformed)
+TEST(ParseProbability, RejectsMalformed)
 {
-    EXPECT_DEATH(parseProbability("abc"), "malformed");
-    EXPECT_DEATH(parseProbability("0.5x"), "malformed");
-    EXPECT_DEATH(parseProbability(""), "malformed");
+    EXPECT_ERROR(parseProbability("abc"), ConfigError, "malformed");
+    EXPECT_ERROR(parseProbability("0.5x"), ConfigError, "malformed");
+    EXPECT_ERROR(parseProbability(""), ConfigError, "malformed");
 }

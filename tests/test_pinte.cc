@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_error.hh"
+
 #include <cmath>
 
 #include "cache/cache.hh"
@@ -213,10 +215,10 @@ TEST(PInte, StatsClearable)
     EXPECT_EQ(engine.stats().accessesSeen, 0u);
 }
 
-TEST(PInteDeath, OutOfRangeProbabilityIsFatal)
+TEST(PInte, OutOfRangeProbabilityIsFatal)
 {
-    EXPECT_DEATH(PInte({1.5, 1}), "P_Induce");
-    EXPECT_DEATH(PInte({-0.1, 1}), "P_Induce");
+    EXPECT_ERROR(PInte({1.5, 1}), ConfigError, "P_Induce");
+    EXPECT_ERROR(PInte({-0.1, 1}), ConfigError, "P_Induce");
 }
 
 TEST(PInte, StandardSweepHasTwelveAscendingPoints)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_error.hh"
+
 #include <set>
 
 #include "common/rng.hh"
@@ -177,10 +179,10 @@ TEST(PseudoLru, VictimMatchesRankZero)
     }
 }
 
-TEST(PseudoLruDeath, RequiresPowerOfTwoAssoc)
+TEST(PseudoLru, RequiresPowerOfTwoAssoc)
 {
-    EXPECT_DEATH(makeReplacementPolicy(ReplacementKind::PseudoLru, 4, 6),
-                 "power-of-two");
+    EXPECT_ERROR(makeReplacementPolicy(ReplacementKind::PseudoLru, 4, 6),
+                 ConfigError, "power-of-two");
 }
 
 TEST(Nmru, NeverEvictsMostRecentlyUsed)
@@ -308,10 +310,10 @@ TEST(Drrip, FollowerInsertsSrripWhenBrripLeadersMiss)
     EXPECT_GT(p->rank(3, 1), 0u);
 }
 
-TEST(ReplacementDeath, ZeroGeometryIsFatal)
+TEST(Replacement, ZeroGeometryIsFatal)
 {
-    EXPECT_DEATH(makeReplacementPolicy(ReplacementKind::Lru, 0, 4),
-                 "sets > 0");
-    EXPECT_DEATH(makeReplacementPolicy(ReplacementKind::Lru, 4, 0),
-                 "assoc > 0");
+    EXPECT_ERROR(makeReplacementPolicy(ReplacementKind::Lru, 0, 4),
+                 ConfigError, "sets > 0");
+    EXPECT_ERROR(makeReplacementPolicy(ReplacementKind::Lru, 4, 0),
+                 ConfigError, "assoc > 0");
 }

@@ -149,7 +149,27 @@ TEST(Runner, TickIsMonotoneReachesNAndRunsOnCallingThread)
     }
 }
 
-TEST(Runner, LowestIndexExceptionWinsAndAllJobsStillRun)
+TEST(Runner, SingleFailureRethrowsOriginalAndAllJobsStillRun)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        std::atomic<int> ran{0};
+        try {
+            Runner(jobs).forEach(64, [&](std::size_t i) {
+                if (i == 5)
+                    throw std::runtime_error("boom 5");
+                ran++;
+            });
+            FAIL() << "expected an exception (jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            // Exactly one failure: the original exception crosses the
+            // batch boundary unchanged (type and message).
+            EXPECT_STREQ(e.what(), "boom 5");
+        }
+        EXPECT_EQ(ran.load(), 63);
+    }
+}
+
+TEST(Runner, MultipleFailuresAggregateAndAllJobsStillRun)
 {
     for (unsigned jobs : {1u, 4u}) {
         std::atomic<int> ran{0};
@@ -162,10 +182,19 @@ TEST(Runner, LowestIndexExceptionWinsAndAllJobsStillRun)
                 ran++;
             });
             FAIL() << "expected an exception (jobs=" << jobs << ")";
-        } catch (const std::runtime_error &e) {
+        } catch (const MultiJobError &e) {
             // Deterministic regardless of which worker hit its
-            // exception first: the lowest-indexed failure is chosen.
-            EXPECT_STREQ(e.what(), "boom 5");
+            // exception first: failures come back in index order.
+            ASSERT_EQ(e.failures().size(), 2u);
+            EXPECT_EQ(e.failures()[0].first, 5u);
+            EXPECT_EQ(e.failures()[0].second, "boom 5");
+            EXPECT_EQ(e.failures()[1].first, 40u);
+            EXPECT_EQ(e.failures()[1].second, "boom 40");
+            EXPECT_EQ(e.totalJobs(), 64u);
+            EXPECT_NE(
+                std::string(e.what()).find("2 of 64 jobs failed"),
+                std::string::npos)
+                << "message was: " << e.what();
         }
         EXPECT_EQ(ran.load(), 62);
     }

@@ -77,6 +77,18 @@ goldenRun()
     return r;
 }
 
+/** A quarantined failure: identity plus error, no data. */
+RunResult
+goldenFailedRun()
+{
+    RunResult r;
+    r.workload = "synthetic.poisoned";
+    r.contention = "isolation";
+    r.error = {"trace", "trace_io", "/tmp/poison.trc",
+               "truncated trace /tmp/poison.trc"};
+    return r;
+}
+
 ReportMeta
 goldenMeta()
 {
@@ -97,6 +109,7 @@ emitGoldenJson()
         sink.note("golden note");
         sink.note(""); // spacing hint: machine sinks must drop it
         sink.run(goldenRun());
+        sink.run(goldenFailedRun());
         TableData t("golden_table", {"label", "count", "value"});
         t.addRow({"row-one", Cell::count(42), Cell::real(0.125, 3)});
         t.addRow({"row,two", Cell::count(0), Cell::pct(0.5, 1)});
@@ -108,8 +121,10 @@ emitGoldenJson()
 
 TEST(Sinks, JsonGoldenFile)
 {
-    const std::string path =
-        std::string(PINTE_TEST_DATA_DIR) + "/golden/report_v1.json";
+    const std::string path = std::string(PINTE_TEST_DATA_DIR) +
+                             "/golden/report_v" +
+                             std::to_string(reportSchemaVersion) +
+                             ".json";
     const std::string doc = emitGoldenJson();
 
     if (std::getenv("PINTE_REGOLD")) {
@@ -156,10 +171,29 @@ TEST(Sinks, JsonRoundTrip)
     ASSERT_EQ(v.at("notes").array.size(), 1u);
     EXPECT_EQ(v.at("notes").array[0].asString(), "golden note");
 
-    ASSERT_EQ(v.at("runs").array.size(), 1u);
+    ASSERT_EQ(v.at("runs").array.size(), 2u);
     const JsonValue &run = v.at("runs").array[0];
     EXPECT_EQ(run.at("workload").asString(), r.workload);
     EXPECT_EQ(run.at("contention").asString(), r.contention);
+    EXPECT_EQ(run.at("status").asString(), "ok");
+
+    // The quarantined run carries identity + error only — in
+    // particular no "metrics" key a v1 consumer could mistake for
+    // data — and the campaign-level summary counts it.
+    const JsonValue &bad = v.at("runs").array[1];
+    EXPECT_EQ(bad.at("workload").asString(), "synthetic.poisoned");
+    EXPECT_EQ(bad.at("status").asString(), "failed");
+    EXPECT_EQ(bad.find("metrics"), nullptr);
+    EXPECT_EQ(bad.find("samples"), nullptr);
+    const JsonValue &err = bad.at("error");
+    EXPECT_EQ(err.at("kind").asString(), "trace");
+    EXPECT_EQ(err.at("component").asString(), "trace_io");
+    EXPECT_EQ(err.at("path").asString(), "/tmp/poison.trc");
+    EXPECT_EQ(err.at("message").asString(),
+              "truncated trace /tmp/poison.trc");
+    const JsonValue &failures = v.at("failures");
+    EXPECT_EQ(failures.at("failed").asU64(), 1u);
+    EXPECT_EQ(failures.at("total").asU64(), 2u);
 
     // Metrics round-trip bit-identically (EXPECT_EQ, not NEAR).
     const JsonValue &m = run.at("metrics");
@@ -232,15 +266,22 @@ TEST(Sinks, CsvCarriesRunsAndTables)
         CsvSink sink(os, goldenMeta());
         sink.note("");
         sink.run(goldenRun());
+        sink.run(goldenFailedRun());
         TableData t("golden_table", {"label", "value"});
         t.addRow({"row,with,commas", Cell::real(0.5, 3)});
         sink.table(t);
         sink.close();
     }
     const std::string doc = os.str();
-    EXPECT_NE(doc.find("# pinte-report v1"), std::string::npos);
-    EXPECT_NE(doc.find("workload,contention,ipc"), std::string::npos);
+    EXPECT_NE(doc.find("# pinte-report v2"), std::string::npos);
+    EXPECT_NE(doc.find("workload,contention,status,ipc"),
+              std::string::npos);
     EXPECT_NE(doc.find("synthetic.golden"), std::string::npos);
+    EXPECT_NE(doc.find(",ok,"), std::string::npos);
+    EXPECT_NE(doc.find("synthetic.poisoned,isolation,failed,"),
+              std::string::npos);
+    EXPECT_NE(doc.find("truncated trace /tmp/poison.trc"),
+              std::string::npos);
     EXPECT_NE(doc.find("\"row,with,commas\""), std::string::npos);
     EXPECT_EQ(doc.find("# note:"), std::string::npos)
         << "empty note must be dropped by machine sinks";

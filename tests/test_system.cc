@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_error.hh"
+
 #include <cstdio>
 
 #include "sim/experiment.hh"
@@ -36,10 +38,10 @@ TEST(System, WiresRequestedCoreCount)
     EXPECT_EQ(sys.numCores(), 2u);
 }
 
-TEST(SystemDeath, SourceCountMustMatchCores)
+TEST(System, SourceCountMustMatchCores)
 {
     TraceGenerator a(findWorkload("435.gromacs"));
-    EXPECT_DEATH(System(MachineConfig::scaled(2), {&a}),
+    EXPECT_ERROR(System(MachineConfig::scaled(2), {&a}), ConfigError,
                  "one trace source per core");
 }
 
@@ -347,10 +349,10 @@ TEST(Experiment, BiggerMixesHurtMore)
     EXPECT_LT(w4, w2);
 }
 
-TEST(ExperimentDeath, EmptyMixIsFatal)
+TEST(Experiment, EmptyMixIsFatal)
 {
-    EXPECT_DEATH(runMix({}, MachineConfig::scaled(), quick()),
-                 "at least one workload");
+    EXPECT_ERROR(runMix({}, MachineConfig::scaled(), quick()),
+                 ConfigError, "at least one workload");
 }
 
 TEST(Experiment, FileTraceDrivesSystemIdentically)

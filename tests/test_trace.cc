@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_error.hh"
+
 #include <cstdio>
 #include <set>
 #include <string>
@@ -308,12 +310,13 @@ TEST(TraceIo, FileSourceWrapsLikeChampSim)
     std::remove(path.c_str());
 }
 
-TEST(TraceIoDeath, MissingFileIsFatal)
+TEST(TraceIo, MissingFileIsFatal)
 {
-    EXPECT_DEATH(FileTraceSource("/nonexistent/file.trc"), "cannot open");
+    EXPECT_ERROR(FileTraceSource("/nonexistent/file.trc"), TraceError,
+                 "cannot open");
 }
 
-TEST(TraceIoDeath, BadMagicIsFatal)
+TEST(TraceIo, BadMagicIsFatal)
 {
     const std::string path = ::testing::TempDir() + "garbage.trc";
     std::FILE *f = std::fopen(path.c_str(), "wb");
@@ -321,18 +324,18 @@ TEST(TraceIoDeath, BadMagicIsFatal)
     const char junk[64] = "this is not a pinte trace file at all";
     std::fwrite(junk, 1, sizeof(junk), f);
     std::fclose(f);
-    EXPECT_DEATH(FileTraceSource src(path), "not a pinte trace");
+    EXPECT_ERROR(FileTraceSource src(path), TraceError, "not a pinte trace");
     std::remove(path.c_str());
 }
 
-TEST(TraceIoDeath, TruncatedHeaderIsFatal)
+TEST(TraceIo, TruncatedHeaderIsFatal)
 {
     const std::string path = ::testing::TempDir() + "short.trc";
     std::FILE *f = std::fopen(path.c_str(), "wb");
     ASSERT_NE(f, nullptr);
     std::fwrite("PN", 1, 2, f);
     std::fclose(f);
-    EXPECT_DEATH(FileTraceSource src(path), "trace read failed");
+    EXPECT_ERROR(FileTraceSource src(path), TraceError, "trace read failed");
     std::remove(path.c_str());
 }
 
@@ -395,9 +398,10 @@ TEST(Zoo, SmallZooSpansClasses)
     EXPECT_GE(classes.size(), 5u);
 }
 
-TEST(ZooDeath, UnknownNameIsFatal)
+TEST(Zoo, UnknownNameIsFatal)
 {
-    EXPECT_DEATH(findWorkload("999.nonesuch"), "unknown zoo workload");
+    EXPECT_ERROR(findWorkload("999.nonesuch"), ConfigError,
+                 "unknown zoo workload");
 }
 
 TEST(WorkloadSpec, NormalizeMixSumsToOne)

@@ -1,0 +1,64 @@
+# ctest helper: the end-to-end quarantine acceptance check. One job of
+# a pintesim sweep is poisoned via PINTE_INJECT_FAULT; the campaign
+# must (1) exit nonzero, (2) still publish a schema-valid v2 report,
+# (3) record exactly one failed run in the failures summary while every
+# other cell carries data. Invoked from tools/CMakeLists.txt with
+# -DPINTESIM=... -DPYTHON=... -DCHECKER=... -DWORKDIR=...
+
+set(report "${WORKDIR}/pintesim_faulted_report.json")
+file(REMOVE ${report})
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env PINTE_INJECT_FAULT=job:3
+        ${PINTESIM}
+        --workload 450.soplex --sweep
+        --warmup 2000 --roi 4000 --sample 2000 --jobs 2
+        --format json --out ${report}
+    RESULT_VARIABLE sim_rc
+    OUTPUT_VARIABLE sim_out
+    ERROR_VARIABLE sim_err)
+if(sim_rc EQUAL 0)
+    message(FATAL_ERROR
+        "poisoned sweep exited 0; a failed job must surface in the "
+        "exit status:\n${sim_out}\n${sim_err}")
+endif()
+if(NOT sim_err MATCHES "sweep jobs failed")
+    message(FATAL_ERROR
+        "poisoned sweep did not report its failure count on stderr:\n"
+        "${sim_err}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${report}
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "faulted report failed schema validation (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} -c
+"import json, sys
+d = json.load(open(sys.argv[1]))
+f = d['failures']
+assert f['failed'] == 1, f
+failed = [r for r in d['runs'] if r['status'] == 'failed']
+ok = [r for r in d['runs'] if r['status'] == 'ok']
+assert len(failed) == 1 and len(ok) == f['total'] - 1, f
+assert 'injected fault: job' in failed[0]['error']['message'], failed
+assert all('metrics' in r for r in ok)
+print('check_faults: 1 quarantined, %d healthy runs' % len(ok))"
+        ${report}
+    RESULT_VARIABLE quarantine_rc
+    OUTPUT_VARIABLE quarantine_out
+    ERROR_VARIABLE quarantine_err)
+if(NOT quarantine_rc EQUAL 0)
+    message(FATAL_ERROR
+        "quarantine check failed (${quarantine_rc}):\n"
+        "${quarantine_out}\n${quarantine_err}")
+endif()
+message(STATUS "${check_out}")
+message(STATUS "${quarantine_out}")

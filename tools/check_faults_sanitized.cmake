@@ -1,0 +1,44 @@
+# ctest helper: build and run the fault-injection suite in a nested
+# build tree configured with PINTE_SANITIZE=address,undefined, so the
+# failure paths (throw/unwind across the runner, the atomic publish
+# rename, journal replay, the hang watchdog) are exercised under
+# ASan+UBSan. Invoked from tools/CMakeLists.txt with -DSOURCE_DIR=...
+# -DWORKDIR=... -DBUILD_TYPE=...; the nested tree is cached between
+# runs, so only the first invocation pays the configure+build cost.
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${WORKDIR}
+        -DPINTE_SANITIZE=address,undefined
+        -DCMAKE_BUILD_TYPE=${BUILD_TYPE}
+    RESULT_VARIABLE conf_rc
+    OUTPUT_VARIABLE conf_out
+    ERROR_VARIABLE conf_err)
+if(NOT conf_rc EQUAL 0)
+    message(FATAL_ERROR
+        "sanitized configure failed (${conf_rc}):\n"
+        "${conf_out}\n${conf_err}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} --build ${WORKDIR}
+        --target test_faults --parallel 4
+    RESULT_VARIABLE build_rc
+    OUTPUT_VARIABLE build_out
+    ERROR_VARIABLE build_err)
+if(NOT build_rc EQUAL 0)
+    message(FATAL_ERROR
+        "sanitized build failed (${build_rc}):\n"
+        "${build_out}\n${build_err}")
+endif()
+
+execute_process(
+    COMMAND ${WORKDIR}/tests/test_faults
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "sanitized fault suite failed (${run_rc}):\n"
+        "${run_out}\n${run_err}")
+endif()
+message(STATUS "sanitized fault suite passed")

@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Validate a pinte-report JSON document against schema version 1.
+"""Validate a pinte-report JSON document (schema versions 1 and 2).
 
 Usage:
     check_report.py [report.json]        # file, or stdin when omitted
     pintesim --report --format=json | check_report.py
+
+Version 2 adds a per-run "status" field ("ok" | "failed"), an "error"
+object on failed runs (which then carry no metrics/samples), and a
+top-level "failures" summary. Non-finite numbers (NaN, Infinity) are
+rejected everywhere: the emitter writes only finite doubles, and a
+NaN that sneaks into a report poisons every downstream reduction.
 
 Exit status 0 when the document conforms, 1 with a diagnostic per
 violation otherwise. Standard library only.
 """
 
 import json
+import math
 import sys
 
 SCHEMA = "pinte-report"
-SCHEMA_VERSION = 1
+SCHEMA_VERSIONS = (1, 2)
 
 METRIC_FIELDS = {
     "ipc": float,
@@ -60,10 +67,27 @@ CONFIG_FIELDS = {
     "run_seed": int,
 }
 
+ERROR_FIELDS = {
+    "kind": str,
+    "component": str,
+    "path": str,
+    "message": str,
+}
+
+FAILURES_FIELDS = {
+    "failed": int,
+    "total": int,
+}
+
+
+def reject_constant(token):
+    raise ValueError(f"non-finite number {token}")
+
 
 class Checker:
     def __init__(self):
         self.errors = []
+        self.version = SCHEMA_VERSIONS[-1]
 
     def error(self, path, message):
         self.errors.append(f"{path}: {message}")
@@ -83,6 +107,8 @@ class Checker:
                 ok = isinstance(value, (int, float)) and not isinstance(
                     value, bool
                 )
+                if ok and not math.isfinite(value):
+                    ok = False
             elif kind is int:
                 ok = isinstance(value, int) and not isinstance(value, bool)
             else:
@@ -97,6 +123,14 @@ class Checker:
             if name not in fields:
                 self.error(path, f"unknown field '{name}'")
 
+    def check_failed_run(self, run, path):
+        self.check_fields(run.get("error"), ERROR_FIELDS, f"{path}.error")
+        for name in run:
+            if name not in {"workload", "contention", "status", "error"}:
+                self.error(
+                    path, f"unknown field '{name}' on a failed run"
+                )
+
     def check_run(self, run, path):
         if not isinstance(run, dict):
             self.error(path, "expected object")
@@ -104,6 +138,18 @@ class Checker:
         for name in ("workload", "contention"):
             if not isinstance(run.get(name), str):
                 self.error(f"{path}.{name}", "expected string")
+        status = run.get("status")
+        if self.version >= 2:
+            if status not in ("ok", "failed"):
+                self.error(
+                    f"{path}.status",
+                    f"expected 'ok' or 'failed', got {status!r}",
+                )
+            if status == "failed":
+                self.check_failed_run(run, path)
+                return
+        elif "status" in run:
+            self.error(path, "unknown field 'status' (v1 document)")
         self.check_fields(
             run.get("metrics"), METRIC_FIELDS, f"{path}.metrics"
         )
@@ -126,8 +172,12 @@ class Checker:
             )
         self.check_fields(run.get("pinte"), PINTE_FIELDS, f"{path}.pinte")
         cpu = run.get("cpu_seconds")
-        if not isinstance(cpu, (int, float)) or isinstance(cpu, bool):
-            self.error(f"{path}.cpu_seconds", "expected number")
+        if (
+            not isinstance(cpu, (int, float))
+            or isinstance(cpu, bool)
+            or not math.isfinite(cpu)
+        ):
+            self.error(f"{path}.cpu_seconds", "expected finite number")
         known = {
             "workload",
             "contention",
@@ -137,6 +187,8 @@ class Checker:
             "pinte",
             "cpu_seconds",
         }
+        if self.version >= 2:
+            known.add("status")
         for name in run:
             if name not in known:
                 self.error(path, f"unknown field '{name}'")
@@ -174,9 +226,40 @@ class Checker:
                         f"{path}.rows[{i}][{j}]",
                         "expected string or number",
                     )
+                elif isinstance(cell, float) and not math.isfinite(cell):
+                    self.error(
+                        f"{path}.rows[{i}][{j}]",
+                        f"non-finite number {cell!r}",
+                    )
         for name in table:
             if name not in {"name", "columns", "rows"}:
                 self.error(path, f"unknown field '{name}'")
+
+    def check_failures(self, doc):
+        failures = doc.get("failures")
+        self.check_fields(failures, FAILURES_FIELDS, "$.failures")
+        if not isinstance(failures, dict):
+            return
+        runs = doc.get("runs")
+        if not isinstance(runs, list):
+            return
+        failed = sum(
+            1
+            for r in runs
+            if isinstance(r, dict) and r.get("status") == "failed"
+        )
+        if failures.get("failed") != failed:
+            self.error(
+                "$.failures.failed",
+                f"claims {failures.get('failed')!r} but "
+                f"{failed} run(s) have status 'failed'",
+            )
+        if failures.get("total") != len(runs):
+            self.error(
+                "$.failures.total",
+                f"claims {failures.get('total')!r} but the document "
+                f"carries {len(runs)} run(s)",
+            )
 
     def check_document(self, doc):
         if not isinstance(doc, dict):
@@ -185,12 +268,14 @@ class Checker:
         if doc.get("schema") != SCHEMA:
             self.error("$.schema", f"expected {SCHEMA!r}, got "
                        f"{doc.get('schema')!r}")
-        if doc.get("schema_version") != SCHEMA_VERSION:
+        version = doc.get("schema_version")
+        if version not in SCHEMA_VERSIONS:
             self.error(
                 "$.schema_version",
-                f"expected {SCHEMA_VERSION}, got "
-                f"{doc.get('schema_version')!r}",
+                f"expected one of {SCHEMA_VERSIONS}, got {version!r}",
             )
+        else:
+            self.version = version
         if not isinstance(doc.get("tool"), str) or not doc.get("tool"):
             self.error("$.tool", "expected non-empty string")
         self.check_fields(doc.get("config"), CONFIG_FIELDS, "$.config")
@@ -208,6 +293,8 @@ class Checker:
         else:
             for i, run in enumerate(runs):
                 self.check_run(run, f"$.runs[{i}]")
+        if self.version >= 2:
+            self.check_failures(doc)
         tables = doc.get("tables")
         if not isinstance(tables, list):
             self.error("$.tables", "expected array")
@@ -223,6 +310,8 @@ class Checker:
             "runs",
             "tables",
         }
+        if self.version >= 2:
+            known.add("failures")
         for name in doc:
             if name not in known:
                 self.error("$", f"unknown field '{name}'")
@@ -245,8 +334,8 @@ def main(argv):
         return 1
 
     try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as e:
+        doc = json.loads(text, parse_constant=reject_constant)
+    except (json.JSONDecodeError, ValueError) as e:
         sys.stderr.write(f"check_report: {source}: not JSON: {e}\n")
         return 1
 
@@ -257,14 +346,21 @@ def main(argv):
             sys.stderr.write(f"check_report: {source}: {error}\n")
         sys.stderr.write(
             f"check_report: {source}: {len(checker.errors)} violation(s) "
-            f"of pinte-report v{SCHEMA_VERSION}\n"
+            f"of pinte-report v{checker.version}\n"
         )
         return 1
-    runs = len(doc.get("runs", []))
+    runs = doc.get("runs", [])
+    failed = sum(
+        1
+        for r in runs
+        if isinstance(r, dict) and r.get("status") == "failed"
+    )
     tables = len(doc.get("tables", []))
+    status = f", {failed} failed" if failed else ""
     print(
         f"check_report: {source}: valid pinte-report "
-        f"v{SCHEMA_VERSION} ({runs} runs, {tables} tables)"
+        f"v{checker.version} ({len(runs)} runs{status}, "
+        f"{tables} tables)"
     )
     return 0
 

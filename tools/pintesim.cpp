@@ -21,15 +21,19 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/journal.hh"
 #include "sim/options.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
 #include "sim/sink.hh"
+#include "sim/watchdog.hh"
 
 using namespace pinte;
 
@@ -58,6 +62,9 @@ usage()
         "      --seed N          run seed (PInTE RNG stream)\n"
         "      --jobs N          worker threads for --sweep "
         "(default: all cores)\n"
+        "      --job-timeout S   fail a job stalled for S seconds\n"
+        "      --resume FILE     journal completed runs in FILE and\n"
+        "                        serve already-journaled runs from it\n"
         "      --format FMT      output format: table json csv\n"
         "      --out FILE        write the report to FILE\n"
         "      --json            shorthand for --format=json\n"
@@ -68,8 +75,11 @@ usage()
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+pinteMain(int argc, char **argv)
 {
     std::string workload = "450.soplex";
     std::optional<double> pinduce;
@@ -78,6 +88,8 @@ main(int argc, char **argv)
     bool report = false;
     bool scope_set = false;
     unsigned jobs = 0;
+    double job_timeout = 0.0;
+    std::string resume_path;
     double dram_factor = 0.0;
     PInteScope scope = PInteScope::LlcOnly;
     ReportFormat format = ReportFormat::Table;
@@ -142,6 +154,10 @@ main(int argc, char **argv)
             params.runSeed = parseCount(a, need());
         } else if (a == "--jobs") {
             jobs = static_cast<unsigned>(parseCount(a, need()));
+        } else if (a == "--job-timeout") {
+            job_timeout = parseReal(a, need());
+        } else if (a == "--resume") {
+            resume_path = need();
         } else if (a == "--format") {
             format = parseReportFormat(need());
         } else if (a == "--out") {
@@ -191,8 +207,14 @@ main(int argc, char **argv)
         Report rep(format, out_path,
                    {"pintesim", m.fingerprint(), params});
         emitMachineReport(sys, rep.sink());
+        rep.close();
         return 0;
     }
+
+    // Single runs execute on this thread; arm the hang watchdog here
+    // (sweep workers re-arm per job via the Runner).
+    if (job_timeout > 0.0)
+        JobWatchdog::arm(job_timeout);
 
     Report rep(format, out_path,
                {"pintesim", machine.fingerprint(), params});
@@ -206,6 +228,7 @@ main(int argc, char **argv)
                                  .runAll();
         for (const auto &r : results)
             emit(r);
+        rep.close();
         return 0;
     }
 
@@ -214,10 +237,11 @@ main(int argc, char **argv)
                  .workload(spec)
                  .params(params)
                  .run());
+        rep.close();
         return 0;
     }
 
-    auto one = [&](double p) {
+    auto build = [&](double p) {
         ExperimentSpec e(machine);
         e.workload(spec).pinte(p).params(params);
         // Unlike the old run* entry points, scope and the DRAM
@@ -227,21 +251,70 @@ main(int argc, char **argv)
             e.scope(scope);
         if (dram_factor > 0.0)
             e.dramComplement(dram_factor);
-        return e.run();
+        return e;
     };
 
     if (sweep) {
         // The sweep's 12 configurations are independent simulations;
         // run them across the worker pool and emit in sweep order.
+        // Jobs are fault-isolated: a faulting point becomes a
+        // quarantined "failed" cell in the report while every other
+        // point completes.
+        std::unique_ptr<RunJournal> journal;
+        if (!resume_path.empty())
+            journal = std::make_unique<RunJournal>(resume_path);
+
+        const std::string fp = machine.fingerprint();
+        auto oneTry = [&](double p) {
+            const ExperimentSpec e = build(p);
+            const std::string key =
+                journalKey(fp, params, spec.name, e.contention());
+            if (journal)
+                if (const RunResult *done = journal->find(key))
+                    return *done;
+            RunOutcome o = e.tryRun();
+            if (journal && o.ok())
+                journal->record(key, o.result);
+            return std::move(o.result);
+        };
+
         const auto &points = standardPInduceSweep();
-        const Runner runner(jobs);
+        Runner runner(jobs);
+        runner.jobTimeout(job_timeout);
         const auto results = runner.map(
             points.size(),
-            [&](std::size_t k) { return one(points[k]); });
-        for (const auto &r : results)
+            [&](std::size_t k) { return oneTry(points[k]); });
+        std::size_t failed = 0;
+        for (const auto &r : results) {
+            if (r.failed())
+                ++failed;
             emit(r);
+        }
+        rep.close();
+        if (failed) {
+            std::fprintf(stderr,
+                         "pintesim: %zu of %zu sweep jobs failed\n",
+                         failed, results.size());
+            return 1;
+        }
     } else {
-        emit(one(*pinduce));
+        emit(build(*pinduce).run());
+        rep.close();
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Library errors are typed exceptions; keep the one-line fatal UX
+    // (and exit code) the old process-killing fatal() provided.
+    try {
+        return pinteMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
 }
