@@ -4,6 +4,8 @@
 
 #include "common/bitops.hh"
 #include "common/error.hh"
+#include "common/fault.hh"
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -26,6 +28,19 @@ namespace
 
 /** Entries in the direct-mapped pending-fill (MSHR merge) table. */
 constexpr std::size_t pendingEntries = 1024;
+
+/** Render a line number as lowercase hex for audit messages. */
+std::string
+hexLine(Addr line)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s;
+    do {
+        s.insert(s.begin(), digits[line & 0xf]);
+        line >>= 4;
+    } while (line);
+    return "0x" + s;
+}
 
 } // namespace
 
@@ -198,6 +213,8 @@ Cache::evict(unsigned set, unsigned way, CoreId requester, Cycle cycle)
         wb.type = AccessType::Writeback;
         wb.cycle = cycle;
         wb.wbDirty = true;
+        if (wb.core < stats_.perCore.size())
+            stats_.perCore[wb.core].writebacksOut++;
         next_->access(wb);
     } else if (!b.dirty && next_) {
         // Clean evictions feed exclusive downstream caches (victim
@@ -210,6 +227,8 @@ Cache::evict(unsigned set, unsigned way, CoreId requester, Cycle cycle)
             ev.type = AccessType::Writeback;
             ev.cycle = cycle;
             ev.wbDirty = false;
+            if (ev.core < stats_.perCore.size())
+                stats_.perCore[ev.core].writebacksOut++;
             next_->access(ev);
         }
     }
@@ -263,6 +282,7 @@ Cache::invalidateLine(Addr addr, Cycle cycle, bool writeback_dirty)
         wb.core = b.owner < stats_.perCore.size() ? b.owner : 0;
         wb.type = AccessType::Writeback;
         wb.cycle = cycle;
+        stats_.perCore[wb.core].writebacksOut++;
         next_->access(wb);
         return false;
     }
@@ -293,7 +313,11 @@ Cache::invalidateWayAsTheft(unsigned set, unsigned way, Cycle cycle)
     // clears the valid bit and queues the writeback. A real adversary
     // fill in an inclusive LLC would also kill the L1/L2 copies — one
     // of the access-pattern details PInTE trades away (section IV-B),
-    // and the mechanism behind the inclusion row of Fig 11.
+    // and the mechanism behind the inclusion row of Fig 11. From here
+    // on strict inclusion no longer holds, so the paranoid audit stops
+    // checking it.
+    if (config_.inclusion == InclusionPolicy::Inclusive)
+        inclusionCompromised_ = true;
 
     // Dirty victims create writeback traffic toward DRAM, the one form
     // of downstream contention PInTE does produce (section IV-B).
@@ -303,6 +327,7 @@ Cache::invalidateWayAsTheft(unsigned set, unsigned way, Cycle cycle)
         wb.core = b.owner < stats_.perCore.size() ? b.owner : 0;
         wb.type = AccessType::Writeback;
         wb.cycle = cycle;
+        stats_.perCore[wb.core].writebacksOut++;
         next_->access(wb);
     }
 
@@ -413,6 +438,11 @@ Cache::access(const MemAccess &req)
             result = {pend, false};
         } else {
             st.hits++;
+            // Injected corruption: a spurious hit with no matching
+            // access breaks accesses = hits + misses, which the
+            // paranoid stat audit must flag (tests/test_invariants.cc).
+            if (faultInjected("stat-skew"))
+                st.hits++;
             // Reuse-position histogram: stack depth before promotion,
             // 0 = MRU end (Fig 5/6 compare these distributions).
             const unsigned depth =
@@ -439,6 +469,7 @@ Cache::access(const MemAccess &req)
                 wb.core = b.owner < stats_.perCore.size() ? b.owner : c;
                 wb.type = AccessType::Writeback;
                 wb.cycle = req.cycle;
+                stats_.perCore[wb.core].writebacksOut++;
                 next_->access(wb);
             }
             if (b.owner < occupancy_.size())
@@ -473,6 +504,12 @@ Cache::access(const MemAccess &req)
             evict(set, victim, req.core, req.cycle);
             fillBlock(set, victim, line, req.core, is_store, is_prefetch);
             notePending(line, down_ready);
+            // Injected corruption: clone the filled tag into a second
+            // way — the classic replacement-stack corruption the
+            // duplicate-tag audit exists to catch.
+            if (config_.assoc > 1 && faultInjected("stack-corrupt"))
+                blockAt(set, (victim + 1) % config_.assoc) =
+                    blockAt(set, victim);
         }
 
         result = {down_ready, false};
@@ -485,6 +522,116 @@ Cache::access(const MemAccess &req)
     }
 
     return result;
+}
+
+void
+Cache::auditSet(unsigned set) const
+{
+    const std::string comp = "cache:" + config_.name;
+
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        const Block &b = blockAt(set, w);
+        if (b.dirty && !b.valid)
+            invariantFail(comp, "dirty bit set on an invalid block",
+                          set, w);
+        if (b.valid && b.owner >= config_.numCores)
+            invariantFail(comp,
+                          "valid block owned by out-of-range core " +
+                              std::to_string(b.owner),
+                          set, w);
+        if (!b.valid)
+            continue;
+        for (unsigned w2 = w + 1; w2 < config_.assoc; ++w2) {
+            const Block &b2 = blockAt(set, w2);
+            if (b2.valid && b2.line == b.line)
+                invariantFail(comp,
+                              "duplicate tag: ways " + std::to_string(w) +
+                                  " and " + std::to_string(w2) +
+                                  " both hold line " + hexLine(b.line),
+                              set, w2);
+        }
+    }
+
+    policy_->auditSet(set);
+}
+
+void
+Cache::audit() const
+{
+    const std::string comp = "cache:" + config_.name;
+
+    for (unsigned s = 0; s < config_.numSets; ++s)
+        auditSet(s);
+
+    // Occupancy counters must match a recount of valid blocks.
+    std::vector<std::uint64_t> recount(config_.numCores, 0);
+    for (unsigned s = 0; s < config_.numSets; ++s)
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            const Block &b = blockAt(s, w);
+            if (b.valid && b.owner < config_.numCores)
+                recount[b.owner]++;
+        }
+    for (unsigned c = 0; c < config_.numCores; ++c)
+        if (recount[c] != occupancy_[c])
+            invariantFail(comp,
+                          "occupancy drift for core " + std::to_string(c) +
+                              ": counter " + std::to_string(occupancy_[c]) +
+                              ", recount " + std::to_string(recount[c]));
+
+    // Pending-fill (MSHR merge) table: each entry either holds the
+    // initial sentinel or a line that maps to its slot.
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const Pending &p = pending_[i];
+        if (p.line != ~Addr(0) && p.line % pendingEntries != i)
+            invariantFail(comp,
+                          "pending-fill entry " + std::to_string(i) +
+                              " holds line " + hexLine(p.line) +
+                              ", which maps to slot " +
+                              std::to_string(p.line % pendingEntries));
+    }
+
+    // Inclusive hierarchies: every valid upper-level line must be
+    // resident here — until the first induced theft deliberately
+    // breaks inclusion (see invalidateWayAsTheft).
+    if (config_.inclusion == InclusionPolicy::Inclusive &&
+        !inclusionCompromised_) {
+        for (const Cache *up : upstreams_)
+            for (unsigned s = 0; s < up->config_.numSets; ++s)
+                for (unsigned w = 0; w < up->config_.assoc; ++w) {
+                    const Block &b = up->blockAt(s, w);
+                    if (b.valid && !probe(b.line << blockShift))
+                        invariantFail(comp,
+                                      "inclusion violated: line held by "
+                                      "upstream '" + up->config_.name +
+                                          "' is not resident",
+                                      s, w);
+                }
+    }
+
+    // Local stat conservation: every demand access is exactly one of a
+    // hit or a miss, and exactly one of a load or a store.
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        const PerCoreCacheStats &st = stats_.perCore[c];
+        if (st.hits + st.misses != st.accesses)
+            invariantFail(comp,
+                          "core " + std::to_string(c) + ": hits (" +
+                              std::to_string(st.hits) + ") + misses (" +
+                              std::to_string(st.misses) +
+                              ") != accesses (" +
+                              std::to_string(st.accesses) + ")");
+        if (st.loadAccesses + st.storeAccesses != st.accesses)
+            invariantFail(comp,
+                          "core " + std::to_string(c) +
+                              ": loads + stores != accesses");
+        if (st.loadMisses + st.storeMisses != st.misses)
+            invariantFail(comp,
+                          "core " + std::to_string(c) +
+                              ": load misses + store misses != misses");
+        if (st.mergedMisses > st.misses)
+            invariantFail(comp,
+                          "core " + std::to_string(c) +
+                              ": merged misses exceed misses");
+    }
 }
 
 void
@@ -512,6 +659,8 @@ Cache::registerStats(StatRegistry &reg, const std::string &prefix) const
                        &s.writebacksIn);
         reg.addCounter(p + ".writeback_misses",
                        "writebacks that allocated", &s.writebackMisses);
+        reg.addCounter(p + ".writebacks_out", "writebacks sent downstream",
+                       &s.writebacksOut);
         reg.addCounter(p + ".prefetch_issued", "prefetches issued",
                        &s.prefetchIssued);
         reg.addCounter(p + ".prefetch_misses",

@@ -132,6 +132,26 @@ class Cache : public MemoryLevel
     /** Invalidate a line anywhere in the cache (back-invalidation). */
     bool invalidateLine(Addr addr, Cycle cycle, bool writeback_dirty);
 
+    /** @name Paranoid-mode audits (common/invariant.hh). */
+    /// @{
+    /**
+     * Validate one set: no duplicate valid tags, dirty implies valid,
+     * owners in range, replacement ranks a permutation. Throws
+     * InvariantError on violation. The PInTE engine calls this on the
+     * touched set after every induction when paranoid mode is on.
+     */
+    void auditSet(unsigned set) const;
+    /**
+     * Validate the whole cache: every set via auditSet(), per-core
+     * occupancy counters against a recount of valid blocks, the
+     * pending-fill table's direct-mapped slot consistency, inclusive
+     * upstreams' residency (until the first induced theft deliberately
+     * breaks inclusion — see invalidateWayAsTheft), and the local stat
+     * identities accesses = hits + misses and loads + stores = accesses.
+     */
+    void audit() const;
+    /// @}
+
     /** Statistics. */
     CacheStats &stats() { return stats_; }
     const CacheStats &stats() const { return stats_; }
@@ -212,6 +232,14 @@ class Cache : public MemoryLevel
 
     CacheStats stats_;
     unsigned indexBits_;
+
+    /**
+     * An induced theft in an Inclusive cache deliberately skips
+     * back-invalidation (the paper's Fig 11 inclusion mechanism), so
+     * the hierarchy stops being strictly inclusive from that point on.
+     * audit() checks inclusion only while this is false.
+     */
+    bool inclusionCompromised_ = false;
 };
 
 } // namespace pinte

@@ -37,6 +37,7 @@ struct PerCoreCacheStats
 
     std::uint64_t writebacksIn = 0;   //!< writebacks received (L2 spills)
     std::uint64_t writebackMisses = 0; //!< writebacks that allocated
+    std::uint64_t writebacksOut = 0;  //!< writebacks sent downstream
 
     std::uint64_t prefetchIssued = 0;
     std::uint64_t prefetchMisses = 0; //!< prefetches that went downstream

@@ -1,0 +1,40 @@
+#include "common/crc32.hh"
+
+#include <array>
+
+namespace pinte
+{
+
+namespace
+{
+
+constexpr std::uint32_t polynomial = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? (polynomial ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto table = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace pinte

@@ -21,6 +21,10 @@
  *    artifacts, an injected fault, a resource failure.
  *  - TimeoutError (a SimError): the per-job watchdog saw no
  *    instruction progress within --job-timeout seconds.
+ *  - InvariantError (a SimError, declared in common/invariant.hh): a
+ *    paranoid-mode audit found corrupted microarchitectural state or a
+ *    violated stat conservation identity. Unlike the kinds above it
+ *    signals a simulator bug, not bad input or a bad environment.
  */
 
 #ifndef PINTE_COMMON_ERROR_HH
@@ -36,10 +40,11 @@ namespace pinte
 /** Coarse class of a pinte::Error, stable across the report schema. */
 enum class ErrorKind
 {
-    Config,  //!< bad user input or configuration
-    Trace,   //!< trace file missing/corrupt/truncated/wrong version
-    Sim,     //!< runtime failure while simulating or writing artifacts
-    Timeout, //!< per-job watchdog expired without instruction progress
+    Config,    //!< bad user input or configuration
+    Trace,     //!< trace file missing/corrupt/truncated/wrong version
+    Sim,       //!< runtime failure while simulating or writing artifacts
+    Timeout,   //!< per-job watchdog expired without instruction progress
+    Invariant, //!< paranoid-mode audit found corrupted simulator state
 };
 
 /** Printable name of an error kind ("config", "trace", ...). */
@@ -51,6 +56,7 @@ toString(ErrorKind k)
       case ErrorKind::Trace: return "trace";
       case ErrorKind::Sim: return "sim";
       case ErrorKind::Timeout: return "timeout";
+      case ErrorKind::Invariant: return "invariant";
     }
     return "unknown";
 }

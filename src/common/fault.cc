@@ -18,12 +18,18 @@ struct FaultPlan
     unsigned long long nth = 1;
     std::atomic<unsigned long long> hits{0};
 
-    FaultPlan()
+    FaultPlan() { parse(std::getenv("PINTE_INJECT_FAULT")); }
+
+    void
+    parse(const char *spec)
     {
-        const char *env = std::getenv("PINTE_INJECT_FAULT");
-        if (!env || !*env)
+        armed = false;
+        kind.clear();
+        nth = 1;
+        hits.store(0, std::memory_order_relaxed);
+        if (!spec || !*spec)
             return;
-        const std::string s(env);
+        const std::string s(spec);
         const auto colon = s.rfind(':');
         kind = s.substr(0, colon);
         if (colon != std::string::npos) {
@@ -54,6 +60,12 @@ faultInjected(const char *kind)
     if (!p.armed || p.kind != kind)
         return false;
     return p.hits.fetch_add(1, std::memory_order_relaxed) + 1 == p.nth;
+}
+
+void
+armFault(const char *spec)
+{
+    plan().parse(spec);
 }
 
 } // namespace pinte

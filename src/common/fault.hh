@@ -17,6 +17,13 @@
  *  - "trace-open"   FileTraceSource constructor — TraceError
  *  - "report-write" AtomicFile::commit() — the artifact write fails
  *                   after the temp file is fully written
+ *  - "stack-corrupt" Cache::access() fill path — duplicates the filled
+ *                   tag into a second way of the same set (the classic
+ *                   replacement-stack corruption paranoid mode exists
+ *                   to catch)
+ *  - "stat-skew"    Cache::access() hit path — bumps the hit counter
+ *                   without the matching access, breaking the
+ *                   accesses = hits + misses conservation identity
  *
  * The hit counter is global and atomic, so "job:3" poisons the third
  * job started process-wide regardless of worker interleaving; which
@@ -35,6 +42,16 @@ namespace pinte
  * Always false when PINTE_INJECT_FAULT is unset or names another site.
  */
 bool faultInjected(const char *kind);
+
+/**
+ * Re-arm the fault plan programmatically with the same "kind:nth"
+ * syntax as PINTE_INJECT_FAULT ("" disarms), resetting the hit
+ * counter. Tests that need several different sites in one process
+ * (test_invariants.cc arms stack-corrupt, then stat-skew) use this;
+ * production code never calls it. Not safe concurrently with active
+ * simulation threads — call between runs only.
+ */
+void armFault(const char *spec);
 
 } // namespace pinte
 

@@ -1,0 +1,86 @@
+#include "common/invariant.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace pinte
+{
+
+void
+invariantFail(const std::string &component, const std::string &what,
+              long set, long way)
+{
+    std::ostringstream msg;
+    msg << "invariant violated: " << what;
+    if (set >= 0)
+        msg << " [set " << set;
+    if (way >= 0)
+        msg << (set >= 0 ? ", way " : " [way ") << way;
+    if (set >= 0 || way >= 0)
+        msg << "]";
+
+    Error::Context ctx;
+    ctx.component = component;
+    throw InvariantError(msg.str(), std::move(ctx), set, way);
+}
+
+namespace Paranoid
+{
+
+namespace detail
+{
+
+namespace
+{
+
+/**
+ * Compile-time default sweep interval (0 = off). The PINTE_PARANOID
+ * CMake option sets -DPINTE_PARANOID_DEFAULT=4096 so a whole build
+ * tree — and therefore its entire ctest suite — audits by default.
+ */
+constexpr std::uint32_t compiledDefault =
+#ifdef PINTE_PARANOID_DEFAULT
+    PINTE_PARANOID_DEFAULT;
+#else
+    0;
+#endif
+
+/**
+ * Initial interval: the PINTE_PARANOID environment variable wins over
+ * the compiled default. "0" disables, "1" or an empty value selects
+ * defaultInterval, any other integer is the sweep period.
+ */
+std::uint32_t
+initialInterval()
+{
+    const char *env = std::getenv("PINTE_PARANOID");
+    if (!env)
+        return compiledDefault;
+    if (*env == '\0')
+        return defaultInterval;
+    char *end = nullptr;
+    unsigned long n = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0')
+        return compiledDefault; // unparsable: ignore, keep default
+    if (n == 0)
+        return 0;
+    if (n == 1)
+        return defaultInterval;
+    return static_cast<std::uint32_t>(n);
+}
+
+} // namespace
+
+std::atomic<std::uint32_t> interval{initialInterval()};
+
+} // namespace detail
+
+void
+enable(std::uint32_t n)
+{
+    detail::interval.store(n, std::memory_order_relaxed);
+}
+
+} // namespace Paranoid
+
+} // namespace pinte

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Paranoid mode: simulator-wide runtime invariant checking.
+ *
+ * PInTE's results rest on the simulator being a trustworthy substrate:
+ * induced thefts mutate replacement state mid-flight, and a silent
+ * corruption of the stack (a duplicate way, a stale valid bit, a lost
+ * writeback) skews KL-divergence and C²AFE numbers without crashing
+ * anything. Paranoid mode makes the simulation fault-*detecting*: every
+ * component exposes an audit() hook that validates its own
+ * microarchitectural state, the System sweeps all of them every N
+ * cycles (and the PInTE engine re-audits the touched set at every
+ * induction site), and end-of-run stat conservation identities are
+ * checked through the StatRegistry. A violated invariant throws
+ * InvariantError carrying component/set/way context, which the PR 3
+ * quarantine machinery turns into a failed-run cell like any other
+ * job fault.
+ *
+ * Cost model: paranoid mode is opt-in and zero-cost when off — every
+ * hot-path call site guards on Paranoid::on(), a single relaxed atomic
+ * load and branch. Enable it with
+ *
+ *   - `pintesim --paranoid[=N]`      (N = cycles between full sweeps),
+ *   - the PINTE_PARANOID environment variable (same meaning; "0"
+ *     disables, empty/unset leaves the compiled default), or
+ *   - the PINTE_PARANOID CMake option, which flips the compiled
+ *     default so the entire ctest suite runs with auditing on.
+ */
+
+#ifndef PINTE_COMMON_INVARIANT_HH
+#define PINTE_COMMON_INVARIANT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hh"
+
+namespace pinte
+{
+
+/**
+ * A paranoid-mode audit found corrupted simulator state: a structural
+ * invariant (duplicate tag, non-permutation replacement metadata,
+ * occupancy drift) or a conservation identity (accesses = hits +
+ * misses, writebacks in = writebacks out) failed to hold. set()/way()
+ * locate the corruption when the failing check is set-granular; -1
+ * means "not applicable" (component- or machine-wide checks).
+ */
+class InvariantError : public SimError
+{
+  public:
+    InvariantError(const std::string &message, Context ctx = {},
+                   long set = -1, long way = -1)
+        : SimError(ErrorKind::Invariant, message, std::move(ctx)),
+          set_(set), way_(way)
+    {
+    }
+
+    long set() const { return set_; }
+    long way() const { return way_; }
+
+  private:
+    long set_;
+    long way_;
+};
+
+/**
+ * Raise an InvariantError for `component` (e.g. "cache:LLC", "dram",
+ * "pinte"). `what` describes the violated invariant; set/way (when
+ * >= 0) are appended to the message and carried structurally.
+ */
+[[noreturn]] void invariantFail(const std::string &component,
+                                const std::string &what, long set = -1,
+                                long way = -1);
+
+namespace Paranoid
+{
+
+namespace detail
+{
+/** 0 = off; otherwise cycles between full-machine audit sweeps. */
+extern std::atomic<std::uint32_t> interval;
+} // namespace detail
+
+/** True when paranoid mode is enabled. Hot-path guard: one load. */
+inline bool
+on()
+{
+    return detail::interval.load(std::memory_order_relaxed) != 0;
+}
+
+/** Cycles between full-machine audit sweeps (0 when off). */
+inline std::uint32_t
+interval()
+{
+    return detail::interval.load(std::memory_order_relaxed);
+}
+
+/** Sweep period used by `--paranoid` / PINTE_PARANOID=1 without =N. */
+constexpr std::uint32_t defaultInterval = 4096;
+
+/**
+ * Enable paranoid mode with a full sweep every `n` cycles (0
+ * disables). Call before simulation threads start; the value is read
+ * with relaxed atomics from then on.
+ */
+void enable(std::uint32_t n = defaultInterval);
+
+/** Disable paranoid mode (test teardown). */
+inline void
+disable()
+{
+    detail::interval.store(0, std::memory_order_relaxed);
+}
+
+} // namespace Paranoid
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_INVARIANT_HH

@@ -1,6 +1,7 @@
 #include "pinte.hh"
 
 #include "common/error.hh"
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -78,6 +79,29 @@ PInte::onAccess(Cache &cache, unsigned set, CoreId core, Cycle cycle)
 
         --blocks_evict;
         ++w;
+    }
+
+    // Every induction site is an audit site: promote-then-invalidate
+    // is precisely the state mutation most likely to corrupt the
+    // replacement stack, so paranoid mode re-validates the touched set
+    // before the access that triggered us returns, plus the engine's
+    // own counter identities.
+    if (Paranoid::on()) {
+        cache.auditSet(set);
+        if (stats_.triggers > stats_.accessesSeen)
+            invariantFail("pinte", "triggers (" +
+                              std::to_string(stats_.triggers) +
+                              ") exceed accesses seen (" +
+                              std::to_string(stats_.accessesSeen) + ")");
+        if (stats_.invalidations > stats_.requestedEvicts)
+            invariantFail("pinte", "invalidations (" +
+                              std::to_string(stats_.invalidations) +
+                              ") exceed requested evictions (" +
+                              std::to_string(stats_.requestedEvicts) + ")");
+        if (config_.promote && stats_.invalidations > stats_.promotions)
+            invariantFail("pinte",
+                          "more invalidations than promotions with the "
+                          "PROMOTE state enabled");
     }
 }
 

@@ -1,6 +1,7 @@
 #include "core.hh"
 
 #include <algorithm>
+#include "common/invariant.hh"
 #include "common/stats.hh"
 
 namespace pinte
@@ -138,6 +139,7 @@ Core::fetch()
             return;
         if (fetchStallUntil_ > cycle_)
             return;
+        ++recordsConsumed_;
         dispatch(source_->next());
     }
 }
@@ -180,6 +182,33 @@ Core::runInstructions(InstCount n)
         runCycles(512);
         (void)before;
     }
+}
+
+void
+Core::audit() const
+{
+    const std::string comp = "core" + std::to_string(id_);
+
+    if (rob_.size() > config_.robSize)
+        invariantFail(comp, "ROB holds " + std::to_string(rob_.size()) +
+                                " entries, capacity " +
+                                std::to_string(config_.robSize));
+
+    // No squash path exists (mispredicts only stall the frontend), so
+    // every consumed record is accounted for: retired or in flight.
+    if (retiredTotal_ + rob_.size() != recordsConsumed_)
+        invariantFail(comp,
+                      "record conservation: retired (" +
+                          std::to_string(retiredTotal_) + ") + in-ROB (" +
+                          std::to_string(rob_.size()) +
+                          ") != records consumed (" +
+                          std::to_string(recordsConsumed_) + ")");
+
+    if (stats_.instructions > retiredTotal_)
+        invariantFail(comp,
+                      "windowed retirement count exceeds lifetime total");
+    if (stats_.mispredicts > stats_.branches)
+        invariantFail(comp, "more mispredicts than branches");
 }
 
 void

@@ -113,6 +113,18 @@ class Core
     /** Instructions retired since construction (ignores clearStats). */
     InstCount retired() const { return retiredTotal_; }
 
+    /** Trace records consumed since construction (ignores clearStats). */
+    InstCount recordsConsumed() const { return recordsConsumed_; }
+
+    /**
+     * Paranoid-mode audit: with no squash path in the model, every
+     * consumed trace record is either retired or still in the ROB
+     * (instructions retired = trace records consumed, the end-of-run
+     * conservation identity), the ROB respects its capacity, and
+     * retirement bookkeeping is monotonic. Throws InvariantError.
+     */
+    void audit() const;
+
     /** Windowed statistics. */
     const CoreStats &stats() const { return stats_; }
 
@@ -151,6 +163,7 @@ class Core
 
     Cycle cycle_ = 0;
     InstCount retiredTotal_ = 0;
+    InstCount recordsConsumed_ = 0;
 
     /** In-flight instruction: only its completion time matters. */
     std::deque<Cycle> rob_;

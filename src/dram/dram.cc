@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/error.hh"
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -176,6 +177,34 @@ Dram::access(const MemAccess &req)
     }
 
     return {ready, false};
+}
+
+void
+Dram::audit() const
+{
+    // Every access increments exactly one of reads/writes and exactly
+    // one of row hits/misses/conflicts, so the two decompositions must
+    // agree per core — a lost or double-counted writeback breaks this.
+    for (std::size_t c = 0; c < stats_.size(); ++c) {
+        const PerCoreDramStats &s = stats_[c];
+        const std::uint64_t accesses = s.reads + s.writes;
+        const std::uint64_t outcomes =
+            s.rowHits + s.rowMisses + s.rowConflicts;
+        if (accesses != outcomes)
+            invariantFail("dram",
+                          "core " + std::to_string(c) + ": reads+writes (" +
+                              std::to_string(accesses) +
+                              ") != row hits+misses+conflicts (" +
+                              std::to_string(outcomes) + ")");
+    }
+
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        const Bank &bank = banks_[b];
+        if (!bank.rowOpen && bank.openRow != ~std::uint64_t(0))
+            invariantFail("dram",
+                          "bank " + std::to_string(b) +
+                              " is closed but records an open row");
+    }
 }
 
 void

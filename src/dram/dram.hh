@@ -149,6 +149,14 @@ class Dram : public MemoryLevel
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;
 
+    /**
+     * Paranoid-mode audit: per-core accounting must conserve (every
+     * access is exactly one of a read or a write and exactly one of a
+     * row hit/miss/conflict) and bank state must be coherent (a closed
+     * bank has no open row). Throws InvariantError on violation.
+     */
+    void audit() const;
+
     const DramConfig &config() const { return config_; }
 
   private:

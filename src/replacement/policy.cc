@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hh"
+#include "common/invariant.hh"
 #include "common/logging.hh"
 
 namespace pinte
@@ -37,6 +38,30 @@ ReplacementPolicy::wayAtRank(unsigned set, unsigned r) const
         if (rank(set, w) == r)
             return w;
     panic("ReplacementPolicy rank() is not a permutation");
+}
+
+void
+ReplacementPolicy::auditSet(unsigned set) const
+{
+    // assoc <= 64 (enforced by Cache), so a bitmask covers every rank.
+    std::uint64_t seen = 0;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const unsigned r = rank(set, w);
+        if (r >= assoc_) {
+            invariantFail(std::string("replacement:") + name(),
+                          "rank " + std::to_string(r) +
+                              " out of bounds (assoc " +
+                              std::to_string(assoc_) + ")",
+                          set, w);
+        }
+        if (seen & (std::uint64_t(1) << r)) {
+            invariantFail(std::string("replacement:") + name(),
+                          "duplicate rank " + std::to_string(r) +
+                              " — metadata is not a permutation",
+                          set, w);
+        }
+        seen |= std::uint64_t(1) << r;
+    }
 }
 
 namespace

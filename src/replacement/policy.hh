@@ -82,6 +82,15 @@ class ReplacementPolicy
     /** Way whose rank is `r` in `set` (inverse of rank()). */
     unsigned wayAtRank(unsigned set, unsigned r) const;
 
+    /**
+     * Paranoid-mode audit of one set's metadata: ranks must be a
+     * permutation of 0..assoc-1 (the contract rank()/wayAtRank() and
+     * PInTE's BLOCK-SELECT walk rely on). Throws InvariantError with
+     * the offending set/way; policies with extra state may override
+     * and call the base first.
+     */
+    virtual void auditSet(unsigned set) const;
+
     unsigned numSets() const { return numSets_; }
     unsigned assoc() const { return assoc_; }
 

@@ -2,6 +2,7 @@
 
 #include "common/error.hh"
 #include "common/fault.hh"
+#include "common/invariant.hh"
 #include "common/logging.hh"
 
 #include <algorithm>
@@ -394,6 +395,14 @@ ExperimentSpec::runAll() const
             results[i].samples.push_back(diff(now, prev[i], sys, i));
             prev[i] = now;
         }
+    }
+
+    // End-of-run conservation audit: even at a sparse sweep interval,
+    // every run finishes with a full structural + stat-identity check
+    // before its metrics are published.
+    if (Paranoid::on()) {
+        sys.audit();
+        sys.auditStats();
     }
 
     for (unsigned i = 0; i < n; ++i) {

@@ -1,6 +1,7 @@
 #include "machine.hh"
 
 #include "common/error.hh"
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "sim/watchdog.hh"
 
@@ -212,6 +213,15 @@ System::runQuantum(Cycle quantum)
 {
     for (auto &core : cores_)
         core->runCycles(quantum);
+
+    if (Paranoid::on()) {
+        cyclesSinceAudit_ += quantum;
+        if (cyclesSinceAudit_ >= Paranoid::interval()) {
+            cyclesSinceAudit_ = 0;
+            audit();
+            auditStats();
+        }
+    }
 }
 
 void
@@ -253,6 +263,165 @@ System::warmup(InstCount per_core)
         }
     }
     clearAllStats();
+}
+
+void
+System::audit() const
+{
+    for (unsigned i = 0; i < numCores(); ++i) {
+        cores_[i]->audit();
+        l1i_[i]->audit();
+        l1d_[i]->audit();
+        l2_[i]->audit();
+    }
+    llc_->audit();
+    dram_->audit();
+
+    // Each engine's induction counter must match the invalidations the
+    // cache it hooks attributed to the system (mocked thefts). The
+    // engine/cache pairing is known only here: engines_ holds the LLC
+    // engine first (unless scope is L2-only), then one engine per L2.
+    auto mockedTotal = [](const Cache &c) {
+        return c.stats().total([](const PerCoreCacheStats &s) {
+            return s.mockedThefts;
+        });
+    };
+    std::size_t e = 0;
+    if (!engines_.empty() && config_.pinteScope != PInteScope::L2Only) {
+        if (engines_[e]->stats().invalidations != mockedTotal(*llc_))
+            invariantFail("pinte",
+                          "LLC engine induced " +
+                              std::to_string(
+                                  engines_[e]->stats().invalidations) +
+                              " evictions but the LLC observed " +
+                              std::to_string(mockedTotal(*llc_)) +
+                              " mocked thefts");
+        ++e;
+    }
+    for (unsigned i = 0; e < engines_.size(); ++e, ++i) {
+        if (engines_[e]->stats().invalidations != mockedTotal(*l2_[i]))
+            invariantFail("pinte.l2." + std::to_string(i),
+                          "engine induced " +
+                              std::to_string(
+                                  engines_[e]->stats().invalidations) +
+                              " evictions but L2." + std::to_string(i) +
+                              " observed " +
+                              std::to_string(mockedTotal(*l2_[i])) +
+                              " mocked thefts");
+    }
+}
+
+void
+System::auditStats() const
+{
+    // All reads go through the registry — the same view reports are
+    // built from — so a corrupted registry alias fails here too.
+    auto ctr = [this](const std::string &path) {
+        return registry_.counter(path);
+    };
+    auto failEq = [](const std::string &what, std::uint64_t lhs,
+                     std::uint64_t rhs) {
+        invariantFail("stats", what + ": " + std::to_string(lhs) +
+                                   " != " + std::to_string(rhs));
+    };
+
+    const unsigned n = numCores();
+
+    // Per level and core: every demand access is a hit or a miss.
+    for (unsigned c = 0; c < n; ++c) {
+        const std::string cs = ".core" + std::to_string(c);
+        for (unsigned i = 0; i < n; ++i) {
+            const std::string is = std::to_string(i);
+            for (const char *lvl : {"l1i.", "l1d.", "l2."}) {
+                const std::string p = lvl + is + cs;
+                const std::uint64_t acc = ctr(p + ".accesses");
+                const std::uint64_t hm =
+                    ctr(p + ".hits") + ctr(p + ".misses");
+                if (acc != hm)
+                    failEq(p + ": hits + misses vs accesses", hm, acc);
+            }
+        }
+        const std::uint64_t acc = ctr("llc" + cs + ".accesses");
+        const std::uint64_t hm =
+            ctr("llc" + cs + ".hits") + ctr("llc" + cs + ".misses");
+        if (acc != hm)
+            failEq("llc" + cs + ": hits + misses vs accesses", hm, acc);
+    }
+
+    // Demand flow between levels: non-merged misses at level k are
+    // exactly the demand accesses at level k+1.
+    for (unsigned c = 0; c < n; ++c) {
+        const std::string cs = ".core" + std::to_string(c);
+        std::uint64_t l2_down = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            const std::string is = std::to_string(i);
+            const std::uint64_t l1_down =
+                ctr("l1i." + is + cs + ".misses") -
+                ctr("l1i." + is + cs + ".merged_misses") +
+                ctr("l1d." + is + cs + ".misses") -
+                ctr("l1d." + is + cs + ".merged_misses");
+            const std::uint64_t l2_acc =
+                ctr("l2." + is + cs + ".accesses");
+            if (l1_down != l2_acc)
+                failEq("core " + std::to_string(c) +
+                           ": L1 demand misses vs L2." + is + " accesses",
+                       l1_down, l2_acc);
+            l2_down += ctr("l2." + is + cs + ".misses") -
+                       ctr("l2." + is + cs + ".merged_misses");
+        }
+        const std::uint64_t llc_acc = ctr("llc" + cs + ".accesses");
+        if (l2_down != llc_acc)
+            failEq("core " + std::to_string(c) +
+                       ": L2 demand misses vs LLC accesses",
+                   l2_down, llc_acc);
+    }
+
+    // DRAM reads are exactly the LLC's non-merged demand misses plus
+    // the prefetches it forwarded.
+    std::uint64_t llc_down = 0, dram_reads = 0;
+    for (unsigned c = 0; c < n; ++c) {
+        const std::string cs = ".core" + std::to_string(c);
+        llc_down += ctr("llc" + cs + ".misses") -
+                    ctr("llc" + cs + ".merged_misses") +
+                    ctr("llc" + cs + ".prefetch_misses");
+        dram_reads += ctr("dram" + cs + ".reads");
+    }
+    if (llc_down != dram_reads)
+        failEq("LLC demand+prefetch misses vs DRAM reads", llc_down,
+               dram_reads);
+
+    // Writeback conservation down the hierarchy: nothing lost or
+    // duplicated between a level's outbound and the next's inbound.
+    std::uint64_t l2_wb_out = 0, llc_wb_in = 0;
+    std::uint64_t llc_wb_out = 0, dram_writes = 0;
+    for (unsigned c = 0; c < n; ++c) {
+        const std::string cs = ".core" + std::to_string(c);
+        for (unsigned i = 0; i < n; ++i)
+            l2_wb_out += ctr("l2." + std::to_string(i) + cs +
+                             ".writebacks_out");
+        llc_wb_in += ctr("llc" + cs + ".writebacks_in");
+        llc_wb_out += ctr("llc" + cs + ".writebacks_out");
+        dram_writes += ctr("dram" + cs + ".writes");
+    }
+    if (l2_wb_out != llc_wb_in)
+        failEq("L2 writebacks out vs LLC writebacks in", l2_wb_out,
+               llc_wb_in);
+    if (llc_wb_out != dram_writes)
+        failEq("LLC writebacks out vs DRAM writes", llc_wb_out,
+               dram_writes);
+    for (unsigned i = 0; i < n; ++i) {
+        const std::string is = std::to_string(i);
+        std::uint64_t l1_out = 0, l2_in = 0;
+        for (unsigned c = 0; c < n; ++c) {
+            const std::string cs = ".core" + std::to_string(c);
+            l1_out += ctr("l1i." + is + cs + ".writebacks_out") +
+                      ctr("l1d." + is + cs + ".writebacks_out");
+            l2_in += ctr("l2." + is + cs + ".writebacks_in");
+        }
+        if (l1_out != l2_in)
+            failEq("L1 writebacks out vs L2." + is + " writebacks in",
+                   l1_out, l2_in);
+    }
 }
 
 void

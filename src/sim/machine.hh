@@ -113,6 +113,28 @@ class System
     /** Reset every statistics block in the machine. */
     void clearAllStats();
 
+    /** @name Paranoid-mode audits (common/invariant.hh). */
+    /// @{
+    /**
+     * Full-machine structural audit: every cache (sets, occupancy,
+     * pending table, inclusion), every core (record conservation, ROB
+     * bounds), DRAM (accounting and bank state), and each PInTE
+     * engine's induction counters against the invalidations its hooked
+     * cache observed. Throws InvariantError on the first violation.
+     * Called every Paranoid::interval() cycles by runQuantum() when
+     * paranoid mode is on, and at end of run by ExperimentSpec.
+     */
+    void audit() const;
+    /**
+     * Cross-component stat conservation audit, read through the
+     * StatRegistry (the same view reports are built from): demand
+     * misses at each level match accesses at the next, writebacks sent
+     * match writebacks received (down to DRAM writes), and per-level
+     * accesses = hits + misses. Throws InvariantError on violation.
+     */
+    void auditStats() const;
+    /// @}
+
     Core &core(unsigned i) { return *cores_[i]; }
     const Core &core(unsigned i) const { return *cores_[i]; }
     Cache &l1d(unsigned i) { return *l1d_[i]; }
@@ -172,6 +194,9 @@ class System
     std::vector<std::unique_ptr<PInte>> engines_;
     std::vector<std::string> enginePaths_;
     StatRegistry registry_;
+
+    /** Cycles advanced since the last paranoid sweep. */
+    Cycle cyclesSinceAudit_ = 0;
 };
 
 } // namespace pinte

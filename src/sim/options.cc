@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "common/error.hh"
+#include "common/invariant.hh"
 
 namespace pinte
 {
@@ -155,6 +156,37 @@ parseReal(const std::string &flag, const std::string &s)
         throw ConfigError(flag + " must be non-negative, got '" + s + "'",
                           {"options", flag, s});
     return v;
+}
+
+std::uint64_t
+parseTimeout(const std::string &flag, const std::string &s)
+{
+    const std::uint64_t v = parseCount(flag, s);
+    if (v == 0)
+        throw ConfigError(flag + " must be a positive number of seconds "
+                              "(got '" + s + "'); omit the flag to "
+                              "disable the watchdog",
+                          {"options", flag, s});
+    return v;
+}
+
+std::uint32_t
+parseParanoidInterval(const std::string &flag, const std::string &s)
+{
+    if (s.empty())
+        return Paranoid::defaultInterval;
+    const std::uint64_t v = parseCount(flag, s);
+    if (v == 0)
+        throw ConfigError(flag + " expects a positive cycle interval "
+                              "(got '" + s + "'); omit the flag to "
+                              "leave paranoid mode off",
+                          {"options", flag, s});
+    if (v == 1)
+        return Paranoid::defaultInterval;
+    if (v > ~std::uint32_t(0))
+        throw ConfigError(flag + " interval out of range: '" + s + "'",
+                          {"options", flag, s});
+    return static_cast<std::uint32_t>(v);
 }
 
 } // namespace pinte

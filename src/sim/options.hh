@@ -52,6 +52,23 @@ std::uint64_t parseCount(const std::string &flag, const std::string &s);
 /** Parse a finite non-negative real for option `flag`; fatal otherwise. */
 double parseReal(const std::string &flag, const std::string &s);
 
+/**
+ * Parse a watchdog timeout in whole seconds for option `flag`. A
+ * timeout of 0 is rejected (it would fire on the first heartbeat, not
+ * disable the watchdog — omit the flag to disable); so is anything
+ * non-integer or negative. Returns the timeout, always >= 1.
+ */
+std::uint64_t parseTimeout(const std::string &flag, const std::string &s);
+
+/**
+ * Parse a paranoid-mode sweep interval: "" (bare --paranoid) and "1"
+ * select the default interval, otherwise the value is the number of
+ * cycles between full-machine audits. 0 is rejected — omit the flag
+ * to leave paranoid mode off.
+ */
+std::uint32_t parseParanoidInterval(const std::string &flag,
+                                    const std::string &s);
+
 } // namespace pinte
 
 #endif // PINTE_SIM_OPTIONS_HH

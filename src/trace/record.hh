@@ -55,11 +55,16 @@ struct TraceRecord
     /** Number of valid entries in storeAddr. */
     std::uint8_t numStores = 0;
 
-    /** True if this is a conditional branch. */
-    bool isBranch = false;
+    /**
+     * Nonzero if this is a conditional branch. Stored as a byte, not
+     * bool, so records deserialized from untrusted bytes hold whatever
+     * the file said instead of an out-of-range bool (undefined
+     * behavior to even load); the trace reader rejects values > 1.
+     */
+    std::uint8_t isBranch = 0;
 
-    /** Branch outcome, valid iff isBranch. */
-    bool branchTaken = false;
+    /** Branch outcome, valid iff isBranch; same encoding rules. */
+    std::uint8_t branchTaken = 0;
 
     /** Execution latency class in cycles (1 = simple ALU). */
     std::uint8_t execLatency = 1;

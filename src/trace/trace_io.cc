@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/atomic_file.hh"
+#include "common/crc32.hh"
 #include "common/error.hh"
 #include "common/fault.hh"
 
@@ -36,10 +37,11 @@ readHeader(std::FILE *f, const std::string &path)
         traceFail("trace read failed (header): " + path, path);
     if (h.magic != traceMagic)
         traceFail("not a pinte trace file: " + path, path);
-    if (h.version != traceVersion)
+    if (h.version < traceVersionMin || h.version > traceVersion)
         traceFail("unsupported trace version " +
                       std::to_string(h.version) + " in " + path +
-                      " (this build reads version " +
+                      " (this build reads versions " +
+                      std::to_string(traceVersionMin) + ".." +
                       std::to_string(traceVersion) + ")",
                   path, std::to_string(h.version));
     if (h.recordSize != sizeof(TraceRecord))
@@ -48,7 +50,7 @@ readHeader(std::FILE *f, const std::string &path)
     return h;
 }
 
-/** Serialize header + records into an atomic writer and publish. */
+/** Serialize header + records + CRC footer into an atomic writer. */
 std::uint64_t
 writeTraceTo(const std::string &path,
              const std::function<bool(TraceRecord &)> &produce,
@@ -60,13 +62,17 @@ writeTraceTo(const std::string &path,
                         static_cast<std::uint32_t>(sizeof(TraceRecord)),
                         count};
     os.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    std::uint32_t crc = crc32(&h, sizeof(h));
     for (std::uint64_t i = 0; i < count; ++i) {
         TraceRecord r;
         if (!produce(r))
             traceFail("trace source ended early writing " + path, path,
                       std::to_string(i));
         os.write(reinterpret_cast<const char *>(&r), sizeof(r));
+        crc = crc32(crc, &r, sizeof(r));
     }
+    // Version-2 footer: CRC32 of everything before it.
+    os.write(reinterpret_cast<const char *>(&crc), sizeof(crc));
     if (!os)
         traceFail("trace write failed: " + path, path);
     file.commit();
@@ -102,8 +108,38 @@ writeTrace(const std::string &path,
         records.size());
 }
 
+void
+validateRecord(const TraceRecord &r, std::uint64_t index,
+               const std::string &path)
+{
+    auto bad = [&](const std::string &what) {
+        traceFail("bad trace record " + std::to_string(index) + " in " +
+                      path + ": " + what,
+                  path, std::to_string(index));
+    };
+    if (r.numLoads > maxMemOps)
+        bad("numLoads " + std::to_string(r.numLoads) + " exceeds " +
+            std::to_string(maxMemOps));
+    if (r.numStores > maxMemOps)
+        bad("numStores " + std::to_string(r.numStores) + " exceeds " +
+            std::to_string(maxMemOps));
+    if (r.isBranch > 1)
+        bad("isBranch byte is " + std::to_string(r.isBranch));
+    if (r.branchTaken > 1)
+        bad("branchTaken byte is " + std::to_string(r.branchTaken));
+    if (!r.isBranch && r.branchTaken)
+        bad("branchTaken set on a non-branch");
+    for (const std::uint8_t reg : {r.srcReg[0], r.srcReg[1], r.dstReg})
+        if (reg != noReg && reg >= numArchRegs)
+            bad("register id " + std::to_string(reg) +
+                " out of range (" + std::to_string(numArchRegs) +
+                " architectural registers)");
+    if (r.execLatency == 0)
+        bad("zero execution latency class");
+}
+
 FileTraceSource::FileTraceSource(const std::string &path)
-    : file_(std::fopen(path.c_str(), "rb")), count_(0)
+    : file_(std::fopen(path.c_str(), "rb")), count_(0), path_(path)
 {
     if (!file_ || faultInjected("trace-open")) {
         if (file_) { // injected: release the real handle first
@@ -114,31 +150,92 @@ FileTraceSource::FileTraceSource(const std::string &path)
         traceFail("cannot open trace for reading: " + path, path);
     }
     try {
-        const TraceHeader h = readHeader(file_, path);
-        count_ = h.count;
-        dataStart_ = std::ftell(file_);
-
-        // Validate the declared record count against the actual file
-        // size so a truncated trace is a clean open-time TraceError,
-        // not a mid-simulation read failure thousands of records in.
-        if (std::fseek(file_, 0, SEEK_END) != 0)
-            traceFail("cannot seek in trace: " + path, path);
-        const long end = std::ftell(file_);
-        const long need =
-            dataStart_ +
-            static_cast<long>(count_ * sizeof(TraceRecord));
-        if (end < need)
-            traceFail("truncated trace " + path + ": header declares " +
-                          std::to_string(count_) + " records (" +
-                          std::to_string(need) + " bytes) but file is " +
-                          std::to_string(end) + " bytes",
-                      path, std::to_string(end));
-        std::fseek(file_, dataStart_, SEEK_SET);
+        init(path);
     } catch (...) {
         std::fclose(file_);
         file_ = nullptr;
         throw;
     }
+}
+
+FileTraceSource::FileTraceSource(std::FILE *file,
+                                 const std::string &name)
+    : file_(file), count_(0), path_(name)
+{
+    if (!file_)
+        traceFail("null stream for trace: " + name, name);
+    try {
+        init(name);
+    } catch (...) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw;
+    }
+}
+
+void
+FileTraceSource::init(const std::string &path)
+{
+    const TraceHeader h = readHeader(file_, path);
+    version_ = h.version;
+    count_ = h.count;
+    dataStart_ = std::ftell(file_);
+
+    // Validate the declared record count against the actual file
+    // size so a truncated trace is a clean open-time TraceError,
+    // not a mid-simulation read failure thousands of records in.
+    if (std::fseek(file_, 0, SEEK_END) != 0)
+        traceFail("cannot seek in trace: " + path, path);
+    const long end = std::ftell(file_);
+    const long footer =
+        version_ >= 2 ? static_cast<long>(sizeof(std::uint32_t)) : 0;
+    if (count_ >
+        static_cast<std::uint64_t>(end) / sizeof(TraceRecord))
+        traceFail("truncated trace " + path + ": header declares " +
+                      std::to_string(count_) +
+                      " records but file is " + std::to_string(end) +
+                      " bytes",
+                  path, std::to_string(end));
+    const long need =
+        dataStart_ + static_cast<long>(count_ * sizeof(TraceRecord)) +
+        footer;
+    if (end < need)
+        traceFail("truncated trace " + path + ": header declares " +
+                      std::to_string(count_) + " records (" +
+                      std::to_string(need) + " bytes) but file is " +
+                      std::to_string(end) + " bytes",
+                  path, std::to_string(end));
+
+    if (version_ >= 2) {
+        // Re-read everything before the footer and compare checksums.
+        // One streaming pass at open; records are not re-hashed later.
+        std::fseek(file_, 0, SEEK_SET);
+        std::uint32_t crc = 0;
+        long remaining = need - footer;
+        char buf[4096];
+        while (remaining > 0) {
+            const std::size_t chunk =
+                remaining > static_cast<long>(sizeof(buf))
+                    ? sizeof(buf)
+                    : static_cast<std::size_t>(remaining);
+            if (std::fread(buf, 1, chunk, file_) != chunk)
+                traceFail("trace read failed (checksum scan): " + path,
+                          path);
+            crc = crc32(crc, buf, chunk);
+            remaining -= static_cast<long>(chunk);
+        }
+        std::uint32_t stored = 0;
+        if (std::fread(&stored, sizeof(stored), 1, file_) != 1)
+            traceFail("trace read failed (checksum footer): " + path,
+                      path);
+        if (stored != crc)
+            traceFail("checksum mismatch in " + path +
+                          ": footer records " + std::to_string(stored) +
+                          " but the file hashes to " +
+                          std::to_string(crc),
+                      path, std::to_string(stored));
+    }
+    std::fseek(file_, dataStart_, SEEK_SET);
 }
 
 FileTraceSource::~FileTraceSource()
@@ -153,12 +250,14 @@ FileTraceSource::next()
     TraceRecord r;
     if (count_ == 0)
         return r;
+    // A partial read past the last record (EOF, or the v2 CRC footer)
+    // wraps to the start, mirroring ChampSim's short-trace behavior.
     if (std::fread(&r, sizeof(r), 1, file_) != 1) {
-        // Wrap to the start, mirroring ChampSim's short-trace behavior.
         std::fseek(file_, dataStart_, SEEK_SET);
         if (std::fread(&r, sizeof(r), 1, file_) != 1)
-            traceFail("trace read failed mid-file", "");
+            traceFail("trace read failed mid-file", path_);
     }
+    validateRecord(r, consumed_ % count_, path_);
     ++consumed_;
     return r;
 }

@@ -3,8 +3,12 @@
  * Binary trace file format: writer and streaming reader.
  *
  * Layout: a 24-byte header (magic, version, record count) followed by
- * packed TraceRecord entries. The format is host-endian; traces are a
- * local cache of generator output, not an interchange format.
+ * packed TraceRecord entries; version 2 appends a CRC32 footer over
+ * everything before it, verified at open so silent corruption (bad
+ * disk, torn copy) surfaces as a TraceError instead of garbage
+ * simulation results. Version 1 files (no footer) remain readable.
+ * The format is host-endian; traces are a local cache of generator
+ * output, not an interchange format.
  */
 
 #ifndef PINTE_TRACE_TRACE_IO_HH
@@ -25,8 +29,11 @@ namespace pinte
 /** File magic: "PNTETRC\0" little-endian. */
 constexpr std::uint64_t traceMagic = 0x0043525445544e50ull;
 
-/** Current trace format version. */
-constexpr std::uint32_t traceVersion = 1;
+/** Current trace format version (written by writeTrace). */
+constexpr std::uint32_t traceVersion = 2;
+
+/** Oldest version FileTraceSource still reads (pre-CRC format). */
+constexpr std::uint32_t traceVersionMin = 1;
 
 /**
  * Write `count` records from `source` to `path`.
@@ -46,18 +53,45 @@ std::uint64_t writeTrace(const std::string &path,
                          const std::vector<TraceRecord> &records);
 
 /**
+ * Reject a record whose fields are out of range for the format:
+ * operand counts beyond maxMemOps, register ids that are neither
+ * architectural nor noReg, non-boolean branch bytes, a taken outcome
+ * on a non-branch, or a zero latency class.
+ *
+ * @param r     the record to validate
+ * @param index record position, for the error message
+ * @param path  originating file, for the error message
+ * @throws TraceError naming the offending field
+ */
+void validateRecord(const TraceRecord &r, std::uint64_t index,
+                    const std::string &path);
+
+/**
  * Streaming reader over a trace file; wraps to the start when the
  * requested instruction budget exceeds the stored record count (same
  * behavior ChampSim applies to short traces).
  *
- * The constructor validates the header (magic, version, record size)
- * and checks the declared record count against the actual file size;
- * it throws TraceError on any mismatch.
+ * The constructor validates the header (magic, version, record size),
+ * checks the declared record count against the actual file size, and
+ * for version-2 files verifies the CRC32 footer over the whole body;
+ * it throws TraceError on any mismatch. Each record is validated with
+ * validateRecord() as it is read.
  */
 class FileTraceSource : public TraceSource
 {
   public:
     explicit FileTraceSource(const std::string &path);
+
+    /**
+     * Adopt an already-open stream (closed on destruction). Lets the
+     * fuzz harnesses feed in-memory buffers through fmemopen() with
+     * the exact production open-time validation path.
+     *
+     * @param file open stream positioned at the start; must be non-null
+     * @param name label used in error messages in place of a path
+     */
+    FileTraceSource(std::FILE *file, const std::string &name);
+
     ~FileTraceSource() override;
 
     FileTraceSource(const FileTraceSource &) = delete;
@@ -70,11 +104,18 @@ class FileTraceSource : public TraceSource
     /** Records stored in the file. */
     std::uint64_t count() const { return count_; }
 
+    /** Format version the file declared (traceVersionMin..traceVersion). */
+    std::uint32_t version() const { return version_; }
+
   private:
+    void init(const std::string &path);
+
     std::FILE *file_;
     std::uint64_t count_;
     std::uint64_t consumed_ = 0;
+    std::uint32_t version_ = traceVersion;
     long dataStart_;
+    std::string path_;
 };
 
 /** Read a whole trace file into memory. */

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fuzz harness for the option/config parsers.
+ *
+ * The first input byte picks a parser; the rest of the input is the
+ * string handed to it. Every parser in sim/options.hh (plus the
+ * prefetch-string parser) must either return a value or raise a typed
+ * pinte::Error on arbitrary text — never crash, loop, or leak an
+ * untyped exception into the driver.
+ *
+ * Same build modes as fuzz_trace.cc: replay driver by default (the
+ * fuzz_smoke ctest entry), libFuzzer driver under -DPINTE_FUZZ=ON.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/options.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size == 0)
+        return 0;
+    const std::uint8_t which = data[0];
+    const std::string text(reinterpret_cast<const char *>(data + 1),
+                           size - 1);
+    using namespace pinte;
+    try {
+        switch (which % 11) {
+          case 0: (void)parseReplacement(text); break;
+          case 1: (void)parseInclusion(text); break;
+          case 2: (void)parsePredictor(text); break;
+          case 3: (void)parsePInteScope(text); break;
+          case 4: (void)parseProbability(text); break;
+          case 5: (void)parseReportFormat(text); break;
+          case 6: (void)parseCount("--fuzz", text); break;
+          case 7: (void)parseReal("--fuzz", text); break;
+          case 8: (void)parseTimeout("--fuzz", text); break;
+          case 9: (void)parseParanoidInterval("--fuzz", text); break;
+          case 10: (void)PrefetchConfig::parse(text.c_str()); break;
+        }
+    } catch (const pinte::Error &) {
+        // Typed rejection is a pass.
+    }
+    return 0;
+}
+
+#ifndef PINTE_HAVE_LIBFUZZER
+int
+main(int argc, char **argv)
+{
+    int replayed = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::FILE *f = std::fopen(argv[i], "rb");
+        if (!f) {
+            std::fprintf(stderr, "fuzz_config: cannot open %s\n",
+                         argv[i]);
+            return 1;
+        }
+        std::vector<std::uint8_t> bytes;
+        std::uint8_t buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            bytes.insert(bytes.end(), buf, buf + n);
+        std::fclose(f);
+        LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+        // Also sweep the input across every parser: corpus files are
+        // shared with fuzz_trace, so the selector byte alone would
+        // leave most parsers unexercised by a smoke replay.
+        if (!bytes.empty())
+            for (std::uint8_t s = 0; s < 11; ++s) {
+                bytes[0] = s;
+                LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+            }
+        ++replayed;
+    }
+    std::printf("fuzz_config: replayed %d corpus input(s) cleanly\n",
+                replayed);
+    return 0;
+}
+#endif

@@ -29,6 +29,7 @@
 #include "common/error.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
+#include "sim/options.hh"
 #include "sim/runner.hh"
 #include "sim/watchdog.hh"
 #include "trace/trace_io.hh"
@@ -223,6 +224,45 @@ TEST(Watchdog, StallRaisesTimeoutError)
                               .count();
     EXPECT_GE(waited, 0.05);
     EXPECT_LT(waited, 5.0);
+}
+
+TEST(Watchdog, ZeroTimeoutRejectedAtParse)
+{
+    // --job-timeout=0 would fire on the first stalled heartbeat, not
+    // disable the watchdog; the driver rejects it up front and points
+    // at the way to actually disable it.
+    EXPECT_ERROR(parseTimeout("--job-timeout", "0"), ConfigError,
+                 "must be a positive number of seconds");
+    EXPECT_ERROR(parseTimeout("--job-timeout", "0"), ConfigError,
+                 "omit the flag to disable");
+    EXPECT_ERROR(parseTimeout("--job-timeout", "-3"), ConfigError,
+                 "non-negative integer");
+    EXPECT_ERROR(parseTimeout("--job-timeout", "1.5"), ConfigError,
+                 "non-negative integer");
+    EXPECT_EQ(parseTimeout("--job-timeout", "1"), 1u);
+    EXPECT_EQ(parseTimeout("--job-timeout", "900"), 900u);
+}
+
+TEST(Watchdog, DistinguishesStarvationFromSlowProgress)
+{
+    // The stall clock measures wall time since the last *observed
+    // progress*, not total job runtime: a slow-but-progressing job
+    // outlives many limits, while heartbeat starvation (same
+    // instruction count over and over) accrues a stall and fires.
+    JobWatchdog::Scope guard(0.25);
+    JobWatchdog::heartbeat(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    JobWatchdog::heartbeat(2); // progress: stall clock resets
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    // 300ms of runtime exceeds the 250ms limit, but only ~150ms have
+    // passed since the last progress — the job survives.
+    JobWatchdog::heartbeat(2);
+    EXPECT_ERROR(
+        while (true) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            JobWatchdog::heartbeat(2); // starved: no new instructions
+        },
+        TimeoutError, "no instruction progress");
 }
 
 TEST(Watchdog, DisarmedHeartbeatIsFree)

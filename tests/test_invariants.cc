@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Paranoid-mode tests: clean machines audit clean across every
+ * configuration family, injected corruptions (replacement-stack
+ * duplication, stat skew) are detected as InvariantError with
+ * set/way context — both on demand and by the periodic sweep — and
+ * an invariant violation quarantines a campaign cell like any other
+ * job fault.
+ *
+ * Fault sites are re-armed programmatically with armFault() because
+ * the PINTE_INJECT_FAULT plan is parsed once per process and this
+ * binary needs several different sites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "expect_error.hh"
+
+#include <string>
+
+#include "common/fault.hh"
+#include "common/invariant.hh"
+#include "sim/experiment.hh"
+#include "sim/machine.hh"
+#include "sim/options.hh"
+#include "trace/generator.hh"
+#include "trace/zoo.hh"
+
+namespace pinte
+{
+namespace
+{
+
+/** Enable paranoid mode for one test; restores "off, disarmed". */
+struct ParanoidScope
+{
+    explicit ParanoidScope(std::uint32_t n = Paranoid::defaultInterval)
+        : prior_(Paranoid::interval())
+    {
+        Paranoid::enable(n);
+    }
+    ~ParanoidScope()
+    {
+        // Restore the ambient interval (nonzero in a
+        // -DPINTE_PARANOID=ON tree) rather than forcing off.
+        Paranoid::enable(prior_);
+        armFault("");
+    }
+
+  private:
+    std::uint32_t prior_;
+};
+
+ExperimentParams
+quickParams()
+{
+    ExperimentParams p;
+    p.warmup = 2000;
+    p.roi = 4000;
+    p.sampleEvery = 2000;
+    return p;
+}
+
+/** Warm up, run, and audit a machine under periodic paranoid sweeps. */
+void
+runAndAudit(MachineConfig machine)
+{
+    ParanoidScope paranoid(1024);
+    TraceGenerator gen(findWorkload("450.soplex"));
+    System sys(machine, {&gen});
+    sys.warmup(2000);
+    sys.runUntilCore0(6000);
+    sys.audit();
+    sys.auditStats();
+}
+
+TEST(InvariantError, CarriesComponentAndLocation)
+{
+    try {
+        invariantFail("cache:test", "broken thing", 3, 5);
+        FAIL() << "invariantFail returned";
+    } catch (const InvariantError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Invariant);
+        EXPECT_STREQ(toString(e.kind()), "invariant");
+        EXPECT_EQ(e.component(), "cache:test");
+        EXPECT_EQ(e.set(), 3);
+        EXPECT_EQ(e.way(), 5);
+        EXPECT_NE(std::string(e.what()).find(
+                      "invariant violated: broken thing [set 3, way 5]"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(InvariantError, MachineWideChecksHaveNoLocation)
+{
+    try {
+        invariantFail("stats", "totals diverged");
+        FAIL() << "invariantFail returned";
+    } catch (const InvariantError &e) {
+        EXPECT_EQ(e.set(), -1);
+        EXPECT_EQ(e.way(), -1);
+        EXPECT_EQ(std::string(e.what()).find("[set"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Paranoid, TogglesAndReportsInterval)
+{
+    // Ambient state is build-dependent: off in a default build, the
+    // compiled default in a -DPINTE_PARANOID=ON tree. Save and restore
+    // it so this test is valid in both.
+    const std::uint32_t ambient = Paranoid::interval();
+    Paranoid::enable();
+    EXPECT_TRUE(Paranoid::on());
+    EXPECT_EQ(Paranoid::interval(), Paranoid::defaultInterval);
+    Paranoid::enable(128);
+    EXPECT_EQ(Paranoid::interval(), 128u);
+    Paranoid::disable();
+    EXPECT_FALSE(Paranoid::on());
+    EXPECT_EQ(Paranoid::interval(), 0u);
+    Paranoid::enable(ambient);
+}
+
+TEST(Paranoid, IntervalFlagParsing)
+{
+    EXPECT_EQ(parseParanoidInterval("--paranoid", ""),
+              Paranoid::defaultInterval);
+    EXPECT_EQ(parseParanoidInterval("--paranoid", "1"),
+              Paranoid::defaultInterval);
+    EXPECT_EQ(parseParanoidInterval("--paranoid", "512"), 512u);
+    EXPECT_ERROR(parseParanoidInterval("--paranoid", "0"), ConfigError,
+                 "positive cycle interval");
+    EXPECT_ERROR(parseParanoidInterval("--paranoid", "every-so-often"),
+                 ConfigError, "non-negative integer");
+}
+
+// --- Clean machines audit clean, configuration by configuration. ---
+
+TEST(CleanAudit, Isolation)
+{
+    runAndAudit(MachineConfig::scaled());
+}
+
+TEST(CleanAudit, PInteAtLlc)
+{
+    MachineConfig m = MachineConfig::scaled();
+    m.pinte.pInduce = 0.3;
+    runAndAudit(m);
+}
+
+TEST(CleanAudit, PInteAtBothLevels)
+{
+    MachineConfig m = MachineConfig::scaled();
+    m.pinte.pInduce = 0.3;
+    m.pinteScope = PInteScope::L2AndLlc;
+    runAndAudit(m);
+}
+
+TEST(CleanAudit, ExclusiveLlc)
+{
+    MachineConfig m = MachineConfig::scaled();
+    m.llc.inclusion = InclusionPolicy::Exclusive;
+    runAndAudit(m);
+}
+
+TEST(CleanAudit, InclusiveLlc)
+{
+    MachineConfig m = MachineConfig::scaled();
+    m.llc.inclusion = InclusionPolicy::Inclusive;
+    runAndAudit(m);
+}
+
+TEST(CleanAudit, InclusiveLlcWithInducedThefts)
+{
+    // Induced thefts deliberately skip back-invalidation (the paper's
+    // Fig 11 interference mechanism), so a PInTE run on an inclusive
+    // LLC must not trip the inclusion audit.
+    MachineConfig m = MachineConfig::scaled();
+    m.llc.inclusion = InclusionPolicy::Inclusive;
+    m.pinte.pInduce = 0.5;
+    runAndAudit(m);
+}
+
+TEST(CleanAudit, PairSharingTheLlc)
+{
+    ParanoidScope paranoid(1024);
+    MachineConfig m = MachineConfig::scaled();
+    m.numCores = 2;
+    WorkloadSpec peer = findWorkload("470.lbm");
+    peer.dataBase += 0x800000000ull;
+    peer.codeBase += 0x40000000ull;
+    TraceGenerator ga(findWorkload("450.soplex")), gb(peer);
+    System sys(m, {&ga, &gb});
+    sys.warmup(2000);
+    sys.runUntilCore0(6000);
+    sys.audit();
+    sys.auditStats();
+}
+
+// --- Injected corruptions are detected with precise context. ---
+
+TEST(CorruptionDetection, DuplicateTagCarriesSetAndWay)
+{
+    ParanoidScope paranoid;
+    armFault("stack-corrupt:1");
+    MachineConfig m = MachineConfig::scaled();
+    TraceGenerator gen(findWorkload("450.soplex"));
+    System sys(m, {&gen});
+    // The site fires on the first demand fill (a handful of cycles
+    // in); keep the window short so the cloned block cannot be
+    // naturally evicted before the audit looks at it.
+    bool caught = false;
+    try {
+        sys.runQuantum(32);
+        sys.audit();
+    } catch (const InvariantError &e) {
+        caught = true;
+        EXPECT_EQ(std::string(e.component()).rfind("cache:", 0), 0u)
+            << e.component();
+        EXPECT_GE(e.set(), 0);
+        EXPECT_GE(e.way(), 0);
+        EXPECT_NE(std::string(e.what()).find("duplicate tag"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_TRUE(caught) << "corrupted stack passed the audit";
+}
+
+TEST(CorruptionDetection, DuplicateTagCaughtByPeriodicSweep)
+{
+    ParanoidScope paranoid(256);
+    armFault("stack-corrupt:1");
+    MachineConfig m = MachineConfig::scaled();
+    TraceGenerator gen(findWorkload("450.soplex"));
+    System sys(m, {&gen});
+    // With a 256-cycle interval the first quantum already crosses the
+    // audit boundary: detection within one sweep of the corruption.
+    EXPECT_ERROR(
+        for (int i = 0; i < 8; ++i) sys.runQuantum(512),
+        InvariantError, "duplicate tag");
+}
+
+TEST(CorruptionDetection, StatSkewBreaksConservation)
+{
+    ParanoidScope paranoid;
+    armFault("stat-skew:1");
+    MachineConfig m = MachineConfig::scaled();
+    TraceGenerator gen(findWorkload("450.soplex"));
+    System sys(m, {&gen});
+    // The skew site fires on the first non-merged *hit*, which needs
+    // a fill to complete first — run well past the cold-start misses.
+    bool caught = false;
+    try {
+        sys.runQuantum(2048);
+        sys.audit();
+        sys.auditStats();
+    } catch (const InvariantError &e) {
+        caught = true;
+        EXPECT_NE(std::string(e.what()).find("!= accesses"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_TRUE(caught) << "skewed hit counter passed the audits";
+}
+
+TEST(CorruptionDetection, StatSkewCaughtByPeriodicSweep)
+{
+    ParanoidScope paranoid(256);
+    armFault("stat-skew:1");
+    MachineConfig m = MachineConfig::scaled();
+    TraceGenerator gen(findWorkload("450.soplex"));
+    System sys(m, {&gen});
+    EXPECT_ERROR(
+        for (int i = 0; i < 8; ++i) sys.runQuantum(512),
+        InvariantError, "!= accesses");
+}
+
+TEST(CorruptionDetection, InvariantErrorQuarantinesTheCell)
+{
+    // End-to-end: a violation inside a campaign job surfaces as a
+    // failed-run cell with kind "invariant", not a dead campaign.
+    ParanoidScope paranoid(256);
+    armFault("stat-skew:1");
+    ExperimentSpec spec{MachineConfig::scaled()};
+    // No warmup: the fault would fire there and clearAllStats() would
+    // erase the skew before the region of interest begins.
+    ExperimentParams params = quickParams();
+    params.warmup = 0;
+    spec.workload(findWorkload("450.soplex")).params(params);
+    const RunOutcome o = spec.tryRun();
+    ASSERT_TRUE(o.result.failed());
+    EXPECT_EQ(o.result.error.kind, "invariant");
+    EXPECT_NE(o.result.error.message.find("invariant violated"),
+              std::string::npos)
+        << o.result.error.message;
+}
+
+TEST(CorruptionDetection, CleanRunAfterDisarmIsUnaffected)
+{
+    // The guards' teardown disarmed the fault plan and restored the
+    // ambient paranoid interval. Force the mode off for this run (a
+    // paranoid build tree leaves it on ambiently) and check a fresh
+    // simulation neither faults nor audits.
+    const std::uint32_t ambient = Paranoid::interval();
+    Paranoid::disable();
+    ASSERT_FALSE(Paranoid::on());
+    MachineConfig m = MachineConfig::scaled();
+    TraceGenerator gen(findWorkload("450.soplex"));
+    System sys(m, {&gen});
+    sys.runUntilCore0(2000);
+    sys.audit(); // explicit audits still work with the mode off
+    sys.auditStats();
+    Paranoid::enable(ambient);
+}
+
+} // namespace
+} // namespace pinte

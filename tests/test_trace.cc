@@ -9,8 +9,11 @@
 #include "expect_error.hh"
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "trace/generator.hh"
 #include "trace/trace_io.hh"
@@ -337,6 +340,175 @@ TEST(TraceIo, TruncatedHeaderIsFatal)
     std::fclose(f);
     EXPECT_ERROR(FileTraceSource src(path), TraceError, "trace read failed");
     std::remove(path.c_str());
+}
+
+namespace
+{
+
+/** XOR one bit of a file in place. */
+void
+flipBit(const std::string &path, long offset, unsigned bit = 0)
+{
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f) << path;
+    f.seekg(offset);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ (1u << bit));
+    f.seekp(offset);
+    f.write(&byte, 1);
+}
+
+/** Rewrite a current-version trace as version 1: no footer, old tag. */
+void
+downgradeToV1(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GE(bytes.size(), sizeof(std::uint32_t));
+    bytes.resize(bytes.size() - sizeof(std::uint32_t)); // drop footer
+    const std::uint32_t v1 = 1;
+    bytes.replace(8, sizeof(v1), // version field offset in the header
+                  reinterpret_cast<const char *>(&v1), sizeof(v1));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+TEST(TraceIo, WriterStampsCurrentVersion)
+{
+    const std::string path = ::testing::TempDir() + "version.trc";
+    writeTrace(path, std::vector<TraceRecord>(3));
+    FileTraceSource src(path);
+    EXPECT_EQ(src.version(), traceVersion);
+    EXPECT_EQ(src.version(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, BitFlippedTraceRejectedAtOpen)
+{
+    const std::string path = ::testing::TempDir() + "bitflip.trc";
+    TraceGenerator g(tinySpec());
+    writeTrace(path, g, 64);
+    { FileTraceSource ok(path); } // pristine file opens fine
+    // One flipped bit in the middle of the record payload: silent
+    // corruption the CRC32 footer exists to catch.
+    flipBit(path, 24 + 30 * 56 + 17, 3);
+    EXPECT_ERROR(FileTraceSource src(path), TraceError,
+                 "checksum mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FlippedFooterAlsoRejected)
+{
+    const std::string path = ::testing::TempDir() + "footflip.trc";
+    writeTrace(path, std::vector<TraceRecord>(5));
+    std::error_code ec;
+    const long end = static_cast<long>(
+        std::filesystem::file_size(path, ec));
+    flipBit(path, end - 2, 6);
+    EXPECT_ERROR(FileTraceSource src(path), TraceError,
+                 "checksum mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, Version1WithoutFooterStillReadable)
+{
+    const std::string path = ::testing::TempDir() + "old_v1.trc";
+    TraceGenerator g(tinySpec());
+    std::vector<TraceRecord> original;
+    for (int i = 0; i < 50; ++i)
+        original.push_back(g.next());
+    writeTrace(path, original);
+    downgradeToV1(path);
+
+    FileTraceSource src(path);
+    EXPECT_EQ(src.version(), 1u);
+    ASSERT_EQ(src.count(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const TraceRecord r = src.next();
+        EXPECT_EQ(r.ip, original[i].ip);
+        EXPECT_EQ(r.isBranch, original[i].isBranch);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RecordValidationRejectsOutOfRangeFields)
+{
+    TraceRecord r; // defaults are valid
+    validateRecord(r, 0, "unit");
+
+    TraceRecord loads = r;
+    loads.numLoads = 7;
+    EXPECT_ERROR(validateRecord(loads, 1, "unit"), TraceError,
+                 "numLoads 7 exceeds 2");
+    TraceRecord stores = r;
+    stores.numStores = 3;
+    EXPECT_ERROR(validateRecord(stores, 2, "unit"), TraceError,
+                 "numStores 3 exceeds 2");
+    TraceRecord branch = r;
+    branch.isBranch = 2;
+    EXPECT_ERROR(validateRecord(branch, 3, "unit"), TraceError,
+                 "isBranch byte is 2");
+    TraceRecord taken = r;
+    taken.branchTaken = 1;
+    EXPECT_ERROR(validateRecord(taken, 4, "unit"), TraceError,
+                 "branchTaken set on a non-branch");
+    TraceRecord reg = r;
+    reg.srcReg[1] = 64; // numArchRegs, but not the 0xff sentinel
+    EXPECT_ERROR(validateRecord(reg, 5, "unit"), TraceError,
+                 "register id 64 out of range");
+    TraceRecord lat = r;
+    lat.execLatency = 0;
+    EXPECT_ERROR(validateRecord(lat, 6, "unit"), TraceError,
+                 "zero execution latency");
+}
+
+TEST(TraceIo, CorruptRecordInV1RejectedOnRead)
+{
+    // A version-1 file has no checksum, so a poisoned field is only
+    // caught by per-record validation at read time.
+    const std::string path = ::testing::TempDir() + "badrec_v1.trc";
+    writeTrace(path, std::vector<TraceRecord>(4));
+    downgradeToV1(path);
+    flipBit(path, 24 + 2 * 56 + 51, 2); // record 2's numLoads -> 4
+    FileTraceSource src(path);
+    (void)src.next();
+    (void)src.next();
+    EXPECT_ERROR((void)src.next(), TraceError, "bad trace record 2");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CorpusReplayNeverCrashesTheReader)
+{
+    // Every committed corpus input — including regression cases for
+    // reader bugs — must produce either a clean parse or a typed
+    // TraceError; anything else (crash, unhandled exception) fails.
+    const std::string dir = std::string(PINTE_TEST_DATA_DIR) + "/corpus";
+    std::size_t total = 0, clean = 0, rejected = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".trc")
+            continue;
+        ++total;
+        try {
+            FileTraceSource src(entry.path().string());
+            for (std::uint64_t i = 0; i < src.count(); ++i)
+                (void)src.next();
+            ++clean;
+            EXPECT_EQ(entry.path().filename().string().rfind("seed_", 0),
+                      0u)
+                << entry.path() << " parsed cleanly but is not a seed";
+        } catch (const TraceError &) {
+            ++rejected;
+        }
+    }
+    EXPECT_GE(total, 10u) << "corpus went missing from " << dir;
+    EXPECT_EQ(clean, 2u); // seed_minimal.trc and seed_v1.trc
+    EXPECT_EQ(rejected, total - clean);
 }
 
 TEST(Zoo, SuiteSizesMatchTableTwo)

@@ -11,6 +11,14 @@ top-level "failures" summary. Non-finite numbers (NaN, Infinity) are
 rejected everywhere: the emitter writes only finite doubles, and a
 NaN that sneaks into a report poisons every downstream reduction.
 
+On v2 documents the conservation identities the simulator maintains
+are also enforced on every ok run: miss_rate equals
+llc_misses/llc_accesses, counters and rate metrics stay within their
+ranges, and the PInTE induction counters nest (triggers never exceed
+accesses seen, invalidations never exceed requested evictions). A
+report that type-checks but violates one of these carries numbers no
+simulation could have produced.
+
 Exit status 0 when the document conforms, 1 with a diagnostic per
 violation otherwise. Standard library only.
 """
@@ -79,6 +87,20 @@ FAILURES_FIELDS = {
     "total": int,
 }
 
+# Metrics that are ratios with a unit-interval range by construction.
+UNIT_RATE_METRICS = (
+    "miss_rate",
+    "l1d_miss_rate",
+    "l2_miss_rate",
+    "prefetch_miss_rate",
+    "branch_accuracy",
+    "llc_wb_share",
+    "llc_occupancy_fraction",
+)
+
+# Close enough for a double that survived JSON serialization.
+RATE_TOLERANCE = 1e-9
+
 
 def reject_constant(token):
     raise ValueError(f"non-finite number {token}")
@@ -135,6 +157,7 @@ class Checker:
         if not isinstance(run, dict):
             self.error(path, "expected object")
             return
+        shape_errors = len(self.errors)
         for name in ("workload", "contention"):
             if not isinstance(run.get(name), str):
                 self.error(f"{path}.{name}", "expected string")
@@ -192,6 +215,71 @@ class Checker:
         for name in run:
             if name not in known:
                 self.error(path, f"unknown field '{name}'")
+        if self.version >= 2 and len(self.errors) == shape_errors:
+            self.check_conservation(run, path)
+
+    def check_conservation(self, run, path):
+        """Cross-field identities on an ok run (v2 documents).
+
+        Only runs when the field-level checks produced no errors for
+        this run, so every value below has the right type already.
+        """
+        metrics = run["metrics"]
+        accesses = metrics["llc_accesses"]
+        misses = metrics["llc_misses"]
+        if misses > accesses:
+            self.error(
+                f"{path}.metrics.llc_misses",
+                f"{misses} misses out of {accesses} accesses",
+            )
+        expected = misses / accesses if accesses else 0.0
+        if abs(metrics["miss_rate"] - expected) > RATE_TOLERANCE:
+            self.error(
+                f"{path}.metrics.miss_rate",
+                f"{metrics['miss_rate']} but llc_misses/llc_accesses "
+                f"= {expected}",
+            )
+        for name in UNIT_RATE_METRICS:
+            value = metrics[name]
+            if not 0.0 <= value <= 1.0:
+                self.error(
+                    f"{path}.metrics.{name}",
+                    f"rate {value} outside [0, 1]",
+                )
+        for name in ("ipc", "amat", "l2_mpki", "llc_mpki",
+                     "interference_rate", "theft_rate",
+                     "l2_interference_rate"):
+            if metrics[name] < 0.0:
+                self.error(
+                    f"{path}.metrics.{name}", f"negative ({metrics[name]})"
+                )
+        pinte = run["pinte"]
+        if pinte["triggers"] > pinte["accesses_seen"]:
+            self.error(
+                f"{path}.pinte.triggers",
+                f"{pinte['triggers']} triggers out of "
+                f"{pinte['accesses_seen']} accesses seen",
+            )
+        if pinte["invalidations"] > pinte["requested_evicts"]:
+            self.error(
+                f"{path}.pinte.invalidations",
+                f"{pinte['invalidations']} invalidations for only "
+                f"{pinte['requested_evicts']} requested evictions",
+            )
+        for i, sample in enumerate(run["samples"]):
+            for name in ("miss_rate", "occupancy_fraction"):
+                if not 0.0 <= sample[name] <= 1.0:
+                    self.error(
+                        f"{path}.samples[{i}].{name}",
+                        f"rate {sample[name]} outside [0, 1]",
+                    )
+            for name in ("ipc", "amat", "interference_rate",
+                         "theft_rate", "instructions"):
+                if sample[name] < 0:
+                    self.error(
+                        f"{path}.samples[{i}].{name}",
+                        f"negative ({sample[name]})",
+                    )
 
     def check_table(self, table, path):
         if not isinstance(table, dict):

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "common/error.hh"
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
@@ -63,6 +64,9 @@ usage()
         "      --jobs N          worker threads for --sweep "
         "(default: all cores)\n"
         "      --job-timeout S   fail a job stalled for S seconds\n"
+        "      --paranoid[=N]    audit machine invariants every N\n"
+        "                        cycles (default 4096) and at end of "
+        "run\n"
         "      --resume FILE     journal completed runs in FILE and\n"
         "                        serve already-journaled runs from it\n"
         "      --format FMT      output format: table json csv\n"
@@ -155,7 +159,13 @@ pinteMain(int argc, char **argv)
         } else if (a == "--jobs") {
             jobs = static_cast<unsigned>(parseCount(a, need()));
         } else if (a == "--job-timeout") {
-            job_timeout = parseReal(a, need());
+            job_timeout =
+                static_cast<double>(parseTimeout(a, need()));
+        } else if (a == "--paranoid") {
+            // Value is optional: a bare --paranoid must not consume
+            // the next positional argument.
+            Paranoid::enable(parseParanoidInterval(
+                a, inline_val ? *inline_val : ""));
         } else if (a == "--resume") {
             resume_path = need();
         } else if (a == "--format") {
@@ -204,6 +214,10 @@ pinteMain(int argc, char **argv)
         System sys(m, {&gen});
         sys.warmup(params.warmup);
         sys.runUntilCore0(params.roi);
+        if (Paranoid::on()) {
+            sys.audit();
+            sys.auditStats();
+        }
         Report rep(format, out_path,
                    {"pintesim", m.fingerprint(), params});
         emitMachineReport(sys, rep.sink());
