@@ -27,7 +27,9 @@ extractCurveFeatures(const std::vector<double> &x,
 
     const double dx = x.back() - x.front();
     const double dy = y.back() - y.front();
-    if (dx > 0.0)
+    // The slope is well-defined for either sweep direction; only a
+    // degenerate chord (first and last x equal) leaves trend at 0.
+    if (dx != 0.0)
         f.trend = dy / dx;
 
     // Knee: max perpendicular distance from the endpoint chord
@@ -48,6 +50,13 @@ extractCurveFeatures(const std::vector<double> &x,
             f.kneeIndex = i;
         }
     }
+    // A curve that never leaves the chord (perfectly linear, up to
+    // rounding) has no knee; report the midpoint rather than leaving
+    // the front point, which would read as a knee at the very first
+    // sweep configuration. Real knees are ~1e-2 deep, so anything
+    // below 1e-12 is chord residue, not structure.
+    if (best < 1e-12 && x.size() >= 3)
+        f.kneeIndex = x.size() / 2;
     f.kneeDepth = best;
     f.kneeX = x[f.kneeIndex];
     return f;

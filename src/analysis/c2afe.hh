@@ -22,8 +22,9 @@ struct CurveFeatures
 {
     /**
      * Index of the knee: the point of maximum perpendicular distance
-     * from the chord joining the curve's endpoints. 0 for flat or
-     * degenerate curves.
+     * from the chord joining the curve's endpoints. When every
+     * interior point sits exactly on the chord (kneeDepth == 0) the
+     * curve has no knee and the index points at the curve's midpoint.
      */
     std::size_t kneeIndex = 0;
 
@@ -60,7 +61,8 @@ const char *toString(CurveShape s);
 
 /**
  * Extract features from a curve given as parallel x/y vectors.
- * x must be non-decreasing; vectors must have equal size >= 1.
+ * x must be monotone (ascending or descending sweeps both work; the
+ * trend keeps its sign either way); vectors must have equal size >= 1.
  */
 CurveFeatures extractCurveFeatures(const std::vector<double> &x,
                                    const std::vector<double> &y);

@@ -14,7 +14,15 @@ crgGroup(double rate, double granularity)
 {
     if (granularity <= 0.0)
         fatal("CRG granularity must be positive");
-    return static_cast<int>(std::lround(rate / granularity));
+    if (rate < 0.0)
+        fatal("CRG rate must be non-negative");
+    // Nearest center with half-steps rounding *down*: group g owns
+    // (g*gran - gran/2, g*gran + gran/2], so a rate exactly halfway
+    // between two centers (0.05 at granularity 0.1) joins the lower
+    // group. std::lround would round it away from zero, putting the
+    // boundary in a different group than crgCenter's bin-center
+    // semantics implies.
+    return static_cast<int>(std::ceil(rate / granularity - 0.5));
 }
 
 double
@@ -48,10 +56,11 @@ crgPartition(const std::vector<double> &rates, double granularity)
         max_group = std::max(max_group, crgGroup(r, granularity));
     std::vector<std::vector<std::size_t>> out(
         static_cast<std::size_t>(max_group) + 1);
+    // crgGroup rejects negative rates, so every group index is in
+    // range and the partition is exhaustive.
     for (std::size_t i = 0; i < rates.size(); ++i) {
         const int g = crgGroup(rates[i], granularity);
-        if (g >= 0)
-            out[static_cast<std::size_t>(g)].push_back(i);
+        out[static_cast<std::size_t>(g)].push_back(i);
     }
     return out;
 }

@@ -20,8 +20,11 @@ namespace pinte
 
 /**
  * Group index of a contention rate (in [0, 1]) at the given
- * granularity: round(rate / granularity). Group g spans
- * [g*gran - gran/2, g*gran + gran/2).
+ * granularity: the nearest group center, with exact half-steps
+ * rounding down. Group g spans (g*gran - gran/2, g*gran + gran/2], so
+ * e.g. 0.05 at the default granularity belongs to group 0, matching
+ * crgCenter's bin-center semantics at the boundary. Negative rates
+ * are rejected (contention rates are fractions in [0, 1]).
  */
 int crgGroup(double rate, double granularity = 0.10);
 

@@ -1,7 +1,5 @@
 #include "sensitivity.hh"
 
-#include <cmath>
-
 namespace pinte
 {
 
@@ -55,7 +53,9 @@ sensitiveCurvePopulation(const std::vector<std::vector<double>> &curves,
     std::size_t sensitive = 0;
     for (const auto &curve : curves) {
         for (double w : curve) {
-            if (std::abs(1.0 - w) > tpl) {
+            // Same TPL-violation predicate as
+            // sensitiveSampleFraction: only performance *loss* counts.
+            if (1.0 - w > tpl) {
                 ++sensitive;
                 break;
             }

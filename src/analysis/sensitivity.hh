@@ -7,6 +7,11 @@
  * lose at least TPL relative to isolation IPC, *low* if no more than
  * 25% do, *mixed* in between. SCP (sensitive-curve population) is the
  * share of a workload's contention curves that are sensitive.
+ *
+ * Sensitivity is performance *loss*: every predicate in this module
+ * tests `1 - w > tpl` on a weighted IPC `w`, so samples that speed up
+ * under contention (w > 1) are never sensitive, whichever entry point
+ * classifies them.
  */
 
 #ifndef PINTE_ANALYSIS_SENSITIVITY_HH
@@ -50,7 +55,9 @@ SensitivityClass classifySensitivity(
 
 /**
  * Sensitive-Curve Population: the share of curves (each a vector of
- * weighted-IPC points) whose C^2AFE sensitivity exceeds the TPL.
+ * weighted-IPC points) with at least one point losing more than the
+ * TPL — the same loss-only predicate as sensitiveSampleFraction, so a
+ * curve is sensitive here iff any of its samples is sensitive there.
  */
 double sensitiveCurvePopulation(
     const std::vector<std::vector<double>> &curves,

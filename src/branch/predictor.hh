@@ -61,6 +61,21 @@ class BranchPredictor
     /** Prediction accuracy in [0, 1]; 1.0 when no branches seen. */
     double accuracy() const;
 
+    /**
+     * Zero the accuracy counters (end of warmup). Table state is
+     * deliberately kept — warmup exists to train it — but the
+     * counters must restart with the region of interest or the
+     * registry's predictor.* values disagree with every other
+     * ROI-scoped stat (and break the time-series conservation
+     * identity the observability tests pin).
+     */
+    void
+    clearStats()
+    {
+        lookups_ = 0;
+        correct_ = 0;
+    }
+
     /** Register lookup/correct counters and accuracy under `prefix`. */
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;

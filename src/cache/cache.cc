@@ -496,6 +496,8 @@ Cache::access(const MemAccess &req)
             down.cycle = req.cycle + config_.latency;
             down_ready = next_->access(down).readyCycle;
         }
+        if (!is_prefetch)
+            stats_.missLatency.add(down_ready - req.cycle);
 
         // Exclusive caches do not allocate on demand fills from below;
         // the line goes straight to the requester's level.
@@ -686,7 +688,8 @@ Cache::registerStats(StatRegistry &reg, const std::string &prefix) const
                        [&s] { return s.contentionRate(); });
         reg.addCounter(p + ".occupancy_blocks",
                        "valid blocks currently owned",
-                       [this, c] { return occupancy(c); });
+                       [this, c] { return occupancy(c); },
+                       /*monotone=*/false);
         reg.addDerived(
             p + ".occupancy_fraction", "share of the cache owned",
             [this, c] {
@@ -703,6 +706,9 @@ Cache::registerStats(StatRegistry &reg, const std::string &prefix) const
     reg.addCounter(prefix + ".demand.misses",
                    "demand misses, all cores",
                    [this] { return stats_.totalMisses(); });
+    reg.addLog2Histogram(prefix + ".miss_latency",
+                         "demand miss latency, cycles (log2 buckets)",
+                         &stats_.missLatency);
     if (prefetcher_)
         prefetcher_->registerStats(reg, prefix + ".prefetcher");
 }

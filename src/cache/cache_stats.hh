@@ -91,6 +91,13 @@ struct CacheStats
      */
     std::vector<Histogram> reuse;
 
+    /**
+     * Demand miss latency (request cycle to downstream ready), log2
+     * buckets, all cores. At the LLC this separates row-hit DRAM
+     * returns from row-conflict tail latencies.
+     */
+    Log2Histogram missLatency;
+
     /** Sum a per-core counter over all cores. */
     template <typename F>
     std::uint64_t
@@ -124,6 +131,7 @@ struct CacheStats
             c = PerCoreCacheStats{};
         for (auto &h : reuse)
             h.clear();
+        missLatency.clear();
     }
 };
 

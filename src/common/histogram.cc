@@ -1,5 +1,7 @@
 #include "histogram.hh"
 
+#include <bit>
+
 #include "logging.hh"
 
 namespace pinte
@@ -62,6 +64,26 @@ Histogram::toDistribution() const
     for (std::size_t i = 0; i < counts_.size(); ++i)
         p[i] = static_cast<double>(counts_[i]) * inv;
     return p;
+}
+
+void
+Log2Histogram::add(std::uint64_t value, std::uint64_t count)
+{
+    // bit_width(0) == 0, bit_width(v) == floorLog2(v) + 1 otherwise,
+    // which is exactly the bucket numbering documented in the header.
+    const std::size_t b =
+        static_cast<std::size_t>(std::bit_width(value));
+    if (b >= counts_.size())
+        counts_.resize(b + 1, 0);
+    counts_[b] += count;
+    total_ += count;
+}
+
+void
+Log2Histogram::clear()
+{
+    counts_.clear();
+    total_ = 0;
 }
 
 Histogram

@@ -76,6 +76,55 @@ class Histogram
 Histogram bucketSamples(const std::vector<double> &samples, double lo,
                         double hi, std::size_t buckets);
 
+/**
+ * Log2-bucketed counting histogram for latency and occupancy samples.
+ *
+ * Bucket 0 holds the value 0; bucket b >= 1 holds values in
+ * [2^(b-1), 2^b). Buckets grow on demand, so the range never clamps
+ * and total() always equals the number of observations — the
+ * observability layer's conservation tests rely on that. One add() is
+ * a bit_width plus a vector increment, cheap enough to leave on in
+ * simulation hot paths (LLC miss latency, MSHR/ROB occupancy).
+ */
+class Log2Histogram
+{
+  public:
+    Log2Histogram() = default;
+
+    /** Record `count` observations of `value`. */
+    void add(std::uint64_t value, std::uint64_t count = 1);
+
+    /** Number of buckets currently allocated (highest used + 1). */
+    std::size_t size() const { return counts_.size(); }
+
+    /** Count in bucket `b` (0 for never-touched buckets). */
+    std::uint64_t
+    at(std::size_t b) const
+    {
+        return b < counts_.size() ? counts_[b] : 0;
+    }
+
+    /** Sum of all bucket counts (= number of observations). */
+    std::uint64_t total() const { return total_; }
+
+    /** Smallest value that lands in bucket `b`. */
+    static std::uint64_t
+    bucketLow(std::size_t b)
+    {
+        return b == 0 ? 0 : 1ull << (b - 1);
+    }
+
+    /** Reset all buckets (end of warmup). */
+    void clear();
+
+    /** Raw bucket counts, index = bucket. */
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
 } // namespace pinte
 
 #endif // PINTE_COMMON_HISTOGRAM_HH

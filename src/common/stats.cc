@@ -15,6 +15,7 @@ kindName(StatRegistry::Kind k)
       case StatRegistry::Kind::Counter: return "counter";
       case StatRegistry::Kind::Derived: return "derived";
       case StatRegistry::Kind::Distribution: return "distribution";
+      case StatRegistry::Kind::Log2: return "log2 histogram";
     }
     return "unknown";
 }
@@ -32,7 +33,8 @@ StatRegistry::addCounter(const std::string &path,
 void
 StatRegistry::addCounter(const std::string &path,
                          const std::string &desc,
-                         std::function<std::uint64_t()> read)
+                         std::function<std::uint64_t()> read,
+                         bool monotone)
 {
     if (index_.count(path))
         fatal("StatRegistry: duplicate stat path '" + path + "'");
@@ -41,6 +43,7 @@ StatRegistry::addCounter(const std::string &path,
     e->desc = desc;
     e->kind = Kind::Counter;
     e->counter = std::move(read);
+    e->monotone = monotone;
     index_.emplace(path, e.get());
     entries_.push_back(std::move(e));
 }
@@ -73,6 +76,22 @@ StatRegistry::addDistribution(const std::string &path,
     e->desc = desc;
     e->kind = Kind::Distribution;
     e->dist = h;
+    index_.emplace(path, e.get());
+    entries_.push_back(std::move(e));
+}
+
+void
+StatRegistry::addLog2Histogram(const std::string &path,
+                               const std::string &desc,
+                               const Log2Histogram *h)
+{
+    if (index_.count(path))
+        fatal("StatRegistry: duplicate stat path '" + path + "'");
+    auto e = std::make_unique<Entry>();
+    e->path = path;
+    e->desc = desc;
+    e->kind = Kind::Log2;
+    e->log2 = h;
     index_.emplace(path, e.get());
     entries_.push_back(std::move(e));
 }
@@ -119,6 +138,50 @@ const Histogram &
 StatRegistry::distribution(const std::string &path) const
 {
     return *lookup(path, Kind::Distribution).dist;
+}
+
+const Log2Histogram &
+StatRegistry::log2Histogram(const std::string &path) const
+{
+    return *lookup(path, Kind::Log2).log2;
+}
+
+StatSampler::StatSampler(const StatRegistry &reg,
+                         std::uint64_t intervalCycles)
+{
+    if (intervalCycles == 0)
+        fatal("StatSampler interval must be positive");
+    series_.intervalCycles = intervalCycles;
+    for (const auto &e : reg.entries()) {
+        if (e->kind != StatRegistry::Kind::Counter || !e->monotone)
+            continue;
+        counters_.push_back(e.get());
+        series_.paths.push_back(e->path);
+        last_.push_back(e->counter());
+    }
+}
+
+void
+StatSampler::closeInterval()
+{
+    std::vector<std::uint64_t> row(counters_.size());
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        const std::uint64_t now = counters_[i]->counter();
+        row[i] = now - last_[i];
+        last_[i] = now;
+    }
+    series_.cycles.push_back(cycle_);
+    series_.deltas.push_back(std::move(row));
+    sinceLast_ = 0;
+}
+
+void
+StatSampler::finish()
+{
+    // A zero-length trailing interval would duplicate the last cycle
+    // stamp (breaking monotonicity) without adding information.
+    if (sinceLast_ > 0)
+        closeInterval();
 }
 
 std::vector<const StatRegistry::Entry *>

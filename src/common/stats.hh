@@ -41,6 +41,7 @@ class StatRegistry
         Counter,      //!< monotonic integer, read from the component
         Derived,      //!< double computed from counters on demand
         Distribution, //!< a Histogram owned by the component
+        Log2,         //!< a Log2Histogram owned by the component
     };
 
     /** One registered statistic. */
@@ -52,6 +53,16 @@ class StatRegistry
         std::function<std::uint64_t()> counter; //!< Kind::Counter
         std::function<double()> derived;        //!< Kind::Derived
         const Histogram *dist = nullptr;        //!< Kind::Distribution
+        const Log2Histogram *log2 = nullptr;    //!< Kind::Log2
+
+        /**
+         * Counters are monotone unless registered otherwise; gauges
+         * (live state such as cache occupancy) can decrease, so the
+         * StatSampler excludes them — an unsigned interval delta of a
+         * shrinking gauge would wrap, and the time-series conservation
+         * identity only makes sense for accumulating counts.
+         */
+        bool monotone = true;
     };
 
     StatRegistry() = default;
@@ -62,9 +73,14 @@ class StatRegistry
     void addCounter(const std::string &path, const std::string &desc,
                     const std::uint64_t *field);
 
-    /** Register a counter read through a closure (private fields). */
+    /**
+     * Register a counter read through a closure (private fields).
+     * Pass monotone = false for gauges that can decrease (the sampler
+     * skips those; see Entry::monotone).
+     */
     void addCounter(const std::string &path, const std::string &desc,
-                    std::function<std::uint64_t()> read);
+                    std::function<std::uint64_t()> read,
+                    bool monotone = true);
 
     /** Register a derived (computed-on-read) double metric. */
     void addDerived(const std::string &path, const std::string &desc,
@@ -73,6 +89,14 @@ class StatRegistry
     /** Register a distribution backed by a component's Histogram. */
     void addDistribution(const std::string &path,
                          const std::string &desc, const Histogram *h);
+
+    /**
+     * Register a log2-bucketed latency/occupancy histogram backed by a
+     * component's Log2Histogram.
+     */
+    void addLog2Histogram(const std::string &path,
+                          const std::string &desc,
+                          const Log2Histogram *h);
 
     /** True if `path` is registered. */
     bool has(const std::string &path) const;
@@ -88,6 +112,9 @@ class StatRegistry
 
     /** Read a distribution; fatal if missing or not a distribution. */
     const Histogram &distribution(const std::string &path) const;
+
+    /** Read a log2 histogram; fatal if missing or wrong kind. */
+    const Log2Histogram &log2Histogram(const std::string &path) const;
 
     /** All entries, in registration order. */
     const std::vector<std::unique_ptr<Entry>> &entries() const
@@ -106,6 +133,68 @@ class StatRegistry
 
     std::vector<std::unique_ptr<Entry>> entries_;
     std::map<std::string, const Entry *> index_;
+};
+
+/**
+ * Per-interval deltas of every registered counter, produced by a
+ * StatSampler. Row r of `deltas` holds, for each path in `paths`
+ * (registration order), the counter increment over the interval
+ * ending at `cycles[r]`. Column sums equal the end-of-sampling
+ * counter values by construction — the conservation identity the
+ * observability tests pin.
+ */
+struct StatTimeseries
+{
+    std::uint64_t intervalCycles = 0;  //!< configured sample period
+    std::vector<std::string> paths;    //!< counter paths, in order
+    std::vector<std::uint64_t> cycles; //!< end-of-interval stamps
+    std::vector<std::vector<std::uint64_t>> deltas; //!< [row][path]
+
+    bool empty() const { return cycles.empty(); }
+};
+
+/**
+ * Periodic snapshot engine over a StatRegistry's counters.
+ *
+ * tick(n) advances the sampler's cycle clock; whenever at least
+ * `intervalCycles` have accumulated since the last snapshot it closes
+ * an interval, recording the delta of every counter against the
+ * previous snapshot. Ticks arrive at run-quantum granularity, so
+ * interval boundaries land on the first tick at or past the period
+ * and rows carry their actual end cycle, strictly increasing.
+ * finish() closes the trailing partial interval so the column sums
+ * equal the final counter values exactly.
+ */
+class StatSampler
+{
+  public:
+    /** Snapshot the registry's counters as the baseline. */
+    StatSampler(const StatRegistry &reg, std::uint64_t intervalCycles);
+
+    /** Advance by `cycles`; closes an interval when the period fills. */
+    void
+    tick(std::uint64_t cycles)
+    {
+        cycle_ += cycles;
+        sinceLast_ += cycles;
+        if (sinceLast_ >= series_.intervalCycles)
+            closeInterval();
+    }
+
+    /** Close the trailing partial interval (end of measurement). */
+    void finish();
+
+    /** The recorded time series. */
+    const StatTimeseries &series() const { return series_; }
+
+  private:
+    void closeInterval();
+
+    std::vector<const StatRegistry::Entry *> counters_;
+    std::vector<std::uint64_t> last_;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t sinceLast_ = 0;
+    StatTimeseries series_;
 };
 
 } // namespace pinte

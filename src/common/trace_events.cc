@@ -1,0 +1,186 @@
+#include "trace_events.hh"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "atomic_file.hh"
+#include "json.hh"
+
+namespace pinte
+{
+
+namespace TraceEvents
+{
+
+namespace detail
+{
+std::atomic<bool> armed{false};
+} // namespace detail
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct Event
+{
+    const char *category; //!< string literal at every call site
+    std::string name;
+    char phase;           //!< 'X' (complete) or 'i' (instant)
+    std::uint32_t tid;
+    std::uint64_t tsUs;
+    std::uint64_t durUs;  //!< phase 'X' only
+    std::uint64_t value;  //!< phase 'i' only
+};
+
+/**
+ * Collection state behind one mutex: arm/write happen on the driver
+ * thread, events arrive from campaign workers too. The buffer is
+ * bounded so a pathological run (tracing millions of PInTE triggers)
+ * degrades to dropped-event accounting instead of unbounded memory.
+ */
+constexpr std::size_t maxEvents = 1u << 20;
+
+std::mutex mtx;
+std::vector<Event> events;
+std::uint64_t dropped = 0;
+Clock::time_point t0 = Clock::now();
+
+std::uint32_t
+threadId()
+{
+    // Small dense ids make the Chrome timeline readable (one row per
+    // worker) without exposing platform thread handles.
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t id = next.fetch_add(1);
+    return id;
+}
+
+void
+push(Event &&e)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (events.size() >= maxEvents) {
+        ++dropped;
+        return;
+    }
+    events.push_back(std::move(e));
+}
+
+} // namespace
+
+void
+arm()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    events.clear();
+    dropped = 0;
+    t0 = Clock::now();
+    detail::armed.store(true, std::memory_order_relaxed);
+}
+
+void
+disarm()
+{
+    detail::armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t
+nowUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - t0)
+            .count());
+}
+
+void
+mark(const char *category, const char *name, std::uint64_t value)
+{
+    if (!on())
+        return;
+    push({category, name, 'i', threadId(), nowUs(), 0, value});
+}
+
+void
+recordSpan(const char *category, const std::string &name,
+           std::uint64_t startUs)
+{
+    push({category, name, 'X', threadId(), startUs, nowUs() - startUs,
+          0});
+}
+
+Span::Span(const char *category, std::string name)
+    : category_(category), name_(std::move(name)), startUs_(0),
+      active_(on())
+{
+    if (active_)
+        startUs_ = nowUs();
+}
+
+Span::~Span()
+{
+    // A span that outlived the armed window (disarm mid-run) is
+    // dropped: its duration would mix traced and untraced time.
+    if (active_ && on())
+        recordSpan(category_, name_, startUs_);
+}
+
+std::size_t
+eventCount()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return events.size();
+}
+
+std::uint64_t
+droppedEvents()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return dropped;
+}
+
+void
+write(const std::string &path)
+{
+    disarm();
+    std::lock_guard<std::mutex> lock(mtx);
+
+    AtomicFile file(path);
+    JsonWriter w(file.stream());
+    w.beginObject();
+    w.member("displayTimeUnit", "ms");
+    w.member("droppedEvents", dropped);
+    w.key("traceEvents");
+    w.beginArray();
+    for (const Event &e : events) {
+        w.beginObject();
+        w.member("name", e.name);
+        w.member("cat", e.category);
+        w.member("ph", std::string(1, e.phase));
+        w.member("pid", std::uint64_t(1));
+        w.member("tid", std::uint64_t(e.tid));
+        w.member("ts", e.tsUs);
+        if (e.phase == 'X') {
+            w.member("dur", e.durUs);
+        } else {
+            // Instant-event scope: thread-local.
+            w.member("s", "t");
+            w.key("args");
+            w.beginObject();
+            w.member("value", e.value);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    file.stream() << "\n";
+    file.commit();
+}
+
+} // namespace TraceEvents
+
+} // namespace pinte

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Event-trace backend emitting Chrome `chrome://tracing` JSON.
+ *
+ * The observability layer's answer to "what was the simulator doing
+ * when the metric moved": run phases (warmup/measure) and campaign
+ * jobs are recorded as complete spans ("ph":"X"), and hot components
+ * may drop instant marks ("ph":"i") for notable events — PInTE
+ * trigger episodes, DRAM row conflicts. Load the written file in
+ * chrome://tracing or Perfetto.
+ *
+ * Arming follows the paranoid-mode pattern (common/invariant.hh):
+ * disabled is the default and costs one relaxed atomic load per call
+ * site —
+ *
+ *     if (TraceEvents::on())
+ *         TraceEvents::mark("pinte", "trigger", blocks_evict);
+ *
+ * — so the hot loops stay clean when no one asked for a trace. Arm
+ * with `pintesim --trace-events=FILE`, or programmatically via arm()
+ * + write(). The buffer is bounded (droppedEvents() reports overflow)
+ * and mutex-protected, so campaign worker threads can trace
+ * concurrently.
+ */
+
+#ifndef PINTE_COMMON_TRACE_EVENTS_HH
+#define PINTE_COMMON_TRACE_EVENTS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pinte
+{
+
+namespace TraceEvents
+{
+
+namespace detail
+{
+/** True while events are being collected. */
+extern std::atomic<bool> armed;
+} // namespace detail
+
+/** True when event tracing is armed. Hot-path guard: one load. */
+inline bool
+on()
+{
+    return detail::armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Start collecting events: clears the buffer, re-zeroes the trace
+ * clock, and arms the call-site guards. Call before simulation
+ * threads start.
+ */
+void arm();
+
+/** Stop collecting. The buffer is kept until the next arm()/write(). */
+void disarm();
+
+/** Microseconds since arm() on the trace clock. */
+std::uint64_t nowUs();
+
+/**
+ * Record an instant event ("ph":"i") with one numeric argument.
+ * No-op when disarmed; call sites still guard with on() to skip the
+ * argument evaluation and the call.
+ */
+void mark(const char *category, const char *name, std::uint64_t value);
+
+/**
+ * Record a complete span ("ph":"X") from `startUs` to now. Usually
+ * used through the Span RAII helper rather than directly.
+ */
+void recordSpan(const char *category, const std::string &name,
+                std::uint64_t startUs);
+
+/**
+ * RAII complete-span: stamps its start on construction and records
+ * the span on destruction. Construction while disarmed makes the
+ * whole object a no-op, so scoping one around a phase is free in
+ * untraced runs.
+ */
+class Span
+{
+  public:
+    Span(const char *category, std::string name);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *category_;
+    std::string name_;
+    std::uint64_t startUs_;
+    bool active_;
+};
+
+/** Number of buffered events (tests). */
+std::size_t eventCount();
+
+/** Events discarded because the bounded buffer filled. */
+std::uint64_t droppedEvents();
+
+/**
+ * Disarm and write all buffered events to `path` as a Chrome trace
+ * JSON document (crash-safe via AtomicFile).
+ * @throws ConfigError / SimError on I/O failure
+ */
+void write(const std::string &path);
+
+} // namespace TraceEvents
+
+} // namespace pinte
+
+#endif // PINTE_COMMON_TRACE_EVENTS_HH

@@ -4,6 +4,7 @@
 #include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/trace_events.hh"
 
 namespace pinte
 {
@@ -42,6 +43,8 @@ PInte::onAccess(Cache &cache, unsigned set, CoreId core, Cycle cycle)
     const unsigned assoc = cache.assoc();
     std::uint64_t blocks_evict = rng_.drawBetween(0, assoc);
     stats_.requestedEvicts += blocks_evict;
+    if (TraceEvents::on())
+        TraceEvents::mark("pinte", "trigger", blocks_evict);
 
     // BLOCK-SELECT .. DECREMENT: walk blocks from the eviction end of
     // the replacement stack. Each PROMOTE moves the selected block to
@@ -50,18 +53,29 @@ PInte::onAccess(Cache &cache, unsigned set, CoreId core, Cycle cycle)
     // block models inserting on a previously stolen slot (Fig 2b), so
     // the walk always promotes, but only valid blocks count as thefts.
     unsigned w = 0;
+    unsigned stack_rank = 0;
     while (blocks_evict > 0 && w < assoc) {
         unsigned way = 0;
         switch (config_.select) {
-          case BlockSelectPolicy::StackEnd:
-            // The block at rank 0 is at the end of the stack.
+          case BlockSelectPolicy::StackEnd: {
+            // The block at rank 0 is at the end of the stack. With
+            // PROMOTE enabled each promotion rotates a fresh block
+            // into rank 0, so re-reading rank 0 walks the stack.
+            // Without PROMOTE the ranks never shift (theft
+            // invalidation keeps the slot's stack position), so the
+            // walk must climb ranks 0..k-1 itself to reach k distinct
+            // blocks instead of re-selecting the same way every
+            // iteration.
+            const unsigned target = config_.promote ? 0 : stack_rank;
             for (unsigned cand = 0; cand < assoc; ++cand) {
-                if (cache.rank(set, cand) == 0) {
+                if (cache.rank(set, cand) == target) {
                     way = cand;
                     break;
                 }
             }
+            ++stack_rank;
             break;
+          }
           case BlockSelectPolicy::RandomValid:
             way = static_cast<unsigned>(rng_.drawRange(assoc));
             break;

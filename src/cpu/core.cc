@@ -20,6 +20,9 @@ void
 Core::clearStats()
 {
     stats_ = CoreStats{};
+    // The predictor's tables keep their warmup training, but its
+    // accuracy counters restart with the ROI like every other stat.
+    predictor_->clearStats();
 }
 
 void
@@ -83,6 +86,13 @@ Core::dispatch(const TraceRecord &rec)
         // new load cannot issue before the oldest of them finishes.
         const Cycle issue =
             std::max(ready, loadRing_[loadRingHead_]);
+        // MLP at issue: how many of the last N loads are still in
+        // flight when this one leaves.
+        std::uint64_t in_flight = 0;
+        for (const Cycle done : loadRing_)
+            if (done > issue)
+                ++in_flight;
+        stats_.mshrOccupancy.add(in_flight);
         MemAccess req;
         req.addr = rec.loadAddr[i];
         req.ip = rec.ip;
@@ -128,6 +138,7 @@ Core::dispatch(const TraceRecord &rec)
         }
     }
 
+    stats_.robOccupancy.add(rob_.size());
     rob_.push_back(complete);
 }
 
@@ -226,6 +237,12 @@ Core::registerStats(StatRegistry &reg, const std::string &prefix) const
     reg.addCounter(prefix + ".load_latency",
                    "total load latency, issue to data-ready (cycles)",
                    &s.totalLoadLatency);
+    reg.addLog2Histogram(prefix + ".mshr_occupancy",
+                         "outstanding loads at load issue (log2 buckets)",
+                         &s.mshrOccupancy);
+    reg.addLog2Histogram(prefix + ".rob_occupancy",
+                         "ROB entries at dispatch (log2 buckets)",
+                         &s.robOccupancy);
     reg.addDerived(prefix + ".ipc", "instructions per cycle",
                    [&s] { return s.ipc(); });
     reg.addDerived(prefix + ".amat",

@@ -20,6 +20,7 @@
 
 #include "branch/predictor.hh"
 #include "cache/memory_level.hh"
+#include "common/histogram.hh"
 #include "common/types.hh"
 #include "trace/generator.hh"
 #include "trace/record.hh"
@@ -55,6 +56,22 @@ struct CoreStats
 
     std::uint64_t loads = 0;
     std::uint64_t totalLoadLatency = 0; //!< cycles, issue to data-ready
+
+    /**
+     * Outstanding loads (MLP) observed at each load issue, log2
+     * buckets. Bucket b counts issues that found [2^(b-1), 2^b)
+     * earlier loads still in flight; bucket 0 counts issues into an
+     * idle memory system.
+     */
+    Log2Histogram mshrOccupancy;
+
+    /**
+     * ROB occupancy sampled once per dispatched instruction, log2
+     * buckets. Skewed toward busy cycles by construction (idle cycles
+     * dispatch nothing), which is the population IPC analysis cares
+     * about.
+     */
+    Log2Histogram robOccupancy;
 
     /** Instructions per cycle. */
     double

@@ -7,6 +7,7 @@
 #include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/trace_events.hh"
 
 namespace pinte
 {
@@ -152,6 +153,8 @@ Dram::access(const MemAccess &req)
         array_lat = config_.tRp + config_.tRcd + config_.tCas;
         bank_held = config_.tRp + config_.tRcd + config_.tCcd;
         st.rowConflicts++;
+        if (TraceEvents::on())
+            TraceEvents::mark("dram", "row_conflict", bank_at);
     }
 
     array_lat += config_.contentionExtra;

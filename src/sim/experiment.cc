@@ -4,6 +4,7 @@
 #include "common/fault.hh"
 #include "common/invariant.hh"
 #include "common/logging.hh"
+#include "common/trace_events.hh"
 
 #include <algorithm>
 #include <ctime>
@@ -362,7 +363,16 @@ ExperimentSpec::runAll() const
         throw SimError("injected fault: job", {"experiment", "", ""});
 
     const double t0 = threadCpuSeconds();
-    sys.warmup(params_.warmup);
+    {
+        TraceEvents::Span span("run", "warmup " + workloads_[0].name);
+        sys.warmup(params_.warmup);
+    }
+
+    // Sampling baselines right after warmup's clearAllStats, so every
+    // interval delta accumulates from zero and the column sums equal
+    // the end-of-run counters exactly (the conservation identity
+    // tests/test_observability.cc pins).
+    sys.startSampling(params_.sampleIntervalCycles);
 
     if (faultInjected("hang")) {
         // Simulate a wedged job: no instruction progress, forever.
@@ -383,19 +393,23 @@ ExperimentSpec::runAll() const
     for (unsigned i = 0; i < n; ++i)
         prev.push_back(Snapshot::take(sys, i));
 
-    InstCount done = 0;
-    while (done < params_.roi) {
-        const InstCount step =
-            std::min<InstCount>(params_.sampleEvery,
-                                params_.roi - done);
-        sys.runUntilCore0(step);
-        done += step;
-        for (unsigned i = 0; i < n; ++i) {
-            const Snapshot now = Snapshot::take(sys, i);
-            results[i].samples.push_back(diff(now, prev[i], sys, i));
-            prev[i] = now;
+    {
+        TraceEvents::Span span("run", "measure " + workloads_[0].name);
+        InstCount done = 0;
+        while (done < params_.roi) {
+            const InstCount step =
+                std::min<InstCount>(params_.sampleEvery,
+                                    params_.roi - done);
+            sys.runUntilCore0(step);
+            done += step;
+            for (unsigned i = 0; i < n; ++i) {
+                const Snapshot now = Snapshot::take(sys, i);
+                results[i].samples.push_back(diff(now, prev[i], sys, i));
+                prev[i] = now;
+            }
         }
     }
+    sys.finishSampling();
 
     // End-of-run conservation audit: even at a sparse sweep interval,
     // every run finishes with a full structural + stat-identity check
@@ -411,6 +425,20 @@ ExperimentSpec::runAll() const
     }
     if (sys.pinte())
         results[0].pinte = sys.pinte()->stats();
+
+    // Machine-global observability payloads ride on core 0's result:
+    // the recorded time series (if sampling was on) and every log2
+    // histogram the components registered.
+    results[0].timeseries = sys.timeseries();
+    for (const auto &e : sys.registry().entries()) {
+        if (e->kind != StatRegistry::Kind::Log2)
+            continue;
+        HistogramData h;
+        h.path = e->path;
+        h.counts = e->log2->counts();
+        h.total = e->log2->total();
+        results[0].histograms.push_back(std::move(h));
+    }
 
     const double cpu = threadCpuSeconds() - t0;
     for (auto &r : results)

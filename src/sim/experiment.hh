@@ -19,6 +19,7 @@
 
 #include "common/error.hh"
 #include "common/histogram.hh"
+#include "common/stats.hh"
 #include "core/pinte.hh"
 #include "sim/machine.hh"
 #include "trace/workload.hh"
@@ -92,6 +93,20 @@ struct RunError
     }
 };
 
+/**
+ * One log2-bucketed histogram exported from the StatRegistry into a
+ * report (schema v3): LLC miss latency, MSHR/ROB occupancy. `counts`
+ * holds bucket populations in Log2Histogram bucket order (bucket 0 =
+ * value 0, bucket b >= 1 = values in [2^(b-1), 2^b)); `total` is the
+ * observation count, always equal to the sum of `counts`.
+ */
+struct HistogramData
+{
+    std::string path;                  //!< registry path
+    std::vector<std::uint64_t> counts; //!< per-bucket populations
+    std::uint64_t total = 0;           //!< observations recorded
+};
+
 /** Everything one run produces. */
 struct RunResult
 {
@@ -101,6 +116,18 @@ struct RunResult
     std::vector<Sample> samples;
     Histogram reuse{16};    //!< LLC reuse positions (0 = MRU end)
     PInteStats pinte;
+    /**
+     * Per-interval counter deltas recorded during the ROI; empty
+     * unless ExperimentParams::sampleIntervalCycles was set. The
+     * machine-global series lives on core 0's result only (one
+     * machine, one series).
+     */
+    StatTimeseries timeseries;
+    /**
+     * Log2 histograms captured at end of run, in registration order.
+     * Machine-global, carried on core 0's result only.
+     */
+    std::vector<HistogramData> histograms;
     /**
      * CPU time this experiment consumed, measured on the executing
      * thread (CLOCK_THREAD_CPUTIME_ID). Thread CPU time rather than
@@ -150,6 +177,13 @@ struct ExperimentParams
     InstCount roi = 60000;         //!< paper: 470M-500M
     InstCount sampleEvery = 3000;  //!< paper: 10M
     std::uint64_t runSeed = 0;     //!< perturbs the PInTE RNG stream
+    /**
+     * Period, in cycles, of the StatRegistry time-series sampler
+     * (pintesim --sample-interval). 0 (the default) disables
+     * sampling; reports then carry no timeseries section and are
+     * field-identical to schema v2 output.
+     */
+    std::uint64_t sampleIntervalCycles = 0;
 };
 
 /**

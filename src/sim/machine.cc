@@ -214,6 +214,9 @@ System::runQuantum(Cycle quantum)
     for (auto &core : cores_)
         core->runCycles(quantum);
 
+    if (sampler_)
+        sampler_->tick(quantum);
+
     if (Paranoid::on()) {
         cyclesSinceAudit_ += quantum;
         if (cyclesSinceAudit_ >= Paranoid::interval()) {
@@ -422,6 +425,27 @@ System::auditStats() const
             failEq("L1 writebacks out vs L2." + is + " writebacks in",
                    l1_out, l2_in);
     }
+}
+
+void
+System::startSampling(std::uint64_t intervalCycles)
+{
+    if (intervalCycles == 0)
+        return;
+    sampler_ = std::make_unique<StatSampler>(registry_, intervalCycles);
+}
+
+void
+System::finishSampling()
+{
+    if (sampler_)
+        sampler_->finish();
+}
+
+StatTimeseries
+System::timeseries() const
+{
+    return sampler_ ? sampler_->series() : StatTimeseries{};
 }
 
 void

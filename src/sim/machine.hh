@@ -183,6 +183,23 @@ class System
      */
     const StatRegistry &registry() const { return registry_; }
 
+    /** @name Periodic stat sampling (observability time series). */
+    /// @{
+    /**
+     * Start snapshotting every monotone counter each `intervalCycles`
+     * quantum-cycles. Call right after warmup's clearAllStats so the
+     * interval deltas sum exactly to the end-of-run counters. Passing
+     * 0 leaves sampling off (runQuantum stays a null-pointer check).
+     */
+    void startSampling(std::uint64_t intervalCycles);
+
+    /** Close the trailing partial interval (end of measurement). */
+    void finishSampling();
+
+    /** The recorded series; empty when sampling was never started. */
+    StatTimeseries timeseries() const;
+    /// @}
+
   private:
     MachineConfig config_;
     std::unique_ptr<Dram> dram_;
@@ -194,6 +211,9 @@ class System
     std::vector<std::unique_ptr<PInte>> engines_;
     std::vector<std::string> enginePaths_;
     StatRegistry registry_;
+
+    /** Periodic counter snapshotter; null unless sampling is on. */
+    std::unique_ptr<StatSampler> sampler_;
 
     /** Cycles advanced since the last paranoid sweep. */
     Cycle cyclesSinceAudit_ = 0;

@@ -132,6 +132,55 @@ emitMachineReport(System &sys, ReportSink &sink)
         }
         sink.table(pt);
     }
+
+    // Observability extras: the log2 latency/occupancy histograms and,
+    // when --sample-interval armed the sampler, the recorded counter
+    // time series. Both sections disappear entirely when empty so a
+    // plain report keeps its historical shape.
+    bool any_hist = false;
+    for (const auto &e : reg.entries())
+        if (e->kind == StatRegistry::Kind::Log2 && e->log2->total()) {
+            any_hist = true;
+            break;
+        }
+    if (any_hist) {
+        sink.note("");
+        sink.note("==== log2 histograms ====");
+        TableData ht("histograms", {"path", "total", "counts"});
+        for (const auto &e : reg.entries()) {
+            if (e->kind != StatRegistry::Kind::Log2 ||
+                !e->log2->total())
+                continue;
+            std::string counts;
+            for (const std::uint64_t c : e->log2->counts()) {
+                if (!counts.empty())
+                    counts += ' ';
+                counts += std::to_string(c);
+            }
+            ht.addRow({Cell(e->path), Cell::count(e->log2->total()),
+                       Cell(counts)});
+        }
+        sink.table(ht);
+    }
+
+    const StatTimeseries ts = sys.timeseries();
+    if (!ts.empty()) {
+        sink.note("");
+        sink.note("==== timeseries (interval " +
+                  std::to_string(ts.intervalCycles) + " cycles) ====");
+        std::vector<std::string> cols = {"cycle"};
+        cols.insert(cols.end(), ts.paths.begin(), ts.paths.end());
+        TableData tt("timeseries", std::move(cols));
+        for (std::size_t r = 0; r < ts.cycles.size(); ++r) {
+            std::vector<Cell> row;
+            row.reserve(ts.paths.size() + 1);
+            row.push_back(Cell::count(ts.cycles[r]));
+            for (const std::uint64_t d : ts.deltas[r])
+                row.push_back(Cell::count(d));
+            tt.addRow(std::move(row));
+        }
+        sink.table(tt);
+    }
 }
 
 void

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/trace_events.hh"
 #include "sim/watchdog.hh"
 
 namespace pinte
@@ -105,6 +106,10 @@ Runner::forEach(std::size_t n,
     // clock.
     const double timeout = jobTimeout_;
     auto invoke = [&fn, timeout](std::size_t i) {
+        // One trace span per campaign job (serial and pooled paths
+        // both come through here), so chrome://tracing shows the
+        // batch's scheduling shape across worker threads.
+        TraceEvents::Span span("campaign", "job " + std::to_string(i));
         if (timeout > 0.0) {
             JobWatchdog::Scope guard(timeout);
             fn(i);

@@ -196,6 +196,58 @@ writeRunJson(JsonWriter &w, const RunResult &r)
     w.member("requested_evicts", r.pinte.requestedEvicts);
     w.endObject();
     w.member("cpu_seconds", r.cpuSeconds);
+    // Observability payloads (schema v3). Both are omitted when empty
+    // so a sampling-off document carries exactly the v2 fields.
+    if (!r.timeseries.empty()) {
+        const StatTimeseries &ts = r.timeseries;
+        w.key("timeseries");
+        w.beginObject();
+        w.member("interval_cycles", ts.intervalCycles);
+        w.key("paths");
+        w.beginArray();
+        for (const auto &p : ts.paths)
+            w.value(p);
+        w.endArray();
+        w.key("cycles");
+        w.beginArray();
+        for (const std::uint64_t c : ts.cycles)
+            w.value(c);
+        w.endArray();
+        w.key("deltas");
+        w.beginArray();
+        for (const auto &row : ts.deltas) {
+            w.beginArray();
+            for (const std::uint64_t d : row)
+                w.value(d);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    bool any_hist = false;
+    for (const HistogramData &h : r.histograms)
+        if (h.total) {
+            any_hist = true;
+            break;
+        }
+    if (any_hist) {
+        w.key("histograms");
+        w.beginArray();
+        for (const HistogramData &h : r.histograms) {
+            if (!h.total)
+                continue;
+            w.beginObject();
+            w.member("path", h.path);
+            w.member("total", h.total);
+            w.key("counts");
+            w.beginArray();
+            for (const std::uint64_t c : h.counts)
+                w.value(c);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
 }
 
@@ -257,6 +309,31 @@ runFromJson(const JsonValue &v)
     r.pinte.invalidations = pv.at("invalidations").asU64();
     r.pinte.requestedEvicts = pv.at("requested_evicts").asU64();
     r.cpuSeconds = v.at("cpu_seconds").asDouble();
+    // v3 observability payloads are optional: absent in v2 documents
+    // and in v3 documents produced without sampling / histograms.
+    if (const JsonValue *ts = v.find("timeseries")) {
+        r.timeseries.intervalCycles = ts->at("interval_cycles").asU64();
+        for (const JsonValue &p : ts->at("paths").array)
+            r.timeseries.paths.push_back(p.asString());
+        for (const JsonValue &c : ts->at("cycles").array)
+            r.timeseries.cycles.push_back(c.asU64());
+        for (const JsonValue &row : ts->at("deltas").array) {
+            std::vector<std::uint64_t> d;
+            for (const JsonValue &x : row.array)
+                d.push_back(x.asU64());
+            r.timeseries.deltas.push_back(std::move(d));
+        }
+    }
+    if (const JsonValue *hs = v.find("histograms")) {
+        for (const JsonValue &hv : hs->array) {
+            HistogramData h;
+            h.path = hv.at("path").asString();
+            h.total = hv.at("total").asU64();
+            for (const JsonValue &c : hv.at("counts").array)
+                h.counts.push_back(c.asU64());
+            r.histograms.push_back(std::move(h));
+        }
+    }
     return r;
 }
 
@@ -299,6 +376,8 @@ JsonSink::close()
     w.member("roi", meta_.params.roi);
     w.member("sample_every", meta_.params.sampleEvery);
     w.member("run_seed", meta_.params.runSeed);
+    if (meta_.params.sampleIntervalCycles)
+        w.member("sample_interval", meta_.params.sampleIntervalCycles);
     w.endObject();
     w.key("notes");
     w.beginArray();
@@ -412,7 +491,10 @@ CsvSink::close()
     os_ << "# warmup: " << meta_.params.warmup
         << " roi: " << meta_.params.roi
         << " sample_every: " << meta_.params.sampleEvery
-        << " run_seed: " << meta_.params.runSeed << "\n";
+        << " run_seed: " << meta_.params.runSeed;
+    if (meta_.params.sampleIntervalCycles)
+        os_ << " sample_interval: " << meta_.params.sampleIntervalCycles;
+    os_ << "\n";
     for (const auto &n : notes_)
         os_ << "# note: " << n << "\n";
 
@@ -454,6 +536,40 @@ CsvSink::close()
                 << m.llcAccesses << "," << m.llcMisses << ","
                 << r.pinte.triggers << "," << r.pinte.invalidations
                 << "," << jsonNumber(r.cpuSeconds) << ",,\n";
+        }
+    }
+
+    // Observability sections (schema v3): one wide table per recorded
+    // time series (cycle + one column per counter path, cells are
+    // per-interval deltas) and one three-column table per non-empty
+    // histogram. Both sections are absent when nothing was recorded,
+    // keeping sampling-off documents at the v2 shape.
+    for (const auto &r : runs_) {
+        if (!r.timeseries.empty()) {
+            const StatTimeseries &ts = r.timeseries;
+            os_ << "# timeseries: " << csvField(r.workload) << " vs "
+                << csvField(r.contention) << " interval "
+                << ts.intervalCycles << "\n";
+            os_ << "cycle";
+            for (const auto &p : ts.paths)
+                os_ << "," << csvField(p);
+            os_ << "\n";
+            for (std::size_t row = 0; row < ts.cycles.size(); ++row) {
+                os_ << ts.cycles[row];
+                for (const std::uint64_t d : ts.deltas[row])
+                    os_ << "," << d;
+                os_ << "\n";
+            }
+        }
+        for (const HistogramData &h : r.histograms) {
+            if (!h.total)
+                continue;
+            os_ << "# histogram: " << csvField(h.path) << " total "
+                << h.total << "\n";
+            os_ << "bucket,low,count\n";
+            for (std::size_t b = 0; b < h.counts.size(); ++b)
+                os_ << b << "," << Log2Histogram::bucketLow(b) << ","
+                    << h.counts[b] << "\n";
         }
     }
 

@@ -42,14 +42,22 @@ const char *toString(ReportFormat f);
 
 /**
  * JSON schema version. Bump whenever the emitted document shape
- * changes; tests/golden/report_v2.json pins the current shape.
+ * changes; tests/golden/report_v3.json pins the current shape.
  *
  * v2 adds per-run "status" ("ok" | "failed"), an "error" object on
  * failed runs, and a campaign-level "failures" summary. Documents are
  * backward-readable: a v1 consumer that ignores unknown fields sees
  * the same runs it always did (failed runs carry no "metrics" key).
+ *
+ * v3 adds the observability payloads: a per-run "timeseries" object
+ * (per-interval StatRegistry counter deltas, present only when
+ * --sample-interval was set), a per-run "histograms" array (log2
+ * latency/occupancy histograms, present only when any were recorded),
+ * and a "sample_interval" config field (present only when nonzero).
+ * All three are omitted when empty, so a v3 document produced with
+ * sampling off carries exactly the v2 fields.
  */
-constexpr int reportSchemaVersion = 2;
+constexpr int reportSchemaVersion = 3;
 
 /** One typed table cell: display text plus the underlying value. */
 struct Cell

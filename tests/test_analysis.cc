@@ -44,6 +44,23 @@ TEST(CrgDeath, NonPositiveGranularityIsFatal)
     EXPECT_DEATH(crgGroup(0.5, 0.0), "granularity");
 }
 
+TEST(CrgDeath, NegativeRateIsFatal)
+{
+    EXPECT_DEATH(crgGroup(-0.1), "non-negative");
+}
+
+TEST(Crg, HalfStepBelongsToLowerGroup)
+{
+    // Regression: std::lround rounded rates exactly halfway between
+    // two centers away from zero (0.05 at granularity 0.1 -> group 1),
+    // disagreeing with crgCenter's bin-center semantics. Group g owns
+    // (g*gran - gran/2, g*gran + gran/2].
+    EXPECT_EQ(crgGroup(0.00), 0);
+    EXPECT_EQ(crgGroup(0.05), 0);
+    EXPECT_EQ(crgGroup(0.025, 0.05), 0);
+    EXPECT_EQ(crgGroup(0.075, 0.05), 1);
+}
+
 TEST(Crg, CoverageFullWhenGroupsAlign)
 {
     const std::vector<double> obs = {0.05, 0.11, 0.33};
@@ -133,6 +150,30 @@ TEST(C2afe, KneeDepthZeroForLinearCurve)
     EXPECT_NEAR(f.kneeDepth, 0.0, 1e-9);
 }
 
+TEST(C2afe, DescendingSweepKeepsTrend)
+{
+    // Regression: a `dx > 0` guard zeroed the trend whenever the sweep
+    // was recorded from high to low x. The slope of the same physical
+    // curve must not depend on sweep direction.
+    const std::vector<double> x = {1.0, 0.5, 0.0};
+    const std::vector<double> y = {0.6, 0.9, 1.0};
+    const CurveFeatures f = extractCurveFeatures(x, y);
+    EXPECT_NEAR(f.trend, -0.4, 1e-12);
+}
+
+TEST(C2afe, LinearCurveKneeAtMidpoint)
+{
+    // Regression: when every interior point sits on the endpoint
+    // chord there is no knee, but kneeIndex/kneeX stayed at the front
+    // point, reading as a knee at the first sweep configuration. The
+    // documented convention is the curve midpoint.
+    const std::vector<double> x = {0.0, 0.25, 0.5, 0.75, 1.0};
+    const std::vector<double> y = {1.0, 0.9, 0.8, 0.7, 0.6};
+    const CurveFeatures f = extractCurveFeatures(x, y);
+    EXPECT_EQ(f.kneeIndex, 2u);
+    EXPECT_NEAR(f.kneeX, 0.5, 1e-12);
+}
+
 TEST(C2afeShape, FlatCurveClassified)
 {
     const CurveFeatures f = extractCurveFeatures(
@@ -213,6 +254,17 @@ TEST(Sensitivity, TplScalesClassification)
     const std::vector<double> w(10, 0.93); // 7% loss everywhere
     EXPECT_EQ(classifySensitivity(w, 0.05), SensitivityClass::High);
     EXPECT_EQ(classifySensitivity(w, 0.10), SensitivityClass::Low);
+}
+
+TEST(Sensitivity, SpeedupsAreNeverSensitive)
+{
+    // Regression: sensitiveCurvePopulation tested |1 - w| > tpl while
+    // sensitiveSampleFraction tested w < 1 - tpl, so a speedup-only
+    // curve was "sensitive" through one entry point and not the other.
+    // Both use loss-only semantics now.
+    const std::vector<double> speedup = {1.0, 1.1, 1.25};
+    EXPECT_EQ(sensitiveSampleFraction(speedup, 0.05), 0.0);
+    EXPECT_EQ(sensitiveCurvePopulation({speedup}, 0.05), 0.0);
 }
 
 TEST(Sensitivity, ScpCountsSensitiveCurves)

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Observability-layer tests (schema v3): the StatSampler's
+ * conservation identity (per-interval deltas sum to the end-of-run
+ * counters, exactly), log2 histogram bucket accounting, the Chrome
+ * event-trace backend, and the sampling-off guarantee that a v3
+ * report carries exactly the v2 fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "common/trace_events.hh"
+#include "sim/experiment.hh"
+#include "sim/sink.hh"
+
+namespace pinte
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Log2Histogram
+// ---------------------------------------------------------------------
+
+TEST(Log2Histogram, BucketMapping)
+{
+    Log2Histogram h;
+    h.add(0); // bucket 0: the value zero
+    h.add(1); // bucket 1: [1, 2)
+    h.add(2); // bucket 2: [2, 4)
+    h.add(3);
+    h.add(4); // bucket 3: [4, 8)
+    h.add(7);
+    h.add(8); // bucket 4: [8, 16)
+
+    const std::vector<std::uint64_t> want{1, 1, 2, 2, 1};
+    EXPECT_EQ(h.counts(), want);
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Log2Histogram, BucketCountsSumToTotal)
+{
+    // No clamping anywhere: every observation lands in some bucket,
+    // so the bucket populations always sum to the observation count —
+    // the invariant check_report.py enforces on exported histograms.
+    Log2Histogram h;
+    std::uint64_t n = 0;
+    for (std::uint64_t v = 0; v < 3000; v += 7, ++n)
+        h.add(v * v); // spreads across ~24 buckets
+    EXPECT_EQ(h.total(), n);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : h.counts())
+        sum += c;
+    EXPECT_EQ(sum, h.total());
+}
+
+TEST(Log2Histogram, BucketLowBounds)
+{
+    EXPECT_EQ(Log2Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketLow(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketLow(2), 2u);
+    EXPECT_EQ(Log2Histogram::bucketLow(3), 4u);
+    EXPECT_EQ(Log2Histogram::bucketLow(10), 512u);
+}
+
+// ---------------------------------------------------------------------
+// StatSampler conservation
+// ---------------------------------------------------------------------
+
+/**
+ * The tentpole identity: driving a live System with sampling on, every
+ * counter's column of interval deltas must sum exactly to the
+ * counter's end-of-run value. finish() closes the trailing partial
+ * interval, so the identity holds regardless of how the ROI length
+ * divides the period.
+ */
+TEST(StatSampler, DeltasSumToFinalCounters)
+{
+    MachineConfig machine = MachineConfig::scaled();
+    machine.pinte.pInduce = 0.25;
+    TraceGenerator gen(findWorkload("450.soplex"));
+    System sys(machine, {&gen});
+    sys.warmup(2000);
+    // 257 deliberately does not divide the run-quantum cadence, so
+    // interval boundaries land mid-quantum and the final interval is
+    // partial.
+    sys.startSampling(257);
+    sys.runUntilCore0(6000);
+    sys.finishSampling();
+
+    const StatTimeseries &ts = sys.timeseries();
+    ASSERT_FALSE(ts.empty());
+    EXPECT_EQ(ts.intervalCycles, 257u);
+    ASSERT_FALSE(ts.paths.empty());
+    ASSERT_EQ(ts.cycles.size(), ts.deltas.size());
+
+    // Row stamps strictly increase and every row spans all paths.
+    for (std::size_t r = 0; r < ts.cycles.size(); ++r) {
+        if (r) {
+            EXPECT_LT(ts.cycles[r - 1], ts.cycles[r]);
+        }
+        ASSERT_EQ(ts.deltas[r].size(), ts.paths.size());
+    }
+
+    // Conservation, per path, against the registry's live value.
+    std::uint64_t activity = 0;
+    for (std::size_t i = 0; i < ts.paths.size(); ++i) {
+        std::uint64_t sum = 0;
+        for (const auto &row : ts.deltas)
+            sum += row[i];
+        EXPECT_EQ(sum, sys.registry().counter(ts.paths[i]))
+            << "column sum of " << ts.paths[i]
+            << " diverged from the final counter";
+        activity += sum;
+    }
+    EXPECT_GT(activity, 0u) << "sampled run recorded no activity";
+
+    // Gauges (non-monotone counters) are excluded: their unsigned
+    // deltas would wrap when the gauge shrinks.
+    for (const auto &p : ts.paths)
+        EXPECT_EQ(p.find("occupancy_blocks"), std::string::npos) << p;
+}
+
+TEST(StatSampler, ExperimentCarriesSeriesAndHistograms)
+{
+    ExperimentParams params;
+    params.warmup = 2000;
+    params.roi = 6000;
+    params.sampleIntervalCycles = 512;
+    const RunResult r = ExperimentSpec(MachineConfig::scaled())
+                            .workload(findWorkload("429.mcf"))
+                            .pinte(0.3)
+                            .params(params)
+                            .run();
+
+    ASSERT_FALSE(r.timeseries.empty());
+    EXPECT_EQ(r.timeseries.intervalCycles, 512u);
+
+    // The machine's log2 histograms ride along, each conserving its
+    // observation count. A short mcf ROI always records LLC misses,
+    // so at least one histogram must be populated.
+    ASSERT_FALSE(r.histograms.empty());
+    std::uint64_t populated = 0;
+    for (const HistogramData &h : r.histograms) {
+        std::uint64_t sum = 0;
+        for (const std::uint64_t c : h.counts)
+            sum += c;
+        EXPECT_EQ(sum, h.total) << h.path;
+        if (h.total)
+            ++populated;
+    }
+    EXPECT_GT(populated, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Event tracing
+// ---------------------------------------------------------------------
+
+TEST(TraceEventsTest, DisarmedIsNoOp)
+{
+    ASSERT_FALSE(TraceEvents::on());
+    const std::size_t before = TraceEvents::eventCount();
+    {
+        TraceEvents::Span span("test", "ignored");
+        if (TraceEvents::on())
+            TraceEvents::mark("test", "ignored", 1);
+    }
+    EXPECT_EQ(TraceEvents::eventCount(), before);
+}
+
+TEST(TraceEventsTest, WriteProducesValidChromeJson)
+{
+    const std::string path =
+        ::testing::TempDir() + "/pinte_trace_test.json";
+
+    TraceEvents::arm();
+    {
+        TraceEvents::Span span("test", "phase one");
+        TraceEvents::mark("test", "tick", 42);
+    }
+    ASSERT_EQ(TraceEvents::eventCount(), 2u);
+    TraceEvents::write(path);
+    EXPECT_FALSE(TraceEvents::on()) << "write() must disarm";
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "trace file not written: " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    std::string error;
+    const JsonValue doc = parseJson(buf.str(), &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    EXPECT_EQ(doc.at("droppedEvents").asU64(), 0u);
+
+    const auto &events = doc.at("traceEvents").array;
+    ASSERT_EQ(events.size(), 2u);
+    // Events are buffered in completion order: the instant mark fires
+    // inside the span, so it lands first.
+    const JsonValue &mark = events[0];
+    EXPECT_EQ(mark.at("ph").asString(), "i");
+    EXPECT_EQ(mark.at("name").asString(), "tick");
+    EXPECT_EQ(mark.at("cat").asString(), "test");
+    EXPECT_EQ(mark.at("args").at("value").asU64(), 42u);
+    const JsonValue &span = events[1];
+    EXPECT_EQ(span.at("ph").asString(), "X");
+    EXPECT_EQ(span.at("name").asString(), "phase one");
+    EXPECT_LE(span.at("ts").asU64(),
+              span.at("ts").asU64() + span.at("dur").asU64());
+}
+
+// ---------------------------------------------------------------------
+// Sampling-off v3 documents carry exactly the v2 fields
+// ---------------------------------------------------------------------
+
+std::string
+emitReport(const RunResult &r, std::uint64_t sampleInterval)
+{
+    ExperimentParams params;
+    params.warmup = 2000;
+    params.roi = 6000;
+    params.sampleIntervalCycles = sampleInterval;
+    std::ostringstream os;
+    {
+        JsonSink sink(os, {"test_observability", "fp", params});
+        sink.run(r);
+        sink.close();
+    }
+    return os.str();
+}
+
+TEST(SchemaV3, SamplingOffMatchesV2Fields)
+{
+    ExperimentParams params;
+    params.warmup = 2000;
+    params.roi = 6000;
+    const auto spec = [&](std::uint64_t interval) {
+        ExperimentParams p = params;
+        p.sampleIntervalCycles = interval;
+        return ExperimentSpec(MachineConfig::scaled())
+            .workload(findWorkload("450.soplex"))
+            .pinte(0.2)
+            .params(p);
+    };
+    const RunResult off = spec(0).run();
+    const RunResult on = spec(512).run();
+
+    // Sampling is pure observation: it must not perturb the simulated
+    // machine, so every aggregate metric is bit-identical.
+    EXPECT_EQ(off.metrics.ipc, on.metrics.ipc);
+    EXPECT_EQ(off.metrics.missRate, on.metrics.missRate);
+    EXPECT_EQ(off.metrics.amat, on.metrics.amat);
+    EXPECT_EQ(off.metrics.interferenceRate, on.metrics.interferenceRate);
+    EXPECT_EQ(off.metrics.llcAccesses, on.metrics.llcAccesses);
+    EXPECT_EQ(off.metrics.llcMisses, on.metrics.llcMisses);
+    EXPECT_TRUE(off.timeseries.empty());
+    ASSERT_FALSE(on.timeseries.empty());
+
+    // The sampling-off document must not mention sampling at all: no
+    // timeseries section, no sample_interval config key.
+    const std::string doc_off = emitReport(off, 0);
+    EXPECT_EQ(doc_off.find("timeseries"), std::string::npos);
+    EXPECT_EQ(doc_off.find("sample_interval"), std::string::npos);
+    const std::string doc_on = emitReport(on, 512);
+    EXPECT_NE(doc_on.find("timeseries"), std::string::npos);
+    EXPECT_NE(doc_on.find("sample_interval"), std::string::npos);
+
+    // Field-for-field v2 equivalence: strip the v3 payloads from the
+    // sampled run and both runs serialize identically.
+    RunResult stripped = on;
+    stripped.timeseries = StatTimeseries{};
+    stripped.histograms.clear();
+    RunResult base = off;
+    base.histograms.clear();
+    // cpuSeconds is wall-clock-dependent; normalize it.
+    stripped.cpuSeconds = base.cpuSeconds = 0.0;
+    EXPECT_EQ(emitReport(base, 0), emitReport(stripped, 0));
+}
+
+} // namespace
+} // namespace pinte

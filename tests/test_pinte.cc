@@ -204,6 +204,37 @@ TEST(PInte, DirtyVictimsCreateWritebackTraffic)
     EXPECT_GT(mem.writebacks, 0);
 }
 
+TEST(PInte, NoPromoteWalkInvalidatesDistinctBlocks)
+{
+    // Regression: without PROMOTE the stack ranks never shift (theft
+    // invalidation keeps the slot's position), and the StackEnd walk
+    // re-selected the rank-0 way every iteration — a Blocks_evict draw
+    // of k invalidated at most one block. On a full set every
+    // requested eviction must land on a distinct valid block.
+    bool saw_multi_block_episode = false;
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        Cache c(llcConfig(), nullptr);
+        for (unsigned t = 0; t < 8; ++t) // fill set 0 completely
+            c.access(load(t * 8 * blockSize, t * 20));
+        PInte engine({1.0, seed, /*promote=*/false,
+                      BlockSelectPolicy::StackEnd});
+        engine.onAccess(c, 0, 0, 1000);
+        const auto &st = engine.stats();
+        ASSERT_EQ(st.triggers, 1u);
+        EXPECT_EQ(st.invalidations, st.requestedEvicts);
+        unsigned invalid = 0;
+        for (unsigned way = 0; way < 8; ++way)
+            if (!c.valid(0, way))
+                ++invalid;
+        EXPECT_EQ(invalid, st.invalidations);
+        if (st.requestedEvicts >= 2)
+            saw_multi_block_episode = true;
+    }
+    // At least one seed must draw a multi-block episode, or this test
+    // cannot distinguish the walk from the broken one.
+    EXPECT_TRUE(saw_multi_block_episode);
+}
+
 TEST(PInte, StatsClearable)
 {
     Cache c(llcConfig(), nullptr);

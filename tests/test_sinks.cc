@@ -75,6 +75,25 @@ goldenRun()
     r.pinte.invalidations = 150;
     r.pinte.requestedEvicts = 300;
 
+    // v3 observability payloads: two counters over three intervals
+    // whose column sums equal the metrics' end-of-run values above
+    // (4096 accesses, 512 misses — check_report.py cross-checks the
+    // conservation identity), plus one log2 histogram whose bucket
+    // counts sum to its total. A second all-zero histogram pins the
+    // emit-side rule that empty histograms are dropped.
+    r.timeseries.intervalCycles = 1024;
+    r.timeseries.paths = {"llc.core0.accesses", "llc.core0.misses"};
+    r.timeseries.cycles = {1024, 2048, 3072};
+    r.timeseries.deltas = {{2048, 256}, {1024, 0}, {1024, 256}};
+    HistogramData h;
+    h.path = "llc.miss_latency";
+    h.counts = {1, 0, 2, 5};
+    h.total = 8;
+    r.histograms.push_back(h);
+    HistogramData empty;
+    empty.path = "core0.mshr_occupancy";
+    r.histograms.push_back(empty);
+
     r.cpuSeconds = 0.015625;
     return r;
 }
@@ -251,6 +270,57 @@ TEST(Sinks, JsonRoundTrip)
               r.pinte.requestedEvicts);
     EXPECT_EQ(run.at("cpu_seconds").asDouble(), r.cpuSeconds);
 
+    // v3 observability payloads round-trip: the timeseries object
+    // matches the synthetic input, and only the non-empty histogram
+    // survives emission.
+    const JsonValue &ts = run.at("timeseries");
+    EXPECT_EQ(ts.at("interval_cycles").asU64(),
+              r.timeseries.intervalCycles);
+    ASSERT_EQ(ts.at("paths").array.size(), r.timeseries.paths.size());
+    for (std::size_t i = 0; i < r.timeseries.paths.size(); ++i)
+        EXPECT_EQ(ts.at("paths").array[i].asString(),
+                  r.timeseries.paths[i]);
+    ASSERT_EQ(ts.at("cycles").array.size(),
+              r.timeseries.cycles.size());
+    ASSERT_EQ(ts.at("deltas").array.size(),
+              r.timeseries.deltas.size());
+    for (std::size_t row = 0; row < r.timeseries.deltas.size(); ++row) {
+        EXPECT_EQ(ts.at("cycles").array[row].asU64(),
+                  r.timeseries.cycles[row]);
+        const JsonValue &jrow = ts.at("deltas").array[row];
+        ASSERT_EQ(jrow.array.size(), r.timeseries.deltas[row].size());
+        for (std::size_t col = 0; col < jrow.array.size(); ++col)
+            EXPECT_EQ(jrow.array[col].asU64(),
+                      r.timeseries.deltas[row][col]);
+    }
+    const JsonValue &hists = run.at("histograms");
+    ASSERT_EQ(hists.array.size(), 1u)
+        << "all-zero histograms must be dropped";
+    const JsonValue &h = hists.array[0];
+    EXPECT_EQ(h.at("path").asString(), "llc.miss_latency");
+    EXPECT_EQ(h.at("total").asU64(), 8u);
+    ASSERT_EQ(h.at("counts").array.size(), 4u);
+    std::uint64_t bucket_sum = 0;
+    for (const JsonValue &c : h.at("counts").array)
+        bucket_sum += c.asU64();
+    EXPECT_EQ(bucket_sum, h.at("total").asU64());
+
+    // A failed run never carries observability payloads.
+    EXPECT_EQ(bad.find("timeseries"), nullptr);
+    EXPECT_EQ(bad.find("histograms"), nullptr);
+
+    // runFromJson restores the payloads structurally.
+    const RunResult back = runFromJson(run);
+    EXPECT_EQ(back.timeseries.intervalCycles,
+              r.timeseries.intervalCycles);
+    EXPECT_EQ(back.timeseries.paths, r.timeseries.paths);
+    EXPECT_EQ(back.timeseries.cycles, r.timeseries.cycles);
+    EXPECT_EQ(back.timeseries.deltas, r.timeseries.deltas);
+    ASSERT_EQ(back.histograms.size(), 1u);
+    EXPECT_EQ(back.histograms[0].path, "llc.miss_latency");
+    EXPECT_EQ(back.histograms[0].total, 8u);
+    EXPECT_EQ(back.histograms[0].counts, r.histograms[0].counts);
+
     // Typed table cells keep their raw values.
     ASSERT_EQ(v.at("tables").array.size(), 1u);
     const JsonValue &t = v.at("tables").array[0];
@@ -275,7 +345,7 @@ TEST(Sinks, CsvCarriesRunsAndTables)
         sink.close();
     }
     const std::string doc = os.str();
-    EXPECT_NE(doc.find("# pinte-report v2"), std::string::npos);
+    EXPECT_NE(doc.find("# pinte-report v3"), std::string::npos);
     EXPECT_NE(doc.find("workload,contention,status,ipc"),
               std::string::npos);
     EXPECT_NE(doc.find("synthetic.golden"), std::string::npos);
@@ -287,6 +357,23 @@ TEST(Sinks, CsvCarriesRunsAndTables)
     EXPECT_NE(doc.find("\"row,with,commas\""), std::string::npos);
     EXPECT_EQ(doc.find("# note:"), std::string::npos)
         << "empty note must be dropped by machine sinks";
+
+    // v3 wide sections: the timeseries block carries its interval and
+    // per-path header, the non-empty histogram gets a bucket table
+    // with log2 lower bounds, and the all-zero histogram is dropped.
+    EXPECT_NE(doc.find("# timeseries: synthetic.golden vs "
+                       "pinte@0.250000 interval 1024"),
+              std::string::npos);
+    EXPECT_NE(doc.find("cycle,llc.core0.accesses,llc.core0.misses"),
+              std::string::npos);
+    EXPECT_NE(doc.find("1024,2048,256"), std::string::npos);
+    EXPECT_NE(doc.find("3072,1024,256"), std::string::npos);
+    EXPECT_NE(doc.find("# histogram: llc.miss_latency total 8"),
+              std::string::npos);
+    EXPECT_NE(doc.find("bucket,low,count"), std::string::npos);
+    EXPECT_NE(doc.find("3,4,5"), std::string::npos);
+    EXPECT_EQ(doc.find("core0.mshr_occupancy"), std::string::npos)
+        << "all-zero histograms must be dropped";
 }
 
 /**

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a pinte-report JSON document (schema versions 1 and 2).
+"""Validate a pinte-report JSON document (schema versions 1, 2 and 3).
 
 Usage:
     check_report.py [report.json]        # file, or stdin when omitted
@@ -11,7 +11,18 @@ top-level "failures" summary. Non-finite numbers (NaN, Infinity) are
 rejected everywhere: the emitter writes only finite doubles, and a
 NaN that sneaks into a report poisons every downstream reduction.
 
-On v2 documents the conservation identities the simulator maintains
+Version 3 adds the observability payloads, all optional (omitted when
+empty, so a sampling-off v3 document carries exactly the v2 fields):
+a per-run "timeseries" object of per-interval counter deltas, a
+per-run "histograms" array of log2-bucketed histograms, and a config
+"sample_interval" field. On these the checker enforces the interval
+invariants: cycle stamps strictly increase, every delta row matches
+the path list, each histogram's bucket counts sum to its total, and
+the LLC access/miss delta columns sum exactly to the end-of-run
+counters the metrics section republishes (the sampler's conservation
+identity).
+
+On v2+ documents the conservation identities the simulator maintains
 are also enforced on every ok run: miss_rate equals
 llc_misses/llc_accesses, counters and rate metrics stay within their
 ranges, and the PInTE induction counters nest (triggers never exceed
@@ -28,7 +39,7 @@ import math
 import sys
 
 SCHEMA = "pinte-report"
-SCHEMA_VERSIONS = (1, 2)
+SCHEMA_VERSIONS = (1, 2, 3)
 
 METRIC_FIELDS = {
     "ipc": float,
@@ -212,11 +223,126 @@ class Checker:
         }
         if self.version >= 2:
             known.add("status")
+        if self.version >= 3:
+            known.update({"timeseries", "histograms"})
+            if "timeseries" in run:
+                self.check_timeseries(
+                    run["timeseries"], f"{path}.timeseries"
+                )
+            if "histograms" in run:
+                self.check_histograms(
+                    run["histograms"], f"{path}.histograms"
+                )
         for name in run:
             if name not in known:
                 self.error(path, f"unknown field '{name}'")
         if self.version >= 2 and len(self.errors) == shape_errors:
             self.check_conservation(run, path)
+
+    def check_timeseries(self, ts, path):
+        """v3 time-series section: per-interval counter deltas."""
+        if not isinstance(ts, dict):
+            self.error(path, "expected object")
+            return
+        interval = ts.get("interval_cycles")
+        if (
+            not isinstance(interval, int)
+            or isinstance(interval, bool)
+            or interval <= 0
+        ):
+            self.error(
+                f"{path}.interval_cycles", "expected positive integer"
+            )
+        paths = ts.get("paths")
+        if not isinstance(paths, list) or not all(
+            isinstance(p, str) and p for p in paths or []
+        ):
+            self.error(
+                f"{path}.paths", "expected array of non-empty strings"
+            )
+            paths = []
+        cycles = ts.get("cycles")
+        if not isinstance(cycles, list) or not all(
+            isinstance(c, int) and not isinstance(c, bool) and c >= 0
+            for c in cycles or []
+        ):
+            self.error(
+                f"{path}.cycles",
+                "expected array of non-negative integers",
+            )
+            cycles = []
+        for i in range(1, len(cycles)):
+            if cycles[i] <= cycles[i - 1]:
+                self.error(
+                    f"{path}.cycles[{i}]",
+                    f"{cycles[i]} not greater than previous "
+                    f"{cycles[i - 1]} (stamps must strictly increase)",
+                )
+        deltas = ts.get("deltas")
+        if not isinstance(deltas, list):
+            self.error(f"{path}.deltas", "expected array")
+            deltas = []
+        if cycles and len(deltas) != len(cycles):
+            self.error(
+                f"{path}.deltas",
+                f"{len(deltas)} rows for {len(cycles)} cycle stamps",
+            )
+        for i, row in enumerate(deltas):
+            if not isinstance(row, list) or not all(
+                isinstance(d, int) and not isinstance(d, bool) and d >= 0
+                for d in row or []
+            ):
+                self.error(
+                    f"{path}.deltas[{i}]",
+                    "expected array of non-negative integers",
+                )
+                continue
+            if paths and len(row) != len(paths):
+                self.error(
+                    f"{path}.deltas[{i}]",
+                    f"{len(row)} deltas for {len(paths)} paths",
+                )
+        for name in ts:
+            if name not in {"interval_cycles", "paths", "cycles",
+                            "deltas"}:
+                self.error(path, f"unknown field '{name}'")
+
+    def check_histograms(self, histograms, path):
+        """v3 histogram section: log2-bucketed counts sum to total."""
+        if not isinstance(histograms, list):
+            self.error(path, "expected array")
+            return
+        for i, h in enumerate(histograms):
+            hpath = f"{path}[{i}]"
+            if not isinstance(h, dict):
+                self.error(hpath, "expected object")
+                continue
+            if not isinstance(h.get("path"), str) or not h.get("path"):
+                self.error(f"{hpath}.path", "expected non-empty string")
+            total = h.get("total")
+            if not isinstance(total, int) or isinstance(total, bool):
+                self.error(f"{hpath}.total", "expected integer")
+                total = None
+            counts = h.get("counts")
+            if not isinstance(counts, list) or not all(
+                isinstance(c, int)
+                and not isinstance(c, bool)
+                and c >= 0
+                for c in counts or []
+            ):
+                self.error(
+                    f"{hpath}.counts",
+                    "expected array of non-negative integers",
+                )
+            elif total is not None and sum(counts) != total:
+                self.error(
+                    f"{hpath}.counts",
+                    f"bucket counts sum to {sum(counts)}, "
+                    f"total claims {total}",
+                )
+            for name in h:
+                if name not in {"path", "total", "counts"}:
+                    self.error(hpath, f"unknown field '{name}'")
 
     def check_conservation(self, run, path):
         """Cross-field identities on an ok run (v2 documents).
@@ -279,6 +405,29 @@ class Checker:
                     self.error(
                         f"{path}.samples[{i}].{name}",
                         f"negative ({sample[name]})",
+                    )
+        # v3 time-series conservation: the sampler snapshots its
+        # baseline when measurement starts and finish() closes the
+        # trailing partial interval, so a counter's column of deltas
+        # sums to its end-of-run value exactly. The metrics section
+        # republishes two of the sampled counters (a time series rides
+        # on core 0's run only, whose metrics read the same registry
+        # entries), which lets the identity be checked offline.
+        if self.version >= 3 and "timeseries" in run:
+            ts = run["timeseries"]
+            for ts_path, metric in (
+                ("llc.core0.accesses", "llc_accesses"),
+                ("llc.core0.misses", "llc_misses"),
+            ):
+                if ts_path not in ts["paths"]:
+                    continue
+                col = ts["paths"].index(ts_path)
+                total = sum(row[col] for row in ts["deltas"])
+                if total != metrics[metric]:
+                    self.error(
+                        f"{path}.timeseries",
+                        f"deltas of {ts_path} sum to {total}, "
+                        f"metrics.{metric} is {metrics[metric]}",
                     )
 
     def check_table(self, table, path):
@@ -366,7 +515,27 @@ class Checker:
             self.version = version
         if not isinstance(doc.get("tool"), str) or not doc.get("tool"):
             self.error("$.tool", "expected non-empty string")
-        self.check_fields(doc.get("config"), CONFIG_FIELDS, "$.config")
+        config_fields = dict(CONFIG_FIELDS)
+        config = doc.get("config")
+        if (
+            self.version >= 3
+            and isinstance(config, dict)
+            and "sample_interval" in config
+        ):
+            # Optional in v3: emitted only when sampling was armed.
+            config_fields["sample_interval"] = int
+        self.check_fields(config, config_fields, "$.config")
+        if isinstance(config, dict):
+            interval = config.get("sample_interval")
+            if interval is not None and (
+                not isinstance(interval, int)
+                or isinstance(interval, bool)
+                or interval <= 0
+            ):
+                self.error(
+                    "$.config.sample_interval",
+                    "expected positive integer",
+                )
         notes = doc.get("notes")
         if not isinstance(notes, list) or not all(
             isinstance(n, str) for n in notes or []

@@ -1,0 +1,50 @@
+# ctest helper: run pintesim with --trace-events and validate that the
+# emitted file is well-formed Chrome tracing JSON: loadable with
+# json.load, carrying the run-phase spans and the documented per-event
+# fields. Invoked from tools/CMakeLists.txt with -DPINTESIM=...
+# -DPYTHON=... -DWORKDIR=...
+
+set(trace "${WORKDIR}/pintesim_trace.json")
+
+execute_process(
+    COMMAND ${PINTESIM}
+        --workload 450.soplex --pinduce 0.2
+        --warmup 2000 --roi 6000
+        --trace-events=${trace}
+    RESULT_VARIABLE sim_rc
+    OUTPUT_VARIABLE sim_out
+    ERROR_VARIABLE sim_err)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR
+        "pintesim failed (${sim_rc}):\n${sim_out}\n${sim_err}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc['traceEvents']
+assert doc['displayTimeUnit'] == 'ms', doc['displayTimeUnit']
+assert isinstance(doc['droppedEvents'], int)
+assert events, 'no events collected'
+names = set()
+for e in events:
+    assert e['ph'] in ('X', 'i'), e
+    for key in ('name', 'cat', 'pid', 'tid', 'ts'):
+        assert key in e, (key, e)
+    if e['ph'] == 'X':
+        assert e['dur'] >= 0, e
+        names.add(e['name'])
+assert any(n.startswith('warmup') for n in names), names
+assert any(n.startswith('measure') for n in names), names
+print(f'check_trace_events: {len(events)} events, phases ok')
+" ${trace}
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "trace validation failed (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")

@@ -1,0 +1,47 @@
+# ctest helper: run pintesim with --sample-interval so the report
+# carries the schema-v3 observability payloads (timeseries +
+# histograms), then validate it with check_report.py and make sure
+# plot_timeseries.py can render it. Invoked from tools/CMakeLists.txt
+# with -DPINTESIM=... -DPYTHON=... -DCHECKER=... -DPLOTTER=...
+# -DWORKDIR=...
+
+set(report "${WORKDIR}/pintesim_v3_report.json")
+
+execute_process(
+    COMMAND ${PINTESIM}
+        --workload 450.soplex --pinduce 0.2
+        --warmup 2000 --roi 6000 --sample-interval=1024
+        --format json --out ${report}
+    RESULT_VARIABLE sim_rc
+    OUTPUT_VARIABLE sim_out
+    ERROR_VARIABLE sim_err)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR
+        "pintesim failed (${sim_rc}):\n${sim_out}\n${sim_err}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${report}
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "schema validation failed (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")
+
+# The report must actually contain a time series (a sampling-on run
+# that silently dropped it would still validate above), and the
+# renderer must accept it.
+execute_process(
+    COMMAND ${PYTHON} ${PLOTTER} ${report} --path llc.core0.misses
+    RESULT_VARIABLE plot_rc
+    OUTPUT_VARIABLE plot_out
+    ERROR_VARIABLE plot_err)
+if(NOT plot_rc EQUAL 0)
+    message(FATAL_ERROR
+        "plot_timeseries failed (${plot_rc}):\n${plot_out}\n${plot_err}")
+endif()
+message(STATUS "${plot_out}")

@@ -28,6 +28,7 @@
 #include "common/error.hh"
 #include "common/invariant.hh"
 #include "common/logging.hh"
+#include "common/trace_events.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
 #include "sim/options.hh"
@@ -60,6 +61,11 @@ usage()
         "      --warmup N        warmup instructions (default 20000)\n"
         "      --roi N           region of interest (default 60000)\n"
         "      --sample N        sample period (default 3000)\n"
+        "      --sample-interval N  snapshot every registered counter\n"
+        "                        every N cycles into the report's\n"
+        "                        time-series section (0 = off)\n"
+        "      --trace-events FILE  write a chrome://tracing JSON\n"
+        "                        event trace of the run to FILE\n"
         "      --seed N          run seed (PInTE RNG stream)\n"
         "      --jobs N          worker threads for --sweep "
         "(default: all cores)\n"
@@ -98,6 +104,7 @@ pinteMain(int argc, char **argv)
     PInteScope scope = PInteScope::LlcOnly;
     ReportFormat format = ReportFormat::Table;
     std::string out_path;
+    std::string trace_path;
     MachineConfig machine = MachineConfig::scaled();
     ExperimentParams params;
 
@@ -154,6 +161,10 @@ pinteMain(int argc, char **argv)
             params.roi = parseCount(a, need());
         } else if (a == "--sample") {
             params.sampleEvery = parseCount(a, need());
+        } else if (a == "--sample-interval") {
+            params.sampleIntervalCycles = parseCount(a, need());
+        } else if (a == "--trace-events") {
+            trace_path = need();
         } else if (a == "--seed") {
             params.runSeed = parseCount(a, need());
         } else if (a == "--jobs") {
@@ -197,6 +208,30 @@ pinteMain(int argc, char **argv)
 
     const WorkloadSpec spec = findWorkload(workload);
 
+    // Arm event tracing for the rest of the process; the guard writes
+    // the collected trace on every exit path (including exceptions
+    // unwinding to main) and downgrades a write failure to a warning
+    // so the report itself still publishes.
+    struct TraceWriter
+    {
+        std::string path;
+        ~TraceWriter()
+        {
+            if (path.empty())
+                return;
+            try {
+                TraceEvents::write(path);
+            } catch (const std::exception &e) {
+                warn(std::string("event trace not written: ") +
+                     e.what());
+            }
+        }
+    } trace_writer;
+    if (!trace_path.empty()) {
+        trace_writer.path = trace_path;
+        TraceEvents::arm();
+    }
+
     if (report) {
         // A report run drives the machine directly so the full stats
         // block (every cache, DRAM, engines) is still live at dump
@@ -212,8 +247,16 @@ pinteMain(int argc, char **argv)
                 static_cast<Cycle>(*pinduce * dram_factor);
         TraceGenerator gen(spec);
         System sys(m, {&gen});
-        sys.warmup(params.warmup);
-        sys.runUntilCore0(params.roi);
+        {
+            TraceEvents::Span span("run", "warmup " + spec.name);
+            sys.warmup(params.warmup);
+        }
+        sys.startSampling(params.sampleIntervalCycles);
+        {
+            TraceEvents::Span span("run", "measure " + spec.name);
+            sys.runUntilCore0(params.roi);
+        }
+        sys.finishSampling();
         if (Paranoid::on()) {
             sys.audit();
             sys.auditStats();

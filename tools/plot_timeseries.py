@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Render the time-series section of a pinte-report v3 document.
+
+Usage:
+    plot_timeseries.py report.json [--path GLOB] [--out PNG]
+
+Reads the "timeseries" object of each ok run (per-interval counter
+deltas recorded by `pintesim --sample-interval=N`) and renders one
+sparkline per counter path to stdout. Paths can be filtered with
+--path (fnmatch glob, e.g. --path 'llc.*.misses'); by default only
+paths with at least one nonzero delta are shown.
+
+With --out and matplotlib installed, also writes a line plot per
+selected path to a PNG. matplotlib is optional: without it the script
+still validates the document and prints the text view, and --out
+exits with a diagnostic instead of crashing — the container this repo
+builds in ships no plotting stack, so everything load-bearing here is
+standard library only.
+
+Exit status 0 on success, 1 when the document has no usable
+time series or is not a pinte-report.
+"""
+
+import fnmatch
+import json
+import os
+import sys
+
+SPARKS = " .:-=+*#%@"
+
+
+def sparkline(values):
+    """Map a delta row onto a 10-level ASCII ramp."""
+    peak = max(values) if values else 0
+    if peak == 0:
+        return " " * len(values)
+    out = []
+    for v in values:
+        # Nonzero values never render as blank: floor at level 1.
+        level = 1 + (v * (len(SPARKS) - 2)) // peak
+        out.append(SPARKS[level] if v else SPARKS[0])
+    return "".join(out)
+
+
+def select_paths(series, pattern):
+    paths = series.get("paths", [])
+    deltas = series.get("deltas", [])
+    chosen = []
+    for i, p in enumerate(paths):
+        if pattern and not fnmatch.fnmatch(p, pattern):
+            continue
+        column = [row[i] for row in deltas]
+        if not pattern and not any(column):
+            continue
+        chosen.append((p, column))
+    return chosen
+
+
+def render_text(run, pattern):
+    series = run.get("timeseries")
+    if not isinstance(series, dict):
+        return 0
+    chosen = select_paths(series, pattern)
+    if not chosen:
+        return 0
+    label = f"{run.get('workload')} vs {run.get('contention')}"
+    cycles = series.get("cycles", [])
+    print(
+        f"== {label}: {len(cycles)} intervals of "
+        f"{series.get('interval_cycles')} cycles =="
+    )
+    width = max(len(p) for p, _ in chosen)
+    for p, column in chosen:
+        print(f"  {p:<{width}}  |{sparkline(column)}|  "
+              f"sum {sum(column)}")
+    return len(chosen)
+
+
+def render_png(doc, pattern, out_path):
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.stderr.write(
+            "plot_timeseries: matplotlib not available; "
+            "--out needs it (text view unaffected)\n"
+        )
+        return 1
+    fig, ax = plt.subplots(figsize=(10, 6))
+    for run in doc.get("runs", []):
+        series = run.get("timeseries")
+        if not isinstance(series, dict):
+            continue
+        cycles = series.get("cycles", [])
+        for p, column in select_paths(series, pattern):
+            ax.plot(cycles, column, label=p)
+    ax.set_xlabel("cycle")
+    ax.set_ylabel("delta per interval")
+    ax.legend(fontsize=6)
+    fig.savefig(out_path, dpi=120)
+    print(f"plot_timeseries: wrote {out_path}")
+    return 0
+
+
+def main(argv):
+    args = argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        sys.stderr.write(__doc__)
+        return 2
+    report_path = None
+    pattern = None
+    out_path = None
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--path":
+            i += 1
+            pattern = args[i]
+        elif a.startswith("--path="):
+            pattern = a.split("=", 1)[1]
+        elif a == "--out":
+            i += 1
+            out_path = args[i]
+        elif a.startswith("--out="):
+            out_path = a.split("=", 1)[1]
+        elif report_path is None:
+            report_path = a
+        else:
+            sys.stderr.write(f"plot_timeseries: unexpected {a!r}\n")
+            return 2
+        i += 1
+
+    try:
+        with open(report_path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write(f"plot_timeseries: {report_path}: {e}\n")
+        return 1
+    if not isinstance(doc, dict) or doc.get("schema") != "pinte-report":
+        sys.stderr.write(
+            f"plot_timeseries: {report_path}: not a pinte-report\n"
+        )
+        return 1
+
+    shown = 0
+    for run in doc.get("runs", []):
+        if isinstance(run, dict):
+            shown += render_text(run, pattern)
+    if shown == 0:
+        sys.stderr.write(
+            "plot_timeseries: no time series selected (run pintesim "
+            "with --sample-interval=N, or relax --path)\n"
+        )
+        return 1
+    if out_path:
+        return render_png(doc, pattern, out_path)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        # Piping into `head` is a normal way to use this tool; a
+        # closed stdout is not an error. Redirect before exiting so
+        # the interpreter's stream flush does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
