@@ -1,6 +1,7 @@
 #include "cache.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/bitops.hh"
 #include "common/error.hh"
@@ -8,6 +9,8 @@
 #include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "prefetch/prefetchers.hh"
+#include "replacement/policies.hh"
 
 namespace pinte
 {
@@ -44,9 +47,58 @@ hexLine(Addr line)
 
 } // namespace
 
+template <typename F>
+decltype(auto)
+Cache::withPolicy(F &&f)
+{
+    switch (config_.replacement) {
+      case ReplacementKind::Lru:
+        return f(static_cast<LruPolicy &>(*policy_));
+      case ReplacementKind::PseudoLru:
+        return f(static_cast<PseudoLruPolicy &>(*policy_));
+      case ReplacementKind::Nmru:
+        return f(static_cast<NmruPolicy &>(*policy_));
+      case ReplacementKind::Rrip:
+        return f(static_cast<RripPolicy &>(*policy_));
+      case ReplacementKind::Random:
+        return f(static_cast<RandomPolicy &>(*policy_));
+      case ReplacementKind::Drrip:
+        return f(static_cast<DrripPolicy &>(*policy_));
+    }
+    return f(*policy_);
+}
+
+template <typename F>
+decltype(auto)
+Cache::withPolicy(F &&f) const
+{
+    switch (config_.replacement) {
+      case ReplacementKind::Lru:
+        return f(static_cast<const LruPolicy &>(*policy_));
+      case ReplacementKind::PseudoLru:
+        return f(static_cast<const PseudoLruPolicy &>(*policy_));
+      case ReplacementKind::Nmru:
+        return f(static_cast<const NmruPolicy &>(*policy_));
+      case ReplacementKind::Rrip:
+        return f(static_cast<const RripPolicy &>(*policy_));
+      case ReplacementKind::Random:
+        return f(static_cast<const RandomPolicy &>(*policy_));
+      case ReplacementKind::Drrip:
+        return f(static_cast<const DrripPolicy &>(*policy_));
+    }
+    return f(static_cast<const ReplacementPolicy &>(*policy_));
+}
+
 Cache::Cache(const CacheConfig &config, MemoryLevel *next)
     : config_(config), next_(next),
-      blocks_(std::size_t(config.numSets) * config.assoc),
+      lines_(std::size_t(config.numSets) * config.assoc, 0),
+      owners_(std::size_t(config.numSets) * config.assoc, invalidCoreId),
+      validBits_(config.numSets, 0),
+      dirtyBits_(config.numSets, 0),
+      prefetchedBits_(config.numSets, 0),
+      fullMask_(config.assoc >= 64 ? ~std::uint64_t(0)
+                                   : ((std::uint64_t(1) << config.assoc) -
+                                      1)),
       policy_(makeReplacementPolicy(config.replacement, config.numSets,
                                     config.assoc, config.seed)),
       prefetcher_(makePrefetcher(config.prefetcher,
@@ -74,34 +126,10 @@ Cache::setIndex(Addr addr) const
                                  ((Addr(1) << indexBits_) - 1));
 }
 
-bool
-Cache::valid(unsigned set, unsigned way) const
-{
-    return blockAt(set, way).valid;
-}
-
-bool
-Cache::dirty(unsigned set, unsigned way) const
-{
-    return blockAt(set, way).dirty;
-}
-
-CoreId
-Cache::owner(unsigned set, unsigned way) const
-{
-    return blockAt(set, way).owner;
-}
-
-Addr
-Cache::lineAddr(unsigned set, unsigned way) const
-{
-    return blockAt(set, way).line << blockShift;
-}
-
 unsigned
 Cache::rank(unsigned set, unsigned way) const
 {
-    return policy_->rank(set, way);
+    return withPolicy([&](const auto &p) { return p.rank(set, way); });
 }
 
 bool
@@ -113,9 +141,10 @@ Cache::probe(Addr addr) const
 int
 Cache::findWay(unsigned set, Addr line) const
 {
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        const Block &b = blockAt(set, w);
-        if (b.valid && b.line == line)
+    const Addr *tags = lines_.data() + std::size_t(set) * config_.assoc;
+    for (std::uint64_t v = validBits_[set]; v; v &= v - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(v));
+        if (tags[w] == line)
             return static_cast<int>(w);
     }
     return -1;
@@ -127,8 +156,7 @@ Cache::setWayMask(CoreId core, std::uint64_t mask)
     if (core >= wayMasks_.size())
         throw ConfigError("setWayMask: core id out of range",
                           {"cache", "", std::to_string(core)});
-    if ((mask & ((config_.assoc >= 64) ? ~0ull
-                                       : ((1ull << config_.assoc) - 1))) == 0)
+    if ((mask & fullMask_) == 0)
         throw ConfigError("setWayMask: mask allows no ways", {"cache", "", ""});
     wayMasks_[core] = mask;
 }
@@ -151,79 +179,94 @@ Cache::notePending(Addr line, Cycle ready)
 unsigned
 Cache::pickVictim(unsigned set, CoreId core)
 {
-    const std::uint64_t mask =
-        core < wayMasks_.size() ? wayMasks_[core] : ~std::uint64_t(0);
+    const std::uint64_t allowed =
+        (core < wayMasks_.size() ? wayMasks_[core] : ~std::uint64_t(0)) &
+        fullMask_;
 
-    // Invalid allowed ways first.
-    for (unsigned w = 0; w < config_.assoc; ++w)
-        if ((mask >> w) & 1 && !blockAt(set, w).valid)
-            return w;
+    // Invalid allowed ways first: one bitmask op instead of a scan.
+    const std::uint64_t invalid = allowed & ~validBits_[set];
+    if (invalid)
+        return static_cast<unsigned>(std::countr_zero(invalid));
 
-    const std::uint64_t full =
-        (config_.assoc >= 64) ? ~0ull : ((1ull << config_.assoc) - 1);
-    if ((mask & full) == full)
-        return policy_->victim(set);
+    if (allowed == fullMask_)
+        return withPolicy([&](auto &p) { return p.victim(set); });
 
-    // Masked allocation: lowest-rank allowed way.
+    // Masked allocation: lowest-rank allowed way. One bulk ranks()
+    // call instead of a per-way rank() virtual call.
+    std::uint8_t ranks[64];
+    withPolicy([&](const auto &p) { p.ranks(set, ranks); });
     unsigned best_way = 0;
     unsigned best_rank = ~0u;
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        if (!((mask >> w) & 1))
-            continue;
-        const unsigned r = policy_->rank(set, w);
-        if (r < best_rank) {
-            best_rank = r;
+    for (std::uint64_t m = allowed; m; m &= m - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+        if (ranks[w] < best_rank) {
+            best_rank = ranks[w];
             best_way = w;
         }
     }
+    // setWayMask rejects masks with no in-range ways, so an empty
+    // candidate list here means corrupted mask state, not user error.
+    if (best_rank == ~0u)
+        invariantFail("cache:" + config_.name,
+                      "pickVictim: effective way mask for core " +
+                          std::to_string(core) + " allows no ways",
+                      set);
     return best_way;
 }
 
 void
-Cache::evict(unsigned set, unsigned way, CoreId requester, Cycle cycle)
+Cache::evict(unsigned set, unsigned way, CoreId requester, Cycle cycle,
+             bool for_refill)
 {
-    Block &b = blockAt(set, way);
-    if (!b.valid)
+    const std::uint64_t bit = wayBit(way);
+    if (!(validBits_[set] & bit))
         return;
+    const std::size_t bi = blockIndex(set, way);
+    const Addr line = lines_[bi];
+    const CoreId block_owner = owners_[bi];
 
     // Theft accounting (section IV-A): an inter-core eviction is a
     // theft caused by the requester and suffered by the victim's owner.
-    if (b.owner < stats_.perCore.size()) {
-        if (requester != b.owner && requester < stats_.perCore.size()) {
+    if (block_owner < stats_.perCore.size()) {
+        if (requester != block_owner &&
+            requester < stats_.perCore.size()) {
             stats_.perCore[requester].theftsCaused++;
-            stats_.perCore[b.owner].theftsSuffered++;
-        } else if (requester == b.owner) {
-            stats_.perCore[b.owner].selfEvictions++;
+            stats_.perCore[block_owner].theftsSuffered++;
+        } else if (requester == block_owner) {
+            stats_.perCore[block_owner].selfEvictions++;
         }
-        occupancy_[b.owner]--;
+        occupancy_[block_owner]--;
     }
 
     // Inclusive caches force the line out of the upper levels; a dirty
     // upper copy merges its dirtiness into the victim before writeback.
+    bool is_dirty = dirtyBits_[set] & bit;
     if (config_.inclusion == InclusionPolicy::Inclusive) {
         for (Cache *up : upstreams_)
-            if (up->invalidateLine(b.line << blockShift, cycle, false))
-                b.dirty = true;
+            if (up->invalidateLine(line << blockShift, cycle, false))
+                is_dirty = true;
     }
 
-    if (b.dirty && next_) {
+    if (is_dirty && next_) {
         MemAccess wb;
-        wb.addr = b.line << blockShift;
-        wb.core = b.owner < stats_.perCore.size() ? b.owner : requester;
+        wb.addr = line << blockShift;
+        wb.core = block_owner < stats_.perCore.size() ? block_owner
+                                                      : requester;
         wb.type = AccessType::Writeback;
         wb.cycle = cycle;
         wb.wbDirty = true;
         if (wb.core < stats_.perCore.size())
             stats_.perCore[wb.core].writebacksOut++;
         next_->access(wb);
-    } else if (!b.dirty && next_) {
+    } else if (!is_dirty && next_) {
         // Clean evictions feed exclusive downstream caches (victim
         // cache behavior); everyone else ignores them.
         auto *down = dynamic_cast<Cache *>(next_);
         if (down && down->config_.inclusion == InclusionPolicy::Exclusive) {
             MemAccess ev;
-            ev.addr = b.line << blockShift;
-            ev.core = b.owner < stats_.perCore.size() ? b.owner : requester;
+            ev.addr = line << blockShift;
+            ev.core = block_owner < stats_.perCore.size() ? block_owner
+                                                          : requester;
             ev.type = AccessType::Writeback;
             ev.cycle = cycle;
             ev.wbDirty = false;
@@ -233,24 +276,34 @@ Cache::evict(unsigned set, unsigned way, CoreId requester, Cycle cycle)
         }
     }
 
-    b.valid = false;
-    b.dirty = false;
-    policy_->onInvalidate(set, way);
+    validBits_[set] &= ~bit;
+    dirtyBits_[set] &= ~bit;
+    // When the caller refills this way immediately (the per-miss
+    // evict+fill pair), onInvalidate followed by onFill on the same
+    // way is state-identical to onFill alone for every built-in
+    // policy — LRU/PseudoLRU/NMRU/RRIP/Random/DRRIP either no-op on
+    // invalidate or have the fill overwrite exactly what invalidate
+    // wrote, no policy reads its state in between, and none draws RNG
+    // in onInvalidate — so the call is skipped on the hot path.
+    if (!for_refill)
+        withPolicy([&](auto &p) { p.onInvalidate(set, way); });
 }
 
 void
 Cache::fillBlock(unsigned set, unsigned way, Addr line, CoreId core,
                  bool is_write, bool is_prefetch)
 {
-    Block &b = blockAt(set, way);
-    b.line = line;
-    b.valid = true;
-    b.dirty = is_write;
-    b.owner = core;
-    b.prefetched = is_prefetch;
+    const std::uint64_t bit = wayBit(way);
+    const std::size_t bi = blockIndex(set, way);
+    lines_[bi] = line;
+    owners_[bi] = core;
+    validBits_[set] |= bit;
+    dirtyBits_[set] = (dirtyBits_[set] & ~bit) | (is_write ? bit : 0);
+    prefetchedBits_[set] =
+        (prefetchedBits_[set] & ~bit) | (is_prefetch ? bit : 0);
     if (core < occupancy_.size())
         occupancy_[core]++;
-    policy_->onFill(set, way);
+    withPolicy([&](auto &p) { p.onFill(set, way); });
 }
 
 bool
@@ -268,18 +321,20 @@ Cache::invalidateLine(Addr addr, Cycle cycle, bool writeback_dirty)
     if (way < 0)
         return upper_dirty;
 
-    Block &b = blockAt(set, static_cast<unsigned>(way));
-    const bool was_dirty = b.dirty || upper_dirty;
-    if (b.owner < occupancy_.size())
-        occupancy_[b.owner]--;
-    b.valid = false;
-    b.dirty = false;
-    policy_->onInvalidate(set, static_cast<unsigned>(way));
+    const unsigned w = static_cast<unsigned>(way);
+    const std::uint64_t bit = wayBit(w);
+    const CoreId block_owner = owners_[blockIndex(set, w)];
+    const bool was_dirty = (dirtyBits_[set] & bit) || upper_dirty;
+    if (block_owner < occupancy_.size())
+        occupancy_[block_owner]--;
+    validBits_[set] &= ~bit;
+    dirtyBits_[set] &= ~bit;
+    withPolicy([&](auto &p) { p.onInvalidate(set, w); });
 
     if (was_dirty && writeback_dirty && next_) {
         MemAccess wb;
         wb.addr = lineAlign(addr);
-        wb.core = b.owner < stats_.perCore.size() ? b.owner : 0;
+        wb.core = block_owner < stats_.perCore.size() ? block_owner : 0;
         wb.type = AccessType::Writeback;
         wb.cycle = cycle;
         stats_.perCore[wb.core].writebacksOut++;
@@ -292,20 +347,22 @@ Cache::invalidateLine(Addr addr, Cycle cycle, bool writeback_dirty)
 void
 Cache::promoteWay(unsigned set, unsigned way)
 {
-    policy_->onHit(set, way);
+    withPolicy([&](auto &p) { p.onHit(set, way); });
 }
 
 void
 Cache::invalidateWayAsTheft(unsigned set, unsigned way, Cycle cycle)
 {
-    Block &b = blockAt(set, way);
-    if (!b.valid)
+    const std::uint64_t bit = wayBit(way);
+    if (!(validBits_[set] & bit))
         return;
+    const std::size_t bi = blockIndex(set, way);
+    const CoreId block_owner = owners_[bi];
 
     // The system mocked a theft against this block's owner (Fig 2b).
-    if (b.owner < stats_.perCore.size()) {
-        stats_.perCore[b.owner].mockedThefts++;
-        occupancy_[b.owner]--;
+    if (block_owner < stats_.perCore.size()) {
+        stats_.perCore[block_owner].mockedThefts++;
+        occupancy_[block_owner]--;
     }
 
     // Deliberately NO back-invalidation of upper levels, even in an
@@ -321,19 +378,19 @@ Cache::invalidateWayAsTheft(unsigned set, unsigned way, Cycle cycle)
 
     // Dirty victims create writeback traffic toward DRAM, the one form
     // of downstream contention PInTE does produce (section IV-B).
-    if (b.dirty && next_) {
+    if ((dirtyBits_[set] & bit) && next_) {
         MemAccess wb;
-        wb.addr = b.line << blockShift;
-        wb.core = b.owner < stats_.perCore.size() ? b.owner : 0;
+        wb.addr = lines_[bi] << blockShift;
+        wb.core = block_owner < stats_.perCore.size() ? block_owner : 0;
         wb.type = AccessType::Writeback;
         wb.cycle = cycle;
         stats_.perCore[wb.core].writebacksOut++;
         next_->access(wb);
     }
 
-    b.valid = false;
-    b.dirty = false;
-    // Deliberately no policy_->onInvalidate(): the mocked adversary
+    validBits_[set] &= ~bit;
+    dirtyBits_[set] &= ~bit;
+    // Deliberately no policy onInvalidate(): the mocked adversary
     // "inserted" at this block's promoted position (Fig 2b), so the
     // slot keeps its stack position until a real fill reclaims it.
 }
@@ -348,9 +405,10 @@ Cache::handleWriteback(const MemAccess &req)
 
     const int way = findWay(set, line);
     if (way >= 0) {
-        Block &b = blockAt(set, static_cast<unsigned>(way));
-        b.dirty = b.dirty || req.wbDirty;
-        policy_->onHit(set, static_cast<unsigned>(way));
+        const unsigned w = static_cast<unsigned>(way);
+        if (req.wbDirty)
+            dirtyBits_[set] |= wayBit(w);
+        withPolicy([&](auto &p) { p.onHit(set, w); });
         return {req.cycle + config_.latency, true};
     }
 
@@ -358,7 +416,7 @@ Cache::handleWriteback(const MemAccess &req)
     // the "L2 activity spilling" the paper's Fig 6b root-causes.
     stats_.perCore[c].writebackMisses++;
     const unsigned victim = pickVictim(set, req.core);
-    evict(set, victim, req.core, req.cycle);
+    evict(set, victim, req.core, req.cycle, /*for_refill=*/true);
     fillBlock(set, victim, line, req.core, req.wbDirty, false);
     return {req.cycle + config_.latency, false};
 }
@@ -369,7 +427,20 @@ Cache::runPrefetcher(const MemAccess &req, bool hit)
     if (!prefetcher_)
         return;
     prefetchBuf_.clear();
-    prefetcher_->observe(req.addr, req.ip, hit, prefetchBuf_);
+    // Devirtualized observe(): this runs once per demand access.
+    switch (config_.prefetcher) {
+      case PrefetcherKind::NextLine:
+        static_cast<NextLinePrefetcher &>(*prefetcher_)
+            .observe(req.addr, req.ip, hit, prefetchBuf_);
+        break;
+      case PrefetcherKind::IpStride:
+        static_cast<IpStridePrefetcher &>(*prefetcher_)
+            .observe(req.addr, req.ip, hit, prefetchBuf_);
+        break;
+      default:
+        prefetcher_->observe(req.addr, req.ip, hit, prefetchBuf_);
+        break;
+    }
     if (prefetchBuf_.empty())
         return;
 
@@ -417,7 +488,8 @@ Cache::access(const MemAccess &req)
     AccessResult result;
 
     if (way >= 0) {
-        Block &b = blockAt(set, static_cast<unsigned>(way));
+        const unsigned w = static_cast<unsigned>(way);
+        const std::uint64_t bit = wayBit(w);
         const Cycle pend = pendingReady(line);
         const bool merged = pend > req.cycle;
 
@@ -446,37 +518,39 @@ Cache::access(const MemAccess &req)
             // Reuse-position histogram: stack depth before promotion,
             // 0 = MRU end (Fig 5/6 compare these distributions).
             const unsigned depth =
-                config_.assoc - 1 - policy_->rank(set,
-                                                  static_cast<unsigned>(way));
+                config_.assoc - 1 -
+                withPolicy([&](const auto &p) { return p.rank(set, w); });
             stats_.reuse[c].add(depth);
-            if (b.prefetched) {
+            if (prefetchedBits_[set] & bit) {
                 st.prefetchUseful++;
-                b.prefetched = false;
+                prefetchedBits_[set] &= ~bit;
             }
             result = {req.cycle + config_.latency, true};
         }
 
-        policy_->onHit(set, static_cast<unsigned>(way));
+        withPolicy([&](auto &p) { p.onHit(set, w); });
         if (is_store)
-            b.dirty = true;
+            dirtyBits_[set] |= bit;
 
         // Exclusive caches hand the block upward on demand hits: the
         // requesting upper level will allocate it; our copy dies.
         if (config_.inclusion == InclusionPolicy::Exclusive && !merged) {
-            if (b.dirty && next_) {
+            const std::size_t bi = blockIndex(set, w);
+            if ((dirtyBits_[set] & bit) && next_) {
                 MemAccess wb;
-                wb.addr = b.line << blockShift;
-                wb.core = b.owner < stats_.perCore.size() ? b.owner : c;
+                wb.addr = lines_[bi] << blockShift;
+                wb.core = owners_[bi] < stats_.perCore.size() ? owners_[bi]
+                                                              : c;
                 wb.type = AccessType::Writeback;
                 wb.cycle = req.cycle;
                 stats_.perCore[wb.core].writebacksOut++;
                 next_->access(wb);
             }
-            if (b.owner < occupancy_.size())
-                occupancy_[b.owner]--;
-            b.valid = false;
-            b.dirty = false;
-            policy_->onInvalidate(set, static_cast<unsigned>(way));
+            if (owners_[bi] < occupancy_.size())
+                occupancy_[owners_[bi]]--;
+            validBits_[set] &= ~bit;
+            dirtyBits_[set] &= ~bit;
+            withPolicy([&](auto &p) { p.onInvalidate(set, w); });
         }
     } else {
         // Miss.
@@ -503,15 +577,27 @@ Cache::access(const MemAccess &req)
         // the line goes straight to the requester's level.
         if (config_.inclusion != InclusionPolicy::Exclusive) {
             const unsigned victim = pickVictim(set, req.core);
-            evict(set, victim, req.core, req.cycle);
+            evict(set, victim, req.core, req.cycle,
+                  /*for_refill=*/true);
             fillBlock(set, victim, line, req.core, is_store, is_prefetch);
             notePending(line, down_ready);
             // Injected corruption: clone the filled tag into a second
             // way — the classic replacement-stack corruption the
             // duplicate-tag audit exists to catch.
-            if (config_.assoc > 1 && faultInjected("stack-corrupt"))
-                blockAt(set, (victim + 1) % config_.assoc) =
-                    blockAt(set, victim);
+            if (config_.assoc > 1 && faultInjected("stack-corrupt")) {
+                const unsigned w2 = (victim + 1) % config_.assoc;
+                const std::uint64_t vb = wayBit(victim);
+                const std::uint64_t b2 = wayBit(w2);
+                lines_[blockIndex(set, w2)] = lines_[blockIndex(set, victim)];
+                owners_[blockIndex(set, w2)] =
+                    owners_[blockIndex(set, victim)];
+                validBits_[set] = (validBits_[set] & ~b2) |
+                                  (validBits_[set] & vb ? b2 : 0);
+                dirtyBits_[set] = (dirtyBits_[set] & ~b2) |
+                                  (dirtyBits_[set] & vb ? b2 : 0);
+                prefetchedBits_[set] = (prefetchedBits_[set] & ~b2) |
+                                       (prefetchedBits_[set] & vb ? b2 : 0);
+            }
         }
 
         result = {down_ready, false};
@@ -531,26 +617,35 @@ Cache::auditSet(unsigned set) const
 {
     const std::string comp = "cache:" + config_.name;
 
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        const Block &b = blockAt(set, w);
-        if (b.dirty && !b.valid)
-            invariantFail(comp, "dirty bit set on an invalid block",
-                          set, w);
-        if (b.valid && b.owner >= config_.numCores)
-            invariantFail(comp,
-                          "valid block owned by out-of-range core " +
-                              std::to_string(b.owner),
-                          set, w);
-        if (!b.valid)
-            continue;
-        for (unsigned w2 = w + 1; w2 < config_.assoc; ++w2) {
-            const Block &b2 = blockAt(set, w2);
-            if (b2.valid && b2.line == b.line)
-                invariantFail(comp,
-                              "duplicate tag: ways " + std::to_string(w) +
-                                  " and " + std::to_string(w2) +
-                                  " both hold line " + hexLine(b.line),
-                              set, w2);
+    if (dirtyBits_[set] & ~validBits_[set]) {
+        const unsigned w = static_cast<unsigned>(
+            std::countr_zero(dirtyBits_[set] & ~validBits_[set]));
+        invariantFail(comp, "dirty bit set on an invalid block", set, w);
+    }
+    if (validBits_[set] & ~fullMask_) {
+        const unsigned w = static_cast<unsigned>(
+            std::countr_zero(validBits_[set] & ~fullMask_));
+        invariantFail(comp, "valid bit set beyond the last way", set, w);
+    }
+
+    for (std::uint64_t v = validBits_[set]; v; v &= v - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(v));
+        if (owners_[blockIndex(set, w)] >= config_.numCores)
+            invariantFail(
+                comp,
+                "valid block owned by out-of-range core " +
+                    std::to_string(owners_[blockIndex(set, w)]),
+                set, w);
+        for (std::uint64_t v2 = v & (v - 1); v2; v2 &= v2 - 1) {
+            const unsigned w2 =
+                static_cast<unsigned>(std::countr_zero(v2));
+            if (lines_[blockIndex(set, w2)] == lines_[blockIndex(set, w)])
+                invariantFail(
+                    comp,
+                    "duplicate tag: ways " + std::to_string(w) + " and " +
+                        std::to_string(w2) + " both hold line " +
+                        hexLine(lines_[blockIndex(set, w)]),
+                    set, w2);
         }
     }
 
@@ -568,10 +663,11 @@ Cache::audit() const
     // Occupancy counters must match a recount of valid blocks.
     std::vector<std::uint64_t> recount(config_.numCores, 0);
     for (unsigned s = 0; s < config_.numSets; ++s)
-        for (unsigned w = 0; w < config_.assoc; ++w) {
-            const Block &b = blockAt(s, w);
-            if (b.valid && b.owner < config_.numCores)
-                recount[b.owner]++;
+        for (std::uint64_t v = validBits_[s]; v; v &= v - 1) {
+            const unsigned w = static_cast<unsigned>(std::countr_zero(v));
+            const CoreId o = owners_[blockIndex(s, w)];
+            if (o < config_.numCores)
+                recount[o]++;
         }
     for (unsigned c = 0; c < config_.numCores; ++c)
         if (recount[c] != occupancy_[c])
@@ -599,9 +695,11 @@ Cache::audit() const
         !inclusionCompromised_) {
         for (const Cache *up : upstreams_)
             for (unsigned s = 0; s < up->config_.numSets; ++s)
-                for (unsigned w = 0; w < up->config_.assoc; ++w) {
-                    const Block &b = up->blockAt(s, w);
-                    if (b.valid && !probe(b.line << blockShift))
+                for (std::uint64_t v = up->validBits_[s]; v; v &= v - 1) {
+                    const unsigned w =
+                        static_cast<unsigned>(std::countr_zero(v));
+                    if (!probe(up->lines_[up->blockIndex(s, w)]
+                               << blockShift))
                         invariantFail(comp,
                                       "inclusion violated: line held by "
                                       "upstream '" + up->config_.name +

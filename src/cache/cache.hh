@@ -3,6 +3,18 @@
  * Set-associative cache with ownership tracking, theft accounting,
  * inclusion policies, optional prefetcher, way masking and a
  * replacement hook — the integration point the PInTE engine plugs into.
+ *
+ * Block metadata is stored structure-of-arrays: line tags and owners
+ * are contiguous per-set arrays, and the valid/dirty/prefetched flags
+ * are one bit per way in per-set 64-bit words (assoc <= 64 is already
+ * a constructor invariant). Tag lookup walks only the set's valid
+ * bits; victim selection finds an invalid allowed way with a single
+ * bitmask operation. Per-access replacement-policy and prefetcher
+ * calls dispatch through a switch on the configured kind to the
+ * concrete `final` classes (replacement/policies.hh,
+ * prefetch/prefetchers.hh), so the compiler can devirtualize and
+ * inline them; kinds outside the built-in enums still go through the
+ * virtual base.
  */
 
 #ifndef PINTE_CACHE_CACHE_HH
@@ -106,10 +118,14 @@ class Cache : public MemoryLevel
     unsigned numSets() const { return config_.numSets; }
     unsigned assoc() const { return config_.assoc; }
     unsigned setIndex(Addr addr) const;
-    bool valid(unsigned set, unsigned way) const;
-    bool dirty(unsigned set, unsigned way) const;
-    CoreId owner(unsigned set, unsigned way) const;
-    Addr lineAddr(unsigned set, unsigned way) const;
+    bool valid(unsigned set, unsigned way) const
+    { return (validBits_[set] >> way) & 1; }
+    bool dirty(unsigned set, unsigned way) const
+    { return (dirtyBits_[set] >> way) & 1; }
+    CoreId owner(unsigned set, unsigned way) const
+    { return owners_[blockIndex(set, way)]; }
+    Addr lineAddr(unsigned set, unsigned way) const
+    { return lines_[blockIndex(set, way)] << blockShift; }
     /** Eviction rank of a way: 0 = next victim. */
     unsigned rank(unsigned set, unsigned way) const;
     /** True if `addr`'s line is present and valid. */
@@ -172,19 +188,11 @@ class Cache : public MemoryLevel
     const CacheConfig &config() const { return config_; }
 
   private:
-    struct Block
-    {
-        Addr line = 0;        //!< line number (addr >> blockShift)
-        CoreId owner = invalidCoreId;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;
-    };
+    static constexpr std::uint64_t wayBit(unsigned way)
+    { return std::uint64_t(1) << way; }
 
-    Block &blockAt(unsigned set, unsigned way)
-    { return blocks_[std::size_t(set) * config_.assoc + way]; }
-    const Block &blockAt(unsigned set, unsigned way) const
-    { return blocks_[std::size_t(set) * config_.assoc + way]; }
+    std::size_t blockIndex(unsigned set, unsigned way) const
+    { return std::size_t(set) * config_.assoc + way; }
 
     /** Find the way holding `line` in `set`; -1 if absent. */
     int findWay(unsigned set, Addr line) const;
@@ -192,8 +200,14 @@ class Cache : public MemoryLevel
     /** Pick a fill victim honoring way masks; prefers invalid ways. */
     unsigned pickVictim(unsigned set, CoreId core);
 
-    /** Evict (set, way): theft accounting, writeback, back-inval. */
-    void evict(unsigned set, unsigned way, CoreId requester, Cycle cycle);
+    /**
+     * Evict (set, way): theft accounting, writeback, back-inval.
+     * `for_refill` marks the per-miss evict+fill pair: the policy's
+     * onInvalidate is skipped because the immediate onFill on the same
+     * way makes it unobservable (see the proof note in evict()).
+     */
+    void evict(unsigned set, unsigned way, CoreId requester, Cycle cycle,
+               bool for_refill = false);
 
     /** Insert `line` for `core` at (set, way). */
     void fillBlock(unsigned set, unsigned way, Addr line, CoreId core,
@@ -209,12 +223,35 @@ class Cache : public MemoryLevel
     Cycle pendingReady(Addr line) const;
     void notePending(Addr line, Cycle ready);
 
+    /**
+     * Call `f` with the policy downcast to its concrete `final` class
+     * (devirtualized dispatch keyed on config_.replacement); falls back
+     * to the virtual base for kinds the switch does not know.
+     */
+    template <typename F> decltype(auto) withPolicy(F &&f);
+    template <typename F> decltype(auto) withPolicy(F &&f) const;
+
     CacheConfig config_;
     MemoryLevel *next_;
     std::vector<Cache *> upstreams_;
     ReplacementHook *hook_ = nullptr;
 
-    std::vector<Block> blocks_;
+    /**
+     * @name Block metadata, structure-of-arrays
+     * Tags and owners are per-(set, way) contiguous arrays indexed by
+     * blockIndex(); the boolean planes are per-set bitmasks (bit w =
+     * way w). Entries of invalid ways hold stale values — every
+     * consumer masks with validBits_ first.
+     */
+    /// @{
+    std::vector<Addr> lines_;
+    std::vector<CoreId> owners_;
+    std::vector<std::uint64_t> validBits_;
+    std::vector<std::uint64_t> dirtyBits_;
+    std::vector<std::uint64_t> prefetchedBits_;
+    std::uint64_t fullMask_; //!< low `assoc` bits set
+    /// @}
+
     std::unique_ptr<ReplacementPolicy> policy_;
     std::unique_ptr<Prefetcher> prefetcher_;
     std::vector<Addr> prefetchBuf_;

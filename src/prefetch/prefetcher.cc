@@ -1,5 +1,7 @@
 #include "prefetcher.hh"
 
+#include "prefetchers.hh"
+
 #include <array>
 #include <cstring>
 
@@ -22,112 +24,6 @@ toString(PrefetcherKind k)
     return "unknown";
 }
 
-namespace
-{
-
-/** Fetches the next `degree` sequential lines after every access. */
-class NextLine : public Prefetcher
-{
-  public:
-    explicit NextLine(unsigned degree) : degree_(degree) {}
-
-    void
-    observe(Addr addr, Addr ip, bool hit, std::vector<Addr> &out) override
-    {
-        (void)ip;
-        (void)hit;
-        const Addr line = lineAlign(addr);
-        for (unsigned d = 1; d <= degree_; ++d)
-            out.push_back(line + d * blockSize);
-    }
-
-    const char *name() const override { return "next-line"; }
-
-  private:
-    unsigned degree_;
-};
-
-/**
- * Classic per-IP stride prefetcher: a direct-mapped table tracks the
- * last address and stride per instruction pointer; two consecutive
- * matching strides arm the prefetcher.
- */
-class IpStride : public Prefetcher
-{
-  public:
-    explicit IpStride(unsigned degree) : degree_(degree)
-    {
-        table_.fill(Entry{});
-    }
-
-    void
-    observe(Addr addr, Addr ip, bool hit, std::vector<Addr> &out) override
-    {
-        (void)hit;
-        Entry &e = table_[index(ip)];
-        const Addr line = lineNumber(addr);
-        if (e.tag == tag(ip) && e.valid) {
-            const std::int64_t stride =
-                static_cast<std::int64_t>(line) -
-                static_cast<std::int64_t>(e.lastLine);
-            if (stride != 0 && stride == e.stride) {
-                if (e.confidence < 3)
-                    ++e.confidence;
-            } else if (stride != 0) {
-                e.stride = stride;
-                e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
-            }
-            if (e.confidence >= 2 && e.stride != 0) {
-                for (unsigned d = 1; d <= degree_; ++d) {
-                    const std::int64_t target =
-                        static_cast<std::int64_t>(line) +
-                        e.stride * static_cast<std::int64_t>(d);
-                    if (target > 0)
-                        out.push_back(static_cast<Addr>(target)
-                                      << blockShift);
-                }
-            }
-        } else {
-            e.tag = tag(ip);
-            e.valid = true;
-            e.stride = 0;
-            e.confidence = 0;
-        }
-        e.lastLine = line;
-    }
-
-    const char *name() const override { return "ip-stride"; }
-
-  private:
-    static constexpr unsigned tableBits = 8;
-
-    struct Entry
-    {
-        std::uint32_t tag = 0;
-        Addr lastLine = 0;
-        std::int64_t stride = 0;
-        std::uint8_t confidence = 0;
-        bool valid = false;
-    };
-
-    static std::size_t
-    index(Addr ip)
-    {
-        return (ip >> 2) & ((1u << tableBits) - 1);
-    }
-
-    static std::uint32_t
-    tag(Addr ip)
-    {
-        return static_cast<std::uint32_t>(ip >> (2 + tableBits));
-    }
-
-    unsigned degree_;
-    std::array<Entry, 1u << tableBits> table_;
-};
-
-} // namespace
-
 void
 Prefetcher::registerStats(StatRegistry &reg,
                           const std::string &prefix) const
@@ -143,9 +39,9 @@ makePrefetcher(PrefetcherKind kind, unsigned degree)
       case PrefetcherKind::None:
         return nullptr;
       case PrefetcherKind::NextLine:
-        return std::make_unique<NextLine>(degree);
+        return std::make_unique<NextLinePrefetcher>(degree);
       case PrefetcherKind::IpStride:
-        return std::make_unique<IpStride>(degree);
+        return std::make_unique<IpStridePrefetcher>(degree);
     }
     return nullptr;
 }

@@ -1,5 +1,7 @@
 #include "policy.hh"
 
+#include "policies.hh"
+
 #include <algorithm>
 
 #include "common/error.hh"
@@ -64,448 +66,12 @@ ReplacementPolicy::auditSet(unsigned set) const
     }
 }
 
-namespace
+void
+ReplacementPolicy::ranks(unsigned set, std::uint8_t *out) const
 {
-
-/** True LRU via per-way timestamps. */
-class Lru : public ReplacementPolicy
-{
-  public:
-    Lru(unsigned num_sets, unsigned assoc)
-        : ReplacementPolicy(num_sets, assoc),
-          stamp_(static_cast<std::size_t>(num_sets) * assoc, 0)
-    {}
-
-    unsigned
-    victim(unsigned set) override
-    {
-        unsigned v = 0;
-        std::uint64_t best = ~0ull;
-        for (unsigned w = 0; w < assoc_; ++w) {
-            if (at(set, w) < best) {
-                best = at(set, w);
-                v = w;
-            }
-        }
-        return v;
-    }
-
-    void onFill(unsigned set, unsigned way) override { touch(set, way); }
-    void onHit(unsigned set, unsigned way) override { touch(set, way); }
-
-    void
-    onInvalidate(unsigned set, unsigned way) override
-    {
-        // Invalid blocks should be re-victimized first.
-        at(set, way) = 0;
-    }
-
-    unsigned
-    rank(unsigned set, unsigned way) const override
-    {
-        // Rank = number of ways with an older timestamp (ties broken by
-        // way index so ranks form a permutation).
-        unsigned r = 0;
-        for (unsigned w = 0; w < assoc_; ++w) {
-            if (w == way)
-                continue;
-            if (at(set, w) < at(set, way) ||
-                (at(set, w) == at(set, way) && w < way)) {
-                ++r;
-            }
-        }
-        return r;
-    }
-
-    const char *name() const override { return "LRU"; }
-
-  private:
-    std::uint64_t &at(unsigned s, unsigned w)
-    { return stamp_[std::size_t(s) * assoc_ + w]; }
-    const std::uint64_t &at(unsigned s, unsigned w) const
-    { return stamp_[std::size_t(s) * assoc_ + w]; }
-
-    void touch(unsigned s, unsigned w) { at(s, w) = ++clock_; }
-
-    std::uint64_t clock_ = 0;
-    std::vector<std::uint64_t> stamp_;
-};
-
-/**
- * Tree pseudo-LRU. Each set keeps assoc-1 tree bits; a 0 bit points
- * left, 1 points right, and victim selection follows the pointers.
- */
-class PseudoLru : public ReplacementPolicy
-{
-  public:
-    PseudoLru(unsigned num_sets, unsigned assoc)
-        : ReplacementPolicy(num_sets, assoc),
-          bits_(static_cast<std::size_t>(num_sets) * (assoc - 1), false)
-    {
-        if ((assoc & (assoc - 1)) != 0)
-            throw ConfigError("pLRU requires power-of-two associativity",
-                              {"replacement", "", std::to_string(assoc_)});
-    }
-
-    unsigned
-    victim(unsigned set) override
-    {
-        unsigned node = 0;
-        unsigned lo = 0, hi = assoc_;
-        while (hi - lo > 1) {
-            const bool right = bit(set, node);
-            const unsigned mid = (lo + hi) / 2;
-            node = 2 * node + (right ? 2 : 1);
-            if (right)
-                lo = mid;
-            else
-                hi = mid;
-        }
-        return lo;
-    }
-
-    void onFill(unsigned set, unsigned way) override { touch(set, way); }
-    void onHit(unsigned set, unsigned way) override { touch(set, way); }
-
-    unsigned
-    rank(unsigned set, unsigned way) const override
-    {
-        // Victim-first traversal of the tree defines the total order:
-        // at each node the pointed-to subtree is visited first.
-        unsigned pos = 0;
-        unsigned found = 0;
-        bool seen = false;
-        walk(set, 0, 0, assoc_, way, pos, found, seen);
-        return found;
-    }
-
-    const char *name() const override { return "pLRU"; }
-
-  private:
-    bool
-    bit(unsigned set, unsigned node) const
-    {
-        return bits_[std::size_t(set) * (assoc_ - 1) + node];
-    }
-
-    void
-    setBit(unsigned set, unsigned node, bool v)
-    {
-        bits_[std::size_t(set) * (assoc_ - 1) + node] = v;
-    }
-
-    /** Point every node on the path to `way` away from it. */
-    void
-    touch(unsigned set, unsigned way)
-    {
-        unsigned node = 0;
-        unsigned lo = 0, hi = assoc_;
-        while (hi - lo > 1) {
-            const unsigned mid = (lo + hi) / 2;
-            const bool went_right = way >= mid;
-            // Bit points toward the LRU side: opposite of the access.
-            setBit(set, node, !went_right);
-            node = 2 * node + (went_right ? 2 : 1);
-            if (went_right)
-                lo = mid;
-            else
-                hi = mid;
-        }
-    }
-
-    void
-    walk(unsigned set, unsigned node, unsigned lo, unsigned hi,
-         unsigned way, unsigned &pos, unsigned &found, bool &seen) const
-    {
-        if (hi - lo == 1) {
-            if (lo == way) {
-                found = pos;
-                seen = true;
-            }
-            ++pos;
-            return;
-        }
-        const unsigned mid = (lo + hi) / 2;
-        const bool right_first = bit(set, node);
-        if (right_first) {
-            walk(set, 2 * node + 2, mid, hi, way, pos, found, seen);
-            if (!seen)
-                walk(set, 2 * node + 1, lo, mid, way, pos, found, seen);
-            else
-                pos += mid - lo;
-        } else {
-            walk(set, 2 * node + 1, lo, mid, way, pos, found, seen);
-            if (!seen)
-                walk(set, 2 * node + 2, mid, hi, way, pos, found, seen);
-            else
-                pos += hi - mid;
-        }
-    }
-
-    std::vector<bool> bits_;
-};
-
-/**
- * Not-most-recently-used: protects only the MRU way; victims rotate
- * through the remaining ways.
- */
-class Nmru : public ReplacementPolicy
-{
-  public:
-    Nmru(unsigned num_sets, unsigned assoc, std::uint64_t seed)
-        : ReplacementPolicy(num_sets, assoc), rng_(seed),
-          mru_(num_sets, 0), cursor_(num_sets, 0)
-    {}
-
-    unsigned
-    victim(unsigned set) override
-    {
-        if (assoc_ == 1)
-            return 0;
-        // Rotate a cursor; skip the MRU way.
-        unsigned c = cursor_[set];
-        for (unsigned i = 0; i < assoc_; ++i) {
-            const unsigned w = (c + i) % assoc_;
-            if (w != mru_[set]) {
-                cursor_[set] = (w + 1) % assoc_;
-                return w;
-            }
-        }
-        return 0; // unreachable for assoc > 1
-    }
-
-    void onFill(unsigned set, unsigned way) override { mru_[set] = way; }
-    void onHit(unsigned set, unsigned way) override { mru_[set] = way; }
-
-    unsigned
-    rank(unsigned set, unsigned way) const override
-    {
-        const unsigned m = mru_[set];
-        if (way == m)
-            return assoc_ - 1;
-        // Non-MRU ways are ordered by distance from the rotating cursor.
-        const unsigned c = cursor_[set];
-        unsigned r = 0;
-        for (unsigned i = 0; i < assoc_; ++i) {
-            const unsigned w = (c + i) % assoc_;
-            if (w == m)
-                continue;
-            if (w == way)
-                return r;
-            ++r;
-        }
-        panic("nMRU rank walk failed");
-    }
-
-    const char *name() const override { return "nMRU"; }
-
-  private:
-    Rng rng_;
-    std::vector<unsigned> mru_;
-    std::vector<unsigned> cursor_;
-};
-
-/** SRRIP with 2-bit re-reference prediction values. */
-class Rrip : public ReplacementPolicy
-{
-  public:
-    static constexpr std::uint8_t maxRrpv = 3;
-
-    Rrip(unsigned num_sets, unsigned assoc)
-        : ReplacementPolicy(num_sets, assoc),
-          rrpv_(static_cast<std::size_t>(num_sets) * assoc, maxRrpv)
-    {}
-
-    unsigned
-    victim(unsigned set) override
-    {
-        // Find a distant block; age everyone until one exists.
-        for (;;) {
-            for (unsigned w = 0; w < assoc_; ++w)
-                if (at(set, w) == maxRrpv)
-                    return w;
-            for (unsigned w = 0; w < assoc_; ++w)
-                ++at(set, w);
-        }
-    }
-
-    void
-    onFill(unsigned set, unsigned way) override
-    {
-        // SRRIP inserts with a long re-reference interval.
-        at(set, way) = maxRrpv - 1;
-    }
-
-    void onHit(unsigned set, unsigned way) override { at(set, way) = 0; }
-
-    void
-    onInvalidate(unsigned set, unsigned way) override
-    {
-        at(set, way) = maxRrpv;
-    }
-
-    unsigned
-    rank(unsigned set, unsigned way) const override
-    {
-        // Higher RRPV -> closer to eviction; ties broken by way index
-        // (matching the left-to-right victim scan).
-        unsigned r = 0;
-        for (unsigned w = 0; w < assoc_; ++w) {
-            if (w == way)
-                continue;
-            if (at(set, w) > at(set, way) ||
-                (at(set, w) == at(set, way) && w < way)) {
-                ++r;
-            }
-        }
-        return r;
-    }
-
-    const char *name() const override { return "RRIP"; }
-
-  private:
-    std::uint8_t &at(unsigned s, unsigned w)
-    { return rrpv_[std::size_t(s) * assoc_ + w]; }
-    const std::uint8_t &at(unsigned s, unsigned w) const
-    { return rrpv_[std::size_t(s) * assoc_ + w]; }
-
-    std::vector<std::uint8_t> rrpv_;
-};
-
-/**
- * DRRIP: dynamic RRIP via set dueling. A few leader sets always insert
- * SRRIP-style (rrpv = max-1), a few always BRRIP-style (rrpv = max,
- * with a 1/32 chance of max-1); a saturating PSEL counter tracks which
- * leader family misses less and follower sets copy the winner.
- */
-class Drrip : public ReplacementPolicy
-{
-  public:
-    static constexpr std::uint8_t maxRrpv = 3;
-    static constexpr int pselMax = 1023;
-    static constexpr unsigned duelPeriod = 8; //!< leader spacing
-
-    Drrip(unsigned num_sets, unsigned assoc, std::uint64_t seed)
-        : ReplacementPolicy(num_sets, assoc), rng_(seed),
-          rrpv_(static_cast<std::size_t>(num_sets) * assoc, maxRrpv)
-    {}
-
-    unsigned
-    victim(unsigned set) override
-    {
-        for (;;) {
-            for (unsigned w = 0; w < assoc_; ++w)
-                if (at(set, w) == maxRrpv)
-                    return w;
-            for (unsigned w = 0; w < assoc_; ++w)
-                ++at(set, w);
-        }
-    }
-
-    void
-    onFill(unsigned set, unsigned way) override
-    {
-        // Leader sets vote: a fill means this set missed, so charge
-        // the policy family the set belongs to.
-        bool use_brrip;
-        if (isSrripLeader(set)) {
-            psel_ = std::min(psel_ + 1, pselMax);
-            use_brrip = false;
-        } else if (isBrripLeader(set)) {
-            psel_ = std::max(psel_ - 1, 0);
-            use_brrip = true;
-        } else {
-            // Followers copy whichever family has fewer misses; PSEL
-            // grows with SRRIP-leader misses, so high PSEL -> BRRIP.
-            use_brrip = psel_ > pselMax / 2;
-        }
-
-        if (use_brrip) {
-            at(set, way) =
-                rng_.drawBool(1.0 / 32.0) ? maxRrpv - 1 : maxRrpv;
-        } else {
-            at(set, way) = maxRrpv - 1;
-        }
-    }
-
-    void onHit(unsigned set, unsigned way) override { at(set, way) = 0; }
-
-    void
-    onInvalidate(unsigned set, unsigned way) override
-    {
-        at(set, way) = maxRrpv;
-    }
-
-    unsigned
-    rank(unsigned set, unsigned way) const override
-    {
-        unsigned r = 0;
-        for (unsigned w = 0; w < assoc_; ++w) {
-            if (w == way)
-                continue;
-            if (at(set, w) > at(set, way) ||
-                (at(set, w) == at(set, way) && w < way)) {
-                ++r;
-            }
-        }
-        return r;
-    }
-
-    const char *name() const override { return "DRRIP"; }
-
-    /** Current duel outcome (true = followers use BRRIP). */
-    bool followersUseBrrip() const { return psel_ > pselMax / 2; }
-
-  private:
-    bool isSrripLeader(unsigned set) const
-    { return set % duelPeriod == 0; }
-    bool isBrripLeader(unsigned set) const
-    { return set % duelPeriod == duelPeriod / 2; }
-
-    std::uint8_t &at(unsigned s, unsigned w)
-    { return rrpv_[std::size_t(s) * assoc_ + w]; }
-    const std::uint8_t &at(unsigned s, unsigned w) const
-    { return rrpv_[std::size_t(s) * assoc_ + w]; }
-
-    Rng rng_;
-    int psel_ = pselMax / 2;
-    std::vector<std::uint8_t> rrpv_;
-};
-
-/** Uniform random victim selection. */
-class RandomPolicy : public ReplacementPolicy
-{
-  public:
-    RandomPolicy(unsigned num_sets, unsigned assoc, std::uint64_t seed)
-        : ReplacementPolicy(num_sets, assoc), rng_(seed)
-    {}
-
-    unsigned
-    victim(unsigned set) override
-    {
-        (void)set;
-        return static_cast<unsigned>(rng_.drawRange(assoc_));
-    }
-
-    void onFill(unsigned, unsigned) override {}
-    void onHit(unsigned, unsigned) override {}
-
-    unsigned
-    rank(unsigned set, unsigned way) const override
-    {
-        // No meaningful order; way index is as good as any and keeps
-        // ranks a stable permutation for PInTE's walk.
-        (void)set;
-        return way;
-    }
-
-    const char *name() const override { return "Random"; }
-
-  private:
-    Rng rng_;
-};
-
-} // namespace
+    for (unsigned w = 0; w < assoc_; ++w)
+        out[w] = static_cast<std::uint8_t>(rank(set, w));
+}
 
 std::unique_ptr<ReplacementPolicy>
 makeReplacementPolicy(ReplacementKind kind, unsigned num_sets,
@@ -513,19 +79,19 @@ makeReplacementPolicy(ReplacementKind kind, unsigned num_sets,
 {
     switch (kind) {
       case ReplacementKind::Lru:
-        return std::make_unique<Lru>(num_sets, assoc);
+        return std::make_unique<LruPolicy>(num_sets, assoc);
       case ReplacementKind::PseudoLru:
-        return std::make_unique<PseudoLru>(num_sets, assoc);
+        return std::make_unique<PseudoLruPolicy>(num_sets, assoc);
       case ReplacementKind::Nmru:
-        return std::make_unique<Nmru>(num_sets, assoc, seed);
+        return std::make_unique<NmruPolicy>(num_sets, assoc, seed);
       case ReplacementKind::Rrip:
-        return std::make_unique<Rrip>(num_sets, assoc);
+        return std::make_unique<RripPolicy>(num_sets, assoc);
       case ReplacementKind::Random:
         return std::make_unique<RandomPolicy>(num_sets, assoc, seed);
       case ReplacementKind::Drrip:
-        return std::make_unique<Drrip>(num_sets, assoc, seed);
+        return std::make_unique<DrripPolicy>(num_sets, assoc, seed);
     }
-    return std::make_unique<Lru>(num_sets, assoc);
+    return std::make_unique<LruPolicy>(num_sets, assoc);
 }
 
 } // namespace pinte

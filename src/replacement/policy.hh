@@ -76,6 +76,15 @@ class ReplacementPolicy
      */
     virtual unsigned rank(unsigned set, unsigned way) const = 0;
 
+    /**
+     * Write rank(set, w) for every way into out[0..assoc). One
+     * virtual call instead of assoc of them — the cache's masked
+     * allocation path uses this to hoist rank lookups out of its
+     * per-way loop. Policies that store ranks directly override it
+     * with a copy.
+     */
+    virtual void ranks(unsigned set, std::uint8_t *out) const;
+
     /** Display name. */
     virtual const char *name() const = 0;
 

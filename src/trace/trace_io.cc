@@ -1,5 +1,6 @@
 #include "trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <functional>
 
@@ -179,6 +180,12 @@ FileTraceSource::init(const std::string &path)
     const TraceHeader h = readHeader(file_, path);
     version_ = h.version;
     count_ = h.count;
+    // A zero-record trace has nothing to replay or wrap to; catch it
+    // here instead of silently feeding default records to the core.
+    if (count_ == 0)
+        traceFail("empty trace " + path +
+                      ": header declares zero records",
+                  path, "0");
     dataStart_ = std::ftell(file_);
 
     // Validate the declared record count against the actual file
@@ -244,22 +251,29 @@ FileTraceSource::~FileTraceSource()
         std::fclose(file_);
 }
 
-TraceRecord
-FileTraceSource::next()
+void
+FileTraceSource::refill()
 {
-    TraceRecord r;
-    if (count_ == 0)
-        return r;
-    // A partial read past the last record (EOF, or the v2 CRC footer)
-    // wraps to the start, mirroring ChampSim's short-trace behavior.
-    if (std::fread(&r, sizeof(r), 1, file_) != 1) {
+    // Batched decode: one fread per batch instead of one per record.
+    // The open-time size check guarantees count_ whole records exist
+    // past dataStart_, so a short read here is a real I/O failure.
+    const std::uint64_t remaining = count_ - filePos_;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batchRecords, remaining));
+    if (buf_.size() < want)
+        buf_.resize(std::min<std::uint64_t>(batchRecords, count_));
+    if (std::fread(buf_.data(), sizeof(TraceRecord), want, file_) != want)
+        traceFail("trace read failed mid-file", path_);
+    for (std::size_t i = 0; i < want; ++i)
+        validateRecord(buf_[i], filePos_ + i, path_);
+    filePos_ += want;
+    if (filePos_ == count_) {
+        // Wrap to the start, mirroring ChampSim's short-trace behavior.
         std::fseek(file_, dataStart_, SEEK_SET);
-        if (std::fread(&r, sizeof(r), 1, file_) != 1)
-            traceFail("trace read failed mid-file", path_);
+        filePos_ = 0;
     }
-    validateRecord(r, consumed_ % count_, path_);
-    ++consumed_;
-    return r;
+    bufPos_ = 0;
+    bufFill_ = want;
 }
 
 void
@@ -267,6 +281,9 @@ FileTraceSource::reset()
 {
     std::fseek(file_, dataStart_, SEEK_SET);
     consumed_ = 0;
+    filePos_ = 0;
+    bufPos_ = 0;
+    bufFill_ = 0;
 }
 
 std::vector<TraceRecord>

@@ -486,6 +486,10 @@ TEST(Cache, WayMaskValidation)
     Cache c(smallConfig(), &mem);
     EXPECT_ERROR(c.setWayMask(5, 1), ConfigError, "out of range");
     EXPECT_ERROR(c.setWayMask(0, 0), ConfigError, "no ways");
+    // A nonzero mask whose set bits all sit above the associativity is
+    // just as unusable as zero: every fill would have no legal way.
+    EXPECT_ERROR(c.setWayMask(0, 0xF0), ConfigError, "no ways");
+    c.setWayMask(0, 0xF1); // bit 0 is in range: accepted
 }
 
 TEST(Cache, PromoteWayChangesRank)

@@ -149,6 +149,104 @@ TEST(Lru, InvalidatedWayBecomesNextVictim)
     EXPECT_EQ(p->victim(0), 2u);
 }
 
+namespace
+{
+
+/**
+ * Reference LRU: the per-way-timestamp implementation the flat
+ * rank-permutation LruPolicy replaced. Kept verbatim as an oracle —
+ * the production policy must stay observation-equivalent to it
+ * (same victim, same ranks) under any op sequence.
+ */
+class TimestampLru
+{
+  public:
+    TimestampLru(unsigned num_sets, unsigned assoc)
+        : assoc_(assoc),
+          stamp_(static_cast<std::size_t>(num_sets) * assoc, 0)
+    {}
+
+    unsigned
+    victim(unsigned set) const
+    {
+        unsigned v = 0;
+        std::uint64_t best = ~0ull;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (at(set, w) < best) {
+                best = at(set, w);
+                v = w;
+            }
+        }
+        return v;
+    }
+
+    void touch(unsigned s, unsigned w) { at(s, w) = ++clock_; }
+    void invalidate(unsigned s, unsigned w) { at(s, w) = 0; }
+
+    unsigned
+    rank(unsigned set, unsigned way) const
+    {
+        unsigned r = 0;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (w == way)
+                continue;
+            if (at(set, w) < at(set, way) ||
+                (at(set, w) == at(set, way) && w < way))
+                ++r;
+        }
+        return r;
+    }
+
+  private:
+    std::uint64_t &at(unsigned s, unsigned w)
+    { return stamp_[std::size_t(s) * assoc_ + w]; }
+    const std::uint64_t &at(unsigned s, unsigned w) const
+    { return stamp_[std::size_t(s) * assoc_ + w]; }
+
+    unsigned assoc_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamp_;
+};
+
+} // namespace
+
+TEST(Lru, MatchesTimestampReferenceUnderRandomOps)
+{
+    // Associativities chosen to exercise the packed layout: one word
+    // exactly, a partial tail word, two full words, and the 64-way cap.
+    for (const unsigned assoc : {1u, 3u, 8u, 13u, 16u, 64u}) {
+        const unsigned sets = 4;
+        auto flat = makeReplacementPolicy(ReplacementKind::Lru, sets,
+                                          assoc);
+        TimestampLru ref(sets, assoc);
+        Rng r(42 + assoc);
+        for (int i = 0; i < 4000; ++i) {
+            const unsigned set = static_cast<unsigned>(r.drawRange(sets));
+            const unsigned way =
+                static_cast<unsigned>(r.drawRange(assoc));
+            switch (r.drawRange(4)) {
+              case 0: flat->onFill(set, way); ref.touch(set, way); break;
+              case 1: flat->onHit(set, way); ref.touch(set, way); break;
+              case 2:
+                flat->onInvalidate(set, way);
+                ref.invalidate(set, way);
+                break;
+              case 3:
+                // Double-invalidate: a timestamp impl no-ops here.
+                flat->onInvalidate(set, way);
+                flat->onInvalidate(set, way);
+                ref.invalidate(set, way);
+                break;
+            }
+            ASSERT_EQ(flat->victim(set), ref.victim(set))
+                << "assoc " << assoc << " iter " << i;
+            for (unsigned w = 0; w < assoc; ++w)
+                ASSERT_EQ(flat->rank(set, w), ref.rank(set, w))
+                    << "assoc " << assoc << " way " << w << " iter " << i;
+        }
+    }
+}
+
 TEST(PseudoLru, RecentlyTouchedWayIsNotVictim)
 {
     auto p = makeReplacementPolicy(ReplacementKind::PseudoLru, 1, 8);

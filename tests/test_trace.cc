@@ -331,6 +331,16 @@ TEST(TraceIo, BadMagicIsFatal)
     std::remove(path.c_str());
 }
 
+TEST(TraceIo, EmptyTraceRejectedAtOpen)
+{
+    // A zero-record trace has nothing to replay or wrap to; the reader
+    // must refuse it at open instead of serving default records.
+    const std::string path = ::testing::TempDir() + "empty.trc";
+    writeTrace(path, std::vector<TraceRecord>{});
+    EXPECT_ERROR(FileTraceSource src(path), TraceError, "empty trace");
+    std::remove(path.c_str());
+}
+
 TEST(TraceIo, TruncatedHeaderIsFatal)
 {
     const std::string path = ::testing::TempDir() + "short.trc";
@@ -470,14 +480,15 @@ TEST(TraceIo, RecordValidationRejectsOutOfRangeFields)
 TEST(TraceIo, CorruptRecordInV1RejectedOnRead)
 {
     // A version-1 file has no checksum, so a poisoned field is only
-    // caught by per-record validation at read time.
+    // caught by per-record validation at read time. The reader decodes
+    // in batches, so the error surfaces on the next() that pulls in
+    // the batch holding the bad record (here: the very first call) —
+    // but it still names the offending record's own index.
     const std::string path = ::testing::TempDir() + "badrec_v1.trc";
     writeTrace(path, std::vector<TraceRecord>(4));
     downgradeToV1(path);
     flipBit(path, 24 + 2 * 56 + 51, 2); // record 2's numLoads -> 4
     FileTraceSource src(path);
-    (void)src.next();
-    (void)src.next();
     EXPECT_ERROR((void)src.next(), TraceError, "bad trace record 2");
     std::remove(path.c_str());
 }

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Assert two pinte-report JSON documents are identical modulo timing.
+
+Usage:
+    check_bitwise.py golden.json candidate.json
+
+The simulator is deterministic from its seeds: the same binary —
+or any refactor of it that claims behavioral equivalence — must
+reproduce a golden report bit-for-bit, except for `cpu_seconds`,
+the one wall-clock-derived field a report carries. This is the
+regression harness that makes hot-path rewrites (SoA cache layout,
+devirtualized dispatch, batched trace decode) safe to land: a single
+flipped hit/miss anywhere in a run changes some counter downstream
+and the comparison names the exact path that diverged.
+
+Exit status 0 when equivalent; 1 with one diagnostic per divergent
+path otherwise (capped). Standard library only.
+"""
+
+import json
+import sys
+
+MAX_DIFFS = 20
+
+# The only fields allowed to differ: derived from host timing, not
+# from simulation state.
+TIMING_FIELDS = {"cpu_seconds"}
+
+
+def strip_timing(node):
+    if isinstance(node, dict):
+        return {
+            k: strip_timing(v)
+            for k, v in node.items()
+            if k not in TIMING_FIELDS
+        }
+    if isinstance(node, list):
+        return [strip_timing(v) for v in node]
+    return node
+
+
+def diff(a, b, path, out):
+    if len(out) >= MAX_DIFFS:
+        return
+    if type(a) is not type(b):
+        out.append(
+            f"{path}: type {type(a).__name__} vs {type(b).__name__}"
+        )
+        return
+    if isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            if k not in a:
+                out.append(f"{path}.{k}: only in candidate")
+            elif k not in b:
+                out.append(f"{path}.{k}: only in golden")
+            else:
+                diff(a[k], b[k], f"{path}.{k}", out)
+        return
+    if isinstance(a, list):
+        if len(a) != len(b):
+            out.append(f"{path}: {len(a)} vs {len(b)} elements")
+            return
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff(x, y, f"{path}[{i}]", out)
+        return
+    # Scalars compare exactly — including floats: both documents were
+    # produced by the same emitter at the same precision, so any
+    # difference is a real behavioral divergence, not rounding.
+    if a != b:
+        out.append(f"{path}: {a!r} vs {b!r}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    docs = []
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            sys.stderr.write(f"check_bitwise: {path}: {e}\n")
+            return 1
+
+    golden, candidate = (strip_timing(d) for d in docs)
+    out = []
+    diff(golden, candidate, "$", out)
+    if out:
+        for line in out:
+            sys.stderr.write(f"check_bitwise: {line}\n")
+        more = "" if len(out) < MAX_DIFFS else " (further diffs capped)"
+        sys.stderr.write(
+            f"check_bitwise: {argv[2]} diverges from {argv[1]}: "
+            f"{len(out)} path(s){more}\n"
+        )
+        return 1
+    print(
+        f"check_bitwise: {argv[2]} identical to {argv[1]} "
+        f"(modulo {', '.join(sorted(TIMING_FIELDS))})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

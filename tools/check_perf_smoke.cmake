@@ -1,0 +1,49 @@
+# ctest helper: keep the perf-baseline path from rotting. Runs the
+# hot-path harness in quick mode (smoke-size kernels, 2 reps), then
+# validates the produced document with check_bench.py — including that
+# the requested label landed. Invoked from tools/CMakeLists.txt with
+# -DBENCH_HOTPATH=... -DPYTHON=... -DCHECKER=<check_bench.py>
+# -DWORKDIR=...
+
+set(out "${WORKDIR}/perf_smoke.json")
+file(REMOVE ${out})
+
+execute_process(
+    COMMAND ${BENCH_HOTPATH} --quick --label=smoke --reps=2
+        --scratch=${WORKDIR} --out=${out}
+    RESULT_VARIABLE bench_rc
+    OUTPUT_VARIABLE bench_out
+    ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_hotpath failed (${bench_rc}):\n${bench_out}\n"
+        "${bench_err}")
+endif()
+
+# Run it twice: the second batch must merge (replace label 'smoke',
+# keep 'smoke2'), exercising the trajectory-append path CI relies on.
+execute_process(
+    COMMAND ${BENCH_HOTPATH} --quick --label=smoke2 --reps=2
+        --scratch=${WORKDIR} --out=${out}
+    RESULT_VARIABLE bench_rc
+    OUTPUT_VARIABLE bench_out
+    ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_hotpath merge run failed (${bench_rc}):\n${bench_out}\n"
+        "${bench_err}")
+endif()
+
+foreach(label smoke smoke2)
+    execute_process(
+        COMMAND ${PYTHON} ${CHECKER} --require-label ${label} ${out}
+        RESULT_VARIABLE check_rc
+        OUTPUT_VARIABLE check_out
+        ERROR_VARIABLE check_err)
+    if(NOT check_rc EQUAL 0)
+        message(FATAL_ERROR
+            "baseline validation failed (${check_rc}):\n"
+            "${check_out}\n${check_err}")
+    endif()
+endforeach()
+message(STATUS "${check_out}")

@@ -99,11 +99,14 @@ FAILURES_FIELDS = {
 }
 
 # Metrics that are ratios with a unit-interval range by construction.
+# prefetch_miss_rate is NOT one of them: it is prefetch misses per
+# issued prefetch, and one issued L1D prefetch that descends through
+# L2 is counted as a miss at both levels, so the ratio's range is
+# [0, 2] — it is checked with the nonnegative metrics below.
 UNIT_RATE_METRICS = (
     "miss_rate",
     "l1d_miss_rate",
     "l2_miss_rate",
-    "prefetch_miss_rate",
     "branch_accuracy",
     "llc_wb_share",
     "llc_occupancy_fraction",
@@ -374,7 +377,7 @@ class Checker:
                 )
         for name in ("ipc", "amat", "l2_mpki", "llc_mpki",
                      "interference_rate", "theft_rate",
-                     "l2_interference_rate"):
+                     "l2_interference_rate", "prefetch_miss_rate"):
             if metrics[name] < 0.0:
                 self.error(
                     f"{path}.metrics.{name}", f"negative ({metrics[name]})"

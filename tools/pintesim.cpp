@@ -30,6 +30,7 @@
 #include "common/logging.hh"
 #include "common/trace_events.hh"
 #include "sim/experiment.hh"
+#include "sim/hotpath_bench.hh"
 #include "sim/journal.hh"
 #include "sim/options.hh"
 #include "sim/report.hh"
@@ -75,6 +76,12 @@ usage()
         "run\n"
         "      --resume FILE     journal completed runs in FILE and\n"
         "                        serve already-journaled runs from it\n"
+        "      --bench-baseline[=LABEL]  run the pinned hot-path\n"
+        "                        perf kernels best-of-N and merge the\n"
+        "                        batch into --out (default\n"
+        "                        BENCH_hotpath.json); see EXPERIMENTS.md\n"
+        "      --bench-reps N    repetitions per kernel (default 5)\n"
+        "      --bench-quick     smoke-test kernel sizes (perf.smoke)\n"
         "      --format FMT      output format: table json csv\n"
         "      --out FILE        write the report to FILE\n"
         "      --json            shorthand for --format=json\n"
@@ -100,6 +107,8 @@ pinteMain(int argc, char **argv)
     unsigned jobs = 0;
     double job_timeout = 0.0;
     std::string resume_path;
+    bool bench_baseline = false;
+    HotpathOptions bench_opt;
     double dram_factor = 0.0;
     PInteScope scope = PInteScope::LlcOnly;
     ReportFormat format = ReportFormat::Table;
@@ -179,6 +188,18 @@ pinteMain(int argc, char **argv)
                 a, inline_val ? *inline_val : ""));
         } else if (a == "--resume") {
             resume_path = need();
+        } else if (a == "--bench-baseline") {
+            // Label is optional: a bare --bench-baseline must not
+            // consume the next positional argument.
+            bench_baseline = true;
+            if (inline_val && !inline_val->empty())
+                bench_opt.label = *inline_val;
+        } else if (a == "--bench-reps") {
+            bench_opt.reps =
+                static_cast<unsigned>(parseCount(a, need()));
+        } else if (a == "--bench-quick") {
+            flag();
+            bench_opt.quick = true;
         } else if (a == "--format") {
             format = parseReportFormat(need());
         } else if (a == "--out") {
@@ -204,6 +225,33 @@ pinteMain(int argc, char **argv)
             usage();
             fatal("unknown option: " + a);
         }
+    }
+
+    if (bench_baseline) {
+        // tools/bench_baseline mode: measure the pinned hot-path
+        // kernels and merge the batch into the baseline document,
+        // replacing rows that carry the same label.
+        const std::string bench_out =
+            out_path.empty() ? "BENCH_hotpath.json" : out_path;
+        std::vector<HotpathEntry> merged =
+            loadHotpathBaseline(bench_out);
+        std::erase_if(merged, [&](const HotpathEntry &e) {
+            return e.label == bench_opt.label;
+        });
+        const auto batch = runHotpathSuite(bench_opt);
+        merged.insert(merged.end(), batch.begin(), batch.end());
+        Report bench_rep(ReportFormat::Json, bench_out,
+                         {"pintesim", hotpathMachine().fingerprint(),
+                          ExperimentParams{}});
+        bench_rep->table(hotpathTable(merged));
+        bench_rep.close();
+        for (const auto &e : batch)
+            std::fprintf(stderr,
+                         "bench-baseline: %-12s best %9.6f s  "
+                         "%12.0f /s\n",
+                         e.kernel.c_str(), e.bestWallSeconds,
+                         e.ratePerSecond);
+        return 0;
     }
 
     const WorkloadSpec spec = findWorkload(workload);
