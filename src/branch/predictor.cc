@@ -42,6 +42,23 @@ BranchPredictor::accuracy() const
 namespace
 {
 
+void
+putI16Vec(SnapshotWriter &w, const std::vector<std::int16_t> &v)
+{
+    w.put64(v.size());
+    for (const std::int16_t x : v)
+        w.put32(static_cast<std::uint32_t>(static_cast<std::int32_t>(x)));
+}
+
+void
+getI16Vec(SnapshotReader &r, std::vector<std::int16_t> &v)
+{
+    v.resize(r.get64());
+    for (std::int16_t &x : v)
+        x = static_cast<std::int16_t>(
+            static_cast<std::int32_t>(r.get32()));
+}
+
 /** Classic 2-bit saturating counter table indexed by IP bits. */
 class Bimodal : public BranchPredictor
 {
@@ -67,6 +84,19 @@ class Bimodal : public BranchPredictor
     }
 
     const char *name() const override { return "bimodal"; }
+
+  protected:
+    void
+    saveTableState(SnapshotWriter &w) const override
+    {
+        w.putVec8(table_);
+    }
+
+    void
+    loadTableState(SnapshotReader &r) override
+    {
+        table_ = r.getVec8();
+    }
 
   private:
     std::size_t index(Addr ip) const { return (ip >> 2) & mask_; }
@@ -102,6 +132,21 @@ class GShare : public BranchPredictor
     }
 
     const char *name() const override { return "gshare"; }
+
+  protected:
+    void
+    saveTableState(SnapshotWriter &w) const override
+    {
+        w.put64(history_);
+        w.putVec8(table_);
+    }
+
+    void
+    loadTableState(SnapshotReader &r) override
+    {
+        history_ = r.get64();
+        table_ = r.getVec8();
+    }
 
   private:
     std::size_t
@@ -150,6 +195,28 @@ class Perceptron : public BranchPredictor
     }
 
     const char *name() const override { return "perceptron"; }
+
+  protected:
+    void
+    saveTableState(SnapshotWriter &w) const override
+    {
+        w.put64(history_);
+        w.put32(static_cast<std::uint32_t>(lastOutput_));
+        w.put64(weights_.size());
+        for (const auto &row : weights_)
+            putI16Vec(w, row);
+    }
+
+    void
+    loadTableState(SnapshotReader &r) override
+    {
+        history_ = r.get64();
+        lastOutput_ = static_cast<int>(
+            static_cast<std::int32_t>(r.get32()));
+        weights_.resize(r.get64());
+        for (auto &row : weights_)
+            getI16Vec(r, row);
+    }
 
   private:
     static constexpr unsigned histLen = 24;
@@ -218,6 +285,23 @@ class HashedPerceptron : public BranchPredictor
     }
 
     const char *name() const override { return "hashed-perceptron"; }
+
+  protected:
+    void
+    saveTableState(SnapshotWriter &w) const override
+    {
+        w.put64(history_);
+        for (const auto &t : tables_)
+            putI16Vec(w, t);
+    }
+
+    void
+    loadTableState(SnapshotReader &r) override
+    {
+        history_ = r.get64();
+        for (auto &t : tables_)
+            getI16Vec(r, t);
+    }
 
   private:
     static constexpr unsigned numTables = 6;

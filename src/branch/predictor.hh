@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace pinte
@@ -79,6 +80,33 @@ class BranchPredictor
     /** Register lookup/correct counters and accuracy under `prefix`. */
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;
+
+    /**
+     * @name Checkpoint support
+     * The base serializes the accuracy counters, then dispatches to
+     * the subclass hooks for table/history state.
+     */
+    /// @{
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.put64(lookups_);
+        w.put64(correct_);
+        saveTableState(w);
+    }
+
+    void
+    loadState(SnapshotReader &r)
+    {
+        lookups_ = r.get64();
+        correct_ = r.get64();
+        loadTableState(r);
+    }
+    /// @}
+
+  protected:
+    virtual void saveTableState(SnapshotWriter &w) const { (void)w; }
+    virtual void loadTableState(SnapshotReader &r) { (void)r; }
 
   private:
     std::uint64_t lookups_ = 0;

@@ -613,6 +613,98 @@ Cache::access(const MemAccess &req)
 }
 
 void
+Cache::saveState(SnapshotWriter &w) const
+{
+    w.putVec64(lines_);
+    w.put64(owners_.size());
+    for (const CoreId o : owners_)
+        w.put32(o);
+    w.putVec64(validBits_);
+    w.putVec64(dirtyBits_);
+    w.putVec64(prefetchedBits_);
+    w.putVec64(wayMasks_);
+    w.putVec64(occupancy_);
+    w.put64(pending_.size());
+    for (const Pending &p : pending_) {
+        w.put64(p.line);
+        w.put64(p.ready);
+    }
+    w.putBool(inclusionCompromised_);
+    policy_->saveState(w);
+    if (prefetcher_)
+        prefetcher_->saveState(w);
+    for (const PerCoreCacheStats &s : stats_.perCore) {
+        w.put64(s.accesses);
+        w.put64(s.hits);
+        w.put64(s.misses);
+        w.put64(s.mergedMisses);
+        w.put64(s.loadAccesses);
+        w.put64(s.loadMisses);
+        w.put64(s.storeAccesses);
+        w.put64(s.storeMisses);
+        w.put64(s.writebacksIn);
+        w.put64(s.writebackMisses);
+        w.put64(s.writebacksOut);
+        w.put64(s.prefetchIssued);
+        w.put64(s.prefetchMisses);
+        w.put64(s.prefetchUseful);
+        w.put64(s.theftsCaused);
+        w.put64(s.theftsSuffered);
+        w.put64(s.mockedThefts);
+        w.put64(s.selfEvictions);
+    }
+    for (const Histogram &h : stats_.reuse)
+        w.putVec64(h.counts());
+    w.putVec64(stats_.missLatency.counts());
+}
+
+void
+Cache::loadState(SnapshotReader &r)
+{
+    lines_ = r.getVec64();
+    owners_.resize(r.get64());
+    for (CoreId &o : owners_)
+        o = r.get32();
+    validBits_ = r.getVec64();
+    dirtyBits_ = r.getVec64();
+    prefetchedBits_ = r.getVec64();
+    wayMasks_ = r.getVec64();
+    occupancy_ = r.getVec64();
+    pending_.resize(r.get64());
+    for (Pending &p : pending_) {
+        p.line = r.get64();
+        p.ready = r.get64();
+    }
+    inclusionCompromised_ = r.getBool();
+    policy_->loadState(r);
+    if (prefetcher_)
+        prefetcher_->loadState(r);
+    for (PerCoreCacheStats &s : stats_.perCore) {
+        s.accesses = r.get64();
+        s.hits = r.get64();
+        s.misses = r.get64();
+        s.mergedMisses = r.get64();
+        s.loadAccesses = r.get64();
+        s.loadMisses = r.get64();
+        s.storeAccesses = r.get64();
+        s.storeMisses = r.get64();
+        s.writebacksIn = r.get64();
+        s.writebackMisses = r.get64();
+        s.writebacksOut = r.get64();
+        s.prefetchIssued = r.get64();
+        s.prefetchMisses = r.get64();
+        s.prefetchUseful = r.get64();
+        s.theftsCaused = r.get64();
+        s.theftsSuffered = r.get64();
+        s.mockedThefts = r.get64();
+        s.selfEvictions = r.get64();
+    }
+    for (Histogram &h : stats_.reuse)
+        h = Histogram::fromCounts(r.getVec64());
+    stats_.missLatency = Log2Histogram::fromCounts(r.getVec64());
+}
+
+void
 Cache::auditSet(unsigned set) const
 {
     const std::string comp = "cache:" + config_.name;

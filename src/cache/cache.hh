@@ -187,6 +187,19 @@ class Cache : public MemoryLevel
     /** Static configuration. */
     const CacheConfig &config() const { return config_; }
 
+    /**
+     * @name Checkpoint support
+     * Serializes the complete mutable state — SoA block metadata,
+     * policy and prefetcher state, way masks, occupancy counters, the
+     * pending-fill table and every statistic — so a restored cache
+     * continues bit-identically (tests/test_checkpoint.cc pins this
+     * across the bitwise config matrix).
+     */
+    /// @{
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /// @}
+
   private:
     static constexpr std::uint64_t wayBit(unsigned way)
     { return std::uint64_t(1) << way; }

@@ -66,6 +66,21 @@ Histogram::toDistribution() const
     return p;
 }
 
+Log2Histogram
+Log2Histogram::fromCounts(const std::vector<std::uint64_t> &counts)
+{
+    Log2Histogram h;
+    h.counts_ = counts;
+    // Trim never-touched trailing buckets so a round-tripped histogram
+    // compares equal to the original (size() is highest used + 1).
+    while (!h.counts_.empty() && h.counts_.back() == 0)
+        h.counts_.pop_back();
+    h.total_ = 0;
+    for (const std::uint64_t c : h.counts_)
+        h.total_ += c;
+    return h;
+}
+
 void
 Log2Histogram::add(std::uint64_t value, std::uint64_t count)
 {

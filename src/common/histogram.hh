@@ -91,6 +91,13 @@ class Log2Histogram
   public:
     Log2Histogram() = default;
 
+    /**
+     * Rebuild from serialized bucket counts (checkpoint restore);
+     * index = bucket, exactly the counts() representation.
+     */
+    static Log2Histogram
+    fromCounts(const std::vector<std::uint64_t> &counts);
+
     /** Record `count` observations of `value`. */
     void add(std::uint64_t value, std::uint64_t count = 1);
 

@@ -11,6 +11,7 @@
 #ifndef PINTE_COMMON_RNG_HH
 #define PINTE_COMMON_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace pinte
@@ -53,6 +54,24 @@ class Rng
 
     /** Re-seed the generator, restarting the stream. */
     void reseed(std::uint64_t seed);
+
+    /** @name Checkpoint support (common/snapshot.hh) */
+    /// @{
+    /** The four xoshiro256** state words, s[0]..s[3]. */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    /** Restore a stream captured with state(). */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = s[i];
+    }
+    /// @}
 
   private:
     std::uint64_t s_[4];

@@ -28,6 +28,7 @@
 
 #include "cache/cache.hh"
 #include "common/rng.hh"
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace pinte
@@ -121,6 +122,35 @@ class PInte : public ReplacementHook
     /** Register engine activity counters under `prefix`. */
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;
+
+    /**
+     * @name Checkpoint support
+     * The RNG stream position plus the activity counters — everything
+     * a restored engine needs to continue bit-identically.
+     */
+    /// @{
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        saveRng(w, rng_);
+        w.put64(stats_.accessesSeen);
+        w.put64(stats_.triggers);
+        w.put64(stats_.promotions);
+        w.put64(stats_.invalidations);
+        w.put64(stats_.requestedEvicts);
+    }
+
+    void
+    loadState(SnapshotReader &r)
+    {
+        loadRng(r, rng_);
+        stats_.accessesSeen = r.get64();
+        stats_.triggers = r.get64();
+        stats_.promotions = r.get64();
+        stats_.invalidations = r.get64();
+        stats_.requestedEvicts = r.get64();
+    }
+    /// @}
 
   private:
     PInteConfig config_;

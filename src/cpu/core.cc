@@ -196,6 +196,166 @@ Core::runInstructions(InstCount n)
 }
 
 void
+Core::runInstructionsFunctional(InstCount n)
+{
+    // Drain in-flight work first so the record-conservation invariant
+    // (retired + in-ROB == records consumed) holds across the switch.
+    while (!rob_.empty()) {
+        cycle_ = std::max(cycle_, rob_.front());
+        rob_.pop_front();
+        ++retiredTotal_;
+        ++stats_.instructions;
+    }
+    lastRetireCycle_ = cycle_;
+    retireAllowance_ = 0;
+
+    for (InstCount i = 0; i < n; ++i) {
+        const TraceRecord rec = source_->next();
+        ++recordsConsumed_;
+        // Nominal one-IPC clock: keeps request timestamps monotone for
+        // the DRAM calendars without modeling the pipeline.
+        ++cycle_;
+        ++stats_.cycles;
+
+        if (l1i_) {
+            const Addr line = lineNumber(rec.ip);
+            if (line != lastFetchLine_) {
+                lastFetchLine_ = line;
+                MemAccess req;
+                req.addr = rec.ip;
+                req.ip = rec.ip;
+                req.core = id_;
+                req.type = AccessType::Instruction;
+                req.cycle = cycle_;
+                l1i_->access(req);
+            }
+        }
+
+        for (unsigned m = 0; m < rec.numLoads; ++m) {
+            MemAccess req;
+            req.addr = rec.loadAddr[m];
+            req.ip = rec.ip;
+            req.core = id_;
+            req.type = AccessType::Load;
+            req.cycle = cycle_;
+            if (l1d_)
+                l1d_->access(req);
+            ++stats_.loads;
+        }
+        for (unsigned m = 0; m < rec.numStores; ++m) {
+            MemAccess req;
+            req.addr = rec.storeAddr[m];
+            req.ip = rec.ip;
+            req.core = id_;
+            req.type = AccessType::Store;
+            req.cycle = cycle_;
+            if (l1d_)
+                l1d_->access(req);
+        }
+
+        if (rec.dstReg != noReg)
+            regReady_[rec.dstReg] = cycle_;
+
+        if (rec.isBranch) {
+            ++stats_.branches;
+            const bool pred = predictor_->predict(rec.ip);
+            predictor_->update(rec.ip, rec.branchTaken);
+            predictor_->recordOutcome(pred, rec.branchTaken);
+            if (pred != rec.branchTaken)
+                ++stats_.mispredicts;
+        }
+
+        ++retiredTotal_;
+        ++stats_.instructions;
+    }
+    lastRetireCycle_ = cycle_;
+    fetchStallUntil_ = std::min(fetchStallUntil_, cycle_);
+}
+
+void
+Core::skipInstructions(InstCount n)
+{
+    // Same mode-switch drain as the functional path.
+    while (!rob_.empty()) {
+        cycle_ = std::max(cycle_, rob_.front());
+        rob_.pop_front();
+        ++retiredTotal_;
+        ++stats_.instructions;
+    }
+    retireAllowance_ = 0;
+
+    source_->skip(n);
+    recordsConsumed_ += n;
+    retiredTotal_ += n;
+    stats_.instructions += n;
+    // Nominal one-IPC clock, as in functional mode, so timestamps of
+    // whatever runs next stay monotone.
+    cycle_ += n;
+    stats_.cycles += n;
+    lastRetireCycle_ = cycle_;
+    fetchStallUntil_ = std::min(fetchStallUntil_, cycle_);
+}
+
+void
+Core::saveState(SnapshotWriter &w) const
+{
+    w.put64(cycle_);
+    w.put64(retiredTotal_);
+    w.put64(recordsConsumed_);
+    w.put64(rob_.size());
+    for (const Cycle c : rob_)
+        w.put64(c);
+    for (const Cycle c : regReady_)
+        w.put64(c);
+    w.put64(fetchStallUntil_);
+    w.put64(lastRetireCycle_);
+    w.put64(retireAllowance_);
+    w.put64(lastFetchLine_);
+    w.putVec64(loadRing_);
+    w.put64(loadRingHead_);
+    w.put64(stats_.instructions);
+    w.put64(stats_.cycles);
+    w.put64(stats_.branches);
+    w.put64(stats_.mispredicts);
+    w.put64(stats_.loads);
+    w.put64(stats_.totalLoadLatency);
+    w.putVec64(stats_.mshrOccupancy.counts());
+    w.putVec64(stats_.robOccupancy.counts());
+    predictor_->saveState(w);
+    source_->saveState(w);
+}
+
+void
+Core::loadState(SnapshotReader &r)
+{
+    cycle_ = r.get64();
+    retiredTotal_ = r.get64();
+    recordsConsumed_ = r.get64();
+    rob_.clear();
+    const std::uint64_t rob_n = r.get64();
+    for (std::uint64_t i = 0; i < rob_n; ++i)
+        rob_.push_back(r.get64());
+    for (Cycle &c : regReady_)
+        c = r.get64();
+    fetchStallUntil_ = r.get64();
+    lastRetireCycle_ = r.get64();
+    retireAllowance_ = r.get64();
+    lastFetchLine_ = r.get64();
+    loadRing_ = r.getVec64();
+    loadRingHead_ = static_cast<std::size_t>(r.get64());
+    stats_.instructions = r.get64();
+    stats_.cycles = r.get64();
+    stats_.branches = r.get64();
+    stats_.mispredicts = r.get64();
+    stats_.loads = r.get64();
+    stats_.totalLoadLatency = r.get64();
+    stats_.mshrOccupancy = Log2Histogram::fromCounts(r.getVec64());
+    stats_.robOccupancy = Log2Histogram::fromCounts(r.getVec64());
+    predictor_->loadState(r);
+    source_->loadState(r);
+}
+
+void
 Core::audit() const
 {
     const std::string comp = "core" + std::to_string(id_);

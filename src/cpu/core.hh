@@ -124,6 +124,29 @@ class Core
     /** Run until `n` more instructions retire. */
     void runInstructions(InstCount n);
 
+    /**
+     * Functional warming: consume and retire `n` records without
+     * modeling pipeline timing. Caches (including replacement and
+     * prefetcher state), the branch predictor and the PInTE engines
+     * all observe the stream exactly as in detailed mode — only ROB
+     * occupancy, dependency stalls and load-latency accumulation are
+     * skipped, with the clock advancing one cycle per instruction.
+     * Any in-flight ROB entries are drained first so the
+     * record-conservation invariant holds across mode switches.
+     */
+    void runInstructionsFunctional(InstCount n);
+
+    /**
+     * Pure fast-forward: advance the trace past `n` records without
+     * simulating them — no cache, predictor or PInTE activity, just
+     * the stream position, retirement counters and a nominal one-IPC
+     * clock. The interval engine uses this between sampled intervals
+     * and re-warms state with runInstructionsFunctional() just before
+     * each detailed interval. Drains the ROB first so the
+     * record-conservation invariant holds across mode switches.
+     */
+    void skipInstructions(InstCount n);
+
     /** Local clock. */
     Cycle cycle() const { return cycle_; }
 
@@ -160,6 +183,17 @@ class Core
     const BranchPredictor &predictor() const { return *predictor_; }
 
     CoreId id() const { return id_; }
+
+    /**
+     * @name Checkpoint support
+     * Serializes the pipeline state (clock, ROB, register ready times,
+     * frontend/retire bookkeeping, load ring), the windowed stats, the
+     * branch predictor, and the trace source's stream position.
+     */
+    /// @{
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /// @}
 
   private:
     /** Retire completed ROB heads, honoring retire bandwidth. */

@@ -183,6 +183,52 @@ Dram::access(const MemAccess &req)
 }
 
 void
+Dram::saveState(SnapshotWriter &w) const
+{
+    for (const Bank &b : banks_) {
+        w.put64(b.openRow);
+        w.putBool(b.rowOpen);
+    }
+    for (const SlotCalendar &c : bankCal_)
+        c.saveState(w);
+    for (const SlotCalendar &c : busCal_)
+        c.saveState(w);
+    for (const PerCoreDramStats &s : stats_) {
+        w.put64(s.reads);
+        w.put64(s.writes);
+        w.put64(s.rowHits);
+        w.put64(s.rowMisses);
+        w.put64(s.rowConflicts);
+        w.put64(s.totalReadLatency);
+        w.put64(s.totalBankWait);
+        w.put64(s.totalBusWait);
+    }
+}
+
+void
+Dram::loadState(SnapshotReader &r)
+{
+    for (Bank &b : banks_) {
+        b.openRow = r.get64();
+        b.rowOpen = r.getBool();
+    }
+    for (SlotCalendar &c : bankCal_)
+        c.loadState(r);
+    for (SlotCalendar &c : busCal_)
+        c.loadState(r);
+    for (PerCoreDramStats &s : stats_) {
+        s.reads = r.get64();
+        s.writes = r.get64();
+        s.rowHits = r.get64();
+        s.rowMisses = r.get64();
+        s.rowConflicts = r.get64();
+        s.totalReadLatency = r.get64();
+        s.totalBankWait = r.get64();
+        s.totalBusWait = r.get64();
+    }
+}
+
+void
 Dram::audit() const
 {
     // Every access increments exactly one of reads/writes and exactly

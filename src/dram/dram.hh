@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cache/memory_level.hh"
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace pinte
@@ -121,6 +122,12 @@ class SlotCalendar
 
     Cycle granularity() const { return gran_; }
 
+    /** @name Checkpoint support (the booked-slot ring) */
+    /// @{
+    void saveState(SnapshotWriter &w) const { w.putVec64(booked_); }
+    void loadState(SnapshotReader &r) { booked_ = r.getVec64(); }
+    /// @}
+
   private:
     Cycle gran_;
     /** Absolute slot id + 1 occupying each ring entry; 0 = free. */
@@ -158,6 +165,16 @@ class Dram : public MemoryLevel
     void audit() const;
 
     const DramConfig &config() const { return config_; }
+
+    /**
+     * @name Checkpoint support
+     * Serializes bank open-row state, both slot calendars, and the
+     * per-core counters (geometry is rebuilt from configuration).
+     */
+    /// @{
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /// @}
 
   private:
     struct Bank

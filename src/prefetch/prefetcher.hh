@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace pinte
@@ -65,6 +66,32 @@ class Prefetcher
     /** Register this prefetcher's counters under `prefix`. */
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;
+
+    /**
+     * @name Checkpoint support
+     * The base serializes the issue counter, then dispatches to the
+     * subclass hooks for algorithm state (IP-stride's table; next-line
+     * is stateless).
+     */
+    /// @{
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.put64(issued_);
+        saveAlgorithmState(w);
+    }
+
+    void
+    loadState(SnapshotReader &r)
+    {
+        issued_ = r.get64();
+        loadAlgorithmState(r);
+    }
+    /// @}
+
+  protected:
+    virtual void saveAlgorithmState(SnapshotWriter &w) const { (void)w; }
+    virtual void loadAlgorithmState(SnapshotReader &r) { (void)r; }
 
   private:
     std::uint64_t issued_ = 0;

@@ -92,6 +92,31 @@ class IpStridePrefetcher final : public Prefetcher
 
     const char *name() const override { return "ip-stride"; }
 
+  protected:
+    void
+    saveAlgorithmState(SnapshotWriter &w) const override
+    {
+        for (const Entry &e : table_) {
+            w.put32(e.tag);
+            w.put64(e.lastLine);
+            w.put64(static_cast<std::uint64_t>(e.stride));
+            w.put8(e.confidence);
+            w.putBool(e.valid);
+        }
+    }
+
+    void
+    loadAlgorithmState(SnapshotReader &r) override
+    {
+        for (Entry &e : table_) {
+            e.tag = r.get32();
+            e.lastLine = r.get64();
+            e.stride = static_cast<std::int64_t>(r.get64());
+            e.confidence = r.get8();
+            e.valid = r.getBool();
+        }
+    }
+
   private:
     static constexpr unsigned tableBits = 8;
 

@@ -158,6 +158,20 @@ class LruPolicy final : public ReplacementPolicy
                               "rank byte set in an unused lane", set);
     }
 
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        w.putVec64(rank_);
+        w.putVec64(fresh_);
+    }
+
+    void
+    loadState(SnapshotReader &r) override
+    {
+        rank_ = r.getVec64();
+        fresh_ = r.getVec64();
+    }
+
     /**
      * Promote (set, way) to the MRU end (rank assoc-1): decrement
      * every rank above the way's old rank, then write assoc-1 into
@@ -258,6 +272,18 @@ class PseudoLruPolicy final : public ReplacementPolicy
     }
 
     const char *name() const override { return "pLRU"; }
+
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        w.putVecBool(bits_);
+    }
+
+    void
+    loadState(SnapshotReader &r) override
+    {
+        bits_ = r.getVecBool();
+    }
 
   private:
     bool
@@ -377,6 +403,30 @@ class NmruPolicy final : public ReplacementPolicy
 
     const char *name() const override { return "nMRU"; }
 
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        saveRng(w, rng_);
+        w.put64(mru_.size());
+        for (const unsigned m : mru_)
+            w.put32(m);
+        w.put64(cursor_.size());
+        for (const unsigned c : cursor_)
+            w.put32(c);
+    }
+
+    void
+    loadState(SnapshotReader &r) override
+    {
+        loadRng(r, rng_);
+        mru_.resize(r.get64());
+        for (unsigned &m : mru_)
+            m = r.get32();
+        cursor_.resize(r.get64());
+        for (unsigned &c : cursor_)
+            c = r.get32();
+    }
+
   private:
     Rng rng_;
     std::vector<unsigned> mru_;
@@ -440,6 +490,18 @@ class RripPolicy final : public ReplacementPolicy
     }
 
     const char *name() const override { return "RRIP"; }
+
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        w.putVec8(rrpv_);
+    }
+
+    void
+    loadState(SnapshotReader &r) override
+    {
+        rrpv_ = r.getVec8();
+    }
 
   private:
     std::uint8_t &at(unsigned s, unsigned w)
@@ -534,6 +596,22 @@ class DrripPolicy final : public ReplacementPolicy
     /** Current duel outcome (true = followers use BRRIP). */
     bool followersUseBrrip() const { return psel_ > pselMax / 2; }
 
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        saveRng(w, rng_);
+        w.put32(static_cast<std::uint32_t>(psel_));
+        w.putVec8(rrpv_);
+    }
+
+    void
+    loadState(SnapshotReader &r) override
+    {
+        loadRng(r, rng_);
+        psel_ = static_cast<int>(r.get32());
+        rrpv_ = r.getVec8();
+    }
+
   private:
     bool isSrripLeader(unsigned set) const
     { return set % duelPeriod == 0; }
@@ -578,6 +656,18 @@ class RandomPolicy final : public ReplacementPolicy
     }
 
     const char *name() const override { return "Random"; }
+
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        saveRng(w, rng_);
+    }
+
+    void
+    loadState(SnapshotReader &r) override
+    {
+        loadRng(r, rng_);
+    }
 
   private:
     Rng rng_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/snapshot.hh"
 
 namespace pinte
 {
@@ -99,6 +100,18 @@ class ReplacementPolicy
      * and call the base first.
      */
     virtual void auditSet(unsigned set) const;
+
+    /**
+     * @name Checkpoint support
+     * Serialize every mutable field in a fixed order (geometry is
+     * reconstructed from configuration, not stored). The base class
+     * has no mutable state, so the defaults are no-ops; every stateful
+     * policy overrides both.
+     */
+    /// @{
+    virtual void saveState(SnapshotWriter &w) const { (void)w; }
+    virtual void loadState(SnapshotReader &r) { (void)r; }
+    /// @}
 
     unsigned numSets() const { return numSets_; }
     unsigned assoc() const { return assoc_; }

@@ -28,6 +28,58 @@
 namespace pinte
 {
 
+/**
+ * How the interval engine schedules detailed execution across the ROI.
+ * Off runs everything detailed (the classic mode and the default).
+ * Periodic runs every (1/detailedFraction)-th interval detailed;
+ * Random draws each interval independently with a hash of
+ * (seed, interval index), so the schedule is stateless and identical
+ * on resume from a checkpoint.
+ */
+enum class SampleMode
+{
+    Off,
+    Periodic,
+    Random,
+};
+
+/** Printable name for a sample mode. */
+const char *toString(SampleMode m);
+
+/** Parse "off" / "periodic" / "random"; throws ConfigError otherwise. */
+SampleMode parseSampleMode(const std::string &text);
+
+/** Interval-engine schedule parameters (ExperimentParams::sampling). */
+struct SamplingParams
+{
+    SampleMode mode = SampleMode::Off;
+
+    /** Instructions (core 0) per interval. */
+    InstCount intervalLength = 10000;
+
+    /**
+     * Share of intervals run in detailed mode, (0, 1]. The rest
+     * fast-forward in functional-warming mode (caches, predictors and
+     * PInTE engines stay warm; timing is skipped).
+     */
+    double detailedFraction = 0.1;
+
+    /** Seed of the stateless interval-selection hash (Random mode). */
+    std::uint64_t seed = 1;
+
+    bool enabled() const { return mode != SampleMode::Off; }
+};
+
+/**
+ * Decide whether interval `k` of a sampled run executes detailed.
+ * Pure function of (params, k): resuming a checkpointed run or
+ * re-running the same config reproduces the exact schedule. Interval
+ * 0 is always detailed in Periodic mode (anchor); Random mode draws
+ * from a splitmix64 hash so the long-run detailed share converges to
+ * detailedFraction.
+ */
+bool intervalIsDetailed(const SamplingParams &sp, std::uint64_t k);
+
 /** One periodic sample of run-time metrics (Fig 7's five metrics). */
 struct Sample
 {
@@ -107,12 +159,48 @@ struct HistogramData
     std::uint64_t total = 0;           //!< observations recorded
 };
 
+/** One extrapolated statistic of a sampled run, with its error bar. */
+struct SampledStat
+{
+    std::string name;  //!< e.g. "ipc", "llc_mpki"
+    double mean = 0.0; //!< mean over detailed intervals
+    double ci95 = 0.0; //!< 95% confidence half-width (1.96 * SEM)
+};
+
+/**
+ * Whole-run estimates of a sampled (interval-engine) run: each metric
+ * is measured per detailed interval and extrapolated as mean +/- 95%
+ * CI over those intervals. Empty (enabled() false) when the run
+ * executed fully detailed, in which case reports omit the section and
+ * schema v4 output is field-identical to v3.
+ */
+struct SampledStats
+{
+    SampleMode mode = SampleMode::Off;
+    InstCount intervalLength = 0;
+    double detailedFraction = 0.0;
+    std::uint64_t intervals = 0;          //!< total ROI intervals
+    std::uint64_t detailedIntervals = 0;  //!< intervals run detailed
+    InstCount detailedInstructions = 0;   //!< instructions measured
+    InstCount totalInstructions = 0;      //!< whole ROI (core 0)
+    std::vector<SampledStat> stats;
+
+    bool enabled() const { return mode != SampleMode::Off; }
+};
+
 /** Everything one run produces. */
 struct RunResult
 {
     std::string workload;
     std::string contention; //!< "isolation", "pinte@p", or peer name
     RunMetrics metrics;
+    /**
+     * Interval-engine estimates with error bars; enabled() only when
+     * the run used a sampled schedule. When enabled, `metrics` mixes
+     * functional and detailed phases (its cycle-derived fields are not
+     * meaningful) and `sampled` carries the reportable numbers.
+     */
+    SampledStats sampled;
     std::vector<Sample> samples;
     Histogram reuse{16};    //!< LLC reuse positions (0 = MRU end)
     PInteStats pinte;
@@ -184,6 +272,26 @@ struct ExperimentParams
      * field-identical to schema v2 output.
      */
     std::uint64_t sampleIntervalCycles = 0;
+
+    /**
+     * Interval-engine schedule (pintesim --sample-mode). Off runs the
+     * whole ROI detailed; Periodic/Random alternate functional
+     * fast-forward with detailed intervals and extrapolate whole-run
+     * metrics with confidence intervals (RunResult::sampled).
+     */
+    SamplingParams sampling;
+
+    /**
+     * Architectural checkpoint file for intra-run resume (pintesim
+     * --checkpoint). When set, the ROI loop writes a snapshot every
+     * `checkpointEvery` instructions (at step boundaries), and a run
+     * that finds a valid snapshot at this path resumes from it
+     * instead of re-warming. Empty disables checkpointing. Mutually
+     * exclusive with sampleIntervalCycles: the time-series sampler is
+     * not serialized.
+     */
+    std::string checkpointPath;
+    InstCount checkpointEvery = 0;
 };
 
 /**
@@ -336,104 +444,6 @@ RunMetrics computeRunMetrics(const System &sys, unsigned c);
  * reference the registry-derived computation is verified against.
  */
 RunMetrics computeRunMetricsLegacy(const System &sys, unsigned c);
-
-/** @name Deprecated entry points
- * Thin wrappers over ExperimentSpec, kept for one PR so callers can
- * migrate incrementally. Each forwards to the builder chain named in
- * its deprecation message.
- */
-/// @{
-
-/** Run `spec` alone on `machine`. */
-[[deprecated("use ExperimentSpec(machine).workload(spec).run()")]]
-inline RunResult
-runIsolation(const WorkloadSpec &spec, MachineConfig machine,
-             const ExperimentParams &params = {})
-{
-    return ExperimentSpec(std::move(machine))
-        .workload(spec)
-        .params(params)
-        .run();
-}
-
-/** Run `spec` alone with PInTE inducing at probability `p_induce`. */
-[[deprecated(
-    "use ExperimentSpec(machine).workload(spec).pinte(p).run()")]]
-inline RunResult
-runPInte(const WorkloadSpec &spec, double p_induce,
-         MachineConfig machine, const ExperimentParams &params = {})
-{
-    return ExperimentSpec(std::move(machine))
-        .workload(spec)
-        .pinte(p_induce)
-        .params(params)
-        .run();
-}
-
-/** PInTE plus the section IV-B DRAM complement. */
-[[deprecated("use ExperimentSpec(machine).workload(spec).pinte(p)"
-             ".dramComplement(factor).run()")]]
-inline RunResult
-runPInteDramComplement(const WorkloadSpec &spec, double p_induce,
-                       MachineConfig machine,
-                       const ExperimentParams &params = {},
-                       double dram_factor = 60.0)
-{
-    return ExperimentSpec(std::move(machine))
-        .workload(spec)
-        .pinte(p_induce)
-        .dramComplement(dram_factor)
-        .params(params)
-        .run();
-}
-
-/** PInTE installed at the requested scope. */
-[[deprecated("use ExperimentSpec(machine).workload(spec).pinte(p)"
-             ".scope(s).run()")]]
-inline RunResult
-runPInteScoped(const WorkloadSpec &spec, double p_induce,
-               PInteScope scope, MachineConfig machine,
-               const ExperimentParams &params = {})
-{
-    return ExperimentSpec(std::move(machine))
-        .workload(spec)
-        .pinte(p_induce)
-        .scope(scope)
-        .params(params)
-        .run();
-}
-
-/**
- * Run two workloads sharing the LLC (the 2nd-Trace method). Returns a
- * RunResult per core; result[0] is the workload under study.
- */
-[[deprecated("use ExperimentSpec(machine).workload(a).secondTrace(b)"
-             ".runAll()")]]
-inline std::pair<RunResult, RunResult>
-runPair(const WorkloadSpec &a, const WorkloadSpec &b,
-        MachineConfig machine, const ExperimentParams &params = {})
-{
-    auto all = ExperimentSpec(std::move(machine))
-                   .workload(a)
-                   .secondTrace(b)
-                   .params(params)
-                   .runAll();
-    return {std::move(all[0]), std::move(all[1])};
-}
-
-/** Run an N-workload mix, one core each. */
-[[deprecated("use ExperimentSpec(machine).mix(specs).runAll()")]]
-inline std::vector<RunResult>
-runMix(const std::vector<WorkloadSpec> &specs, MachineConfig machine,
-       const ExperimentParams &params = {})
-{
-    return ExperimentSpec(std::move(machine))
-        .mix(specs)
-        .params(params)
-        .runAll();
-}
-
-/// @}
 
 /** Weighted IPC (eq. 1): contention IPC over isolation IPC. */
 inline double

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include "common/json.hh"
 #include "common/rng.hh"
 #include "replacement/policy.hh"
+#include "sim/experiment.hh"
 #include "sim/machine.hh"
 #include "trace/generator.hh"
 #include "trace/trace_io.hh"
@@ -105,6 +107,29 @@ hotpathEndToEndOnce(const std::string &trace_path,
 }
 
 std::uint64_t
+hotpathFastForwardOnce(const std::string &trace_path,
+                       std::uint64_t instructions)
+{
+    // The interval engine's functional-warming phase: identical
+    // machine and trace to end_to_end, cycle timing skipped. The
+    // rate ratio between this row and end_to_end is the fast-forward
+    // speedup the sampled schedules bank on.
+    FileTraceSource src(trace_path);
+    System sys(hotpathMachine(), {&src});
+    sys.setExecMode(ExecMode::FunctionalWarming);
+    sys.runUntilCore0(instructions);
+    std::uint64_t sum = 0;
+    sum = fold(sum, sys.core(0).stats().instructions);
+    sum = fold(sum, sys.llc().stats().totalAccesses());
+    sum = fold(sum, sys.llc().stats().totalMisses());
+    if (const PInte *engine = sys.pinte()) {
+        sum = fold(sum, engine->stats().triggers);
+        sum = fold(sum, engine->stats().invalidations);
+    }
+    return sum;
+}
+
+std::uint64_t
 hotpathCacheAccessOnce(std::uint64_t accesses)
 {
     CacheConfig cfg;
@@ -168,6 +193,67 @@ hotpathLruPromoteOnce(std::uint64_t ops)
     return sum;
 }
 
+namespace
+{
+
+/**
+ * Shared scale parameters for the paired detailed_run/sampled_run
+ * kernels: identical warmup and ROI so the two rows' rate ratio IS
+ * the interval engine's end-to-end speedup at a detailed fraction of
+ * 5% (acceptance bar: >= 5x at a fraction <= 10%, with the sampled
+ * estimates inside their own error bars of the detailed run).
+ */
+ExperimentParams
+acceptanceParams(std::uint64_t instructions)
+{
+    ExperimentParams p;
+    p.warmup = instructions / 30;
+    p.roi = instructions;
+    p.sampleEvery = std::max<std::uint64_t>(1, instructions / 10);
+    return p;
+}
+
+std::uint64_t
+foldRun(const RunResult &r)
+{
+    std::uint64_t sum = 0;
+    sum = fold(sum, r.metrics.llcAccesses);
+    sum = fold(sum, r.metrics.llcMisses);
+    sum = fold(sum, r.pinte.accessesSeen);
+    sum = fold(sum, r.pinte.triggers);
+    sum = fold(sum, r.sampled.detailedIntervals);
+    return sum;
+}
+
+} // namespace
+
+std::uint64_t
+hotpathDetailedRunOnce(std::uint64_t instructions)
+{
+    const RunResult r = ExperimentSpec(hotpathMachine())
+                            .workload(findWorkload("450.soplex"))
+                            .pinte(0.2)
+                            .params(acceptanceParams(instructions))
+                            .run();
+    return foldRun(r);
+}
+
+std::uint64_t
+hotpathSampledRunOnce(std::uint64_t instructions)
+{
+    ExperimentParams p = acceptanceParams(instructions);
+    p.sampling.mode = SampleMode::Periodic;
+    p.sampling.intervalLength =
+        std::max<std::uint64_t>(400, instructions / 150);
+    p.sampling.detailedFraction = 0.05;
+    const RunResult r = ExperimentSpec(hotpathMachine())
+                            .workload(findWorkload("450.soplex"))
+                            .pinte(0.2)
+                            .params(p)
+                            .run();
+    return foldRun(r);
+}
+
 const char *
 hotpathTableName()
 {
@@ -206,6 +292,9 @@ runHotpathSuite(const HotpathOptions &opt)
     out.push_back(bestOf(opt, "end_to_end", instr, [&] {
         return hotpathEndToEndOnce(trace.path(), instr);
     }));
+    out.push_back(bestOf(opt, "fast_forward", instr, [&] {
+        return hotpathFastForwardOnce(trace.path(), instr);
+    }));
     out.push_back(bestOf(opt, "cache_access", cache_ops, [&] {
         return hotpathCacheAccessOnce(cache_ops);
     }));
@@ -214,6 +303,12 @@ runHotpathSuite(const HotpathOptions &opt)
     }));
     out.push_back(bestOf(opt, "lru_promote", promote_ops, [&] {
         return hotpathLruPromoteOnce(promote_ops);
+    }));
+    out.push_back(bestOf(opt, "detailed_run", instr, [&] {
+        return hotpathDetailedRunOnce(instr);
+    }));
+    out.push_back(bestOf(opt, "sampled_run", instr, [&] {
+        return hotpathSampledRunOnce(instr);
     }));
     return out;
 }

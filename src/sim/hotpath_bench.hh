@@ -93,6 +93,10 @@ std::vector<HotpathEntry> runHotpathSuite(const HotpathOptions &opt);
 /// @{
 std::uint64_t hotpathEndToEndOnce(const std::string &trace_path,
                                   std::uint64_t instructions);
+std::uint64_t hotpathFastForwardOnce(const std::string &trace_path,
+                                     std::uint64_t instructions);
+std::uint64_t hotpathDetailedRunOnce(std::uint64_t instructions);
+std::uint64_t hotpathSampledRunOnce(std::uint64_t instructions);
 std::uint64_t hotpathCacheAccessOnce(std::uint64_t accesses);
 std::uint64_t hotpathTraceDecodeOnce(const std::string &trace_path,
                                      std::uint64_t records);

@@ -18,11 +18,22 @@ journalKey(const std::string &fingerprint,
            const ExperimentParams &params, const std::string &workload,
            const std::string &contention)
 {
-    return fingerprint + "|w" + std::to_string(params.warmup) + "|r" +
-           std::to_string(params.roi) + "|s" +
-           std::to_string(params.sampleEvery) + "|seed" +
-           std::to_string(params.runSeed) + "|" + workload + "|" +
-           contention;
+    std::string key = fingerprint + "|w" +
+                      std::to_string(params.warmup) + "|r" +
+                      std::to_string(params.roi) + "|s" +
+                      std::to_string(params.sampleEvery) + "|seed" +
+                      std::to_string(params.runSeed);
+    // Sampled and detailed runs of the same workload must never serve
+    // each other's journal entries: the sampling parameters are part of
+    // the run's identity. Appended only when sampling is on so every
+    // pre-existing journal (all detailed) keeps resolving.
+    if (params.sampling.enabled()) {
+        key += std::string("|sm") + toString(params.sampling.mode) +
+               "|il" + std::to_string(params.sampling.intervalLength) +
+               "|df" + std::to_string(params.sampling.detailedFraction) +
+               "|ss" + std::to_string(params.sampling.seed);
+    }
+    return key + "|" + workload + "|" + contention;
 }
 
 RunJournal::RunJournal(const std::string &path) : path_(path)

@@ -1,5 +1,7 @@
 #include "machine.hh"
 
+#include <algorithm>
+
 #include "common/error.hh"
 #include "common/invariant.hh"
 #include "common/logging.hh"
@@ -199,6 +201,16 @@ toString(PInteScope s)
     return "unknown";
 }
 
+const char *
+toString(ExecMode m)
+{
+    switch (m) {
+      case ExecMode::FunctionalWarming: return "functional-warming";
+      case ExecMode::Detailed: return "detailed";
+    }
+    return "unknown";
+}
+
 std::vector<PInte *>
 System::allPinteEngines()
 {
@@ -230,6 +242,26 @@ System::runQuantum(Cycle quantum)
 void
 System::runUntilCore0(InstCount more)
 {
+    if (mode_ == ExecMode::FunctionalWarming) {
+        // No timing to arbitrate: advance every core by the same
+        // instruction count, interleaved in chunks so the shared LLC
+        // and PInTE engines still see the streams mixed.
+        constexpr InstCount chunk = 1024;
+        InstCount done = 0;
+        while (done < more) {
+            const InstCount step = std::min(chunk, more - done);
+            for (auto &core : cores_)
+                core->runInstructionsFunctional(step);
+            done += step;
+            JobWatchdog::heartbeat(cores_[0]->retired());
+        }
+        if (Paranoid::on()) {
+            audit();
+            auditStats();
+        }
+        return;
+    }
+
     const InstCount target = cores_[0]->retired() + more;
     // Shrink the quantum near the target so sample boundaries land
     // within a few instructions of the requested count.
@@ -244,8 +276,29 @@ System::runUntilCore0(InstCount more)
 }
 
 void
+System::fastForwardCore0(InstCount more)
+{
+    for (auto &core : cores_)
+        core->skipInstructions(more);
+    JobWatchdog::heartbeat(cores_[0]->retired());
+    if (Paranoid::on()) {
+        audit();
+        auditStats();
+    }
+}
+
+void
 System::warmup(InstCount per_core)
 {
+    if (mode_ == ExecMode::FunctionalWarming) {
+        // Functional warming IS the warmup: microarchitectural state
+        // (caches, predictors, PInTE) warms without paying for the
+        // timing model, and the mode branch in runUntilCore0 already
+        // interleaves every core fairly.
+        runUntilCore0(per_core);
+        clearAllStats();
+        return;
+    }
     if (numCores() == 1) {
         cores_[0]->runInstructions(per_core);
     } else {
@@ -446,6 +499,74 @@ StatTimeseries
 System::timeseries() const
 {
     return sampler_ ? sampler_->series() : StatTimeseries{};
+}
+
+void
+System::saveState(SnapshotWriter &w) const
+{
+    // Fixed component order; loadState mirrors it exactly. Geometry is
+    // never stored — both sides are constructed from the same config,
+    // which the on-disk wrapper pins via the machine fingerprint.
+    w.put32(static_cast<std::uint32_t>(numCores()));
+    for (unsigned i = 0; i < numCores(); ++i) {
+        cores_[i]->saveState(w);
+        l1i_[i]->saveState(w);
+        l1d_[i]->saveState(w);
+        l2_[i]->saveState(w);
+    }
+    llc_->saveState(w);
+    dram_->saveState(w);
+    w.put32(static_cast<std::uint32_t>(engines_.size()));
+    for (const auto &e : engines_)
+        e->saveState(w);
+}
+
+void
+System::loadState(SnapshotReader &r)
+{
+    const std::uint32_t cores = r.get32();
+    if (cores != numCores())
+        throw SimError("checkpoint core count mismatch",
+                       {"snapshot", "", std::to_string(cores)});
+    for (unsigned i = 0; i < numCores(); ++i) {
+        cores_[i]->loadState(r);
+        l1i_[i]->loadState(r);
+        l1d_[i]->loadState(r);
+        l2_[i]->loadState(r);
+    }
+    llc_->loadState(r);
+    dram_->loadState(r);
+    const std::uint32_t engines = r.get32();
+    if (engines != engines_.size())
+        throw SimError("checkpoint engine count mismatch",
+                       {"snapshot", "", std::to_string(engines)});
+    for (auto &e : engines_)
+        e->loadState(r);
+    if (Paranoid::on()) {
+        audit();
+        auditStats();
+    }
+}
+
+void
+System::snapshot(const std::string &path) const
+{
+    SnapshotWriter w;
+    saveState(w);
+    writeSnapshotFile(path, config_.fingerprint(), w.bytes());
+}
+
+void
+System::restore(const std::string &path)
+{
+    std::vector<std::uint8_t> payload =
+        readSnapshotFile(path, config_.fingerprint());
+    SnapshotReader r(std::move(payload));
+    loadState(r);
+    if (!r.exhausted())
+        throw SimError("checkpoint has trailing bytes",
+                       {"snapshot", path,
+                        std::to_string(r.remaining())});
 }
 
 void

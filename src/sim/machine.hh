@@ -42,6 +42,26 @@ enum class PInteScope
 /** Printable name for a PInTE scope. */
 const char *toString(PInteScope s);
 
+/**
+ * Execution mode of the interval engine.
+ *
+ * FunctionalWarming consumes the instruction stream without modeling
+ * pipeline timing: caches (tags, replacement state, prefetchers),
+ * branch predictors and PInTE engines all observe every access, but
+ * the clock ticks one cycle per instruction and no stall or latency
+ * accounting happens. Detailed is the full ROB-based timing model.
+ * Sampled simulation alternates the two (see ExperimentParams::
+ * sampling); reported timing metrics must come from Detailed phases.
+ */
+enum class ExecMode
+{
+    FunctionalWarming,
+    Detailed,
+};
+
+/** Printable name for an execution mode. */
+const char *toString(ExecMode m);
+
 /** Configuration of the full simulated machine. */
 struct MachineConfig
 {
@@ -101,11 +121,34 @@ class System
     System(const MachineConfig &config,
            std::vector<TraceSource *> sources);
 
+    /**
+     * @name Mode-driven execution
+     * runUntilCore0 honors the current mode: Detailed runs the timing
+     * model in round-robin cycle quanta; FunctionalWarming advances
+     * every core by the same instruction count in interleaved chunks
+     * (there is no timing to arbitrate, so instruction-count lockstep
+     * is the fair interleave).
+     */
+    /// @{
+    void setExecMode(ExecMode mode) { mode_ = mode; }
+    ExecMode execMode() const { return mode_; }
+    /// @}
+
     /** Advance every core by `quantum` cycles, round-robin. */
     void runQuantum(Cycle quantum = 512);
 
     /** Run until core 0 retires `more` additional instructions. */
     void runUntilCore0(InstCount more);
+
+    /**
+     * Fast-forward every core past `more` instructions without
+     * simulating them: trace streams and retirement counters advance,
+     * caches, predictors, PInTE engines and DRAM see nothing. The
+     * interval engine uses this between sampled intervals and re-warms
+     * microarchitectural state (FunctionalWarming) for the interval
+     * preceding each detailed one.
+     */
+    void fastForwardCore0(InstCount more);
 
     /** Run warmup then drop all statistics. */
     void warmup(InstCount per_core);
@@ -198,6 +241,27 @@ class System
 
     /** The recorded series; empty when sampling was never started. */
     StatTimeseries timeseries() const;
+
+    /** True once startSampling() has armed the periodic snapshotter. */
+    bool samplingActive() const { return sampler_ != nullptr; }
+    /// @}
+
+    /**
+     * @name Architectural checkpoints
+     * saveState/loadState serialize every component in a fixed order
+     * (cores with their predictors and trace sources, then L1I/L1D/L2
+     * per core, the LLC, DRAM, and each PInTE engine); snapshot() and
+     * restore() wrap them in the versioned on-disk format
+     * (common/snapshot.hh) keyed by the machine fingerprint, so a
+     * restore into a differently-configured System is rejected before
+     * any state is touched. The StatSampler timeseries is NOT part of
+     * a checkpoint; the experiment layer rejects the combination.
+     */
+    /// @{
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    void snapshot(const std::string &path) const;
+    void restore(const std::string &path);
     /// @}
 
   private:
@@ -217,6 +281,8 @@ class System
 
     /** Cycles advanced since the last paranoid sweep. */
     Cycle cyclesSinceAudit_ = 0;
+
+    ExecMode mode_ = ExecMode::Detailed;
 };
 
 } // namespace pinte

@@ -82,6 +82,14 @@ TableSink::run(const RunResult &r)
         t.addRow({"PInTE invalidations",
                   std::to_string(r.pinte.invalidations)});
     }
+    if (r.sampled.enabled()) {
+        t.addRow({"sampled intervals",
+                  std::to_string(r.sampled.detailedIntervals) + "/" +
+                      std::to_string(r.sampled.intervals) + " detailed"});
+        for (const SampledStat &s : r.sampled.stats)
+            t.addRow({s.name + " (sampled)",
+                      fmt(s.mean, 4) + " ± " + fmt(s.ci95, 4)});
+    }
     t.print(os_);
     os_ << "\n";
 }
@@ -196,6 +204,31 @@ writeRunJson(JsonWriter &w, const RunResult &r)
     w.member("requested_evicts", r.pinte.requestedEvicts);
     w.endObject();
     w.member("cpu_seconds", r.cpuSeconds);
+    // Interval-engine estimates (schema v4); omitted for fully
+    // detailed runs so their documents keep the v3 shape.
+    if (r.sampled.enabled()) {
+        const SampledStats &sd = r.sampled;
+        w.key("sampled");
+        w.beginObject();
+        w.member("mode", toString(sd.mode));
+        w.member("interval_length", sd.intervalLength);
+        w.member("detailed_fraction", sd.detailedFraction);
+        w.member("intervals", sd.intervals);
+        w.member("detailed_intervals", sd.detailedIntervals);
+        w.member("detailed_instructions", sd.detailedInstructions);
+        w.member("total_instructions", sd.totalInstructions);
+        w.key("stats");
+        w.beginArray();
+        for (const SampledStat &s : sd.stats) {
+            w.beginObject();
+            w.member("name", s.name);
+            w.member("mean", s.mean);
+            w.member("ci95", s.ci95);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
     // Observability payloads (schema v3). Both are omitted when empty
     // so a sampling-off document carries exactly the v2 fields.
     if (!r.timeseries.empty()) {
@@ -309,6 +342,28 @@ runFromJson(const JsonValue &v)
     r.pinte.invalidations = pv.at("invalidations").asU64();
     r.pinte.requestedEvicts = pv.at("requested_evicts").asU64();
     r.cpuSeconds = v.at("cpu_seconds").asDouble();
+    // v4 interval-engine payload: absent in older documents and in v4
+    // documents from fully detailed runs.
+    if (const JsonValue *sd = v.find("sampled")) {
+        r.sampled.mode = parseSampleMode(sd->at("mode").asString());
+        r.sampled.intervalLength = sd->at("interval_length").asU64();
+        r.sampled.detailedFraction =
+            sd->at("detailed_fraction").asDouble();
+        r.sampled.intervals = sd->at("intervals").asU64();
+        r.sampled.detailedIntervals =
+            sd->at("detailed_intervals").asU64();
+        r.sampled.detailedInstructions =
+            sd->at("detailed_instructions").asU64();
+        r.sampled.totalInstructions =
+            sd->at("total_instructions").asU64();
+        for (const JsonValue &sv : sd->at("stats").array) {
+            SampledStat s;
+            s.name = sv.at("name").asString();
+            s.mean = sv.at("mean").asDouble();
+            s.ci95 = sv.at("ci95").asDouble();
+            r.sampled.stats.push_back(std::move(s));
+        }
+    }
     // v3 observability payloads are optional: absent in v2 documents
     // and in v3 documents produced without sampling / histograms.
     if (const JsonValue *ts = v.find("timeseries")) {
@@ -378,6 +433,16 @@ JsonSink::close()
     w.member("run_seed", meta_.params.runSeed);
     if (meta_.params.sampleIntervalCycles)
         w.member("sample_interval", meta_.params.sampleIntervalCycles);
+    if (meta_.params.sampling.enabled()) {
+        const SamplingParams &sp = meta_.params.sampling;
+        w.key("sampling");
+        w.beginObject();
+        w.member("mode", toString(sp.mode));
+        w.member("interval_length", sp.intervalLength);
+        w.member("detailed_fraction", sp.detailedFraction);
+        w.member("seed", sp.seed);
+        w.endObject();
+    }
     w.endObject();
     w.key("notes");
     w.beginArray();
@@ -494,6 +559,13 @@ CsvSink::close()
         << " run_seed: " << meta_.params.runSeed;
     if (meta_.params.sampleIntervalCycles)
         os_ << " sample_interval: " << meta_.params.sampleIntervalCycles;
+    if (meta_.params.sampling.enabled()) {
+        const SamplingParams &sp = meta_.params.sampling;
+        os_ << " sampling: " << toString(sp.mode)
+            << " interval_length: " << sp.intervalLength
+            << " detailed_fraction: " << jsonNumber(sp.detailedFraction)
+            << " sampling_seed: " << sp.seed;
+    }
     os_ << "\n";
     for (const auto &n : notes_)
         os_ << "# note: " << n << "\n";
@@ -537,6 +609,22 @@ CsvSink::close()
                 << r.pinte.triggers << "," << r.pinte.invalidations
                 << "," << jsonNumber(r.cpuSeconds) << ",,\n";
         }
+    }
+
+    // Interval-engine estimates (schema v4): one section per sampled
+    // run, absent for fully detailed runs.
+    for (const auto &r : runs_) {
+        if (!r.sampled.enabled())
+            continue;
+        const SampledStats &sd = r.sampled;
+        os_ << "# sampled: " << csvField(r.workload) << " vs "
+            << csvField(r.contention) << " mode " << toString(sd.mode)
+            << " detailed_intervals " << sd.detailedIntervals << "/"
+            << sd.intervals << "\n";
+        os_ << "stat,mean,ci95\n";
+        for (const SampledStat &s : sd.stats)
+            os_ << csvField(s.name) << "," << jsonNumber(s.mean) << ","
+                << jsonNumber(s.ci95) << "\n";
     }
 
     // Observability sections (schema v3): one wide table per recorded

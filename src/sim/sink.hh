@@ -56,8 +56,15 @@ const char *toString(ReportFormat f);
  * and a "sample_interval" config field (present only when nonzero).
  * All three are omitted when empty, so a v3 document produced with
  * sampling off carries exactly the v2 fields.
+ *
+ * v4 adds the interval-engine payloads: a per-run "sampled" object
+ * (schedule parameters plus per-metric mean and 95% CI half-width
+ * over the detailed intervals) and a "sampling" config object
+ * (mode / interval_length / detailed_fraction / seed). Both are
+ * present only when the run used a sampled schedule, so a v4 document
+ * produced without sampling carries exactly the v3 fields.
  */
-constexpr int reportSchemaVersion = 3;
+constexpr int reportSchemaVersion = 4;
 
 /** One typed table cell: display text plus the underlying value. */
 struct Cell

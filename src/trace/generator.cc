@@ -17,6 +17,20 @@ constexpr Addr instBytes = 4;
 
 } // namespace
 
+void
+TraceSource::saveState(SnapshotWriter &) const
+{
+    throw SimError("trace source does not support checkpointing",
+                   {"trace", "", ""});
+}
+
+void
+TraceSource::loadState(SnapshotReader &)
+{
+    throw SimError("trace source does not support checkpointing",
+                   {"trace", "", ""});
+}
+
 TraceGenerator::TraceGenerator(WorkloadSpec spec, std::uint64_t run_seed)
     : spec_(std::move(spec)), runSeed_(run_seed),
       rng_(spec_.seed * 0x100000001b3ull + run_seed)
@@ -237,6 +251,49 @@ TraceGenerator::next()
 
     ++generated_;
     return r;
+}
+
+void
+TraceGenerator::saveState(SnapshotWriter &w) const
+{
+    saveRng(w, rng_);
+    w.put64(generated_);
+    w.put64(seqCursor_);
+    w.put64(strideCursor_);
+    w.put64(chaseCursor_);
+    w.put32(siteIdx_);
+    w.put64(ip_);
+    w.put32(blockPos_);
+    w.put32(recentHead_);
+    for (const std::uint8_t reg : recentRegs_)
+        w.put8(reg);
+    // Only the loop trip counters mutate after construction; the site
+    // layout is rebuilt deterministically from the spec.
+    w.put64(sites_.size());
+    for (const BranchSite &s : sites_)
+        w.put32(s.counter);
+}
+
+void
+TraceGenerator::loadState(SnapshotReader &r)
+{
+    loadRng(r, rng_);
+    generated_ = r.get64();
+    seqCursor_ = r.get64();
+    strideCursor_ = r.get64();
+    chaseCursor_ = r.get64();
+    siteIdx_ = r.get32();
+    ip_ = r.get64();
+    blockPos_ = r.get32();
+    recentHead_ = r.get32();
+    for (std::uint8_t &reg : recentRegs_)
+        reg = r.get8();
+    const std::uint64_t nsites = r.get64();
+    if (nsites != sites_.size())
+        throw SimError("checkpoint branch-site count mismatch",
+                       {"generator", "", std::to_string(nsites)});
+    for (BranchSite &s : sites_)
+        s.counter = r.get32();
 }
 
 VectorTraceSource::VectorTraceSource(std::vector<TraceRecord> records)

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/snapshot.hh"
 #include "trace/record.hh"
 #include "trace/workload.hh"
 
@@ -37,6 +38,32 @@ class TraceSource
 
     /** True if the stream has a fixed end and it has been reached. */
     virtual bool done() const { return false; }
+
+    /**
+     * Fast-forward the stream past `n` records without materializing
+     * them. The interval engine calls this between sampled intervals,
+     * where the skipped instructions touch no simulated state at all;
+     * sources override it when they can advance cheaper than n
+     * next() calls. Must leave the source in a deterministic state.
+     */
+    virtual void
+    skip(std::uint64_t n)
+    {
+        for (std::uint64_t i = 0; i < n; ++i)
+            next();
+    }
+
+    /**
+     * @name Checkpoint support
+     * Serialize stream position so a restored source resumes at the
+     * exact record it would have produced next. The defaults throw
+     * SimError: a source that cannot checkpoint must fail loudly, not
+     * silently restart its stream.
+     */
+    /// @{
+    virtual void saveState(SnapshotWriter &w) const;
+    virtual void loadState(SnapshotReader &r);
+    /// @}
 };
 
 /**
@@ -60,6 +87,16 @@ class TraceGenerator : public TraceSource
 
     TraceRecord next() override;
     void reset() override;
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
+    /**
+     * O(1) fast-forward: the synthetic process is stationary within a
+     * phase, so skipping means advancing the instruction clock —
+     * phase schedules jump correctly — while every cursor and the RNG
+     * stream stay put and resume the same process afterwards.
+     */
+    void skip(std::uint64_t n) override { generated_ += n; }
 
     /** The (normalized) spec this generator realizes. */
     const WorkloadSpec &spec() const { return spec_; }
@@ -121,6 +158,9 @@ class VectorTraceSource : public TraceSource
     TraceRecord next() override;
     void reset() override { pos_ = 0; }
     bool done() const override { return pos_ >= records_.size(); }
+    void saveState(SnapshotWriter &w) const override { w.put64(pos_); }
+    void loadState(SnapshotReader &r) override
+    { pos_ = static_cast<std::size_t>(r.get64()); }
 
     std::size_t size() const { return records_.size(); }
 

@@ -286,6 +286,27 @@ FileTraceSource::reset()
     bufFill_ = 0;
 }
 
+void
+FileTraceSource::saveState(SnapshotWriter &w) const
+{
+    w.put64(consumed_);
+}
+
+void
+FileTraceSource::loadState(SnapshotReader &r)
+{
+    consumed_ = r.get64();
+    const std::uint64_t pos = consumed_ % count_;
+    if (std::fseek(file_,
+                   dataStart_ +
+                       static_cast<long>(pos * sizeof(TraceRecord)),
+                   SEEK_SET) != 0)
+        traceFail("cannot seek in trace restoring checkpoint", path_);
+    filePos_ = pos;
+    bufPos_ = 0;
+    bufFill_ = 0;
+}
+
 std::vector<TraceRecord>
 readTrace(const std::string &path)
 {

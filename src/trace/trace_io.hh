@@ -14,6 +14,7 @@
 #ifndef PINTE_TRACE_TRACE_IO_HH
 #define PINTE_TRACE_TRACE_IO_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -118,8 +119,39 @@ class FileTraceSource : public TraceSource
         return buf_[bufPos_++];
     }
 
+    /**
+     * Fast-forward without copying records out: whole buffered
+     * batches are consumed by cursor arithmetic. Decode and CRC
+     * validation still run per batch (refill is the unit of
+     * integrity), so a corrupt region cannot hide inside a skip.
+     */
+    void
+    skip(std::uint64_t n) override
+    {
+        while (n > 0) {
+            if (bufPos_ == bufFill_)
+                refill();
+            const std::uint64_t take =
+                std::min<std::uint64_t>(n, bufFill_ - bufPos_);
+            bufPos_ += static_cast<std::size_t>(take);
+            consumed_ += take;
+            n -= take;
+        }
+    }
+
     void reset() override;
     bool done() const override { return consumed_ >= count_; }
+
+    /**
+     * @name Checkpoint support
+     * Only the consumed-record count is stored; restore seeks the file
+     * to `consumed % count` and lets the batched reader refill from
+     * there, which reproduces the exact post-wrap stream position.
+     */
+    /// @{
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /// @}
 
     /** Records stored in the file. */
     std::uint64_t count() const { return count_; }

@@ -56,6 +56,52 @@ quick()
     return p;
 }
 
+/** @name ExperimentSpec shorthands for the extension shapes below. */
+/// @{
+RunResult
+isolation(const WorkloadSpec &spec, const MachineConfig &machine,
+          const ExperimentParams &p)
+{
+    return ExperimentSpec(machine).workload(spec).params(p).run();
+}
+
+RunResult
+pinteRun(const WorkloadSpec &spec, double p_induce,
+         const MachineConfig &machine, const ExperimentParams &p)
+{
+    return ExperimentSpec(machine)
+        .workload(spec)
+        .pinte(p_induce)
+        .params(p)
+        .run();
+}
+
+RunResult
+pinteDramComplement(const WorkloadSpec &spec, double p_induce,
+                    const MachineConfig &machine,
+                    const ExperimentParams &p, double factor)
+{
+    return ExperimentSpec(machine)
+        .workload(spec)
+        .pinte(p_induce)
+        .dramComplement(factor)
+        .params(p)
+        .run();
+}
+
+RunResult
+pinteScoped(const WorkloadSpec &spec, double p_induce, PInteScope s,
+            const MachineConfig &machine, const ExperimentParams &p)
+{
+    return ExperimentSpec(machine)
+        .workload(spec)
+        .pinte(p_induce)
+        .scope(s)
+        .params(p)
+        .run();
+}
+/// @}
+
 } // namespace
 
 TEST(FlowAblation, NoPromoteStillInducesComparableContention)
@@ -136,9 +182,9 @@ TEST(DramComplement, RunnerScalesWithPInduce)
 {
     const auto spec = findWorkload("429.mcf");
     const MachineConfig m = MachineConfig::scaled();
-    const RunResult base = runPInte(spec, 0.4, m, quick());
+    const RunResult base = pinteRun(spec, 0.4, m, quick());
     const RunResult comp =
-        runPInteDramComplement(spec, 0.4, m, quick(), 60.0);
+        pinteDramComplement(spec, 0.4, m, quick(), 60.0);
     // Same induced theft rate, but the complement adds DRAM latency.
     EXPECT_LT(comp.metrics.ipc, base.metrics.ipc);
     EXPECT_GT(comp.metrics.amat, base.metrics.amat);
@@ -149,9 +195,9 @@ TEST(DramComplement, ZeroFactorMatchesBase)
 {
     const auto spec = findWorkload("435.gromacs");
     const MachineConfig m = MachineConfig::scaled();
-    const RunResult base = runPInte(spec, 0.2, m, quick());
+    const RunResult base = pinteRun(spec, 0.2, m, quick());
     const RunResult comp =
-        runPInteDramComplement(spec, 0.2, m, quick(), 0.0);
+        pinteDramComplement(spec, 0.2, m, quick(), 0.0);
     EXPECT_EQ(comp.metrics.ipc, base.metrics.ipc);
 }
 
@@ -159,8 +205,8 @@ TEST(PInteScope, LlcOnlyCannotTouchCoreBound)
 {
     const auto spec = findWorkload("465.tonto");
     const MachineConfig m = MachineConfig::scaled();
-    const RunResult iso = runIsolation(spec, m, quick());
-    const RunResult r = runPInteScoped(spec, 0.3,
+    const RunResult iso = isolation(spec, m, quick());
+    const RunResult r = pinteScoped(spec, 0.3,
                                        PInteScope::LlcOnly, m, quick());
     EXPECT_GT(weightedIpc(r.metrics.ipc, iso.metrics.ipc), 0.98);
 }
@@ -173,9 +219,9 @@ TEST(PInteScope, L2ScopeReachesCoreBound)
     // scopes rather than fixing a threshold.
     const auto spec = findWorkload("416.gamess");
     const MachineConfig m = MachineConfig::scaled();
-    const RunResult llc_only = runPInteScoped(
+    const RunResult llc_only = pinteScoped(
         spec, 0.6, PInteScope::LlcOnly, m, quick());
-    const RunResult l2_llc = runPInteScoped(
+    const RunResult l2_llc = pinteScoped(
         spec, 0.6, PInteScope::L2AndLlc, m, quick());
     EXPECT_LT(l2_llc.metrics.ipc, 0.995 * llc_only.metrics.ipc);
     EXPECT_GT(l2_llc.metrics.l2InterferenceRate, 0.1);

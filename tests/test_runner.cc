@@ -86,6 +86,39 @@ expectEqualResult(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.pinte.requestedEvicts, b.pinte.requestedEvicts);
 }
 
+/** @name ExperimentSpec shorthands for the determinism campaign. */
+/// @{
+RunResult
+isolation(const WorkloadSpec &spec, const MachineConfig &machine,
+          const ExperimentParams &p)
+{
+    return ExperimentSpec(machine).workload(spec).params(p).run();
+}
+
+RunResult
+pinteRun(const WorkloadSpec &spec, double p_induce,
+         const MachineConfig &machine, const ExperimentParams &p)
+{
+    return ExperimentSpec(machine)
+        .workload(spec)
+        .pinte(p_induce)
+        .params(p)
+        .run();
+}
+
+std::pair<RunResult, RunResult>
+pairRun(const WorkloadSpec &a, const WorkloadSpec &b,
+        const MachineConfig &machine, const ExperimentParams &p)
+{
+    auto all = ExperimentSpec(machine)
+                   .workload(a)
+                   .secondTrace(b)
+                   .params(p)
+                   .runAll();
+    return {std::move(all[0]), std::move(all[1])};
+}
+/// @}
+
 } // namespace
 
 TEST(Runner, PoolSizeDefaultsToAtLeastOne)
@@ -228,10 +261,10 @@ TEST(RunnerDeterminism, MiniCampaignBitwiseEqualAcrossJobCounts)
     auto single = [&](const Runner &r) {
         return r.map(nw + nw * np, [&](std::size_t idx) {
             if (idx < nw)
-                return runIsolation(zoo[idx], machine, params);
+                return isolation(zoo[idx], machine, params);
             const std::size_t w = (idx - nw) / np;
             const std::size_t p = (idx - nw) % np;
-            return runPInte(zoo[w], probs[p], machine, params);
+            return pinteRun(zoo[w], probs[p], machine, params);
         });
     };
 
@@ -242,7 +275,7 @@ TEST(RunnerDeterminism, MiniCampaignBitwiseEqualAcrossJobCounts)
         return r.map(3, [&](std::size_t idx) {
             const std::size_t i = idx == 2 ? 1 : 0;
             const std::size_t j = idx == 0 ? 1 : 2;
-            return runPair(zoo[i], zoo[j], two, params);
+            return pairRun(zoo[i], zoo[j], two, params);
         });
     };
 

@@ -345,7 +345,9 @@ TEST(Sinks, CsvCarriesRunsAndTables)
         sink.close();
     }
     const std::string doc = os.str();
-    EXPECT_NE(doc.find("# pinte-report v3"), std::string::npos);
+    EXPECT_NE(doc.find("# pinte-report v" +
+                       std::to_string(reportSchemaVersion)),
+              std::string::npos);
     EXPECT_NE(doc.find("workload,contention,status,ipc"),
               std::string::npos);
     EXPECT_NE(doc.find("synthetic.golden"), std::string::npos);

@@ -28,6 +28,52 @@ quick()
     return p;
 }
 
+/** @name ExperimentSpec shorthands for the recurring shapes below. */
+/// @{
+RunResult
+isolation(const WorkloadSpec &spec, MachineConfig machine,
+          const ExperimentParams &p)
+{
+    return ExperimentSpec(std::move(machine))
+        .workload(spec)
+        .params(p)
+        .run();
+}
+
+RunResult
+pinteRun(const WorkloadSpec &spec, double p_induce,
+         MachineConfig machine, const ExperimentParams &p)
+{
+    return ExperimentSpec(std::move(machine))
+        .workload(spec)
+        .pinte(p_induce)
+        .params(p)
+        .run();
+}
+
+std::pair<RunResult, RunResult>
+pairRun(const WorkloadSpec &a, const WorkloadSpec &b,
+        MachineConfig machine, const ExperimentParams &p)
+{
+    auto all = ExperimentSpec(std::move(machine))
+                   .workload(a)
+                   .secondTrace(b)
+                   .params(p)
+                   .runAll();
+    return {std::move(all[0]), std::move(all[1])};
+}
+
+std::vector<RunResult>
+mixRun(const std::vector<WorkloadSpec> &specs, MachineConfig machine,
+       const ExperimentParams &p)
+{
+    return ExperimentSpec(std::move(machine))
+        .mix(specs)
+        .params(p)
+        .runAll();
+}
+/// @}
+
 } // namespace
 
 TEST(System, WiresRequestedCoreCount)
@@ -71,7 +117,7 @@ TEST(System, WarmupClearsStatsButKeepsCacheContents)
 TEST(Experiment, IsolationRunProducesSaneMetrics)
 {
     const RunResult r =
-        runIsolation(findWorkload("435.gromacs"),
+        isolation(findWorkload("435.gromacs"),
                      MachineConfig::scaled(), quick());
     EXPECT_GT(r.metrics.ipc, 0.05);
     EXPECT_LT(r.metrics.ipc, 4.0);
@@ -86,9 +132,9 @@ TEST(Experiment, IsolationRunProducesSaneMetrics)
 TEST(Experiment, IsolationIsDeterministic)
 {
     const auto spec = findWorkload("450.soplex");
-    const RunResult a = runIsolation(spec, MachineConfig::scaled(),
+    const RunResult a = isolation(spec, MachineConfig::scaled(),
                                      quick());
-    const RunResult b = runIsolation(spec, MachineConfig::scaled(),
+    const RunResult b = isolation(spec, MachineConfig::scaled(),
                                      quick());
     EXPECT_EQ(a.metrics.ipc, b.metrics.ipc);
     EXPECT_EQ(a.metrics.llcMisses, b.metrics.llcMisses);
@@ -98,8 +144,8 @@ TEST(Experiment, PInteDegradesLlcBoundWorkload)
 {
     const auto spec = findWorkload("450.soplex");
     const MachineConfig m = MachineConfig::scaled();
-    const RunResult iso = runIsolation(spec, m, quick());
-    const RunResult contended = runPInte(spec, 0.3, m, quick());
+    const RunResult iso = isolation(spec, m, quick());
+    const RunResult contended = pinteRun(spec, 0.3, m, quick());
     const double w = weightedIpc(contended.metrics.ipc, iso.metrics.ipc);
     EXPECT_LT(w, 0.9);
     EXPECT_GT(contended.metrics.interferenceRate, 0.1);
@@ -110,8 +156,8 @@ TEST(Experiment, PInteBarelyTouchesCoreBoundWorkload)
 {
     const auto spec = findWorkload("648.exchange2");
     const MachineConfig m = MachineConfig::scaled();
-    const RunResult iso = runIsolation(spec, m, quick());
-    const RunResult contended = runPInte(spec, 0.3, m, quick());
+    const RunResult iso = isolation(spec, m, quick());
+    const RunResult contended = pinteRun(spec, 0.3, m, quick());
     const double w = weightedIpc(contended.metrics.ipc, iso.metrics.ipc);
     EXPECT_GT(w, 0.97);
 }
@@ -122,7 +168,7 @@ TEST(Experiment, PInteContentionGrowsWithPInduce)
     const MachineConfig m = MachineConfig::scaled();
     double prev_rate = -1.0;
     for (double p : {0.01, 0.1, 0.4}) {
-        const RunResult r = runPInte(spec, p, m, quick());
+        const RunResult r = pinteRun(spec, p, m, quick());
         EXPECT_GT(r.metrics.interferenceRate, prev_rate);
         prev_rate = r.metrics.interferenceRate;
     }
@@ -131,7 +177,7 @@ TEST(Experiment, PInteContentionGrowsWithPInduce)
 TEST(Experiment, PairCausesMutualThefts)
 {
     const auto [ra, rb] =
-        runPair(findWorkload("450.soplex"), findWorkload("471.omnetpp"),
+        pairRun(findWorkload("450.soplex"), findWorkload("471.omnetpp"),
                 MachineConfig::scaled(2), quick());
     EXPECT_GT(ra.metrics.interferenceRate, 0.0);
     EXPECT_GT(rb.metrics.interferenceRate, 0.0);
@@ -146,10 +192,10 @@ TEST(Experiment, PairDegradesBothLlcBoundWorkloads)
     const MachineConfig m1 = MachineConfig::scaled();
     const auto soplex = findWorkload("450.soplex");
     const auto omnetpp = findWorkload("471.omnetpp");
-    const RunResult iso_a = runIsolation(soplex, m1, quick());
-    const RunResult iso_b = runIsolation(omnetpp, m1, quick());
+    const RunResult iso_a = isolation(soplex, m1, quick());
+    const RunResult iso_b = isolation(omnetpp, m1, quick());
     const auto [ra, rb] =
-        runPair(soplex, omnetpp, MachineConfig::scaled(2), quick());
+        pairRun(soplex, omnetpp, MachineConfig::scaled(2), quick());
     EXPECT_LT(weightedIpc(ra.metrics.ipc, iso_a.metrics.ipc), 1.0);
     EXPECT_LT(weightedIpc(rb.metrics.ipc, iso_b.metrics.ipc), 1.0);
 }
@@ -157,7 +203,7 @@ TEST(Experiment, PairDegradesBothLlcBoundWorkloads)
 TEST(Experiment, CoreBoundPairInterferesLittle)
 {
     const auto [ra, rb] =
-        runPair(findWorkload("648.exchange2"),
+        pairRun(findWorkload("648.exchange2"),
                 findWorkload("416.gamess"), MachineConfig::scaled(2),
                 quick());
     EXPECT_LT(ra.metrics.interferenceRate, 0.05);
@@ -166,7 +212,7 @@ TEST(Experiment, CoreBoundPairInterferesLittle)
 
 TEST(Experiment, ReuseHistogramPopulatedForCacheResident)
 {
-    const RunResult r = runIsolation(findWorkload("435.gromacs"),
+    const RunResult r = isolation(findWorkload("435.gromacs"),
                                      MachineConfig::scaled(), quick());
     EXPECT_GT(r.reuse.total(), 0u);
     EXPECT_EQ(r.reuse.size(), 16u);
@@ -177,7 +223,7 @@ TEST(Experiment, SamplesCoverRoi)
     ExperimentParams p = quick();
     p.roi = 10000;
     p.sampleEvery = 3000;
-    const RunResult r = runIsolation(findWorkload("435.gromacs"),
+    const RunResult r = isolation(findWorkload("435.gromacs"),
                                      MachineConfig::scaled(), p);
     // ceil(10000/3000) = 4 samples; instruction counts sum to the ROI
     // up to the last quantum's overshoot (a few instructions).
@@ -195,8 +241,8 @@ TEST(Experiment, RunSeedVariesPInteEventsNotWorkload)
     const MachineConfig m = MachineConfig::scaled();
     ExperimentParams p1 = quick(), p2 = quick();
     p2.runSeed = 99;
-    const RunResult a = runPInte(spec, 0.2, m, p1);
-    const RunResult b = runPInte(spec, 0.2, m, p2);
+    const RunResult a = pinteRun(spec, 0.2, m, p1);
+    const RunResult b = pinteRun(spec, 0.2, m, p2);
     // Different seeds, statistically equal behavior (Fig 3).
     EXPECT_NE(a.pinte.triggers, b.pinte.triggers);
     EXPECT_NEAR(a.metrics.ipc, b.metrics.ipc, 0.15 * a.metrics.ipc);
@@ -208,10 +254,10 @@ TEST(Experiment, DramBoundWorkloadShowsPaperSignature)
     // because their AMAT already sits at DRAM latency.
     const auto spec = findWorkload("429.mcf");
     const MachineConfig m = MachineConfig::scaled();
-    const RunResult iso = runIsolation(spec, m, quick());
+    const RunResult iso = isolation(spec, m, quick());
     EXPECT_GT(iso.metrics.amat, 100.0);
     EXPECT_GT(iso.metrics.missRate, 0.5);
-    const RunResult r = runPInte(spec, 0.4, m, quick());
+    const RunResult r = pinteRun(spec, 0.4, m, quick());
     EXPECT_GT(weightedIpc(r.metrics.ipc, iso.metrics.ipc), 0.85);
 }
 
@@ -244,7 +290,7 @@ TEST(Experiment, PrefetchConfigsRunEndToEnd)
     for (const char *cfg_str : {"000", "NN0", "NNN", "NNI"}) {
         MachineConfig m = MachineConfig::scaled();
         m.prefetch = PrefetchConfig::parse(cfg_str);
-        const RunResult r = runIsolation(spec, m, quick());
+        const RunResult r = isolation(spec, m, quick());
         EXPECT_GT(r.metrics.ipc, 0.0) << cfg_str;
     }
 }
@@ -255,8 +301,8 @@ TEST(Experiment, NextLinePrefetchHelpsStreaming)
     MachineConfig none = MachineConfig::scaled();
     MachineConfig nn = MachineConfig::scaled();
     nn.prefetch = PrefetchConfig::parse("NNN");
-    const RunResult r_none = runIsolation(spec, none, quick());
-    const RunResult r_nn = runIsolation(spec, nn, quick());
+    const RunResult r_none = isolation(spec, none, quick());
+    const RunResult r_nn = isolation(spec, nn, quick());
     EXPECT_GT(r_nn.metrics.ipc, r_none.metrics.ipc);
 }
 
@@ -268,7 +314,7 @@ TEST(Experiment, InclusionPoliciesRunEndToEnd)
           InclusionPolicy::Exclusive}) {
         MachineConfig m = MachineConfig::scaled();
         m.llc.inclusion = inc;
-        const RunResult r = runIsolation(spec, m, quick());
+        const RunResult r = isolation(spec, m, quick());
         EXPECT_GT(r.metrics.ipc, 0.0) << toString(inc);
     }
 }
@@ -278,9 +324,9 @@ TEST(Experiment, PairIsDeterministic)
     const auto a = findWorkload("450.soplex");
     const auto b = findWorkload("470.lbm");
     const auto [r1a, r1b] =
-        runPair(a, b, MachineConfig::scaled(2), quick());
+        pairRun(a, b, MachineConfig::scaled(2), quick());
     const auto [r2a, r2b] =
-        runPair(a, b, MachineConfig::scaled(2), quick());
+        pairRun(a, b, MachineConfig::scaled(2), quick());
     EXPECT_EQ(r1a.metrics.ipc, r2a.metrics.ipc);
     EXPECT_EQ(r1b.metrics.ipc, r2b.metrics.ipc);
     EXPECT_EQ(r1a.metrics.llcMisses, r2a.metrics.llcMisses);
@@ -294,9 +340,9 @@ TEST(Experiment, PairOrderSwapsResults)
     const auto a = findWorkload("450.soplex");
     const auto b = findWorkload("471.omnetpp");
     const auto [ab_a, ab_b] =
-        runPair(a, b, MachineConfig::scaled(2), quick());
+        pairRun(a, b, MachineConfig::scaled(2), quick());
     const auto [ba_b, ba_a] =
-        runPair(b, a, MachineConfig::scaled(2), quick());
+        pairRun(b, a, MachineConfig::scaled(2), quick());
     EXPECT_NEAR(ab_a.metrics.ipc, ba_a.metrics.ipc,
                 0.2 * ab_a.metrics.ipc);
     EXPECT_NEAR(ab_b.metrics.ipc, ba_b.metrics.ipc,
@@ -308,7 +354,7 @@ TEST(Experiment, MixRunsThreeWorkloads)
     const std::vector<WorkloadSpec> mix = {
         findWorkload("450.soplex"), findWorkload("471.omnetpp"),
         findWorkload("470.lbm")};
-    const auto results = runMix(mix, MachineConfig::scaled(), quick());
+    const auto results = mixRun(mix, MachineConfig::scaled(), quick());
     ASSERT_EQ(results.size(), 3u);
     for (const auto &r : results) {
         EXPECT_GT(r.metrics.ipc, 0.0);
@@ -325,9 +371,9 @@ TEST(Experiment, MixOfTwoMatchesPairShape)
     const auto soplex = findWorkload("450.soplex");
     const auto omnetpp = findWorkload("471.omnetpp");
     const auto mix =
-        runMix({soplex, omnetpp}, MachineConfig::scaled(2), quick());
+        mixRun({soplex, omnetpp}, MachineConfig::scaled(2), quick());
     const auto [pa, pb] =
-        runPair(soplex, omnetpp, MachineConfig::scaled(2), quick());
+        pairRun(soplex, omnetpp, MachineConfig::scaled(2), quick());
     // Same machine, same offsets: identical simulations.
     EXPECT_EQ(mix[0].metrics.ipc, pa.metrics.ipc);
     EXPECT_EQ(mix[1].metrics.ipc, pb.metrics.ipc);
@@ -337,11 +383,11 @@ TEST(Experiment, BiggerMixesHurtMore)
 {
     const auto soplex = findWorkload("450.soplex");
     const RunResult iso =
-        runIsolation(soplex, MachineConfig::scaled(), quick());
-    const auto two = runMix({soplex, findWorkload("470.lbm")},
+        isolation(soplex, MachineConfig::scaled(), quick());
+    const auto two = mixRun({soplex, findWorkload("470.lbm")},
                             MachineConfig::scaled(), quick());
     const auto four =
-        runMix({soplex, findWorkload("470.lbm"),
+        mixRun({soplex, findWorkload("470.lbm"),
                 findWorkload("471.omnetpp"), findWorkload("429.mcf")},
                MachineConfig::scaled(), quick());
     const double w2 = weightedIpc(two[0].metrics.ipc, iso.metrics.ipc);
@@ -351,7 +397,7 @@ TEST(Experiment, BiggerMixesHurtMore)
 
 TEST(Experiment, EmptyMixIsFatal)
 {
-    EXPECT_ERROR(runMix({}, MachineConfig::scaled(), quick()),
+    EXPECT_ERROR(mixRun({}, MachineConfig::scaled(), quick()),
                  ConfigError, "at least one workload");
 }
 
@@ -394,7 +440,7 @@ TEST_P(SystemPolicySweep, FullMachineRunsWithEveryLlcPolicy)
     MachineConfig m = MachineConfig::scaled();
     m.llc.replacement = GetParam();
     const RunResult r =
-        runPInte(findWorkload("450.soplex"), 0.2, m, quick());
+        pinteRun(findWorkload("450.soplex"), 0.2, m, quick());
     EXPECT_GT(r.metrics.ipc, 0.0);
     EXPECT_GT(r.pinte.invalidations, 0u);
 }
@@ -414,7 +460,7 @@ TEST_P(SystemBranchSweep, FullMachineRunsWithEveryPredictor)
 {
     MachineConfig m = MachineConfig::scaled();
     m.core.predictor = GetParam();
-    const RunResult r = runIsolation(findWorkload("445.gobmk"), m,
+    const RunResult r = isolation(findWorkload("445.gobmk"), m,
                                      quick());
     EXPECT_GT(r.metrics.ipc, 0.0);
     EXPECT_GT(r.metrics.branchAccuracy, 0.5);

@@ -41,6 +41,13 @@ zooNames()
     return names;
 }
 
+RunResult
+isolation(const WorkloadSpec &spec, const MachineConfig &machine,
+          const ExperimentParams &p)
+{
+    return ExperimentSpec(machine).workload(spec).params(p).run();
+}
+
 } // namespace
 
 class ZooCalibration : public ::testing::TestWithParam<std::string>
@@ -55,7 +62,7 @@ class ZooCalibration : public ::testing::TestWithParam<std::string>
         if (it == cache.end()) {
             it = cache
                      .emplace(name,
-                              runIsolation(findWorkload(name),
+                              isolation(findWorkload(name),
                                            MachineConfig::scaled(),
                                            quick()))
                      .first;
@@ -137,7 +144,7 @@ TEST_P(ZooCalibration, DeterministicAcrossRuns)
 {
     const WorkloadSpec spec = findWorkload(GetParam());
     const RunResult a =
-        runIsolation(spec, MachineConfig::scaled(), quick());
+        isolation(spec, MachineConfig::scaled(), quick());
     const RunResult &b = isolationRun(GetParam());
     EXPECT_EQ(a.metrics.ipc, b.metrics.ipc) << "nondeterminism";
     EXPECT_EQ(a.metrics.llcMisses, b.metrics.llcMisses);

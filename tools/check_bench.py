@@ -19,8 +19,11 @@ usable as a perf trajectory:
     rate_per_s equals work_items / best_wall_s;
   - (label, kernel) pairs are unique — a duplicated measurement point
     would make later speedup ratios ambiguous;
-  - every label carries the same kernel set, so any two labels on the
-    trajectory are directly comparable.
+  - kernel sets across labels are nested (each is a subset or superset
+    of every other), so any kernel is comparable across every label
+    that measured it. Coverage may grow over time — a later PR may add
+    a kernel — but two labels measuring disjoint or partially
+    overlapping suites would make the trajectory ambiguous.
 
 --require-label LABEL additionally fails unless the given label is
 present (used by CI to prove a PR recorded its measurement point).
@@ -164,17 +167,26 @@ class Checker:
             seen[key] = i
             kernels_by_label.setdefault(key[0], set()).add(key[1])
 
-        kernel_sets = {frozenset(v) for v in kernels_by_label.values()}
-        if len(kernel_sets) > 1:
-            self.error(
-                f"{tpath}.rows",
-                "labels carry different kernel sets, so trajectory "
-                "points are not comparable: "
-                + "; ".join(
-                    f"{label}={sorted(ks)}"
-                    for label, ks in sorted(kernels_by_label.items())
-                ),
-            )
+        # Kernel coverage may grow across the trajectory (a later PR
+        # can add a kernel) but never fork: every pair of labels must
+        # be subset-comparable or their speedup ratios are ambiguous.
+        by_size = sorted(
+            (frozenset(v) for v in kernels_by_label.values()), key=len
+        )
+        for smaller, larger in zip(by_size, by_size[1:]):
+            if not smaller <= larger:
+                self.error(
+                    f"{tpath}.rows",
+                    "labels carry non-nested kernel sets, so "
+                    "trajectory points are not comparable: "
+                    + "; ".join(
+                        f"{label}={sorted(ks)}"
+                        for label, ks in sorted(
+                            kernels_by_label.items()
+                        )
+                    ),
+                )
+                break
         if require_label and require_label not in kernels_by_label:
             self.error(
                 f"{tpath}.rows",

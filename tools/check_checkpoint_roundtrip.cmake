@@ -1,0 +1,59 @@
+# ctest helper: end-to-end checkpoint/resume acceptance. A run that
+# checkpoints mid-ROI leaves its last snapshot on disk; re-invoking
+# the identical command resumes from it and must publish a report
+# bit-for-bit equal (modulo cpu_seconds) to a straight-through run.
+# Invoked from tools/CMakeLists.txt with -DPINTESIM=... -DPYTHON=...
+# -DCHECKER=... (check_bitwise.py) -DWORKDIR=...
+
+set(straight "${WORKDIR}/ckpt_straight.json")
+set(resumed "${WORKDIR}/ckpt_resumed.json")
+set(ckpt "${WORKDIR}/ckpt_roundtrip.bin")
+file(REMOVE ${ckpt})
+
+set(common
+    --workload 450.soplex --pinduce 0.2
+    --warmup 4000 --roi 30000 --format json)
+
+execute_process(
+    COMMAND ${PINTESIM} ${common} --out ${straight}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "straight run failed (${rc}):\n${out}\n${err}")
+endif()
+
+# Checkpoint every 12000 ROI instructions: snapshots land at 12000 and
+# 24000, and the 24000 one survives the completed run.
+execute_process(
+    COMMAND ${PINTESIM} ${common}
+        --checkpoint ${ckpt} --checkpoint-every 12000
+        --out "${WORKDIR}/ckpt_first.json"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "checkpointing run failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS ${ckpt})
+    message(FATAL_ERROR "run left no checkpoint at ${ckpt}")
+endif()
+
+execute_process(
+    COMMAND ${PINTESIM} ${common}
+        --checkpoint ${ckpt} --checkpoint-every 12000
+        --out ${resumed}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed run failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT "${out}${err}" MATCHES "resumed 450.soplex at 24000/30000")
+    message(FATAL_ERROR
+        "second run did not resume from the checkpoint:\n${out}\n${err}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${straight} ${resumed}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "resumed report diverged from straight-through (${rc}):\n"
+        "${out}\n${err}")
+endif()
+message(STATUS "resumed report bitwise-identical to straight run")

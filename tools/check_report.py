@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a pinte-report JSON document (schema versions 1, 2 and 3).
+"""Validate a pinte-report JSON document (schema versions 1-4).
 
 Usage:
     check_report.py [report.json]        # file, or stdin when omitted
@@ -22,6 +22,17 @@ the LLC access/miss delta columns sum exactly to the end-of-run
 counters the metrics section republishes (the sampler's conservation
 identity).
 
+Version 4 adds the interval-engine payloads, again optional so a
+sampling-off v4 document carries exactly the v3 fields: a config
+"sampling" object (mode / interval_length / detailed_fraction / seed)
+and a per-run "sampled" object of per-metric mean and 95% CI
+half-width estimates over the detailed intervals. The checker
+enforces that the two appear together — every ok run of a document
+whose config declares sampling must carry "sampled", and no run of a
+detailed-only document may — plus the schedule identities
+(detailed_intervals <= intervals, detailed_instructions <=
+total_instructions, non-negative CI half-widths).
+
 On v2+ documents the conservation identities the simulator maintains
 are also enforced on every ok run: miss_rate equals
 llc_misses/llc_accesses, counters and rate metrics stay within their
@@ -39,7 +50,33 @@ import math
 import sys
 
 SCHEMA = "pinte-report"
-SCHEMA_VERSIONS = (1, 2, 3)
+SCHEMA_VERSIONS = (1, 2, 3, 4)
+
+SAMPLING_CONFIG_FIELDS = {
+    "mode": str,
+    "interval_length": int,
+    "detailed_fraction": float,
+    "seed": int,
+}
+
+SAMPLED_FIELDS = {
+    "mode": str,
+    "interval_length": int,
+    "detailed_fraction": float,
+    "intervals": int,
+    "detailed_intervals": int,
+    "detailed_instructions": int,
+    "total_instructions": int,
+    "stats": list,
+}
+
+SAMPLED_STAT_FIELDS = {
+    "name": str,
+    "mean": float,
+    "ci95": float,
+}
+
+SAMPLE_MODES = ("periodic", "random")
 
 METRIC_FIELDS = {
     "ipc": float,
@@ -236,11 +273,65 @@ class Checker:
                 self.check_histograms(
                     run["histograms"], f"{path}.histograms"
                 )
+        if self.version >= 4:
+            known.add("sampled")
+            if "sampled" in run:
+                self.check_sampled(run["sampled"], f"{path}.sampled")
         for name in run:
             if name not in known:
                 self.error(path, f"unknown field '{name}'")
         if self.version >= 2 and len(self.errors) == shape_errors:
             self.check_conservation(run, path)
+
+    def check_sampled(self, sd, path):
+        """v4 interval-engine section: mean ± CI estimates."""
+        shape_errors = len(self.errors)
+        self.check_fields(sd, SAMPLED_FIELDS, path)
+        if not isinstance(sd, dict):
+            return
+        mode = sd.get("mode")
+        if isinstance(mode, str) and mode not in SAMPLE_MODES:
+            self.error(
+                f"{path}.mode",
+                f"expected one of {SAMPLE_MODES}, got {mode!r}",
+            )
+        stats = sd.get("stats")
+        if isinstance(stats, list):
+            for i, s in enumerate(stats):
+                self.check_fields(
+                    s, SAMPLED_STAT_FIELDS, f"{path}.stats[{i}]"
+                )
+                if isinstance(s, dict):
+                    ci = s.get("ci95")
+                    if isinstance(ci, (int, float)) and ci < 0:
+                        self.error(
+                            f"{path}.stats[{i}].ci95",
+                            f"negative half-width ({ci})",
+                        )
+        if len(self.errors) != shape_errors:
+            return
+        # Schedule identities (types are known good at this point).
+        if sd["interval_length"] <= 0:
+            self.error(
+                f"{path}.interval_length", "expected positive integer"
+            )
+        if not 0.0 < sd["detailed_fraction"] <= 1.0:
+            self.error(
+                f"{path}.detailed_fraction",
+                f"{sd['detailed_fraction']} outside (0, 1]",
+            )
+        if sd["detailed_intervals"] > sd["intervals"]:
+            self.error(
+                f"{path}.detailed_intervals",
+                f"{sd['detailed_intervals']} detailed out of "
+                f"{sd['intervals']} intervals",
+            )
+        if sd["detailed_instructions"] > sd["total_instructions"]:
+            self.error(
+                f"{path}.detailed_instructions",
+                f"{sd['detailed_instructions']} measured out of "
+                f"{sd['total_instructions']} total instructions",
+            )
 
     def check_timeseries(self, ts, path):
         """v3 time-series section: per-interval counter deltas."""
@@ -527,6 +618,14 @@ class Checker:
         ):
             # Optional in v3: emitted only when sampling was armed.
             config_fields["sample_interval"] = int
+        sampling_on = (
+            self.version >= 4
+            and isinstance(config, dict)
+            and "sampling" in config
+        )
+        if sampling_on:
+            # Optional in v4: emitted only for interval-engine runs.
+            config_fields["sampling"] = dict
         self.check_fields(config, config_fields, "$.config")
         if isinstance(config, dict):
             interval = config.get("sample_interval")
@@ -539,6 +638,18 @@ class Checker:
                     "$.config.sample_interval",
                     "expected positive integer",
                 )
+        if sampling_on:
+            sampling = config["sampling"]
+            self.check_fields(
+                sampling, SAMPLING_CONFIG_FIELDS, "$.config.sampling"
+            )
+            if isinstance(sampling, dict):
+                mode = sampling.get("mode")
+                if isinstance(mode, str) and mode not in SAMPLE_MODES:
+                    self.error(
+                        "$.config.sampling.mode",
+                        f"expected one of {SAMPLE_MODES}, got {mode!r}",
+                    )
         notes = doc.get("notes")
         if not isinstance(notes, list) or not all(
             isinstance(n, str) for n in notes or []
@@ -553,6 +664,26 @@ class Checker:
         else:
             for i, run in enumerate(runs):
                 self.check_run(run, f"$.runs[{i}]")
+            # The v4 payload and the config that produced it appear
+            # together: a sampled schedule yields estimates on every
+            # ok run, a detailed-only document carries none.
+            if self.version >= 4:
+                for i, run in enumerate(runs):
+                    if not isinstance(run, dict):
+                        continue
+                    if run.get("status") == "failed":
+                        continue
+                    if sampling_on and "sampled" not in run:
+                        self.error(
+                            f"$.runs[{i}]",
+                            "config declares sampling but the run "
+                            "carries no 'sampled' estimates",
+                        )
+                    elif not sampling_on and "sampled" in run:
+                        self.error(
+                            f"$.runs[{i}].sampled",
+                            "present without a config sampling object",
+                        )
         if self.version >= 2:
             self.check_failures(doc)
         tables = doc.get("tables")

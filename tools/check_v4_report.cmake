@@ -1,0 +1,51 @@
+# ctest helper: run pintesim under the interval engine
+# (--sample-mode) so the report carries the schema-v4 sampled
+# sections (config "sampling" + per-run "sampled" estimates with
+# error bars), then validate it with check_report.py and make sure
+# the sampled payload is actually present. Invoked from
+# tools/CMakeLists.txt with -DPINTESIM=... -DPYTHON=... -DCHECKER=...
+# -DWORKDIR=...
+
+set(report "${WORKDIR}/pintesim_v4_report.json")
+
+execute_process(
+    COMMAND ${PINTESIM}
+        --workload 450.soplex --pinduce 0.2
+        --warmup 4000 --roi 30000
+        --sample-mode=periodic --sample-interval-length=1000
+        --sample-detailed-fraction=0.2
+        --format json --out ${report}
+    RESULT_VARIABLE sim_rc
+    OUTPUT_VARIABLE sim_out
+    ERROR_VARIABLE sim_err)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR
+        "pintesim failed (${sim_rc}):\n${sim_out}\n${sim_err}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${report}
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "schema validation failed (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")
+
+# The document must actually carry the sampled payloads: a
+# sampling-on run that silently fell back to detailed execution
+# would still validate above (the presence rule only binds runs to
+# the config section).
+file(READ ${report} report_text)
+if(NOT report_text MATCHES "\"sampling\"")
+    message(FATAL_ERROR "report lacks the config sampling section")
+endif()
+if(NOT report_text MATCHES "\"sampled\"")
+    message(FATAL_ERROR "report lacks the per-run sampled estimates")
+endif()
+if(NOT report_text MATCHES "\"induced_theft_rate\"")
+    message(FATAL_ERROR "sampled stats lack induced_theft_rate")
+endif()

@@ -20,6 +20,7 @@
  *   pintesim -w 450.soplex --sweep --format=csv --out sweep.csv
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -65,6 +66,21 @@ usage()
         "      --sample-interval N  snapshot every registered counter\n"
         "                        every N cycles into the report's\n"
         "                        time-series section (0 = off)\n"
+        "      --sample-mode K   interval engine schedule: off\n"
+        "                        periodic random (default off); when\n"
+        "                        on, the ROI alternates detailed and\n"
+        "                        functional-warming intervals and the\n"
+        "                        report carries mean±CI estimates\n"
+        "      --sample-interval-length N  instructions per interval\n"
+        "                        (default 10000)\n"
+        "      --sample-detailed-fraction F  share of intervals run\n"
+        "                        detailed, (0,1] (default 0.1)\n"
+        "      --sampling-seed N seed of the random interval schedule\n"
+        "      --checkpoint FILE architectural checkpoint file: resume\n"
+        "                        from it when present, then rewrite it\n"
+        "                        every --checkpoint-every instructions\n"
+        "      --checkpoint-every N  checkpoint cadence in ROI\n"
+        "                        instructions (default roi/10)\n"
         "      --trace-events FILE  write a chrome://tracing JSON\n"
         "                        event trace of the run to FILE\n"
         "      --seed N          run seed (PInTE RNG stream)\n"
@@ -172,6 +188,18 @@ pinteMain(int argc, char **argv)
             params.sampleEvery = parseCount(a, need());
         } else if (a == "--sample-interval") {
             params.sampleIntervalCycles = parseCount(a, need());
+        } else if (a == "--sample-mode") {
+            params.sampling.mode = parseSampleMode(need());
+        } else if (a == "--sample-interval-length") {
+            params.sampling.intervalLength = parseCount(a, need());
+        } else if (a == "--sample-detailed-fraction") {
+            params.sampling.detailedFraction = parseReal(a, need());
+        } else if (a == "--sampling-seed") {
+            params.sampling.seed = parseCount(a, need());
+        } else if (a == "--checkpoint") {
+            params.checkpointPath = need();
+        } else if (a == "--checkpoint-every") {
+            params.checkpointEvery = parseCount(a, need());
         } else if (a == "--trace-events") {
             trace_path = need();
         } else if (a == "--seed") {
@@ -253,6 +281,11 @@ pinteMain(int argc, char **argv)
                          e.ratePerSecond);
         return 0;
     }
+
+    // A checkpoint path without an explicit cadence defaults to ten
+    // checkpoints across the ROI.
+    if (!params.checkpointPath.empty() && params.checkpointEvery == 0)
+        params.checkpointEvery = std::max<InstCount>(1, params.roi / 10);
 
     const WorkloadSpec spec = findWorkload(workload);
 
