@@ -62,6 +62,13 @@ faultInjected(const char *kind)
     return p.hits.fetch_add(1, std::memory_order_relaxed) + 1 == p.nth;
 }
 
+bool
+faultArmedForCell(const char *kind, unsigned long long cell)
+{
+    const FaultPlan &p = plan();
+    return p.armed && p.kind == kind && p.nth == cell + 1;
+}
+
 void
 armFault(const char *spec)
 {

@@ -29,6 +29,24 @@
  * job started process-wide regardless of worker interleaving; which
  * campaign index that is stays deterministic at jobs=1 and, for
  * campaigns that pre-assign work by index, at any job count.
+ *
+ * Worker-level faults (process-isolated campaigns, sim/worker_proc.hh)
+ * use faultArmedForCell() instead: they are keyed to a *campaign cell
+ * index*, not a dynamic hit count, because a retried cell re-executes
+ * in a fresh worker process whose hit counter restarted. "kind:nth"
+ * here means cell nth (1-based), every attempt:
+ *  - "worker-crash"   the worker running that cell abort()s
+ *                     (contained: the cell is quarantined with its
+ *                     signal, the campaign completes)
+ *  - "worker-hang"    the worker ignores SIGTERM and blocks in
+ *                     pause() — a non-cooperative hang the in-process
+ *                     watchdog can never see; only the parent's hard
+ *                     SIGTERM->SIGKILL escalation recovers
+ *  - "worker-garbage" the worker corrupts its result frame's CRC;
+ *                     the parent must discard the frame, not trust it
+ *  - "worker-flaky"   the worker abort()s on the cell's first attempt
+ *                     only, so --max-retries >= 2 recovers it — the
+ *                     retry-determinism test hook
  */
 
 #ifndef PINTE_COMMON_FAULT_HH
@@ -42,6 +60,15 @@ namespace pinte
  * Always false when PINTE_INJECT_FAULT is unset or names another site.
  */
 bool faultInjected(const char *kind);
+
+/**
+ * True when the armed plan names `kind` and its nth (1-based) selects
+ * campaign cell `cell` (0-based). A pure predicate — no hit counter —
+ * so it reports true on *every* attempt of that cell, in any process:
+ * exactly what worker-level faults need, where each retry runs in a
+ * fresh fork with fresh global state.
+ */
+bool faultArmedForCell(const char *kind, unsigned long long cell);
 
 /**
  * Re-arm the fault plan programmatically with the same "kind:nth"

@@ -239,6 +239,16 @@ toString(SampleMode m)
     return "unknown";
 }
 
+const char *
+toString(IsolationMode m)
+{
+    switch (m) {
+      case IsolationMode::Thread: return "thread";
+      case IsolationMode::Process: return "process";
+    }
+    return "unknown";
+}
+
 SampleMode
 parseSampleMode(const std::string &text)
 {

@@ -49,6 +49,28 @@ const char *toString(SampleMode m);
 /** Parse "off" / "periodic" / "random"; throws ConfigError otherwise. */
 SampleMode parseSampleMode(const std::string &text);
 
+/**
+ * How a campaign executes its cells (pintesim --isolation).
+ *
+ * Thread (the default) runs cells on the in-process Runner pool:
+ * cheapest, with cooperative fault isolation — a cell that *throws*
+ * is quarantined, but a cell that segfaults, is OOM-killed, or hangs
+ * outside a watchdog heartbeat takes the whole campaign down.
+ * Process forks one worker per job slot (sim/worker_proc.hh) and
+ * ships cells over a CRC-framed pipe: any worker death becomes a
+ * quarantined cell with its signal/exit code and attempt history in
+ * the report, and --job-timeout upgrades to a hard SIGTERM->SIGKILL
+ * deadline enforced by the parent.
+ */
+enum class IsolationMode
+{
+    Thread,
+    Process,
+};
+
+/** Printable name for an isolation mode ("thread" / "process"). */
+const char *toString(IsolationMode m);
+
 /** Interval-engine schedule parameters (ExperimentParams::sampling). */
 struct SamplingParams
 {
@@ -121,27 +143,48 @@ struct RunMetrics
 /**
  * Why a run failed, in plain data (so it serializes into reports and
  * the resume journal). An empty message means the run succeeded.
+ *
+ * The process-failure fields (schema v5) are filled only for cells a
+ * process-isolated campaign quarantined at the worker level — a
+ * crash, a hard timeout kill, or a corrupt result frame. `attempts`
+ * is the number of attempts consumed (bounded by --max-retries) and
+ * `attemptLog` carries one line per attempt, so a quarantined cell's
+ * report records the full retry history; both stay zero/empty for
+ * in-process failures, whose v5 documents keep the v2 error shape.
  */
 struct RunError
 {
-    std::string kind;      //!< "config", "trace", "sim" or "timeout"
+    std::string kind;      //!< "config", "trace", "sim", "timeout"
+                           //!< or "worker" (process-level loss)
     std::string component; //!< subsystem that raised the error
     std::string path;      //!< offending file, if any
     std::string message;   //!< the full human-readable description
+
+    int signal = 0;   //!< terminating signal of the last attempt
+    int exitCode = 0; //!< exit code, when the worker exited instead
+    std::uint32_t attempts = 0;          //!< attempts consumed
+    std::vector<std::string> attemptLog; //!< one line per attempt
 
     /** Capture a typed simulator error. */
     static RunError
     from(const Error &e)
     {
-        return {std::string(toString(e.kind())), e.component(), e.path(),
-                e.what()};
+        RunError r;
+        r.kind = toString(e.kind());
+        r.component = e.component();
+        r.path = e.path();
+        r.message = e.what();
+        return r;
     }
 
     /** Capture a generic exception (kind "sim"). */
     static RunError
     from(const std::exception &e)
     {
-        return {"sim", "", "", e.what()};
+        RunError r;
+        r.kind = "sim";
+        r.message = e.what();
+        return r;
     }
 };
 
@@ -364,6 +407,23 @@ class ExperimentSpec
     /** Set warmup/ROI/sampling scale parameters. */
     ExperimentSpec &params(const ExperimentParams &p);
 
+    /**
+     * Campaign execution backend preference (--isolation). Advisory:
+     * run()/tryRun() semantics are identical either way — the mode
+     * tells the campaign driver whether cells should execute on the
+     * in-process Runner pool or in forked worker processes
+     * (runProcessCampaign, sim/worker_proc.hh).
+     */
+    ExperimentSpec &
+    isolation(IsolationMode m)
+    {
+        isolation_ = m;
+        return *this;
+    }
+
+    /** The configured campaign execution backend. */
+    IsolationMode isolationMode() const { return isolation_; }
+
     /** Execute and return core 0's result (the workload under study). */
     RunResult run() const;
 
@@ -420,6 +480,7 @@ class ExperimentSpec
     MachineConfig machine_;
     std::vector<WorkloadSpec> workloads_;
     ExperimentParams params_;
+    IsolationMode isolation_ = IsolationMode::Thread;
     double pInduce_ = 0.0;
     PInteScope scope_ = PInteScope::LlcOnly;
     double dramFactor_ = 0.0;

@@ -69,6 +69,33 @@ RunJournal::RunJournal(const std::string &path) : path_(path)
         warn("journal " + path + ": skipped " +
              std::to_string(skipped) + " unparseable line(s)");
 
+    // A crash mid-append can leave a partial final record with no
+    // terminating newline. Skipping it on load is not enough: opening
+    // with "ab" would glue the *next* record onto the torn bytes,
+    // corrupting a good entry. Drop the partial tail before appending.
+    // (Newline-terminated garbage mid-file is left in place — it is
+    // skipped above and never glued to.)
+    {
+        std::ifstream raw(path, std::ios::binary);
+        if (raw) {
+            std::ostringstream buf;
+            buf << raw.rdbuf();
+            const std::string text = buf.str();
+            if (!text.empty() && text.back() != '\n') {
+                const std::size_t nl = text.find_last_of('\n');
+                const std::size_t keep =
+                    nl == std::string::npos ? 0 : nl + 1;
+                warn("journal " + path + ": truncating torn trailing " +
+                     std::to_string(text.size() - keep) + " byte(s)");
+                if (::truncate(path.c_str(),
+                               static_cast<off_t>(keep)) != 0)
+                    throw ConfigError(
+                        "cannot truncate torn journal tail: " + path,
+                        {"journal", path, ""});
+            }
+        }
+    }
+
     file_ = std::fopen(path.c_str(), "ab");
     if (!file_)
         throw ConfigError("cannot open journal for append: " + path,

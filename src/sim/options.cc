@@ -189,4 +189,33 @@ parseParanoidInterval(const std::string &flag, const std::string &s)
     return static_cast<std::uint32_t>(v);
 }
 
+IsolationMode
+parseIsolation(const std::string &s)
+{
+    const std::string v = lower(s);
+    if (v == "thread")
+        return IsolationMode::Thread;
+    if (v == "process" || v == "proc")
+        return IsolationMode::Process;
+    throw ConfigError("unknown isolation backend '" + s +
+                          "' (thread, process)",
+                      {"options", "--isolation", s});
+}
+
+std::uint32_t
+parseRetries(const std::string &flag, const std::string &s)
+{
+    const std::uint64_t v = parseCount(flag, s);
+    if (v == 0)
+        throw ConfigError(flag + " must be a positive attempt budget "
+                              "(got '" + s + "'); a cell needs at "
+                              "least one attempt, and --max-retries=1 "
+                              "means never retry",
+                          {"options", flag, s});
+    if (v > ~std::uint32_t(0))
+        throw ConfigError(flag + " value out of range: '" + s + "'",
+                          {"options", flag, s});
+    return static_cast<std::uint32_t>(v);
+}
+
 } // namespace pinte

@@ -15,6 +15,7 @@
 #include "branch/predictor.hh"
 #include "cache/cache.hh"
 #include "replacement/policy.hh"
+#include "sim/experiment.hh"
 #include "sim/machine.hh"
 #include "sim/sink.hh"
 
@@ -68,6 +69,21 @@ std::uint64_t parseTimeout(const std::string &flag, const std::string &s);
  */
 std::uint32_t parseParanoidInterval(const std::string &flag,
                                     const std::string &s);
+
+/**
+ * Parse a campaign execution backend: "thread" (in-process Runner
+ * pool, the default) or "process" (fork-isolated workers,
+ * sim/worker_proc.hh). Case-insensitive; anything else is fatal with
+ * the list of valid backends.
+ */
+IsolationMode parseIsolation(const std::string &s);
+
+/**
+ * Parse a --max-retries attempt budget. 0 is rejected — every cell
+ * needs at least one attempt, and "never retry" is --max-retries=1 —
+ * as is anything negative or non-integer. Returns the budget, >= 1.
+ */
+std::uint32_t parseRetries(const std::string &flag, const std::string &s);
 
 } // namespace pinte
 

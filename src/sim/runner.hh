@@ -15,6 +15,15 @@
  * RunResult::cpuSeconds is per-thread CPU time (see experiment.hh),
  * not wall time: an 8-way-parallel campaign reports the same
  * per-experiment costs a serial one does.
+ *
+ * Isolation boundary: this pool shares one address space, so it
+ * contains *exceptions*, not crashes — a job that segfaults, aborts,
+ * or wedges outside the cooperative watchdog's heartbeat (see
+ * watchdog.hh's blind-spot note) takes the whole campaign with it.
+ * Campaigns that need to survive those failure modes run the same
+ * job list under the fork-isolated backend (sim/worker_proc.hh,
+ * `pintesim --sweep --isolation=process`), which trades pipe-framing
+ * overhead for hard timeouts, retry, and per-cell crash quarantine.
  */
 
 #ifndef PINTE_SIM_RUNNER_HH

@@ -178,6 +178,20 @@ writeRunJson(JsonWriter &w, const RunResult &r)
         w.member("component", r.error.component);
         w.member("path", r.error.path);
         w.member("message", r.error.message);
+        // Process-isolation loss record (schema v5): present only on
+        // cells lost at the worker level, so thread-mode documents
+        // keep the exact v2 error shape.
+        if (r.error.attempts > 0) {
+            w.member("signal", r.error.signal);
+            w.member("exit_code", r.error.exitCode);
+            w.member("attempts",
+                     static_cast<std::uint64_t>(r.error.attempts));
+            w.key("attempt_log");
+            w.beginArray();
+            for (const std::string &line : r.error.attemptLog)
+                w.value(line);
+            w.endArray();
+        }
         w.endObject();
         w.endObject();
         return;
@@ -299,6 +313,18 @@ runFromJson(const JsonValue &v)
         r.error.component = e.at("component").asString();
         r.error.path = e.at("path").asString();
         r.error.message = e.at("message").asString();
+        // v5 process-isolation loss record; absent on in-process
+        // failures and in older documents.
+        if (const JsonValue *attempts = e.find("attempts")) {
+            r.error.attempts =
+                static_cast<std::uint32_t>(attempts->asU64());
+            r.error.signal =
+                static_cast<int>(e.at("signal").asU64());
+            r.error.exitCode =
+                static_cast<int>(e.at("exit_code").asU64());
+            for (const JsonValue &line : e.at("attempt_log").array)
+                r.error.attemptLog.push_back(line.asString());
+        }
         return r;
     }
     const JsonValue &m = v.at("metrics");

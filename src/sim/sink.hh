@@ -63,8 +63,17 @@ const char *toString(ReportFormat f);
  * (mode / interval_length / detailed_fraction / seed). Both are
  * present only when the run used a sampled schedule, so a v4 document
  * produced without sampling carries exactly the v3 fields.
+ *
+ * v5 adds the process-isolation failure record: a failed run's
+ * "error" object may carry "signal" (terminating signal of the last
+ * attempt, 0 when it exited), "exit_code", "attempts" (attempts
+ * consumed before quarantine) and "attempt_log" (one line per
+ * attempt). The four fields appear together and only on cells lost at
+ * the worker level under --isolation=process (error.attempts > 0);
+ * in-process failures keep the exact v2 error shape, so a v5 document
+ * from a thread-mode campaign carries exactly the v4 fields.
  */
-constexpr int reportSchemaVersion = 4;
+constexpr int reportSchemaVersion = 5;
 
 /** One typed table cell: display text plus the underlying value. */
 struct Cell

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/error.hh"
+#include "sim/wire.hh"
 
 namespace pinte
 {
@@ -21,6 +22,11 @@ struct State
     double limit = 0.0; // seconds; <= 0 means disarmed
     std::uint64_t lastInstructions = ~0ull;
     Clock::time_point lastProgress;
+
+    // Pipe-heartbeat forwarding (process-isolated workers).
+    int pipeFd = -1;
+    double pipeInterval = 0.2; // seconds between forwarded frames
+    Clock::time_point lastPipeBeat;
 };
 
 thread_local State state;
@@ -42,16 +48,41 @@ disarm()
 }
 
 void
+pipeHeartbeats(int fd, double min_interval_seconds)
+{
+    state.pipeFd = fd;
+    state.pipeInterval = min_interval_seconds;
+    state.lastInstructions = ~0ull;
+    state.lastPipeBeat = Clock::now() -
+                         std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 min_interval_seconds));
+}
+
+void
 heartbeat(std::uint64_t instructions)
 {
-    if (state.limit <= 0.0)
+    if (state.limit <= 0.0 && state.pipeFd < 0)
         return;
     const Clock::time_point now = Clock::now();
     if (instructions != state.lastInstructions) {
         state.lastInstructions = instructions;
         state.lastProgress = now;
+        // Forward fresh progress to the parent process, rate-limited
+        // so a tight simulation loop costs one clock read per call,
+        // not one pipe write. A failed write is ignored here: the
+        // parent reaping the pipe is about to reap the worker too.
+        if (state.pipeFd >= 0 &&
+            std::chrono::duration<double>(now - state.lastPipeBeat)
+                    .count() >= state.pipeInterval) {
+            state.lastPipeBeat = now;
+            writeFrame(state.pipeFd, FrameType::Heartbeat,
+                       packHeartbeat(instructions));
+        }
         return;
     }
+    if (state.limit <= 0.0)
+        return;
     const double stalled =
         std::chrono::duration<double>(now - state.lastProgress).count();
     if (stalled > state.limit) {

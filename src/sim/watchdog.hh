@@ -12,6 +12,18 @@
  *
  * Disarmed (the default) a heartbeat is a single branch; no clocks are
  * read.
+ *
+ * KNOWN BLIND SPOT (thread mode). Because the watchdog only runs
+ * inside heartbeat(), a worker that blocks *outside* it — stuck in a
+ * syscall, wedged in a corrupted non-simulation loop, or spinning
+ * anywhere that never calls heartbeat() — can never time out: the
+ * deadline exists but nothing ever checks it, and the campaign hangs
+ * with the worker (tests/test_faults.cc Watchdog.BlindSpot* pins this
+ * down). The escape hatch is `--isolation=process`
+ * (sim/worker_proc.hh): workers forward these heartbeats over a pipe
+ * via pipeHeartbeats() and the *parent process* enforces
+ * --job-timeout as a hard wall-clock deadline with SIGTERM->SIGKILL
+ * escalation, which catches hangs no cooperative check can.
  */
 
 #ifndef PINTE_SIM_WATCHDOG_HH
@@ -44,6 +56,18 @@ void disarm();
  *         than the armed limit.
  */
 void heartbeat(std::uint64_t instructions);
+
+/**
+ * Forward liveness over a pipe (process-isolated workers): every
+ * heartbeat that observes fresh instruction progress also writes a
+ * wire Heartbeat frame to `fd`, rate-limited to one frame per
+ * `min_interval_seconds`. Only *progress* is forwarded — a stalled
+ * simulation sends nothing, so the parent's hard deadline measures
+ * "no instruction progress for S seconds", the same quantity the
+ * cooperative limit measures. `fd < 0` disables forwarding (the
+ * default). Thread-local, like the rest of the watchdog state.
+ */
+void pipeHeartbeats(int fd, double min_interval_seconds);
 
 /** RAII helper: arms on construction, disarms on destruction. */
 class Scope

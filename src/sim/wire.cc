@@ -1,0 +1,185 @@
+#include "wire.hh"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/crc32.hh"
+
+namespace pinte
+{
+
+namespace
+{
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v));
+    putU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    return static_cast<std::uint64_t>(getU32(p)) |
+           static_cast<std::uint64_t>(getU32(p + 4)) << 32;
+}
+
+/** CRC over the frame's type byte, length field and payload. */
+std::uint32_t
+frameCrc(FrameType type, const std::string &payload)
+{
+    std::string head;
+    head.push_back(static_cast<char>(type));
+    putU32(head, static_cast<std::uint32_t>(payload.size()));
+    std::uint32_t crc = crc32(0, head.data(), head.size());
+    return crc32(crc, payload.data(), payload.size());
+}
+
+bool
+writeAll(int fd, const char *data, std::size_t len)
+{
+    while (len) {
+        const ::ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read exactly `len` bytes; 1 on success, 0 on immediate EOF (no
+ *  bytes read), -1 on error or EOF mid-buffer. */
+int
+readAll(int fd, char *data, std::size_t len)
+{
+    std::size_t got = 0;
+    while (got < len) {
+        const ::ssize_t n = ::read(fd, data + got, len - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (n == 0)
+            return got == 0 ? 0 : -1;
+        got += static_cast<std::size_t>(n);
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, FrameType type, const std::string &payload,
+           bool corrupt_crc)
+{
+    std::string frame;
+    frame.reserve(13 + payload.size());
+    putU32(frame, kWireMagic);
+    frame.push_back(static_cast<char>(type));
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    frame += payload;
+    std::uint32_t crc = frameCrc(type, payload);
+    if (corrupt_crc)
+        crc ^= 0xdeadbeefu;
+    putU32(frame, crc);
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+WireStatus
+readFrame(int fd, Frame &out)
+{
+    unsigned char head[9];
+    const int h =
+        readAll(fd, reinterpret_cast<char *>(head), sizeof(head));
+    if (h == 0)
+        return WireStatus::Eof;
+    if (h < 0)
+        return WireStatus::Error;
+    if (getU32(head) != kWireMagic)
+        return WireStatus::Garbage;
+    const std::uint32_t len = getU32(head + 5);
+    if (len > kMaxFramePayload)
+        return WireStatus::Garbage;
+    out.type = static_cast<FrameType>(head[4]);
+    out.payload.resize(len);
+    if (len &&
+        readAll(fd, out.payload.data(), len) != 1)
+        return WireStatus::Error;
+    unsigned char tail[4];
+    if (readAll(fd, reinterpret_cast<char *>(tail), sizeof(tail)) != 1)
+        return WireStatus::Error;
+    if (getU32(tail) != frameCrc(out.type, out.payload))
+        return WireStatus::Garbage;
+    return WireStatus::Ok;
+}
+
+std::string
+packJob(std::uint64_t index, std::uint32_t attempt)
+{
+    std::string p;
+    p.reserve(12);
+    putU64(p, index);
+    putU32(p, attempt);
+    return p;
+}
+
+bool
+unpackJob(const std::string &payload, std::uint64_t &index,
+          std::uint32_t &attempt)
+{
+    if (payload.size() != 12)
+        return false;
+    const unsigned char *p =
+        reinterpret_cast<const unsigned char *>(payload.data());
+    index = getU64(p);
+    attempt = getU32(p + 8);
+    return true;
+}
+
+std::string
+packHeartbeat(std::uint64_t instructions)
+{
+    std::string p;
+    p.reserve(8);
+    putU64(p, instructions);
+    return p;
+}
+
+bool
+unpackHeartbeat(const std::string &payload,
+                std::uint64_t &instructions)
+{
+    if (payload.size() != 8)
+        return false;
+    instructions = getU64(
+        reinterpret_cast<const unsigned char *>(payload.data()));
+    return true;
+}
+
+} // namespace pinte

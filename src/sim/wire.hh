@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Pipe wire protocol for process-isolated campaign workers.
+ *
+ * The parent and each worker process exchange length-prefixed,
+ * CRC32-framed records over a pair of pipes. Framing exists because a
+ * worker can die at any byte: the parent must distinguish a clean
+ * result from a torn or corrupted one (a worker that segfaults while
+ * writing, or a `worker-garbage` fault injection) without trusting
+ * the child. A frame that fails the magic or CRC check classifies as
+ * Garbage and the worker is treated as lost, never as having produced
+ * a half-result.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *   u32 magic     kWireMagic ("PNTW")
+ *   u8  type      FrameType
+ *   u32 length    payload bytes (kMaxFramePayload cap)
+ *   ... payload
+ *   u32 crc32     over type + length + payload (common/crc32.hh)
+ *
+ * Frame types and payloads:
+ *
+ *   Job        parent -> worker   u64 cell index + u32 attempt (0-based)
+ *   Heartbeat  worker -> parent   u64 retired-instruction count; sent
+ *                                 (rate-limited) whenever the simulation
+ *                                 loop makes instruction progress, so
+ *                                 the parent's hard deadline measures
+ *                                 "no progress", matching the
+ *                                 cooperative watchdog's semantics
+ *   Result     worker -> parent   the RunResult as one writeRunJson()
+ *                                 document (the exact representation
+ *                                 reports and the resume journal use)
+ *   Shutdown   parent -> worker   no payload; the worker exits 0
+ */
+
+#ifndef PINTE_SIM_WIRE_HH
+#define PINTE_SIM_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pinte
+{
+
+/** First bytes of every frame: "PNTW" read as a little-endian u32. */
+constexpr std::uint32_t kWireMagic = 0x57544e50u;
+
+/** Upper bound on a frame payload; larger lengths classify as Garbage
+ *  (a corrupted length field must not trigger a huge allocation). */
+constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/** What a frame carries; see the file comment for payload layouts. */
+enum class FrameType : std::uint8_t
+{
+    Job = 1,
+    Heartbeat = 2,
+    Result = 3,
+    Shutdown = 4,
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Shutdown;
+    std::string payload;
+};
+
+/** Outcome of readFrame(). */
+enum class WireStatus
+{
+    Ok,      //!< a complete, CRC-verified frame was read
+    Eof,     //!< clean end of stream at a frame boundary
+    Garbage, //!< bad magic, oversized length, or CRC mismatch
+    Error,   //!< read error, or EOF inside a frame (torn write)
+};
+
+/**
+ * Write one frame to `fd`, looping over short writes.
+ * @param corrupt_crc emit a deliberately wrong checksum (the
+ *        `worker-garbage` fault injection; never set in production)
+ * @return false on write error (e.g. EPIPE from a dead peer)
+ */
+bool writeFrame(int fd, FrameType type, const std::string &payload,
+                bool corrupt_crc = false);
+
+/**
+ * Blocking read of one frame from `fd` into `out`. Returns Ok only
+ * when the magic, length bound and CRC all check out; a stream that
+ * ends mid-frame is Error, not Eof.
+ */
+WireStatus readFrame(int fd, Frame &out);
+
+/** Encode a Job payload: cell index + 0-based attempt number. */
+std::string packJob(std::uint64_t index, std::uint32_t attempt);
+
+/** Decode a Job payload; false when the size is wrong. */
+bool unpackJob(const std::string &payload, std::uint64_t &index,
+               std::uint32_t &attempt);
+
+/** Encode / decode a Heartbeat payload (instruction count). */
+std::string packHeartbeat(std::uint64_t instructions);
+bool unpackHeartbeat(const std::string &payload,
+                     std::uint64_t &instructions);
+
+} // namespace pinte
+
+#endif // PINTE_SIM_WIRE_HH

@@ -16,6 +16,7 @@
 #include "expect_error.hh"
 
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -25,12 +26,18 @@
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "common/atomic_file.hh"
 #include "common/error.hh"
+#include "common/fault.hh"
+#include "common/json.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
 #include "sim/options.hh"
 #include "sim/runner.hh"
+#include "sim/sink.hh"
 #include "sim/watchdog.hh"
 #include "trace/trace_io.hh"
 #include "trace/zoo.hh"
@@ -464,6 +471,45 @@ TEST(Journal, TornTrailingLineIsSkippedNotFatal)
     std::remove(path.c_str());
 }
 
+TEST(Journal, TornTailIsTruncatedBeforeAppend)
+{
+    const std::string path = tempPath("torn_append.jsonl");
+    std::remove(path.c_str());
+
+    const std::vector<ExperimentSpec> specs = sweepSpecs();
+    const RunResult first = specs[0].tryRun().result;
+    const RunResult second = specs[1].tryRun().result;
+    ASSERT_FALSE(first.failed());
+    ASSERT_FALSE(second.failed());
+    {
+        RunJournal journal(path);
+        journal.record(keyFor(specs[0]), first);
+    }
+    {
+        // A SIGKILL mid-append leaves a torn, newline-less tail.
+        std::ofstream f(path, std::ios::app | std::ios::binary);
+        f << "{\"key\": \"half-writ";
+    }
+    {
+        // The reopened journal must truncate the torn tail before
+        // appending: without that, the next record glues onto the
+        // torn bytes, the combined line parses as garbage, and the
+        // record is silently lost on the following reload.
+        RunJournal journal(path);
+        EXPECT_EQ(journal.size(), 1u);
+        journal.record(keyFor(specs[1]), second);
+    }
+    RunJournal journal(path);
+    EXPECT_EQ(journal.size(), 2u);
+    const RunResult *hit0 = journal.find(keyFor(specs[0]));
+    const RunResult *hit1 = journal.find(keyFor(specs[1]));
+    ASSERT_NE(hit0, nullptr);
+    ASSERT_NE(hit1, nullptr);
+    expectSameSimulation(*hit0, first);
+    expectSameSimulation(*hit1, second);
+    std::remove(path.c_str());
+}
+
 TEST(Journal, FailedRunsAreNeverJournaled)
 {
     const std::string path = tempPath("nofail.jsonl");
@@ -472,7 +518,9 @@ TEST(Journal, FailedRunsAreNeverJournaled)
     RunResult failed;
     failed.workload = "w";
     failed.contention = "isolation";
-    failed.error = {"sim", "experiment", "", "boom"};
+    failed.error.kind = "sim";
+    failed.error.component = "experiment";
+    failed.error.message = "boom";
     {
         RunJournal journal(path);
         journal.record("some-key", failed);
@@ -482,6 +530,124 @@ TEST(Journal, FailedRunsAreNeverJournaled)
     // A resumed campaign must retry the failed cell.
     EXPECT_EQ(journal.find("some-key"), nullptr);
     std::remove(path.c_str());
+}
+
+/**
+ * Fork a writer that opens an AtomicFile on `path`, stages `partial`
+ * (flushed to the OS, never committed), signals readiness over a
+ * pipe, and parks until the parent SIGKILLs it. Models a campaign
+ * worker dying mid-report or mid-checkpoint write.
+ */
+void
+killMidAtomicWrite(const std::string &path, const std::string &partial)
+{
+    int ready[2];
+    ASSERT_EQ(::pipe(ready), 0);
+    std::fflush(nullptr);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::close(ready[0]);
+        AtomicFile f(path);
+        f.stream() << partial;
+        f.stream().flush();
+        const char byte = 'w';
+        if (::write(ready[1], &byte, 1) != 1)
+            std::_Exit(9);
+        for (;;)
+            ::pause(); // hold the temp open until SIGKILL lands
+    }
+    ::close(ready[1]);
+    char byte = 0;
+    ASSERT_EQ(::read(ready[0], &byte, 1), 1);
+    ::close(ready[0]);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+TEST(CrashDurability, KilledMidReportWriteLeavesNoPartialReport)
+{
+    // These tests exercise real SIGKILL durability, not the injected
+    // report-write fault the suite arms via the environment.
+    armFault("");
+    const std::string path = tempPath("killed_report.json");
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+
+    killMidAtomicWrite(path, "{\"schema_version\": 5, \"runs\": [");
+    // The dead writer never reached commit(): nothing was published;
+    // only the staging temp holds the torn bytes, so no reader can
+    // ever observe a half-written document at the report path.
+    EXPECT_FALSE(exists(path));
+    EXPECT_TRUE(exists(path + ".tmp"));
+
+    // A rerun reopens the same destination and must publish a
+    // complete, valid document over the wreckage — the fresh
+    // AtomicFile truncates the stale temp and commit() renames it
+    // into place.
+    ReportMeta meta;
+    meta.tool = "test_faults";
+    meta.fingerprint = "fp";
+    meta.params = quickParams();
+    const ExperimentSpec spec = sweepSpecs().front();
+    const RunResult r = spec.tryRun().result;
+    ASSERT_FALSE(r.failed());
+    {
+        Report rep(ReportFormat::Json, path, meta);
+        rep->run(r);
+        rep.close();
+    }
+    std::string error;
+    const JsonValue doc = parseJson(slurp(path), &error);
+    ASSERT_EQ(error, "");
+    EXPECT_EQ(doc.at("schema_version").asU64(),
+              static_cast<std::uint64_t>(reportSchemaVersion));
+    EXPECT_EQ(doc.at("runs").array.size(), 1u);
+    EXPECT_FALSE(exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(CrashDurability, KilledMidCheckpointWritePreservesPriorSnapshot)
+{
+    armFault("");
+    const std::string path = tempPath("killed_ckpt.bin");
+    std::remove(path.c_str());
+    const std::string good = "PNTC good checkpoint payload\n";
+    atomicWrite(path, good);
+
+    killMidAtomicWrite(path, good.substr(0, 9));
+    // The prior snapshot survives bitwise: a resume sees either the
+    // old checkpoint or a new complete one, never a torn hybrid.
+    EXPECT_EQ(slurp(path), good);
+
+    // The next successful writer replaces the snapshot and clears the
+    // dead writer's staging temp.
+    atomicWrite(path, "PNTC newer checkpoint\n");
+    EXPECT_EQ(slurp(path), "PNTC newer checkpoint\n");
+    EXPECT_FALSE(exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(Watchdog, BlindSpotDetectionWaitsForTheNextHeartbeat)
+{
+    // The cooperative watchdog only *observes* the stall clock inside
+    // heartbeat(): a job wedged in a syscall, a tight non-simulating
+    // loop, or foreign-library code never calls it, and so can never
+    // time out in thread mode. The stall is charged — and the
+    // TimeoutError raised — only at the next heartbeat, however late
+    // it arrives. Campaigns that need a hard wall-clock guarantee use
+    // the process backend, where the parent enforces the deadline
+    // from outside with SIGTERM-then-SIGKILL (sim/worker_proc.hh).
+    JobWatchdog::Scope guard(0.05);
+    JobWatchdog::heartbeat(1);
+    // Wedged for 3x the limit with no heartbeat: nothing can fire.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    // The very next heartbeat pays for the whole stall at once.
+    EXPECT_ERROR(JobWatchdog::heartbeat(1), TimeoutError,
+                 "no instruction progress");
 }
 
 } // namespace

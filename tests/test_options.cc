@@ -100,3 +100,56 @@ TEST(ParseProbability, RejectsMalformed)
     EXPECT_ERROR(parseProbability("0.5x"), ConfigError, "malformed");
     EXPECT_ERROR(parseProbability(""), ConfigError, "malformed");
 }
+
+TEST(ParseIsolation, AcceptsBothBackends)
+{
+    EXPECT_EQ(parseIsolation("thread"), IsolationMode::Thread);
+    EXPECT_EQ(parseIsolation("THREAD"), IsolationMode::Thread);
+    EXPECT_EQ(parseIsolation("process"), IsolationMode::Process);
+    EXPECT_EQ(parseIsolation("proc"), IsolationMode::Process);
+    EXPECT_EQ(parseIsolation("Process"), IsolationMode::Process);
+}
+
+TEST(ParseIsolation, RejectsUnknownWithValidValues)
+{
+    EXPECT_ERROR(parseIsolation("container"), ConfigError,
+                 "unknown isolation backend");
+    // The diagnostic must list the valid backends.
+    EXPECT_ERROR(parseIsolation("container"), ConfigError,
+                 "(thread, process)");
+    EXPECT_ERROR(parseIsolation(""), ConfigError,
+                 "unknown isolation backend");
+}
+
+TEST(ParseRetries, AcceptsPositiveBudgets)
+{
+    EXPECT_EQ(parseRetries("--max-retries", "1"), 1u);
+    EXPECT_EQ(parseRetries("--max-retries", "3"), 3u);
+    EXPECT_EQ(parseRetries("--max-retries", "10"), 10u);
+}
+
+TEST(ParseRetries, RejectsZero)
+{
+    // A cell needs at least one attempt; "never retry" is spelled
+    // --max-retries=1, not 0.
+    EXPECT_ERROR(parseRetries("--max-retries", "0"), ConfigError,
+                 "positive attempt budget");
+}
+
+TEST(ParseRetries, RejectsNegativeAndMalformed)
+{
+    EXPECT_ERROR(parseRetries("--max-retries", "-1"), ConfigError,
+                 "non-negative integer");
+    EXPECT_ERROR(parseRetries("--max-retries", "two"), ConfigError,
+                 "non-negative integer");
+    EXPECT_ERROR(parseRetries("--max-retries", ""), ConfigError,
+                 "non-negative integer");
+    EXPECT_ERROR(parseRetries("--max-retries", "99999999999999999999"),
+                 ConfigError, "out of range");
+}
+
+TEST(IsolationMode, ToStringNames)
+{
+    EXPECT_STREQ(toString(IsolationMode::Thread), "thread");
+    EXPECT_STREQ(toString(IsolationMode::Process), "process");
+}

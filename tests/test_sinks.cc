@@ -105,8 +105,33 @@ goldenFailedRun()
     RunResult r;
     r.workload = "synthetic.poisoned";
     r.contention = "isolation";
-    r.error = {"trace", "trace_io", "/tmp/poison.trc",
-               "truncated trace /tmp/poison.trc"};
+    r.error.kind = "trace";
+    r.error.component = "trace_io";
+    r.error.path = "/tmp/poison.trc";
+    r.error.message = "truncated trace /tmp/poison.trc";
+    return r;
+}
+
+/**
+ * A worker-level loss under --isolation=process (schema v5): the
+ * error object additionally carries the terminating signal and the
+ * full retry history.
+ */
+RunResult
+goldenCrashedRun()
+{
+    RunResult r;
+    r.workload = "synthetic.crashy";
+    r.contention = "pinte@0.250000";
+    r.error.kind = "worker";
+    r.error.component = "worker_proc";
+    r.error.message =
+        "worker lost (killed by signal 6 (Aborted)) after 2 attempt(s)";
+    r.error.signal = 6;
+    r.error.exitCode = 0;
+    r.error.attempts = 2;
+    r.error.attemptLog = {"attempt 1: killed by signal 6 (Aborted)",
+                          "attempt 2: killed by signal 6 (Aborted)"};
     return r;
 }
 
@@ -131,6 +156,7 @@ emitGoldenJson()
         sink.note(""); // spacing hint: machine sinks must drop it
         sink.run(goldenRun());
         sink.run(goldenFailedRun());
+        sink.run(goldenCrashedRun());
         TableData t("golden_table", {"label", "count", "value"});
         t.addRow({"row-one", Cell::count(42), Cell::real(0.125, 3)});
         t.addRow({"row,two", Cell::count(0), Cell::pct(0.5, 1)});
@@ -192,7 +218,7 @@ TEST(Sinks, JsonRoundTrip)
     ASSERT_EQ(v.at("notes").array.size(), 1u);
     EXPECT_EQ(v.at("notes").array[0].asString(), "golden note");
 
-    ASSERT_EQ(v.at("runs").array.size(), 2u);
+    ASSERT_EQ(v.at("runs").array.size(), 3u);
     const JsonValue &run = v.at("runs").array[0];
     EXPECT_EQ(run.at("workload").asString(), r.workload);
     EXPECT_EQ(run.at("contention").asString(), r.contention);
@@ -212,9 +238,34 @@ TEST(Sinks, JsonRoundTrip)
     EXPECT_EQ(err.at("path").asString(), "/tmp/poison.trc");
     EXPECT_EQ(err.at("message").asString(),
               "truncated trace /tmp/poison.trc");
+    // In-process failures keep the v2 error shape: no loss record.
+    EXPECT_EQ(err.find("attempts"), nullptr);
+    EXPECT_EQ(err.find("signal"), nullptr);
+
+    // The worker-level loss (v5) carries the signal and retry
+    // history, and both survive the runFromJson round trip.
+    const JsonValue &crashed = v.at("runs").array[2];
+    EXPECT_EQ(crashed.at("status").asString(), "failed");
+    const JsonValue &loss = crashed.at("error");
+    EXPECT_EQ(loss.at("kind").asString(), "worker");
+    EXPECT_EQ(loss.at("component").asString(), "worker_proc");
+    EXPECT_EQ(loss.at("signal").asU64(), 6u);
+    EXPECT_EQ(loss.at("exit_code").asU64(), 0u);
+    EXPECT_EQ(loss.at("attempts").asU64(), 2u);
+    ASSERT_EQ(loss.at("attempt_log").array.size(), 2u);
+    EXPECT_EQ(loss.at("attempt_log").array[0].asString(),
+              "attempt 1: killed by signal 6 (Aborted)");
+    const RunResult lost = runFromJson(crashed);
+    EXPECT_TRUE(lost.failed());
+    EXPECT_EQ(lost.error.signal, 6);
+    EXPECT_EQ(lost.error.exitCode, 0);
+    EXPECT_EQ(lost.error.attempts, 2u);
+    EXPECT_EQ(lost.error.attemptLog,
+              goldenCrashedRun().error.attemptLog);
+
     const JsonValue &failures = v.at("failures");
-    EXPECT_EQ(failures.at("failed").asU64(), 1u);
-    EXPECT_EQ(failures.at("total").asU64(), 2u);
+    EXPECT_EQ(failures.at("failed").asU64(), 2u);
+    EXPECT_EQ(failures.at("total").asU64(), 3u);
 
     // Metrics round-trip bit-identically (EXPECT_EQ, not NEAR).
     const JsonValue &m = run.at("metrics");
@@ -339,6 +390,7 @@ TEST(Sinks, CsvCarriesRunsAndTables)
         sink.note("");
         sink.run(goldenRun());
         sink.run(goldenFailedRun());
+        sink.run(goldenCrashedRun());
         TableData t("golden_table", {"label", "value"});
         t.addRow({"row,with,commas", Cell::real(0.5, 3)});
         sink.table(t);
@@ -356,6 +408,15 @@ TEST(Sinks, CsvCarriesRunsAndTables)
               std::string::npos);
     EXPECT_NE(doc.find("truncated trace /tmp/poison.trc"),
               std::string::npos);
+    // A worker-level loss flattens to its kind + message; the CSV
+    // shape (column list) is unchanged by schema v5.
+    EXPECT_NE(doc.find("synthetic.crashy,pinte@0.250000,failed,"),
+              std::string::npos);
+    EXPECT_NE(doc.find(",worker,"), std::string::npos);
+    EXPECT_NE(
+        doc.find("worker lost (killed by signal 6 (Aborted)) after "
+                 "2 attempt(s)"),
+        std::string::npos);
     EXPECT_NE(doc.find("\"row,with,commas\""), std::string::npos);
     EXPECT_EQ(doc.find("# note:"), std::string::npos)
         << "empty note must be dropped by machine sinks";

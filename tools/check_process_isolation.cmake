@@ -1,0 +1,142 @@
+# ctest helper: end-to-end crash-containment acceptance for the
+# process-isolated campaign backend. Two chaos campaigns run against a
+# fault-free thread-mode reference:
+#
+#  1. worker-crash: one forked worker abort()s on every attempt. The
+#     campaign must exhaust the retry budget, quarantine the cell with
+#     its death signal and full attempt history, exit nonzero, and
+#     still publish a schema-valid v5 report whose healthy cells are
+#     bitwise-identical (modulo cpu_seconds) to the reference.
+#
+#  2. worker-hang: one worker ignores SIGTERM and wedges without
+#     heartbeating. Under a short --job-timeout the parent must
+#     escalate SIGTERM -> SIGKILL from outside, quarantine the cell as
+#     a timeout, and the campaign must still complete.
+#
+# Invoked from tools/CMakeLists.txt with -DPINTESIM=... -DPYTHON=...
+# -DCHECKER=... (check_report.py) -DWORKDIR=...
+
+set(reference "${WORKDIR}/procisol_reference.json")
+set(crashed "${WORKDIR}/procisol_crashed.json")
+set(hung "${WORKDIR}/procisol_hung.json")
+file(REMOVE ${reference} ${crashed} ${hung})
+
+set(common
+    --workload 450.soplex --sweep
+    --warmup 2000 --roi 4000 --sample 2000 --jobs 2
+    --format json)
+
+# Fault-free thread-mode reference: the determinism baseline.
+execute_process(
+    COMMAND ${PINTESIM} ${common} --out ${reference}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "reference sweep failed (${rc}):\n${out}\n${err}")
+endif()
+
+# Chaos 1: a worker that dies by SIGABRT on every attempt. Two
+# attempts are budgeted so the quarantined cell demonstrably retried.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env PINTE_INJECT_FAULT=worker-crash:3
+        ${PINTESIM} ${common} --isolation=process --max-retries 2
+        --out ${crashed}
+    RESULT_VARIABLE sim_rc
+    OUTPUT_VARIABLE sim_out
+    ERROR_VARIABLE sim_err)
+if(sim_rc EQUAL 0)
+    message(FATAL_ERROR
+        "crash-injected campaign exited 0; a lost worker must surface "
+        "in the exit status:\n${sim_out}\n${sim_err}")
+endif()
+if(NOT sim_err MATCHES "sweep jobs failed")
+    message(FATAL_ERROR
+        "crash-injected campaign did not report its failure count on "
+        "stderr:\n${sim_err}")
+endif()
+
+# Chaos 2: a worker that ignores SIGTERM and never heartbeats. The
+# 1-second deadline must be enforced from the parent.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env PINTE_INJECT_FAULT=worker-hang:2
+        ${PINTESIM} ${common} --isolation=process --job-timeout 1
+        --out ${hung}
+    RESULT_VARIABLE hang_rc
+    OUTPUT_VARIABLE hang_out
+    ERROR_VARIABLE hang_err)
+if(hang_rc EQUAL 0)
+    message(FATAL_ERROR
+        "hang-injected campaign exited 0; a timed-out worker must "
+        "surface in the exit status:\n${hang_out}\n${hang_err}")
+endif()
+if(NOT hang_err MATCHES "sweep jobs failed")
+    message(FATAL_ERROR
+        "hang-injected campaign did not report its failure count on "
+        "stderr:\n${hang_err}")
+endif()
+
+# Both chaos reports must still be schema-valid v5 documents.
+foreach(doc ${crashed} ${hung})
+    execute_process(
+        COMMAND ${PYTHON} ${CHECKER} ${doc}
+        RESULT_VARIABLE check_rc
+        OUTPUT_VARIABLE check_out
+        ERROR_VARIABLE check_err)
+    if(NOT check_rc EQUAL 0)
+        message(FATAL_ERROR
+            "${doc} failed schema validation (${check_rc}):\n"
+            "${check_out}\n${check_err}")
+    endif()
+    message(STATUS "${check_out}")
+endforeach()
+
+# Quarantine metadata + healthy-cell determinism, per chaos document:
+#  - exactly one failed cell, carrying the expected error kind, a
+#    nonzero death signal, and a coherent attempt history;
+#  - every healthy cell bitwise-equal (modulo cpu_seconds) to the
+#    same (workload, contention) cell of the fault-free reference.
+execute_process(
+    COMMAND ${PYTHON} -c
+"import json, sys
+
+def strip(node):
+    if isinstance(node, dict):
+        return {k: strip(v) for k, v in node.items()
+                if k != 'cpu_seconds'}
+    if isinstance(node, list):
+        return [strip(v) for v in node]
+    return node
+
+ref_doc = json.load(open(sys.argv[1]))
+ref = {(r['workload'], r['contention']): strip(r)
+       for r in ref_doc['runs']}
+
+for path, kind, attempts_floor in [(sys.argv[2], 'worker', 2),
+                                   (sys.argv[3], 'timeout', 1)]:
+    d = json.load(open(path))
+    assert d['schema_version'] == 5, d['schema_version']
+    failed = [r for r in d['runs'] if r['status'] == 'failed']
+    ok = [r for r in d['runs'] if r['status'] == 'ok']
+    assert len(failed) == 1, (path, len(failed))
+    assert len(ok) == len(ref) - 1, (path, len(ok))
+    e = failed[0]['error']
+    assert e['kind'] == kind, (path, e['kind'])
+    assert e['signal'] > 0, (path, e)
+    assert e['attempts'] >= attempts_floor, (path, e)
+    assert len(e['attempt_log']) == e['attempts'], (path, e)
+    for r in ok:
+        key = (r['workload'], r['contention'])
+        assert strip(r) == ref[key], (path, key)
+    print('%s: 1 quarantined (%s, signal %d, %d attempt(s)), '
+          '%d healthy cells match the reference'
+          % (path.rsplit('/', 1)[-1], e['kind'], e['signal'],
+             e['attempts'], len(ok)))"
+        ${reference} ${crashed} ${hung}
+    RESULT_VARIABLE verify_rc
+    OUTPUT_VARIABLE verify_out
+    ERROR_VARIABLE verify_err)
+if(NOT verify_rc EQUAL 0)
+    message(FATAL_ERROR
+        "process-isolation verification failed (${verify_rc}):\n"
+        "${verify_out}\n${verify_err}")
+endif()
+message(STATUS "${verify_out}")

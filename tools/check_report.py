@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a pinte-report JSON document (schema versions 1-4).
+"""Validate a pinte-report JSON document (schema versions 1-5).
 
 Usage:
     check_report.py [report.json]        # file, or stdin when omitted
@@ -33,6 +33,16 @@ detailed-only document may — plus the schedule identities
 (detailed_intervals <= intervals, detailed_instructions <=
 total_instructions, non-negative CI half-widths).
 
+Version 5 adds the process-isolation loss record on failed runs,
+optional and appearing as a unit (all four fields or none, only on
+cells lost at the worker level under --isolation=process): "signal"
+(terminating signal of the last attempt, 0 when the worker exited
+instead), "exit_code", "attempts" (attempts consumed before
+quarantine, >= 1), and "attempt_log" (one line per attempt, so its
+length must equal "attempts"). In-process failures keep the exact v2
+error shape, so a thread-mode v5 document carries exactly the v4
+fields.
+
 On v2+ documents the conservation identities the simulator maintains
 are also enforced on every ok run: miss_rate equals
 llc_misses/llc_accesses, counters and rate metrics stay within their
@@ -50,7 +60,7 @@ import math
 import sys
 
 SCHEMA = "pinte-report"
-SCHEMA_VERSIONS = (1, 2, 3, 4)
+SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 
 SAMPLING_CONFIG_FIELDS = {
     "mode": str,
@@ -130,6 +140,15 @@ ERROR_FIELDS = {
     "message": str,
 }
 
+# v5 process-isolation loss record, optional on a failed run's error
+# object; the four fields appear together (keyed on "attempts").
+LOSS_FIELDS = {
+    "signal": int,
+    "exit_code": int,
+    "attempts": int,
+    "attempt_log": list,
+}
+
 FAILURES_FIELDS = {
     "failed": int,
     "total": int,
@@ -197,11 +216,40 @@ class Checker:
                 self.error(path, f"unknown field '{name}'")
 
     def check_failed_run(self, run, path):
-        self.check_fields(run.get("error"), ERROR_FIELDS, f"{path}.error")
+        error = run.get("error")
+        fields = ERROR_FIELDS
+        # v5 process-isolation loss record: the four fields appear as
+        # a unit (keyed on "attempts") and only on worker-level losses.
+        if self.version >= 5 and isinstance(error, dict) and (
+            "attempts" in error
+        ):
+            fields = dict(ERROR_FIELDS, **LOSS_FIELDS)
+        self.check_fields(error, fields, f"{path}.error")
+        if fields is not ERROR_FIELDS:
+            self.check_loss_record(error, f"{path}.error")
         for name in run:
             if name not in {"workload", "contention", "status", "error"}:
                 self.error(
                     path, f"unknown field '{name}' on a failed run"
+                )
+
+    def check_loss_record(self, error, path):
+        attempts = error.get("attempts")
+        log = error.get("attempt_log")
+        if isinstance(attempts, int) and attempts < 1:
+            self.error(f"{path}.attempts", "expected >= 1")
+        for name in ("signal", "exit_code"):
+            value = error.get(name)
+            if isinstance(value, int) and value < 0:
+                self.error(f"{path}.{name}", "expected >= 0")
+        if isinstance(log, list):
+            if not all(isinstance(line, str) for line in log):
+                self.error(f"{path}.attempt_log", "expected strings")
+            if isinstance(attempts, int) and len(log) != attempts:
+                self.error(
+                    f"{path}.attempt_log",
+                    f"expected {attempts} line(s) (one per attempt), "
+                    f"got {len(log)}",
                 )
 
     def check_run(self, run, path):

@@ -38,6 +38,7 @@
 #include "sim/runner.hh"
 #include "sim/sink.hh"
 #include "sim/watchdog.hh"
+#include "sim/worker_proc.hh"
 
 using namespace pinte;
 
@@ -54,6 +55,13 @@ usage()
         "      --sweep           run the standard 12-point P sweep\n"
         "      --pair NAME       2nd-Trace co-run instead of PInTE\n"
         "      --isolation       no contention at all\n"
+        "      --isolation=K     campaign backend for --sweep: thread\n"
+        "                        (in-process pool, default) or process\n"
+        "                        (fork-isolated workers: crashes and\n"
+        "                        hard hangs become quarantined cells)\n"
+        "      --max-retries N   process backend: attempts per cell\n"
+        "                        before quarantine (default 1; only\n"
+        "                        worker-level losses are retried)\n"
         "      --policy K        llc replacement: lru plru nmru rrip random drrip\n"
         "      --inclusion K     llc inclusion: non inclusive exclusive\n"
         "      --prefetch SSS    prefetch string (000, NN0, NNN, NNI)\n"
@@ -122,6 +130,9 @@ pinteMain(int argc, char **argv)
     bool scope_set = false;
     unsigned jobs = 0;
     double job_timeout = 0.0;
+    IsolationMode iso_mode = IsolationMode::Thread;
+    std::uint32_t max_retries = 1;
+    bool retries_set = false;
     std::string resume_path;
     bool bench_baseline = false;
     HotpathOptions bench_opt;
@@ -165,8 +176,16 @@ pinteMain(int argc, char **argv)
         } else if (a == "--pair") {
             pair = need();
         } else if (a == "--isolation") {
-            flag();
-            isolation = true;
+            // Bare --isolation is the historical no-contention run
+            // mode; with an inline value it selects the campaign
+            // backend instead (--isolation=thread|process).
+            if (inline_val)
+                iso_mode = parseIsolation(*inline_val);
+            else
+                isolation = true;
+        } else if (a == "--max-retries") {
+            max_retries = parseRetries(a, need());
+            retries_set = true;
         } else if (a == "--policy") {
             machine.llc.replacement = parseReplacement(need());
         } else if (a == "--inclusion") {
@@ -254,6 +273,16 @@ pinteMain(int argc, char **argv)
             fatal("unknown option: " + a);
         }
     }
+
+    if (iso_mode == IsolationMode::Process && !sweep)
+        throw ConfigError("--isolation=process is a campaign backend "
+                          "and requires --sweep",
+                          {"options", "--isolation", "process"});
+    if (retries_set && iso_mode != IsolationMode::Process)
+        throw ConfigError("--max-retries is only meaningful with "
+                          "--isolation=process (the thread backend "
+                          "never retries)",
+                          {"options", "--max-retries", ""});
 
     if (bench_baseline) {
         // tools/bench_baseline mode: measure the pinned hot-path
@@ -417,11 +446,53 @@ pinteMain(int argc, char **argv)
         };
 
         const auto &points = standardPInduceSweep();
-        Runner runner(jobs);
-        runner.jobTimeout(job_timeout);
-        const auto results = runner.map(
-            points.size(),
-            [&](std::size_t k) { return oneTry(points[k]); });
+        std::vector<RunResult> results;
+        if (iso_mode == IsolationMode::Process) {
+            // Fork-isolated backend: the parent resolves journal hits
+            // up front, workers execute only the pending cells, and
+            // each result merges into the journal as it arrives so an
+            // interrupted campaign still supports --resume.
+            results.resize(points.size());
+            std::vector<std::size_t> pending;
+            std::vector<std::string> keys(points.size());
+            for (std::size_t k = 0; k < points.size(); ++k) {
+                keys[k] = journalKey(fp, params, spec.name,
+                                     build(points[k]).contention());
+                const RunResult *done =
+                    journal ? journal->find(keys[k]) : nullptr;
+                if (done)
+                    results[k] = *done;
+                else
+                    pending.push_back(k);
+            }
+            ProcOptions popt;
+            popt.workers = jobs;
+            popt.jobTimeout = job_timeout;
+            popt.maxRetries = max_retries;
+            const auto fresh = runProcessCampaign(
+                pending.size(),
+                [&](std::size_t j) {
+                    return build(points[pending[j]]).tryRun().result;
+                },
+                popt,
+                [&](std::size_t j, RunResult &r) {
+                    r.workload = spec.name;
+                    r.contention =
+                        build(points[pending[j]]).contention();
+                },
+                [&](std::size_t j, const RunResult &r) {
+                    if (journal && !r.failed())
+                        journal->record(keys[pending[j]], r);
+                });
+            for (std::size_t j = 0; j < pending.size(); ++j)
+                results[pending[j]] = fresh[j];
+        } else {
+            Runner runner(jobs);
+            runner.jobTimeout(job_timeout);
+            results = runner.map(
+                points.size(),
+                [&](std::size_t k) { return oneTry(points[k]); });
+        }
         std::size_t failed = 0;
         for (const auto &r : results) {
             if (r.failed())
