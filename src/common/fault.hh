@@ -47,6 +47,12 @@
  *  - "worker-flaky"   the worker abort()s on the cell's first attempt
  *                     only, so --max-retries >= 2 recovers it — the
  *                     retry-determinism test hook
+ *  - "worker-torn-frame"
+ *                     the worker writes the first half of a valid
+ *                     Result frame, then wedges ignoring SIGTERM —
+ *                     the partial-frame stall case: the parent must
+ *                     keep polling (reassembly buffer), enforce the
+ *                     deadline, and record the torn bytes
  */
 
 #ifndef PINTE_COMMON_FAULT_HH

@@ -245,6 +245,7 @@ toString(IsolationMode m)
     switch (m) {
       case IsolationMode::Thread: return "thread";
       case IsolationMode::Process: return "process";
+      case IsolationMode::Spool: return "spool";
     }
     return "unknown";
 }

@@ -61,14 +61,22 @@ SampleMode parseSampleMode(const std::string &text);
  * quarantined cell with its signal/exit code and attempt history in
  * the report, and --job-timeout upgrades to a hard SIGTERM->SIGKILL
  * deadline enforced by the parent.
+ * Spool runs the campaign through a durable file-queue broker
+ * (sim/broker.hh): shards of cells are published to a --spool
+ * directory, claimed by independent worker processes under expiring
+ * leases, and merged as results stream back — both the broker and any
+ * worker can be SIGKILLed at any instant and the campaign resumes
+ * from the spool alone.
  */
 enum class IsolationMode
 {
     Thread,
     Process,
+    Spool,
 };
 
-/** Printable name for an isolation mode ("thread" / "process"). */
+/** Printable name for an isolation mode ("thread" / "process" /
+ *  "spool"). */
 const char *toString(IsolationMode m);
 
 /** Interval-engine schedule parameters (ExperimentParams::sampling). */
@@ -164,6 +172,17 @@ struct RunError
     int exitCode = 0; //!< exit code, when the worker exited instead
     std::uint32_t attempts = 0;          //!< attempts consumed
     std::vector<std::string> attemptLog; //!< one line per attempt
+
+    /**
+     * Spool-loss provenance (schema v6): the shard a spool campaign
+     * quarantined this cell with and the fencing token the shard held
+     * when its retry budget ran out. The pair appears together and
+     * only on cells lost at the broker level under --isolation=spool
+     * (`shard` non-empty); every other failure leaves both at their
+     * defaults and serializes without them.
+     */
+    std::string shard;              //!< losing shard id, or empty
+    std::uint32_t fencingToken = 0; //!< shard token at quarantine
 
     /** Capture a typed simulator error. */
     static RunError

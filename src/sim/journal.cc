@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/error.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -12,6 +13,37 @@
 
 namespace pinte
 {
+
+namespace
+{
+
+/** One JSONL journal line (newline-terminated) for `r` under `key` —
+ *  the exact representation record() appends and load parses back. */
+std::string
+journalLine(const std::string &key, const RunResult &r)
+{
+    std::ostringstream line;
+    {
+        JsonWriter w(line, 0);
+        w.beginObject();
+        w.member("key", key);
+        w.key("run");
+        writeRunJson(w, r);
+        w.endObject();
+    }
+    const std::string text = line.str();
+    // JSONL: one entry per physical line, so strip the writer's
+    // layout newlines before appending the terminator.
+    std::string flat;
+    flat.reserve(text.size());
+    for (const char c : text)
+        if (c != '\n')
+            flat += c;
+    flat += '\n';
+    return flat;
+}
+
+} // namespace
 
 std::string
 journalKey(const std::string &fingerprint,
@@ -43,6 +75,7 @@ RunJournal::RunJournal(const std::string &path) : path_(path)
     std::ifstream in(path);
     std::string line;
     std::size_t skipped = 0;
+    std::size_t duplicates = 0;
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
@@ -59,7 +92,10 @@ RunJournal::RunJournal(const std::string &path) : path_(path)
             continue;
         }
         try {
-            entries_[key->asString()] = runFromJson(*run);
+            RunResult r = runFromJson(*run);
+            if (entries_.count(key->asString()))
+                ++duplicates;
+            entries_[key->asString()] = std::move(r);
         } catch (const Error &) {
             ++skipped;
         }
@@ -68,6 +104,25 @@ RunJournal::RunJournal(const std::string &path) : path_(path)
     if (skipped)
         warn("journal " + path + ": skipped " +
              std::to_string(skipped) + " unparseable line(s)");
+
+    // Compaction: when dead weight (unparseable lines + duplicate
+    // keys) outnumbers live entries, rewrite the file atomically with
+    // exactly one line per entry. The rewrite carries the same entry
+    // set load just produced, so resume semantics are untouched; the
+    // atomic temp-then-rename means a crash mid-compaction leaves the
+    // old (valid) journal in place. This also subsumes the torn-tail
+    // handling below — the tail was counted as an unparseable line.
+    if (skipped + duplicates > entries_.size()) {
+        AtomicFile out(path);
+        for (const auto &kv : entries_)
+            out.stream() << journalLine(kv.first, kv.second);
+        out.commit();
+        compacted_ = true;
+        warn("journal " + path + ": compacted " +
+             std::to_string(skipped + duplicates) +
+             " dead/duplicate line(s) away (" +
+             std::to_string(entries_.size()) + " live)");
+    }
 
     // A crash mid-append can leave a partial final record with no
     // terminating newline. Skipping it on load is not enough: opening
@@ -121,24 +176,7 @@ RunJournal::record(const std::string &key, const RunResult &r)
 {
     if (r.failed())
         return;
-    std::ostringstream line;
-    {
-        JsonWriter w(line, 0);
-        w.beginObject();
-        w.member("key", key);
-        w.key("run");
-        writeRunJson(w, r);
-        w.endObject();
-    }
-    std::string text = line.str();
-    // JSONL: one entry per physical line, so strip the writer's
-    // layout newlines before appending the terminator.
-    std::string flat;
-    flat.reserve(text.size());
-    for (const char c : text)
-        if (c != '\n')
-            flat += c;
-    flat += '\n';
+    const std::string flat = journalLine(key, r);
 
     std::lock_guard<std::mutex> g(m_);
     if (entries_.count(key))

@@ -16,6 +16,15 @@
  * experiment scale parameters, workload and contention label — so a
  * journal recorded under one configuration can never leak results
  * into another.
+ *
+ * Long-lived journals accrete dead weight: newline-terminated garbage
+ * from interleaved writers, and duplicate keys when independent
+ * recorders (e.g. a spool broker restarted mid-campaign) re-record
+ * cells. Load tolerates both, but the file would grow without bound,
+ * so construction compacts it — rewrites the JSONL atomically with
+ * exactly one line per live entry — whenever dead + duplicate lines
+ * outnumber live ones. Compaction preserves resume semantics exactly:
+ * the entry set served by find() is identical before and after.
  */
 
 #ifndef PINTE_SIM_JOURNAL_HH
@@ -75,11 +84,16 @@ class RunJournal
     /** Entries currently loaded/recorded. */
     std::size_t size() const;
 
+    /** True when construction rewrote the file (dead + duplicate
+     *  lines outnumbered live entries). */
+    bool compacted() const { return compacted_; }
+
   private:
     mutable std::mutex m_;
     std::map<std::string, RunResult> entries_;
     std::FILE *file_ = nullptr;
     std::string path_;
+    bool compacted_ = false;
 };
 
 } // namespace pinte

@@ -197,8 +197,10 @@ parseIsolation(const std::string &s)
         return IsolationMode::Thread;
     if (v == "process" || v == "proc")
         return IsolationMode::Process;
+    if (v == "spool")
+        return IsolationMode::Spool;
     throw ConfigError("unknown isolation backend '" + s +
-                          "' (thread, process)",
+                          "' (thread, process, spool)",
                       {"options", "--isolation", s});
 }
 

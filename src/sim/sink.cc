@@ -192,6 +192,14 @@ writeRunJson(JsonWriter &w, const RunResult &r)
                 w.value(line);
             w.endArray();
         }
+        // Spool-loss provenance (schema v6): which shard the broker
+        // quarantined this cell with, and the fencing token it held.
+        // The pair appears together and only on spool-level losses.
+        if (!r.error.shard.empty()) {
+            w.member("shard", r.error.shard);
+            w.member("fencing_token",
+                     static_cast<std::uint64_t>(r.error.fencingToken));
+        }
         w.endObject();
         w.endObject();
         return;
@@ -324,6 +332,12 @@ runFromJson(const JsonValue &v)
                 static_cast<int>(e.at("exit_code").asU64());
             for (const JsonValue &line : e.at("attempt_log").array)
                 r.error.attemptLog.push_back(line.asString());
+        }
+        // v6 spool-loss provenance; absent everywhere else.
+        if (const JsonValue *shard = e.find("shard")) {
+            r.error.shard = shard->asString();
+            r.error.fencingToken = static_cast<std::uint32_t>(
+                e.at("fencing_token").asU64());
         }
         return r;
     }

@@ -72,8 +72,16 @@ const char *toString(ReportFormat f);
  * the worker level under --isolation=process (error.attempts > 0);
  * in-process failures keep the exact v2 error shape, so a v5 document
  * from a thread-mode campaign carries exactly the v4 fields.
+ *
+ * v6 adds the spool-loss provenance: a failed run's "error" object
+ * may carry "shard" (the shard id a spool campaign quarantined the
+ * cell with) and "fencing_token" (the token the shard held when its
+ * retry budget ran out). The pair appears together and only on cells
+ * lost at the broker level under --isolation=spool; every other
+ * document — thread, process, or a fault-free spool campaign — is
+ * field-identical to v5 output.
  */
-constexpr int reportSchemaVersion = 5;
+constexpr int reportSchemaVersion = 6;
 
 /** One typed table cell: display text plus the underlying value. */
 struct Cell

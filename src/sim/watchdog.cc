@@ -27,6 +27,11 @@ struct State
     int pipeFd = -1;
     double pipeInterval = 0.2; // seconds between forwarded frames
     Clock::time_point lastPipeBeat;
+
+    // Generic progress hook (spool-worker lease renewal).
+    std::function<void(std::uint64_t)> hook;
+    double hookInterval = 0.2;
+    Clock::time_point lastHookBeat;
 };
 
 thread_local State state;
@@ -60,9 +65,22 @@ pipeHeartbeats(int fd, double min_interval_seconds)
 }
 
 void
+progressHook(std::function<void(std::uint64_t)> hook,
+             double min_interval_seconds)
+{
+    state.hook = std::move(hook);
+    state.hookInterval = min_interval_seconds;
+    state.lastInstructions = ~0ull;
+    state.lastHookBeat = Clock::now() -
+                         std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 min_interval_seconds));
+}
+
+void
 heartbeat(std::uint64_t instructions)
 {
-    if (state.limit <= 0.0 && state.pipeFd < 0)
+    if (state.limit <= 0.0 && state.pipeFd < 0 && !state.hook)
         return;
     const Clock::time_point now = Clock::now();
     if (instructions != state.lastInstructions) {
@@ -78,6 +96,12 @@ heartbeat(std::uint64_t instructions)
             state.lastPipeBeat = now;
             writeFrame(state.pipeFd, FrameType::Heartbeat,
                        packHeartbeat(instructions));
+        }
+        if (state.hook &&
+            std::chrono::duration<double>(now - state.lastHookBeat)
+                    .count() >= state.hookInterval) {
+            state.lastHookBeat = now;
+            state.hook(instructions);
         }
         return;
     }

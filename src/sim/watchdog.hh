@@ -30,6 +30,7 @@
 #define PINTE_SIM_WATCHDOG_HH
 
 #include <cstdint>
+#include <functional>
 
 namespace pinte
 {
@@ -68,6 +69,19 @@ void heartbeat(std::uint64_t instructions);
  * default). Thread-local, like the rest of the watchdog state.
  */
 void pipeHeartbeats(int fd, double min_interval_seconds);
+
+/**
+ * Forward liveness to arbitrary code: every heartbeat that observes
+ * fresh instruction progress also invokes `hook`, rate-limited to one
+ * call per `min_interval_seconds`. Spool workers (sim/broker.hh) hang
+ * their lease renewal here, so a lease stays alive exactly as long as
+ * the simulation makes progress — a wedged worker stops renewing and
+ * gets its shard reclaimed, the same "no progress" quantity every
+ * other deadline in the system measures. An empty function disables
+ * the hook (the default). Thread-local. The hook must not throw.
+ */
+void progressHook(std::function<void(std::uint64_t)> hook,
+                  double min_interval_seconds);
 
 /** RAII helper: arms on construction, disarms on destruction. */
 class Scope

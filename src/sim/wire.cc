@@ -94,9 +94,33 @@ readAll(int fd, char *data, std::size_t len)
 
 } // namespace
 
-bool
-writeFrame(int fd, FrameType type, const std::string &payload,
-           bool corrupt_crc)
+void
+wirePutU32(std::string &out, std::uint32_t v)
+{
+    putU32(out, v);
+}
+
+void
+wirePutU64(std::string &out, std::uint64_t v)
+{
+    putU64(out, v);
+}
+
+std::uint32_t
+wireGetU32(const unsigned char *p)
+{
+    return getU32(p);
+}
+
+std::uint64_t
+wireGetU64(const unsigned char *p)
+{
+    return getU64(p);
+}
+
+std::string
+encodeFrame(FrameType type, const std::string &payload,
+            bool corrupt_crc)
 {
     std::string frame;
     frame.reserve(13 + payload.size());
@@ -108,7 +132,52 @@ writeFrame(int fd, FrameType type, const std::string &payload,
     if (corrupt_crc)
         crc ^= 0xdeadbeefu;
     putU32(frame, crc);
+    return frame;
+}
+
+bool
+writeFrame(int fd, FrameType type, const std::string &payload,
+           bool corrupt_crc)
+{
+    const std::string frame = encodeFrame(type, payload, corrupt_crc);
     return writeAll(fd, frame.data(), frame.size());
+}
+
+void
+FrameReassembly::feed(const char *data, std::size_t len)
+{
+    // Compact lazily: once consumed bytes dominate the buffer, drop
+    // them so a long-lived stream doesn't grow without bound.
+    if (off_ > 4096 && off_ > buf_.size() / 2) {
+        buf_.erase(0, off_);
+        off_ = 0;
+    }
+    buf_.append(data, len);
+}
+
+ReassemblyStatus
+FrameReassembly::next(Frame &out)
+{
+    if (pending() < 13)
+        return ReassemblyStatus::NeedMore;
+    const unsigned char *head =
+        reinterpret_cast<const unsigned char *>(buf_.data() + off_);
+    if (getU32(head) != kWireMagic)
+        return ReassemblyStatus::Garbage;
+    const std::uint32_t len = getU32(head + 5);
+    if (len > kMaxFramePayload)
+        return ReassemblyStatus::Garbage;
+    if (pending() < 13 + static_cast<std::size_t>(len))
+        return ReassemblyStatus::NeedMore;
+    out.type = static_cast<FrameType>(head[4]);
+    out.payload.assign(buf_, off_ + 9, len);
+    const std::uint32_t crc = getU32(
+        reinterpret_cast<const unsigned char *>(buf_.data() + off_ + 9 +
+                                                len));
+    if (crc != frameCrc(out.type, out.payload))
+        return ReassemblyStatus::Garbage;
+    off_ += 13 + static_cast<std::size_t>(len);
+    return ReassemblyStatus::Frame;
 }
 
 WireStatus

@@ -32,6 +32,18 @@
  *                                 document (the exact representation
  *                                 reports and the resume journal use)
  *   Shutdown   parent -> worker   no payload; the worker exits 0
+ *   Shard      spool files        a JSON shard spec (shard_queue.hh);
+ *                                 one frame per .shard file
+ *   Record     spool files        a JSON per-cell result record in a
+ *                                 worker's append-only result stream
+ *
+ * The same frame format travels over two transports: pipes between a
+ * parent and its fork-isolated workers (worker_proc.cc), and files in
+ * a campaign spool directory shared between a broker and independent
+ * worker processes (shard_queue.cc). Both ends of both transports must
+ * survive torn writes, which is what FrameReassembly is for: it turns
+ * an arbitrary byte stream arriving in arbitrary chunks back into
+ * whole verified frames without ever blocking on a partial one.
  */
 
 #ifndef PINTE_SIM_WIRE_HH
@@ -58,6 +70,8 @@ enum class FrameType : std::uint8_t
     Heartbeat = 2,
     Result = 3,
     Shutdown = 4,
+    Shard = 5,
+    Record = 6,
 };
 
 /** One decoded frame. */
@@ -75,6 +89,16 @@ enum class WireStatus
     Garbage, //!< bad magic, oversized length, or CRC mismatch
     Error,   //!< read error, or EOF inside a frame (torn write)
 };
+
+/**
+ * Serialize one frame to bytes — the exact layout writeFrame() puts on
+ * the wire. Spool code uses this to write frames through AtomicFile
+ * streams or as a single O_APPEND write.
+ * @param corrupt_crc emit a deliberately wrong checksum (fault
+ *        injection; never set in production)
+ */
+std::string encodeFrame(FrameType type, const std::string &payload,
+                        bool corrupt_crc = false);
 
 /**
  * Write one frame to `fd`, looping over short writes.
@@ -103,6 +127,53 @@ bool unpackJob(const std::string &payload, std::uint64_t &index,
 std::string packHeartbeat(std::uint64_t instructions);
 bool unpackHeartbeat(const std::string &payload,
                      std::uint64_t &instructions);
+
+/** Little-endian integer helpers for frame payload packers living in
+ *  other translation units (shard_queue.cc packs SpoolRecords). */
+void wirePutU32(std::string &out, std::uint32_t v);
+void wirePutU64(std::string &out, std::uint64_t v);
+std::uint32_t wireGetU32(const unsigned char *p);
+std::uint64_t wireGetU64(const unsigned char *p);
+
+/** Outcome of FrameReassembly::next(). */
+enum class ReassemblyStatus
+{
+    Frame,    //!< a complete, CRC-verified frame was extracted
+    NeedMore, //!< no complete frame buffered yet; feed() more bytes
+    Garbage,  //!< bad magic, oversized length, or CRC mismatch at the
+              //!< head of the buffer; the stream is unrecoverable
+};
+
+/**
+ * Incremental frame decoder over an arbitrarily-chunked byte stream.
+ *
+ * feed() appends raw bytes as they arrive (e.g. from a non-blocking
+ * read); next() extracts at most one complete frame per call, without
+ * ever blocking on a partial frame. A buffer that ends mid-frame
+ * simply reports NeedMore — whether that tail is a frame still in
+ * flight or a torn write from a dead peer is the caller's call, made
+ * from its own liveness signal (EOF, lease expiry, deadline). Garbage
+ * is sticky: framing never resynchronizes mid-stream, so once the
+ * head of the buffer fails validation the whole stream is dead, same
+ * as readFrame()'s classification.
+ */
+class FrameReassembly
+{
+  public:
+    /** Append `len` raw bytes to the reassembly buffer. */
+    void feed(const char *data, std::size_t len);
+
+    /** Try to extract one complete frame into `out`. */
+    ReassemblyStatus next(Frame &out);
+
+    /** Bytes buffered but not yet consumed by a complete frame —
+     *  nonzero at EOF means the peer tore its final frame. */
+    std::size_t pending() const { return buf_.size() - off_; }
+
+  private:
+    std::string buf_;
+    std::size_t off_ = 0;
+};
 
 } // namespace pinte
 

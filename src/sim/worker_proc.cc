@@ -13,6 +13,7 @@
 #include <thread>
 #include <utility>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -101,6 +102,22 @@ childLoop(int job_fd, int result_fd, const ProcJobFn &fn,
             for (;;)
                 ::pause();
         }
+        if (faultArmedForCell("worker-torn-frame", index)) {
+            // The nastiest loss mode: write the head and part of the
+            // payload of a well-formed Result frame, then wedge
+            // without completing it. A parent that reads frames
+            // blockingly deadlocks here (the pre-fix DESIGN.md §4i
+            // limitation); the reassembly-buffer parent keeps polling
+            // and the hard deadline kills us.
+            const std::string frame =
+                encodeFrame(FrameType::Result, std::string(64, '{'));
+            const std::string torn = frame.substr(0, frame.size() / 2);
+            [[maybe_unused]] const ::ssize_t wrote =
+                ::write(result_fd, torn.data(), torn.size());
+            ::signal(SIGTERM, SIG_IGN);
+            for (;;)
+                ::pause();
+        }
 
         // Re-arm the in-child cooperative watchdog per job (fresh
         // stall clock), keeping its early TimeoutError for stalls the
@@ -174,7 +191,9 @@ struct Slot
     bool terming = false;            // SIGTERM sent, SIGKILL pending
     bool timedOut = false;           // this loss is a deadline kill
     bool sawGarbage = false;         // this loss is a corrupt frame
+    bool tornFrame = false;          // this loss left a partial frame
     Clock::time_point killAt;        // when to escalate to SIGKILL
+    FrameReassembly rx;              // partial-frame-safe decoder
 };
 
 void
@@ -226,6 +245,21 @@ spawnWorker(Slot &s, const ProcJobFn &fn, double job_timeout)
     }
     ::close(job_pipe[0]);
     ::close(result_pipe[1]);
+    // The parent must never block on a partial frame: a worker that
+    // writes half a Result and wedges would otherwise stall the whole
+    // poll loop (the old DESIGN.md §4i limitation). Reads drain what
+    // is available and FrameReassembly re-frames it incrementally.
+    const int fl = ::fcntl(result_pipe[0], F_GETFL);
+    if (fl < 0 ||
+        ::fcntl(result_pipe[0], F_SETFL, fl | O_NONBLOCK) < 0) {
+        ::kill(pid, SIGKILL);
+        reapWorker(pid);
+        ::close(job_pipe[1]);
+        ::close(result_pipe[0]);
+        throw SimError(std::string("worker pipe flags: ") +
+                           std::strerror(errno),
+                       {"worker_proc", "", ""});
+    }
     s.pid = pid;
     s.toChild = job_pipe[1];
     s.fromChild = result_pipe[0];
@@ -233,6 +267,8 @@ spawnWorker(Slot &s, const ProcJobFn &fn, double job_timeout)
     s.terming = false;
     s.timedOut = false;
     s.sawGarbage = false;
+    s.tornFrame = false;
+    s.rx = FrameReassembly();
 }
 
 /** Restore the previous SIGPIPE disposition on scope exit. */
@@ -264,6 +300,23 @@ killAllWorkers(std::vector<Slot> &slots)
 }
 
 } // namespace
+
+double
+retryBackoffSeconds(double base, std::uint32_t attempt,
+                    std::uint64_t key)
+{
+    // splitmix64 finalizer over (key, attempt): a cheap, well-mixed
+    // hash whose low bias is irrelevant here — we only need distinct
+    // cells to land at distinct points of the window, reproducibly.
+    std::uint64_t z =
+        key + 0x9e3779b97f4a7c15ull * (std::uint64_t(attempt) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    // Uniform over [base * 2^a, base * 2^(a+1)).
+    return base * std::ldexp(1.0 + u, static_cast<int>(attempt));
+}
 
 std::vector<RunResult>
 runProcessCampaign(std::size_t n, const ProcJobFn &fn,
@@ -350,6 +403,10 @@ runProcessCampaign(std::size_t n, const ProcJobFn &fn,
             "attempt " + std::to_string(s.attempt + 1) + ": ";
         if (s.sawGarbage)
             line += "corrupt result frame; ";
+        if (s.tornFrame)
+            line += "torn partial result frame (" +
+                    std::to_string(s.rx.pending()) +
+                    " byte(s) discarded); ";
         if (s.timedOut)
             line += "no progress for --job-timeout=" +
                     fmtSeconds(opt.jobTimeout) + "s; ";
@@ -359,7 +416,7 @@ runProcessCampaign(std::size_t n, const ProcJobFn &fn,
         const std::uint32_t next = s.attempt + 1;
         if (next < max_attempts) {
             const double delay =
-                opt.backoffBase * std::ldexp(1.0, (int)s.attempt);
+                retryBackoffSeconds(opt.backoffBase, s.attempt, s.job);
             delayed.push_back(
                 {s.job, next, plusSeconds(Clock::now(), delay)});
         } else {
@@ -367,55 +424,96 @@ runProcessCampaign(std::size_t n, const ProcJobFn &fn,
         }
     };
 
-    // One readable event on a worker's result pipe.
+    // One readable event on a worker's result pipe: drain whatever is
+    // available without blocking, then consume every complete frame
+    // the reassembly buffer holds. A partial frame just stays
+    // buffered — the poll loop keeps running and the hard deadline
+    // stays enforceable even against a worker wedged mid-write.
     const auto onReadable = [&](Slot &s) {
-        Frame f;
-        const WireStatus st = readFrame(s.fromChild, f);
-        if (st == WireStatus::Ok && f.type == FrameType::Heartbeat) {
-            std::uint64_t instructions = 0;
-            if (!unpackHeartbeat(f.payload, instructions)) {
+        bool eof = false;
+        char buf[4096];
+        for (;;) {
+            const ::ssize_t got =
+                ::read(s.fromChild, buf, sizeof(buf));
+            if (got > 0) {
+                s.rx.feed(buf, static_cast<std::size_t>(got));
+                if (static_cast<std::size_t>(got) < sizeof(buf))
+                    break;
+                continue;
+            }
+            if (got == 0) {
+                eof = true;
+                break;
+            }
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            eof = true; // read error: same as a vanished worker
+            break;
+        }
+
+        for (;;) {
+            Frame f;
+            const ReassemblyStatus st = s.rx.next(f);
+            if (st == ReassemblyStatus::NeedMore)
+                break;
+            if (st == ReassemblyStatus::Garbage) {
                 s.sawGarbage = true;
                 workerLost(s);
                 return;
             }
-            if (!s.terming)
-                s.lastLive = Clock::now();
-            return;
-        }
-        if (st == WireStatus::Ok && f.type == FrameType::Result &&
-            s.busy) {
-            std::string err;
-            const JsonValue v = parseJson(f.payload, &err);
-            if (err.empty()) {
-                RunResult r;
-                bool parsed = true;
-                try {
-                    r = runFromJson(v);
-                } catch (const Error &) {
-                    parsed = false;
-                }
-                if (parsed) {
-                    // In-simulation failures arrive as valid failed
-                    // results; they are deterministic and final (no
-                    // retry), exactly like thread mode. Label them if
-                    // the worker could not.
-                    if (r.failed() && r.workload.empty() && label)
-                        label(s.job, r);
-                    const std::size_t job = s.job;
-                    s.busy = false;
-                    s.terming = false;
-                    s.timedOut = false;
-                    finishCell(job, std::move(r));
+            if (f.type == FrameType::Heartbeat) {
+                std::uint64_t instructions = 0;
+                if (!unpackHeartbeat(f.payload, instructions)) {
+                    s.sawGarbage = true;
+                    workerLost(s);
                     return;
                 }
+                if (!s.terming)
+                    s.lastLive = Clock::now();
+                continue;
             }
+            if (f.type == FrameType::Result && s.busy) {
+                std::string err;
+                const JsonValue v = parseJson(f.payload, &err);
+                if (err.empty()) {
+                    RunResult r;
+                    bool parsed = true;
+                    try {
+                        r = runFromJson(v);
+                    } catch (const Error &) {
+                        parsed = false;
+                    }
+                    if (parsed) {
+                        // In-simulation failures arrive as valid
+                        // failed results; they are deterministic and
+                        // final (no retry), exactly like thread mode.
+                        // Label them if the worker could not.
+                        if (r.failed() && r.workload.empty() && label)
+                            label(s.job, r);
+                        const std::size_t job = s.job;
+                        s.busy = false;
+                        s.terming = false;
+                        s.timedOut = false;
+                        finishCell(job, std::move(r));
+                        continue;
+                    }
+                }
+            }
+            // A frame that makes no sense here (unexpected type, or a
+            // Result that does not parse back) — lost worker.
+            s.sawGarbage = true;
+            workerLost(s);
+            return;
         }
-        // Anything else — clean EOF (crashed worker), torn frame, CRC
-        // mismatch, or a frame that makes no sense here — is a lost
-        // worker.
-        s.sawGarbage = (st == WireStatus::Garbage) || s.sawGarbage ||
-                       (st == WireStatus::Ok);
-        workerLost(s);
+
+        if (eof) {
+            // Clean EOF at a frame boundary is a crashed worker;
+            // leftover bytes mean its final frame was torn mid-write.
+            s.tornFrame = s.rx.pending() > 0;
+            workerLost(s);
+        }
     };
 
     try {
@@ -472,6 +570,7 @@ runProcessCampaign(std::size_t n, const ProcJobFn &fn,
                 s.terming = false;
                 s.timedOut = false;
                 s.sawGarbage = false;
+                s.tornFrame = false;
             }
 
             // Enforce hard deadlines: SIGTERM at expiry, SIGKILL

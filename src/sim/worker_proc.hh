@@ -26,8 +26,10 @@
  *    `worker-hang`) gets SIGKILL after `killGrace` seconds. Either
  *    way the death is observed via waitpid and classified.
  *  - **Retry with backoff.** A worker-level loss (crash, timeout
- *    kill, corrupt frame) re-queues the cell with delay
- *    `backoffBase * 2^attempt` until `maxRetries` attempts are
+ *    kill, corrupt or torn frame) re-queues the cell with a delay
+ *    drawn deterministically from the doubling window
+ *    `[backoffBase * 2^attempt, backoffBase * 2^(attempt+1))`
+ *    (retryBackoffSeconds below) until `maxRetries` attempts are
  *    consumed, then quarantines it. The simulator is deterministic,
  *    so a retried cell that succeeds is bitwise-identical to a fresh
  *    run (modulo cpuSeconds) — pinned by tests. In-simulation
@@ -76,7 +78,8 @@ struct ProcOptions
      */
     unsigned maxRetries = 1;
 
-    /** Delay before the first retry; doubles per further attempt. */
+    /** Base of the jittered retry delay; the window doubles per
+     *  further attempt (see retryBackoffSeconds). */
     double backoffBase = 0.05;
 
     /** Seconds between SIGTERM and SIGKILL for an expired cell. */
@@ -97,6 +100,23 @@ using ProcLabelFn = std::function<void(std::size_t, RunResult &)>;
  *  (healthy or quarantined), before the campaign completes. */
 using ProcResultFn =
     std::function<void(std::size_t, const RunResult &)>;
+
+/**
+ * Deterministic decorrelated-jitter retry delay.
+ *
+ * Plain exponential backoff synchronizes: every cell lost to the same
+ * event (a dying host, a full disk) retries at the same instant and
+ * collides again. Jitter decorrelates the retries, but campaigns must
+ * stay reproducible, so instead of a random draw the delay for
+ * attempt `a` of cell `key` is a splitmix64 hash of (key, a) mapped
+ * uniformly onto the doubling window
+ * `[base * 2^a, base * 2^(a+1))`. Same cell, same attempt, same
+ * schedule — forever — while distinct cells spread across the window.
+ * Shared by the fork-isolated backend (key = cell index) and the
+ * spool broker's shard reclamation ladder (key = shard hash).
+ */
+double retryBackoffSeconds(double base, std::uint32_t attempt,
+                           std::uint64_t key);
 
 /**
  * Run cells [0, n) across forked worker processes and return their

@@ -520,6 +520,77 @@ TEST(JournalKey, SamplingParamsArePartOfTheIdentity)
                   std::to_string(detailed.runSeed) + "|w|c");
 }
 
+TEST(Journal, CompactionRewritesDeadWeight)
+{
+    // A long-lived journal accretes duplicate keys (independent
+    // recorders, e.g. a restarted spool broker) and garbage lines
+    // (torn tails). Construction must compact once dead + duplicate
+    // lines outnumber live entries, preserving find() exactly.
+    const std::string path =
+        ::testing::TempDir() + "pinte_journal_compact.jsonl";
+    std::remove(path.c_str());
+
+    RunResult a;
+    a.workload = "w";
+    a.contention = "a";
+    a.metrics.ipc = 1.5;
+    RunResult b = a;
+    b.contention = "b";
+    b.metrics.ipc = 2.5;
+    RunResult a2 = a;
+    a2.metrics.ipc = 3.5;
+
+    {
+        // Two independent recorders over the same file — a restarted
+        // spool broker racing its predecessor's worker. Each loaded
+        // an empty journal, so both append ka: a duplicate line.
+        RunJournal j1(path);
+        RunJournal j2(path);
+        EXPECT_FALSE(j1.compacted());
+        j1.record("ka", a);
+        j1.record("kb", b);
+        j2.record("ka", a2);
+    }
+    {
+        // Interleaved garbage and a torn tail from a SIGKILL.
+        std::ofstream app(path, std::ios::app);
+        app << "not json at all\n"
+            << "{\"key\": \"half";
+    }
+
+    {
+        // 2 dead + 1 duplicate > 2 live: the load compacts, serving
+        // last-wins entries identical to an uncompacted load.
+        RunJournal j(path);
+        EXPECT_TRUE(j.compacted());
+        EXPECT_EQ(j.size(), 2u);
+        ASSERT_NE(j.find("ka"), nullptr);
+        EXPECT_DOUBLE_EQ(j.find("ka")->metrics.ipc, 3.5);
+        ASSERT_NE(j.find("kb"), nullptr);
+        EXPECT_DOUBLE_EQ(j.find("kb")->metrics.ipc, 2.5);
+        EXPECT_EQ(j.find("half"), nullptr);
+    }
+    {
+        // The rewrite left exactly one line per live entry...
+        std::ifstream in(path);
+        std::size_t lines = 0;
+        std::string line;
+        while (std::getline(in, line))
+            ++lines;
+        EXPECT_EQ(lines, 2u);
+    }
+    {
+        // ...and a reload of the compacted file is clean and serves
+        // the same entry set.
+        RunJournal j(path);
+        EXPECT_FALSE(j.compacted());
+        EXPECT_EQ(j.size(), 2u);
+        ASSERT_NE(j.find("ka"), nullptr);
+        EXPECT_DOUBLE_EQ(j.find("ka")->metrics.ipc, 3.5);
+    }
+    std::remove(path.c_str());
+}
+
 TEST(SampledRun, RejectsIncompatibleCombinations)
 {
     const auto spec = findWorkload("450.soplex");

@@ -101,13 +101,15 @@ TEST(ParseProbability, RejectsMalformed)
     EXPECT_ERROR(parseProbability(""), ConfigError, "malformed");
 }
 
-TEST(ParseIsolation, AcceptsBothBackends)
+TEST(ParseIsolation, AcceptsAllBackends)
 {
     EXPECT_EQ(parseIsolation("thread"), IsolationMode::Thread);
     EXPECT_EQ(parseIsolation("THREAD"), IsolationMode::Thread);
     EXPECT_EQ(parseIsolation("process"), IsolationMode::Process);
     EXPECT_EQ(parseIsolation("proc"), IsolationMode::Process);
     EXPECT_EQ(parseIsolation("Process"), IsolationMode::Process);
+    EXPECT_EQ(parseIsolation("spool"), IsolationMode::Spool);
+    EXPECT_EQ(parseIsolation("Spool"), IsolationMode::Spool);
 }
 
 TEST(ParseIsolation, RejectsUnknownWithValidValues)
@@ -116,7 +118,7 @@ TEST(ParseIsolation, RejectsUnknownWithValidValues)
                  "unknown isolation backend");
     // The diagnostic must list the valid backends.
     EXPECT_ERROR(parseIsolation("container"), ConfigError,
-                 "(thread, process)");
+                 "(thread, process, spool)");
     EXPECT_ERROR(parseIsolation(""), ConfigError,
                  "unknown isolation backend");
 }

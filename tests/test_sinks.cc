@@ -135,6 +135,34 @@ goldenCrashedRun()
     return r;
 }
 
+/**
+ * A broker-level loss under --isolation=spool (schema v6): the error
+ * object additionally carries the losing shard id and the fencing
+ * token it held when the retry budget ran out, alongside the v5 loss
+ * record every worker-level loss carries.
+ */
+RunResult
+goldenSpoolLostRun()
+{
+    RunResult r;
+    r.workload = "synthetic.spooled";
+    r.contention = "pinte@0.250000";
+    r.error.kind = "worker";
+    r.error.component = "broker";
+    r.error.message =
+        "shard s000007 lost after 2 attempt(s); cell quarantined "
+        "(lease-ttl=30s)";
+    r.error.signal = 0;
+    r.error.exitCode = 0;
+    r.error.attempts = 2;
+    r.error.attemptLog = {
+        "attempt 1: lease expired (token 1, pid 4242 on vm, ttl 30s)",
+        "attempt 2: worker exited (token 2, pid 4243 on vm)"};
+    r.error.shard = "s000007";
+    r.error.fencingToken = 3;
+    return r;
+}
+
 ReportMeta
 goldenMeta()
 {
@@ -157,6 +185,7 @@ emitGoldenJson()
         sink.run(goldenRun());
         sink.run(goldenFailedRun());
         sink.run(goldenCrashedRun());
+        sink.run(goldenSpoolLostRun());
         TableData t("golden_table", {"label", "count", "value"});
         t.addRow({"row-one", Cell::count(42), Cell::real(0.125, 3)});
         t.addRow({"row,two", Cell::count(0), Cell::pct(0.5, 1)});
@@ -218,7 +247,7 @@ TEST(Sinks, JsonRoundTrip)
     ASSERT_EQ(v.at("notes").array.size(), 1u);
     EXPECT_EQ(v.at("notes").array[0].asString(), "golden note");
 
-    ASSERT_EQ(v.at("runs").array.size(), 3u);
+    ASSERT_EQ(v.at("runs").array.size(), 4u);
     const JsonValue &run = v.at("runs").array[0];
     EXPECT_EQ(run.at("workload").asString(), r.workload);
     EXPECT_EQ(run.at("contention").asString(), r.contention);
@@ -262,10 +291,31 @@ TEST(Sinks, JsonRoundTrip)
     EXPECT_EQ(lost.error.attempts, 2u);
     EXPECT_EQ(lost.error.attemptLog,
               goldenCrashedRun().error.attemptLog);
+    // A process-mode loss carries no spool provenance.
+    EXPECT_EQ(loss.find("shard"), nullptr);
+    EXPECT_EQ(loss.find("fencing_token"), nullptr);
+
+    // The broker-level loss (v6) adds the shard/fencing-token pair on
+    // top of the v5 loss record, and both survive the round trip.
+    const JsonValue &spooled = v.at("runs").array[3];
+    EXPECT_EQ(spooled.at("status").asString(), "failed");
+    const JsonValue &sloss = spooled.at("error");
+    EXPECT_EQ(sloss.at("component").asString(), "broker");
+    EXPECT_EQ(sloss.at("shard").asString(), "s000007");
+    EXPECT_EQ(sloss.at("fencing_token").asU64(), 3u);
+    EXPECT_EQ(sloss.at("attempts").asU64(), 2u);
+    ASSERT_EQ(sloss.at("attempt_log").array.size(), 2u);
+    const RunResult slost = runFromJson(spooled);
+    EXPECT_TRUE(slost.failed());
+    EXPECT_EQ(slost.error.shard, "s000007");
+    EXPECT_EQ(slost.error.fencingToken, 3u);
+    EXPECT_EQ(slost.error.attempts, 2u);
+    EXPECT_EQ(slost.error.attemptLog,
+              goldenSpoolLostRun().error.attemptLog);
 
     const JsonValue &failures = v.at("failures");
-    EXPECT_EQ(failures.at("failed").asU64(), 2u);
-    EXPECT_EQ(failures.at("total").asU64(), 3u);
+    EXPECT_EQ(failures.at("failed").asU64(), 3u);
+    EXPECT_EQ(failures.at("total").asU64(), 4u);
 
     // Metrics round-trip bit-identically (EXPECT_EQ, not NEAR).
     const JsonValue &m = run.at("metrics");

@@ -179,6 +179,90 @@ TEST(Wire, OversizedLengthIsGarbage)
     EXPECT_EQ(readFrame(p.rd, f), WireStatus::Garbage);
 }
 
+TEST(Wire, ReassemblyExtractsFramesAcrossArbitraryChunks)
+{
+    // Feed one byte at a time: NeedMore until the last byte lands,
+    // then the complete CRC-verified frame — the append-only spool
+    // stream arrives in whatever chunks the page cache serves.
+    const std::string bytes =
+        encodeFrame(FrameType::Record, "{\"cell\": 7}");
+    FrameReassembly r;
+    Frame f;
+    for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+        r.feed(bytes.data() + i, 1);
+        EXPECT_EQ(r.next(f), ReassemblyStatus::NeedMore);
+    }
+    r.feed(bytes.data() + bytes.size() - 1, 1);
+    ASSERT_EQ(r.next(f), ReassemblyStatus::Frame);
+    EXPECT_EQ(f.type, FrameType::Record);
+    EXPECT_EQ(f.payload, "{\"cell\": 7}");
+    EXPECT_EQ(r.next(f), ReassemblyStatus::NeedMore);
+    EXPECT_EQ(r.pending(), 0u);
+
+    // Two frames in one chunk extract back to back.
+    const std::string two = encodeFrame(FrameType::Record, "a") +
+                            encodeFrame(FrameType::Record, "b");
+    r.feed(two.data(), two.size());
+    ASSERT_EQ(r.next(f), ReassemblyStatus::Frame);
+    EXPECT_EQ(f.payload, "a");
+    ASSERT_EQ(r.next(f), ReassemblyStatus::Frame);
+    EXPECT_EQ(f.payload, "b");
+    EXPECT_EQ(r.next(f), ReassemblyStatus::NeedMore);
+}
+
+TEST(Wire, ReassemblyKeepsTornTailBuffered)
+{
+    // A complete frame plus half of the next — a worker killed
+    // mid-append. The full frame extracts; the tail stays pending
+    // (NeedMore, never Garbage): liveness is the lease's call, not
+    // the stream's.
+    const std::string whole = encodeFrame(FrameType::Record, "whole");
+    const std::string torn = encodeFrame(FrameType::Record, "torn");
+    FrameReassembly r;
+    r.feed(whole.data(), whole.size());
+    r.feed(torn.data(), torn.size() / 2);
+    Frame f;
+    ASSERT_EQ(r.next(f), ReassemblyStatus::Frame);
+    EXPECT_EQ(f.payload, "whole");
+    EXPECT_EQ(r.next(f), ReassemblyStatus::NeedMore);
+    EXPECT_EQ(r.pending(), torn.size() / 2);
+}
+
+TEST(Wire, ReassemblyGarbageIsSticky)
+{
+    const std::string bad =
+        encodeFrame(FrameType::Record, "x", /*corrupt_crc=*/true);
+    const std::string good = encodeFrame(FrameType::Record, "y");
+    FrameReassembly r;
+    r.feed(bad.data(), bad.size());
+    Frame f;
+    EXPECT_EQ(r.next(f), ReassemblyStatus::Garbage);
+    // Resynchronizing past a CRC failure could silently skip records;
+    // the stream stays condemned even when clean frames follow.
+    r.feed(good.data(), good.size());
+    EXPECT_EQ(r.next(f), ReassemblyStatus::Garbage);
+}
+
+TEST(WorkerProc, RetryBackoffIsDeterministicWindowedDecorrelated)
+{
+    const double base = 0.05;
+    for (std::uint32_t a = 0; a < 5; ++a) {
+        const double lo = base * static_cast<double>(1u << a);
+        const double d = retryBackoffSeconds(base, a, 42);
+        // Same (base, attempt, key) -> the same delay, forever.
+        EXPECT_EQ(d, retryBackoffSeconds(base, a, 42));
+        // Inside the doubling window [base*2^a, base*2^(a+1)).
+        EXPECT_GE(d, lo);
+        EXPECT_LT(d, 2.0 * lo);
+    }
+    // Distinct keys land at distinct points of the window: retries of
+    // cells lost to one event do not re-collide.
+    const double d1 = retryBackoffSeconds(base, 1, 1);
+    const double d2 = retryBackoffSeconds(base, 1, 2);
+    const double d3 = retryBackoffSeconds(base, 1, 3);
+    EXPECT_FALSE(d1 == d2 && d2 == d3);
+}
+
 /** Disarm the fault plan however a test exits. */
 struct FaultScope
 {
@@ -355,6 +439,29 @@ TEST(WorkerProc, NonCooperativeHangNeedsSigkill)
     // watchdog.hh's blind-spot note). Only the parent's escalation to
     // SIGKILL ends it.
     FaultScope fault("worker-hang:1");
+    ProcOptions opt;
+    opt.workers = 1;
+    opt.jobTimeout = 0.4;
+    opt.killGrace = 0.3;
+    const auto results = runProcessCampaign(
+        1, [](std::size_t i) { return syntheticResult(i); }, opt,
+        syntheticLabel());
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].failed());
+    EXPECT_EQ(results[0].error.kind, "timeout");
+    EXPECT_EQ(results[0].error.signal, SIGKILL);
+    EXPECT_EQ(results[0].error.attempts, 1u);
+}
+
+TEST(WorkerProc, TornFrameThenWedgeIsKilledByDeadlineNotDeadlock)
+{
+    // The worker-torn-frame fault writes half a Result frame and then
+    // wedges with SIGTERM ignored. A parent that read frames
+    // blockingly would deadlock right here, forever (the pre-fix
+    // DESIGN.md §4i limitation); the non-blocking reassembly buffer
+    // keeps the torn bytes pending while the hard deadline escalates
+    // to SIGKILL, and the half-frame never surfaces as a result.
+    FaultScope fault("worker-torn-frame:1");
     ProcOptions opt;
     opt.workers = 1;
     opt.jobTimeout = 0.4;

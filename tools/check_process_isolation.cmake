@@ -113,7 +113,7 @@ ref = {(r['workload'], r['contention']): strip(r)
 for path, kind, attempts_floor in [(sys.argv[2], 'worker', 2),
                                    (sys.argv[3], 'timeout', 1)]:
     d = json.load(open(path))
-    assert d['schema_version'] == 5, d['schema_version']
+    assert d['schema_version'] >= 5, d['schema_version']
     failed = [r for r in d['runs'] if r['status'] == 'failed']
     ok = [r for r in d['runs'] if r['status'] == 'ok']
     assert len(failed) == 1, (path, len(failed))

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a pinte-report JSON document (schema versions 1-5).
+"""Validate a pinte-report JSON document (schema versions 1-6).
 
 Usage:
     check_report.py [report.json]        # file, or stdin when omitted
@@ -43,6 +43,15 @@ length must equal "attempts"). In-process failures keep the exact v2
 error shape, so a thread-mode v5 document carries exactly the v4
 fields.
 
+Version 6 adds the spool-loss provenance on failed runs, again
+optional and appearing as a pair: "shard" (the non-empty shard id a
+spool campaign quarantined the cell with) and "fencing_token" (the
+token the shard held when its retry budget ran out, >= 1). The pair
+appears only on cells lost at the broker level under
+--isolation=spool, which are worker-level losses too, so a run
+carrying it must also carry the full v5 loss record. Every other
+document is field-identical to v5 output.
+
 On v2+ documents the conservation identities the simulator maintains
 are also enforced on every ok run: miss_rate equals
 llc_misses/llc_accesses, counters and rate metrics stay within their
@@ -60,7 +69,7 @@ import math
 import sys
 
 SCHEMA = "pinte-report"
-SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 SAMPLING_CONFIG_FIELDS = {
     "mode": str,
@@ -149,6 +158,14 @@ LOSS_FIELDS = {
     "attempt_log": list,
 }
 
+# v6 spool-loss provenance, optional on a failed run's error object;
+# the pair appears together (keyed on "shard") and only alongside the
+# v5 loss record — a broker-level loss is a worker-level loss too.
+SPOOL_FIELDS = {
+    "shard": str,
+    "fencing_token": int,
+}
+
 FAILURES_FIELDS = {
     "failed": int,
     "total": int,
@@ -220,13 +237,23 @@ class Checker:
         fields = ERROR_FIELDS
         # v5 process-isolation loss record: the four fields appear as
         # a unit (keyed on "attempts") and only on worker-level losses.
-        if self.version >= 5 and isinstance(error, dict) and (
+        has_loss = self.version >= 5 and isinstance(error, dict) and (
             "attempts" in error
-        ):
+        )
+        if has_loss:
             fields = dict(ERROR_FIELDS, **LOSS_FIELDS)
+        # v6 spool-loss provenance: the pair appears as a unit (keyed
+        # on "shard") and rides only on a v5 loss record.
+        has_spool = self.version >= 6 and isinstance(error, dict) and (
+            "shard" in error
+        )
+        if has_spool:
+            fields = dict(fields, **SPOOL_FIELDS)
         self.check_fields(error, fields, f"{path}.error")
-        if fields is not ERROR_FIELDS:
+        if has_loss:
             self.check_loss_record(error, f"{path}.error")
+        if has_spool:
+            self.check_spool_record(error, has_loss, f"{path}.error")
         for name in run:
             if name not in {"workload", "contention", "status", "error"}:
                 self.error(
@@ -251,6 +278,22 @@ class Checker:
                     f"expected {attempts} line(s) (one per attempt), "
                     f"got {len(log)}",
                 )
+
+    def check_spool_record(self, error, has_loss, path):
+        if not has_loss:
+            self.error(
+                f"{path}.shard",
+                "spool-loss provenance without the v5 loss record "
+                "(a broker-level loss always consumes attempts)",
+            )
+        shard = error.get("shard")
+        if isinstance(shard, str) and not shard:
+            self.error(f"{path}.shard", "expected non-empty string")
+        token = error.get("fencing_token")
+        if isinstance(token, int) and not isinstance(token, bool) and (
+            token < 1
+        ):
+            self.error(f"{path}.fencing_token", "expected >= 1")
 
     def check_run(self, run, path):
         if not isinstance(run, dict):

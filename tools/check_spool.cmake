@@ -1,0 +1,19 @@
+# ctest helper: chaos acceptance for the spool campaign backend.
+# All the logic lives in tools/chaos_spool.py (process-group SIGKILL
+# and done-marker polling need real process control); this wrapper
+# just adapts the ctest invocation convention the other check_*.cmake
+# helpers use.
+#
+# Invoked from tools/CMakeLists.txt with -DPINTESIM=... -DPYTHON=...
+# -DCHECKER=<check_report.py> -DCHAOS=<chaos_spool.py> -DWORKDIR=...
+
+execute_process(
+    COMMAND ${PYTHON} ${CHAOS} ${PINTESIM} ${CHECKER} ${WORKDIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "spool chaos acceptance failed (${rc}):\n${out}\n${err}")
+endif()
+message(STATUS "${out}")

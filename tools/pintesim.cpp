@@ -21,15 +21,20 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/error.hh"
 #include "common/invariant.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/trace_events.hh"
+#include "sim/broker.hh"
 #include "sim/experiment.hh"
 #include "sim/hotpath_bench.hh"
 #include "sim/journal.hh"
@@ -56,12 +61,30 @@ usage()
         "      --pair NAME       2nd-Trace co-run instead of PInTE\n"
         "      --isolation       no contention at all\n"
         "      --isolation=K     campaign backend for --sweep: thread\n"
-        "                        (in-process pool, default) or process\n"
+        "                        (in-process pool, default), process\n"
         "                        (fork-isolated workers: crashes and\n"
-        "                        hard hangs become quarantined cells)\n"
-        "      --max-retries N   process backend: attempts per cell\n"
+        "                        hard hangs become quarantined cells),\n"
+        "                        or spool (durable file-queue broker:\n"
+        "                        broker and workers all survive\n"
+        "                        SIGKILL; requires --spool)\n"
+        "      --max-retries N   process/spool backend: attempts per\n"
+        "                        cell (process) or shard (spool)\n"
         "                        before quarantine (default 1; only\n"
         "                        worker-level losses are retried)\n"
+        "      --spool DIR       spool directory of a spool campaign\n"
+        "                        (created if absent; shared by broker\n"
+        "                        and workers)\n"
+        "      --worker          run as a spool worker: claim and\n"
+        "                        execute shards from --spool until the\n"
+        "                        campaign completes (all simulation\n"
+        "                        parameters come from the spool's\n"
+        "                        campaign document, not the CLI)\n"
+        "      --shard-size N    spool backend: cells per shard\n"
+        "                        (default 1 — loss granularity of one\n"
+        "                        cell)\n"
+        "      --lease-ttl S     spool backend: reclaim a shard whose\n"
+        "                        worker made no progress for S seconds\n"
+        "                        (default 30)\n"
         "      --policy K        llc replacement: lru plru nmru rrip random drrip\n"
         "      --inclusion K     llc inclusion: non inclusive exclusive\n"
         "      --prefetch SSS    prefetch string (000, NN0, NNN, NNI)\n"
@@ -119,6 +142,218 @@ usage()
 namespace
 {
 
+/**
+ * Everything a sweep cell's identity depends on, in a form that
+ * round-trips through the spool's campaign document: the raw CLI
+ * strings for enum-valued machine knobs (so the worker re-parses
+ * exactly what the broker's user typed) plus the numeric scale
+ * parameters. A spool worker rebuilds its machine, cell grid and
+ * journal keys from this alone; the machine fingerprint and per-cell
+ * key checks then prove the reconstruction is exact.
+ */
+struct SweepConfig
+{
+    std::string workload = "450.soplex";
+    std::string policy;    //!< --policy, empty = machine default
+    std::string inclusion; //!< --inclusion
+    std::string prefetch;  //!< --prefetch
+    std::string predictor; //!< --predictor
+    std::string scope;     //!< --scope, empty = not set
+    double dramFactor = 0.0;
+    ExperimentParams params;
+    double jobTimeout = 0.0;
+    double leaseTtl = 30.0;
+};
+
+/** The machine a SweepConfig describes. */
+MachineConfig
+sweepMachine(const SweepConfig &sc)
+{
+    MachineConfig m = MachineConfig::scaled();
+    if (!sc.policy.empty())
+        m.llc.replacement = parseReplacement(sc.policy);
+    if (!sc.inclusion.empty())
+        m.llc.inclusion = parseInclusion(sc.inclusion);
+    if (!sc.prefetch.empty())
+        m.prefetch = PrefetchConfig::parse(sc.prefetch.c_str());
+    if (!sc.predictor.empty())
+        m.core.predictor = parsePredictor(sc.predictor);
+    return m;
+}
+
+/** One sweep cell: the spec for induction probability `p`. */
+ExperimentSpec
+sweepCell(const MachineConfig &machine, const WorkloadSpec &spec,
+          const SweepConfig &sc, double p)
+{
+    ExperimentSpec e(machine);
+    e.workload(spec).pinte(p).params(sc.params);
+    if (!sc.scope.empty())
+        e.scope(parsePInteScope(sc.scope));
+    if (sc.dramFactor > 0.0)
+        e.dramComplement(sc.dramFactor);
+    return e;
+}
+
+std::string
+sweepConfigToJson(const SweepConfig &sc)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, 0);
+        w.beginObject();
+        w.member("workload", sc.workload);
+        w.member("policy", sc.policy);
+        w.member("inclusion", sc.inclusion);
+        w.member("prefetch", sc.prefetch);
+        w.member("predictor", sc.predictor);
+        w.member("scope", sc.scope);
+        w.member("dram_factor", sc.dramFactor);
+        w.member("warmup", static_cast<std::uint64_t>(sc.params.warmup));
+        w.member("roi", static_cast<std::uint64_t>(sc.params.roi));
+        w.member("sample_every",
+                 static_cast<std::uint64_t>(sc.params.sampleEvery));
+        w.member("sample_interval_cycles",
+                 sc.params.sampleIntervalCycles);
+        w.member("sample_mode", toString(sc.params.sampling.mode));
+        w.member("sample_interval_length",
+                 static_cast<std::uint64_t>(
+                     sc.params.sampling.intervalLength));
+        w.member("sample_detailed_fraction",
+                 sc.params.sampling.detailedFraction);
+        w.member("sampling_seed", sc.params.sampling.seed);
+        w.member("run_seed", sc.params.runSeed);
+        w.member("job_timeout", sc.jobTimeout);
+        w.member("lease_ttl", sc.leaseTtl);
+        w.endObject();
+    }
+    return os.str();
+}
+
+SweepConfig
+sweepConfigFromJson(const JsonValue &v)
+{
+    SweepConfig sc;
+    sc.workload = v.at("workload").asString();
+    sc.policy = v.at("policy").asString();
+    sc.inclusion = v.at("inclusion").asString();
+    sc.prefetch = v.at("prefetch").asString();
+    sc.predictor = v.at("predictor").asString();
+    sc.scope = v.at("scope").asString();
+    sc.dramFactor = v.at("dram_factor").asDouble();
+    sc.params.warmup = v.at("warmup").asU64();
+    sc.params.roi = v.at("roi").asU64();
+    sc.params.sampleEvery = v.at("sample_every").asU64();
+    sc.params.sampleIntervalCycles =
+        v.at("sample_interval_cycles").asU64();
+    sc.params.sampling.mode =
+        parseSampleMode(v.at("sample_mode").asString());
+    sc.params.sampling.intervalLength =
+        v.at("sample_interval_length").asU64();
+    sc.params.sampling.detailedFraction =
+        v.at("sample_detailed_fraction").asDouble();
+    sc.params.sampling.seed = v.at("sampling_seed").asU64();
+    sc.params.runSeed = v.at("run_seed").asU64();
+    sc.jobTimeout = v.at("job_timeout").asDouble();
+    sc.leaseTtl = v.at("lease_ttl").asDouble();
+    return sc;
+}
+
+/** Strip the newlines JsonWriter emits even at indent 0. */
+std::string
+flattenJson(const std::string &text)
+{
+    std::string flat;
+    flat.reserve(text.size());
+    for (const char c : text)
+        if (c != '\n')
+            flat += c;
+    return flat;
+}
+
+/** The spool campaign document: identity (fingerprint + the full
+ *  cell-key list) plus the spec workers rebuild their grid from. */
+std::string
+campaignDocument(const std::string &fingerprint, const SweepConfig &sc,
+                 const std::vector<std::string> &keys)
+{
+    std::string doc = "{\"schema\": \"pinte.spool.campaign\", "
+                      "\"tool\": \"pintesim\", \"fingerprint\": " +
+                      jsonQuote(fingerprint) +
+                      ", \"spec\": " + flattenJson(sweepConfigToJson(sc)) +
+                      ", \"cells\": [";
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+        if (k)
+            doc += ", ";
+        doc += jsonQuote(keys[k]);
+    }
+    doc += "]}";
+    return doc;
+}
+
+/**
+ * Spool worker entry (`pintesim --worker --spool DIR`): rebuild the
+ * campaign from the spool's document, verify this binary derives the
+ * same machine fingerprint and cell keys (config-skew fencing), then
+ * claim and execute shards until the campaign completes.
+ */
+int
+spoolWorkerMain(const std::string &spool_dir)
+{
+    Spool spool(spool_dir);
+    // A hand-started worker may beat the broker to the spool: wait
+    // for the campaign document rather than failing the race.
+    while (!spool.hasCampaign()) {
+        if (spool.complete())
+            return 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    std::string err;
+    const JsonValue doc = parseJson(spool.readCampaign(), &err);
+    if (!err.empty() || !doc.isObject())
+        throw ConfigError("spool campaign document unparseable: " + err,
+                          {"pintesim", spool_dir, ""});
+    const SweepConfig sc = sweepConfigFromJson(doc.at("spec"));
+    const MachineConfig machine = sweepMachine(sc);
+    const std::string fp = machine.fingerprint();
+    if (doc.at("fingerprint").asString() != fp)
+        throw ConfigError(
+            "campaign fingerprint mismatch: this build derives " + fp +
+                ", campaign carries " +
+                doc.at("fingerprint").asString(),
+            {"pintesim", spool_dir, fp});
+    const WorkloadSpec spec = findWorkload(sc.workload);
+    const auto &points = standardPInduceSweep();
+    std::vector<std::string> keys(points.size());
+    for (std::size_t k = 0; k < points.size(); ++k)
+        keys[k] = journalKey(
+            fp, sc.params, spec.name,
+            sweepCell(machine, spec, sc, points[k]).contention());
+    const JsonValue &cells = doc.at("cells");
+    if (cells.array.size() != keys.size())
+        throw ConfigError("campaign cell count mismatch",
+                          {"pintesim", spool_dir, ""});
+    for (std::size_t k = 0; k < keys.size(); ++k)
+        if (cells.array[k].asString() != keys[k])
+            throw ConfigError("campaign cell key mismatch at index " +
+                                  std::to_string(k),
+                              {"pintesim", spool_dir, keys[k]});
+
+    SpoolWorkerOptions wopt;
+    wopt.leaseTtl = sc.leaseTtl;
+    wopt.jobTimeout = sc.jobTimeout;
+    wopt.fingerprint = fp;
+    runSpoolWorker(
+        spool_dir, keys,
+        [&](std::size_t k) {
+            return sweepCell(machine, spec, sc, points[k])
+                .tryRun()
+                .result;
+        },
+        wopt);
+    return 0;
+}
+
 int
 pinteMain(int argc, char **argv)
 {
@@ -133,6 +368,12 @@ pinteMain(int argc, char **argv)
     IsolationMode iso_mode = IsolationMode::Thread;
     std::uint32_t max_retries = 1;
     bool retries_set = false;
+    bool worker_mode = false;
+    std::string spool_dir;
+    std::size_t shard_size = 1;
+    double lease_ttl = 30.0;
+    SweepConfig sweep_cfg; // raw machine-knob strings for the spool
+                           // campaign document (--isolation=spool)
     std::string resume_path;
     bool bench_baseline = false;
     HotpathOptions bench_opt;
@@ -186,16 +427,33 @@ pinteMain(int argc, char **argv)
         } else if (a == "--max-retries") {
             max_retries = parseRetries(a, need());
             retries_set = true;
+        } else if (a == "--worker") {
+            flag();
+            worker_mode = true;
+        } else if (a == "--spool") {
+            spool_dir = need();
+        } else if (a == "--shard-size") {
+            shard_size =
+                static_cast<std::size_t>(parseCount(a, need()));
+        } else if (a == "--lease-ttl") {
+            lease_ttl = static_cast<double>(parseTimeout(a, need()));
         } else if (a == "--policy") {
-            machine.llc.replacement = parseReplacement(need());
+            sweep_cfg.policy = need();
+            machine.llc.replacement = parseReplacement(sweep_cfg.policy);
         } else if (a == "--inclusion") {
-            machine.llc.inclusion = parseInclusion(need());
+            sweep_cfg.inclusion = need();
+            machine.llc.inclusion = parseInclusion(sweep_cfg.inclusion);
         } else if (a == "--prefetch") {
-            machine.prefetch = PrefetchConfig::parse(need().c_str());
+            sweep_cfg.prefetch = need();
+            machine.prefetch =
+                PrefetchConfig::parse(sweep_cfg.prefetch.c_str());
         } else if (a == "--predictor") {
-            machine.core.predictor = parsePredictor(need());
+            sweep_cfg.predictor = need();
+            machine.core.predictor =
+                parsePredictor(sweep_cfg.predictor);
         } else if (a == "--scope") {
-            scope = parsePInteScope(need());
+            sweep_cfg.scope = need();
+            scope = parsePInteScope(sweep_cfg.scope);
             scope_set = true;
         } else if (a == "--dram-complement") {
             dram_factor = parseReal(a, need());
@@ -274,14 +532,41 @@ pinteMain(int argc, char **argv)
         }
     }
 
+    if (worker_mode) {
+        // A spool worker takes its whole configuration from the
+        // campaign document; the CLI only locates the spool.
+        if (spool_dir.empty())
+            throw ConfigError("--worker requires --spool",
+                              {"options", "--worker", ""});
+        return spoolWorkerMain(spool_dir);
+    }
     if (iso_mode == IsolationMode::Process && !sweep)
         throw ConfigError("--isolation=process is a campaign backend "
                           "and requires --sweep",
                           {"options", "--isolation", "process"});
-    if (retries_set && iso_mode != IsolationMode::Process)
+    if (iso_mode == IsolationMode::Spool) {
+        if (!sweep)
+            throw ConfigError("--isolation=spool is a campaign "
+                              "backend and requires --sweep",
+                              {"options", "--isolation", "spool"});
+        if (spool_dir.empty())
+            throw ConfigError("--isolation=spool requires --spool",
+                              {"options", "--isolation", "spool"});
+        if (!params.checkpointPath.empty())
+            throw ConfigError("--checkpoint does not compose with "
+                              "--isolation=spool (checkpoints are "
+                              "per-process artifacts)",
+                              {"options", "--checkpoint", ""});
+    } else if (!spool_dir.empty()) {
+        throw ConfigError("--spool requires --isolation=spool or "
+                          "--worker",
+                          {"options", "--spool", spool_dir});
+    }
+    if (retries_set && iso_mode != IsolationMode::Process &&
+        iso_mode != IsolationMode::Spool)
         throw ConfigError("--max-retries is only meaningful with "
-                          "--isolation=process (the thread backend "
-                          "never retries)",
+                          "--isolation=process or --isolation=spool "
+                          "(the thread backend never retries)",
                           {"options", "--max-retries", ""});
 
     if (bench_baseline) {
@@ -447,7 +732,48 @@ pinteMain(int argc, char **argv)
 
         const auto &points = standardPInduceSweep();
         std::vector<RunResult> results;
-        if (iso_mode == IsolationMode::Process) {
+        if (iso_mode == IsolationMode::Spool) {
+            // Durable file-queue backend: shards published to the
+            // spool, claimed by worker processes (locally spawned
+            // and/or started by hand as `pintesim --worker --spool
+            // DIR`), merged as results stream back. Journal hits
+            // resolve in the broker without touching the spool; fresh
+            // results journal on arrival, so --resume works across
+            // broker restarts exactly like the other backends.
+            sweep_cfg.workload = spec.name;
+            sweep_cfg.dramFactor = dram_factor;
+            sweep_cfg.params = params;
+            sweep_cfg.jobTimeout = job_timeout;
+            sweep_cfg.leaseTtl = lease_ttl;
+            std::vector<std::string> keys(points.size());
+            for (std::size_t k = 0; k < points.size(); ++k)
+                keys[k] = journalKey(fp, params, spec.name,
+                                     build(points[k]).contention());
+            BrokerOptions bopt;
+            bopt.spool = spool_dir;
+            bopt.workers =
+                jobs ? jobs
+                     : std::max(1u,
+                                std::thread::hardware_concurrency());
+            bopt.workerArgv = {argv[0], "--worker", "--spool",
+                               spool_dir};
+            bopt.leaseTtl = lease_ttl;
+            bopt.maxRetries = max_retries;
+            bopt.shardSize = shard_size;
+            results = runSpoolBroker(
+                campaignDocument(fp, sweep_cfg, keys), fp, keys, bopt,
+                [&](std::size_t k, RunResult &r) {
+                    r.workload = spec.name;
+                    r.contention = build(points[k]).contention();
+                },
+                [&](std::size_t k, const RunResult &r) {
+                    if (journal && !r.failed())
+                        journal->record(keys[k], r);
+                },
+                [&](std::size_t k) {
+                    return journal ? journal->find(keys[k]) : nullptr;
+                });
+        } else if (iso_mode == IsolationMode::Process) {
             // Fork-isolated backend: the parent resolves journal hits
             // up front, workers execute only the pending cells, and
             // each result merges into the journal as it arrives so an
