@@ -102,7 +102,9 @@ scanStreamOnce(const Spool &spool, const std::string &id,
     }
 }
 
-/** Spawn one local worker process; -1 on failure. */
+/** Spawn one local worker process; -1 on failure. execvp so a broker
+ *  invoked by bare name (PATH lookup, argv[0] not a path) still
+ *  reaches its own binary; exit 127 marks an exec that failed. */
 pid_t
 spawnLocalWorker(const std::vector<std::string> &argv)
 {
@@ -116,11 +118,19 @@ spawnLocalWorker(const std::vector<std::string> &argv)
     if (pid < 0)
         return -1;
     if (pid == 0) {
-        ::execv(av[0], av.data());
+        ::execvp(av[0], av.data());
         std::_Exit(127);
     }
     return pid;
 }
+
+/** A local worker child and when it was forked (exec-failure storms
+ *  are recognized by children dying with 127 moments after spawn). */
+struct ChildProc
+{
+    pid_t pid;
+    double spawnedAt;
+};
 
 } // namespace
 
@@ -213,6 +223,9 @@ runSpoolBroker(const std::string &campaignJson,
             throw ConfigError("spool shard " + id +
                                   " carries a foreign fingerprint",
                               {"broker", opt.spool, id});
+        // Leases and staged claims from superseded tokens are litter
+        // the previous broker's death left behind; nobody reads them.
+        spool.sweepStaleLeases(id, s.token);
         for (const std::uint64_t c : s.cells)
             covered.insert(c);
         if (!s.id.empty() && s.id[0] == 's')
@@ -267,21 +280,33 @@ runSpoolBroker(const std::string &campaignJson,
 
     std::set<std::string> retired;
     StreamScanner scanner(spool);
-    std::vector<pid_t> children;
+    std::vector<ChildProc> children;
     std::set<pid_t> deadChildren;
+    unsigned execFailStreak = 0;
+    bool spawnBroken = false;
     const std::string myHost = spoolHostName();
 
     const auto reapChildren = [&](bool block) {
         for (auto it = children.begin(); it != children.end();) {
             int status = 0;
             const pid_t r =
-                ::waitpid(*it, &status, block ? 0 : WNOHANG);
-            if (r == *it || (r < 0 && errno != EINTR)) {
+                ::waitpid(it->pid, &status, block ? 0 : WNOHANG);
+            if (r == it->pid || (r < 0 && errno != EINTR)) {
                 // Remember the corpse: a lease this pid holds can be
                 // reclaimed immediately instead of waiting out its
                 // deadline (local children only — remote worker
                 // deaths are visible through lease expiry alone).
-                deadChildren.insert(*it);
+                deadChildren.insert(it->pid);
+                // Exit 127 moments after the fork is exec itself
+                // failing (bad argv[0], missing binary): a streak of
+                // those means respawning is a fork storm, not
+                // capacity.
+                if (r == it->pid && WIFEXITED(status) &&
+                    WEXITSTATUS(status) == 127 &&
+                    spoolWallClock() - it->spawnedAt < 1.0)
+                    ++execFailStreak;
+                else
+                    execFailStreak = 0;
                 it = children.erase(it);
             } else {
                 ++it;
@@ -289,8 +314,8 @@ runSpoolBroker(const std::string &campaignJson,
         }
     };
     const auto killChildren = [&]() {
-        for (const pid_t pid : children)
-            ::kill(pid, SIGKILL);
+        for (const ChildProc &c : children)
+            ::kill(c.pid, SIGKILL);
         reapChildren(true);
     };
 
@@ -345,36 +370,46 @@ runSpoolBroker(const std::string &campaignJson,
                                why);
         s.attempt += 1;
         s.token += 1;
-        spool.publishShard(s);
 
-        if (allCellsResolved(s)) {
+        const bool done = allCellsResolved(s);
+        const bool exhausted = s.attempt >= s.budget;
+        if (!done && !exhausted) {
+            // Stage the backoff lease at the *new* token before the
+            // bumped shard becomes visible: the instant a worker can
+            // see the new token, the pacing lease already holds it —
+            // no unclaimed window in which an eager worker could
+            // defeat the pacing. Deterministic jitter keyed on the
+            // shard id keeps restarts reproducible without
+            // synchronizing reclaim storms. (A broker killed between
+            // here and the publish leaves a lease at a token no shard
+            // file carries yet; its successor reclaims again and the
+            // impose below overwrites it.)
+            Lease pause;
+            pause.shard = s.id;
+            pause.token = s.token;
+            pause.pid = 0;
+            pause.host = kBackoffHost;
+            pause.deadline = spoolWallClock() +
+                             retryBackoffSeconds(opt.backoffBase,
+                                                 s.attempt - 1,
+                                                 shardIdHash(s.id));
+            spool.imposeLease(pause);
+        }
+        spool.publishShard(s);
+        // The dead worker's lease lives at the superseded token's
+        // path now; sweep it (and any staged-claim litter) away.
+        spool.sweepStaleLeases(s.id, s.token);
+
+        if (done) {
             // The dying worker streamed everything before losing its
             // lease; nothing left to retry.
-            spool.breakLease(s.id);
             retired.insert(s.id);
             return;
         }
-        if (s.attempt >= s.budget) {
-            spool.breakLease(s.id);
+        if (exhausted) {
             quarantineShard(s);
             retired.insert(s.id);
-            return;
         }
-        // Replace the dead worker's lease with a backoff lease
-        // (atomic rename: no unclaimed window in which an eager
-        // worker could defeat the pacing). Deterministic jitter keyed
-        // on the shard id keeps restarts reproducible without
-        // synchronizing reclaim storms.
-        Lease pause;
-        pause.shard = s.id;
-        pause.token = s.token;
-        pause.pid = 0;
-        pause.host = kBackoffHost;
-        pause.deadline = spoolWallClock() +
-                         retryBackoffSeconds(opt.backoffBase,
-                                             s.attempt - 1,
-                                             shardIdHash(s.id));
-        spool.imposeLease(pause);
     };
 
     // Shards already exhausted on adoption (the broker died between
@@ -391,14 +426,25 @@ runSpoolBroker(const std::string &campaignJson,
             const double now = spoolWallClock();
 
             // Keep local worker capacity up (crashed workers respawn
-            // while work remains).
+            // while work remains) — unless every recent child died
+            // instantly with exit 127 (exec failure): then respawning
+            // is a silent fork storm, so give up on local workers and
+            // rely on external ones instead of stalling forever.
             reapChildren(false);
-            if (!opt.workerArgv.empty())
+            if (!spawnBroken && execFailStreak >= 3) {
+                spawnBroken = true;
+                warn("local workers exit 127 immediately (exec of " +
+                     opt.workerArgv[0] +
+                     " fails); not respawning — the campaign needs "
+                     "external `pintesim --worker` processes");
+            }
+            if (!opt.workerArgv.empty() && !spawnBroken)
                 while (children.size() < opt.workers) {
                     const pid_t pid = spawnLocalWorker(opt.workerArgv);
                     if (pid < 0)
                         break;
-                    children.push_back(pid);
+                    children.push_back(
+                        ChildProc{pid, spoolWallClock()});
                     deadChildren.erase(pid); // pid recycled by the OS
                 }
 
@@ -431,17 +477,32 @@ runSpoolBroker(const std::string &campaignJson,
                 }
 
                 Lease lease;
-                if (!spool.readLease(s.id, lease))
+                double leaseMtime = 0.0;
+                const LeaseProbe probe = spool.probeLease(
+                    s.id, s.token, lease, &leaseMtime);
+                if (probe == LeaseProbe::Absent)
                     continue; // unclaimed; waiting for a worker
-                if (lease.host == kBackoffHost) {
-                    if (lease.deadline <= now)
-                        spool.breakLease(s.id); // backoff served
+                if (probe == LeaseProbe::Corrupt) {
+                    // A damaged lease file (a link()-atomic claim
+                    // cannot leave one, so: operator mishap, foreign
+                    // tooling, disk damage) parses as nothing yet
+                    // blocks every claim — left alone it wedges the
+                    // shard forever. Break it after a full TTL of
+                    // grace from its last modification, exactly the
+                    // patience a silent worker gets.
+                    if (leaseMtime + opt.leaseTtl <= now) {
+                        warn("spool shard " + s.id +
+                             ": corrupt lease at token " +
+                             std::to_string(s.token) +
+                             "; breaking it");
+                        spool.breakLease(s.id, s.token);
+                    }
                     continue;
                 }
-                if (lease.token != s.token) {
-                    // Claimed between our republish and the claimant
-                    // noticing the bump; it abandons on renewal.
-                    spool.breakLease(s.id);
+                if (lease.host == kBackoffHost) {
+                    if (lease.deadline <= now)
+                        spool.breakLease(s.id,
+                                         s.token); // backoff served
                     continue;
                 }
                 if (lease.host == myHost &&
@@ -469,9 +530,10 @@ runSpoolBroker(const std::string &campaignJson,
                         lease.host + ", ttl " + fmtSecs(opt.leaseTtl) +
                         "s)";
                     if (lease.host == myHost)
-                        for (const pid_t pid : children)
-                            if (pid == static_cast<pid_t>(lease.pid)) {
-                                ::kill(pid, SIGKILL);
+                        for (const ChildProc &c : children)
+                            if (c.pid ==
+                                static_cast<pid_t>(lease.pid)) {
+                                ::kill(c.pid, SIGKILL);
                                 why += "; worker killed";
                                 break;
                             }
@@ -518,8 +580,10 @@ spoolWorkerStep(Spool &spool, const std::vector<std::string> &cellKeys,
         if (spool.readDone(id, doneToken) && doneToken == s.token)
             continue;
         Lease existing;
-        if (spool.readLease(id, existing))
-            continue; // held (a worker, or broker backoff pacing)
+        if (spool.probeLease(id, s.token, existing) !=
+            LeaseProbe::Absent)
+            continue; // held (worker, broker backoff pacing, or a
+                      // corrupt lease the broker will heal)
         Lease lease;
         if (!spool.claimLease(s, opt.leaseTtl, lease))
             continue; // lost the claim race

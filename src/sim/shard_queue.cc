@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -136,9 +137,10 @@ Spool::shardFile(const std::string &id) const
 }
 
 std::string
-Spool::leaseFile(const std::string &id) const
+Spool::leaseFile(const std::string &id, std::uint32_t token) const
 {
-    return root_ + "/leases/" + id + ".lease";
+    return root_ + "/leases/" + id + ".t" + std::to_string(token) +
+           ".lease";
 }
 
 std::string
@@ -227,9 +229,17 @@ Spool::claimLease(const ShardSpec &s, double ttl, Lease &out)
     out.host = spoolHostName();
     out.deadline = spoolWallClock() + ttl;
     const std::string json = leaseToJson(out);
-    // O_EXCL is the whole claim protocol: exactly one creator wins.
-    const int fd = ::open(leaseFile(s.id).c_str(),
-                          O_CREAT | O_EXCL | O_WRONLY, 0666);
+    // Two-phase atomic claim: stage the lease whole under a private
+    // name, then link() it into place. link() fails with EEXIST when
+    // another claimant won, and a claimer SIGKILLed at any instant
+    // leaves either no lease file or a complete one — never a torn
+    // claim that would block every future claim while parsing as
+    // nothing. (Staging litter is swept when the token moves on.)
+    const std::string path = leaseFile(s.id, s.token);
+    const std::string tmp =
+        path + ".claim." + out.host + "." + std::to_string(out.pid);
+    const int fd =
+        ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0666);
     if (fd < 0)
         return false;
     const bool ok =
@@ -238,45 +248,71 @@ Spool::claimLease(const ShardSpec &s, double ttl, Lease &out)
     ::fsync(fd);
     ::close(fd);
     if (!ok) {
-        ::unlink(leaseFile(s.id).c_str());
+        ::unlink(tmp.c_str());
         return false;
     }
-    return true;
+    const bool won = ::link(tmp.c_str(), path.c_str()) == 0;
+    ::unlink(tmp.c_str());
+    return won;
+}
+
+LeaseProbe
+Spool::probeLease(const std::string &id, std::uint32_t token,
+                  Lease &out, double *mtime) const
+{
+    const std::string path = leaseFile(id, token);
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return LeaseProbe::Absent;
+    if (mtime)
+        *mtime = static_cast<double>(st.st_mtim.tv_sec) +
+                 static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+    std::string text;
+    if (!slurp(path, text))
+        return LeaseProbe::Absent; // unlinked under us: claimable
+    Lease l;
+    if (!leaseFromJson(text, l) || l.shard != id || l.token != token)
+        return LeaseProbe::Corrupt;
+    out = l;
+    return LeaseProbe::Valid;
 }
 
 bool
-Spool::readLease(const std::string &id, Lease &out) const
+Spool::readLease(const std::string &id, std::uint32_t token,
+                 Lease &out) const
 {
-    std::string text;
-    if (!slurp(leaseFile(id), text))
-        return false;
-    return leaseFromJson(text, out);
+    return probeLease(id, token, out) == LeaseProbe::Valid;
 }
 
 bool
 Spool::renewLease(const Lease &l, double ttl)
 {
     // Verify the claim still stands before rewriting: the broker may
-    // have broken the lease (and bumped the shard token) behind our
-    // back. Racing the broker's unlink with our rename can briefly
-    // resurrect a broken lease file, but the *shard token* has moved
-    // on, so the resurrected lease is visibly stale — both the broker
-    // (token mismatch => reclaimable immediately) and the next renew
-    // here (shard check below) converge on abandonment.
+    // have reclaimed the shard (bumped its token and swept this
+    // lease) behind our back. The lease path carries the token, so
+    // this rewrite can never land on the backoff lease or a new
+    // claimant's lease — those live at the bumped token's path.
     Lease cur;
-    if (!readLease(l.shard, cur))
+    if (!readLease(l.shard, l.token, cur))
         return false;
-    if (cur.token != l.token || cur.pid != l.pid ||
-        cur.host != l.host)
+    if (cur.pid != l.pid || cur.host != l.host)
         return false;
     ShardSpec s;
     if (!readShard(l.shard, s) || s.token != l.token)
         return false;
     Lease renewed = l;
     renewed.deadline = spoolWallClock() + ttl;
-    AtomicFile f(leaseFile(l.shard));
+    AtomicFile f(leaseFile(l.shard, l.token));
     f.stream() << leaseToJson(renewed);
     f.commit();
+    // A reclamation that raced the commit above has already swept
+    // this path; the rename just resurrected a file at a
+    // superseded-token path nobody reads. Detect, clean up after
+    // ourselves, and abandon.
+    if (!readShard(l.shard, s) || s.token != l.token) {
+        ::unlink(leaseFile(l.shard, l.token).c_str());
+        return false;
+    }
     return true;
 }
 
@@ -284,25 +320,47 @@ void
 Spool::releaseLease(const Lease &l)
 {
     Lease cur;
-    if (!readLease(l.shard, cur))
+    if (!readLease(l.shard, l.token, cur))
         return;
-    if (cur.token == l.token && cur.pid == l.pid &&
-        cur.host == l.host)
-        ::unlink(leaseFile(l.shard).c_str());
+    if (cur.pid == l.pid && cur.host == l.host)
+        ::unlink(leaseFile(l.shard, l.token).c_str());
 }
 
 void
-Spool::breakLease(const std::string &id)
+Spool::breakLease(const std::string &id, std::uint32_t token)
 {
-    ::unlink(leaseFile(id).c_str());
+    ::unlink(leaseFile(id, token).c_str());
 }
 
 void
 Spool::imposeLease(const Lease &l)
 {
-    AtomicFile f(leaseFile(l.shard));
+    AtomicFile f(leaseFile(l.shard, l.token));
     f.stream() << leaseToJson(l);
     f.commit();
+}
+
+void
+Spool::sweepStaleLeases(const std::string &id, std::uint32_t curToken)
+{
+    const std::string dir = root_ + "/leases";
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return;
+    const std::string prefix = id + ".t";
+    while (struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        char *end = nullptr;
+        const unsigned long long tok =
+            std::strtoull(name.c_str() + prefix.size(), &end, 10);
+        if (end == name.c_str() + prefix.size() || *end != '.')
+            continue;
+        if (tok < curToken)
+            ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
 }
 
 void

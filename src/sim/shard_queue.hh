@@ -19,12 +19,22 @@
  *                        attempt history. Republished (atomically
  *                        replaced) with a bumped token on every
  *                        reclamation.
- *   leases/<id>.lease    a worker's claim on a shard: owner pid/host,
- *                        the token it claimed, and a wall-clock
- *                        deadline. Created with O_EXCL (the atomic
- *                        claim), renewed by the owner while its
- *                        simulation makes progress, broken by the
- *                        broker once the deadline passes.
+ *   leases/<id>.t<N>.lease
+ *                        a worker's claim on a shard at token N:
+ *                        owner pid/host, the token, and a wall-clock
+ *                        deadline. The file name carries the token,
+ *                        so a stale owner's writes can never land on
+ *                        a newer token's lease. Claimed atomically
+ *                        (the JSON is staged whole under a private
+ *                        name, then link()ed into place — a claimer
+ *                        SIGKILLed at any instant leaves either no
+ *                        lease or a complete one), renewed by the
+ *                        owner while its simulation makes progress,
+ *                        broken by the broker once the deadline
+ *                        passes. A lease file that exists but does
+ *                        not parse (operator damage) is broken by
+ *                        the broker after a TTL of grace instead of
+ *                        wedging the shard.
  *   results/<id>.t<N>    append-only stream of wire Record frames,
  *                        one per completed cell, written by the
  *                        worker holding token N. Fencing is by file
@@ -91,6 +101,18 @@ struct Lease
     double deadline = 0.0;    //!< unix seconds; expired => reclaimable
 };
 
+/** What a lease file at a given (shard, token) holds. Corrupt —
+ *  present but unparseable, or carrying the wrong shard/token — can
+ *  only come from operator damage (claims are link()-atomic), but it
+ *  blocks every future claim, so the broker breaks it after a TTL of
+ *  grace rather than letting the shard wedge. */
+enum class LeaseProbe
+{
+    Absent,  //!< no lease file: the shard is claimable
+    Valid,   //!< parsed; the shard is held (worker or broker backoff)
+    Corrupt, //!< present but unreadable: break after grace
+};
+
 /** One per-cell result record from a worker's stream. */
 struct SpoolRecord
 {
@@ -142,30 +164,57 @@ class Spool
     /// @name Leases
     /// @{
     /**
-     * Try to claim `s` for this process: atomically create the lease
-     * file (O_EXCL) with deadline now + `ttl`. False when another
-     * worker holds it.
+     * Try to claim `s` at its current token for this process, with
+     * deadline now + `ttl`. The claim is atomic: the lease JSON is
+     * written and fsync'd under a private staging name, then link()ed
+     * to `leases/<id>.t<token>.lease` — exactly one claimant's link
+     * succeeds, and a claimer killed at any instant leaves either no
+     * lease file or a complete one, never a torn claim. False when
+     * another claimant holds the path (or on I/O failure).
      */
     bool claimLease(const ShardSpec &s, double ttl, Lease &out);
-    /** Load a lease; false when absent or corrupt. */
-    bool readLease(const std::string &id, Lease &out) const;
+    /**
+     * Inspect the lease of (id, token): Absent (claimable), Valid
+     * (`out` filled), or Corrupt (present but unparseable, or its
+     * body disagrees with its path). When `mtime` is non-null it
+     * receives the file's last-modification time in unix seconds —
+     * the clock the broker's corrupt-lease grace period runs on.
+     */
+    LeaseProbe probeLease(const std::string &id, std::uint32_t token,
+                          Lease &out, double *mtime = nullptr) const;
+    /** Load a valid lease; false when absent or corrupt. */
+    bool readLease(const std::string &id, std::uint32_t token,
+                   Lease &out) const;
     /**
      * Push the deadline of an owned lease to now + `ttl`. False when
-     * the lease was lost (file gone or token superseded) — the owner
-     * must abandon the shard immediately.
+     * the lease was lost (file gone, another owner, or the shard
+     * token superseded) — the owner must abandon the shard
+     * immediately. The lease path is token-named, so a renewal that
+     * races a reclamation can never overwrite the backoff lease or a
+     * new claimant's lease; at worst it briefly recreates a file at
+     * the superseded path, which the post-commit token re-check below
+     * detects and removes.
      */
     bool renewLease(const Lease &l, double ttl);
     /** Owner releases its claim (only if the file still carries its
-     *  token). */
+     *  identity). */
     void releaseLease(const Lease &l);
-    /** Broker forcibly removes a lease during reclamation. */
-    void breakLease(const std::string &id);
+    /** Broker forcibly removes the lease of (id, token) during
+     *  reclamation. */
+    void breakLease(const std::string &id, std::uint32_t token);
     /**
      * Broker installs (or atomically replaces) a lease outright,
-     * bypassing the O_EXCL claim protocol — used to convert a dead
-     * worker's lease into a backoff lease with no unclaimed window.
+     * bypassing the claim protocol — used to stage the backoff lease
+     * of a reclaimed shard at its *next* token before the bumped
+     * shard file becomes visible, so there is no unclaimed window in
+     * which an eager worker could defeat the retry pacing.
      */
     void imposeLease(const Lease &l);
+    /** Remove every lease or staged-claim file of `id` whose token is
+     *  older than `curToken` (reclamation litter; nobody reads
+     *  them). */
+    void sweepStaleLeases(const std::string &id,
+                          std::uint32_t curToken);
     /// @}
 
     /// @name Result streams and markers
@@ -196,7 +245,8 @@ class Spool
     /// @}
 
     std::string shardFile(const std::string &id) const;
-    std::string leaseFile(const std::string &id) const;
+    std::string leaseFile(const std::string &id,
+                          std::uint32_t token) const;
     std::string resultFile(const std::string &id,
                            std::uint32_t token) const;
     std::string doneFile(const std::string &id) const;

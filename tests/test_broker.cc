@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -430,7 +431,184 @@ TEST(Broker, WorkerRefusesForeignFingerprint)
     };
     EXPECT_FALSE(spoolWorkerStep(spool, keys, fn, workerOptions()));
     Lease l;
-    EXPECT_FALSE(spool.readLease(s.id, l));
+    EXPECT_FALSE(spool.readLease(s.id, s.token, l));
+}
+
+/**
+ * A lease file that exists but does not parse (the shape a pre-atomic
+ * claim protocol could leave behind a SIGKILL, now only operator
+ * damage) must block claims — but probe as Corrupt, so the broker can
+ * break it instead of waiting on a deadline it cannot read.
+ */
+TEST(Broker, CorruptLeaseBlocksClaimsUntilBroken)
+{
+    const std::string root = freshSpool("corrupt_lease");
+
+    Spool spool(root);
+    spool.writeCampaign(kDoc);
+    ShardSpec s;
+    s.id = "s000000";
+    s.fingerprint = kFp;
+    s.cells = {0};
+    spool.publishShard(s);
+
+    {
+        std::ofstream torn(spool.leaseFile(s.id, s.token),
+                           std::ios::binary);
+        torn << "{\"schema\": \"pinte.spool.le"; // torn mid-write
+    }
+    Lease l;
+    EXPECT_EQ(spool.probeLease(s.id, s.token, l),
+              LeaseProbe::Corrupt);
+    EXPECT_FALSE(spool.claimLease(s, /*ttl=*/1.0, l));
+
+    spool.breakLease(s.id, s.token);
+    EXPECT_EQ(spool.probeLease(s.id, s.token, l), LeaseProbe::Absent);
+    EXPECT_TRUE(spool.claimLease(s, /*ttl=*/1.0, l));
+    EXPECT_EQ(spool.probeLease(s.id, s.token, l), LeaseProbe::Valid);
+}
+
+/**
+ * A live broker adopting a spool whose shard is wedged under a
+ * corrupt lease must break it after the TTL grace and let a healthy
+ * worker complete the campaign — a corrupt lease is a delay, never a
+ * hang.
+ */
+TEST(Broker, BrokerHealsCorruptLeaseAfterGrace)
+{
+    const std::string root = freshSpool("heal_lease");
+    const auto keys = syntheticKeys(1);
+
+    {
+        Spool spool(root);
+        spool.writeCampaign(kDoc);
+        ShardSpec s;
+        s.id = "s000000";
+        s.fingerprint = kFp;
+        s.cells = {0};
+        spool.publishShard(s);
+        std::ofstream torn(spool.leaseFile(s.id, s.token),
+                           std::ios::binary);
+        torn << "not a lease";
+    }
+
+    BrokerOptions opt = brokerOptions(root);
+    opt.leaseTtl = 0.2;
+    std::vector<RunResult> results;
+    std::thread broker([&] {
+        results = runSpoolBroker(kDoc, kFp, keys, opt);
+    });
+
+    std::atomic<std::size_t> calls{0};
+    const ProcJobFn fn = [&](std::size_t i) {
+        ++calls;
+        return syntheticResult(i);
+    };
+    Spool spool(root);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!spool.complete() &&
+           std::chrono::steady_clock::now() < deadline) {
+        spoolWorkerStep(spool, keys, fn, workerOptions());
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(spool.complete())
+        << "broker never healed the corrupt lease";
+    broker.join();
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].failed()) << results[0].error.message;
+    EXPECT_EQ(calls.load(), 1u);
+    EXPECT_EQ(canonical(results[0]), canonical(syntheticResult(0)));
+}
+
+/**
+ * Token-named lease files make renewal fencing structural: a stale
+ * owner renewing after its shard was reclaimed must fail without
+ * touching the bumped token's lease (the broker's backoff pacing),
+ * and must not leave a resurrected file at the superseded path.
+ */
+TEST(Broker, StaleRenewalCannotClobberNewerTokenLease)
+{
+    const std::string root = freshSpool("renew_fence");
+
+    Spool spool(root);
+    spool.writeCampaign(kDoc);
+    ShardSpec s;
+    s.id = "s000000";
+    s.fingerprint = kFp;
+    s.cells = {0};
+    spool.publishShard(s);
+
+    Lease stale;
+    ASSERT_TRUE(spool.claimLease(s, /*ttl=*/10.0, stale));
+
+    // Broker-side reclamation by hand: backoff lease staged at the
+    // new token, shard republished, old-token litter swept.
+    ShardSpec bumped = s;
+    bumped.token = 2;
+    bumped.attempt = 1;
+    Lease pause;
+    pause.shard = s.id;
+    pause.token = 2;
+    pause.pid = 0;
+    pause.host = "!backoff";
+    pause.deadline = spoolWallClock() + 3600.0;
+    spool.imposeLease(pause);
+    spool.publishShard(bumped);
+    spool.sweepStaleLeases(s.id, 2);
+
+    EXPECT_FALSE(spool.renewLease(stale, /*ttl=*/10.0));
+
+    Lease cur;
+    ASSERT_TRUE(spool.readLease(s.id, 2, cur));
+    EXPECT_EQ(cur.host, "!backoff");
+    EXPECT_EQ(cur.deadline, pause.deadline); // pacing untouched
+    Lease gone;
+    EXPECT_EQ(spool.probeLease(s.id, 1, gone), LeaseProbe::Absent);
+}
+
+/**
+ * A broker whose local worker argv cannot exec (children die
+ * instantly with 127) must stop respawning instead of fork-storming,
+ * and the campaign must still complete through external workers.
+ */
+TEST(Broker, UnexecableWorkerArgvDoesNotStallCampaign)
+{
+    const std::string root = freshSpool("exec_fail");
+    const auto keys = syntheticKeys(2);
+
+    BrokerOptions opt = brokerOptions(root);
+    opt.workers = 2;
+    opt.workerArgv = {"/nonexistent/pinte-no-such-binary", "--worker"};
+
+    std::vector<RunResult> results;
+    std::thread broker([&] {
+        results = runSpoolBroker(kDoc, kFp, keys, opt);
+    });
+
+    std::atomic<std::size_t> calls{0};
+    const ProcJobFn fn = [&](std::size_t i) {
+        ++calls;
+        return syntheticResult(i);
+    };
+    Spool spool(root);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!spool.complete() &&
+           std::chrono::steady_clock::now() < deadline) {
+        spoolWorkerStep(spool, keys, fn, workerOptions());
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(spool.complete())
+        << "campaign stalled behind exec-failing local workers";
+    broker.join();
+
+    ASSERT_EQ(results.size(), 2u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_FALSE(results[i].failed()) << results[i].error.message;
+        EXPECT_EQ(canonical(results[i]), canonical(syntheticResult(i)));
+    }
 }
 
 } // namespace

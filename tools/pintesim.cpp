@@ -20,6 +20,8 @@
  *   pintesim -w 450.soplex --sweep --format=csv --out sweep.csv
  */
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -755,7 +757,18 @@ pinteMain(int argc, char **argv)
                 jobs ? jobs
                      : std::max(1u,
                                 std::thread::hardware_concurrency());
-            bopt.workerArgv = {argv[0], "--worker", "--spool",
+            // argv[0] may be a bare name found via PATH; workers are
+            // exec'd directly, so resolve our own binary first (the
+            // broker falls back to an execvp PATH search anyway).
+            std::string self = argv[0];
+            {
+                char exe[4096];
+                const ::ssize_t len =
+                    ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+                if (len > 0)
+                    self.assign(exe, static_cast<std::size_t>(len));
+            }
+            bopt.workerArgv = {self, "--worker", "--spool",
                                spool_dir};
             bopt.leaseTtl = lease_ttl;
             bopt.maxRetries = max_retries;
