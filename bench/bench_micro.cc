@@ -198,6 +198,17 @@ BM_HotpathLruPromote(benchmark::State &state)
 BENCHMARK(BM_HotpathLruPromote);
 
 void
+BM_HotpathDrripInduction(benchmark::State &state)
+{
+    const std::uint64_t ops = 100'000;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hotpathDrripInductionOnce(ops));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_HotpathDrripInduction);
+
+void
 BM_HotpathTraceDecode(benchmark::State &state)
 {
     const std::uint64_t records = 1u << 14;

@@ -65,4 +65,39 @@ sensitiveCurvePopulation(const std::vector<std::vector<double>> &curves,
            static_cast<double>(curves.size());
 }
 
+int
+sensitivityOrdinal(SensitivityClass c)
+{
+    switch (c) {
+      case SensitivityClass::Low: return 0;
+      case SensitivityClass::Mixed: return 1;
+      case SensitivityClass::High: return 2;
+    }
+    return 0;
+}
+
+std::vector<PolicySensitivity>
+classifyPolicyGrid(const std::vector<PolicyCurve> &grid, double tpl)
+{
+    std::vector<PolicySensitivity> out;
+    out.reserve(grid.size());
+    double base_fraction = 0.0;
+    int base_ordinal = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        PolicySensitivity row;
+        row.policy = grid[i].policy;
+        row.sensitiveFraction =
+            sensitiveSampleFraction(grid[i].weightedIpc, tpl);
+        row.cls = classifySensitivity(row.sensitiveFraction);
+        if (i == 0) {
+            base_fraction = row.sensitiveFraction;
+            base_ordinal = sensitivityOrdinal(row.cls);
+        }
+        row.deltaFraction = row.sensitiveFraction - base_fraction;
+        row.classShift = sensitivityOrdinal(row.cls) - base_ordinal;
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
 } // namespace pinte

@@ -17,6 +17,7 @@
 #ifndef PINTE_ANALYSIS_SENSITIVITY_HH
 #define PINTE_ANALYSIS_SENSITIVITY_HH
 
+#include <string>
 #include <vector>
 
 namespace pinte
@@ -62,6 +63,49 @@ SensitivityClass classifySensitivity(
 double sensitiveCurvePopulation(
     const std::vector<std::vector<double>> &curves,
     double tpl = defaultTpl);
+
+/**
+ * Severity ordinal of a class for cross-policy comparison: Low = 0,
+ * Mixed = 1, High = 2. The difference of two ordinals is the
+ * `classShift` a replacement policy induces relative to a baseline.
+ */
+int sensitivityOrdinal(SensitivityClass c);
+
+/**
+ * One replacement policy's pooled contention curve: every weighted-IPC
+ * sample from its PInTE sweep, each sample weighted against that same
+ * policy's isolation run (so the baseline moves with the policy — a
+ * policy is compared to itself unloaded, not to another policy).
+ */
+struct PolicyCurve
+{
+    std::string policy;              //!< canonical CLI name
+    std::vector<double> weightedIpc; //!< pooled sweep samples
+};
+
+/**
+ * One row of the policy-grid classification (`pintesim --sweep
+ * --policies ...`): the per-policy sensitivity verdict plus its delta
+ * against the grid's first policy.
+ */
+struct PolicySensitivity
+{
+    std::string policy;
+    double sensitiveFraction = 0.0; //!< share of samples below 1 - TPL
+    SensitivityClass cls = SensitivityClass::Low;
+    /** sensitiveFraction minus the first (baseline) policy's. */
+    double deltaFraction = 0.0;
+    /** sensitivityOrdinal(cls) minus the baseline policy's ordinal. */
+    int classShift = 0;
+};
+
+/**
+ * Classify every policy curve of a grid and report each against the
+ * first curve as baseline. The baseline row carries delta 0 / shift 0
+ * by construction; an empty grid yields an empty table.
+ */
+std::vector<PolicySensitivity> classifyPolicyGrid(
+    const std::vector<PolicyCurve> &grid, double tpl = defaultTpl);
 
 } // namespace pinte
 

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "prefetch/prefetchers.hh"
+#include "replacement/lhd.hh"
 #include "replacement/policies.hh"
 
 namespace pinte
@@ -64,6 +65,8 @@ Cache::withPolicy(F &&f)
         return f(static_cast<RandomPolicy &>(*policy_));
       case ReplacementKind::Drrip:
         return f(static_cast<DrripPolicy &>(*policy_));
+      case ReplacementKind::Lhd:
+        return f(static_cast<LhdPolicy &>(*policy_));
     }
     return f(*policy_);
 }
@@ -85,6 +88,8 @@ Cache::withPolicy(F &&f) const
         return f(static_cast<const RandomPolicy &>(*policy_));
       case ReplacementKind::Drrip:
         return f(static_cast<const DrripPolicy &>(*policy_));
+      case ReplacementKind::Lhd:
+        return f(static_cast<const LhdPolicy &>(*policy_));
     }
     return f(static_cast<const ReplacementPolicy &>(*policy_));
 }
@@ -130,6 +135,12 @@ unsigned
 Cache::rank(unsigned set, unsigned way) const
 {
     return withPolicy([&](const auto &p) { return p.rank(set, way); });
+}
+
+void
+Cache::ranks(unsigned set, std::uint8_t *out) const
+{
+    withPolicy([&](const auto &p) { p.ranks(set, out); });
 }
 
 bool
@@ -283,8 +294,11 @@ Cache::evict(unsigned set, unsigned way, CoreId requester, Cycle cycle,
     // way is state-identical to onFill alone for every built-in
     // policy — LRU/PseudoLRU/NMRU/RRIP/Random/DRRIP either no-op on
     // invalidate or have the fill overwrite exactly what invalidate
-    // wrote, no policy reads its state in between, and none draws RNG
-    // in onInvalidate — so the call is skipped on the hot path.
+    // wrote, LHD tracks slot liveness itself so a fill over a live
+    // slot records the same eviction sample the skipped onInvalidate
+    // would have, no policy reads its state in between, and none
+    // draws RNG or advances a clock in onInvalidate — so the call is
+    // skipped on the hot path.
     if (!for_refill)
         withPolicy([&](auto &p) { p.onInvalidate(set, way); });
 }
@@ -392,7 +406,10 @@ Cache::invalidateWayAsTheft(unsigned set, unsigned way, Cycle cycle)
     dirtyBits_[set] &= ~bit;
     // Deliberately no policy onInvalidate(): the mocked adversary
     // "inserted" at this block's promoted position (Fig 2b), so the
-    // slot keeps its stack position until a real fill reclaims it.
+    // slot keeps its rank — its stack position under a stack policy,
+    // its learned class/age state under LHD (whose next real fill on
+    // the slot records the stolen block's eviction sample) — until a
+    // real fill reclaims it.
 }
 
 AccessResult

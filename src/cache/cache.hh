@@ -128,6 +128,12 @@ class Cache : public MemoryLevel
     { return lines_[blockIndex(set, way)] << blockShift; }
     /** Eviction rank of a way: 0 = next victim. */
     unsigned rank(unsigned set, unsigned way) const;
+    /**
+     * Rank permutation of a whole set into out[0..assoc) — one
+     * devirtualized bulk call instead of assoc rank() calls. PInTE's
+     * BLOCK-SELECT walk reads the eviction order through this.
+     */
+    void ranks(unsigned set, std::uint8_t *out) const;
     /** True if `addr`'s line is present and valid. */
     bool probe(Addr addr) const;
     /** Valid blocks currently owned by `core` (occupancy, eq. 6). */

@@ -47,28 +47,41 @@ PInte::onAccess(Cache &cache, unsigned set, CoreId core, Cycle cycle)
         TraceEvents::mark("pinte", "trigger", blocks_evict);
 
     // BLOCK-SELECT .. DECREMENT: walk blocks from the eviction end of
-    // the replacement stack. Each PROMOTE moves the selected block to
-    // the protected end — the adversary's "insertion" — and INVALIDATE
-    // then mocks the theft on valid data. Promoting an already-invalid
-    // block models inserting on a previously stolen slot (Fig 2b), so
-    // the walk always promotes, but only valid blocks count as thefts.
+    // the rank permutation (replacement/policy.hh — rank 0 is the next
+    // victim under any policy, stack-shaped or learned). Each PROMOTE
+    // moves the selected block toward the protected end — the
+    // adversary's "insertion" — and INVALIDATE then mocks the theft on
+    // valid data. Promoting an already-invalid block models inserting
+    // on a previously stolen slot (Fig 2b), so the walk always
+    // promotes, but only valid blocks count as thefts.
+    //
+    // The walk reads the eviction order through one bulk ranks() call
+    // per permutation version instead of assoc per-way rank() calls.
+    // Theft invalidation never touches policy state, so the
+    // permutation only changes when PROMOTE runs: with it enabled the
+    // ranks are re-read each iteration (for stack policies each
+    // promotion rotates a fresh block into rank 0; a policy whose
+    // promotion does not reorder, e.g. Random, keeps re-selecting the
+    // same already-stolen slot, and only the first selection counts a
+    // theft); without it the permutation is frozen for the whole walk
+    // and the single snapshot is exact — the walk then climbs ranks
+    // 0..k-1 itself to reach k distinct blocks instead of re-selecting
+    // the same way every iteration.
+    std::uint8_t ranks[64];
+    bool ranks_fresh = false;
     unsigned w = 0;
     unsigned stack_rank = 0;
     while (blocks_evict > 0 && w < assoc) {
         unsigned way = 0;
         switch (config_.select) {
           case BlockSelectPolicy::StackEnd: {
-            // The block at rank 0 is at the end of the stack. With
-            // PROMOTE enabled each promotion rotates a fresh block
-            // into rank 0, so re-reading rank 0 walks the stack.
-            // Without PROMOTE the ranks never shift (theft
-            // invalidation keeps the slot's stack position), so the
-            // walk must climb ranks 0..k-1 itself to reach k distinct
-            // blocks instead of re-selecting the same way every
-            // iteration.
+            if (!ranks_fresh) {
+                cache.ranks(set, ranks);
+                ranks_fresh = true;
+            }
             const unsigned target = config_.promote ? 0 : stack_rank;
             for (unsigned cand = 0; cand < assoc; ++cand) {
-                if (cache.rank(set, cand) == target) {
+                if (ranks[cand] == target) {
                     way = cand;
                     break;
                 }
@@ -84,6 +97,7 @@ PInte::onAccess(Cache &cache, unsigned set, CoreId core, Cycle cycle)
         if (config_.promote) {
             cache.promoteWay(set, way);
             ++stats_.promotions;
+            ranks_fresh = false; // promotion may reorder the ranks
         }
 
         if (cache.valid(set, way)) {

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * LHD-class learned replacement: ranked eviction by predicted hit
+ * density (Beckmann, Chen & Sanchez, "LHD: Improving Cache Hit Rate by
+ * Maximizing Hit Density", NSDI'18), adapted to a set-associative
+ * hardware cache model.
+ *
+ * LHD is the first policy in this repository with no replacement stack
+ * at all. Instead of maintaining a recency order it *predicts*, for
+ * every resident block, its hit density — expected hits per unit of
+ * remaining lifetime — from two learned distributions: how often
+ * blocks of a class hit at a given age, and how often they are evicted
+ * at a given age. The eviction order is "lowest predicted density
+ * first", re-derived from the histograms at a fixed reconfiguration
+ * cadence. That is exactly the shape the rank-permutation contract in
+ * replacement/policy.hh exists for: the policy exposes a total order
+ * over ways that is a pure function of its learned state, and PInTE's
+ * BLOCK-SELECT walk, the masked-allocation path and the audits consume
+ * it without ever assuming stack semantics.
+ *
+ * Model details (all deterministic, seeded — no wall clock, no global
+ * state):
+ *
+ *  - **Clock.** A policy-global event counter advances on every fill
+ *    and hit. Block age is measured in these events, coarsened into
+ *    `ageBuckets` buckets by a geometry-derived shift so typical
+ *    lifetimes (≈ one cache's worth of events) resolve mid-range.
+ *  - **Classes.** Blocks are classified by their hit count so far
+ *    (0 hits / 1 hit / 2+ hits), the standard LHD proxy for "how
+ *    reusable has this block proven itself".
+ *  - **Sampling.** A hit records a hit sample at (class, age); an
+ *    eviction or invalidation records an eviction sample. Both feed
+ *    EWMA histograms halved at every reconfiguration.
+ *  - **Reconfiguration.** Every `reconfigInterval` events the policy
+ *    recomputes hitDensity[class][age] by a reverse age scan: at age
+ *    a, density = (hits at ages >= a) / (event-weighted remaining
+ *    lifetime at ages >= a).
+ *  - **Explorer sets.** A seeded 1-in-16 subset of sets ranks purely
+ *    by age (oldest first), deliberately ignoring the predictions, so
+ *    the histograms keep receiving lifetime samples the learned
+ *    ranking would otherwise censor.
+ *
+ * Interaction with the cache's refill-pair optimization: Cache::evict
+ * skips onInvalidate when a fill of the same way follows immediately.
+ * LhdPolicy keeps that identity by tracking liveness itself — a fill
+ * over a live slot records the departing block's eviction sample with
+ * the same (class, age) the skipped onInvalidate would have, then
+ * resets the slot. PInTE's theft invalidation calls no policy hook at
+ * all (the slot keeps its learned state, like its stack position under
+ * LRU); the stolen block's eviction sample is recorded by the next
+ * real fill, at an age that includes the stolen-idle time — induced
+ * contention thus shortens learned lifetimes, which is precisely the
+ * signal a real adversary would imprint on LHD's histograms.
+ */
+
+#ifndef PINTE_REPLACEMENT_LHD_HH
+#define PINTE_REPLACEMENT_LHD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "replacement/policy.hh"
+
+namespace pinte
+{
+
+/** Learned hit-density replacement (see file comment). */
+class LhdPolicy final : public ReplacementPolicy
+{
+  public:
+    static constexpr unsigned numClasses = 3;  //!< by hit count: 0/1/2+
+    static constexpr unsigned ageBuckets = 64;
+    static constexpr std::uint64_t reconfigInterval = 8192; //!< events
+    static constexpr unsigned explorerDivisor = 16; //!< 1-in-N sets
+
+    LhdPolicy(unsigned num_sets, unsigned assoc, std::uint64_t seed);
+
+    unsigned victim(unsigned set) override;
+    void onFill(unsigned set, unsigned way) override;
+    void onHit(unsigned set, unsigned way) override;
+    void onInvalidate(unsigned set, unsigned way) override;
+
+    unsigned rank(unsigned set, unsigned way) const override;
+    void ranks(unsigned set, std::uint8_t *out) const override;
+
+    const char *name() const override { return "LHD"; }
+
+    void auditSet(unsigned set) const override;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
+    /** @name Introspection for tests */
+    /// @{
+    bool isExplorer(unsigned set) const;
+    std::uint64_t eventClock() const { return now_; }
+    double hitDensity(unsigned cls, unsigned bucket) const
+    { return density_[histIdx(cls, bucket)]; }
+    /** Predicted hit density of the block resident at (set, way). */
+    double predictedDensity(unsigned set, unsigned way) const;
+    /// @}
+
+  private:
+    std::size_t idx(unsigned s, unsigned w) const
+    { return std::size_t(s) * assoc_ + w; }
+
+    static std::size_t histIdx(unsigned cls, unsigned bucket)
+    { return std::size_t(cls) * ageBuckets + bucket; }
+
+    unsigned ageBucket(std::uint64_t age) const
+    {
+        const std::uint64_t b = age >> ageShift_;
+        return b < ageBuckets ? static_cast<unsigned>(b)
+                              : ageBuckets - 1;
+    }
+
+    /** Advance the event clock; reconfigure on the cadence. */
+    void tick();
+
+    void recordHit(std::size_t bi);
+    void recordEviction(std::size_t bi);
+
+    /** Re-derive density_ from the histograms, then decay them. */
+    void reconfigure();
+
+    /**
+     * Fill order_out[r] = way for r = 0..assoc-1, most evictable
+     * first — the single total order rank()/ranks()/victim() all
+     * derive from, so they can never disagree.
+     */
+    void computeOrder(unsigned set, std::uint8_t *order_out) const;
+
+    std::uint64_t seed_;
+    unsigned ageShift_; //!< geometry-derived age coarsening
+
+    std::uint64_t now_ = 0;           //!< event clock (fills + hits)
+    std::uint64_t sinceReconfig_ = 0; //!< events since reconfigure()
+
+    /** @name Per-block state, indexed by idx(set, way) */
+    /// @{
+    std::vector<std::uint64_t> birth_; //!< event time of last fill/hit
+    std::vector<std::uint8_t> cls_;    //!< hit-count class, < numClasses
+    std::vector<std::uint8_t> live_;   //!< slot holds a tracked block
+    /// @}
+
+    /** @name Learned state, flat [class][age bucket] via histIdx() */
+    /// @{
+    std::vector<double> hitHist_;
+    std::vector<double> evictHist_;
+    std::vector<double> density_;
+    /// @}
+};
+
+} // namespace pinte
+
+#endif // PINTE_REPLACEMENT_LHD_HH

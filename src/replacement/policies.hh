@@ -45,6 +45,38 @@
 namespace pinte
 {
 
+namespace rrip_detail
+{
+
+/**
+ * Single-pass rank permutation over an RRPV row (shared by RRIP and
+ * DRRIP): a counting sort by RRPV value. Equivalent to the per-way
+ * definition rank(w) = #{w' : rrpv[w'] > rrpv[w]} + #{w' < w :
+ * rrpv[w'] == rrpv[w]} — start[v] counts the ways in strictly more
+ * distant RRPV bins, and the ascending way scan hands out the
+ * equal-RRPV slots in way-index order, matching the left-to-right
+ * victim scan's tiebreak. O(assoc + maxRrpv) instead of the O(assoc²)
+ * the base-class per-way fallback would cost per bulk query.
+ */
+inline void
+rrpvRanks(const std::uint8_t *rrpv, unsigned assoc,
+          std::uint8_t max_rrpv, std::uint8_t *out)
+{
+    unsigned cnt[16] = {};
+    for (unsigned w = 0; w < assoc; ++w)
+        ++cnt[rrpv[w]];
+    unsigned start[16];
+    unsigned higher = 0;
+    for (int v = max_rrpv; v >= 0; --v) {
+        start[v] = higher;
+        higher += cnt[v];
+    }
+    for (unsigned w = 0; w < assoc; ++w)
+        out[w] = static_cast<std::uint8_t>(start[rrpv[w]]++);
+}
+
+} // namespace rrip_detail
+
 /** True LRU as a flat rank permutation (one byte per way). */
 class LruPolicy final : public ReplacementPolicy
 {
@@ -271,6 +303,15 @@ class PseudoLruPolicy final : public ReplacementPolicy
         return found;
     }
 
+    void
+    ranks(unsigned set, std::uint8_t *out) const override
+    {
+        // One victim-first traversal labels every leaf, instead of
+        // assoc separate walks through the per-way fallback.
+        unsigned pos = 0;
+        fillRanks(set, 0, 0, assoc_, pos, out);
+    }
+
     const char *name() const override { return "pLRU"; }
 
     void
@@ -346,6 +387,25 @@ class PseudoLruPolicy final : public ReplacementPolicy
         }
     }
 
+    /** Same victim-first order as walk(), labeling every leaf. */
+    void
+    fillRanks(unsigned set, unsigned node, unsigned lo, unsigned hi,
+              unsigned &pos, std::uint8_t *out) const
+    {
+        if (hi - lo == 1) {
+            out[lo] = static_cast<std::uint8_t>(pos++);
+            return;
+        }
+        const unsigned mid = (lo + hi) / 2;
+        if (bit(set, node)) {
+            fillRanks(set, 2 * node + 2, mid, hi, pos, out);
+            fillRanks(set, 2 * node + 1, lo, mid, pos, out);
+        } else {
+            fillRanks(set, 2 * node + 1, lo, mid, pos, out);
+            fillRanks(set, 2 * node + 2, mid, hi, pos, out);
+        }
+    }
+
     std::vector<bool> bits_;
 };
 
@@ -399,6 +459,22 @@ class NmruPolicy final : public ReplacementPolicy
             ++r;
         }
         panic("nMRU rank walk failed");
+    }
+
+    void
+    ranks(unsigned set, std::uint8_t *out) const override
+    {
+        // One cursor rotation labels every way.
+        const unsigned m = mru_[set];
+        out[m] = static_cast<std::uint8_t>(assoc_ - 1);
+        const unsigned c = cursor_[set];
+        unsigned r = 0;
+        for (unsigned i = 0; i < assoc_; ++i) {
+            const unsigned w = (c + i) % assoc_;
+            if (w == m)
+                continue;
+            out[w] = static_cast<std::uint8_t>(r++);
+        }
     }
 
     const char *name() const override { return "nMRU"; }
@@ -489,6 +565,12 @@ class RripPolicy final : public ReplacementPolicy
         return r;
     }
 
+    void
+    ranks(unsigned set, std::uint8_t *out) const override
+    {
+        rrip_detail::rrpvRanks(&at(set, 0), assoc_, maxRrpv, out);
+    }
+
     const char *name() const override { return "RRIP"; }
 
     void
@@ -523,10 +605,19 @@ class DrripPolicy final : public ReplacementPolicy
   public:
     static constexpr std::uint8_t maxRrpv = 3;
     static constexpr int pselMax = 1023;
-    static constexpr unsigned duelPeriod = 8; //!< leader spacing
+    static constexpr unsigned duelPeriod = 8; //!< nominal leader spacing
 
     DrripPolicy(unsigned num_sets, unsigned assoc, std::uint64_t seed)
         : ReplacementPolicy(num_sets, assoc), rng_(seed),
+          // Leader spacing clamps to the set count: with the nominal
+          // period of 8, a cache of <= duelPeriod/2 sets would contain
+          // set 0 (the SRRIP leader) but no set duelPeriod/2 — zero
+          // BRRIP leaders, so psel_ could only saturate upward and the
+          // duel silently degenerated to static SRRIP on small caches.
+          // Clamped, every cache with >= 2 sets has one leader of each
+          // family; a single-set cache has no distinct BRRIP leader
+          // and degenerates (explicitly, now) to SRRIP.
+          duelPeriod_(std::min(duelPeriod, num_sets)),
           rrpv_(static_cast<std::size_t>(num_sets) * assoc, maxRrpv)
     {}
 
@@ -591,10 +682,19 @@ class DrripPolicy final : public ReplacementPolicy
         return r;
     }
 
+    void
+    ranks(unsigned set, std::uint8_t *out) const override
+    {
+        rrip_detail::rrpvRanks(&at(set, 0), assoc_, maxRrpv, out);
+    }
+
     const char *name() const override { return "DRRIP"; }
 
     /** Current duel outcome (true = followers use BRRIP). */
     bool followersUseBrrip() const { return psel_ > pselMax / 2; }
+
+    /** Raw PSEL counter (tests watch the duel move). */
+    int psel() const { return psel_; }
 
     void
     saveState(SnapshotWriter &w) const override
@@ -614,9 +714,9 @@ class DrripPolicy final : public ReplacementPolicy
 
   private:
     bool isSrripLeader(unsigned set) const
-    { return set % duelPeriod == 0; }
+    { return set % duelPeriod_ == 0; }
     bool isBrripLeader(unsigned set) const
-    { return set % duelPeriod == duelPeriod / 2; }
+    { return duelPeriod_ >= 2 && set % duelPeriod_ == duelPeriod_ / 2; }
 
     std::uint8_t &at(unsigned s, unsigned w)
     { return rrpv_[std::size_t(s) * assoc_ + w]; }
@@ -624,17 +724,46 @@ class DrripPolicy final : public ReplacementPolicy
     { return rrpv_[std::size_t(s) * assoc_ + w]; }
 
     Rng rng_;
+    unsigned duelPeriod_; //!< effective spacing, min(duelPeriod, sets)
     int psel_ = pselMax / 2;
     std::vector<std::uint8_t> rrpv_;
 };
 
-/** Uniform random victim selection. */
+/**
+ * Uniform random victim selection.
+ *
+ * victim() draws uniformly; the rank view is a *static seeded per-set
+ * permutation*. rank() used to return the way index itself, which made
+ * the permutation identical in every set — PInTE's eviction-end walk
+ * targets rank 0, so every induced theft under Random landed on way 0
+ * of whatever set triggered, a systematic bias no real random-
+ * replacement cache exhibits. The per-set permutations (Fisher–Yates
+ * over a private splitmix-seeded stream, fixed at construction) spread
+ * the walk's targets across ways while keeping ranks a stable
+ * permutation, and the victim() RNG stream draws exactly what it drew
+ * before the fix. The permutations are derived from configuration
+ * (num_sets, assoc, seed), not mutated, so checkpoints still serialize
+ * only the victim stream.
+ */
 class RandomPolicy final : public ReplacementPolicy
 {
   public:
     RandomPolicy(unsigned num_sets, unsigned assoc, std::uint64_t seed)
-        : ReplacementPolicy(num_sets, assoc), rng_(seed)
-    {}
+        : ReplacementPolicy(num_sets, assoc), rng_(seed),
+          perm_(static_cast<std::size_t>(num_sets) * assoc)
+    {
+        // A separate stream: consuming rng_ here would shift every
+        // victim() draw relative to the pre-fix behavior.
+        Rng perm_rng(seed ^ 0x52414e4b53ull); // "RANKS"
+        for (unsigned s = 0; s < num_sets; ++s) {
+            std::uint8_t *row = perm_.data() + std::size_t(s) * assoc;
+            for (unsigned w = 0; w < assoc; ++w)
+                row[w] = static_cast<std::uint8_t>(w);
+            for (unsigned i = assoc - 1; i > 0; --i)
+                std::swap(row[i],
+                          row[perm_rng.drawRange(std::uint64_t(i) + 1)]);
+        }
+    }
 
     unsigned
     victim(unsigned set) override
@@ -649,10 +778,14 @@ class RandomPolicy final : public ReplacementPolicy
     unsigned
     rank(unsigned set, unsigned way) const override
     {
-        // No meaningful order; way index is as good as any and keeps
-        // ranks a stable permutation for PInTE's walk.
-        (void)set;
-        return way;
+        return perm_[std::size_t(set) * assoc_ + way];
+    }
+
+    void
+    ranks(unsigned set, std::uint8_t *out) const override
+    {
+        std::memcpy(out, perm_.data() + std::size_t(set) * assoc_,
+                    assoc_);
     }
 
     const char *name() const override { return "Random"; }
@@ -671,6 +804,7 @@ class RandomPolicy final : public ReplacementPolicy
 
   private:
     Rng rng_;
+    std::vector<std::uint8_t> perm_; //!< static per-set rank views
 };
 
 } // namespace pinte

@@ -1,5 +1,6 @@
 #include "policy.hh"
 
+#include "lhd.hh"
 #include "policies.hh"
 
 #include <algorithm>
@@ -21,6 +22,7 @@ toString(ReplacementKind k)
       case ReplacementKind::Rrip: return "RRIP";
       case ReplacementKind::Random: return "Random";
       case ReplacementKind::Drrip: return "DRRIP";
+      case ReplacementKind::Lhd: return "LHD";
     }
     return "unknown";
 }
@@ -36,8 +38,12 @@ ReplacementPolicy::ReplacementPolicy(unsigned num_sets, unsigned assoc)
 unsigned
 ReplacementPolicy::wayAtRank(unsigned set, unsigned r) const
 {
+    // One bulk call instead of assoc per-way queries (assoc <= 64 is
+    // a cache-level invariant, see Cache's constructor).
+    std::uint8_t rs[64];
+    ranks(set, rs);
     for (unsigned w = 0; w < assoc_; ++w)
-        if (rank(set, w) == r)
+        if (rs[w] == r)
             return w;
     panic("ReplacementPolicy rank() is not a permutation");
 }
@@ -63,6 +69,24 @@ ReplacementPolicy::auditSet(unsigned set) const
                           set, w);
         }
         seen |= std::uint64_t(1) << r;
+    }
+
+    // The bulk fast path must describe the same permutation as the
+    // per-way queries: the cache's masked allocation and PInTE's
+    // BLOCK-SELECT walk read ranks(), while the reuse histograms read
+    // rank(), and a divergent override would skew one against the
+    // other without ever tripping the permutation check above.
+    std::uint8_t bulk[64];
+    ranks(set, bulk);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const unsigned r = rank(set, w);
+        if (bulk[w] != r) {
+            invariantFail(std::string("replacement:") + name(),
+                          "bulk ranks() reports rank " +
+                              std::to_string(bulk[w]) + " but rank() " +
+                              std::to_string(r),
+                          set, w);
+        }
     }
 }
 
@@ -90,6 +114,8 @@ makeReplacementPolicy(ReplacementKind kind, unsigned num_sets,
         return std::make_unique<RandomPolicy>(num_sets, assoc, seed);
       case ReplacementKind::Drrip:
         return std::make_unique<DrripPolicy>(num_sets, assoc, seed);
+      case ReplacementKind::Lhd:
+        return std::make_unique<LhdPolicy>(num_sets, assoc, seed);
     }
     return std::make_unique<LruPolicy>(num_sets, assoc);
 }

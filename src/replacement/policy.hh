@@ -24,9 +24,20 @@ namespace pinte
 
 /**
  * Which replacement algorithm to instantiate (section III-C a).
- * Drrip is an extension beyond the paper's four: set-dueling dynamic
- * RRIP (Jaleel et al., ISCA'10), useful for checking whether adaptive
- * insertion survives PInTE contention better than static SRRIP.
+ * Drrip and Lhd are extensions beyond the paper's four: set-dueling
+ * dynamic RRIP (Jaleel et al., ISCA'10) checks whether adaptive
+ * insertion survives PInTE contention better than static SRRIP, and
+ * LHD (Beckmann et al., NSDI'18-style learned hit density) is the
+ * first policy here with no fixed replacement stack at all — its
+ * eviction order is a learned ranking recomputed from age/class
+ * histograms.
+ *
+ * Enumerator values are stable across versions: the machine
+ * fingerprint embeds the integer value, so append new kinds at the
+ * end and never reorder. Registering a kind means extending, in
+ * lockstep: toString(), makeReplacementPolicy(), Cache::withPolicy()
+ * and the CLI table in sim/options.cc — tests/test_replacement.cc
+ * round-trips every enumerator through all four to keep them honest.
  */
 enum class ReplacementKind
 {
@@ -36,7 +47,12 @@ enum class ReplacementKind
     Rrip,
     Random,
     Drrip,
+    Lhd,
 };
+
+/** Number of ReplacementKind enumerators (Lhd is the last). */
+constexpr unsigned numReplacementKinds =
+    static_cast<unsigned>(ReplacementKind::Lhd) + 1;
 
 /** Printable name for a replacement kind. */
 const char *toString(ReplacementKind k);
@@ -45,8 +61,30 @@ const char *toString(ReplacementKind k);
  * Per-cache replacement state. Way indices are cache-level concepts;
  * the policy only orders them.
  *
- * Rank convention: rank 0 is the next victim (the eviction end of the
- * replacement stack); rank assoc-1 is the most protected position.
+ * ## The rank-permutation contract
+ *
+ * Every policy — stack-shaped or not — exposes its eviction order as
+ * a *rank permutation*: at any instant, rank(set, w) over the ways of
+ * a set is a permutation of 0..assoc-1, where rank 0 is the next
+ * victim (the eviction end) and rank assoc-1 the most protected
+ * position. The contract deliberately does not require a replacement
+ * *stack*: a learned policy like LHD has no stack positions, only a
+ * ranking recomputed from predictions, and the permutation view is
+ * what PInTE's BLOCK-SELECT walk, the cache's masked-allocation path
+ * and the reuse histograms consume. The obligations are:
+ *
+ *  - rank() is a permutation of 0..assoc-1 within each set, and
+ *    victim() returns the rank-0 way (for policies whose victim()
+ *    has side effects, e.g. RRIP aging or Random's RNG draw, the
+ *    permutation reflects the order *before* those side effects);
+ *  - ranks() writes exactly the same values as per-way rank() — the
+ *    bulk form exists so hot paths pay one virtual call, not assoc;
+ *  - ranks are stable across const queries: two reads with no
+ *    intervening onFill/onHit/onInvalidate observe the same
+ *    permutation (so rank() must not consult hidden mutable state).
+ *
+ * auditSet() verifies the permutation and the bulk/per-way agreement
+ * under paranoid mode; PInTE audits every induction site through it.
  */
 class ReplacementPolicy
 {
@@ -80,9 +118,12 @@ class ReplacementPolicy
     /**
      * Write rank(set, w) for every way into out[0..assoc). One
      * virtual call instead of assoc of them — the cache's masked
-     * allocation path uses this to hoist rank lookups out of its
-     * per-way loop. Policies that store ranks directly override it
-     * with a copy.
+     * allocation path and PInTE's BLOCK-SELECT walk use this to hoist
+     * rank lookups out of their per-way loops. Every built-in
+     * overrides it with a single-pass implementation (a copy for
+     * policies that store ranks, a counting sort for RRIP-family, one
+     * tree walk for pLRU); the base-class fallback loops over rank()
+     * and is only for external policies.
      */
     virtual void ranks(unsigned set, std::uint8_t *out) const;
 
@@ -93,9 +134,11 @@ class ReplacementPolicy
     unsigned wayAtRank(unsigned set, unsigned r) const;
 
     /**
-     * Paranoid-mode audit of one set's metadata: ranks must be a
-     * permutation of 0..assoc-1 (the contract rank()/wayAtRank() and
-     * PInTE's BLOCK-SELECT walk rely on). Throws InvariantError with
+     * Paranoid-mode audit of one set's metadata against the
+     * rank-permutation contract: per-way rank() must be a permutation
+     * of 0..assoc-1 and bulk ranks() must agree with it byte for byte
+     * (a mismatched ranks() override would silently desynchronize the
+     * hot paths from the audited view). Throws InvariantError with
      * the offending set/way; policies with extra state may override
      * and call the base first.
      */

@@ -12,6 +12,7 @@
 #include "common/error.hh"
 #include "common/json.hh"
 #include "common/rng.hh"
+#include "core/pinte.hh"
 #include "replacement/policy.hh"
 #include "sim/experiment.hh"
 #include "sim/machine.hh"
@@ -160,6 +161,45 @@ hotpathCacheAccessOnce(std::uint64_t accesses)
 }
 
 std::uint64_t
+hotpathDrripInductionOnce(std::uint64_t accesses)
+{
+    // DRRIP LLC with a live PInTE engine at a high induction rate:
+    // every trigger's BLOCK-SELECT walk reads the eviction order
+    // through Cache::ranks(), so this kernel times the RRPV rank path
+    // the single-pass counting-sort override optimizes (an O(assoc)
+    // bulk ranks() versus the per-way O(assoc^2) it replaced).
+    CacheConfig cfg;
+    cfg.name = "bench-llc";
+    cfg.numSets = 1024;
+    cfg.assoc = 16;
+    cfg.numCores = 2;
+    cfg.replacement = ReplacementKind::Drrip;
+    Cache c(cfg, nullptr);
+
+    PInteConfig pcfg;
+    pcfg.pInduce = 0.5;
+    PInte engine(pcfg);
+    c.setReplacementHook(&engine);
+
+    const Addr footprint_lines = 3 * Addr(cfg.numSets) * cfg.assoc;
+    Rng rng(0xd221);
+    MemAccess req;
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        const Addr line = i % 4 ? rng.drawRange(footprint_lines)
+                                : (i / 4) % footprint_lines;
+        req.addr = line << blockShift;
+        req.core = static_cast<CoreId>(i & 1);
+        req.cycle = i;
+        req.type = (i % 7) ? AccessType::Load : AccessType::Store;
+        sum = fold(sum, c.access(req).hit);
+    }
+    sum = fold(sum, c.stats().totalMisses());
+    sum = fold(sum, engine.stats().invalidations);
+    return sum;
+}
+
+std::uint64_t
 hotpathTraceDecodeOnce(const std::string &trace_path,
                        std::uint64_t records)
 {
@@ -303,6 +343,9 @@ runHotpathSuite(const HotpathOptions &opt)
     }));
     out.push_back(bestOf(opt, "lru_promote", promote_ops, [&] {
         return hotpathLruPromoteOnce(promote_ops);
+    }));
+    out.push_back(bestOf(opt, "drrip_induction", cache_ops, [&] {
+        return hotpathDrripInductionOnce(cache_ops);
     }));
     out.push_back(bestOf(opt, "detailed_run", instr, [&] {
         return hotpathDetailedRunOnce(instr);

@@ -101,6 +101,7 @@ std::uint64_t hotpathCacheAccessOnce(std::uint64_t accesses);
 std::uint64_t hotpathTraceDecodeOnce(const std::string &trace_path,
                                      std::uint64_t records);
 std::uint64_t hotpathLruPromoteOnce(std::uint64_t ops);
+std::uint64_t hotpathDrripInductionOnce(std::uint64_t accesses);
 /// @}
 
 /**

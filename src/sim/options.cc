@@ -26,25 +26,82 @@ lower(std::string s)
 
 } // namespace
 
+const std::vector<ReplacementCliEntry> &
+replacementCliTable()
+{
+    static const std::vector<ReplacementCliEntry> table = {
+        {ReplacementKind::Lru, "lru", nullptr},
+        {ReplacementKind::PseudoLru, "plru", "pseudo-lru"},
+        {ReplacementKind::Nmru, "nmru", nullptr},
+        {ReplacementKind::Rrip, "rrip", "srrip"},
+        {ReplacementKind::Random, "random", nullptr},
+        {ReplacementKind::Drrip, "drrip", nullptr},
+        {ReplacementKind::Lhd, "lhd", nullptr},
+    };
+    static_assert(numReplacementKinds == 7,
+                  "new ReplacementKind: add its CLI spelling here");
+    return table;
+}
+
+const char *
+replacementCliName(ReplacementKind kind)
+{
+    for (const ReplacementCliEntry &e : replacementCliTable())
+        if (e.kind == kind)
+            return e.canonical;
+    return "unknown";
+}
+
+std::string
+replacementValidValues()
+{
+    std::string out;
+    for (const ReplacementCliEntry &e : replacementCliTable()) {
+        if (!out.empty())
+            out += ", ";
+        out += e.canonical;
+    }
+    return out;
+}
+
 ReplacementKind
 parseReplacement(const std::string &s)
 {
     const std::string v = lower(s);
-    if (v == "lru")
-        return ReplacementKind::Lru;
-    if (v == "plru" || v == "pseudo-lru")
-        return ReplacementKind::PseudoLru;
-    if (v == "nmru")
-        return ReplacementKind::Nmru;
-    if (v == "rrip" || v == "srrip")
-        return ReplacementKind::Rrip;
-    if (v == "random")
-        return ReplacementKind::Random;
-    if (v == "drrip")
-        return ReplacementKind::Drrip;
-    throw ConfigError("unknown replacement policy '" + s +
-                          "' (lru, plru, nmru, rrip, random, drrip)",
+    for (const ReplacementCliEntry &e : replacementCliTable())
+        if (v == e.canonical || (e.alias && v == e.alias))
+            return e.kind;
+    throw ConfigError("unknown replacement policy '" + s + "' (" +
+                          replacementValidValues() + ")",
                       {"options", "", s});
+}
+
+std::vector<ReplacementKind>
+parseReplacementList(const std::string &s)
+{
+    std::vector<ReplacementKind> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::string item =
+            s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+        if (item.empty())
+            throw ConfigError("empty policy in list '" + s + "' (" +
+                                  replacementValidValues() + ")",
+                              {"options", "--policies", s});
+        const ReplacementKind k = parseReplacement(item);
+        for (const ReplacementKind seen : out)
+            if (seen == k)
+                throw ConfigError("duplicate policy '" + item +
+                                      "' in list '" + s + "'",
+                                  {"options", "--policies", s});
+        out.push_back(k);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
 }
 
 InclusionPolicy

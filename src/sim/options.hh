@@ -11,6 +11,7 @@
 #define PINTE_SIM_OPTIONS_HH
 
 #include <string>
+#include <vector>
 
 #include "branch/predictor.hh"
 #include "cache/cache.hh"
@@ -22,8 +23,42 @@
 namespace pinte
 {
 
-/** Parse "lru", "plru", "nmru", "rrip", "random" (case-insensitive). */
+/**
+ * One row of the replacement-policy CLI table: the single source of
+ * truth tying ReplacementKind to its command-line spellings. The
+ * parser, the valid-values list in parse errors, and usage text all
+ * derive from it, and tests/test_replacement.cc round-trips every
+ * enumerator through it so a new policy can never half-register.
+ */
+struct ReplacementCliEntry
+{
+    ReplacementKind kind;
+    const char *canonical; //!< the spelling help text advertises
+    const char *alias;     //!< accepted second spelling, or nullptr
+};
+
+/** The CLI table — exactly one entry per ReplacementKind enumerator. */
+const std::vector<ReplacementCliEntry> &replacementCliTable();
+
+/** Canonical CLI spelling of `kind` (inverse of parseReplacement). */
+const char *replacementCliName(ReplacementKind kind);
+
+/** Comma-separated canonical spellings, for errors and usage text. */
+std::string replacementValidValues();
+
+/**
+ * Parse "lru", "plru", "nmru", "rrip", "random", "drrip", "lhd"
+ * (case-insensitive; see replacementCliTable() for aliases). Unknown
+ * values are fatal with the valid-values list.
+ */
 ReplacementKind parseReplacement(const std::string &s);
+
+/**
+ * Parse a comma-separated list of replacement policies for the
+ * --sweep policy grid (e.g. "lru,rrip,drrip,lhd"). Rejects empty
+ * items and duplicate policies.
+ */
+std::vector<ReplacementKind> parseReplacementList(const std::string &s);
 
 /** Parse "non"/"non-inclusive", "inc"/"inclusive", "exc"/"exclusive". */
 InclusionPolicy parseInclusion(const std::string &s);

@@ -97,6 +97,12 @@ matrix()
     {
         MachineConfig m = MachineConfig::scaled();
         m.pinte.pInduce = 0.3;
+        m.llc.replacement = parseReplacement("lhd");
+        rows.push_back({"lhd_pinte", m, {"450.soplex"}});
+    }
+    {
+        MachineConfig m = MachineConfig::scaled();
+        m.pinte.pInduce = 0.3;
         m.pinteScope = PInteScope::L2Only;
         rows.push_back({"l2scope", m, {"444.namd"}});
     }

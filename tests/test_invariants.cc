@@ -183,6 +183,18 @@ TEST(CleanAudit, InclusiveLlcWithInducedThefts)
     runAndAudit(m);
 }
 
+TEST(CleanAudit, LhdLlcWithInducedThefts)
+{
+    // The learned policy keeps its own liveness/class/age state; a
+    // PInTE run over it must keep ranks a valid permutation and the
+    // per-slot state within bounds (LhdPolicy::auditSet) at every
+    // paranoid sweep and at end of run.
+    MachineConfig m = MachineConfig::scaled();
+    m.llc.replacement = parseReplacement("lhd");
+    m.pinte.pInduce = 0.4;
+    runAndAudit(m);
+}
+
 TEST(CleanAudit, PairSharingTheLlc)
 {
     ParanoidScope paranoid(1024);

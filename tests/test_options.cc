@@ -7,6 +7,9 @@
 
 #include "expect_error.hh"
 
+#include <set>
+#include <string>
+
 #include "sim/options.hh"
 
 using namespace pinte;
@@ -24,9 +27,96 @@ TEST(ParseReplacement, AcceptsAllNames)
     EXPECT_EQ(parseReplacement("random"), ReplacementKind::Random);
 }
 
+TEST(ParseReplacement, AcceptsNewPolicies)
+{
+    EXPECT_EQ(parseReplacement("drrip"), ReplacementKind::Drrip);
+    EXPECT_EQ(parseReplacement("lhd"), ReplacementKind::Lhd);
+    EXPECT_EQ(parseReplacement("LHD"), ReplacementKind::Lhd);
+}
+
 TEST(ParseReplacement, RejectsUnknown)
 {
     EXPECT_ERROR(parseReplacement("mru"), ConfigError, "unknown replacement");
+}
+
+TEST(ParseReplacement, ErrorListsEveryValidValue)
+{
+    // The valid-values list in the error message derives from the CLI
+    // table; every canonical spelling must appear.
+    try {
+        parseReplacement("bogus");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        for (const ReplacementCliEntry &entry : replacementCliTable())
+            EXPECT_NE(msg.find(entry.canonical), std::string::npos)
+                << "missing " << entry.canonical << " in: " << msg;
+    }
+}
+
+TEST(ReplacementRegistry, EveryKindRoundTripsThroughEveryTable)
+{
+    // Exhaustiveness guard: a new ReplacementKind must register in the
+    // CLI table, the factory, toString and the policy's own name() in
+    // lockstep. The static_assert in options.cc forces the table edit;
+    // this test proves the registrations agree with each other.
+    const auto &table = replacementCliTable();
+    ASSERT_EQ(table.size(), numReplacementKinds);
+    std::set<ReplacementKind> kinds_seen;
+    std::set<std::string> spellings_seen;
+    for (const ReplacementCliEntry &e : table) {
+        EXPECT_TRUE(kinds_seen.insert(e.kind).second)
+            << "duplicate table entry for " << toString(e.kind);
+        ASSERT_NE(e.canonical, nullptr);
+        EXPECT_TRUE(spellings_seen.insert(e.canonical).second);
+        EXPECT_EQ(parseReplacement(e.canonical), e.kind);
+        EXPECT_STREQ(replacementCliName(e.kind), e.canonical);
+        if (e.alias) {
+            EXPECT_TRUE(spellings_seen.insert(e.alias).second);
+            EXPECT_EQ(parseReplacement(e.alias), e.kind);
+        }
+        // toString must be a real name, and the factory-built policy
+        // must report it (PseudoLru needs power-of-two assoc, so the
+        // shared geometry here is 4x4).
+        EXPECT_STRNE(toString(e.kind), "unknown");
+        const auto p = makeReplacementPolicy(e.kind, 4, 4, 1);
+        ASSERT_NE(p, nullptr);
+        EXPECT_STREQ(p->name(), toString(e.kind));
+    }
+    EXPECT_EQ(kinds_seen.size(), numReplacementKinds);
+}
+
+TEST(ParseReplacementList, SplitsCommaSeparatedPolicies)
+{
+    const auto v = parseReplacementList("lru,rrip,drrip,lhd");
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], ReplacementKind::Lru);
+    EXPECT_EQ(v[1], ReplacementKind::Rrip);
+    EXPECT_EQ(v[2], ReplacementKind::Drrip);
+    EXPECT_EQ(v[3], ReplacementKind::Lhd);
+}
+
+TEST(ParseReplacementList, SingleItemAndAliases)
+{
+    const auto v = parseReplacementList("srrip");
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], ReplacementKind::Rrip);
+}
+
+TEST(ParseReplacementList, RejectsEmptyItemsAndDuplicates)
+{
+    EXPECT_ERROR(parseReplacementList(""), ConfigError, "empty policy");
+    EXPECT_ERROR(parseReplacementList("lru,,lhd"), ConfigError,
+                 "empty policy");
+    EXPECT_ERROR(parseReplacementList("lru,lhd,"), ConfigError,
+                 "empty policy");
+    EXPECT_ERROR(parseReplacementList("lru,lru"), ConfigError,
+                 "duplicate policy");
+    // An alias duplicates its canonical spelling: same kind.
+    EXPECT_ERROR(parseReplacementList("rrip,srrip"), ConfigError,
+                 "duplicate policy");
+    EXPECT_ERROR(parseReplacementList("lru,bogus"), ConfigError,
+                 "unknown replacement");
 }
 
 TEST(ParseInclusion, AcceptsAllNames)

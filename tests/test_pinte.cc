@@ -10,6 +10,7 @@
 #include "expect_error.hh"
 
 #include <cmath>
+#include <set>
 
 #include "cache/cache.hh"
 #include "common/summary_stats.hh"
@@ -383,5 +384,34 @@ INSTANTIATE_TEST_SUITE_P(
     AllPolicies, PIntePolicyTest,
     ::testing::Values(ReplacementKind::Lru, ReplacementKind::PseudoLru,
                       ReplacementKind::Nmru, ReplacementKind::Rrip,
-                      ReplacementKind::Random),
+                      ReplacementKind::Random, ReplacementKind::Drrip,
+                      ReplacementKind::Lhd),
     [](const auto &info) { return std::string(toString(info.param)); });
+
+TEST(PInte, RandomPolicyTheftsSpreadAcrossWays)
+{
+    // Regression: RandomPolicy::rank() used to return the way index,
+    // making the rank permutation the identity in every set — the
+    // StackEnd walk's rank-0 target was always way 0, so every induced
+    // theft under random replacement stole way 0, a systematic bias no
+    // real random-replacement cache exhibits. With seeded per-set
+    // permutations, the rank-0 way varies by set and the stolen-way
+    // histogram must cover multiple ways.
+    CacheConfig cfg = llcConfig(ReplacementKind::Random);
+    cfg.numSets = 32;
+    Cache c(cfg, nullptr);
+    for (unsigned t = 0; t < 8; ++t)
+        for (unsigned s = 0; s < 32; ++s)
+            c.access(load(static_cast<Addr>(t * 32 + s) * blockSize,
+                          static_cast<Cycle>(t) * 20));
+    PInte engine({1.0, 9});
+    std::set<unsigned> stolen_ways;
+    for (unsigned s = 0; s < 32; ++s) {
+        engine.onAccess(c, s, 0, 1000);
+        for (unsigned w = 0; w < 8; ++w)
+            if (!c.valid(s, w))
+                stolen_ways.insert(w);
+    }
+    EXPECT_GT(engine.stats().invalidations, 0u);
+    EXPECT_GE(stolen_ways.size(), 3u);
+}

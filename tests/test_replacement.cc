@@ -11,6 +11,9 @@
 #include <set>
 
 #include "common/rng.hh"
+#include "common/snapshot.hh"
+#include "replacement/lhd.hh"
+#include "replacement/policies.hh"
 #include "replacement/policy.hh"
 
 using namespace pinte;
@@ -22,6 +25,7 @@ const ReplacementKind allKinds[] = {
     ReplacementKind::Lru,       ReplacementKind::PseudoLru,
     ReplacementKind::Nmru,      ReplacementKind::Rrip,
     ReplacementKind::Random,    ReplacementKind::Drrip,
+    ReplacementKind::Lhd,
 };
 
 } // namespace
@@ -74,6 +78,32 @@ TEST_P(PolicyTest, RanksFormPermutationAfterRandomOps)
         for (unsigned w = 0; w < assoc; ++w)
             ranks.insert(p_->rank(set, w));
         ASSERT_EQ(ranks.size(), assoc) << p_->name() << " iter " << i;
+    }
+}
+
+TEST_P(PolicyTest, BulkRanksAgreeWithPerWayRanks)
+{
+    // Randomized oracle for the single-pass ranks() overrides: the
+    // bulk permutation must equal assoc per-way rank() calls after any
+    // op sequence. This is the contract PInTE's walk and wayAtRank()
+    // read through, and it pins the DRRIP counting-sort override
+    // (which replaced an O(assoc^2) per-way scan) to the per-way
+    // formula including its tie-break.
+    Rng r(31);
+    std::uint8_t bulk[64];
+    for (int i = 0; i < 2000; ++i) {
+        const unsigned set = static_cast<unsigned>(r.drawRange(sets));
+        const unsigned way = static_cast<unsigned>(r.drawRange(assoc));
+        switch (r.drawRange(3)) {
+          case 0: p_->onFill(set, way); break;
+          case 1: p_->onHit(set, way); break;
+          case 2: p_->onInvalidate(set, way); break;
+        }
+        p_->ranks(set, bulk);
+        for (unsigned w = 0; w < assoc; ++w)
+            ASSERT_EQ(bulk[w], p_->rank(set, w))
+                << p_->name() << " set " << set << " way " << w
+                << " iter " << i;
     }
 }
 
@@ -406,6 +436,173 @@ TEST(Drrip, FollowerInsertsSrripWhenBrripLeadersMiss)
     // fill outranks untouched (rrpv = max) ways.
     p->onFill(3, 1);
     EXPECT_GT(p->rank(3, 1), 0u);
+}
+
+TEST(Drrip, SmallCacheStillDuels)
+{
+    // Regression: with the nominal duel period of 8, a 4-set cache
+    // contained the SRRIP leader (set 0) but no set 4 — zero BRRIP
+    // leaders, so PSEL could only saturate upward and the duel
+    // degenerated to static SRRIP. The period now clamps to the set
+    // count, making set 2 the BRRIP leader; misses there must move
+    // PSEL down.
+    DrripPolicy p(4, 4, 5);
+    const int start = p.psel();
+    for (int i = 0; i < 64; ++i)
+        p.onFill(2, static_cast<unsigned>(i % 4));
+    EXPECT_LT(p.psel(), start);
+}
+
+TEST(Drrip, SingleSetDegeneratesToSrripExplicitly)
+{
+    // One set cannot host leaders of both families: the clamp leaves
+    // set 0 the SRRIP leader and no BRRIP leader, so PSEL never drops
+    // below its start and followers never flip to BRRIP.
+    DrripPolicy p(1, 4, 5);
+    const int start = p.psel();
+    for (int i = 0; i < 64; ++i)
+        p.onFill(0, static_cast<unsigned>(i % 4));
+    EXPECT_GE(p.psel(), start);
+}
+
+TEST(Random, RanksAreSeededPerSetPermutations)
+{
+    // Regression: rank() used to return the way index itself, so the
+    // rank permutation was the identity in every set and PInTE's
+    // eviction-end walk stole way 0 of whatever set triggered. The
+    // seeded permutations must differ from the identity and across
+    // sets, while staying deterministic for a given seed.
+    const unsigned sets = 16, assoc = 8;
+    RandomPolicy p(sets, assoc, 21);
+    bool non_identity = false, differ_across_sets = false;
+    std::vector<unsigned> set0;
+    for (unsigned s = 0; s < sets; ++s) {
+        std::set<unsigned> seen;
+        for (unsigned w = 0; w < assoc; ++w) {
+            const unsigned r = p.rank(s, w);
+            ASSERT_LT(r, assoc);
+            seen.insert(r);
+            if (r != w)
+                non_identity = true;
+            if (s == 0)
+                set0.push_back(r);
+            else if (r != set0[w])
+                differ_across_sets = true;
+        }
+        ASSERT_EQ(seen.size(), assoc) << "set " << s;
+    }
+    EXPECT_TRUE(non_identity);
+    EXPECT_TRUE(differ_across_sets);
+
+    RandomPolicy q(sets, assoc, 21);
+    for (unsigned s = 0; s < sets; ++s)
+        for (unsigned w = 0; w < assoc; ++w)
+            EXPECT_EQ(p.rank(s, w), q.rank(s, w));
+}
+
+TEST(Random, RankFixLeavesVictimStreamUnchanged)
+{
+    // The permutations draw from a separate RNG stream, so victim()
+    // must consume exactly the draws it consumed before the fix —
+    // checkpointed Random caches replay identically.
+    RandomPolicy p(4, 8, 21);
+    Rng expected(21);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(p.victim(0), expected.drawRange(8));
+}
+
+TEST(Lhd, InvalidatedWayIsMostEvictable)
+{
+    LhdPolicy p(4, 8, 7);
+    for (unsigned w = 0; w < 8; ++w)
+        p.onFill(1, w);
+    p.onInvalidate(1, 5);
+    EXPECT_EQ(p.victim(1), 5u);
+    EXPECT_EQ(p.rank(1, 5), 0u);
+}
+
+TEST(Lhd, ExplorerSetsRankByAge)
+{
+    const unsigned sets = 64, assoc = 8;
+    LhdPolicy p(sets, assoc, 7);
+    unsigned explorer = sets;
+    for (unsigned s = 0; s < sets; ++s) {
+        if (p.isExplorer(s)) {
+            explorer = s;
+            break;
+        }
+    }
+    ASSERT_LT(explorer, sets) << "no explorer set in " << sets;
+    // Fills tick the event clock, so way 0 is the oldest block and
+    // must be the explorer victim regardless of learned densities.
+    for (unsigned w = 0; w < assoc; ++w)
+        p.onFill(explorer, w);
+    EXPECT_EQ(p.victim(explorer), 0u);
+    EXPECT_EQ(p.rank(explorer, assoc - 1), assoc - 1u);
+}
+
+TEST(Lhd, LearnedDensityProtectsHotBlock)
+{
+    // Train on a non-explorer set: way 3 hits on every round while
+    // the other ways churn through fills. Across reconfigurations the
+    // hit histogram concentrates in the reused block's class, so its
+    // predicted hit density must outrank the churned ways and victim()
+    // must not pick it.
+    const unsigned sets = 16, assoc = 8;
+    LhdPolicy p(sets, assoc, 7);
+    unsigned set = 0;
+    while (p.isExplorer(set))
+        ++set;
+    for (unsigned w = 0; w < assoc; ++w)
+        p.onFill(set, w);
+    for (int i = 0; i < 40000; ++i) {
+        p.onHit(set, 3);
+        unsigned w = static_cast<unsigned>(i % (assoc - 1));
+        if (w >= 3)
+            ++w;
+        p.onFill(set, w);
+    }
+    EXPECT_GT(p.eventClock(), 0u);
+    EXPECT_NE(p.victim(set), 3u);
+    EXPECT_GT(p.rank(set, 3), assoc / 2);
+    // The churned ways never hit: their (class 0) learned density
+    // cannot exceed the reused block's.
+    EXPECT_GT(p.predictedDensity(set, 3), p.predictedDensity(set, 0));
+}
+
+TEST(Lhd, SnapshotRoundTripIsExact)
+{
+    const unsigned sets = 8, assoc = 8;
+    LhdPolicy a(sets, assoc, 7);
+    Rng r(99);
+    for (int i = 0; i < 20000; ++i) {
+        const unsigned set = static_cast<unsigned>(r.drawRange(sets));
+        const unsigned way = static_cast<unsigned>(r.drawRange(assoc));
+        switch (r.drawRange(3)) {
+          case 0: a.onFill(set, way); break;
+          case 1: a.onHit(set, way); break;
+          case 2: a.onInvalidate(set, way); break;
+        }
+    }
+    SnapshotWriter w;
+    a.saveState(w);
+    LhdPolicy b(sets, assoc, 7);
+    SnapshotReader rd(w.bytes());
+    b.loadState(rd);
+
+    EXPECT_EQ(a.eventClock(), b.eventClock());
+    for (unsigned s = 0; s < sets; ++s)
+        for (unsigned way = 0; way < assoc; ++way)
+            ASSERT_EQ(a.rank(s, way), b.rank(s, way));
+    // The restored policy must continue identically, including across
+    // the next reconfiguration.
+    for (int i = 0; i < 20000; ++i) {
+        const unsigned set = static_cast<unsigned>(r.drawRange(sets));
+        const unsigned way = static_cast<unsigned>(r.drawRange(assoc));
+        a.onFill(set, way);
+        b.onFill(set, way);
+        ASSERT_EQ(a.victim(set), b.victim(set)) << "iter " << i;
+    }
 }
 
 TEST(Replacement, ZeroGeometryIsFatal)

@@ -31,6 +31,7 @@ set(matrix
     "pair_rrip|-w|450.soplex|--pair|470.lbm|--policy|rrip|--seed|5"
     "random_iso|-w|401.bzip2|--isolation|--policy|random|--seed|3"
     "l2scope_sweep|-w|444.namd|--sweep|--scope|l2|--jobs|2|--seed|6"
+    "lhd_pinte|-w|450.soplex|-p|0.3|--policy|lhd|--seed|8"
 )
 
 foreach(entry IN LISTS matrix)

@@ -31,6 +31,7 @@
 #include <string>
 #include <thread>
 
+#include "analysis/sensitivity.hh"
 #include "common/error.hh"
 #include "common/invariant.hh"
 #include "common/json.hh"
@@ -86,8 +87,19 @@ usage()
         "                        cell)\n"
         "      --lease-ttl S     spool backend: reclaim a shard whose\n"
         "                        worker made no progress for S seconds\n"
-        "                        (default 30)\n"
-        "      --policy K        llc replacement: lru plru nmru rrip random drrip\n"
+        "                        (default 30)\n");
+    std::printf(
+        "      --policy K        llc replacement: %s\n"
+        "      --llc-policy K    alias of --policy\n"
+        "      --policies LIST   comma-separated replacement-policy\n"
+        "                        grid for --sweep: per policy, an\n"
+        "                        isolation baseline plus the standard\n"
+        "                        12-point P sweep, then a per-policy\n"
+        "                        contention-class table with deltas\n"
+        "                        against the first policy (thread\n"
+        "                        backend only)\n",
+        replacementValidValues().c_str());
+    std::printf(
         "      --inclusion K     llc inclusion: non inclusive exclusive\n"
         "      --prefetch SSS    prefetch string (000, NN0, NNN, NNI)\n"
         "      --predictor K     bimodal gshare perceptron hashed\n"
@@ -376,6 +388,7 @@ pinteMain(int argc, char **argv)
     double lease_ttl = 30.0;
     SweepConfig sweep_cfg; // raw machine-knob strings for the spool
                            // campaign document (--isolation=spool)
+    std::vector<ReplacementKind> grid_policies; // --policies grid
     std::string resume_path;
     bool bench_baseline = false;
     HotpathOptions bench_opt;
@@ -439,9 +452,11 @@ pinteMain(int argc, char **argv)
                 static_cast<std::size_t>(parseCount(a, need()));
         } else if (a == "--lease-ttl") {
             lease_ttl = static_cast<double>(parseTimeout(a, need()));
-        } else if (a == "--policy") {
+        } else if (a == "--policy" || a == "--llc-policy") {
             sweep_cfg.policy = need();
             machine.llc.replacement = parseReplacement(sweep_cfg.policy);
+        } else if (a == "--policies") {
+            grid_policies = parseReplacementList(need());
         } else if (a == "--inclusion") {
             sweep_cfg.inclusion = need();
             machine.llc.inclusion = parseInclusion(sweep_cfg.inclusion);
@@ -541,6 +556,19 @@ pinteMain(int argc, char **argv)
             throw ConfigError("--worker requires --spool",
                               {"options", "--worker", ""});
         return spoolWorkerMain(spool_dir);
+    }
+    if (!grid_policies.empty()) {
+        if (!sweep)
+            throw ConfigError("--policies is a --sweep policy grid; "
+                              "add --sweep",
+                              {"options", "--policies", ""});
+        if (iso_mode != IsolationMode::Thread)
+            throw ConfigError(
+                "--policies runs on the thread backend only (the "
+                "process and spool campaign documents carry a single "
+                "machine fingerprint, and the grid needs one machine "
+                "per policy)",
+                {"options", "--policies", ""});
     }
     if (iso_mode == IsolationMode::Process && !sweep)
         throw ConfigError("--isolation=process is a campaign backend "
@@ -717,6 +745,111 @@ pinteMain(int argc, char **argv)
         std::unique_ptr<RunJournal> journal;
         if (!resume_path.empty())
             journal = std::make_unique<RunJournal>(resume_path);
+
+        if (!grid_policies.empty()) {
+            // PInTE × policy grid: one machine per replacement policy,
+            // and per policy an isolation baseline (cell 0) plus the
+            // standard 12-point P sweep. Every cell is an independent
+            // job on the thread pool; each policy's sweep samples are
+            // weighted against that same policy's isolation run (a
+            // policy competes with itself unloaded, not with another
+            // policy's baseline), pooled into one contention curve and
+            // classified, with deltas against the first policy. The
+            // journal composes: per-policy machine fingerprints keep
+            // the cell keys distinct.
+            const auto &points = standardPInduceSweep();
+            const std::size_t per_policy = 1 + points.size();
+            std::vector<MachineConfig> machines;
+            std::vector<std::string> fps;
+            machines.reserve(grid_policies.size());
+            for (const ReplacementKind kind : grid_policies) {
+                MachineConfig m = machine;
+                m.llc.replacement = kind;
+                fps.push_back(m.fingerprint());
+                machines.push_back(m);
+            }
+            auto buildCell = [&](std::size_t pol, std::size_t idx) {
+                ExperimentSpec e(machines[pol]);
+                e.workload(spec).params(params);
+                if (idx > 0) {
+                    e.pinte(points[idx - 1]);
+                    if (scope_set)
+                        e.scope(scope);
+                    if (dram_factor > 0.0)
+                        e.dramComplement(dram_factor);
+                }
+                return e;
+            };
+            Runner runner(jobs);
+            runner.jobTimeout(job_timeout);
+            const auto flat = runner.map(
+                grid_policies.size() * per_policy,
+                [&](std::size_t c) {
+                    const std::size_t pol = c / per_policy;
+                    const std::size_t idx = c % per_policy;
+                    const ExperimentSpec e = buildCell(pol, idx);
+                    const std::string key = journalKey(
+                        fps[pol], params, spec.name, e.contention());
+                    if (journal)
+                        if (const RunResult *done = journal->find(key))
+                            return *done;
+                    RunOutcome o = e.tryRun();
+                    if (journal && o.ok())
+                        journal->record(key, o.result);
+                    return std::move(o.result);
+                });
+
+            std::vector<PolicyCurve> grid;
+            std::size_t grid_failed = 0;
+            for (std::size_t pol = 0; pol < grid_policies.size();
+                 ++pol) {
+                const char *pname =
+                    replacementCliName(grid_policies[pol]);
+                const RunResult &iso = flat[pol * per_policy];
+                PolicyCurve curve;
+                curve.policy = pname;
+                for (std::size_t idx = 0; idx < per_policy; ++idx) {
+                    const RunResult &r = flat[pol * per_policy + idx];
+                    if (r.failed())
+                        ++grid_failed;
+                    // Policy-qualified contention labels keep the
+                    // grid's rows apart in the one shared report.
+                    RunResult tagged = r;
+                    tagged.contention =
+                        std::string(pname) + ":" + tagged.contention;
+                    emit(tagged);
+                    if (idx == 0 || r.failed() || iso.failed())
+                        continue;
+                    const std::size_t n = std::min(
+                        r.samples.size(), iso.samples.size());
+                    for (std::size_t s = 0; s < n; ++s)
+                        curve.weightedIpc.push_back(weightedIpc(
+                            r.samples[s].ipc, iso.samples[s].ipc));
+                }
+                grid.push_back(std::move(curve));
+            }
+            rep.close();
+
+            const auto table = classifyPolicyGrid(grid);
+            std::printf(
+                "policy grid: %s, TPL %.0f%% (deltas vs %s)\n",
+                spec.name.c_str(), defaultTpl * 100,
+                table.empty() ? "-" : table.front().policy.c_str());
+            std::printf("  %-8s %-6s %10s %8s %6s\n", "policy",
+                        "class", "sensitive", "delta", "shift");
+            for (const auto &row : table)
+                std::printf("  %-8s %-6s %9.1f%% %+7.1f%% %+6d\n",
+                            row.policy.c_str(), toString(row.cls),
+                            row.sensitiveFraction * 100,
+                            row.deltaFraction * 100, row.classShift);
+            if (grid_failed) {
+                std::fprintf(
+                    stderr, "pintesim: %zu of %zu grid jobs failed\n",
+                    grid_failed, grid_policies.size() * per_policy);
+                return 1;
+            }
+            return 0;
+        }
 
         const std::string fp = machine.fingerprint();
         auto oneTry = [&](double p) {
